@@ -1,0 +1,135 @@
+// Baseline comparison (§3.1's qualitative claims, made quantitative):
+//
+//   * Shuffle (Cyclon-style, delete-on-send): cannot withstand loss —
+//     every lost request/reply permanently removes ids; edge count and
+//     outdegrees collapse over time, at a rate growing with l.
+//   * Push-pull keep (Lpbcast/Jelasity-style): immune to loss, but
+//     keeping gossiped ids induces heavy spatial dependence (copies,
+//     mutual edges).
+//   * S&F: loses edges to loss but regenerates them via duplication;
+//     degrees stay near the operating point and dependence stays ~2(l+d).
+//
+// Rows: per-protocol mean outdegree, edge count relative to start,
+// connectivity, and dependence measures, per loss rate.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "core/baselines/newscast.hpp"
+#include "core/baselines/push_pull.hpp"
+#include "core/baselines/shuffle.hpp"
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/graph_stats.hpp"
+#include "sampling/spatial.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+struct Row {
+  double out_mean = 0.0;
+  double edge_ratio = 0.0;
+  bool connected = false;
+  double dependent = 0.0;
+  double reciprocity = 0.0;
+};
+
+Row run(const sim::Cluster::ProtocolFactory& factory, const Digraph& start,
+        double loss_rate, std::uint64_t seed, std::uint64_t rounds) {
+  Rng rng(seed);
+  sim::Cluster cluster(start.node_count(), factory);
+  cluster.install_graph(start);
+  const auto initial_edges = static_cast<double>(start.edge_count());
+  sim::UniformLoss loss(loss_rate);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(rounds);
+  const auto g = cluster.snapshot();
+  const auto dep = sampling::measure_spatial_dependence(cluster);
+  Row row;
+  row.out_mean = degree_summary(g).out_mean;
+  row.edge_ratio = static_cast<double>(g.edge_count()) / initial_edges;
+  row.connected = is_weakly_connected(g);
+  row.dependent = dep.dependent_fraction_upper();
+  row.reciprocity = dep.reciprocity_fraction();
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+  constexpr std::size_t kN = 600;
+  constexpr std::uint64_t kRounds = 400;
+
+  print_header("Baselines — S&F vs Shuffle vs Push-pull keep (n=600, 400 rounds)");
+
+  const sim::Cluster::ProtocolFactory sf = [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 24, .min_degree = 8});
+  };
+  const sim::Cluster::ProtocolFactory shuffle = [](NodeId id) {
+    return std::make_unique<Shuffle>(
+        id, ShuffleConfig{.view_size = 24, .shuffle_length = 4});
+  };
+  const sim::Cluster::ProtocolFactory push_pull = [](NodeId id) {
+    return std::make_unique<PushPullKeep>(
+        id, PushPullConfig{.view_size = 24, .exchange_length = 4});
+  };
+  const sim::Cluster::ProtocolFactory newscast = [](NodeId id) {
+    return std::make_unique<Newscast>(id, NewscastConfig{.view_size = 24});
+  };
+
+  std::printf("%10s %6s | %9s %10s %6s | %10s %12s\n", "protocol", "loss",
+              "out-mean", "edge-ratio", "conn", "dependent", "reciprocity");
+  std::uint64_t seed = 1;
+  for (const double l : {0.0, 0.01, 0.05, 0.1}) {
+    Rng graph_rng(40 + static_cast<std::uint64_t>(l * 100));
+    const auto start = permutation_regular(kN, 8, graph_rng);
+    const struct {
+      const char* name;
+      const sim::Cluster::ProtocolFactory* factory;
+    } protocols[] = {{"S&F", &sf},
+                     {"shuffle", &shuffle},
+                     {"push-pull", &push_pull},
+                     {"newscast", &newscast}};
+    for (const auto& p : protocols) {
+      const auto row = run(*p.factory, start, l, seed++, kRounds);
+      std::printf("%10s %6.2f | %9.2f %10.3f %6s | %10.3f %12.3f\n", p.name,
+                  l, row.out_mean, row.edge_ratio,
+                  row.connected ? "yes" : "NO", row.dependent,
+                  row.reciprocity);
+    }
+    std::printf("\n");
+  }
+  print_note("expected: shuffle's edge-ratio collapses as loss grows "
+             "(eventually partitioning); push-pull keeps full views under "
+             "any loss but with dependence near 1; S&F holds degrees near "
+             "its operating point with dependence ~ 2(l+delta).");
+
+  print_subheader("Shuffle decay over time (l = 0.05)");
+  {
+    Rng graph_rng(99);
+    const auto start = permutation_regular(kN, 8, graph_rng);
+    Rng rng(7);
+    sim::Cluster cluster(kN, shuffle);
+    cluster.install_graph(start);
+    sim::UniformLoss loss(0.05);
+    sim::RoundDriver driver(cluster, loss, rng);
+    std::printf("%10s  %12s\n", "round", "edge-ratio");
+    for (int chunk = 0; chunk <= 10; ++chunk) {
+      if (chunk > 0) driver.run_rounds(40);
+      std::printf("%10d  %12.3f\n", chunk * 40,
+                  static_cast<double>(cluster.snapshot().edge_count()) /
+                      static_cast<double>(start.edge_count()));
+    }
+  }
+  print_note("the leak is roughly geometric: each lost message removes "
+             "shuffle_length ids forever (§3.1: such protocols 'are unable "
+             "to withstand message loss').");
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Quantifies §3.1's case against random-walk sampling:
+//   (1) success probability under loss decays exponentially in walk
+//       length — measured against (1-l)^(L+1);
+//   (2) endpoint distribution is degree-biased on irregular topologies,
+//       while S&F views converge to uniform regardless;
+//   (3) cost: a walk spends L+1 messages per sample; S&F amortizes ~1
+//       message per 2 fresh ids.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sampling/random_walk.hpp"
+#include "sampling/uniformity.hpp"
+#include "sim/round_driver.hpp"
+
+int main() {
+  using namespace gossip;
+  using namespace gossip::bench;
+
+  print_header("Baselines — random-walk sampling vs S&F views (§3.1)");
+
+  constexpr std::size_t kN = 1000;
+  Rng rng(31);
+  sim::Cluster cluster(kN, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(kN, 10, rng));
+  {
+    sim::UniformLoss mix_loss(0.01);
+    sim::RoundDriver driver(cluster, mix_loss, rng);
+    driver.run_rounds(300);
+  }
+
+  print_subheader("(1) Walk success rate vs length (measured / predicted)");
+  std::printf("%8s", "length");
+  const std::vector<double> losses = {0.01, 0.05, 0.1};
+  for (const double l : losses) std::printf("     loss=%.2f", l);
+  std::printf("\n");
+  for (const std::size_t length : {5u, 10u, 20u, 40u}) {
+    std::printf("%8zu", length);
+    for (const double l : losses) {
+      sim::UniformLoss loss(l);
+      sampling::RandomWalkSampler sampler(
+          cluster, loss, sampling::RandomWalkConfig{.walk_length = length});
+      for (int i = 0; i < 4000; ++i) {
+        sampler.sample(static_cast<NodeId>(i % kN), rng);
+      }
+      std::printf("  %.3f/%.3f", sampler.stats().success_rate(),
+                  sampling::walk_success_probability(length, true, l));
+    }
+    std::printf("\n");
+  }
+  print_note("success decays as (1-l)^(L+1): at 10% loss a 40-hop walk "
+             "succeeds ~1% of the time, while every S&F action remains "
+             "useful (its steps are atomic).");
+
+  print_subheader("(2) Endpoint bias on an irregular overlay (no loss)");
+  {
+    // Hub-heavy topology: everyone also points at node 0.
+    sim::Cluster skewed(kN, [](NodeId id) {
+      return std::make_unique<SendForget>(id, default_send_forget_config());
+    });
+    Rng g_rng(5);
+    Digraph g = permutation_regular(kN, 10, g_rng);
+    for (NodeId u = 1; u < kN; ++u) g.add_edge(u, 0);
+    skewed.install_graph(g);
+
+    sim::UniformLoss no_loss(0.0);
+    sampling::RandomWalkSampler sampler(
+        skewed, no_loss, sampling::RandomWalkConfig{.walk_length = 30});
+    std::vector<std::uint64_t> hits(kN, 0);
+    constexpr int kTrials = 100'000;
+    for (int i = 0; i < kTrials; ++i) {
+      const auto s = sampler.sample(static_cast<NodeId>(i % kN), rng);
+      if (s) ++hits[*s];
+    }
+    const double uniform = static_cast<double>(kTrials) / kN;
+    print_kv("RW hits on hub / uniform share",
+             static_cast<double>(hits[0]) / uniform);
+
+    // Meanwhile S&F, run on the same start, repairs the skew (M2/M3).
+    sim::RoundDriver driver(skewed, no_loss, rng);
+    driver.run_rounds(400);
+    sampling::UniformityTester tester(kN);
+    for (int snap = 0; snap < 50; ++snap) {
+      driver.run_rounds(20);
+      tester.record_snapshot(skewed);
+    }
+    const auto occupancy = tester.test_uniform();
+    print_kv("S&F occupancy max relative deviation",
+             occupancy.max_relative_deviation);
+  }
+  print_note("the walk samples the hub ~an order of magnitude too often "
+             "(degree bias); S&F evolves the same topology back to uniform "
+             "representation.");
+
+  print_subheader("(3) Messages per fresh sample");
+  print_kv("random walk (L=20, reply)", 21.0);
+  print_kv("S&F (1 message delivers 2 ids)", 0.5);
+  return 0;
+}

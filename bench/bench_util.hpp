@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction benches.
+//
+// Each bench binary regenerates one of the paper's figures or in-text
+// numeric results as an aligned text table (and optionally CSV), printing
+// the paper's reported values alongside for comparison.
+#pragma once
+
+#include <cstdio>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace gossip::bench {
+
+inline void print_header(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void print_subheader(const std::string& title) {
+  std::printf("\n--- %s ---\n", title.c_str());
+}
+
+// Prints aligned columns: first column from `labels`, remaining columns one
+// per series. Rows where every series value is below `skip_below` in
+// absolute value are skipped (keeps pmf tables readable).
+inline void print_series_table(const std::string& x_header,
+                               std::span<const std::string> series_names,
+                               std::span<const double> x,
+                               std::span<const std::vector<double>> series,
+                               double skip_below = -1.0) {
+  std::printf("%12s", x_header.c_str());
+  for (const auto& name : series_names) std::printf("  %14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t row = 0; row < x.size(); ++row) {
+    if (skip_below >= 0.0) {
+      bool keep = false;
+      for (const auto& s : series) {
+        if (row < s.size() && s[row] > skip_below) keep = true;
+      }
+      if (!keep) continue;
+    }
+    std::printf("%12.4g", x[row]);
+    for (const auto& s : series) {
+      if (row < s.size()) {
+        std::printf("  %14.6g", s[row]);
+      } else {
+        std::printf("  %14s", "-");
+      }
+    }
+    std::printf("\n");
+  }
+}
+
+inline std::vector<double> index_axis(std::size_t count, std::size_t stride = 1) {
+  std::vector<double> x;
+  for (std::size_t i = 0; i < count; i += stride) {
+    x.push_back(static_cast<double>(i));
+  }
+  return x;
+}
+
+inline void print_kv(const std::string& key, double value) {
+  std::printf("  %-46s %g\n", key.c_str(), value);
+}
+
+inline void print_note(const std::string& note) {
+  std::printf("  NOTE: %s\n", note.c_str());
+}
+
+}  // namespace gossip::bench

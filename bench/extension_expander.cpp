@@ -1,0 +1,72 @@
+// Extension: certifies the expander claim behind the paper's motivation
+// (§1: independent uniform views "result in an expander graph, with good
+// connectivity, robustness, and low diameter [15]").
+//
+// Measures the spectral gap of the lazy random walk on the steady-state
+// S&F membership graph across system sizes and loss rates, against a ring
+// (bad expander) reference, plus the measured diameter.
+#include <cstdio>
+#include <memory>
+
+#include "bench_util.hpp"
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/spectral.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+Digraph steady_state_overlay(std::size_t n, double loss_rate,
+                             std::uint64_t seed) {
+  Rng rng(seed);
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  sim::UniformLoss loss(loss_rate);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(400);
+  return cluster.snapshot();
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+
+  print_header("Extension — S&F overlays are expanders (spectral gap)");
+
+  print_subheader("Gap vs system size (loss = 0.01)");
+  std::printf("%8s  %14s  %10s  | %14s\n", "n", "S&F gap", "diameter",
+              "ring gap (ref)");
+  for (const std::size_t n : {250u, 500u, 1000u, 2000u, 4000u}) {
+    const auto overlay = steady_state_overlay(n, 0.01, 100 + n);
+    const auto sf = estimate_spectral_gap(overlay);
+    Digraph ring(n);
+    for (NodeId u = 0; u < n; ++u) {
+      ring.add_edge(u, static_cast<NodeId>((u + 1) % n));
+    }
+    const auto ring_gap = estimate_spectral_gap(ring);
+    std::printf("%8zu  %14.4f  %10zu  | %14.6f\n", n, sf.spectral_gap,
+                estimate_undirected_diameter(overlay, 16),
+                ring_gap.spectral_gap);
+  }
+  print_note("the S&F gap stays ~constant as n grows (expander) and the "
+             "diameter grows logarithmically; the ring's gap vanishes like "
+             "1/n^2.");
+
+  print_subheader("Gap vs loss rate (n = 1000)");
+  std::printf("%8s  %14s\n", "loss", "spectral gap");
+  for (const double l : {0.0, 0.01, 0.05, 0.1, 0.2}) {
+    const auto overlay =
+        steady_state_overlay(1000, l, 300 + static_cast<std::uint64_t>(l * 100));
+    std::printf("%8.2f  %14.4f\n", l, estimate_spectral_gap(overlay).spectral_gap);
+  }
+  print_note("loss thins the overlay (lower mean degree) but expansion "
+             "survives: the gap declines gently, never collapsing — the "
+             "operational content of Properties M2-M4.");
+  return 0;
+}

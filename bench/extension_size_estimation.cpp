@@ -1,0 +1,141 @@
+// Extension: system-size estimation — an application-level measurement of
+// what view quality buys (§1 motivates membership views with "gathering
+// statistics").
+//
+// The birthday estimator n̂ = k(k-1)/(2C) is unbiased iff samples are
+// i.i.d. uniform. Three samplers feed it:
+//   * S&F fresh view samples (M3-M5 hold) — accurate;
+//   * random-walk endpoints on a hub-skewed overlay — collisions inflate,
+//     n is *under*estimated;
+//   * a deliberately stale sampler (one frozen view reused) — tiny sample
+//     support, gross underestimate.
+#include <cstdio>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/peer_sampler.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sampling/random_walk.hpp"
+#include "sampling/size_estimator.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+// Greedy: drains every fresh entry before letting the protocol run.
+// Spaced: at most `per_round` samples per round, letting the view turn
+// over between draws (less residual correlation, better estimates).
+double estimate_with_fresh_sampler(sim::Cluster& cluster,
+                                   sim::RoundDriver& driver, Rng& rng,
+                                   std::size_t samples,
+                                   std::size_t per_round) {
+  sampling::BirthdaySizeEstimator est;
+  FreshPeerSampler sampler(cluster.node(0));
+  std::size_t this_round = 0;
+  while (est.sample_count() < samples) {
+    const auto peer =
+        this_round < per_round ? sampler.sample(rng) : std::nullopt;
+    if (peer) {
+      est.add_sample(*peer);
+      ++this_round;
+    } else {
+      driver.run_rounds(1);
+      this_round = 0;
+    }
+  }
+  return est.estimate().value_or(0.0);
+}
+
+// Pooled: one sample per round from each of `observers` different nodes —
+// cross-view dependence only, so the estimate is nearly unbiased.
+double estimate_pooled(sim::Cluster& cluster, sim::RoundDriver& driver,
+                       Rng& rng, std::size_t samples, std::size_t observers) {
+  sampling::BirthdaySizeEstimator est;
+  std::vector<FreshPeerSampler> samplers;
+  samplers.reserve(observers);
+  for (std::size_t k = 0; k < observers; ++k) {
+    samplers.emplace_back(
+        cluster.node(static_cast<NodeId>(k % cluster.size())));
+  }
+  while (est.sample_count() < samples) {
+    for (auto& sampler : samplers) {
+      if (est.sample_count() >= samples) break;
+      if (const auto peer = sampler.sample(rng)) est.add_sample(*peer);
+    }
+    driver.run_rounds(1);
+  }
+  return est.estimate().value_or(0.0);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+
+  print_header("Extension — birthday size estimation from peer samples");
+
+  constexpr std::size_t kSamples = 700;
+  std::printf("%8s | %12s %12s %12s %12s %12s\n", "true n", "S&F greedy",
+              "S&F spaced", "S&F pooled", "RW (skewed)", "stale view");
+  for (const std::size_t n : {200u, 400u, 800u, 1600u}) {
+    Rng rng(1000 + n);
+    sim::Cluster cluster(n, [](NodeId id) {
+      return std::make_unique<SendForget>(id, default_send_forget_config());
+    });
+    Digraph g = permutation_regular(n, 10, rng);
+    // Add hub skew so that degree bias is visible for the walk.
+    for (NodeId u = 1; u < n; ++u) g.add_edge(u, 0);
+    cluster.install_graph(g);
+    sim::UniformLoss loss(0.01);
+    sim::RoundDriver driver(cluster, loss, rng);
+    driver.run_rounds(300);
+
+    // (a) S&F fresh samples, greedy and spaced.
+    const double sf_greedy = estimate_with_fresh_sampler(
+        cluster, driver, rng, kSamples, /*per_round=*/1000);
+    const double sf_spaced = estimate_with_fresh_sampler(
+        cluster, driver, rng, kSamples, /*per_round=*/1);
+    const double sf_pooled =
+        estimate_pooled(cluster, driver, rng, kSamples, /*observers=*/100);
+
+    // (b) Random-walk endpoints on a freshly skewed copy of the overlay
+    // (the S&F run above has already repaired the hub, so re-skew).
+    sim::Cluster skewed(n, [](NodeId id) {
+      return std::make_unique<SendForget>(id, default_send_forget_config());
+    });
+    skewed.install_graph(g);
+    sim::UniformLoss no_loss(0.0);
+    sampling::RandomWalkSampler walker(
+        skewed, no_loss, sampling::RandomWalkConfig{.walk_length = 25});
+    sampling::BirthdaySizeEstimator rw_est;
+    while (rw_est.sample_count() < kSamples) {
+      if (const auto peer = walker.sample(
+              static_cast<NodeId>(rng.uniform(n)), rng)) {
+        rw_est.add_sample(*peer);
+      }
+    }
+
+    // (c) Stale sampler: resample one frozen view forever.
+    sampling::BirthdaySizeEstimator stale_est;
+    const auto frozen = cluster.node(0).view().ids();
+    for (std::size_t k = 0; k < kSamples; ++k) {
+      stale_est.add_sample(frozen[rng.uniform(frozen.size())]);
+    }
+
+    std::printf("%8zu | %12.0f %12.0f %12.0f %12.0f %12.0f\n", n, sf_greedy,
+                sf_spaced, sf_pooled, rw_est.estimate().value_or(0.0),
+                stale_est.estimate().value_or(0.0));
+  }
+  print_note("pooling across 100 observers removes the single-observer "
+             "bias (a lone node's arrivals over-represent its slowly "
+             "changing in-neighborhood) and tracks the true size; the "
+             "degree-biased walk underestimates grossly (hub collisions); "
+             "a frozen view can never see past its ~28 entries. Budget: "
+             "700 samples each.");
+  return 0;
+}

@@ -1,0 +1,97 @@
+// Microbenchmarks (google-benchmark): throughput of the protocol's hot
+// paths and of the supporting substrates. Not a paper figure — these
+// document that the implementation is fast enough for large-scale
+// simulation studies (millions of actions per second).
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "analysis/degree_analytical.hpp"
+#include "common/rng.hpp"
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+void BM_RngUniform(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.uniform(40));
+  }
+}
+BENCHMARK(BM_RngUniform);
+
+void BM_RngDistinctPair(benchmark::State& state) {
+  Rng rng(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.distinct_pair(40));
+  }
+}
+BENCHMARK(BM_RngDistinctPair);
+
+void BM_ViewRandomEmptySlot(benchmark::State& state) {
+  LocalView view(40);
+  for (std::size_t i = 0; i < 20; ++i) view.set(i, ViewEntry{1, false});
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.random_empty_slot(rng));
+  }
+}
+BENCHMARK(BM_ViewRandomEmptySlot);
+
+// One full protocol action including message delivery, at the paper's
+// operating point.
+void BM_SfProtocolAction(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  sim::UniformLoss loss(0.01);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(50);  // reach steady state before timing
+  for (auto _ : state) {
+    driver.step();
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SfProtocolAction)->Arg(1000)->Arg(10000);
+
+void BM_SnapshotGraph(benchmark::State& state) {
+  Rng rng(5);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(cluster.snapshot());
+  }
+}
+BENCHMARK(BM_SnapshotGraph)->Arg(1000);
+
+void BM_WeakConnectivityCheck(benchmark::State& state) {
+  Rng rng(6);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto g = random_out_regular(n, 10, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(is_weakly_connected(g));
+  }
+}
+BENCHMARK(BM_WeakConnectivityCheck)->Arg(1000)->Arg(10000);
+
+void BM_AnalyticalDegreePmf(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::analytical_outdegree_pmf(90));
+  }
+}
+BENCHMARK(BM_AnalyticalDegreePmf);
+
+}  // namespace
+
+BENCHMARK_MAIN();

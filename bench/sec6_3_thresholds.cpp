@@ -1,0 +1,70 @@
+// Reproduces the §6.3 threshold-selection rule and its running example:
+// for a target outdegree d_hat = 30 and tolerance delta = 0.01, the rule
+// yields dL = 18 (and s = 40 in the paper; eq. (6.1) exactly gives s = 42
+// at the same boundary — see EXPERIMENTS.md).
+//
+// Also sweeps d_hat and delta to show how the band [dL, s] behaves, and
+// cross-checks each selection against the degree MC: the realized no-loss
+// duplication/deletion probabilities must come out at or below delta.
+#include <cstdio>
+#include <vector>
+
+#include "analysis/degree_mc.hpp"
+#include "analysis/thresholds.hpp"
+#include "bench_util.hpp"
+
+int main() {
+  using namespace gossip;
+  using namespace gossip::bench;
+
+  print_header("§6.3 — setting the degree thresholds dL and s");
+
+  print_subheader("Paper example: d_hat = 30, delta = 0.01");
+  const auto sel = analysis::select_thresholds(30, 0.01);
+  print_kv("selected dL", static_cast<double>(sel.min_degree));
+  print_kv("selected s", static_cast<double>(sel.view_size));
+  print_kv("P(d <= dL)", sel.prob_at_or_below_min);
+  print_kv("P(d >= s)", sel.prob_at_or_above_max);
+  print_note("paper: dL = 18 and s = 40. Eq. (6.1) gives P(d>=40) = 0.025 > "
+             "delta, so the strict rule lands on s = 42 — same dL, the upper "
+             "threshold one even step wider.");
+
+  print_subheader("Sweep over d_hat (delta = 0.01)");
+  std::printf("%8s  %6s  %6s  %14s  %14s\n", "d_hat", "dL", "s", "P(d<=dL)",
+              "P(d>=s)");
+  for (const std::size_t d_hat : {10u, 20u, 30u, 40u, 50u, 60u}) {
+    const auto s = analysis::select_thresholds(d_hat, 0.01);
+    std::printf("%8zu  %6zu  %6zu  %14.5f  %14.5f\n", d_hat, s.min_degree,
+                s.view_size, s.prob_at_or_below_min, s.prob_at_or_above_max);
+  }
+
+  print_subheader("Sweep over delta (d_hat = 30)");
+  std::printf("%8s  %6s  %6s\n", "delta", "dL", "s");
+  for (const double delta : {0.1, 0.05, 0.02, 0.01, 0.005, 0.001}) {
+    const auto s = analysis::select_thresholds(30, delta);
+    std::printf("%8.3f  %6zu  %6zu\n", delta, s.min_degree, s.view_size);
+  }
+  print_note("higher delta -> tighter band (more dup/del tolerated); lower "
+             "delta -> wider band.");
+
+  print_subheader(
+      "Cross-check: realized dup/del of the selected thresholds (degree MC, "
+      "no loss)");
+  std::printf("%8s  %6s  %6s  %12s  %12s\n", "d_hat", "dL", "s", "dup-prob",
+              "del-prob");
+  for (const std::size_t d_hat : {10u, 20u, 30u}) {
+    const auto s = analysis::select_thresholds(d_hat, 0.01);
+    analysis::DegreeMcParams mc;
+    mc.view_size = s.view_size;
+    mc.min_degree = s.min_degree;
+    mc.loss = 0.0;
+    const auto r = analysis::solve_degree_mc(mc);
+    std::printf("%8zu  %6zu  %6zu  %12.5f  %12.5f%s\n", d_hat, s.min_degree,
+                s.view_size, r.duplication_probability,
+                r.deletion_probability,
+                r.duplication_probability <= 0.012 ? "" : "  (!)");
+  }
+  print_note("paper: delta = 0.01 balances low dup/del with the ability to "
+             "fix degree imbalances under loss.");
+  return 0;
+}

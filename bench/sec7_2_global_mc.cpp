@@ -1,0 +1,105 @@
+// Reproduces §7.1-§7.3 and Appendix A at exhaustive-verification scale:
+// builds the exact global Markov chain over membership graphs for tiny
+// systems and checks the structural lemmas state-by-state:
+//
+//   Lemma A.2 / 7.1 — irreducibility (no-loss fixed-sum and lossy chains);
+//   Lemma 7.5       — uniform stationary distribution (exact on states
+//                     without self-/parallel edges; multiplicity-bearing
+//                     states deviate, an effect that vanishes for n >> s);
+//   Lemma 7.6       — equal presence probability P(v in u.lv) for all
+//                     ordered pairs u != v.
+#include <cstdio>
+
+#include "analysis/global_mc.hpp"
+#include "bench_util.hpp"
+#include "graph/graph_gen.hpp"
+
+namespace {
+
+using namespace gossip;
+using namespace gossip::analysis;
+
+Digraph two_cycle(std::size_t n) {
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+    g.add_edge(u, static_cast<NodeId>((u + 2) % n));
+  }
+  return g;
+}
+
+void report(const char* label, const GlobalMcResult& r) {
+  std::printf("%-34s states=%6zu arcs=%8zu complete=%d\n", label,
+              r.states.size(), r.chain.transition_count(),
+              r.exploration_complete ? 1 : 0);
+  if (!r.exploration_complete) return;
+  std::printf("    irreducible (Lemma 7.1/A.2):      %s\n",
+              r.strongly_connected ? "yes" : "NO");
+  if (!r.stationary.converged) return;
+  std::printf("    stationary converged:             yes (%zu iterations)\n",
+              r.stationary.iterations);
+  std::printf("    uniformity dev (all states):      %.3g\n",
+              r.uniformity_deviation);
+  std::printf("    uniformity dev (simple states):   %.3g over %zu states "
+              "(Lemma 7.5)\n",
+              r.simple_state_uniformity_deviation, r.simple_state_count);
+  std::printf("    edge-presence spread (Lemma 7.6): %.3g\n",
+              r.edge_presence_spread);
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+
+  print_header("§7.1-7.3 — exact global Markov chain over membership graphs");
+
+  print_subheader("No loss, fixed sum degrees (ds(u) = 6, s = 6, dL = 0)");
+  for (const std::size_t n : {3u, 4u}) {
+    GlobalMcParams p;
+    p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+    p.loss = 0.0;
+    p.initial = two_cycle(n);
+    const auto r = build_global_mc(p);
+    char label[64];
+    std::snprintf(label, sizeof label, "n=%zu:", n);
+    report(label, r);
+  }
+  print_note("the stationary distribution is *exactly* uniform across "
+             "simple states; the deviation over all states is carried "
+             "entirely by self-/parallel-edge states, whose weight vanishes "
+             "as n grows — the regime of the paper's Lemma 7.5.");
+
+  print_subheader("Positive loss (s = 8, dL = 2, n = 2)");
+  for (const double loss : {0.05, 0.25, 0.5}) {
+    Digraph g(2);
+    g.add_edge(0, 1);
+    g.add_edge(0, 1);
+    g.add_edge(1, 0);
+    g.add_edge(1, 0);
+    GlobalMcParams p;
+    p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+    p.loss = loss;
+    p.initial = g;
+    const auto r = build_global_mc(p);
+    char label[64];
+    std::snprintf(label, sizeof label, "loss=%.2f:", loss);
+    report(label, r);
+  }
+  print_note("Lemma 7.1 verified exactly: with 0 < loss < 1 every reachable "
+             "global state reaches every other; Lemma 7.6's uniform "
+             "presence survives the loss.");
+
+  print_subheader("Structure-only check at larger scale (n = 3, loss = 0.1)");
+  {
+    GlobalMcParams p;
+    p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+    p.loss = 0.1;
+    p.initial = two_cycle(3);
+    p.compute_stationary = false;
+    p.max_states = 900'000;
+    const auto r = build_global_mc(p);
+    report("n=3 lossy:", r);
+  }
+  return 0;
+}

@@ -1,0 +1,143 @@
+// Reproduces §7.5 / Property M5 (temporal independence).
+//
+// Analytical side (Lemmas 7.14, 7.15): the expected-conductance bound and
+// the τ_ε bound, shown per n — per-node actions scale as O(s log n), i.e.
+// O(log n) rounds for constant views and O(log² n) for s = Θ(log n).
+//
+// Empirical side: starting from a steady state, the mean view overlap with
+// the t0 snapshot decays toward the independent baseline; the number of
+// rounds to reach (baseline + 0.05) is measured per n and compared to the
+// c·s·log n scaling.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "analysis/global_mc.hpp"
+#include "analysis/mixing.hpp"
+#include "analysis/temporal.hpp"
+#include "bench_util.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sampling/temporal_overlap.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+// Rounds until the overlap with the t0 snapshot drops within 0.05 of the
+// independent baseline.
+std::size_t measure_decay_rounds(std::size_t n, std::size_t s,
+                                 std::size_t dl, std::uint64_t seed) {
+  Rng rng(seed);
+  sim::Cluster cluster(n, [s, dl](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = s, .min_degree = dl});
+  });
+  cluster.install_graph(permutation_regular(n, std::max<std::size_t>(2, dl / 2), rng));
+  sim::UniformLoss loss(0.01);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(200);
+  const sampling::TemporalOverlapTracker tracker(cluster);
+  const double target = tracker.independent_baseline() + 0.05;
+  std::size_t rounds = 0;
+  while (tracker.overlap(cluster) > target && rounds < 5000) {
+    driver.run_rounds(5);
+    rounds += 5;
+  }
+  return rounds;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+
+  print_header("§7.5 — temporal independence (Lemmas 7.14, 7.15, Property M5)");
+
+  print_subheader("Analytical bounds (s=40, dE=28, alpha=0.96, eps=0.01)");
+  std::printf("%10s  %16s  %20s  %18s\n", "n", "conductance>=", "tau_eps (actions)",
+              "actions per node");
+  for (const std::size_t n : {100u, 1000u, 10000u, 100000u, 1000000u}) {
+    analysis::TemporalParams p;
+    p.node_count = n;
+    p.view_size = 40;
+    p.expected_out = 28.0;
+    p.alpha = 0.96;
+    p.epsilon = 0.01;
+    std::printf("%10zu  %16.6f  %20.4g  %18.4g\n", n,
+                analysis::expected_conductance_bound(p),
+                analysis::temporal_independence_bound(p),
+                analysis::temporal_independence_actions_per_node(p));
+  }
+  print_note("per-node actions grow as s log n: each decade of n adds a "
+             "constant increment (O(log n) rounds for constant s).");
+
+  print_subheader("Logarithmic views: s = 2*ceil(log2 n) (dE ~ 0.7 s)");
+  std::printf("%10s  %6s  %18s\n", "n", "s", "actions per node");
+  for (const std::size_t n : {1000u, 10000u, 100000u, 1000000u}) {
+    const auto s = static_cast<std::size_t>(
+        2.0 * std::ceil(std::log2(static_cast<double>(n))));
+    analysis::TemporalParams p;
+    p.node_count = n;
+    p.view_size = s;
+    p.expected_out = 0.7 * static_cast<double>(s);
+    p.alpha = 0.96;
+    p.epsilon = 0.01;
+    std::printf("%10zu  %6zu  %18.4g\n", n, s,
+                analysis::temporal_independence_actions_per_node(p));
+  }
+  print_note("for s = Theta(log n) the per-node action bound is O(log^2 n).");
+
+  print_subheader("Empirical overlap decay (s=16, dL=6, l=0.01)");
+  std::printf("%10s  %18s  %14s\n", "n", "rounds to baseline", "s*ln(n)");
+  for (const std::size_t n : {200u, 400u, 800u, 1600u}) {
+    const auto rounds = measure_decay_rounds(n, 16, 6, 900 + n);
+    std::printf("%10zu  %18zu  %14.1f\n", n, rounds,
+                16.0 * std::log(static_cast<double>(n)));
+  }
+  print_note("measured decay rounds grow slowly with n (the snapshot decay "
+             "itself is O(s) rounds per Lemma 6.9; the log n term covers "
+             "global mixing) — far below the conservative tau bound.");
+
+  print_subheader(
+      "Exact tau_eps on the exhaustive global chain (n=3, s=6, ds=6)");
+  {
+    analysis::GlobalMcParams p;
+    p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+    p.loss = 0.0;
+    Digraph g(3);
+    for (NodeId u = 0; u < 3; ++u) {
+      g.add_edge(u, (u + 1) % 3);
+      g.add_edge(u, (u + 2) % 3);
+    }
+    p.initial = g;
+    const auto mc = analysis::build_global_mc(p);
+    const auto mixing = analysis::measure_mixing(
+        mc.chain, mc.stationary.distribution, 600, 0.01);
+    print_kv("states", static_cast<double>(mc.states.size()));
+    print_kv("exact tau_0.01 (transformations)",
+             static_cast<double>(mixing.tau_epsilon));
+    print_kv("per-step TV decay rate", mixing.decay_rate);
+    // Cheeger: (1 - lambda2)/2 <= conductance <= sqrt(2 (1 - lambda2)),
+    // with lambda2 read off the measured geometric decay rate.
+    const double gap = 1.0 - mixing.decay_rate;
+    print_kv("conductance (Cheeger lower, exact chain)", gap / 2.0);
+    print_kv("conductance (Cheeger upper, exact chain)",
+             std::sqrt(2.0 * gap));
+    analysis::TemporalParams tp;
+    tp.node_count = 3;
+    tp.view_size = 6;
+    tp.expected_out = 2.0;
+    tp.alpha = 1.0;
+    tp.epsilon = 0.01;
+    print_kv("Lemma 7.15 bound (same eps)",
+             analysis::temporal_independence_bound(tp));
+    print_note("the exact mixing is orders of magnitude faster than the "
+               "worst-case bound — as the paper anticipates ('such "
+               "worst-case assumptions inevitably yield overly pessimistic "
+               "bounds').");
+  }
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Statistical rigor check: the headline simulated quantities with error
+// bars over 10 independent seeds, against the degree-MC predictions and
+// the paper's reported values. One seed could flatter the reproduction;
+// ten show the spread.
+#include <cmath>
+#include <cstdio>
+#include <memory>
+
+#include "analysis/degree_mc.hpp"
+#include "bench_util.hpp"
+#include "common/stats.hpp"
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/graph_stats.hpp"
+#include "sampling/spatial.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+struct SeedResult {
+  double in_mean = 0.0;
+  double out_mean = 0.0;
+  double dup_rate = 0.0;
+  double dependent = 0.0;
+  bool connected = false;
+};
+
+SeedResult run_one(double loss_rate, std::uint64_t seed) {
+  Rng rng(seed);
+  constexpr std::size_t kN = 1000;
+  sim::Cluster cluster(kN, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(kN, 10, rng));
+  sim::UniformLoss loss(loss_rate);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(500);
+  const auto m0 = cluster.aggregate_metrics();
+  driver.run_rounds(300);
+  const auto m1 = cluster.aggregate_metrics();
+
+  SeedResult r;
+  const auto summary = degree_summary(cluster.snapshot());
+  r.in_mean = summary.in_mean;
+  r.out_mean = summary.out_mean;
+  const double actions = static_cast<double>(
+      (m1.actions_initiated - m0.actions_initiated) -
+      (m1.self_loop_actions - m0.self_loop_actions));
+  r.dup_rate =
+      static_cast<double>(m1.duplications - m0.duplications) / actions;
+  r.dependent =
+      sampling::measure_spatial_dependence(cluster).dependent_fraction_upper();
+  r.connected = is_weakly_connected(cluster.snapshot());
+  return r;
+}
+
+}  // namespace
+
+int main() {
+  using namespace gossip::bench;
+  constexpr int kSeeds = 10;
+
+  print_header(
+      "Validation — 10-seed error bars at the paper's operating point "
+      "(n=1000, dL=18, s=40)");
+  std::printf("%6s | %18s %10s | %18s | %18s | %5s\n", "loss",
+              "indegree (±sd)", "MC", "dup rate (±sd)", "dependent (±sd)",
+              "conn");
+  const double paper_in[] = {28.0, 27.0, 24.0, 23.0};
+  const double losses[] = {0.0, 0.01, 0.05, 0.1};
+  for (int k = 0; k < 4; ++k) {
+    RunningStats in_mean;
+    RunningStats dup;
+    RunningStats dep;
+    int connected = 0;
+    for (int seed = 0; seed < kSeeds; ++seed) {
+      const auto r = run_one(losses[k], 9000 + 17 * seed + k);
+      in_mean.add(r.in_mean);
+      dup.add(r.dup_rate);
+      dep.add(r.dependent);
+      connected += r.connected ? 1 : 0;
+    }
+    analysis::DegreeMcParams params;
+    params.view_size = 40;
+    params.min_degree = 18;
+    params.loss = losses[k];
+    const auto mc = analysis::solve_degree_mc(params);
+    std::printf(
+        "%6.2f | %9.3f ± %6.3f %10.3f | %9.4f ± %7.4f | %9.4f ± %7.4f | "
+        "%2d/%2d\n",
+        losses[k], in_mean.mean(), std::sqrt(in_mean.sample_variance()),
+        mc.expected_in, dup.mean(), std::sqrt(dup.sample_variance()),
+        dep.mean(), std::sqrt(dep.sample_variance()), connected, kSeeds);
+    std::printf("        paper indegree: %g\n", paper_in[k]);
+  }
+  print_note("per-seed spread of the mean indegree is a few hundredths — "
+             "the agreement with the degree MC (and the paper) is not a "
+             "lucky seed.");
+  return 0;
+}

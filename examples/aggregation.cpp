@@ -1,0 +1,93 @@
+// Gossip-based aggregation (push-sum averaging) using S&F views as the
+// peer sampler — one of the applications the paper lists for independent
+// uniform samples ("gathering statistics, gossip-based aggregation", §1).
+//
+// Every node holds a private value; the system computes the global average
+// with only local exchanges: each round a node sends half its (sum,
+// weight) mass to a peer drawn from its S&F view. Convergence of push-sum
+// requires the peer choices to behave like fresh uniform samples — which
+// is exactly what temporal independence (M5) provides. The demo reports
+// the relative error per round and the true average for comparison.
+//
+//   $ ./aggregation [nodes] [loss]
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 1000;
+  const double loss_rate = argc > 2 ? std::strtod(argv[2], nullptr) : 0.01;
+
+  // Membership substrate: a mixed S&F overlay.
+  Rng rng(4242);
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  sim::UniformLoss loss(loss_rate);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(200);
+
+  // Private values: node u holds u (so the true average is (n-1)/2).
+  std::vector<double> sum(n);
+  std::vector<double> weight(n, 1.0);
+  double true_average = 0.0;
+  for (std::size_t u = 0; u < n; ++u) {
+    sum[u] = static_cast<double>(u);
+    true_average += sum[u];
+  }
+  true_average /= static_cast<double>(n);
+
+  std::printf("push-sum averaging over the S&F overlay, n=%zu, loss=%.0f%%\n",
+              n, loss_rate * 100.0);
+  std::printf("true average: %.2f\n\n%8s  %16s\n", true_average, "round",
+              "max rel. error");
+
+  for (int round = 1; round <= 40; ++round) {
+    // The membership protocol keeps running underneath, so each round's
+    // peer choices are (nearly) fresh samples.
+    driver.run_rounds(1);
+    std::vector<double> in_sum(n, 0.0);
+    std::vector<double> in_weight(n, 0.0);
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& view = cluster.node(u).view();
+      // Keep half, push half to a sampled peer. A lost push loses mass in
+      // push-sum; real deployments pair it with acknowledgments, so the
+      // demo models the peer-sampling loss only on the membership layer.
+      NodeId peer = u;
+      if (view.degree() > 0) {
+        peer = view.entry(view.random_nonempty_slot(rng)).id;
+      }
+      in_sum[u] += sum[u] / 2.0;
+      in_weight[u] += weight[u] / 2.0;
+      in_sum[peer] += sum[u] / 2.0;
+      in_weight[peer] += weight[u] / 2.0;
+    }
+    sum = std::move(in_sum);
+    weight = std::move(in_weight);
+
+    double worst = 0.0;
+    for (std::size_t u = 0; u < n; ++u) {
+      const double estimate = weight[u] > 0.0 ? sum[u] / weight[u] : 0.0;
+      worst = std::max(worst,
+                       std::abs(estimate - true_average) / true_average);
+    }
+    if (round <= 10 || round % 5 == 0) {
+      std::printf("%8d  %16.6f\n", round, worst);
+    }
+    if (worst < 1e-10) {
+      std::printf("converged to machine precision at round %d\n", round);
+      break;
+    }
+  }
+  std::printf("\npush-sum converges geometrically because S&F supplies "
+              "fresh, nearly uniform peers each round (Properties M3-M5).\n");
+  return 0;
+}

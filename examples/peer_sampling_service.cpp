@@ -1,0 +1,72 @@
+// Peer-sampling service: the contract the paper's motivating applications
+// rely on (§1) — a stream of *fresh* random peers, never the same view
+// occupancy twice. FreshPeerSampler refuses to re-serve a slot until the
+// protocol has replaced its content, so the sustained sample rate is a
+// direct, visible consequence of temporal independence (Property M5).
+//
+//   $ ./peer_sampling_service [nodes] [loss]
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/peer_sampler.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+int main(int argc, char** argv) {
+  using namespace gossip;
+  const std::size_t n = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 500;
+  const double loss_rate = argc > 2 ? std::strtod(argv[2], nullptr) : 0.01;
+
+  Rng rng(77);
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  sim::UniformLoss loss(loss_rate);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(200);
+
+  // An application on node 0 consumes peers greedily: drain all fresh
+  // entries, then wait one gossip round, repeat.
+  FreshPeerSampler sampler(cluster.node(0));
+  std::printf("fresh-peer service on node 0 (n=%zu, loss=%.0f%%)\n\n", n,
+              loss_rate * 100.0);
+  std::printf("%8s  %18s  %12s  %14s\n", "round", "fresh this round",
+              "cumulative", "freshness-after");
+
+  std::vector<NodeId> all_served;
+  for (int round = 1; round <= 25; ++round) {
+    std::size_t this_round = 0;
+    while (const auto peer = sampler.sample(rng)) {
+      all_served.push_back(*peer);
+      ++this_round;
+    }
+    driver.run_rounds(1);
+    if (round <= 10 || round % 5 == 0) {
+      std::printf("%8d  %18zu  %12llu  %14.2f\n", round, this_round,
+                  static_cast<unsigned long long>(sampler.served_count()),
+                  sampler.freshness());
+    }
+  }
+
+  // How well do the served peers cover the system?
+  std::vector<bool> seen(n, false);
+  std::size_t distinct = 0;
+  for (const NodeId v : all_served) {
+    if (v < n && !seen[v]) {
+      seen[v] = true;
+      ++distinct;
+    }
+  }
+  std::printf("\nserved %zu peers, %zu distinct (%.0f%% of a %zu-node "
+              "system) in 25 rounds\n",
+              all_served.size(), distinct,
+              100.0 * static_cast<double>(distinct) / static_cast<double>(n),
+              n);
+  std::printf("the steady flow of fresh ids is Property M5 made tangible: "
+              "each gossip round replaces part of the view.\n");
+  return 0;
+}

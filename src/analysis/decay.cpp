@@ -1,0 +1,83 @@
+#include "analysis/decay.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::analysis {
+
+namespace {
+
+void validate(const DecayParams& p) {
+  if (p.view_size == 0) throw std::invalid_argument("view size must be > 0");
+  if (p.min_degree > p.view_size) {
+    throw std::invalid_argument("dL must be <= s");
+  }
+  if (p.loss < 0.0 || p.loss >= 1.0) {
+    throw std::invalid_argument("loss must be in [0, 1)");
+  }
+  if (p.delta < 0.0 || p.loss + p.delta >= 1.0) {
+    throw std::invalid_argument("need ℓ + δ < 1");
+  }
+}
+
+}  // namespace
+
+double survival_factor(const DecayParams& p) {
+  validate(p);
+  const double s = static_cast<double>(p.view_size);
+  const double removal =
+      (1.0 - p.loss - p.delta) * static_cast<double>(p.min_degree) / (s * s);
+  return 1.0 - removal;
+}
+
+std::vector<double> leave_survival_bound(const DecayParams& p,
+                                         std::size_t rounds) {
+  const double factor = survival_factor(p);
+  std::vector<double> bound(rounds + 1);
+  double value = 1.0;
+  for (std::size_t r = 0; r <= rounds; ++r) {
+    bound[r] = value;
+    value *= factor;
+  }
+  return bound;
+}
+
+std::size_t rounds_until_survival_below(const DecayParams& p,
+                                        double threshold) {
+  if (threshold <= 0.0 || threshold > 1.0) {
+    throw std::invalid_argument("threshold must be in (0, 1]");
+  }
+  const double factor = survival_factor(p);
+  if (factor >= 1.0) {
+    throw std::runtime_error("no decay: dL = 0 or ℓ + δ = 1");
+  }
+  // Smallest r with factor^r < threshold.
+  const double r = std::log(threshold) / std::log(factor);
+  return static_cast<std::size_t>(std::ceil(r + 1e-12));
+}
+
+double veteran_creation_rate(const DecayParams& p) {
+  validate(p);
+  const double s = static_cast<double>(p.view_size);
+  return (1.0 - p.loss - p.delta) * static_cast<double>(p.min_degree) /
+         (s * s);
+}
+
+double joiner_creation_ratio(const DecayParams& p) {
+  validate(p);
+  const double ratio =
+      static_cast<double>(p.min_degree) / static_cast<double>(p.view_size);
+  return ratio * ratio;
+}
+
+double joiner_integration_rounds(const DecayParams& p) {
+  const double rate = veteran_creation_rate(p);
+  if (rate <= 0.0) throw std::runtime_error("dL = 0: joiner never integrates");
+  return 1.0 / rate;
+}
+
+double joiner_instances_fraction(const DecayParams& p) {
+  return joiner_creation_ratio(p);
+}
+
+}  // namespace gossip::analysis

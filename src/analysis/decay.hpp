@@ -1,0 +1,52 @@
+// Degree dynamics of joining and leaving nodes (§6.5).
+//
+// Lemma 6.9/6.10: an id instance present at round t0 survives to round
+// t0 + i with probability at most (1 - (1-ℓ-δ) dL / s²)^i — the Fig 6.4
+// curves. Lemmas 6.11-6.13 and Corollary 6.14 bound how fast a joiner
+// becomes represented in other views.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gossip::analysis {
+
+struct DecayParams {
+  std::size_t view_size = 40;   // s
+  std::size_t min_degree = 18;  // dL
+  double loss = 0.0;            // ℓ
+  double delta = 0.01;          // δ, duplication tolerance from §6.3
+};
+
+// Per-round survival factor 1 - (1-ℓ-δ) dL / s² (Lemma 6.9).
+[[nodiscard]] double survival_factor(const DecayParams& params);
+
+// Upper bound on P(an id instance of a node that left at round 0 is still
+// in some view at round r), for r = 0..rounds (Lemma 6.10; Fig 6.4).
+[[nodiscard]] std::vector<double> leave_survival_bound(
+    const DecayParams& params, std::size_t rounds);
+
+// Smallest round r with survival bound < threshold. The paper's headline:
+// with dL=18, s=40, δ=0.01, fewer than 50% survive after ~70 rounds.
+[[nodiscard]] std::size_t rounds_until_survival_below(
+    const DecayParams& params, double threshold);
+
+// Lower bound on a veteran node's id-creation rate per round, as a multiple
+// of the expected indegree Din (Lemma 6.11): (1-ℓ-δ) dL / s².
+[[nodiscard]] double veteran_creation_rate(const DecayParams& params);
+
+// A joiner's creation rate is at least (dL/s)² times the veteran rate
+// (Lemma 6.12).
+[[nodiscard]] double joiner_creation_ratio(const DecayParams& params);
+
+// Rounds within which a joiner is expected to create (dL/s)² * Din id
+// instances (Lemma 6.13): s² / ((1-ℓ-δ) dL). For s/dL = 2 and ℓ+δ << 1
+// this is ≈ 2s rounds and the instance count is Din/4 (Corollary 6.14).
+[[nodiscard]] double joiner_integration_rounds(const DecayParams& params);
+
+// Expected id instances created by the joiner within the integration
+// window, as a fraction of Din (Lemma 6.13): (dL/s)².
+[[nodiscard]] double joiner_instances_fraction(const DecayParams& params);
+
+}  // namespace gossip::analysis

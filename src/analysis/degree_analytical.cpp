@@ -1,0 +1,56 @@
+#include "analysis/degree_analytical.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "common/binomial.hpp"
+
+namespace gossip::analysis {
+
+namespace {
+
+// log a(d) for even d in [0, dm].
+double log_assignment_count(std::size_t dm, std::size_t d) {
+  assert(d % 2 == 0 && d <= dm);
+  const std::size_t remaining = dm - d;
+  assert(remaining % 2 == 0);
+  return log_binomial_coefficient(dm, d) +
+         log_binomial_coefficient(remaining, remaining / 2);
+}
+
+}  // namespace
+
+std::vector<double> analytical_outdegree_pmf(std::size_t sum_degree) {
+  if (sum_degree == 0 || sum_degree % 2 != 0) {
+    throw std::invalid_argument("sum degree dm must be even and positive");
+  }
+  std::vector<double> log_weights;
+  log_weights.reserve(sum_degree / 2 + 1);
+  for (std::size_t d = 0; d <= sum_degree; d += 2) {
+    log_weights.push_back(log_assignment_count(sum_degree, d));
+  }
+  const double log_total = log_sum_exp(log_weights);
+  std::vector<double> pmf(sum_degree + 1, 0.0);
+  for (std::size_t k = 0; k < log_weights.size(); ++k) {
+    pmf[2 * k] = std::exp(log_weights[k] - log_total);
+  }
+  return pmf;
+}
+
+std::vector<double> analytical_indegree_pmf(std::size_t sum_degree) {
+  const auto out = analytical_outdegree_pmf(sum_degree);
+  // indegree i corresponds to outdegree dm - 2i.
+  std::vector<double> pmf(sum_degree / 2 + 1, 0.0);
+  for (std::size_t i = 0; i <= sum_degree / 2; ++i) {
+    pmf[i] = out[sum_degree - 2 * i];
+  }
+  return pmf;
+}
+
+double analytical_mean_degree(std::size_t sum_degree) {
+  return static_cast<double>(sum_degree) / 3.0;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,34 @@
+// Analytical degree distributions under no loss (§6.1, eq. 6.1).
+//
+// With atomic actions (no loss), dL = 0, and all views initialized so that
+// the sum degree ds(u) = d(u) + 2*din(u) equals a constant dm, the protocol
+// preserves ds(u) (Lemma 6.2) and is equally likely to reach every
+// membership graph satisfying the invariant (Lemma 7.5). Counting the
+// assignments of dm potential neighbors gives, for even outdegree d*:
+//
+//   a(d*) = C(dm, d*) * C(dm - d*, (dm - d*)/2)
+//   Pr(d(u) = d*) = Pr(din(u) = (dm - d*)/2) ≈ a(d*) / Σ_{d' even} a(d').
+//
+// Computed in the log domain: dm up to several hundred is exact to double
+// precision.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip::analysis {
+
+// Pr(outdegree = d) for d = 0..dm (zero at odd d). `sum_degree` (dm) must be
+// even and positive.
+[[nodiscard]] std::vector<double> analytical_outdegree_pmf(
+    std::size_t sum_degree);
+
+// Pr(indegree = i) for i = 0..dm/2; the indegree of a node with outdegree d
+// is (dm - d)/2.
+[[nodiscard]] std::vector<double> analytical_indegree_pmf(
+    std::size_t sum_degree);
+
+// The average node in/outdegree implied by Lemma 6.3: dm / 3.
+[[nodiscard]] double analytical_mean_degree(std::size_t sum_degree);
+
+}  // namespace gossip::analysis

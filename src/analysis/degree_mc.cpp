@@ -1,0 +1,374 @@
+#include "analysis/degree_mc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace gossip::analysis {
+
+namespace {
+
+// Population-level quantities derived from the current stationary guess.
+struct PopulationStats {
+  double mean_out = 0.0;          // E[d]
+  double second_factorial = 0.0;  // E[d(d-1)]
+  double edge_factor = 0.0;       // E[d(d-1)] / E[d]  ("c2")
+  double receiver_room = 1.0;     // P(room), receiver sampled ∝ indegree
+  double initiator_dup = 0.0;     // P(initiator at dL | action fired)
+};
+
+struct SparseChain {
+  // Transition triplets excluding self-loops; self-loop mass is implicit
+  // (1 - sum of row).
+  std::vector<std::uint32_t> from;
+  std::vector<std::uint32_t> to;
+  std::vector<double> prob;
+  std::vector<double> row_sum;  // per-state outgoing (non-self) probability
+  // Uniform factor applied to all rates; 1/scale chain steps correspond
+  // to one round (each node initiating one action in expectation).
+  double scale = 1.0;
+};
+
+class DegreeMcSolver {
+ public:
+  explicit DegreeMcSolver(const DegreeMcParams& params) : p_(params) {
+    validate();
+    enumerate_states();
+  }
+
+  DegreeMcResult solve() {
+    const std::size_t n = states_.size();
+    if (n == 0) throw std::runtime_error("empty degree MC state space");
+
+    // Initial guess: uniform over states.
+    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+
+    DegreeMcResult result;
+    // Damped fixed-point iteration: feeding the full update back causes a
+    // period-2 oscillation between an over-duplicating and an
+    // over-deleting regime; averaging the old and new distributions before
+    // recomputing the population statistics makes the iteration contract.
+    constexpr double kDamping = 0.5;
+    for (std::size_t iter = 0; iter < p_.max_fixed_point_iterations; ++iter) {
+      const PopulationStats stats = population_stats(pi);
+      const SparseChain chain = build_chain(stats);
+      const std::vector<double> next = stationary(chain, pi);
+      const double diff = l1(pi, next);
+      for (std::size_t k = 0; k < n; ++k) {
+        pi[k] = (1.0 - kDamping) * pi[k] + kDamping * next[k];
+      }
+      result.fixed_point_iterations = iter + 1;
+      if (diff < p_.fixed_point_tolerance) {
+        // Polish: adopt the exact stationary distribution of the final
+        // chain so that is_stationary holds for the reported parameters.
+        pi = next;
+        result.converged = true;
+        break;
+      }
+    }
+
+    finalize(result, pi);
+    return result;
+  }
+
+ private:
+  void validate() const {
+    if (p_.view_size < 6 || p_.view_size % 2 != 0) {
+      throw std::invalid_argument("view size s must be even and >= 6");
+    }
+    if (p_.min_degree % 2 != 0 || p_.min_degree + 6 > p_.view_size) {
+      throw std::invalid_argument("dL must be even with dL <= s - 6");
+    }
+    if (p_.loss < 0.0 || p_.loss >= 1.0) {
+      throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    if (p_.fixed_sum_degree) {
+      if (*p_.fixed_sum_degree % 2 != 0 || *p_.fixed_sum_degree == 0) {
+        throw std::invalid_argument("fixed sum degree must be even, positive");
+      }
+      if (p_.loss != 0.0 || p_.min_degree != 0) {
+        throw std::invalid_argument(
+            "fixed sum degree requires loss = 0 and dL = 0 (§6.1)");
+      }
+      if (*p_.fixed_sum_degree > p_.view_size) {
+        // §6.1 requires dm <= s; larger dm would make deletions possible
+        // and break the sum-degree invariant.
+        throw std::invalid_argument("fixed sum degree must be <= s");
+      }
+    }
+  }
+
+  [[nodiscard]] std::size_t sum_cap() const {
+    if (p_.fixed_sum_degree) return *p_.fixed_sum_degree;
+    return p_.sum_degree_cap != 0 ? p_.sum_degree_cap : 3 * p_.view_size;
+  }
+
+  void enumerate_states() {
+    const std::size_t s = p_.view_size;
+    const std::size_t cap = sum_cap();
+    for (std::size_t o = p_.min_degree; o <= s; o += 2) {
+      if (p_.fixed_sum_degree) {
+        const std::size_t dm = *p_.fixed_sum_degree;
+        if (o > dm) break;
+        const std::size_t i = (dm - o) / 2;
+        push_state(o, i);
+        continue;
+      }
+      for (std::size_t i = 0; o + 2 * i <= cap; ++i) {
+        if (o == 0 && i == 0) continue;  // isolated node: unreachable (§6.2)
+        push_state(o, i);
+      }
+    }
+  }
+
+  void push_state(std::size_t o, std::size_t i) {
+    index_[key(o, i)] = states_.size();
+    states_.push_back(DegreeState{static_cast<std::uint32_t>(o),
+                                  static_cast<std::uint32_t>(i)});
+  }
+
+  [[nodiscard]] static std::uint64_t key(std::size_t o, std::size_t i) {
+    return (static_cast<std::uint64_t>(o) << 32) | static_cast<std::uint64_t>(i);
+  }
+
+  // Index of state (o, i) or SIZE_MAX when outside the truncated space.
+  [[nodiscard]] std::size_t state_at(std::size_t o, std::size_t i) const {
+    const auto it = index_.find(key(o, i));
+    return it == index_.end() ? static_cast<std::size_t>(-1) : it->second;
+  }
+
+  [[nodiscard]] PopulationStats population_stats(
+      const std::vector<double>& pi) const {
+    PopulationStats st;
+    double in_mass = 0.0;
+    double in_room_mass = 0.0;
+    double dup_mass = 0.0;
+    const std::size_t s = p_.view_size;
+    for (std::size_t k = 0; k < states_.size(); ++k) {
+      const double w = pi[k];
+      const double o = states_[k].out;
+      const double i = states_[k].in;
+      st.mean_out += w * o;
+      st.second_factorial += w * o * (o - 1.0);
+      in_mass += w * i;
+      if (states_[k].out + 2 <= s) in_room_mass += w * i;
+      if (states_[k].out == p_.min_degree) dup_mass += w * o * (o - 1.0);
+    }
+    st.edge_factor =
+        st.mean_out > 0.0 ? st.second_factorial / st.mean_out : 0.0;
+    st.receiver_room = in_mass > 0.0 ? in_room_mass / in_mass : 1.0;
+    st.initiator_dup =
+        st.second_factorial > 0.0 ? dup_mass / st.second_factorial : 0.0;
+    return st;
+  }
+
+  [[nodiscard]] SparseChain build_chain(const PopulationStats& stats) const {
+    const double s = static_cast<double>(p_.view_size);
+    const double pair_count = s * (s - 1.0);
+    const double loss = p_.loss;
+    const double q_room = stats.receiver_room;
+    const double pz = stats.initiator_dup;
+    const double c2 = stats.edge_factor;
+
+    // Scale all rates uniformly so that every row's outgoing probability
+    // stays below 1 (uniform scaling leaves the stationary distribution
+    // unchanged but larger steps mix faster). The exact per-state total
+    // rate is (o(o-1) + 2 i c2) / pair_count.
+    double max_rate = 0.0;
+    for (const auto& st : states_) {
+      const double rate = (static_cast<double>(st.out) * (st.out - 1.0) +
+                           2.0 * static_cast<double>(st.in) * c2) /
+                          pair_count;
+      max_rate = std::max(max_rate, rate);
+    }
+    const double scale = 0.95 / std::max(max_rate, 1e-12);
+
+    SparseChain chain;
+    chain.scale = scale;
+    chain.row_sum.assign(states_.size(), 0.0);
+
+    auto add = [&](std::size_t from, std::size_t o, std::size_t i,
+                   double prob) {
+      if (prob <= 0.0) return;
+      const std::size_t to = state_at(o, i);
+      // Transitions leaving the truncated space become self-loops (§6.2):
+      // simply do not emit them; the mass stays put.
+      if (to == static_cast<std::size_t>(-1) || to == from) return;
+      chain.from.push_back(static_cast<std::uint32_t>(from));
+      chain.to.push_back(static_cast<std::uint32_t>(to));
+      chain.prob.push_back(prob);
+      chain.row_sum[from] += prob;
+    };
+
+    for (std::size_t k = 0; k < states_.size(); ++k) {
+      const std::size_t o = states_[k].out;
+      const std::size_t i = states_[k].in;
+      const double od = static_cast<double>(o);
+      const double id = static_cast<double>(i);
+
+      // Event A: the tagged node initiates a non-self-loop action.
+      const double rate_a = scale * od * (od - 1.0) / pair_count;
+      if (rate_a > 0.0) {
+        const bool dup = o <= p_.min_degree;
+        const std::size_t o_after = dup ? o : o - 2;
+        const double p_in_gain = (1.0 - loss) * q_room;
+        add(k, o_after, i + 1, rate_a * p_in_gain);
+        add(k, o_after, i, rate_a * (1.0 - p_in_gain));
+      }
+
+      // Events B and C require the tagged node to be referenced (i > 0).
+      if (i == 0) continue;
+      const double rate_edge = scale * id * c2 / pair_count;
+
+      // Event B: the tagged node is the message *target*.
+      {
+        const bool room = o + 2 <= p_.view_size;
+        const double p_out_gain = room ? (1.0 - loss) : 0.0;
+        // z duplicates with prob pz (keeps its edge to us); otherwise our
+        // indegree drops by one.
+        add(k, o + (p_out_gain > 0 ? 2 : 0), i - 1,
+            rate_edge * (1.0 - pz) * p_out_gain);
+        add(k, o, i - 1, rate_edge * (1.0 - pz) * (1.0 - p_out_gain));
+        add(k, o + (p_out_gain > 0 ? 2 : 0), i, rate_edge * pz * p_out_gain);
+        // z dup & no out gain: state unchanged (implicit self-loop).
+      }
+
+      // Event C: the tagged node's id is the *carried* id w.
+      {
+        const double p_arrive = (1.0 - loss) * q_room;
+        // z dup & delivered & receiver room: a second instance appears.
+        add(k, o, i + 1, rate_edge * pz * p_arrive);
+        // z no-dup & (lost or receiver full): the only instance vanishes.
+        add(k, o, i - 1, rate_edge * (1.0 - pz) * (1.0 - p_arrive));
+      }
+    }
+
+    for (const double row : chain.row_sum) {
+      if (row > 1.0) throw std::runtime_error("degree MC row overflow");
+    }
+    return chain;
+  }
+
+  static void apply_step(const SparseChain& chain, std::vector<double>& pi,
+                         std::vector<double>& scratch) {
+    for (std::size_t k = 0; k < pi.size(); ++k) {
+      scratch[k] = pi[k] * (1.0 - chain.row_sum[k]);
+    }
+    for (std::size_t e = 0; e < chain.prob.size(); ++e) {
+      scratch[chain.to[e]] += pi[chain.from[e]] * chain.prob[e];
+    }
+    std::swap(pi, scratch);
+  }
+
+  [[nodiscard]] std::vector<double> stationary(
+      const SparseChain& chain, const std::vector<double>& warm_start) const {
+    std::vector<double> pi = warm_start;
+    std::vector<double> next(pi.size());
+    std::vector<double> previous(pi.size());
+    for (std::size_t it = 0; it < p_.max_stationary_iterations; ++it) {
+      previous = pi;
+      apply_step(chain, pi, next);
+      // Guard against drift.
+      double total = 0.0;
+      for (const double x : pi) total += x;
+      for (double& x : pi) x /= total;
+      if (l1(previous, pi) < p_.stationary_tolerance) break;
+    }
+    return pi;
+  }
+
+ public:
+  // §6.5 transient: evolve the chain from (dL, 0) under steady-state
+  // population parameters.
+  JoinerTrajectory trajectory(std::size_t rounds) {
+    if (p_.min_degree < 2) {
+      throw std::invalid_argument("joiner analysis requires dL >= 2");
+    }
+    if (p_.fixed_sum_degree) {
+      throw std::invalid_argument("joiner analysis needs the general chain");
+    }
+    DegreeMcResult steady = solve();
+    const PopulationStats stats = population_stats(steady.stationary);
+    const SparseChain chain = build_chain(stats);
+    const auto steps_per_round = static_cast<std::size_t>(
+        std::max(1.0, std::round(1.0 / chain.scale)));
+
+    std::vector<double> pi(states_.size(), 0.0);
+    const std::size_t start = state_at(p_.min_degree, 0);
+    if (start == static_cast<std::size_t>(-1)) {
+      throw std::runtime_error("joiner start state missing from chain");
+    }
+    pi[start] = 1.0;
+
+    JoinerTrajectory trajectory;
+    std::vector<double> scratch(pi.size());
+    auto record = [&] {
+      double out = 0.0;
+      double in = 0.0;
+      for (std::size_t k = 0; k < states_.size(); ++k) {
+        out += pi[k] * states_[k].out;
+        in += pi[k] * states_[k].in;
+      }
+      trajectory.expected_out.push_back(out);
+      trajectory.expected_in.push_back(in);
+    };
+    record();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t step = 0; step < steps_per_round; ++step) {
+        apply_step(chain, pi, scratch);
+      }
+      record();
+    }
+    return trajectory;
+  }
+
+ private:
+
+  [[nodiscard]] static double l1(const std::vector<double>& a,
+                                 const std::vector<double>& b) {
+    double sum = 0.0;
+    for (std::size_t k = 0; k < a.size(); ++k) sum += std::abs(a[k] - b[k]);
+    return sum;
+  }
+
+  void finalize(DegreeMcResult& result, std::vector<double> pi) const {
+    const PopulationStats stats = population_stats(pi);
+    result.states = states_;
+    result.out_pmf.assign(p_.view_size + 1, 0.0);
+    std::size_t max_in = 0;
+    for (const auto& st : states_) {
+      max_in = std::max<std::size_t>(max_in, st.in);
+    }
+    result.in_pmf.assign(max_in + 1, 0.0);
+    for (std::size_t k = 0; k < states_.size(); ++k) {
+      result.out_pmf[states_[k].out] += pi[k];
+      result.in_pmf[states_[k].in] += pi[k];
+      result.expected_out += pi[k] * states_[k].out;
+      result.expected_in += pi[k] * states_[k].in;
+    }
+    result.receiver_room_probability = stats.receiver_room;
+    result.duplication_probability = stats.initiator_dup;
+    result.deletion_probability =
+        (1.0 - p_.loss) * (1.0 - stats.receiver_room);
+    result.stationary = std::move(pi);
+  }
+
+  DegreeMcParams p_;
+  std::vector<DegreeState> states_;
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+};
+
+}  // namespace
+
+DegreeMcResult solve_degree_mc(const DegreeMcParams& params) {
+  return DegreeMcSolver(params).solve();
+}
+
+JoinerTrajectory joiner_degree_trajectory(const DegreeMcParams& params,
+                                          std::size_t rounds) {
+  return DegreeMcSolver(params).trajectory(rounds);
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,101 @@
+// The two-dimensional degree Markov chain of §6.2.
+//
+// One tagged node's (outdegree, indegree) pair evolves as a Markov chain
+// whose transition probabilities depend on population-level quantities
+// (how likely a message's receiver has room, how likely an initiator is at
+// its duplication threshold, ...), which in turn depend on the stationary
+// degree distribution. Following the paper, the chain is solved by a
+// fixed-point iteration: start from an arbitrary degree distribution,
+// derive transition probabilities, compute the stationary distribution,
+// and repeat until the distribution and the transition probabilities match.
+//
+// The state space is truncated at sum degree ds = d + 2*din <= 3s (states
+// beyond have negligible stationary mass; transitions leading out of the
+// truncated space become self-loops) — exactly the paper's device.
+//
+// Mean-field assumptions (valid for n >> s, as assumed throughout §6):
+//  * the receiver of a message sent by the tagged node is a random node
+//    sampled proportionally to indegree;
+//  * the initiator holding an edge to the tagged node has outdegree
+//    distributed proportionally to pi(d) * d, and fires an action using
+//    that particular edge with probability proportional to d - 1.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace gossip::analysis {
+
+struct DegreeMcParams {
+  std::size_t view_size = 40;   // s
+  std::size_t min_degree = 18;  // dL
+  double loss = 0.0;            // ℓ
+
+  // Sum-degree truncation; defaults to 3s when 0 (§6.2).
+  std::size_t sum_degree_cap = 0;
+
+  // When set, restricts the state space to the line d + 2*din == value
+  // (requires an even value <= sum cap). This is the §6.1 setting used for
+  // Fig 6.1: no loss, dL = 0, ds(u) = dm invariant.
+  std::optional<std::size_t> fixed_sum_degree;
+
+  // Outer fixed-point loop.
+  double fixed_point_tolerance = 1e-11;
+  std::size_t max_fixed_point_iterations = 300;
+
+  // Inner power iteration.
+  double stationary_tolerance = 1e-13;
+  std::size_t max_stationary_iterations = 500'000;
+};
+
+struct DegreeState {
+  std::uint32_t out = 0;
+  std::uint32_t in = 0;
+  [[nodiscard]] bool operator==(const DegreeState&) const = default;
+};
+
+struct DegreeMcResult {
+  std::vector<DegreeState> states;
+  std::vector<double> stationary;  // aligned with `states`
+
+  // Marginals indexed by degree value.
+  std::vector<double> out_pmf;
+  std::vector<double> in_pmf;
+
+  double expected_out = 0.0;
+  double expected_in = 0.0;
+
+  // P(a non-self-loop action performs duplication) in steady state
+  // (Lemma 6.7 predicts this lies in [ℓ, ℓ+δ]).
+  double duplication_probability = 0.0;
+  // P(a non-self-loop action ends in deletion at the receiver):
+  // (1-ℓ) * P(receiver full). Lemma 6.6: dup = ℓ + del in steady state.
+  double deletion_probability = 0.0;
+  // P(receiver has room), receiver sampled proportionally to indegree.
+  double receiver_room_probability = 1.0;
+
+  std::size_t fixed_point_iterations = 0;
+  bool converged = false;
+};
+
+// Solves the chain. Throws std::invalid_argument on inconsistent
+// parameters; throws std::runtime_error if the state space degenerates
+// (e.g. all mass escapes).
+[[nodiscard]] DegreeMcResult solve_degree_mc(const DegreeMcParams& params);
+
+// Transient §6.5 analysis: the expected degree trajectory of a node that
+// joins a steady-state system with outdegree dL and indegree 0, obtained
+// by evolving the degree MC (with the steady-state population parameters
+// frozen) from the state (dL, 0). Index r of each series is the expected
+// value after r rounds. Requires min_degree >= 2 (a joiner with an empty
+// view can never act) and no fixed_sum_degree.
+struct JoinerTrajectory {
+  std::vector<double> expected_out;
+  std::vector<double> expected_in;
+};
+[[nodiscard]] JoinerTrajectory joiner_degree_trajectory(
+    const DegreeMcParams& params, std::size_t rounds);
+
+}  // namespace gossip::analysis

@@ -1,0 +1,305 @@
+#include "analysis/global_mc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <deque>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+
+namespace gossip::analysis {
+
+namespace {
+
+// Serializes a state to a canonical byte string for interning. Views are
+// kept sorted, so the encoding is canonical by construction.
+std::string encode(const GlobalState& state) {
+  std::string key;
+  key.reserve(state.size() * 8);
+  for (const auto& view : state) {
+    for (const NodeId id : view) {
+      key.push_back(static_cast<char>(id & 0xFF));
+      key.push_back(static_cast<char>((id >> 8) & 0xFF));
+    }
+    key.push_back('\x7F');
+    key.push_back('\x7F');
+  }
+  return key;
+}
+
+// Removes one instance of `id` from a sorted multiset view.
+void remove_instance(std::vector<NodeId>& view, NodeId id) {
+  const auto it = std::lower_bound(view.begin(), view.end(), id);
+  assert(it != view.end() && *it == id);
+  view.erase(it);
+}
+
+// Inserts an id keeping the view sorted.
+void insert_instance(std::vector<NodeId>& view, NodeId id) {
+  view.insert(std::upper_bound(view.begin(), view.end(), id), id);
+}
+
+class GlobalMcBuilder {
+ public:
+  explicit GlobalMcBuilder(const GlobalMcParams& params) : p_(params) {
+    validate();
+  }
+
+  GlobalMcResult build() {
+    GlobalMcResult result;
+    result.node_count = p_.initial.node_count();
+
+    const GlobalState initial = state_from_graph(p_.initial);
+    intern(initial);
+
+    // Breadth-first exploration; transitions are recorded as states are
+    // expanded.
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (states_.size() > p_.max_states) {
+        result.exploration_complete = false;
+        break;
+      }
+      expand(s);
+    }
+    result.exploration_complete =
+        result.exploration_complete && states_.size() <= p_.max_states;
+
+    chain_.finalize();
+    result.states = states_;
+    result.strongly_connected =
+        result.exploration_complete && chain_.strongly_connected();
+    result.doubly_stochastic =
+        result.exploration_complete && chain_.doubly_stochastic();
+
+    if (result.exploration_complete && p_.compute_stationary) {
+      result.stationary = chain_.stationary({}, p_.stationary_tolerance,
+                                            p_.max_stationary_iterations);
+      finalize_statistics(result);
+    }
+    result.chain = std::move(chain_);
+    return result;
+  }
+
+ private:
+  void validate() const {
+    p_.config.validate();
+    if (p_.loss < 0.0 || p_.loss >= 1.0) {
+      throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    if (p_.initial.node_count() < 2) {
+      throw std::invalid_argument("need at least 2 nodes");
+    }
+    for (NodeId u = 0; u < p_.initial.node_count(); ++u) {
+      const auto d = p_.initial.out_degree(u);
+      if (d % 2 != 0) {
+        throw std::invalid_argument("initial outdegrees must be even");
+      }
+      if (d > p_.config.view_size) {
+        throw std::invalid_argument("initial view exceeds capacity");
+      }
+    }
+  }
+
+  std::size_t intern(const GlobalState& state) {
+    const std::string key = encode(state);
+    const auto [it, inserted] = index_.try_emplace(key, states_.size());
+    if (inserted) {
+      states_.push_back(state);
+      chain_.resize(states_.size());
+    }
+    return it->second;
+  }
+
+  // Enumerates all transformations out of state `s` with exact
+  // probabilities; anything not emitted stays as an implicit self-loop.
+  void expand(std::size_t s) {
+    // NOTE: states_ may reallocate during intern(); copy the source state.
+    const GlobalState state = states_[s];
+    const std::size_t n = state.size();
+    const double cap = static_cast<double>(p_.config.view_size);
+    const double pair_slots = cap * (cap - 1.0);
+
+    for (NodeId u = 0; u < n; ++u) {
+      const auto& view = state[u];
+      if (view.size() < 2) continue;  // only self-loop actions possible
+
+      // Distinct id values in the view with multiplicities.
+      std::map<NodeId, std::size_t> mult;
+      for (const NodeId id : view) ++mult[id];
+
+      const bool duplicate = view.size() <= p_.config.min_degree;
+
+      for (const auto& [target, m_target] : mult) {
+        for (const auto& [carried, m_carried] : mult) {
+          const double favorable =
+              static_cast<double>(m_target) *
+              static_cast<double>(m_carried - (target == carried ? 1 : 0));
+          if (favorable <= 0.0) continue;
+          const double p_pick =
+              favorable / pair_slots / static_cast<double>(n);
+
+          // Sender-side step (identical whether the message is lost).
+          GlobalState after_send = state;
+          if (!duplicate) {
+            remove_instance(after_send[u], target);
+            remove_instance(after_send[u], carried);
+          }
+
+          if (p_.loss > 0.0) {
+            emit(s, after_send, p_pick * p_.loss);
+          }
+
+          // Receive step at `target` (which may be u itself; the view used
+          // is the post-send one — steps execute in order).
+          GlobalState delivered = after_send;
+          auto& receiver = delivered[target];
+          if (receiver.size() + 2 <= p_.config.view_size) {
+            insert_instance(receiver, u);
+            insert_instance(receiver, carried);
+          }
+          // else: deletion — ids dropped, view unchanged.
+          emit(s, delivered, p_pick * (1.0 - p_.loss));
+        }
+      }
+    }
+  }
+
+  void emit(std::size_t from, const GlobalState& to_state, double prob) {
+    if (prob <= 0.0) return;
+    // §7.1: partitioned membership graphs are excluded from G; edges
+    // leading to them become self-loops.
+    if (!weakly_connected(to_state)) return;
+    const std::size_t to = intern(to_state);
+    chain_.add(from, to, prob);
+  }
+
+  // Weak connectivity of the membership graph (self-edges do not connect).
+  [[nodiscard]] static bool weakly_connected(const GlobalState& state) {
+    const std::size_t n = state.size();
+    std::vector<std::size_t> parent(n);
+    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    auto find = [&](std::size_t x) {
+      while (parent[x] != x) {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+      }
+      return x;
+    };
+    std::size_t components = n;
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : state[u]) {
+        const std::size_t a = find(u);
+        const std::size_t b = find(v);
+        if (a != b) {
+          parent[a] = b;
+          --components;
+        }
+      }
+    }
+    return components == 1;
+  }
+
+  [[nodiscard]] static bool is_simple_state(const GlobalState& state) {
+    for (NodeId u = 0; u < state.size(); ++u) {
+      const auto& view = state[u];
+      for (std::size_t i = 0; i < view.size(); ++i) {
+        if (view[i] == u) return false;                    // self-edge
+        if (i > 0 && view[i] == view[i - 1]) return false; // parallel edge
+      }
+    }
+    return true;
+  }
+
+  void finalize_statistics(GlobalMcResult& result) const {
+    const auto& pi = result.stationary.distribution;
+    const auto n_states = static_cast<double>(states_.size());
+    for (const double x : pi) {
+      result.uniformity_deviation =
+          std::max(result.uniformity_deviation, std::abs(x * n_states - 1.0));
+    }
+
+    // Uniformity restricted to simple states (exact Lemma 7.5 regime).
+    double simple_mass = 0.0;
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      if (is_simple_state(states_[s])) {
+        ++result.simple_state_count;
+        simple_mass += pi[s];
+      }
+    }
+    if (result.simple_state_count > 0) {
+      const double mean =
+          simple_mass / static_cast<double>(result.simple_state_count);
+      for (std::size_t s = 0; s < states_.size(); ++s) {
+        if (!is_simple_state(states_[s])) continue;
+        result.simple_state_uniformity_deviation =
+            std::max(result.simple_state_uniformity_deviation,
+                     std::abs(pi[s] / mean - 1.0));
+      }
+    }
+
+    // P(v in u.lv) under pi, for all ordered pairs u != v.
+    const std::size_t n = result.node_count;
+    std::vector<double> presence(n * n, 0.0);
+    for (std::size_t s = 0; s < states_.size(); ++s) {
+      for (NodeId u = 0; u < n; ++u) {
+        const auto& view = states_[s][u];
+        NodeId previous = kNilNode;
+        for (const NodeId v : view) {
+          if (v == previous) continue;  // presence, not multiplicity
+          previous = v;
+          presence[u * n + v] += pi[s];
+        }
+      }
+    }
+    double lo = 2.0;
+    double hi = -1.0;
+    double sum = 0.0;
+    std::size_t pairs = 0;
+    for (NodeId u = 0; u < n; ++u) {
+      for (NodeId v = 0; v < n; ++v) {
+        if (u == v) continue;  // self-edges exempt (Lemma 7.6)
+        const double p = presence[u * n + v];
+        lo = std::min(lo, p);
+        hi = std::max(hi, p);
+        sum += p;
+        ++pairs;
+      }
+    }
+    const double mean = sum / static_cast<double>(pairs);
+    result.edge_presence_spread = mean > 0.0 ? (hi - lo) / mean : 0.0;
+  }
+
+  GlobalMcParams p_;
+  std::vector<GlobalState> states_;
+  std::unordered_map<std::string, std::size_t> index_;
+  markov::SparseChain chain_;
+};
+
+}  // namespace
+
+GlobalMcResult build_global_mc(const GlobalMcParams& params) {
+  return GlobalMcBuilder(params).build();
+}
+
+GlobalState state_from_graph(const Digraph& graph) {
+  GlobalState state(graph.node_count());
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    state[u] = graph.out_neighbors(u);
+    std::sort(state[u].begin(), state[u].end());
+  }
+  return state;
+}
+
+Digraph graph_from_state(const GlobalState& state) {
+  Digraph g(state.size());
+  for (NodeId u = 0; u < state.size(); ++u) {
+    for (const NodeId v : state[u]) {
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,87 @@
+// The global Markov chain over membership graphs (§7.1-§7.3).
+//
+// For small systems, the chain G(s, dL, ℓ) can be built *exhaustively*:
+// states are global view configurations (each node's view as a multiset of
+// ids), and every S&F transformation — initiator choice, slot-pair choice,
+// loss outcome, duplication, deletion — is enumerated with its exact
+// probability. This machinery lets the paper's structural lemmas be
+// checked directly rather than trusted:
+//
+//   * Lemma 7.1: with 0 < ℓ < 1 the chain is strongly connected
+//     (irreducible);
+//   * Lemmas 7.3/7.4: with no loss and preserved sum degrees the chain is
+//     doubly stochastic;
+//   * Lemma 7.5: its stationary distribution is uniform over the
+//     reachable states;
+//   * Lemma 7.6: under the stationary distribution, every v != u is
+//     equally likely to appear in u's view.
+//
+// State counts grow combinatorially, so this is exact verification for
+// n <= ~5 with small views — the regime where exhaustiveness is possible
+// at all.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/send_forget.hpp"
+#include "graph/digraph.hpp"
+#include "markov/sparse_chain.hpp"
+
+namespace gossip::analysis {
+
+// One global state: views[u] is node u's view as a sorted multiset of ids.
+using GlobalState = std::vector<std::vector<NodeId>>;
+
+struct GlobalMcParams {
+  SendForgetConfig config{.view_size = 6, .min_degree = 2};
+  double loss = 0.0;
+  // The initial membership graph; exploration covers everything reachable
+  // from it. Out-degrees must be even and fit within the view size.
+  Digraph initial{0};
+  // Abort exploration beyond this many states.
+  std::size_t max_states = 500'000;
+  // Compute the stationary distribution (can be skipped for large chains
+  // when only structure is needed).
+  bool compute_stationary = true;
+  double stationary_tolerance = 1e-12;
+  std::size_t max_stationary_iterations = 200'000;
+};
+
+struct GlobalMcResult {
+  std::size_t node_count = 0;
+  std::vector<GlobalState> states;
+  markov::SparseChain chain;
+  bool exploration_complete = true;
+
+  // Lemma 7.1 (or Lemma A.2 for the no-loss subchain).
+  bool strongly_connected = false;
+  // Lemmas 7.3/7.4 (no-loss fixed-sum chains only; false otherwise).
+  bool doubly_stochastic = false;
+
+  markov::SparseChain::StationaryResult stationary;
+  // max over states of |pi_i * N - 1| — 0 iff stationary is exactly
+  // uniform over the reachable states (Lemma 7.5).
+  double uniformity_deviation = 0.0;
+  // The same deviation restricted to *simple* states (no self-edges, no
+  // parallel edges), measured against their own mean mass. Lemma 7.5's
+  // equal-weight argument is exact on this subspace; multiplicity-bearing
+  // states (rare when n >> s) break the symmetry of the outcome chain.
+  double simple_state_uniformity_deviation = 0.0;
+  std::size_t simple_state_count = 0;
+  // Lemma 7.6: over ordered pairs u != v, the spread
+  // (max - min) / mean of P(v in u.lv) under the stationary distribution.
+  double edge_presence_spread = 0.0;
+};
+
+// Builds the chain by breadth-first exploration of S&F transformations.
+// Throws std::invalid_argument for inconsistent parameters (odd initial
+// outdegrees, views exceeding capacity, loss outside [0, 1)).
+[[nodiscard]] GlobalMcResult build_global_mc(const GlobalMcParams& params);
+
+// Converts between a membership graph and the state representation.
+[[nodiscard]] GlobalState state_from_graph(const Digraph& graph);
+[[nodiscard]] Digraph graph_from_state(const GlobalState& state);
+
+}  // namespace gossip::analysis

@@ -1,0 +1,62 @@
+#include "analysis/independence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/binomial.hpp"
+
+namespace gossip::analysis {
+
+double dependence_mc_dependent_fraction(double p_become_dependent,
+                                        double p_become_independent) {
+  if (p_become_dependent < 0.0 || p_become_dependent > 1.0 ||
+      p_become_independent <= 0.0 || p_become_independent > 1.0) {
+    throw std::invalid_argument("transition probabilities out of range");
+  }
+  // Two-state chain stationary mass on "dependent":
+  // pi_dep = p_in / (p_in + p_out) with p_in = p_become_dependent.
+  return p_become_dependent / (p_become_dependent + p_become_independent);
+}
+
+double dependent_fraction_bound(double loss, double delta) {
+  const double x = loss + delta;
+  if (x < 0.0 || x >= 1.0) throw std::invalid_argument("need ℓ + δ in [0, 1)");
+  // Lemma 7.9: entry becomes dependent w.p. at most (3/2)(ℓ+δ) and becomes
+  // independent w.p. at least (5/6)(1-(ℓ+δ)); the stationary dependent
+  // fraction simplifies to (ℓ+δ) / (5/9 + (4/9)(ℓ+δ)).
+  return std::min(1.0, x / (5.0 / 9.0 + (4.0 / 9.0) * x));
+}
+
+double dependent_fraction_bound_simple(double loss, double delta) {
+  const double x = loss + delta;
+  if (x < 0.0 || x >= 1.0) throw std::invalid_argument("need ℓ + δ in [0, 1)");
+  return std::min(1.0, 2.0 * x);
+}
+
+double independence_lower_bound(double loss, double delta) {
+  return 1.0 - dependent_fraction_bound(loss, delta);
+}
+
+double independence_lower_bound_simple(double loss, double delta) {
+  return 1.0 - dependent_fraction_bound_simple(loss, delta);
+}
+
+std::size_t min_degree_for_connectivity(double alpha, double epsilon) {
+  if (alpha <= 0.0 || alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0, 1)");
+  }
+  const double log_eps = std::log(epsilon);
+  constexpr std::size_t kMaxDegree = 10'000;
+  for (std::size_t d = 3; d <= kMaxDegree; ++d) {
+    // P(Binomial(d, alpha) <= 2), in the log domain (tails reach 1e-30+).
+    const double log_tail = binomial_log_cdf(d, alpha, 2);
+    if (log_tail <= log_eps) return d;
+  }
+  throw std::runtime_error("no feasible dL below 10000");
+}
+
+}  // namespace gossip::analysis

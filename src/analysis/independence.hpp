@@ -1,0 +1,45 @@
+// Spatial independence (§7.4).
+//
+// The state of a view entry is modeled by the two-state dependence MC of
+// Fig 7.1. With duplication probability at most ℓ+δ (Lemma 6.7), a returning
+// -entry factor of at most 1/2 (Lemma 7.8), and a self-edge fraction of at
+// most 1/6, the stationary dependent fraction is at most
+//
+//       (ℓ+δ) / (5/9 + (4/9)(ℓ+δ))  <=  2 (ℓ+δ),
+//
+// so the expected independence is α >= 1 - 2(ℓ+δ) (Lemma 7.9). The module
+// also solves the connectivity condition: the minimal dL making
+// P(fewer than 3 independent out-neighbors) <= ε under a Binomial(dL, α)
+// model (paper example: ℓ = δ = 1%, ε = 1e-30 → dL = 26).
+#pragma once
+
+#include <cstddef>
+
+namespace gossip::analysis {
+
+// Stationary dependent fraction of the generic two-state dependence MC with
+// the given transition probabilities (both in (0, 1]).
+[[nodiscard]] double dependence_mc_dependent_fraction(
+    double p_become_dependent, double p_become_independent);
+
+// The exact Lemma 7.9 dependent-fraction bound:
+// (ℓ+δ) / (5/9 + (4/9)(ℓ+δ)). Requires ℓ+δ in [0, 1).
+[[nodiscard]] double dependent_fraction_bound(double loss, double delta);
+
+// The simplified bound 2(ℓ+δ), capped at 1.
+[[nodiscard]] double dependent_fraction_bound_simple(double loss,
+                                                     double delta);
+
+// α lower bounds: 1 - dependent_fraction_bound(...) and the simple variant.
+[[nodiscard]] double independence_lower_bound(double loss, double delta);
+[[nodiscard]] double independence_lower_bound_simple(double loss,
+                                                     double delta);
+
+// Minimal dL such that P(Binomial(dL, alpha) <= 2) <= epsilon, i.e. a node
+// has at least 3 independent out-neighbors except with probability epsilon
+// (the sufficient condition for weak connectivity, §7.4 quoting [15]).
+// Searches dL upward from 3; throws if no dL <= 10000 works.
+[[nodiscard]] std::size_t min_degree_for_connectivity(double alpha,
+                                                      double epsilon);
+
+}  // namespace gossip::analysis

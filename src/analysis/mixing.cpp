@@ -1,0 +1,77 @@
+#include "analysis/mixing.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace gossip::analysis {
+
+MixingResult measure_mixing(const markov::SparseChain& chain,
+                            const std::vector<double>& pi, std::size_t steps,
+                            double epsilon) {
+  const std::size_t n = chain.state_count();
+  if (pi.size() != n) {
+    throw std::invalid_argument("pi size does not match chain");
+  }
+  if (epsilon <= 0.0 || epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0, 1)");
+  }
+
+  // rows[x] = P^t(x, ·), evolved jointly.
+  std::vector<std::vector<double>> rows(n);
+  for (std::size_t x = 0; x < n; ++x) {
+    rows[x].assign(n, 0.0);
+    rows[x][x] = 1.0;
+  }
+
+  MixingResult result;
+  result.epsilon = epsilon;
+  result.tau_epsilon = std::numeric_limits<std::size_t>::max();
+
+  auto expected_tv = [&] {
+    double total = 0.0;
+    for (std::size_t x = 0; x < n; ++x) {
+      if (pi[x] == 0.0) continue;
+      double tv = 0.0;
+      for (std::size_t y = 0; y < n; ++y) {
+        tv += std::abs(rows[x][y] - pi[y]);
+      }
+      total += pi[x] * 0.5 * tv;
+    }
+    return total;
+  };
+
+  result.expected_tv.push_back(expected_tv());
+  for (std::size_t t = 1; t <= steps; ++t) {
+    for (std::size_t x = 0; x < n; ++x) {
+      rows[x] = chain.step(rows[x]);
+    }
+    const double d = expected_tv();
+    result.expected_tv.push_back(d);
+    if (d < epsilon &&
+        result.tau_epsilon == std::numeric_limits<std::size_t>::max()) {
+      result.tau_epsilon = t;
+      // Keep going to fill the decay curve.
+    }
+  }
+
+  // Fit the geometric decay rate over the second half of the curve,
+  // ignoring values too small for a stable ratio.
+  double log_ratio_sum = 0.0;
+  std::size_t ratios = 0;
+  for (std::size_t t = result.expected_tv.size() / 2;
+       t + 1 < result.expected_tv.size(); ++t) {
+    const double a = result.expected_tv[t];
+    const double b = result.expected_tv[t + 1];
+    if (a > 1e-12 && b > 1e-12 && b < a) {
+      log_ratio_sum += std::log(b / a);
+      ++ratios;
+    }
+  }
+  result.decay_rate =
+      ratios > 0 ? std::exp(log_ratio_sum / static_cast<double>(ratios)) : 1.0;
+  return result;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,45 @@
+#include "analysis/temporal.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::analysis {
+
+namespace {
+
+void validate(const TemporalParams& p) {
+  if (p.node_count < 2) throw std::invalid_argument("need n >= 2");
+  if (p.view_size < 2) throw std::invalid_argument("need s >= 2");
+  if (p.expected_out <= 1.0) throw std::invalid_argument("need dE > 1");
+  if (p.alpha <= 0.0 || p.alpha > 1.0) {
+    throw std::invalid_argument("alpha must be in (0, 1]");
+  }
+  if (p.epsilon <= 0.0 || p.epsilon >= 1.0) {
+    throw std::invalid_argument("epsilon must be in (0, 1)");
+  }
+}
+
+}  // namespace
+
+double expected_conductance_bound(const TemporalParams& p) {
+  validate(p);
+  const double s = static_cast<double>(p.view_size);
+  return p.expected_out * (p.expected_out - 1.0) * p.alpha /
+         (2.0 * s * (s - 1.0));
+}
+
+double temporal_independence_bound(const TemporalParams& p) {
+  validate(p);
+  const double s = static_cast<double>(p.view_size);
+  const double n = static_cast<double>(p.node_count);
+  const double de = p.expected_out;
+  const double front = 16.0 * s * s * (s - 1.0) * (s - 1.0) /
+                       (de * de * (de - 1.0) * (de - 1.0) * p.alpha * p.alpha);
+  return front * (n * s * std::log(n) + std::log(4.0 / p.epsilon));
+}
+
+double temporal_independence_actions_per_node(const TemporalParams& p) {
+  return temporal_independence_bound(p) / static_cast<double>(p.node_count);
+}
+
+}  // namespace gossip::analysis

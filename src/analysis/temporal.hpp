@@ -1,0 +1,37 @@
+// Temporal independence (§7.5).
+//
+// Starting from a random steady-state graph, the number of transformations
+// needed until the membership graph is ε-independent of the start is
+// bounded via the expected conductance of the global MC graph:
+//
+//   Φ(G)  >=  dE (dE - 1) α / (2 s (s-1))                     (Lemma 7.14)
+//   τ_ε(G) <= 16 s²(s-1)² / (dE²(dE-1)² α²) · (n s ln n + ln(4/ε))
+//                                                             (Lemma 7.15)
+//
+// Dividing by n gives the per-node action count: O(s log n) — so O(log n)
+// rounds for constant views and O(log² n) for logarithmic views.
+#pragma once
+
+#include <cstddef>
+
+namespace gossip::analysis {
+
+struct TemporalParams {
+  std::size_t node_count = 1000;  // n
+  std::size_t view_size = 40;     // s
+  double expected_out = 28.0;     // dE (from the degree MC)
+  double alpha = 0.96;            // expected independence (§7.4)
+  double epsilon = 0.01;          // ε
+};
+
+// Lower bound on the expected conductance Φ(G) (Lemma 7.14).
+[[nodiscard]] double expected_conductance_bound(const TemporalParams& p);
+
+// Upper bound on τ_ε(G), in global transformations (Lemma 7.15).
+[[nodiscard]] double temporal_independence_bound(const TemporalParams& p);
+
+// The same bound expressed as actions initiated per node (τ_ε / n).
+[[nodiscard]] double temporal_independence_actions_per_node(
+    const TemporalParams& p);
+
+}  // namespace gossip::analysis

@@ -1,0 +1,56 @@
+#include "analysis/thresholds.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+#include "analysis/degree_analytical.hpp"
+
+namespace gossip::analysis {
+
+ThresholdSelection select_thresholds(std::size_t target_degree, double delta) {
+  if (target_degree == 0 || target_degree % 2 != 0) {
+    throw std::invalid_argument("target degree d_hat must be even, positive");
+  }
+  if (delta <= 0.0 || delta >= 0.5) {
+    throw std::invalid_argument("delta must be in (0, 1/2)");
+  }
+  const std::size_t dm = 3 * target_degree;
+  const std::vector<double> pmf = analytical_outdegree_pmf(dm);
+
+  ThresholdSelection sel;
+  sel.expected_out = analytical_mean_degree(dm);
+
+  // dL: the largest even d' <= d_hat whose lower tail stays within delta.
+  bool found_low = false;
+  double lower_tail = 0.0;
+  for (std::size_t d = 0; d <= target_degree; d += 2) {
+    lower_tail += pmf[d];
+    if (lower_tail <= delta) {
+      sel.min_degree = d;
+      sel.prob_at_or_below_min = lower_tail;
+      found_low = true;
+    }
+  }
+  if (!found_low) {
+    throw std::runtime_error("no feasible dL: delta too small");
+  }
+
+  // s: the smallest even d' >= d_hat whose upper tail stays within delta.
+  double upper_tail = 0.0;
+  for (std::size_t d = dm; d + 1 >= target_degree + 1; d -= 2) {
+    upper_tail += pmf[d];
+    if (upper_tail <= delta) {
+      sel.view_size = d;
+      sel.prob_at_or_above_max = upper_tail;
+    } else {
+      break;
+    }
+    if (d < 2) break;
+  }
+  if (sel.view_size == 0) {
+    throw std::runtime_error("no feasible s: delta too small");
+  }
+  return sel;
+}
+
+}  // namespace gossip::analysis

@@ -1,0 +1,33 @@
+// Degree-threshold selection (§6.3).
+//
+// Given a target expected outdegree d_hat (no loss) and a tolerance δ on
+// the duplication/deletion probabilities, choose dL and s using the
+// analytical no-loss distribution with dm = 3*d_hat (Lemma 6.3):
+//
+//   dL = max even d' <= d_hat with Pr(d <= d') <= δ,
+//   s  = min even d' >= d_hat with Pr(d >= d') <= δ.
+//
+// The paper's running example: d_hat = 30, δ = 0.01 → dL = 18, s = 40.
+#pragma once
+
+#include <cstddef>
+
+namespace gossip::analysis {
+
+struct ThresholdSelection {
+  std::size_t min_degree = 0;  // dL
+  std::size_t view_size = 0;   // s
+  // Achieved probabilities at the chosen thresholds (both <= delta):
+  double prob_at_or_below_min = 0.0;  // Pr(d <= dL)
+  double prob_at_or_above_max = 0.0;  // Pr(d >= s)
+  // Expected outdegree of the underlying analytical distribution (= dm/3).
+  double expected_out = 0.0;
+};
+
+// `target_degree` (d_hat) must be even and positive; `delta` in (0, 1/2).
+// Throws std::invalid_argument otherwise, and std::runtime_error if no
+// feasible thresholds exist (delta too small).
+[[nodiscard]] ThresholdSelection select_thresholds(std::size_t target_degree,
+                                                   double delta);
+
+}  // namespace gossip::analysis

@@ -1,0 +1,66 @@
+#include "common/binomial.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace gossip {
+
+namespace {
+constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+}
+
+double log_binomial_coefficient(std::size_t n, std::size_t k) {
+  assert(k <= n);
+  return std::lgamma(static_cast<double>(n) + 1.0) -
+         std::lgamma(static_cast<double>(k) + 1.0) -
+         std::lgamma(static_cast<double>(n - k) + 1.0);
+}
+
+double binomial_log_pmf(std::size_t n, double p, std::size_t k) {
+  assert(p >= 0.0 && p <= 1.0);
+  if (k > n) return kNegInf;
+  if (p == 0.0) return k == 0 ? 0.0 : kNegInf;
+  if (p == 1.0) return k == n ? 0.0 : kNegInf;
+  return log_binomial_coefficient(n, k) +
+         static_cast<double>(k) * std::log(p) +
+         static_cast<double>(n - k) * std::log1p(-p);
+}
+
+double binomial_pmf(std::size_t n, double p, std::size_t k) {
+  const double lp = binomial_log_pmf(n, p, k);
+  return lp == kNegInf ? 0.0 : std::exp(lp);
+}
+
+std::vector<double> binomial_pmf_vector(std::size_t n, double p) {
+  std::vector<double> pmf(n + 1);
+  for (std::size_t k = 0; k <= n; ++k) pmf[k] = binomial_pmf(n, p, k);
+  return pmf;
+}
+
+double log_sum_exp(const std::vector<double>& values) {
+  double max_value = kNegInf;
+  for (const double v : values) max_value = std::max(max_value, v);
+  if (max_value == kNegInf) return kNegInf;
+  double sum = 0.0;
+  for (const double v : values) sum += std::exp(v - max_value);
+  return max_value + std::log(sum);
+}
+
+double binomial_log_cdf(std::size_t n, double p, std::size_t k) {
+  std::vector<double> terms;
+  terms.reserve(std::min(k, n) + 1);
+  for (std::size_t i = 0; i <= std::min(k, n); ++i) {
+    terms.push_back(binomial_log_pmf(n, p, i));
+  }
+  return log_sum_exp(terms);
+}
+
+double binomial_cdf(std::size_t n, double p, std::size_t k) {
+  const double lc = binomial_log_cdf(n, p, k);
+  if (lc == kNegInf) return 0.0;
+  return std::min(1.0, std::exp(lc));
+}
+
+}  // namespace gossip

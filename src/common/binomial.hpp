@@ -1,0 +1,37 @@
+// Log-domain binomial coefficients and binomial distributions.
+//
+// The paper's analytical degree distribution (eq. 6.1) multiplies binomial
+// coefficients with arguments up to dm = 3*d_hat (~90-270), and the
+// connectivity-condition example in §7.4 evaluates binomial tails down to
+// 1e-30, so everything here is computed in the log domain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip {
+
+// log(n choose k); 0 <= k <= n required.
+[[nodiscard]] double log_binomial_coefficient(std::size_t n, std::size_t k);
+
+// log pmf of Binomial(n, p) at k. Handles p == 0 and p == 1 exactly.
+// Returns -infinity for zero-probability outcomes.
+[[nodiscard]] double binomial_log_pmf(std::size_t n, double p, std::size_t k);
+
+// pmf of Binomial(n, p) at k.
+[[nodiscard]] double binomial_pmf(std::size_t n, double p, std::size_t k);
+
+// Full pmf vector of Binomial(n, p), indices 0..n.
+[[nodiscard]] std::vector<double> binomial_pmf_vector(std::size_t n, double p);
+
+// Lower tail P(X <= k) for X ~ Binomial(n, p), summed in the log domain with
+// log-sum-exp so that tails on the order of 1e-300 remain accurate.
+[[nodiscard]] double binomial_cdf(std::size_t n, double p, std::size_t k);
+
+// log of the lower tail P(X <= k); -infinity when the tail is empty.
+[[nodiscard]] double binomial_log_cdf(std::size_t n, double p, std::size_t k);
+
+// Numerically stable log(sum(exp(values))). Empty input yields -infinity.
+[[nodiscard]] double log_sum_exp(const std::vector<double>& values);
+
+}  // namespace gossip

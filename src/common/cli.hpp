@@ -1,0 +1,70 @@
+// Minimal command-line parsing for the tools and benches.
+//
+// Supports `--name value`, `--name=value`, bare boolean `--name`, and
+// positional arguments. Typed getters validate and throw CliError with a
+// message suitable for printing next to usage text.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gossip {
+
+class CliError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class ArgParser {
+ public:
+  // Parses tokens (argv[1..]); `argv[0]`-style program names should not be
+  // included. Throws CliError on malformed input (e.g. "--=x").
+  explicit ArgParser(std::vector<std::string> tokens);
+  ArgParser(int argc, const char* const* argv);
+
+  // True if --name was present (with or without a value).
+  [[nodiscard]] bool has(const std::string& name) const;
+
+  // String option; `fallback` when absent. Throws CliError if the flag was
+  // given without a value.
+  [[nodiscard]] std::string get_string(const std::string& name,
+                                       const std::string& fallback) const;
+
+  // Typed options with range validation (inclusive bounds).
+  [[nodiscard]] std::int64_t get_int(const std::string& name,
+                                     std::int64_t fallback,
+                                     std::int64_t min_value,
+                                     std::int64_t max_value) const;
+  [[nodiscard]] std::size_t get_size(const std::string& name,
+                                     std::size_t fallback,
+                                     std::size_t min_value,
+                                     std::size_t max_value) const;
+  [[nodiscard]] double get_double(const std::string& name, double fallback,
+                                  double min_value, double max_value) const;
+
+  // Boolean flag: present (with no value or "true"/"1") => true;
+  // "false"/"0" => false.
+  [[nodiscard]] bool get_flag(const std::string& name,
+                              bool fallback = false) const;
+
+  // Positional arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  // Names of all --options seen; lets callers reject unknown flags.
+  [[nodiscard]] std::vector<std::string> option_names() const;
+
+ private:
+  void parse(std::vector<std::string> tokens);
+
+  // Option name -> value; flags without values store kNoValue.
+  static constexpr const char* kNoValue = "\x01";
+  std::map<std::string, std::string> options_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace gossip

@@ -1,0 +1,73 @@
+#include "common/csv.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace gossip {
+
+namespace {
+
+bool needs_quoting(const std::string& text) {
+  return text.find_first_of(",\"\n\r") != std::string::npos;
+}
+
+std::string quote(const std::string& text) {
+  std::string out = "\"";
+  for (const char c : text) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+void CsvWriter::write_row(const std::vector<std::string>& cells) {
+  bool first = true;
+  for (const auto& raw : cells) {
+    if (!first) out_ << ',';
+    first = false;
+    out_ << (needs_quoting(raw) ? quote(raw) : raw);
+  }
+  out_ << '\n';
+  ++rows_;
+}
+
+std::string CsvWriter::cell(const std::string& text) { return text; }
+
+std::string CsvWriter::cell(double value) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof buffer, "%.17g", value);
+  return buffer;
+}
+
+std::string CsvWriter::cell(std::uint64_t value) {
+  return std::to_string(value);
+}
+
+void write_csv_series(std::ostream& out, const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& columns) {
+  if (header.size() != columns.size()) {
+    throw std::invalid_argument("header/column count mismatch");
+  }
+  std::size_t length = 0;
+  for (const auto& col : columns) {
+    if (length == 0) length = col.size();
+    if (col.size() != length) {
+      throw std::invalid_argument("columns have unequal lengths");
+    }
+  }
+  CsvWriter writer(out);
+  writer.write_row(header);
+  for (std::size_t row = 0; row < length; ++row) {
+    std::vector<std::string> cells;
+    cells.reserve(columns.size());
+    for (const auto& col : columns) {
+      cells.push_back(CsvWriter::cell(col[row]));
+    }
+    writer.write_row(cells);
+  }
+}
+
+}  // namespace gossip

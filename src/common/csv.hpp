@@ -1,0 +1,40 @@
+// Tiny CSV writer for exporting bench/tool results.
+//
+// Values are escaped per RFC 4180 (quotes doubled; cells containing
+// commas, quotes, or newlines are quoted). Numeric cells are rendered with
+// enough precision to round-trip a double.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gossip {
+
+class CsvWriter {
+ public:
+  // The writer borrows the stream; it must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  // Writes one row of already-formatted cells.
+  void write_row(const std::vector<std::string>& cells);
+
+  // Cell formatting helpers.
+  [[nodiscard]] static std::string cell(const std::string& text);
+  [[nodiscard]] static std::string cell(double value);
+  [[nodiscard]] static std::string cell(std::uint64_t value);
+
+  [[nodiscard]] std::size_t rows_written() const { return rows_; }
+
+ private:
+  std::ostream& out_;
+  std::size_t rows_ = 0;
+};
+
+// Convenience: writes a header plus one row per index of `columns`
+// (all columns must have equal length).
+void write_csv_series(std::ostream& out, const std::vector<std::string>& header,
+                      const std::vector<std::vector<double>>& columns);
+
+}  // namespace gossip

@@ -1,0 +1,64 @@
+#include "common/discrete_distribution.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip {
+
+DiscreteDistribution::DiscreteDistribution(std::vector<double> weights)
+    : probs_(std::move(weights)) {
+  double total = 0.0;
+  for (const double w : probs_) {
+    if (w < 0.0) throw std::invalid_argument("negative weight");
+    total += w;
+  }
+  if (total <= 0.0) throw std::invalid_argument("all weights zero");
+  cdf_.resize(probs_.size());
+  double cum = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    probs_[i] /= total;
+    cum += probs_[i];
+    cdf_[i] = cum;
+  }
+  cdf_.back() = 1.0;  // guard against accumulated rounding
+}
+
+double DiscreteDistribution::prob(std::size_t i) const {
+  return i < probs_.size() ? probs_[i] : 0.0;
+}
+
+double DiscreteDistribution::mean() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    m += static_cast<double>(i) * probs_[i];
+  }
+  return m;
+}
+
+double DiscreteDistribution::variance() const {
+  const double mu = mean();
+  double v = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    const double d = static_cast<double>(i) - mu;
+    v += d * d * probs_[i];
+  }
+  return v;
+}
+
+double DiscreteDistribution::second_factorial_moment() const {
+  double m = 0.0;
+  for (std::size_t i = 0; i < probs_.size(); ++i) {
+    m += static_cast<double>(i) * (static_cast<double>(i) - 1.0) * probs_[i];
+  }
+  return m;
+}
+
+std::size_t DiscreteDistribution::sample(Rng& rng) const {
+  assert(!probs_.empty());
+  const double u = rng.uniform_double();
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<std::size_t>(std::distance(cdf_.begin(), it));
+}
+
+}  // namespace gossip

@@ -1,0 +1,48 @@
+// Normalized finite discrete distributions with exact-uniform sampling.
+//
+// Used for population-level degree distributions in the degree Markov chain
+// (analysis/degree_mc) and for workload generation in the simulator.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace gossip {
+
+// An immutable probability distribution over {0, ..., size()-1}.
+class DiscreteDistribution {
+ public:
+  DiscreteDistribution() = default;
+
+  // Builds from non-negative weights (need not be normalized). At least one
+  // weight must be positive.
+  explicit DiscreteDistribution(std::vector<double> weights);
+
+  [[nodiscard]] std::size_t size() const { return probs_.size(); }
+  [[nodiscard]] bool empty() const { return probs_.empty(); }
+
+  // Probability of outcome i (0 for out-of-range i).
+  [[nodiscard]] double prob(std::size_t i) const;
+
+  [[nodiscard]] const std::vector<double>& probabilities() const {
+    return probs_;
+  }
+
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double variance() const;
+
+  // E[X * (X - 1)] — the second factorial moment, used by the degree MC for
+  // the size-biased initiator distribution.
+  [[nodiscard]] double second_factorial_moment() const;
+
+  // Samples one outcome by inverse-CDF lookup (binary search, O(log n)).
+  [[nodiscard]] std::size_t sample(Rng& rng) const;
+
+ private:
+  std::vector<double> probs_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace gossip

@@ -1,0 +1,17 @@
+// Node identifiers.
+//
+// Simulated nodes are identified by dense 32-bit indices. The sentinel
+// `kNilNode` represents an empty view slot (the paper's ⊥).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace gossip {
+
+using NodeId = std::uint32_t;
+
+// The empty/absent id (⊥ in the paper's pseudocode).
+inline constexpr NodeId kNilNode = std::numeric_limits<NodeId>::max();
+
+}  // namespace gossip

@@ -1,0 +1,142 @@
+#include "common/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cassert>
+#include <unordered_map>
+
+namespace gossip {
+
+namespace {
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+std::uint64_t splitmix64_next(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : state_) word = splitmix64_next(sm);
+  // A zero state would be a fixed point of xoshiro; splitmix64 cannot emit
+  // four zero words in a row, but guard anyway.
+  if (state_[0] == 0 && state_[1] == 0 && state_[2] == 0 && state_[3] == 0) {
+    state_[0] = 1;
+  }
+}
+
+Rng::result_type Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's method: multiply-shift with rejection of the biased low range.
+  __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+  auto lo = static_cast<std::uint64_t>(m);
+  if (lo < bound) {
+    const std::uint64_t threshold = -bound % bound;
+    while (lo < threshold) {
+      m = static_cast<__uint128_t>((*this)()) * bound;
+      lo = static_cast<std::uint64_t>(m);
+    }
+  }
+  return static_cast<std::uint64_t>(m >> 64);
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  assert(lo <= hi);
+  const auto span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>((*this)());  // full range
+  return lo + static_cast<std::int64_t>(uniform(span));
+}
+
+double Rng::uniform_double() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform_double() < p;
+}
+
+double Rng::pareto(double minimum, double shape) {
+  assert(minimum > 0.0);
+  assert(shape > 0.0);
+  // 1 - uniform_double() lies in (0, 1]; no log/pow domain issues.
+  const double u = 1.0 - uniform_double();
+  return minimum * std::pow(u, -1.0 / shape);
+}
+
+std::pair<std::size_t, std::size_t> Rng::distinct_pair(std::size_t count) {
+  assert(count >= 2);
+  const std::size_t first = uniform(count);
+  std::size_t second = uniform(count - 1);
+  if (second >= first) ++second;
+  return {first, second};
+}
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t count,
+                                                         std::size_t k) {
+  assert(k <= count);
+  std::vector<std::size_t> out;
+  out.reserve(k);
+  if (k * 3 >= count) {
+    // Dense case: partial Fisher-Yates over an explicit permutation.
+    std::vector<std::size_t> pool(count);
+    for (std::size_t i = 0; i < count; ++i) pool[i] = i;
+    for (std::size_t i = 0; i < k; ++i) {
+      std::swap(pool[i], pool[i + uniform(count - i)]);
+      out.push_back(pool[i]);
+    }
+    return out;
+  }
+  // Sparse case: virtual Fisher-Yates using a displacement map.
+  std::unordered_map<std::size_t, std::size_t> moved;
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + uniform(count - i);
+    std::size_t value_j = j;
+    if (auto it = moved.find(j); it != moved.end()) value_j = it->second;
+    std::size_t value_i = i;
+    if (auto it = moved.find(i); it != moved.end()) value_i = it->second;
+    moved[j] = value_i;
+    out.push_back(value_j);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Rng::permutation(std::size_t count) {
+  std::vector<std::size_t> perm(count);
+  for (std::size_t i = 0; i < count; ++i) perm[i] = i;
+  for (std::size_t i = count; i > 1; --i) {
+    std::swap(perm[i - 1], perm[uniform(i)]);
+  }
+  return perm;
+}
+
+Rng Rng::split() {
+  // Derive a child seed from two outputs; the child reseeds through
+  // splitmix64, decorrelating it from this stream.
+  const std::uint64_t a = (*this)();
+  const std::uint64_t b = (*this)();
+  return Rng(a ^ rotl(b, 31));
+}
+
+}  // namespace gossip

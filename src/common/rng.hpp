@@ -1,0 +1,76 @@
+// Deterministic pseudo-random number generation for simulations.
+//
+// All stochastic components in this library draw randomness through `Rng`, a
+// xoshiro256** generator seeded via splitmix64. Results therefore do not
+// depend on standard-library distribution internals and are reproducible
+// across platforms given the same seed.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace gossip {
+
+// xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
+// Satisfies the C++ UniformRandomBitGenerator requirements.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  // Seeds the full 256-bit state from a single 64-bit seed using splitmix64,
+  // as recommended by the xoshiro authors.
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()();
+
+  // Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
+  // nearly-divisionless rejection method, so the result is exactly uniform.
+  std::uint64_t uniform(std::uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  // Uniform double in [0, 1) with 53 bits of precision.
+  double uniform_double();
+
+  // Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool bernoulli(double p);
+
+  // Pareto(minimum, shape) variate: minimum * U^(-1/shape), U ~ (0, 1].
+  // Heavy-tailed; mean exists only for shape > 1. Requires minimum > 0,
+  // shape > 0.
+  double pareto(double minimum, double shape);
+
+  // Two distinct indices drawn uniformly at random from [0, count).
+  // Requires count >= 2. This is the slot-pair selection primitive of the
+  // S&F protocol (Fig 5.1, line 2).
+  std::pair<std::size_t, std::size_t> distinct_pair(std::size_t count);
+
+  // k distinct indices sampled uniformly from [0, count) (order random).
+  // Requires k <= count. O(k) expected time via partial Fisher-Yates on a
+  // sparse map for small k, or full shuffle when k is close to count.
+  std::vector<std::size_t> sample_without_replacement(std::size_t count,
+                                                      std::size_t k);
+
+  // Fisher-Yates shuffle of an index permutation [0, count).
+  std::vector<std::size_t> permutation(std::size_t count);
+
+  // Derives an independent child generator; used to give each simulated
+  // node / subsystem its own stream.
+  Rng split();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+// splitmix64 step, exposed for seeding utilities and tests.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+}  // namespace gossip

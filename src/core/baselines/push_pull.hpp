@@ -1,0 +1,48 @@
+// Push-pull "keep" baseline (Lpbcast/Jelasity-style; refs [13, 2, 23]).
+//
+// The initiator sends *copies* of its own id plus a random batch from its
+// view to a random neighbor; the neighbor merges them and replies with
+// copies of a random batch of its own. Nothing is ever deleted at send
+// time, so the protocol is immune to message loss — but, as §3.1 notes,
+// ids gossiped to a neighbor remain in the sender's view, inducing spatial
+// dependencies between neighboring views. The dependence tag of every
+// copied entry is set, so the sampling module can quantify this directly
+// against S&F.
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+
+namespace gossip {
+
+struct PushPullConfig {
+  std::size_t view_size = 40;
+  // Number of entries copied in each direction (including the pushed
+  // self id).
+  std::size_t exchange_length = 4;
+};
+
+class PushPullKeep final : public PeerProtocol {
+ public:
+  PushPullKeep(NodeId self, const PushPullConfig& config);
+
+  [[nodiscard]] const PushPullConfig& config() const { return config_; }
+
+  void on_initiate(Rng& rng, Transport& transport) override;
+  void on_message(const Message& message, Rng& rng,
+                  Transport& transport) override;
+
+ private:
+  // Copies of up to `count` random entries from our view (kept), each
+  // tagged dependent (the original remains in our view).
+  [[nodiscard]] std::vector<ViewEntry> copy_batch(std::size_t count, Rng& rng);
+
+  // Merges entries, skipping self-edges and ids already present; when the
+  // view is full a random victim slot is overwritten.
+  void merge(const std::vector<ViewEntry>& entries, Rng& rng);
+
+  PushPullConfig config_;
+};
+
+}  // namespace gossip

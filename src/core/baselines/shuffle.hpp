@@ -1,0 +1,48 @@
+// Shuffle baseline (Cyclon-style view exchange; refs [1, 26, 27] in the
+// paper).
+//
+// The initiator removes a batch of entries from its view (the first names
+// the exchange partner) and sends them; the partner removes an equally
+// sized batch, sends it back, and stores the received entries; the
+// initiator stores the reply. Sent ids are *deleted at send time*, so — as
+// §3.1 observes — the protocol cannot withstand message loss: every lost
+// request or reply permanently removes ids from the system, and outdegrees
+// collapse over time. This baseline exists to demonstrate exactly that
+// failure mode next to S&F.
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+
+namespace gossip {
+
+struct ShuffleConfig {
+  std::size_t view_size = 40;
+  // Number of entries exchanged per action (including the edge to the
+  // partner itself). Clamped to the current degree.
+  std::size_t shuffle_length = 4;
+  // When true the initiator inserts its own id into the batch it sends
+  // (Cyclon's reinforcement step).
+  bool send_self = true;
+};
+
+class Shuffle final : public PeerProtocol {
+ public:
+  Shuffle(NodeId self, const ShuffleConfig& config);
+
+  [[nodiscard]] const ShuffleConfig& config() const { return config_; }
+
+  void on_initiate(Rng& rng, Transport& transport) override;
+  void on_message(const Message& message, Rng& rng,
+                  Transport& transport) override;
+
+ private:
+  // Stores every entry into empty slots (exact swap — self-edges are
+  // stored, not discarded); drops overflow (counted as deletions).
+  void absorb(const std::vector<ViewEntry>& entries, Rng& rng);
+
+  ShuffleConfig config_;
+};
+
+}  // namespace gossip

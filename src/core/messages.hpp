@@ -1,0 +1,32 @@
+// Wire messages exchanged by membership protocols.
+//
+// A message is the unit the network may lose (§4: uniform i.i.d. loss).
+// S&F uses only kPush; the baseline protocols add request/reply kinds.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/view.hpp"
+
+namespace gossip {
+
+enum class MessageKind : std::uint8_t {
+  kPush,            // S&F: [u, w] — sender id implicit in `from`
+  kShuffleRequest,  // shuffle baseline: entries removed from sender's view
+  kShuffleReply,    // shuffle baseline: entries removed from replier's view
+  kPushPullRequest, // push-pull baseline: copied entries (kept by sender)
+  kPushPullReply,   // push-pull baseline: copied entries (kept by replier)
+  kNewscastExchange, // newscast baseline: full view copy, youngest first
+  kNewscastReply,    // newscast baseline: reply with the replier's copy
+};
+
+struct Message {
+  NodeId from = kNilNode;
+  NodeId to = kNilNode;
+  MessageKind kind = MessageKind::kPush;
+  std::vector<ViewEntry> payload;
+};
+
+}  // namespace gossip

@@ -1,0 +1,45 @@
+#include "core/metrics.hpp"
+
+#include <sstream>
+
+namespace gossip {
+
+double ProtocolMetrics::duplication_rate() const {
+  const std::uint64_t effective = actions_initiated - self_loop_actions;
+  if (effective == 0) return 0.0;
+  return static_cast<double>(duplications) / static_cast<double>(effective);
+}
+
+double ProtocolMetrics::deletion_rate_received() const {
+  if (messages_received == 0) return 0.0;
+  return static_cast<double>(deletions) /
+         static_cast<double>(messages_received);
+}
+
+double ProtocolMetrics::self_loop_rate() const {
+  if (actions_initiated == 0) return 0.0;
+  return static_cast<double>(self_loop_actions) /
+         static_cast<double>(actions_initiated);
+}
+
+ProtocolMetrics& ProtocolMetrics::operator+=(const ProtocolMetrics& other) {
+  actions_initiated += other.actions_initiated;
+  self_loop_actions += other.self_loop_actions;
+  messages_sent += other.messages_sent;
+  duplications += other.duplications;
+  messages_received += other.messages_received;
+  deletions += other.deletions;
+  ids_accepted += other.ids_accepted;
+  return *this;
+}
+
+std::string ProtocolMetrics::to_string() const {
+  std::ostringstream out;
+  out << "actions=" << actions_initiated
+      << " self_loops=" << self_loop_actions << " sent=" << messages_sent
+      << " dup=" << duplications << " recv=" << messages_received
+      << " del=" << deletions << " accepted=" << ids_accepted;
+  return out.str();
+}
+
+}  // namespace gossip

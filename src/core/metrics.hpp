@@ -1,0 +1,42 @@
+// Per-node protocol counters.
+//
+// These counters back the empirical verification of the paper's
+// steady-state identities: duplication probability in [ℓ, ℓ+δ] (Lemma 6.7)
+// and dup = ℓ + del (Lemma 6.6).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace gossip {
+
+struct ProtocolMetrics {
+  // Actions initiated (protocol timer fired / driver picked this node).
+  std::uint64_t actions_initiated = 0;
+  // Actions that had no effect because a selected slot was empty
+  // ("self-loop transformations", §6.2).
+  std::uint64_t self_loop_actions = 0;
+  // Messages actually sent (actions_initiated - self_loop_actions for S&F).
+  std::uint64_t messages_sent = 0;
+  // Actions in which the sent ids were kept (d(u) <= dL), §5.
+  std::uint64_t duplications = 0;
+  // Messages received.
+  std::uint64_t messages_received = 0;
+  // Messages whose ids were dropped because the view was full (d(u) = s).
+  std::uint64_t deletions = 0;
+  // Individual ids accepted into the view.
+  std::uint64_t ids_accepted = 0;
+
+  // Fraction of non-self-loop actions that performed duplication.
+  [[nodiscard]] double duplication_rate() const;
+  // Fraction of received messages that were deleted.
+  [[nodiscard]] double deletion_rate_received() const;
+  // Fraction of initiated actions that were self-loops.
+  [[nodiscard]] double self_loop_rate() const;
+
+  ProtocolMetrics& operator+=(const ProtocolMetrics& other);
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+}  // namespace gossip

@@ -1,0 +1,67 @@
+#include "core/peer_sampler.hpp"
+
+#include <cassert>
+
+namespace gossip {
+
+FreshPeerSampler::FreshPeerSampler(const PeerProtocol& protocol)
+    : protocol_(protocol),
+      served_ids_(protocol.view().capacity(), kNilNode) {}
+
+bool FreshPeerSampler::eligible(std::size_t slot) const {
+  const auto& view = protocol_.view();
+  if (view.slot_empty(slot)) return false;
+  const NodeId id = view.entry(slot).id;
+  if (id == protocol_.self()) return false;
+  // Serving the same id from the same slot twice would correlate samples;
+  // a *different* id in the slot means the protocol replaced the entry.
+  return served_ids_[slot] != id;
+}
+
+std::optional<NodeId> FreshPeerSampler::sample(Rng& rng) {
+  const auto& view = protocol_.view();
+  // Reservoir selection over eligible slots (views are small).
+  std::size_t chosen = view.capacity();
+  std::size_t seen = 0;
+  for (std::size_t slot = 0; slot < view.capacity(); ++slot) {
+    if (!eligible(slot)) continue;
+    ++seen;
+    if (rng.uniform(seen) == 0) chosen = slot;
+  }
+  if (chosen == view.capacity()) return std::nullopt;
+  const NodeId id = view.entry(chosen).id;
+  served_ids_[chosen] = id;
+  ++served_;
+  return id;
+}
+
+std::vector<NodeId> FreshPeerSampler::sample_batch(std::size_t count,
+                                                   Rng& rng) {
+  std::vector<NodeId> out;
+  out.reserve(count);
+  for (std::size_t k = 0; k < count; ++k) {
+    const auto peer = sample(rng);
+    if (!peer) break;
+    out.push_back(*peer);
+  }
+  return out;
+}
+
+double FreshPeerSampler::freshness() const {
+  const auto& view = protocol_.view();
+  if (view.degree() == 0) return 0.0;
+  std::size_t fresh = 0;
+  std::size_t nonempty = 0;
+  for (std::size_t slot = 0; slot < view.capacity(); ++slot) {
+    if (view.slot_empty(slot)) continue;
+    ++nonempty;
+    if (eligible(slot)) ++fresh;
+  }
+  return static_cast<double>(fresh) / static_cast<double>(nonempty);
+}
+
+void FreshPeerSampler::reset() {
+  served_ids_.assign(served_ids_.size(), kNilNode);
+}
+
+}  // namespace gossip

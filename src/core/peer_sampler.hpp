@@ -1,0 +1,54 @@
+// Application-facing peer sampling on top of a membership protocol.
+//
+// The paper's motivating applications (§1) "constantly require fresh
+// random node ids, independent of past views". FreshPeerSampler serves
+// exactly that contract: it hands out the current view's entries but
+// never the same (slot, id) occupancy twice — a slot becomes eligible
+// again only after the protocol has replaced its content. Temporal
+// independence (Property M5) guarantees the turnover that keeps the
+// sampler supplied.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/protocol.hpp"
+
+namespace gossip {
+
+class FreshPeerSampler {
+ public:
+  // Borrows the protocol; it must outlive the sampler.
+  explicit FreshPeerSampler(const PeerProtocol& protocol);
+
+  // A uniformly random *fresh* peer: occupies a slot whose content has
+  // not been served before. Self ids are skipped (they are not peers).
+  // Returns nullopt when every current entry has already been served —
+  // run protocol actions and retry.
+  [[nodiscard]] std::optional<NodeId> sample(Rng& rng);
+
+  // Up to `count` distinct fresh peers (may return fewer).
+  [[nodiscard]] std::vector<NodeId> sample_batch(std::size_t count, Rng& rng);
+
+  // Fraction of the view's nonempty slots currently eligible.
+  [[nodiscard]] double freshness() const;
+
+  [[nodiscard]] std::uint64_t served_count() const { return served_; }
+
+  // Forgets all served marks (e.g. after an application epoch).
+  void reset();
+
+ private:
+  [[nodiscard]] bool eligible(std::size_t slot) const;
+
+  const PeerProtocol& protocol_;
+  // Per-slot: the id most recently served from that slot (kNilNode if the
+  // slot has never been served).
+  std::vector<NodeId> served_ids_;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace gossip

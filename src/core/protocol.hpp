@@ -1,0 +1,76 @@
+// Abstract membership-protocol interface.
+//
+// A protocol instance is a pure per-node state machine: it owns its local
+// view and counters, and performs I/O only through the Transport handed to
+// each step. The same protocol code therefore runs under the serialized
+// round driver used for analysis (§4.1's "central entity" model) and under
+// the concurrent discrete-event simulator.
+//
+// Each call into the protocol corresponds to one *step* in the paper's sense
+// (§4.1): it executes atomically at a single node, may consume one message,
+// may modify the view, and may send messages. Nonatomicity of multi-step
+// actions arises from the network layer, which may drop any sent message.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "core/metrics.hpp"
+#include "core/view.hpp"
+
+namespace gossip {
+
+// Outbound message sink provided by the driver/network layer.
+class Transport {
+ public:
+  virtual ~Transport() = default;
+  virtual void send(Message message) = 0;
+};
+
+class PeerProtocol {
+ public:
+  virtual ~PeerProtocol() = default;
+
+  PeerProtocol(const PeerProtocol&) = delete;
+  PeerProtocol& operator=(const PeerProtocol&) = delete;
+
+  [[nodiscard]] NodeId self() const { return self_; }
+  [[nodiscard]] const LocalView& view() const { return view_; }
+  [[nodiscard]] const ProtocolMetrics& metrics() const { return metrics_; }
+
+  // One protocol action initiated at this node (a step; any messages it
+  // sends go through `transport` and may be lost).
+  virtual void on_initiate(Rng& rng, Transport& transport) = 0;
+
+  // Delivery of one message addressed to this node (a receive step).
+  virtual void on_message(const Message& message, Rng& rng,
+                          Transport& transport) = 0;
+
+  // Installs an initial view: up to capacity ids are written into the first
+  // slots, tagged independent. Used to load generated topologies.
+  void install_view(const std::vector<NodeId>& ids) {
+    view_.clear_all();
+    const std::size_t count = std::min(ids.size(), view_.capacity());
+    for (std::size_t i = 0; i < count; ++i) {
+      view_.set(i, ViewEntry{ids[i], /*dependent=*/false});
+    }
+  }
+
+ protected:
+  PeerProtocol(NodeId self, std::size_t view_capacity)
+      : self_(self), view_(view_capacity) {}
+
+  LocalView& mutable_view() { return view_; }
+  ProtocolMetrics& mutable_metrics() { return metrics_; }
+
+ private:
+  NodeId self_;
+  LocalView view_;
+  ProtocolMetrics metrics_;
+};
+
+}  // namespace gossip

@@ -1,0 +1,105 @@
+#include "core/send_forget.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip {
+
+void SendForgetConfig::validate() const {
+  if (view_size < 6) {
+    throw std::invalid_argument("S&F requires view size s >= 6");
+  }
+  if (view_size % 2 != 0) {
+    throw std::invalid_argument("S&F requires even view size s");
+  }
+  if (min_degree % 2 != 0) {
+    throw std::invalid_argument("S&F requires even min degree dL");
+  }
+  if (min_degree + 6 > view_size) {
+    throw std::invalid_argument("S&F requires dL <= s - 6");
+  }
+}
+
+SendForgetConfig default_send_forget_config() {
+  return SendForgetConfig{.view_size = 40, .min_degree = 18};
+}
+
+SendForget::SendForget(NodeId self, const SendForgetConfig& config)
+    : PeerProtocol(self, config.view_size), config_(config) {
+  config_.validate();
+}
+
+void SendForget::on_initiate(Rng& rng, Transport& transport) {
+  auto& view = mutable_view();
+  auto& metrics = mutable_metrics();
+  ++metrics.actions_initiated;
+
+  const auto [i, j] = rng.distinct_pair(view.capacity());
+  if (view.slot_empty(i) || view.slot_empty(j)) {
+    // "If either of them is empty, nothing happens" — a self-loop
+    // transformation in the MC model.
+    ++metrics.self_loop_actions;
+    return;
+  }
+
+  const NodeId target = view.entry(i).id;  // v
+  const ViewEntry carried = view.entry(j); // w
+
+  const bool duplicate = view.degree() <= config_.min_degree;
+  if (duplicate) {
+    ++metrics.duplications;
+  } else {
+    view.clear(i);
+    view.clear(j);
+  }
+
+  // The message [u, w]. Dependence tags implement the dependence MC of
+  // Fig 7.1: ids sent *with* duplication are the newly created dependent
+  // instances; ids sent *without* duplication move (and become/remain
+  // representative, i.e. independent).
+  Message message;
+  message.from = self();
+  message.to = target;
+  message.kind = MessageKind::kPush;
+  message.payload = {ViewEntry{self(), duplicate},
+                     ViewEntry{carried.id, duplicate}};
+  transport.send(std::move(message));
+  ++metrics.messages_sent;
+}
+
+void SendForget::on_message(const Message& message, Rng& rng,
+                            Transport& /*transport*/) {
+  auto& metrics = mutable_metrics();
+  ++metrics.messages_received;
+  // Trust boundary: a malformed message (wrong kind, or a payload whose
+  // size would break the even-degree invariant) is ignored outright.
+  if (message.kind != MessageKind::kPush || message.payload.size() != 2 ||
+      message.payload[0].empty() || message.payload[1].empty()) {
+    return;
+  }
+  auto& view = mutable_view();
+
+  if (view.full()) {
+    // d(u) = s: the received ids are deleted.
+    ++metrics.deletions;
+    return;
+  }
+  // Outdegree is even (Obs 5.1) and capacity is even, so a non-full view
+  // has at least two empty slots; stay robust anyway if a caller installed
+  // an odd-degree initial view.
+  assert(view.empty_slots() >= 2);
+  for (ViewEntry entry : message.payload) {
+    assert(!entry.empty());
+    if (view.full()) {
+      ++metrics.deletions;
+      break;
+    }
+    // A received copy of our own id forms a self-edge; the paper labels all
+    // self-edges dependent (§2).
+    if (entry.id == self()) entry.dependent = true;
+    view.set(view.random_empty_slot(rng), entry);
+    ++metrics.ids_accepted;
+  }
+}
+
+}  // namespace gossip

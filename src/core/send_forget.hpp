@@ -1,0 +1,54 @@
+// The Send & Forget (S&F) membership protocol — Figure 5.1 of the paper.
+//
+// S&F is push-only and bookkeeping-free: after a node sends a message it
+// "forgets" about it, so actions never overlap at a node and the protocol
+// tolerates message loss by construction. Loss is compensated by
+// *duplication*: when the sender's outdegree is at the lower threshold dL,
+// the sent ids are kept instead of cleared, creating (the only) dependent
+// view entries.
+//
+//   InitiateAction(u):                    Receive(u, [v1, v2]):
+//     select 1 <= i != j <= s u.a.r.        if d(u) < s:
+//     v <- u.lv[i]; w <- u.lv[j]              put v1, v2 into two empty
+//     if v != ⊥ and w != ⊥:                   slots chosen u.a.r.
+//       send [u, w] to v                    else: delete (drop) them
+//       if d(u) > dL:
+//         u.lv[i] <- ⊥; u.lv[j] <- ⊥       Invariant (Obs 5.1): d(u) is
+//       (else: duplication)                 always even and in [dL, s].
+#pragma once
+
+#include <cstddef>
+
+#include "core/protocol.hpp"
+
+namespace gossip {
+
+struct SendForgetConfig {
+  // View size s: even, >= 6 (§5).
+  std::size_t view_size = 40;
+  // Lower outdegree threshold dL: even, 0 <= dL <= s - 6 (§5).
+  std::size_t min_degree = 18;
+
+  // Throws std::invalid_argument when the constraints above are violated.
+  void validate() const;
+};
+
+// Returns the paper's example configuration from §6.3 (d_hat = 30,
+// delta = 0.01): dL = 18, s = 40.
+[[nodiscard]] SendForgetConfig default_send_forget_config();
+
+class SendForget final : public PeerProtocol {
+ public:
+  SendForget(NodeId self, const SendForgetConfig& config);
+
+  [[nodiscard]] const SendForgetConfig& config() const { return config_; }
+
+  void on_initiate(Rng& rng, Transport& transport) override;
+  void on_message(const Message& message, Rng& rng,
+                  Transport& transport) override;
+
+ private:
+  SendForgetConfig config_;
+};
+
+}  // namespace gossip

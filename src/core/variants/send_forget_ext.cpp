@@ -1,0 +1,150 @@
+#include "core/variants/send_forget_ext.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip {
+
+void SendForgetExtConfig::validate() const {
+  if (view_size < 6 || view_size % 2 != 0) {
+    throw std::invalid_argument("view size s must be even and >= 6");
+  }
+  if (min_degree % 2 != 0 || min_degree + 6 > view_size) {
+    throw std::invalid_argument("dL must be even with dL <= s - 6");
+  }
+  if (pairs_per_message == 0) {
+    throw std::invalid_argument("pairs_per_message must be >= 1");
+  }
+  if (2 * pairs_per_message > view_size) {
+    throw std::invalid_argument("a message cannot carry more ids than s");
+  }
+}
+
+SendForgetExt::SendForgetExt(NodeId self, const SendForgetExtConfig& config)
+    : PeerProtocol(self, config.view_size), config_(config) {
+  config_.validate();
+}
+
+std::size_t SendForgetExt::tombstone_count() const {
+  return tombstones_.size();
+}
+
+std::size_t SendForgetExt::undelete(std::size_t count) {
+  // Revive in pairs to preserve the even-degree invariant.
+  std::size_t to_revive = std::min(count, tombstones_.size());
+  to_revive -= to_revive % 2;
+  auto& view = mutable_view();
+  for (std::size_t k = 0; k < to_revive; ++k) {
+    Tombstone tomb = tombstones_.front();
+    tombstones_.erase(tombstones_.begin());
+    assert(view.slot_empty(tomb.slot));
+    // The revived instance duplicates the copy that was sent out; label it
+    // dependent, like a duplication would be.
+    tomb.entry.dependent = true;
+    view.set(tomb.slot, tomb.entry);
+    ++undeletions_;
+  }
+  return to_revive;
+}
+
+void SendForgetExt::on_initiate(Rng& rng, Transport& transport) {
+  auto& view = mutable_view();
+  auto& metrics = mutable_metrics();
+  ++metrics.actions_initiated;
+
+  const std::size_t batch = 2 * config_.pairs_per_message;
+  const auto slots = rng.sample_without_replacement(view.capacity(), batch);
+  for (const std::size_t slot : slots) {
+    if (view.slot_empty(slot)) {
+      ++metrics.self_loop_actions;
+      return;
+    }
+  }
+
+  const NodeId target = view.entry(slots.front()).id;
+
+  // Decide between clearing (possibly as tombstones) and duplication.
+  bool duplicate = view.degree() < config_.min_degree + batch;
+  if (duplicate && config_.mark_instead_of_clear) {
+    // Optimization 1: revive tombstones instead of duplicating.
+    undelete(batch);
+    duplicate = view.degree() < config_.min_degree + batch;
+  }
+
+  Message message;
+  message.from = self();
+  message.to = target;
+  message.kind = MessageKind::kPush;
+  message.payload.reserve(batch);
+  message.payload.push_back(ViewEntry{self(), duplicate});
+  for (std::size_t k = 1; k < slots.size(); ++k) {
+    message.payload.push_back(
+        ViewEntry{view.entry(slots[k]).id, duplicate});
+  }
+
+  if (duplicate) {
+    ++metrics.duplications;
+  } else {
+    for (const std::size_t slot : slots) {
+      if (config_.mark_instead_of_clear) {
+        tombstones_.push_back(Tombstone{slot, view.entry(slot)});
+      }
+      view.clear(slot);
+    }
+  }
+
+  transport.send(std::move(message));
+  ++metrics.messages_sent;
+}
+
+void SendForgetExt::on_message(const Message& message, Rng& rng,
+                               Transport& /*transport*/) {
+  auto& metrics = mutable_metrics();
+  ++metrics.messages_received;
+  // Trust boundary: ignore malformed input — wrong kind, empty or
+  // odd-sized payloads (which would break the even-degree invariant), or
+  // payloads with empty entries.
+  if (message.kind != MessageKind::kPush || message.payload.empty() ||
+      message.payload.size() % 2 != 0) {
+    return;
+  }
+  for (const auto& entry : message.payload) {
+    if (entry.empty()) return;
+  }
+  store_received(message.payload, rng);
+}
+
+void SendForgetExt::store_received(const std::vector<ViewEntry>& entries,
+                                   Rng& rng) {
+  auto& view = mutable_view();
+  auto& metrics = mutable_metrics();
+  bool dropped = false;
+  for (ViewEntry entry : entries) {
+    assert(!entry.empty());
+    if (entry.id == self()) entry.dependent = true;  // self-edge (§2)
+    if (!view.full()) {
+      const std::size_t slot = view.random_empty_slot(rng);
+      // A tombstone stashed on this slot is gone for good: its space has
+      // been reused.
+      std::erase_if(tombstones_,
+                    [slot](const Tombstone& t) { return t.slot == slot; });
+      view.set(slot, entry);
+      ++metrics.ids_accepted;
+      continue;
+    }
+    if (config_.replace_when_full) {
+      // Optimization 2: evict a random existing entry instead of dropping
+      // the fresh id.
+      view.set(view.random_nonempty_slot(rng), entry);
+      ++replacements_;
+      ++metrics.ids_accepted;
+      continue;
+    }
+    dropped = true;
+    break;
+  }
+  if (dropped) ++metrics.deletions;
+}
+
+}  // namespace gossip

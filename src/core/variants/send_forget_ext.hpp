@@ -1,0 +1,76 @@
+// Extended S&F: the three optimizations sketched (and deliberately left
+// unanalyzed) at the end of §5:
+//
+//   1. *Mark & undelete* — instead of clearing sent ids, mark them as
+//      tombstones; when the protocol would duplicate (d <= dL) it first
+//      revives tombstones. If the message that carried the ids was lost,
+//      undeletion restores exactly the lost instances, so compensation is
+//      better targeted than blind duplication.
+//   2. *Replace when full* — a full view replaces random existing entries
+//      with the received ids instead of dropping the new ones, keeping
+//      fresh information flowing.
+//   3. *Batched messages* — one message carries the sender's id plus
+//      2p - 1 view ids (p "pairs"), amortizing per-message overhead.
+//
+// The base protocol is the special case p = 1 with both flags off; the
+// ablation bench quantifies what each optimization buys (and costs in
+// dependence).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace gossip {
+
+struct SendForgetExtConfig {
+  std::size_t view_size = 40;   // s, even, >= 6
+  std::size_t min_degree = 18;  // dL, even, <= s - 6
+  // Optimization 3: ids per message = 2 * pairs_per_message (the sender's
+  // own id plus 2p - 1 carried ids). p = 1 reproduces the base protocol.
+  std::size_t pairs_per_message = 1;
+  // Optimization 1.
+  bool mark_instead_of_clear = false;
+  // Optimization 2.
+  bool replace_when_full = false;
+
+  void validate() const;
+};
+
+class SendForgetExt final : public PeerProtocol {
+ public:
+  SendForgetExt(NodeId self, const SendForgetExtConfig& config);
+
+  [[nodiscard]] const SendForgetExtConfig& config() const { return config_; }
+
+  void on_initiate(Rng& rng, Transport& transport) override;
+  void on_message(const Message& message, Rng& rng,
+                  Transport& transport) override;
+
+  // Extension metrics beyond the shared ProtocolMetrics.
+  [[nodiscard]] std::uint64_t undeletions() const { return undeletions_; }
+  [[nodiscard]] std::uint64_t replacements() const { return replacements_; }
+  // Number of currently tombstoned slots (mark & undelete only).
+  [[nodiscard]] std::size_t tombstone_count() const;
+
+ private:
+  // Revives up to `count` tombstones (oldest first); returns how many.
+  std::size_t undelete(std::size_t count);
+  // Drops all tombstones in the given slots (they were consumed).
+  void store_received(const std::vector<ViewEntry>& entries, Rng& rng);
+
+  SendForgetExtConfig config_;
+  // Tombstones: slot indices whose entry was sent but kept revivable.
+  // Invariant: a slot index appears at most once; tombstoned slots look
+  // empty to the view (the entry is stashed here).
+  struct Tombstone {
+    std::size_t slot;
+    ViewEntry entry;
+  };
+  std::vector<Tombstone> tombstones_;
+  std::uint64_t undeletions_ = 0;
+  std::uint64_t replacements_ = 0;
+};
+
+}  // namespace gossip

@@ -1,0 +1,111 @@
+#include "core/view.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace gossip {
+
+LocalView::LocalView(std::size_t capacity) : slots_(capacity) {
+  assert(capacity > 0);
+}
+
+bool LocalView::slot_empty(std::size_t i) const {
+  assert(i < slots_.size());
+  return slots_[i].empty();
+}
+
+const ViewEntry& LocalView::entry(std::size_t i) const {
+  assert(i < slots_.size());
+  return slots_[i];
+}
+
+void LocalView::set(std::size_t i, ViewEntry entry) {
+  assert(i < slots_.size());
+  assert(!entry.empty());
+  if (slots_[i].empty()) ++degree_;
+  slots_[i] = entry;
+}
+
+void LocalView::clear(std::size_t i) {
+  assert(i < slots_.size());
+  if (!slots_[i].empty()) --degree_;
+  slots_[i] = ViewEntry{};
+}
+
+std::size_t LocalView::random_empty_slot(Rng& rng) const {
+  assert(empty_slots() > 0);
+  // Views are small (s <= ~100); a reservoir scan is simple and exact.
+  std::size_t chosen = slots_.size();
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].empty()) continue;
+    ++seen;
+    if (rng.uniform(seen) == 0) chosen = i;
+  }
+  assert(chosen < slots_.size());
+  return chosen;
+}
+
+std::size_t LocalView::random_nonempty_slot(Rng& rng) const {
+  assert(degree_ > 0);
+  std::size_t chosen = slots_.size();
+  std::size_t seen = 0;
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    if (slots_[i].empty()) continue;
+    ++seen;
+    if (rng.uniform(seen) == 0) chosen = i;
+  }
+  assert(chosen < slots_.size());
+  return chosen;
+}
+
+std::size_t LocalView::multiplicity(NodeId id) const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (!slot.empty() && slot.id == id) ++count;
+  }
+  return count;
+}
+
+std::vector<ViewEntry> LocalView::entries() const {
+  std::vector<ViewEntry> out;
+  out.reserve(degree_);
+  for (const auto& slot : slots_) {
+    if (!slot.empty()) out.push_back(slot);
+  }
+  return out;
+}
+
+std::vector<NodeId> LocalView::ids() const {
+  std::vector<NodeId> out;
+  out.reserve(degree_);
+  for (const auto& slot : slots_) {
+    if (!slot.empty()) out.push_back(slot.id);
+  }
+  return out;
+}
+
+std::size_t LocalView::dependent_count() const {
+  std::size_t count = 0;
+  for (const auto& slot : slots_) {
+    if (!slot.empty() && slot.dependent) ++count;
+  }
+  return count;
+}
+
+std::size_t LocalView::intra_view_duplicates() const {
+  auto sorted = ids();
+  std::sort(sorted.begin(), sorted.end());
+  std::size_t duplicates = 0;
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i] == sorted[i - 1]) ++duplicates;
+  }
+  return duplicates;
+}
+
+void LocalView::clear_all() {
+  for (auto& slot : slots_) slot = ViewEntry{};
+  degree_ = 0;
+}
+
+}  // namespace gossip

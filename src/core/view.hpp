@@ -1,0 +1,85 @@
+// Local membership view (u.lv in the paper, §2).
+//
+// A view is an array of `s` slots, each either empty (⊥) or holding a node
+// id. Duplicate ids are allowed (the view is a multiset). Each nonempty slot
+// additionally carries a dependence tag used to *measure* the spatial
+// independence property (M4): a slot is tagged dependent when its content
+// was created by a duplication (see §7.4 and the dependence MC of Fig 7.1).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+
+namespace gossip {
+
+struct ViewEntry {
+  NodeId id = kNilNode;
+  // True if this id instance was created by duplication (or is a self-edge);
+  // propagated through messages. Purely observational: the protocol never
+  // reads it.
+  bool dependent = false;
+
+  [[nodiscard]] bool empty() const { return id == kNilNode; }
+  [[nodiscard]] bool operator==(const ViewEntry&) const = default;
+};
+
+class LocalView {
+ public:
+  // Creates a view with `capacity` slots, all empty. The paper requires the
+  // capacity s to be even and >= 6 for its reachability proofs; that
+  // constraint is enforced by the protocol configs, not here, so tests can
+  // exercise small views.
+  explicit LocalView(std::size_t capacity);
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+
+  // Outdegree d(u): number of nonempty slots.
+  [[nodiscard]] std::size_t degree() const { return degree_; }
+  [[nodiscard]] std::size_t empty_slots() const {
+    return capacity() - degree_;
+  }
+  [[nodiscard]] bool full() const { return degree_ == capacity(); }
+
+  [[nodiscard]] bool slot_empty(std::size_t i) const;
+  // Slot contents; entry(i).empty() for an empty slot.
+  [[nodiscard]] const ViewEntry& entry(std::size_t i) const;
+
+  // Writes a nonempty entry into slot i (slot may be empty or occupied).
+  void set(std::size_t i, ViewEntry entry);
+
+  // Empties slot i (idempotent).
+  void clear(std::size_t i);
+
+  // Uniformly random empty slot index. Requires empty_slots() > 0.
+  [[nodiscard]] std::size_t random_empty_slot(Rng& rng) const;
+
+  // Uniformly random nonempty slot index. Requires degree() > 0.
+  [[nodiscard]] std::size_t random_nonempty_slot(Rng& rng) const;
+
+  // Multiplicity of `id` among nonempty slots.
+  [[nodiscard]] std::size_t multiplicity(NodeId id) const;
+  [[nodiscard]] bool contains(NodeId id) const { return multiplicity(id) > 0; }
+
+  // Nonempty entries in slot order.
+  [[nodiscard]] std::vector<ViewEntry> entries() const;
+  // Ids of nonempty entries in slot order (with multiplicity).
+  [[nodiscard]] std::vector<NodeId> ids() const;
+
+  // Number of nonempty slots tagged dependent.
+  [[nodiscard]] std::size_t dependent_count() const;
+
+  // Number of redundant duplicate ids within this view (multiset count
+  // minus distinct count over nonempty slots).
+  [[nodiscard]] std::size_t intra_view_duplicates() const;
+
+  void clear_all();
+
+ private:
+  std::vector<ViewEntry> slots_;
+  std::size_t degree_ = 0;
+};
+
+}  // namespace gossip

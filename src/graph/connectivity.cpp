@@ -1,0 +1,200 @@
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <queue>
+#include <stack>
+
+namespace gossip {
+
+namespace {
+
+// Builds an undirected adjacency list (each directed edge contributes both
+// directions; multiplicities collapse naturally for traversal purposes).
+std::vector<std::vector<NodeId>> undirected_adjacency(const Digraph& g) {
+  std::vector<std::vector<NodeId>> adj(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    for (const NodeId v : g.out_neighbors(u)) {
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  return adj;
+}
+
+// BFS over an undirected adjacency list from `start`, restricted to vertices
+// where live[v] is true. Returns (visited flags, max depth reached).
+std::pair<std::vector<bool>, std::size_t> bfs(
+    const std::vector<std::vector<NodeId>>& adj, NodeId start,
+    const std::vector<bool>& live) {
+  std::vector<bool> seen(adj.size(), false);
+  std::queue<std::pair<NodeId, std::size_t>> frontier;
+  seen[start] = true;
+  frontier.emplace(start, 0);
+  std::size_t max_depth = 0;
+  while (!frontier.empty()) {
+    const auto [u, depth] = frontier.front();
+    frontier.pop();
+    max_depth = std::max(max_depth, depth);
+    for (const NodeId v : adj[u]) {
+      if (!seen[v] && live[v]) {
+        seen[v] = true;
+        frontier.emplace(v, depth + 1);
+      }
+    }
+  }
+  return {std::move(seen), max_depth};
+}
+
+}  // namespace
+
+bool is_weakly_connected(const Digraph& g) {
+  const std::vector<bool> live(g.node_count(), true);
+  return is_weakly_connected_among(g, live);
+}
+
+bool is_weakly_connected_among(const Digraph& g,
+                               const std::vector<bool>& live) {
+  assert(live.size() == g.node_count());
+  std::size_t live_count = 0;
+  NodeId start = kNilNode;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (live[u]) {
+      ++live_count;
+      if (start == kNilNode) start = u;
+    }
+  }
+  if (live_count <= 1) return true;
+
+  // Restrict traversal to live endpoints.
+  std::vector<std::vector<NodeId>> adj(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (!live[u]) continue;
+    for (const NodeId v : g.out_neighbors(u)) {
+      if (!live[v]) continue;
+      adj[u].push_back(v);
+      adj[v].push_back(u);
+    }
+  }
+  const auto [seen, depth] = bfs(adj, start, live);
+  (void)depth;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (live[u] && !seen[u]) return false;
+  }
+  return true;
+}
+
+std::vector<std::size_t> weak_component_sizes(const Digraph& g) {
+  const auto adj = undirected_adjacency(g);
+  const std::vector<bool> live(g.node_count(), true);
+  std::vector<bool> assigned(g.node_count(), false);
+  std::vector<std::size_t> sizes;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    if (assigned[u]) continue;
+    const auto [seen, depth] = bfs(adj, u, live);
+    (void)depth;
+    std::size_t size = 0;
+    for (NodeId v = 0; v < g.node_count(); ++v) {
+      if (seen[v] && !assigned[v]) {
+        assigned[v] = true;
+        ++size;
+      }
+    }
+    sizes.push_back(size);
+  }
+  std::sort(sizes.rbegin(), sizes.rend());
+  return sizes;
+}
+
+namespace {
+
+// Iterative Tarjan strongly-connected-components.
+std::size_t tarjan_scc_count(const Digraph& g) {
+  const std::size_t n = g.node_count();
+  constexpr std::uint32_t kUnvisited = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<NodeId> scc_stack;
+  std::uint32_t next_index = 0;
+  std::size_t scc_count = 0;
+
+  struct Frame {
+    NodeId node;
+    std::size_t child;
+  };
+  std::stack<Frame> call_stack;
+
+  for (NodeId root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.top();
+      const auto& neighbors = g.out_neighbors(frame.node);
+      if (frame.child < neighbors.size()) {
+        const NodeId w = neighbors[frame.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[w]);
+        }
+      } else {
+        const NodeId v = frame.node;
+        call_stack.pop();
+        if (!call_stack.empty()) {
+          const NodeId parent = call_stack.top().node;
+          lowlink[parent] = std::min(lowlink[parent], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          ++scc_count;
+          NodeId w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+          } while (w != v);
+        }
+      }
+    }
+  }
+  return scc_count;
+}
+
+}  // namespace
+
+bool is_strongly_connected(const Digraph& g) {
+  if (g.node_count() <= 1) return true;
+  return tarjan_scc_count(g) == 1;
+}
+
+std::size_t strong_component_count(const Digraph& g) {
+  return tarjan_scc_count(g);
+}
+
+std::size_t estimate_undirected_diameter(const Digraph& g,
+                                         std::size_t sample_count) {
+  const std::size_t n = g.node_count();
+  if (n < 2) return 0;
+  const auto adj = undirected_adjacency(g);
+  const std::vector<bool> live(n, true);
+  std::size_t worst = 0;
+  const std::size_t step = std::max<std::size_t>(1, n / std::max<std::size_t>(1, sample_count));
+  for (NodeId start = 0; start < n; start += static_cast<NodeId>(step)) {
+    const auto [seen, depth] = bfs(adj, start, live);
+    for (NodeId v = 0; v < n; ++v) {
+      if (!seen[v]) return std::numeric_limits<std::size_t>::max();
+    }
+    worst = std::max(worst, depth);
+  }
+  return worst;
+}
+
+}  // namespace gossip

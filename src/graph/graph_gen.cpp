@@ -1,0 +1,73 @@
+#include "graph/graph_gen.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip {
+
+Digraph random_out_regular(std::size_t n, std::size_t out_degree, Rng& rng) {
+  if (out_degree >= n) throw std::invalid_argument("out_degree must be < n");
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    // Sample from [0, n-1) and skip over u to exclude self-edges.
+    for (const std::size_t raw : rng.sample_without_replacement(n - 1, out_degree)) {
+      auto v = static_cast<NodeId>(raw);
+      if (v >= u) ++v;
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph ring_with_chords(std::size_t n, std::size_t chords_per_node,
+                         Rng& rng) {
+  assert(n >= 2);
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+    for (std::size_t c = 0; c < chords_per_node; ++c) {
+      auto v = static_cast<NodeId>(rng.uniform(n - 1));
+      if (v >= u) ++v;
+      g.add_edge(u, v);
+    }
+  }
+  return g;
+}
+
+Digraph permutation_regular(std::size_t n, std::size_t k, Rng& rng) {
+  if (n < 2) throw std::invalid_argument("need at least 2 nodes");
+  Digraph g(n);
+  for (std::size_t round = 0; round < k; ++round) {
+    auto perm = rng.permutation(n);
+    // Remove fixed points by swapping each with its successor; the result
+    // remains a permutation and has no fixed points.
+    for (std::size_t i = 0; i < n; ++i) {
+      if (perm[i] == i) std::swap(perm[i], perm[(i + 1) % n]);
+    }
+    for (std::size_t i = 0; i < n; ++i) {
+      assert(perm[i] != i);
+      g.add_edge(static_cast<NodeId>(i), static_cast<NodeId>(perm[i]));
+    }
+  }
+  return g;
+}
+
+Digraph line_graph(std::size_t n) {
+  Digraph g(n);
+  for (NodeId u = 0; u + 1 < n; ++u) {
+    g.add_edge(u, u + 1);
+  }
+  return g;
+}
+
+Digraph star_graph(std::size_t n) {
+  assert(n >= 2);
+  Digraph g(n);
+  g.add_edge(0, 1);
+  for (NodeId u = 1; u < n; ++u) {
+    g.add_edge(u, 0);
+  }
+  return g;
+}
+
+}  // namespace gossip

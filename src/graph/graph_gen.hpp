@@ -1,0 +1,40 @@
+// Initial membership-topology generators.
+//
+// The paper's correctness properties must hold "starting from any
+// sufficiently connected initial state" (§2); these generators produce the
+// benign and adversarial starting topologies used by tests and benches.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace gossip {
+
+// Every node gets `out_degree` distinct random out-neighbors (never itself).
+// Requires out_degree < n. Weak connectivity is overwhelmingly likely for
+// out_degree >= 3 but not guaranteed; callers that require it should check.
+[[nodiscard]] Digraph random_out_regular(std::size_t n, std::size_t out_degree,
+                                         Rng& rng);
+
+// Directed ring 0->1->...->n-1->0 plus `chords_per_node` random extra edges
+// per node. Weakly connected by construction.
+[[nodiscard]] Digraph ring_with_chords(std::size_t n,
+                                       std::size_t chords_per_node, Rng& rng);
+
+// Union of `k` random fixed-point-free permutations: every node has
+// outdegree k AND indegree k, hence sum degree ds(u) = 3k for all u.
+// This is the initialization required by §6.1 (ds(u) = dm with dm = 3k).
+// Requires n >= 2.
+[[nodiscard]] Digraph permutation_regular(std::size_t n, std::size_t k,
+                                          Rng& rng);
+
+// Adversarial chain u -> u+1 (weakly connected, maximally stretched).
+[[nodiscard]] Digraph line_graph(std::size_t n);
+
+// Adversarial star: every node points at node 0 (maximal in-degree
+// imbalance). Node 0 points at node 1 so that it is not a sink.
+[[nodiscard]] Digraph star_graph(std::size_t n);
+
+}  // namespace gossip

@@ -1,0 +1,89 @@
+#include "graph/graph_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gossip {
+
+namespace {
+constexpr const char* kHeader = "membership-graph v1";
+}
+
+void write_graph(std::ostream& out, const Digraph& graph) {
+  out << kHeader << '\n';
+  out << "nodes " << graph.node_count() << '\n';
+  for (NodeId u = 0; u < graph.node_count(); ++u) {
+    for (const NodeId v : graph.out_neighbors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+std::string serialize_graph(const Digraph& graph) {
+  std::ostringstream out;
+  write_graph(out, graph);
+  return out.str();
+}
+
+Digraph read_graph(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    throw std::invalid_argument("bad membership-graph header");
+  }
+  std::size_t n = 0;
+  {
+    if (!std::getline(in, line)) {
+      throw std::invalid_argument("missing node count");
+    }
+    std::istringstream fields(line);
+    std::string keyword;
+    if (!(fields >> keyword >> n) || keyword != "nodes") {
+      throw std::invalid_argument("malformed node count line: " + line);
+    }
+  }
+  Digraph graph(n);
+  std::size_t line_number = 2;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    if (!(fields >> u >> v)) {
+      throw std::invalid_argument("malformed edge at line " +
+                                  std::to_string(line_number));
+    }
+    std::string trailing;
+    if (fields >> trailing) {
+      throw std::invalid_argument("trailing data at line " +
+                                  std::to_string(line_number));
+    }
+    if (u >= n || v >= n) {
+      throw std::invalid_argument("edge endpoint out of range at line " +
+                                  std::to_string(line_number));
+    }
+    graph.add_edge(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return graph;
+}
+
+Digraph parse_graph(const std::string& text) {
+  std::istringstream in(text);
+  return read_graph(in);
+}
+
+void save_graph(const Digraph& graph, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open '" + path + "' for write");
+  write_graph(out, graph);
+  if (!out) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+Digraph load_graph(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open '" + path + "' for read");
+  return read_graph(in);
+}
+
+}  // namespace gossip

@@ -1,0 +1,31 @@
+// Plain-text serialization of membership graphs.
+//
+// Format (line oriented):
+//   membership-graph v1
+//   nodes <n>
+//   <u> <v>        one line per edge instance (multiplicity preserved)
+//
+// Used by the CLI tool to dump and reload overlay snapshots, and by tests
+// for golden comparisons.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/digraph.hpp"
+
+namespace gossip {
+
+void write_graph(std::ostream& out, const Digraph& graph);
+[[nodiscard]] std::string serialize_graph(const Digraph& graph);
+
+// Throws std::invalid_argument on malformed input (bad header, edge
+// endpoints out of range, trailing garbage).
+[[nodiscard]] Digraph read_graph(std::istream& in);
+[[nodiscard]] Digraph parse_graph(const std::string& text);
+
+// File convenience wrappers; throw std::runtime_error on I/O failure.
+void save_graph(const Digraph& graph, const std::string& path);
+[[nodiscard]] Digraph load_graph(const std::string& path);
+
+}  // namespace gossip

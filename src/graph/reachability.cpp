@@ -1,0 +1,605 @@
+#include "graph/reachability.hpp"
+
+#include "graph/connectivity.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <sstream>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <queue>
+#include <stdexcept>
+
+namespace gossip::graph_ops {
+
+namespace {
+
+std::vector<std::size_t> sum_degrees(const Digraph& g) {
+  std::vector<std::size_t> ds(g.node_count());
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    ds[u] = g.out_degree(u) + 2 * g.in_degree(u);
+  }
+  return ds;
+}
+
+// Planner working state: a mutable graph plus the accumulated moves.
+class Planner {
+ public:
+  Planner(const Digraph& from, const Digraph& to,
+          const TransformLimits& limits)
+      : g_(from), to_(to), limits_(limits),
+        was_connected_(is_weakly_connected(from)) {}
+
+  std::vector<Move> plan() {
+    equalize_outdegrees();
+    relocate_edges();
+    assert(g_ == to_);
+    return std::move(moves_);
+  }
+
+ private:
+  // ---- primitive emission -------------------------------------------
+  //
+  // §7.1 excludes partitioned membership graphs from the global chain
+  // (transitions into them become self-loops). The planner honors the
+  // same rule: a primitive that would disconnect the working graph is
+  // rejected (and the retry machinery explores other routes) — otherwise
+  // a node can be stranded with only self-edges, a state no S&F sequence
+  // can ever leave.
+
+  void guard_connectivity(const char* what) {
+    if (was_connected_ && !is_weakly_connected(g_)) {
+      throw std::runtime_error(std::string("planner: ") + what +
+                               " would partition the graph");
+    }
+  }
+
+  void emit_exchange(NodeId u, NodeId w, NodeId v, NodeId z) {
+    if (!can_edge_exchange(g_, u, w, v, z, limits_)) {
+      throw std::runtime_error("planner: exchange prerequisites failed");
+    }
+    edge_exchange(g_, u, w, v, z, limits_);
+    try {
+      guard_connectivity("exchange");
+    } catch (...) {
+      edge_exchange(g_, u, z, v, w, limits_);  // exact inverse
+      throw;
+    }
+    moves_.push_back(Move{Move::Kind::kEdgeExchange, u, w, v, z});
+  }
+
+  void emit_borrow(NodeId u, NodeId v, NodeId carried) {
+    if (!can_degree_borrow(g_, u, v, limits_)) {
+      throw std::runtime_error("planner: borrow prerequisites failed");
+    }
+    degree_borrow(g_, u, v, carried, limits_);
+    try {
+      guard_connectivity("borrow");
+    } catch (...) {
+      degree_borrow(g_, v, u, carried, limits_);  // exact inverse
+      throw;
+    }
+    moves_.push_back(Move{Move::Kind::kDegreeBorrow, u, carried, v, kNilNode});
+  }
+
+  // ---- helpers -------------------------------------------------------
+
+  // Any id held by `node` other than one reserved instance of `reserved`
+  // (kNilNode = nothing reserved), preferring ids not in `avoid`.
+  // kNilNode if none.
+  [[nodiscard]] NodeId spare_edge(NodeId node, NodeId reserved,
+                                  const std::vector<NodeId>& avoid = {}) const {
+    const auto& out = g_.out_neighbors(node);
+    NodeId fallback = kNilNode;
+    bool skipped = false;
+    for (const NodeId id : out) {
+      if (id == reserved && !skipped) {
+        skipped = true;  // reserve one instance
+        continue;
+      }
+      if (std::find(avoid.begin(), avoid.end(), id) != avoid.end()) {
+        if (fallback == kNilNode) fallback = id;
+        continue;
+      }
+      return id;
+    }
+    return fallback;
+  }
+
+  // Shortest undirected path from `a` to `b` in the working graph.
+  // Intermediate hops must have at least one out-edge (they trade edges
+  // along the route) and must differ from `banned` (routing a token
+  // through the node it names trips the primitive's multiplicity
+  // prerequisites). Empty when no such path exists.
+  [[nodiscard]] std::vector<NodeId> find_path(NodeId a, NodeId b,
+                                              NodeId banned,
+                                              bool skip_direct = false) const {
+    const std::size_t n = g_.node_count();
+    std::vector<std::vector<NodeId>> adj(n);
+    for (NodeId u = 0; u < n; ++u) {
+      for (const NodeId v : g_.out_neighbors(u)) {
+        adj[u].push_back(v);
+        adj[v].push_back(u);
+      }
+    }
+    std::vector<NodeId> parent(n, kNilNode);
+    std::vector<bool> seen(n, false);
+    std::queue<NodeId> frontier;
+    seen[a] = true;
+    frontier.push(a);
+    while (!frontier.empty()) {
+      const NodeId x = frontier.front();
+      frontier.pop();
+      if (x == b) break;
+      for (const NodeId y : adj[x]) {
+        if (seen[y]) continue;
+        // Intermediates must be able to trade; the destination is exempt.
+        if (y != b && (g_.out_degree(y) == 0 || y == banned)) continue;
+        // Optionally forbid the one-hop route (the only direct link may be
+        // the routed token itself; see routed_exchange_impl).
+        if (skip_direct && x == a && y == b) continue;
+        seen[y] = true;
+        parent[y] = x;
+        frontier.push(y);
+      }
+    }
+    if (!seen[b]) return {};
+    std::vector<NodeId> path;
+    for (NodeId x = b; x != kNilNode; x = parent[x]) path.push_back(x);
+    std::reverse(path.begin(), path.end());
+    return path;
+  }
+
+  // Swaps (a, token) and (b, other) across whichever direction of the
+  // undirected edge {a, b} works. After the call, b holds `token` and a
+  // holds `other`. Returns false (without emitting) when neither
+  // direction satisfies the primitive's prerequisites.
+  bool try_swap_across(NodeId a, NodeId token, NodeId b, NodeId other) {
+    if (g_.edge_multiplicity(a, b) > 0 &&
+        can_edge_exchange(g_, a, token, b, other, limits_)) {
+      try {
+        emit_exchange(a, token, b, other);
+        return true;
+      } catch (const std::runtime_error&) {
+        // Connectivity guard rejected it (state already reverted); the
+        // other direction may route around the cut.
+      }
+    }
+    if (g_.edge_multiplicity(b, a) > 0 &&
+        can_edge_exchange(g_, b, other, a, token, limits_)) {
+      try {
+        emit_exchange(b, other, a, token);
+        return true;
+      } catch (const std::runtime_error&) {
+      }
+    }
+    return false;
+  }
+
+  void swap_across(NodeId a, NodeId token, NodeId b, NodeId other) {
+    if (!try_swap_across(a, token, b, other)) {
+      throw std::runtime_error(
+          "planner: no usable edge between route hops (a=" +
+          std::to_string(a) + " token=" + std::to_string(token) + " b=" +
+          std::to_string(b) + " other=" + std::to_string(other) + " ab=" +
+          std::to_string(g_.edge_multiplicity(a, b)) + " ba=" +
+          std::to_string(g_.edge_multiplicity(b, a)) + " d(a)=" +
+          std::to_string(g_.out_degree(a)) + " d(b)=" +
+          std::to_string(g_.out_degree(b)) + ")");
+    }
+  }
+
+  // The appendix's generalized exchange: swaps (u, w) with (x, y) even
+  // when u and x are not adjacent, by routing along an undirected path
+  // and restoring every displaced intermediate edge. The swap is
+  // symmetric, so if routing w toward x hits an untradeable corner, the
+  // working graph is rolled back and y is routed toward u instead.
+  bool try_routed_exchange(NodeId u, NodeId w, NodeId x, NodeId y) {
+    const std::size_t checkpoint_moves = moves_.size();
+    const Digraph checkpoint_graph = g_;
+    try {
+      routed_exchange_impl(u, w, x, y);
+      return true;
+    } catch (const std::runtime_error&) {
+      moves_.resize(checkpoint_moves);
+      g_ = checkpoint_graph;
+    }
+    try {
+      routed_exchange_impl(x, y, u, w);
+      return true;
+    } catch (const std::runtime_error&) {
+      moves_.resize(checkpoint_moves);
+      g_ = checkpoint_graph;
+    }
+    return false;
+  }
+
+  void routed_exchange_impl(NodeId u, NodeId w, NodeId x, NodeId y) {
+    if (u == x) throw std::logic_error("routed exchange needs two nodes");
+    // Self-edge creation (token names its own destination): the final
+    // link must be independent of the token, so if the only direct u-x
+    // connection *is* the token edge, approach x through an intermediate.
+    const bool skip_direct = w == x && g_.edge_multiplicity(u, x) <= 1 &&
+                             g_.edge_multiplicity(x, u) == 0;
+    const auto path = find_path(u, x, /*banned=*/w, skip_direct);
+    if (path.empty()) {
+      throw std::runtime_error("planner: no route between exchange parties");
+    }
+    const std::size_t k = path.size() - 1;  // number of hops
+
+    // Forward pass: carry `w` from path[0] to path[k]. Hop i swaps
+    // (path[i], w) with (path[i+1], gives[i+1]): afterwards path[i+1]
+    // holds w and path[i] holds gives[i+1] (a displaced edge it owes back).
+    std::vector<NodeId> gives(path.size(), kNilNode);
+    for (std::size_t i = 0; i < k; ++i) {
+      const NodeId a = path[i];
+      const NodeId b = path[i + 1];
+      const bool last = i + 1 == k;
+      if (last) {
+        swap_across(a, w, b, y);
+        gives[i + 1] = y;
+        continue;
+      }
+      // Candidate edges b could trade: every distinct out-id, preferring
+      // ones that are neither the channel to the next hop (trading it
+      // away would break the route) nor the token itself. Try until the
+      // primitive's prerequisites accept one.
+      std::vector<NodeId> candidates;
+      for (const NodeId id : g_.out_neighbors(b)) {
+        if (std::find(candidates.begin(), candidates.end(), id) ==
+            candidates.end()) {
+          candidates.push_back(id);
+        }
+      }
+      std::stable_sort(candidates.begin(), candidates.end(),
+                       [&](NodeId lhs, NodeId rhs) {
+                         auto penalty = [&](NodeId id) {
+                           int p = 0;
+                           if (id == path[i + 2] &&
+                               g_.edge_multiplicity(b, id) < 2) {
+                             p += 2;  // would consume the only channel
+                           }
+                           if (id == w) p += 1;
+                           return p;
+                         };
+                         return penalty(lhs) < penalty(rhs);
+                       });
+      bool swapped = false;
+      for (const NodeId give : candidates) {
+        if (give == path[i + 2] && g_.edge_multiplicity(b, give) < 2) {
+          continue;  // never break the route
+        }
+        if (try_swap_across(a, w, b, give)) {
+          gives[i + 1] = give;
+          swapped = true;
+          break;
+        }
+      }
+      if (!swapped && std::getenv("GOSSIP_PLANNER_DEBUG") != nullptr) {
+        std::fprintf(stderr, "[planner]     hop %u->%u token=%u stuck: ", a,
+                     b, w);
+        for (const NodeId give : candidates) {
+          std::fprintf(stderr, "give=%u(ab=%zu ba=%zu can1=%d can2=%d) ",
+                       give, g_.edge_multiplicity(a, b),
+                       g_.edge_multiplicity(b, a),
+                       (int)can_edge_exchange(g_, a, w, b, give, limits_),
+                       (int)can_edge_exchange(g_, b, give, a, w, limits_));
+        }
+        std::fprintf(stderr, "\n");
+      }
+      if (!swapped) {
+        throw std::runtime_error(
+            "planner: route hop has nothing to trade (a=" +
+            std::to_string(a) + " b=" + std::to_string(b) + " w=" +
+            std::to_string(w) + " d(a)=" + std::to_string(g_.out_degree(a)) +
+            " d(b)=" + std::to_string(g_.out_degree(b)) + " ab=" +
+            std::to_string(g_.edge_multiplicity(a, b)) + " ba=" +
+            std::to_string(g_.edge_multiplicity(b, a)) + " cands=" +
+            std::to_string(candidates.size()) + ")");
+      }
+    }
+    // path[k] == x now holds w, and gives[k] == y sits at path[k-1].
+
+    // Return pass: carry `y` back to u while restoring each displaced
+    // edge: swap (path[i-1], gives[i]) with (path[i], y) — afterwards
+    // path[i] holds its own gives[i] again and path[i-1] holds y.
+    for (std::size_t i = k; i-- > 1;) {
+      swap_across(path[i], y, path[i - 1], gives[i]);
+    }
+    // Now u holds y and every intermediate edge is back home.
+  }
+
+  // Ensures an edge (u, v) exists, creating one by pulling an existing
+  // in-edge of v toward u via a routed exchange.
+  void ensure_edge(NodeId u, NodeId v) {
+    if (g_.edge_multiplicity(u, v) > 0) return;
+    // Does anyone hold an edge to v at all?
+    bool has_holder = false;
+    for (NodeId x = 0; x < g_.node_count() && !has_holder; ++x) {
+      has_holder = x != u && g_.edge_multiplicity(x, v) > 0;
+    }
+    if (!has_holder) {
+      // v has no in-edges: have v push its own id somewhere (a borrow
+      // v -> t creates (t, v)), then retry.
+      const NodeId target = spare_edge(v, kNilNode);
+      const NodeId carried = spare_edge(v, target);
+      if (target == kNilNode || carried == kNilNode) {
+        throw std::runtime_error("planner: cannot mint an in-edge for v");
+      }
+      emit_borrow(v, target, carried);
+      ensure_edge(u, v);
+      return;
+    }
+    const NodeId mine = spare_edge(u, kNilNode, {v});
+    if (mine == kNilNode) {
+      throw std::runtime_error("planner: u has no edge to trade");
+    }
+    // Swap u's (u, mine) with some holder's (holder, v); try every holder.
+    for (NodeId h = 0; h < g_.node_count(); ++h) {
+      if (h == u || g_.edge_multiplicity(h, v) == 0) continue;
+      if (try_routed_exchange(u, mine, h, v)) return;
+      if (std::getenv("GOSSIP_PLANNER_DEBUG") != nullptr) {
+        std::fprintf(stderr,
+                     "[planner]   holder %u failed (d(h)=%zu path_fwd=%zu "
+                     "path_rev=%zu)\n",
+                     h, g_.out_degree(h), find_path(u, h, mine).size(),
+                     find_path(h, v, v).size());
+      }
+    }
+    throw std::runtime_error(
+        "planner: could not pull an in-edge of v to u (u=" +
+        std::to_string(u) + " v=" + std::to_string(v) + " mine=" +
+        std::to_string(mine) + " d(u)=" + std::to_string(g_.out_degree(u)) +
+        " d(v)=" + std::to_string(g_.out_degree(v)) + " din(v)=" +
+        std::to_string(g_.in_degree(v)) + ")");
+  }
+
+  // Lifts drained nodes (outdegree 0, indegree > 0) to outdegree 2 by
+  // having an in-neighbor borrow into them — the appendix's device for
+  // restoring maneuvering room (Lemma A.2's proof). Returns the number of
+  // nodes lifted. Phase 1's equalization later drains any node whose
+  // target outdegree is 0 again, so lifts are self-correcting there.
+  std::size_t lift_drained_nodes() {
+    std::size_t lifted = 0;
+    for (NodeId z = 0; z < g_.node_count(); ++z) {
+      if (g_.out_degree(z) != 0 || g_.in_degree(z) == 0) continue;
+      // Find a donor in-neighbor, preferring one that is itself above its
+      // target outdegree (then the lift is pure progress, not churn).
+      NodeId best = kNilNode;
+      auto donor_score = [&](NodeId y) {
+        const bool excess = g_.out_degree(y) > to_.out_degree(y);
+        return (excess ? 1000 : 0) + static_cast<int>(g_.out_degree(y));
+      };
+      for (NodeId y = 0; y < g_.node_count(); ++y) {
+        if (y == z || g_.edge_multiplicity(y, z) == 0) continue;
+        if (!can_degree_borrow(g_, y, z, limits_)) continue;
+        if (g_.out_degree(y) < 4) continue;  // don't drain the donor
+        if (best == kNilNode || donor_score(y) > donor_score(best)) {
+          best = y;
+        }
+      }
+      if (best == kNilNode) continue;
+      const NodeId carried = spare_edge(best, z);
+      if (carried == kNilNode) continue;
+      emit_borrow(best, z, carried);
+      ++lifted;
+    }
+    return lifted;
+  }
+
+  // ---- phase 1: outdegrees -------------------------------------------
+
+  void equalize_outdegrees() {
+    // Cycle guard: lifting and re-draining could in principle chase each
+    // other; bound the iterations well above any making-progress run.
+    std::size_t budget = 64 + 8 * g_.node_count() + 4 * g_.edge_count();
+    for (;;) {
+      if (budget-- == 0) {
+        throw std::runtime_error(
+            "planner: equalization failed to converge — the input overlay "
+            "is too sparse to maneuver without partitioning (the paper's "
+            "construction likewise assumes connectivity margin; see §7.4: "
+            "at least 3 independent out-neighbors per node)");
+      }
+      NodeId excess = kNilNode;
+      NodeId deficit = kNilNode;
+      for (NodeId x = 0; x < g_.node_count(); ++x) {
+        if (g_.out_degree(x) > to_.out_degree(x) && excess == kNilNode) {
+          excess = x;
+        }
+        if (g_.out_degree(x) < to_.out_degree(x) && deficit == kNilNode) {
+          deficit = x;
+        }
+      }
+      if (excess == kNilNode) {
+        assert(deficit == kNilNode);  // totals must match
+        return;
+      }
+      assert(deficit != kNilNode);
+      // Borrow: excess pushes two edges to deficit. Needs edge
+      // (excess, deficit). Drained bystanders can block every route; lift
+      // them (the appendix's preliminary degree borrowing) and retry.
+      try {
+        ensure_edge(excess, deficit);
+      } catch (const std::runtime_error& error) {
+        if (std::getenv("GOSSIP_PLANNER_DEBUG") != nullptr) {
+          std::fprintf(stderr,
+                       "[planner] ensure_edge(%u, %u) failed: %s "
+                       "(d=%zu/%zu din(v)=%zu)\n",
+                       excess, deficit, error.what(),
+                       g_.out_degree(excess), g_.out_degree(deficit),
+                       g_.in_degree(deficit));
+        }
+        if (lift_drained_nodes() == 0) throw;
+        continue;  // degrees changed; re-derive excess/deficit
+      }
+      const NodeId carried = spare_edge(excess, deficit);
+      if (carried == kNilNode) {
+        throw std::runtime_error("planner: excess node has a lone edge");
+      }
+      emit_borrow(excess, deficit, carried);
+    }
+  }
+
+  // ---- phase 2: edge relocation ---------------------------------------
+
+  // All surplus ids at x (multiset difference g - to).
+  [[nodiscard]] std::vector<NodeId> surplus_ids(NodeId x) const {
+    std::map<NodeId, int> diff;
+    for (const NodeId id : g_.out_neighbors(x)) ++diff[id];
+    for (const NodeId id : to_.out_neighbors(x)) --diff[id];
+    std::vector<NodeId> out;
+    for (const auto& [id, d] : diff) {
+      if (d > 0) out.push_back(id);
+    }
+    return out;
+  }
+
+  void relocate_edges() {
+    for (;;) {
+      // Any node with any surplus edge defines pending work.
+      bool any_mismatch = false;
+      bool progressed = false;
+      for (NodeId u = 0; u < g_.node_count() && !progressed; ++u) {
+        for (const NodeId w : surplus_ids(u)) {
+          any_mismatch = true;
+          // Indegrees already match, so some other node has a deficit of
+          // an edge to w; it in turn holds some surplus edge (x, y).
+          // Try every such pairing until one routes cleanly.
+          for (NodeId x = 0; x < g_.node_count() && !progressed; ++x) {
+            if (x == u) continue;
+            if (g_.edge_multiplicity(x, w) >= to_.edge_multiplicity(x, w)) {
+              continue;
+            }
+            for (const NodeId y : surplus_ids(x)) {
+              if (try_routed_exchange(u, w, x, y)) {
+                progressed = true;
+                break;
+              }
+            }
+          }
+          if (progressed) break;
+        }
+      }
+      if (!any_mismatch) return;  // multisets match everywhere
+      if (!progressed) {
+        // Drained bystanders may be blocking every route: lift them,
+        // rebalance the outdegrees the lifts disturbed, and try again.
+        if (lift_drained_nodes() > 0) {
+          equalize_outdegrees();
+          continue;
+        }
+        throw std::runtime_error(
+            "planner: stuck — no relocatable surplus/deficit pairing");
+      }
+    }
+  }
+
+  Digraph g_;
+  const Digraph& to_;
+  TransformLimits limits_;
+  bool was_connected_;
+  std::vector<Move> moves_;
+};
+
+}  // namespace
+
+std::vector<Move> plan_transformation(const Digraph& from, const Digraph& to,
+                                      const TransformLimits& limits) {
+  if (from.node_count() != to.node_count()) {
+    throw std::invalid_argument("graphs must have the same node count");
+  }
+  if (sum_degrees(from) != sum_degrees(to)) {
+    throw std::invalid_argument(
+        "graphs must have identical sum-degree vectors (Lemma 6.2)");
+  }
+  std::size_t max_out = 0;
+  for (NodeId x = 0; x < from.node_count(); ++x) {
+    if (from.out_degree(x) % 2 != 0 || to.out_degree(x) % 2 != 0) {
+      throw std::invalid_argument("outdegrees must be even");
+    }
+    max_out = std::max({max_out, from.out_degree(x), to.out_degree(x)});
+  }
+  if (limits.min_degree != 0) {
+    throw std::invalid_argument("planner requires dL = 0 (see header)");
+  }
+  if (limits.view_size < max_out + 2) {
+    throw std::invalid_argument("planner requires s >= max outdegree + 2");
+  }
+  return Planner(from, to, limits).plan();
+}
+
+void apply_moves(Digraph& g, const std::vector<Move>& moves,
+                 const TransformLimits& limits) {
+  for (const Move& move : moves) {
+    if (move.kind == Move::Kind::kEdgeExchange) {
+      edge_exchange(g, move.u, move.w, move.v, move.z, limits);
+    } else {
+      degree_borrow(g, move.u, move.v, move.w, limits);
+    }
+  }
+}
+
+std::string serialize_moves(const std::vector<Move>& moves) {
+  std::string out;
+  for (const Move& move : moves) {
+    if (move.kind == Move::Kind::kEdgeExchange) {
+      out += "exchange " + std::to_string(move.u) + ' ' +
+             std::to_string(move.w) + ' ' + std::to_string(move.v) + ' ' +
+             std::to_string(move.z) + '\n';
+    } else {
+      out += "borrow " + std::to_string(move.u) + ' ' +
+             std::to_string(move.v) + ' ' + std::to_string(move.w) + '\n';
+    }
+  }
+  return out;
+}
+
+std::vector<Move> parse_moves(const std::string& text) {
+  std::vector<Move> moves;
+  std::size_t line_start = 0;
+  std::size_t line_number = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    const std::string line = text.substr(line_start, line_end - line_start);
+    line_start = line_end + 1;
+    ++line_number;
+    if (line.empty()) continue;
+    std::istringstream fields{line};
+    std::string kind;
+    fields >> kind;
+    Move move;
+    unsigned long long a = 0;
+    unsigned long long b = 0;
+    unsigned long long c = 0;
+    unsigned long long d = 0;
+    bool ok = false;
+    if (kind == "exchange") {
+      ok = static_cast<bool>(fields >> a >> b >> c >> d);
+      move.kind = Move::Kind::kEdgeExchange;
+      move.u = static_cast<NodeId>(a);
+      move.w = static_cast<NodeId>(b);
+      move.v = static_cast<NodeId>(c);
+      move.z = static_cast<NodeId>(d);
+    } else if (kind == "borrow") {
+      ok = static_cast<bool>(fields >> a >> b >> c);
+      move.kind = Move::Kind::kDegreeBorrow;
+      move.u = static_cast<NodeId>(a);
+      move.v = static_cast<NodeId>(b);
+      move.w = static_cast<NodeId>(c);
+      move.z = kNilNode;
+    }
+    std::string trailing;
+    if (!ok || (fields >> trailing)) {
+      throw std::invalid_argument("malformed move at line " +
+                                  std::to_string(line_number));
+    }
+    moves.push_back(move);
+  }
+  return moves;
+}
+
+}  // namespace gossip::graph_ops

@@ -1,0 +1,69 @@
+// Executable Lemma A.1: constructive reachability between membership
+// graphs.
+//
+// The appendix proves that any membership graph G can be transformed into
+// any other graph G' with the same sum-degree vector using two composite
+// moves, each realizable as a short sequence of S&F actions:
+//   (1) *degree borrowing* equalizes the outdegree of every node with its
+//       outdegree in G' (sum degrees are invariant, so indegrees follow);
+//   (2) *edge exchanges* then relocate misplaced edges one swap at a time.
+// Non-adjacent participants are handled by routing the exchanged edges
+// along an undirected path, temporarily displacing intermediate edges and
+// restoring them on the way back — exactly the appendix's construction.
+//
+// This module turns that proof into an algorithm: plan_transformation
+// emits the primitive-move sequence, apply_moves replays it, and the tests
+// verify G --moves--> G' exactly. Set the GOSSIP_PLANNER_DEBUG environment
+// variable to trace routing decisions on stderr when a plan fails.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/transformations.hpp"
+
+namespace gossip::graph_ops {
+
+struct Move {
+  enum class Kind {
+    kEdgeExchange,   // swaps (u, w) and (v, z) across edge (u, v)
+    kDegreeBorrow,   // u pushes [u, w] to its out-neighbor v
+  };
+  Kind kind = Kind::kEdgeExchange;
+  NodeId u = kNilNode;
+  NodeId w = kNilNode;
+  NodeId v = kNilNode;
+  NodeId z = kNilNode;  // unused for kDegreeBorrow
+};
+
+// Plans a move sequence transforming `from` into `to`.
+//
+// Requirements (checked; std::invalid_argument):
+//   * same node count;
+//   * identical sum-degree vectors ds(u) = d(u) + 2 din(u) (Lemma 6.2
+//     invariant — graphs reachable from one another must agree on it);
+//   * all outdegrees even;
+//   * generous limits: limits.min_degree == 0 and limits.view_size at
+//     least 2 beyond the larger maximum outdegree of the two graphs (the
+//     appendix widens thresholds the same way before maneuvering).
+//
+// Emitted plans never pass through a partitioned membership graph — the
+// same exclusion §7.1 applies to the global chain (a node stranded with
+// only self-edges could never recover). On overlays with healthy degree
+// margins (mean outdegree >= ~4, as the paper's connectivity conditions
+// require) planning succeeds; on near-tree overlays where most edges are
+// bridges, it throws std::runtime_error rather than partition the graph.
+[[nodiscard]] std::vector<Move> plan_transformation(
+    const Digraph& from, const Digraph& to, const TransformLimits& limits);
+
+// Replays a plan (validating every primitive move).
+void apply_moves(Digraph& g, const std::vector<Move>& moves,
+                 const TransformLimits& limits);
+
+// Plan serialization: one move per line —
+//   "exchange <u> <w> <v> <z>"  |  "borrow <u> <v> <w>"
+// parse_moves throws std::invalid_argument on malformed input.
+[[nodiscard]] std::string serialize_moves(const std::vector<Move>& moves);
+[[nodiscard]] std::vector<Move> parse_moves(const std::string& text);
+
+}  // namespace gossip::graph_ops

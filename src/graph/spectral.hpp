@@ -1,0 +1,45 @@
+// Spectral expansion of membership graphs.
+//
+// The paper motivates i.i.d. uniform views by the expander property of the
+// induced overlay (§1-§2, citing [15]): good expansion means low diameter,
+// robustness, and fast gossip. This module estimates the spectral gap of
+// the lazy random walk on the *undirected* membership graph:
+//
+//     W = (I + D^{-1} A) / 2,     gap = 1 - lambda_2(W),
+//
+// where lambda_2 is the second-largest eigenvalue. A gap bounded away from
+// 0 as n grows certifies expansion; gap -> 0 indicates poor mixing (rings,
+// paths, barbells).
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.hpp"
+#include "graph/digraph.hpp"
+
+namespace gossip {
+
+struct SpectralResult {
+  // Estimate of lambda_2 of the lazy walk matrix (in [0, 1] for connected
+  // graphs; the lazy walk has no negative spectrum issues).
+  double lambda2 = 1.0;
+  // 1 - lambda2.
+  double spectral_gap = 0.0;
+  bool converged = false;
+  std::size_t iterations = 0;
+};
+
+struct SpectralOptions {
+  std::size_t max_iterations = 20'000;
+  double tolerance = 1e-9;
+  std::uint64_t seed = 0x5EED;
+};
+
+// Power iteration on the lazy walk matrix with deflation of the known
+// top eigenvector (the degree-weighted stationary direction). The graph is
+// treated as undirected (each directed edge contributes both directions);
+// isolated vertices are ignored. Requires a graph with at least one edge.
+[[nodiscard]] SpectralResult estimate_spectral_gap(
+    const Digraph& graph, const SpectralOptions& options = {});
+
+}  // namespace gossip

@@ -1,0 +1,81 @@
+#include "graph/transformations.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip::graph_ops {
+
+bool can_edge_exchange(const Digraph& g, NodeId u, NodeId w, NodeId v,
+                       NodeId z, const TransformLimits& limits) {
+  if (u == v) return false;  // the exchange runs across the edge (u, v)
+  if (g.edge_multiplicity(u, v) == 0) return false;
+  if (g.edge_multiplicity(u, w) == 0) return false;
+  if (g.edge_multiplicity(v, z) == 0) return false;
+  // u performs a clearing action: needs d(u) > dL. v must absorb the
+  // pushed ids mid-sequence: needs room for two ids.
+  if (g.out_degree(u) <= limits.min_degree) return false;
+  if (g.out_degree(v) + 2 > limits.view_size) return false;
+  // w must be a distinct view instance from the consumed (u, v) edge.
+  if (w == v && g.edge_multiplicity(u, v) < 2) return false;
+  // Same on v's side for the return action.
+  if (z == u && g.edge_multiplicity(v, u) < 1) return false;
+  return true;
+}
+
+void edge_exchange(Digraph& g, NodeId u, NodeId w, NodeId v, NodeId z,
+                   const TransformLimits& limits) {
+  if (!can_edge_exchange(g, u, w, v, z, limits)) {
+    throw std::logic_error("edge exchange prerequisites not met");
+  }
+  // Realization by two S&F actions (Appendix A):
+  //   1. u sends [u, w] to v: removes (u, v), (u, w); v stores u and w:
+  //      adds (v, u), (v, w).
+  g.remove_edge(u, v);
+  g.remove_edge(u, w);
+  g.add_edge(v, u);
+  g.add_edge(v, w);
+  //   2. v sends [v, z] to u: removes (v, u), (v, z); u stores v and z:
+  //      adds (u, v), (u, z).
+  g.remove_edge(v, u);
+  g.remove_edge(v, z);
+  g.add_edge(u, v);
+  g.add_edge(u, z);
+  // Net effect: (u, w) -> (u, z) at u, (v, z) -> (v, w) at v.
+}
+
+bool can_degree_borrow(const Digraph& g, NodeId u, NodeId v,
+                       const TransformLimits& limits) {
+  if (g.edge_multiplicity(u, v) == 0) return false;
+  if (g.out_degree(u) < 2) return false;
+  if (g.out_degree(u) <= limits.min_degree) return false;
+  if (g.out_degree(v) + 2 > limits.view_size) return false;
+  return true;
+}
+
+void degree_borrow(Digraph& g, NodeId u, NodeId v, NodeId carried,
+                   const TransformLimits& limits) {
+  if (!can_degree_borrow(g, u, v, limits)) {
+    throw std::logic_error("degree borrowing prerequisites not met");
+  }
+  const std::size_t needed = carried == v ? 2 : 1;
+  if (g.edge_multiplicity(u, carried) < needed) {
+    throw std::logic_error("carried id not available in u's view");
+  }
+  // One S&F action from u to v carrying `carried`.
+  g.remove_edge(u, v);
+  g.remove_edge(u, carried);
+  g.add_edge(v, u);
+  g.add_edge(v, carried);
+}
+
+bool is_edge_exchange_of(const Digraph& before, const Digraph& after,
+                         NodeId u, NodeId w, NodeId v, NodeId z) {
+  Digraph expected = before;
+  if (!expected.remove_edge(u, w)) return false;
+  if (!expected.remove_edge(v, z)) return false;
+  expected.add_edge(u, z);
+  expected.add_edge(v, w);
+  return expected == after;
+}
+
+}  // namespace gossip::graph_ops

@@ -1,0 +1,57 @@
+// Appendix A transformations: edge exchange and degree borrowing.
+//
+// These are the loss-free composite moves the paper uses to prove
+// reachability of the global MC (Lemmas A.1-A.3): both are implementable
+// as short sequences of S&F actions and preserve every node's sum degree
+// ds(u) = d(u) + 2 din(u).
+//
+//   * edge exchange of (u, w) and (v, z): removes those two edges and
+//     creates (u, z) and (v, w) — realized by u pushing [u, w] to v and v
+//     pushing [v, z] back to u (two S&F actions).
+//   * degree borrowing from u to v: one S&F action from u to its
+//     out-neighbor v; u's outdegree drops by 2, v's rises by 2, and both
+//     sum degrees are unchanged.
+#pragma once
+
+#include "common/node_id.hpp"
+#include "graph/digraph.hpp"
+
+namespace gossip::graph_ops {
+
+struct TransformLimits {
+  std::size_t view_size = 6;   // s
+  std::size_t min_degree = 0;  // dL
+};
+
+// Prerequisite for the *neighbor* edge exchange between u and v
+// (Appendix A): edge (u, v) exists, u holds (u, w), v holds (v, z),
+// d(u) > dL (u must be allowed to clear), and d(v) < s (v must have room).
+[[nodiscard]] bool can_edge_exchange(const Digraph& g, NodeId u, NodeId w,
+                                     NodeId v, NodeId z,
+                                     const TransformLimits& limits);
+
+// Applies the exchange: (u,w),(v,z) -> (u,z),(v,w). Requires
+// can_edge_exchange. Sum degrees of every node are preserved.
+void edge_exchange(Digraph& g, NodeId u, NodeId w, NodeId v, NodeId z,
+                   const TransformLimits& limits);
+
+// Prerequisite for degree borrowing from u by v: edge (u, v) exists,
+// d(u) >= 2, d(u) > dL, and d(v) <= s - 2.
+[[nodiscard]] bool can_degree_borrow(const Digraph& g, NodeId u, NodeId v,
+                                     const TransformLimits& limits);
+
+// One S&F action from u targeted at its out-neighbor v carrying `carried`
+// (an id in u's view other than the consumed (u, v) instance; may equal v
+// if the edge has multiplicity >= 2): removes (u, v) and (u, carried),
+// adds (v, u) and (v, carried). d(u) -= 2, d(v) += 2; sum degrees
+// unchanged.
+void degree_borrow(Digraph& g, NodeId u, NodeId v, NodeId carried,
+                   const TransformLimits& limits);
+
+// Verifies that `after` differs from `before` exactly by the claimed edge
+// exchange (used in tests and in the reachability walker).
+[[nodiscard]] bool is_edge_exchange_of(const Digraph& before,
+                                       const Digraph& after, NodeId u,
+                                       NodeId w, NodeId v, NodeId z);
+
+}  // namespace gossip::graph_ops

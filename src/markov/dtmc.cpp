@@ -1,0 +1,52 @@
+#include "markov/dtmc.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip::markov {
+
+std::size_t DtmcBuilder::state_index(std::uint64_t key) {
+  const auto [it, inserted] = index_.try_emplace(key, keys_.size());
+  if (inserted) {
+    keys_.push_back(key);
+    rows_.emplace_back();
+  }
+  return it->second;
+}
+
+bool DtmcBuilder::has_state(std::uint64_t key) const {
+  return index_.contains(key);
+}
+
+void DtmcBuilder::add_transition(std::uint64_t from, std::uint64_t to,
+                                 double weight) {
+  if (weight < 0.0) throw std::invalid_argument("negative transition weight");
+  if (weight == 0.0) return;
+  const std::size_t fi = state_index(from);
+  const std::size_t ti = state_index(to);
+  rows_[fi][ti] += weight;
+}
+
+DtmcBuilder::Chain DtmcBuilder::build(double tolerance) const {
+  const std::size_t n = keys_.size();
+  Chain chain;
+  chain.transition = Matrix(n, n);
+  chain.keys = keys_;
+  chain.index = index_;
+  for (std::size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (const auto& [c, w] : rows_[r]) {
+      chain.transition.at(r, c) += w;
+      total += w;
+    }
+    if (total > 1.0 + tolerance) {
+      throw std::invalid_argument("row weight exceeds 1");
+    }
+    // Remaining probability mass is a self-loop (excluded transitions).
+    chain.transition.at(r, r) += std::max(0.0, 1.0 - total);
+  }
+  assert(chain.transition.is_row_stochastic(1e-6));
+  return chain;
+}
+
+}  // namespace gossip::markov

@@ -1,0 +1,64 @@
+// Generic discrete-time Markov chain builder with state interning.
+//
+// States are identified by opaque 64-bit keys (callers encode their state
+// tuples, e.g. (outdegree, indegree) for the degree MC of §6.2). Transitions
+// are accumulated as weights; build() normalizes rows, assigning any
+// missing mass to a self-loop so the result is exactly row-stochastic —
+// matching the paper's convention of replacing excluded transitions with
+// self-loops (§6.2, §7.1).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "markov/matrix.hpp"
+
+namespace gossip::markov {
+
+class DtmcBuilder {
+ public:
+  // Interns a state key; returns its dense index.
+  std::size_t state_index(std::uint64_t key);
+
+  // True if the key has been interned.
+  [[nodiscard]] bool has_state(std::uint64_t key) const;
+
+  // Adds `weight` to the transition from -> to (both interned on demand).
+  // Weights must be non-negative.
+  void add_transition(std::uint64_t from, std::uint64_t to, double weight);
+
+  [[nodiscard]] std::size_t state_count() const { return keys_.size(); }
+  [[nodiscard]] const std::vector<std::uint64_t>& keys() const { return keys_; }
+
+  struct Chain {
+    Matrix transition;                // row-stochastic
+    std::vector<std::uint64_t> keys;  // dense index -> state key
+    std::unordered_map<std::uint64_t, std::size_t> index;  // key -> index
+  };
+
+  // Produces the row-stochastic chain. Rows whose accumulated weight exceeds
+  // 1 + tolerance throw; remaining mass up to 1 becomes a self-loop.
+  [[nodiscard]] Chain build(double tolerance = 1e-9) const;
+
+ private:
+  std::unordered_map<std::uint64_t, std::size_t> index_;
+  std::vector<std::uint64_t> keys_;
+  // Sparse accumulation: per source state, map of target -> weight.
+  std::vector<std::unordered_map<std::size_t, double>> rows_;
+};
+
+// Helpers for packing small tuples into state keys.
+[[nodiscard]] constexpr std::uint64_t pack_pair(std::uint32_t a,
+                                                std::uint32_t b) {
+  return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+[[nodiscard]] constexpr std::uint32_t unpack_first(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key >> 32);
+}
+[[nodiscard]] constexpr std::uint32_t unpack_second(std::uint64_t key) {
+  return static_cast<std::uint32_t>(key & 0xFFFFFFFFULL);
+}
+
+}  // namespace gossip::markov

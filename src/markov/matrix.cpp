@@ -1,0 +1,120 @@
+#include "markov/matrix.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::markov {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+  assert(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+const double* Matrix::row(std::size_t r) const {
+  assert(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+double* Matrix::row(std::size_t r) {
+  assert(r < rows_);
+  return data_.data() + r * cols_;
+}
+
+std::vector<double> Matrix::left_multiply(const std::vector<double>& v) const {
+  assert(v.size() == rows_);
+  std::vector<double> out(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double vr = v[r];
+    if (vr == 0.0) continue;
+    const double* row_data = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      out[c] += vr * row_data[c];
+    }
+  }
+  return out;
+}
+
+std::vector<double> Matrix::right_multiply(const std::vector<double>& v) const {
+  assert(v.size() == cols_);
+  std::vector<double> out(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* row_data = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      sum += row_data[c] * v[c];
+    }
+    out[r] = sum;
+  }
+  return out;
+}
+
+Matrix Matrix::multiply(const Matrix& other) const {
+  assert(cols_ == other.rows_);
+  Matrix out(rows_, other.cols_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t k = 0; k < cols_; ++k) {
+      const double a = at(r, k);
+      if (a == 0.0) continue;
+      const double* other_row = other.row(k);
+      double* out_row = out.row(r);
+      for (std::size_t c = 0; c < other.cols_; ++c) {
+        out_row[c] += a * other_row[c];
+      }
+    }
+  }
+  return out;
+}
+
+bool Matrix::is_row_stochastic(double tolerance) const {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double sum = 0.0;
+    const double* row_data = row(r);
+    for (std::size_t c = 0; c < cols_; ++c) {
+      if (row_data[c] < -tolerance) return false;
+      sum += row_data[c];
+    }
+    if (std::abs(sum - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+void Matrix::normalize_rows() {
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* row_data = row(r);
+    double sum = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) sum += row_data[c];
+    if (sum <= 0.0) {
+      for (std::size_t c = 0; c < cols_; ++c) row_data[c] = 0.0;
+      row_data[r] = 1.0;
+      continue;
+    }
+    for (std::size_t c = 0; c < cols_; ++c) row_data[c] /= sum;
+  }
+}
+
+double l1_diff(const std::vector<double>& a, const std::vector<double>& b) {
+  assert(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    sum += std::abs(a[i] - b[i]);
+  }
+  return sum;
+}
+
+void normalize(std::vector<double>& v) {
+  double sum = 0.0;
+  for (const double x : v) sum += x;
+  if (sum <= 0.0) throw std::invalid_argument("cannot normalize zero vector");
+  for (double& x : v) x /= sum;
+}
+
+}  // namespace gossip::markov

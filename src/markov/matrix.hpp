@@ -1,0 +1,58 @@
+// Dense row-major matrices and vector operations for Markov chain numerics.
+//
+// The degree MC of §6.2 has a few thousand states; dense linear algebra is
+// simple and more than fast enough.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip::markov {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c);
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const;
+
+  // Raw row data (length cols()).
+  [[nodiscard]] const double* row(std::size_t r) const;
+  [[nodiscard]] double* row(std::size_t r);
+
+  // Row-vector times matrix: out = v * M, where v has length rows().
+  [[nodiscard]] std::vector<double> left_multiply(
+      const std::vector<double>& v) const;
+
+  // Matrix times column vector: out = M * v, where v has length cols().
+  [[nodiscard]] std::vector<double> right_multiply(
+      const std::vector<double>& v) const;
+
+  [[nodiscard]] Matrix multiply(const Matrix& other) const;
+
+  // True if every row sums to 1 within `tolerance` and all entries are
+  // non-negative.
+  [[nodiscard]] bool is_row_stochastic(double tolerance = 1e-9) const;
+
+  // Rescales each row to sum to exactly 1. Rows that sum to 0 get a
+  // self-loop (M[r][r] = 1).
+  void normalize_rows();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+// L1 norm of the difference of two equal-length vectors.
+[[nodiscard]] double l1_diff(const std::vector<double>& a,
+                             const std::vector<double>& b);
+
+// Normalizes a non-negative vector to sum to 1 (throws if the sum is 0).
+void normalize(std::vector<double>& v);
+
+}  // namespace gossip::markov

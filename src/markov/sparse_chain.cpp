@@ -1,0 +1,158 @@
+#include "markov/sparse_chain.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stack>
+#include <stdexcept>
+
+namespace gossip::markov {
+
+SparseChain::SparseChain(std::size_t state_count) : row_sum_(state_count, 0.0) {}
+
+void SparseChain::resize(std::size_t count) {
+  if (count > row_sum_.size()) row_sum_.resize(count, 0.0);
+}
+
+void SparseChain::add(std::size_t from, std::size_t to, double prob) {
+  assert(!finalized_);
+  if (prob <= 0.0) return;
+  resize(std::max(from, to) + 1);
+  if (from == to) return;  // self-loops are implicit
+  from_.push_back(static_cast<std::uint32_t>(from));
+  to_.push_back(static_cast<std::uint32_t>(to));
+  prob_.push_back(prob);
+  row_sum_[from] += prob;
+}
+
+void SparseChain::finalize(double tolerance) {
+  for (std::size_t s = 0; s < row_sum_.size(); ++s) {
+    if (row_sum_[s] > 1.0 + tolerance) {
+      throw std::runtime_error("sparse chain row exceeds probability 1");
+    }
+    row_sum_[s] = std::min(row_sum_[s], 1.0);
+  }
+  finalized_ = true;
+}
+
+std::vector<double> SparseChain::step(const std::vector<double>& pi) const {
+  assert(finalized_);
+  assert(pi.size() == state_count());
+  std::vector<double> next(pi.size());
+  for (std::size_t s = 0; s < pi.size(); ++s) {
+    next[s] = pi[s] * (1.0 - row_sum_[s]);
+  }
+  for (std::size_t e = 0; e < prob_.size(); ++e) {
+    next[to_[e]] += pi[from_[e]] * prob_[e];
+  }
+  return next;
+}
+
+SparseChain::StationaryResult SparseChain::stationary(
+    std::vector<double> initial, double tolerance,
+    std::size_t max_iterations) const {
+  assert(finalized_);
+  const std::size_t n = state_count();
+  if (n == 0) throw std::runtime_error("empty chain");
+  StationaryResult result;
+  std::vector<double> pi = std::move(initial);
+  if (pi.empty()) {
+    pi.assign(n, 1.0 / static_cast<double>(n));
+  } else if (pi.size() != n) {
+    throw std::invalid_argument("initial distribution has wrong size");
+  }
+  for (std::size_t it = 0; it < max_iterations; ++it) {
+    std::vector<double> next = step(pi);
+    double total = 0.0;
+    for (const double x : next) total += x;
+    for (double& x : next) x /= total;
+    double diff = 0.0;
+    for (std::size_t s = 0; s < n; ++s) diff += std::abs(next[s] - pi[s]);
+    pi = std::move(next);
+    result.iterations = it + 1;
+    result.residual = diff;
+    if (diff < tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.distribution = std::move(pi);
+  return result;
+}
+
+bool SparseChain::strongly_connected() const {
+  const std::size_t n = state_count();
+  if (n <= 1) return true;
+  // Build adjacency and run iterative Tarjan (structure only).
+  std::vector<std::vector<std::uint32_t>> adj(n);
+  for (std::size_t e = 0; e < prob_.size(); ++e) {
+    adj[from_[e]].push_back(to_[e]);
+  }
+  constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
+  std::vector<std::uint32_t> index(n, kUnvisited);
+  std::vector<std::uint32_t> lowlink(n, 0);
+  std::vector<bool> on_stack(n, false);
+  std::vector<std::uint32_t> scc_stack;
+  std::uint32_t next_index = 0;
+  std::size_t scc_count = 0;
+  struct Frame {
+    std::uint32_t node;
+    std::size_t child;
+  };
+  std::stack<Frame> call_stack;
+  for (std::uint32_t root = 0; root < n; ++root) {
+    if (index[root] != kUnvisited) continue;
+    call_stack.push({root, 0});
+    index[root] = lowlink[root] = next_index++;
+    scc_stack.push_back(root);
+    on_stack[root] = true;
+    while (!call_stack.empty()) {
+      auto& frame = call_stack.top();
+      if (frame.child < adj[frame.node].size()) {
+        const std::uint32_t w = adj[frame.node][frame.child++];
+        if (index[w] == kUnvisited) {
+          index[w] = lowlink[w] = next_index++;
+          scc_stack.push_back(w);
+          on_stack[w] = true;
+          call_stack.push({w, 0});
+        } else if (on_stack[w]) {
+          lowlink[frame.node] = std::min(lowlink[frame.node], index[w]);
+        }
+      } else {
+        const std::uint32_t v = frame.node;
+        call_stack.pop();
+        if (!call_stack.empty()) {
+          auto& parent = call_stack.top();
+          lowlink[parent.node] = std::min(lowlink[parent.node], lowlink[v]);
+        }
+        if (lowlink[v] == index[v]) {
+          ++scc_count;
+          if (scc_count > 1) return false;
+          std::uint32_t w;
+          do {
+            w = scc_stack.back();
+            scc_stack.pop_back();
+            on_stack[w] = false;
+          } while (w != v);
+        }
+      }
+    }
+  }
+  return scc_count == 1;
+}
+
+bool SparseChain::doubly_stochastic(double tolerance) const {
+  std::vector<double> column_sum(state_count(), 0.0);
+  for (std::size_t s = 0; s < state_count(); ++s) {
+    column_sum[s] += 1.0 - row_sum_[s];  // implied self-loop
+  }
+  for (std::size_t e = 0; e < prob_.size(); ++e) {
+    column_sum[to_[e]] += prob_[e];
+  }
+  for (const double c : column_sum) {
+    if (std::abs(c - 1.0) > tolerance) return false;
+  }
+  return true;
+}
+
+}  // namespace gossip::markov

@@ -1,0 +1,74 @@
+// Sparse row-stochastic Markov chains.
+//
+// The global MC over membership graphs (§7.1) has up to hundreds of
+// thousands of states with a handful of transitions each; this container
+// stores only the nonzero off-diagonal entries (self-loop mass is implied
+// by the row remainder) and provides stationary-distribution and
+// structure queries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gossip::markov {
+
+class SparseChain {
+ public:
+  explicit SparseChain(std::size_t state_count = 0);
+
+  [[nodiscard]] std::size_t state_count() const { return row_sum_.size(); }
+
+  // Ensures the chain has at least `count` states.
+  void resize(std::size_t count);
+
+  // Accumulates probability mass `prob` on the transition from -> to.
+  // Self-transitions are ignored (they are implicit). Total outgoing mass
+  // of a row must stay <= 1 (checked in finalize()).
+  void add(std::size_t from, std::size_t to, double prob);
+
+  // Outgoing (non-self) probability mass of a row.
+  [[nodiscard]] double row_sum(std::size_t state) const {
+    return row_sum_[state];
+  }
+
+  // Validates rows (throws std::runtime_error if any row exceeds 1 beyond
+  // tolerance) and sorts transition storage. Must be called before the
+  // queries below.
+  void finalize(double tolerance = 1e-9);
+
+  // pi' = pi P, exploiting sparsity. Requires finalize().
+  [[nodiscard]] std::vector<double> step(const std::vector<double>& pi) const;
+
+  struct StationaryResult {
+    std::vector<double> distribution;
+    std::size_t iterations = 0;
+    bool converged = false;
+    double residual = 0.0;
+  };
+  // Power iteration from `initial` (uniform when empty).
+  [[nodiscard]] StationaryResult stationary(
+      std::vector<double> initial = {}, double tolerance = 1e-12,
+      std::size_t max_iterations = 200'000) const;
+
+  // True if every state can reach every other along positive-probability
+  // transitions (self-loops ignored) — irreducibility (Lemma 7.1 checks).
+  [[nodiscard]] bool strongly_connected() const;
+
+  // True if, in addition to rows, all *columns* also sum to 1 (counting
+  // implied self-loops) — the doubly stochastic property of the no-loss
+  // fixed-sum chain (Lemmas 7.3/7.4 imply it; Lemma 7.5 follows).
+  [[nodiscard]] bool doubly_stochastic(double tolerance = 1e-9) const;
+
+  // Number of stored (off-diagonal) transitions.
+  [[nodiscard]] std::size_t transition_count() const { return to_.size(); }
+
+ private:
+  std::vector<std::uint32_t> from_;
+  std::vector<std::uint32_t> to_;
+  std::vector<double> prob_;
+  std::vector<double> row_sum_;
+  bool finalized_ = false;
+};
+
+}  // namespace gossip::markov

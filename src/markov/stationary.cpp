@@ -1,0 +1,61 @@
+#include "markov/stationary.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip::markov {
+
+StationaryResult stationary_distribution(const Matrix& transition,
+                                         const StationaryOptions& options) {
+  const std::size_t n = transition.rows();
+  if (n == 0 || transition.cols() != n) {
+    throw std::invalid_argument("transition matrix must be square, nonempty");
+  }
+  StationaryResult result;
+  std::vector<double> pi = options.initial;
+  if (pi.empty()) {
+    pi.assign(n, 1.0 / static_cast<double>(n));
+  } else if (pi.size() != n) {
+    throw std::invalid_argument("initial distribution has wrong size");
+  }
+  for (std::size_t it = 0; it < options.max_iterations; ++it) {
+    std::vector<double> next = transition.left_multiply(pi);
+    // Re-normalize to counteract floating-point drift over many iterations.
+    normalize(next);
+    const double diff = l1_diff(pi, next);
+    pi = std::move(next);
+    result.iterations = it + 1;
+    result.residual = diff;
+    if (diff < options.tolerance) {
+      result.converged = true;
+      break;
+    }
+  }
+  result.distribution = std::move(pi);
+  return result;
+}
+
+bool is_stationary(const Matrix& transition, const std::vector<double>& pi,
+                   double tolerance) {
+  if (pi.size() != transition.rows()) return false;
+  const auto next = transition.left_multiply(pi);
+  return l1_diff(pi, next) <= tolerance;
+}
+
+std::vector<double> tv_trajectory(const Matrix& transition,
+                                  std::vector<double> initial,
+                                  const std::vector<double>& pi,
+                                  std::size_t steps) {
+  assert(initial.size() == transition.rows());
+  assert(pi.size() == transition.rows());
+  std::vector<double> tv;
+  tv.reserve(steps + 1);
+  tv.push_back(0.5 * l1_diff(initial, pi));
+  for (std::size_t t = 0; t < steps; ++t) {
+    initial = transition.left_multiply(initial);
+    tv.push_back(0.5 * l1_diff(initial, pi));
+  }
+  return tv;
+}
+
+}  // namespace gossip::markov

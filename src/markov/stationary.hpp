@@ -1,0 +1,48 @@
+// Stationary distributions of finite Markov chains.
+//
+// The paper computes "the MC's stationary distribution numerically by
+// multiplying the transition matrix by itself until it converges" (§6.2);
+// we use the equivalent (and cheaper) repeated vector-matrix product.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "markov/matrix.hpp"
+
+namespace gossip::markov {
+
+struct StationaryOptions {
+  // Stop when the L1 change between successive distributions drops below
+  // this threshold.
+  double tolerance = 1e-13;
+  std::size_t max_iterations = 2'000'000;
+  // Optional initial distribution; uniform when empty.
+  std::vector<double> initial;
+};
+
+struct StationaryResult {
+  std::vector<double> distribution;
+  std::size_t iterations = 0;
+  bool converged = false;
+  // L1 change in the final iteration.
+  double residual = 0.0;
+};
+
+// Computes pi with pi = pi * P by power iteration. P must be row-stochastic.
+[[nodiscard]] StationaryResult stationary_distribution(
+    const Matrix& transition, const StationaryOptions& options = {});
+
+// Verifies pi * P == pi within tolerance.
+[[nodiscard]] bool is_stationary(const Matrix& transition,
+                                 const std::vector<double>& pi,
+                                 double tolerance = 1e-9);
+
+// Total variation distance between the t-step distribution started at
+// `initial` and `pi`; used to measure convergence speed empirically.
+[[nodiscard]] std::vector<double> tv_trajectory(const Matrix& transition,
+                                                std::vector<double> initial,
+                                                const std::vector<double>& pi,
+                                                std::size_t steps);
+
+}  // namespace gossip::markov

@@ -1,0 +1,49 @@
+// One-call health report for a running membership overlay.
+//
+// Aggregates the measurements the paper's properties M1-M4 are judged by:
+// degree statistics (M1/M2), connectivity of the live overlay, dependence
+// fractions (M4), protocol rates (Lemmas 6.6/6.7), dead-id residue (§6.5),
+// and optionally the spectral gap (the expander motivation of §1).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "sim/cluster.hpp"
+
+namespace gossip::sampling {
+
+struct HealthReport {
+  std::size_t nodes = 0;
+  std::size_t live = 0;
+  std::size_t edges = 0;
+
+  double out_mean = 0.0;
+  double out_sd = 0.0;
+  double in_mean = 0.0;   // live-held edges only
+  double in_sd = 0.0;
+  bool connected = false;  // weakly, among live nodes
+
+  double duplication_rate = 0.0;
+  double deletion_rate = 0.0;
+  double self_loop_rate = 0.0;
+
+  double dependent_fraction = 0.0;
+  double independence = 1.0;
+
+  // Fraction of live nodes' view entries naming dead nodes.
+  double dead_reference_fraction = 0.0;
+
+  // 0 when not computed (see measure_health's with_spectral).
+  double spectral_gap = 0.0;
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+// Measures the cluster's current state. The spectral gap is only computed
+// when `with_spectral` is set and all nodes are live (the estimator works
+// on the full snapshot).
+[[nodiscard]] HealthReport measure_health(const sim::Cluster& cluster,
+                                          bool with_spectral = false);
+
+}  // namespace gossip::sampling

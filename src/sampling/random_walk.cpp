@@ -1,0 +1,40 @@
+#include "sampling/random_walk.hpp"
+
+#include <cmath>
+
+namespace gossip::sampling {
+
+RandomWalkSampler::RandomWalkSampler(const sim::Cluster& cluster,
+                                     sim::LossModel& loss,
+                                     RandomWalkConfig config)
+    : cluster_(cluster), loss_(loss), config_(config) {}
+
+std::optional<NodeId> RandomWalkSampler::sample(NodeId origin, Rng& rng) {
+  ++stats_.attempted;
+  NodeId holder = origin;
+  for (std::size_t hop = 0; hop < config_.walk_length; ++hop) {
+    const auto& view = cluster_.node(holder).view();
+    if (view.degree() == 0) {
+      ++stats_.stalled;
+      return std::nullopt;
+    }
+    const NodeId next = view.entry(view.random_nonempty_slot(rng)).id;
+    // The token is one message; a drop kills the whole walk — there is no
+    // retransmission without bookkeeping (§4.1).
+    if (loss_.drop(rng)) return std::nullopt;
+    if (next >= cluster_.size() || !cluster_.live(next)) return std::nullopt;
+    holder = next;
+  }
+  if (config_.reply_required && loss_.drop(rng)) return std::nullopt;
+  ++stats_.completed;
+  return holder;
+}
+
+double walk_success_probability(std::size_t walk_length, bool reply_required,
+                                double loss) {
+  const auto messages =
+      static_cast<double>(walk_length + (reply_required ? 1 : 0));
+  return std::pow(1.0 - loss, messages);
+}
+
+}  // namespace gossip::sampling

@@ -1,0 +1,72 @@
+// Random-walk sampling on the membership graph — the alternative §3.1
+// argues against.
+//
+// A node obtains a "random" peer by launching a token that takes L hops,
+// each hop forwarding to a uniform entry of the current holder's view; the
+// endpoint is returned to the origin. Every hop and the final reply are
+// messages, so under loss rate ℓ a walk succeeds with probability about
+// (1-ℓ)^(L+1) — exponentially decaying in L, the paper's first objection.
+// The second objection is bias: on a non-regular membership graph the
+// walk's endpoint follows the degree-biased stationary distribution, not
+// the uniform one.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/loss.hpp"
+
+namespace gossip::sampling {
+
+struct RandomWalkConfig {
+  // Number of forwarding hops before the token stops.
+  std::size_t walk_length = 10;
+  // Whether the endpoint must be reported back to the origin with one
+  // additional (lossy) message.
+  bool reply_required = true;
+};
+
+struct RandomWalkStats {
+  std::uint64_t attempted = 0;
+  std::uint64_t completed = 0;  // token survived all hops (+ reply)
+  std::uint64_t stalled = 0;    // a holder had an empty view
+
+  [[nodiscard]] double success_rate() const {
+    return attempted == 0
+               ? 0.0
+               : static_cast<double>(completed) /
+                     static_cast<double>(attempted);
+  }
+};
+
+class RandomWalkSampler {
+ public:
+  RandomWalkSampler(const sim::Cluster& cluster, sim::LossModel& loss,
+                    RandomWalkConfig config = {});
+
+  // Runs one walk from `origin` over the cluster's *current* views.
+  // Returns the sampled id on success, nullopt if any message was lost,
+  // the walk entered a dead node, or a holder had no entries to forward
+  // to. Statistics accumulate across calls.
+  std::optional<NodeId> sample(NodeId origin, Rng& rng);
+
+  [[nodiscard]] const RandomWalkStats& stats() const { return stats_; }
+
+ private:
+  const sim::Cluster& cluster_;
+  sim::LossModel& loss_;
+  RandomWalkConfig config_;
+  RandomWalkStats stats_;
+};
+
+// Analytical success probability of a walk under i.i.d. loss:
+// (1 - loss)^(hops + reply).
+[[nodiscard]] double walk_success_probability(std::size_t walk_length,
+                                              bool reply_required,
+                                              double loss);
+
+}  // namespace gossip::sampling

@@ -1,0 +1,29 @@
+#include "sampling/size_estimator.hpp"
+
+namespace gossip::sampling {
+
+void BirthdaySizeEstimator::add_sample(NodeId id) {
+  if (id >= counts_.size()) counts_.resize(id + 1, 0);
+  // Each prior occurrence of this id forms one new colliding pair.
+  collisions_ += counts_[id];
+  ++counts_[id];
+  ++samples_;
+}
+
+std::uint64_t BirthdaySizeEstimator::collision_pairs() const {
+  return collisions_;
+}
+
+std::optional<double> BirthdaySizeEstimator::estimate() const {
+  if (collisions_ == 0 || samples_ < 2) return std::nullopt;
+  const auto k = static_cast<double>(samples_);
+  return k * (k - 1.0) / (2.0 * static_cast<double>(collisions_));
+}
+
+void BirthdaySizeEstimator::reset() {
+  counts_.clear();
+  samples_ = 0;
+  collisions_ = 0;
+}
+
+}  // namespace gossip::sampling

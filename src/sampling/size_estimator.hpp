@@ -1,0 +1,46 @@
+// System-size estimation from peer samples — one of the paper's motivating
+// applications ("gathering statistics", §1).
+//
+// Birthday-paradox estimator: draw k peer samples; if the samples are
+// i.i.d. uniform over n nodes, the expected number of *colliding ordered
+// pairs* is k(k-1) / (2n), so
+//
+//     n̂ = k (k - 1) / (2 C),    C = observed collision pair count.
+//
+// The estimator's accuracy is a direct application-level consequence of
+// Properties M3/M4: biased or correlated samples inflate collisions and
+// underestimate n (the random-walk comparison bench shows exactly that).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/node_id.hpp"
+
+namespace gossip::sampling {
+
+class BirthdaySizeEstimator {
+ public:
+  void add_sample(NodeId id);
+
+  [[nodiscard]] std::size_t sample_count() const { return samples_; }
+
+  // Number of colliding (unordered) pairs among the samples so far:
+  // for an id seen m times, m(m-1)/2 pairs.
+  [[nodiscard]] std::uint64_t collision_pairs() const;
+
+  // n̂ = k(k-1) / (2C); nullopt while no collision has been observed
+  // (the estimator needs k ~ sqrt(n) samples to start resolving).
+  [[nodiscard]] std::optional<double> estimate() const;
+
+  void reset();
+
+ private:
+  std::vector<std::uint32_t> counts_;  // per-id multiplicities
+  std::size_t samples_ = 0;
+  std::uint64_t collisions_ = 0;
+};
+
+}  // namespace gossip::sampling

@@ -1,0 +1,106 @@
+#include "sampling/temporal_overlap.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+
+#include "common/stats.hpp"
+
+namespace gossip::sampling {
+
+namespace {
+
+// Multiset intersection size of two sorted id vectors.
+std::size_t intersection_size(const std::vector<NodeId>& a,
+                              const std::vector<NodeId>& b) {
+  std::size_t i = 0;
+  std::size_t j = 0;
+  std::size_t count = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] < b[j]) {
+      ++i;
+    } else if (b[j] < a[i]) {
+      ++j;
+    } else {
+      ++count;
+      ++i;
+      ++j;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+TemporalOverlapTracker::TemporalOverlapTracker(const sim::Cluster& cluster)
+    : node_count_(cluster.size()) {
+  snapshot_.resize(cluster.size());
+  double degree_total = 0.0;
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    snapshot_[u] = cluster.node(u).view().ids();
+    std::sort(snapshot_[u].begin(), snapshot_[u].end());
+    degree_total += static_cast<double>(snapshot_[u].size());
+  }
+  snapshot_mean_degree_ =
+      cluster.size() == 0 ? 0.0
+                          : degree_total / static_cast<double>(cluster.size());
+}
+
+double TemporalOverlapTracker::overlap(const sim::Cluster& cluster) const {
+  assert(cluster.size() >= snapshot_.size());
+  double total = 0.0;
+  std::size_t counted = 0;
+  for (NodeId u = 0; u < snapshot_.size(); ++u) {
+    if (!cluster.live(u)) continue;
+    auto current = cluster.node(u).view().ids();
+    if (current.empty()) continue;
+    std::sort(current.begin(), current.end());
+    total += static_cast<double>(intersection_size(current, snapshot_[u])) /
+             static_cast<double>(current.size());
+    ++counted;
+  }
+  return counted == 0 ? 0.0 : total / static_cast<double>(counted);
+}
+
+double TemporalOverlapTracker::independent_baseline() const {
+  if (node_count_ == 0) return 0.0;
+  return snapshot_mean_degree_ / static_cast<double>(node_count_);
+}
+
+double TemporalOverlapTracker::edge_indicator_correlation(
+    const sim::Cluster& cluster) const {
+  // Build indicator vectors over all (u, v) pairs. Membership graphs are
+  // sparse, so iterate edges and use dense vectors only logically: we
+  // exploit correlation = covariance/sqrt(var*var) computed from counts.
+  const std::size_t n = snapshot_.size();
+  if (n == 0) return 0.0;
+  std::uint64_t ones_old = 0;
+  std::uint64_t ones_new = 0;
+  std::uint64_t ones_both = 0;
+  std::uint64_t pairs = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster.live(u)) continue;
+    pairs += n;
+    auto current = cluster.node(u).view().ids();
+    std::sort(current.begin(), current.end());
+    // Dedupe to indicator semantics.
+    current.erase(std::unique(current.begin(), current.end()), current.end());
+    auto old = snapshot_[u];
+    old.erase(std::unique(old.begin(), old.end()), old.end());
+    ones_old += old.size();
+    ones_new += current.size();
+    ones_both += intersection_size(current, old);
+  }
+  if (pairs == 0) return 0.0;
+  const double p = static_cast<double>(pairs);
+  const double mo = static_cast<double>(ones_old) / p;
+  const double mn = static_cast<double>(ones_new) / p;
+  const double cov = static_cast<double>(ones_both) / p - mo * mn;
+  const double vo = mo * (1.0 - mo);
+  const double vn = mn * (1.0 - mn);
+  if (vo <= 0.0 || vn <= 0.0) return 0.0;
+  return cov / std::sqrt(vo * vn);
+}
+
+}  // namespace gossip::sampling

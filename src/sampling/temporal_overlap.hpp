@@ -1,0 +1,46 @@
+// Empirical measurement of Property M5 (temporal independence, §7.5).
+//
+// Take a snapshot of all views at t0, run the protocol, and track two decay
+// series as a function of actions executed:
+//  * overlap — the mean fraction of a node's current entries that were also
+//    in its t0 view (multiset intersection / current degree);
+//  * indicator correlation — the Pearson correlation between the membership
+//    indicator vectors 1[v in u.lv] at t0 and now, over sampled (u, v)
+//    pairs.
+// Both series dropping to their baseline means the current graph carries no
+// information about the start — the operational content of τ_ε.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "sim/cluster.hpp"
+
+namespace gossip::sampling {
+
+class TemporalOverlapTracker {
+ public:
+  // Captures the reference snapshot.
+  explicit TemporalOverlapTracker(const sim::Cluster& cluster);
+
+  // Mean over live nodes of |current view ∩ t0 view| / max(1, degree).
+  [[nodiscard]] double overlap(const sim::Cluster& cluster) const;
+
+  // Baseline overlap expected between two *independent* steady-state views:
+  // approximately E[d] / n (each of the d current entries matches the old
+  // view with probability ~d/n). Computed from the snapshot's mean degree.
+  [[nodiscard]] double independent_baseline() const;
+
+  // Pearson correlation of the edge indicator 1[v ∈ u.lv] between the
+  // snapshot and now, over all (u, v) pairs with u live and v < n.
+  [[nodiscard]] double edge_indicator_correlation(
+      const sim::Cluster& cluster) const;
+
+ private:
+  std::vector<std::vector<NodeId>> snapshot_;  // sorted ids per node
+  double snapshot_mean_degree_ = 0.0;
+  std::size_t node_count_ = 0;
+};
+
+}  // namespace gossip::sampling

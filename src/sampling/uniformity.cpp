@@ -1,0 +1,44 @@
+#include "sampling/uniformity.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace gossip::sampling {
+
+UniformityTester::UniformityTester(std::size_t node_count)
+    : counts_(node_count, 0) {}
+
+void UniformityTester::record_snapshot(const sim::Cluster& cluster) {
+  assert(cluster.size() == counts_.size());
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    if (!cluster.live(u)) continue;
+    for (const NodeId v : cluster.node(u).view().ids()) {
+      if (v == u) continue;  // self-edges exempt (Lemma 7.6)
+      if (v >= counts_.size()) continue;
+      ++counts_[v];
+      ++total_;
+    }
+  }
+}
+
+UniformityTester::Result UniformityTester::test_uniform() const {
+  if (total_ == 0) throw std::runtime_error("no observations recorded");
+  Result r;
+  const std::size_t n = counts_.size();
+  const std::vector<double> expected(n, 1.0 / static_cast<double>(n));
+  r.chi_square = chi_square_statistic(counts_, expected);
+  r.degrees_of_freedom = static_cast<double>(n - 1);
+  r.p_value = chi_square_upper_tail(r.chi_square, r.degrees_of_freedom);
+  const double uniform = static_cast<double>(total_) / static_cast<double>(n);
+  for (const auto c : counts_) {
+    const double rel =
+        std::abs(static_cast<double>(c) - uniform) / uniform;
+    r.max_relative_deviation = std::max(r.max_relative_deviation, rel);
+  }
+  return r;
+}
+
+}  // namespace gossip::sampling

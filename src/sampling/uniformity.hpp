@@ -1,0 +1,48 @@
+// Empirical verification of Property M3 (uniform sample, Lemma 7.6).
+//
+// Over many steady-state snapshots, each node v != u should appear in u's
+// view with equal probability. We accumulate, over snapshot times, the
+// total number of occurrences of each id across all views (excluding
+// self-edges, which Lemma 7.6 exempts) and run a chi-square test against
+// the uniform expectation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "sim/cluster.hpp"
+
+namespace gossip::sampling {
+
+class UniformityTester {
+ public:
+  explicit UniformityTester(std::size_t node_count);
+
+  // Accumulates one snapshot of all live views. Self-edges are skipped.
+  void record_snapshot(const sim::Cluster& cluster);
+
+  [[nodiscard]] std::uint64_t total_observations() const { return total_; }
+  [[nodiscard]] const std::vector<std::uint64_t>& occurrence_counts() const {
+    return counts_;
+  }
+
+  struct Result {
+    double chi_square = 0.0;
+    double degrees_of_freedom = 0.0;
+    // Upper-tail p-value; small values reject uniformity.
+    double p_value = 1.0;
+    // max_i |observed_i/total - 1/n| * n — relative occupancy spread.
+    double max_relative_deviation = 0.0;
+  };
+
+  // Chi-square test of the accumulated occurrence counts against the
+  // uniform distribution over all node ids. Requires observations.
+  [[nodiscard]] Result test_uniform() const;
+
+ private:
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace gossip::sampling

@@ -1,0 +1,114 @@
+#include "sim/churn.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace gossip::sim {
+
+std::vector<NodeId> bootstrap_ids(const Cluster& cluster, NodeId contact,
+                                  std::size_t count, Rng& rng) {
+  std::unordered_set<NodeId> chosen;
+  auto harvest = [&](NodeId source) {
+    if (cluster.live(source)) chosen.insert(source);
+    for (const NodeId v : cluster.node(source).view().ids()) {
+      if (chosen.size() >= count) break;
+      if (v < cluster.size() && cluster.live(v)) chosen.insert(v);
+    }
+  };
+  harvest(contact);
+  // Top up from other random live nodes' views; bail out if the whole
+  // system cannot provide enough distinct live ids.
+  std::size_t attempts = 0;
+  const std::size_t max_attempts = 4 * cluster.size() + 16;
+  while (chosen.size() < count) {
+    if (++attempts > max_attempts) {
+      throw std::runtime_error("not enough live ids to bootstrap a joiner");
+    }
+    harvest(cluster.random_live_node(rng));
+  }
+  std::vector<NodeId> out(chosen.begin(), chosen.end());
+  // Deterministic content but randomized order.
+  std::sort(out.begin(), out.end());
+  out.resize(count);
+  return out;
+}
+
+NodeId join_node(Cluster& cluster, const Cluster::ProtocolFactory& factory,
+                 std::size_t initial_degree, Rng& rng) {
+  const NodeId contact = cluster.random_live_node(rng);
+  const auto ids = bootstrap_ids(cluster, contact, initial_degree, rng);
+  const NodeId joiner = cluster.spawn(factory);
+  cluster.node(joiner).install_view(ids);
+  return joiner;
+}
+
+void rejoin_node(Cluster& cluster, NodeId id,
+                 const Cluster::ProtocolFactory& factory,
+                 std::size_t initial_degree, Rng& rng, LossModel* probe_loss) {
+  if (cluster.live(id)) throw std::logic_error("node is not failed");
+
+  // Probe the remembered view. A probe answered = the target is alive and
+  // its reply was not lost. Deduplicate: one probe per distinct id.
+  std::unordered_set<NodeId> remembered;
+  for (const NodeId v : cluster.node(id).view().ids()) {
+    if (v != id) remembered.insert(v);
+  }
+  std::vector<NodeId> survivors;
+  for (const NodeId v : remembered) {
+    if (v >= cluster.size() || !cluster.live(v)) continue;
+    if (probe_loss != nullptr && probe_loss->drop(rng)) continue;
+    survivors.push_back(v);
+    if (survivors.size() >= initial_degree) break;
+  }
+  std::sort(survivors.begin(), survivors.end());
+
+  cluster.revive(id, factory);
+
+  if (survivors.size() < initial_degree) {
+    // Top up from a bootstrap contact, avoiding duplicates.
+    std::unordered_set<NodeId> have(survivors.begin(), survivors.end());
+    have.insert(id);
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = 4 * cluster.size() + 16;
+    while (survivors.size() < initial_degree) {
+      if (++attempts > max_attempts) {
+        throw std::runtime_error("not enough live ids to rejoin");
+      }
+      const NodeId contact = cluster.random_live_node(rng);
+      if (contact != id && have.insert(contact).second) {
+        survivors.push_back(contact);
+      }
+      for (const NodeId v : cluster.node(contact).view().ids()) {
+        if (survivors.size() >= initial_degree) break;
+        if (v == id || v >= cluster.size() || !cluster.live(v)) continue;
+        if (have.insert(v).second) survivors.push_back(v);
+      }
+    }
+  }
+  cluster.node(id).install_view(survivors);
+}
+
+ChurnProcess::ChurnProcess(Cluster& cluster, Cluster::ProtocolFactory factory,
+                           std::size_t joiner_degree, double join_rate,
+                           double leave_rate, std::size_t min_live)
+    : cluster_(cluster), factory_(std::move(factory)),
+      joiner_degree_(joiner_degree), join_rate_(join_rate),
+      leave_rate_(leave_rate), min_live_(min_live) {}
+
+ChurnProcess::Outcome ChurnProcess::maybe_churn(Rng& rng) {
+  Outcome outcome;
+  if (rng.bernoulli(join_rate_)) {
+    outcome.joined = join_node(cluster_, factory_, joiner_degree_, rng);
+    ++joins_;
+  }
+  if (cluster_.live_count() > min_live_ && rng.bernoulli(leave_rate_)) {
+    outcome.left = cluster_.random_live_node(rng);
+    cluster_.kill(outcome.left);
+    ++leaves_;
+  }
+  return outcome;
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,103 @@
+#include "sim/cluster.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip::sim {
+
+Cluster::Cluster(std::size_t node_count, const ProtocolFactory& factory) {
+  nodes_.reserve(node_count);
+  for (NodeId id = 0; id < node_count; ++id) {
+    nodes_.push_back(factory(id));
+    assert(nodes_.back()->self() == id);
+  }
+  live_.assign(node_count, true);
+  live_count_ = node_count;
+}
+
+PeerProtocol& Cluster::node(NodeId id) {
+  assert(id < nodes_.size());
+  return *nodes_[id];
+}
+
+const PeerProtocol& Cluster::node(NodeId id) const {
+  assert(id < nodes_.size());
+  return *nodes_[id];
+}
+
+bool Cluster::live(NodeId id) const {
+  assert(id < live_.size());
+  return live_[id];
+}
+
+void Cluster::kill(NodeId id) {
+  assert(id < live_.size());
+  if (!live_[id]) return;
+  live_[id] = false;
+  --live_count_;
+}
+
+void Cluster::revive(NodeId id, const ProtocolFactory& factory) {
+  assert(id < live_.size());
+  if (live_[id]) throw std::logic_error("node already live");
+  nodes_[id] = factory(id);
+  assert(nodes_[id]->self() == id);
+  live_[id] = true;
+  ++live_count_;
+}
+
+NodeId Cluster::spawn(const ProtocolFactory& factory) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(factory(id));
+  assert(nodes_.back()->self() == id);
+  live_.push_back(true);
+  ++live_count_;
+  return id;
+}
+
+NodeId Cluster::random_live_node(Rng& rng) const {
+  assert(live_count_ > 0);
+  // live_count_ is usually close to size(); rejection sampling is O(1).
+  for (;;) {
+    const auto id = static_cast<NodeId>(rng.uniform(nodes_.size()));
+    if (live_[id]) return id;
+  }
+}
+
+std::vector<NodeId> Cluster::live_nodes() const {
+  std::vector<NodeId> out;
+  out.reserve(live_count_);
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (live_[id]) out.push_back(id);
+  }
+  return out;
+}
+
+void Cluster::install_graph(const Digraph& graph) {
+  if (graph.node_count() != nodes_.size()) {
+    throw std::invalid_argument("graph size does not match cluster size");
+  }
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    nodes_[id]->install_view(graph.out_neighbors(id));
+  }
+}
+
+Digraph Cluster::snapshot() const {
+  Digraph g(nodes_.size());
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    for (const NodeId v : nodes_[id]->view().ids()) {
+      g.add_edge(id, v);
+    }
+  }
+  return g;
+}
+
+ProtocolMetrics Cluster::aggregate_metrics() const {
+  ProtocolMetrics total;
+  for (NodeId id = 0; id < nodes_.size(); ++id) {
+    if (live_[id]) total += nodes_[id]->metrics();
+  }
+  return total;
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,71 @@
+// A cluster of protocol instances plus liveness bookkeeping.
+//
+// The cluster is the "world" the drivers act on: it owns one PeerProtocol
+// per node id, tracks which nodes are alive (churn), and converts between
+// protocol views and membership graphs (§4's graph model) for analysis.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/protocol.hpp"
+#include "graph/digraph.hpp"
+
+namespace gossip::sim {
+
+class Cluster {
+ public:
+  using ProtocolFactory =
+      std::function<std::unique_ptr<PeerProtocol>(NodeId id)>;
+
+  // Creates `node_count` protocol instances via `factory`, all alive.
+  Cluster(std::size_t node_count, const ProtocolFactory& factory);
+
+  [[nodiscard]] std::size_t size() const { return nodes_.size(); }
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+
+  [[nodiscard]] PeerProtocol& node(NodeId id);
+  [[nodiscard]] const PeerProtocol& node(NodeId id) const;
+
+  [[nodiscard]] bool live(NodeId id) const;
+
+  // Marks a node dead (leave/failure: it simply stops participating, §5).
+  // Its view is left untouched; other views keep referencing it until the
+  // protocol washes the id out.
+  void kill(NodeId id);
+
+  // Revives a node with a fresh protocol instance (rejoin).
+  void revive(NodeId id, const ProtocolFactory& factory);
+
+  // Appends a brand-new node; returns its id.
+  NodeId spawn(const ProtocolFactory& factory);
+
+  // Uniformly random live node. Requires live_count() > 0.
+  [[nodiscard]] NodeId random_live_node(Rng& rng) const;
+
+  // Ids of all live nodes, ascending.
+  [[nodiscard]] std::vector<NodeId> live_nodes() const;
+
+  [[nodiscard]] const std::vector<bool>& liveness() const { return live_; }
+
+  // Installs views from a membership graph: node u's view receives the
+  // multiset of out-neighbors of u (truncated at capacity).
+  void install_graph(const Digraph& graph);
+
+  // Snapshot of all views (live and dead) as a membership graph over
+  // size() vertices.
+  [[nodiscard]] Digraph snapshot() const;
+
+  // Aggregated metrics over live nodes.
+  [[nodiscard]] ProtocolMetrics aggregate_metrics() const;
+
+ private:
+  std::vector<std::unique_ptr<PeerProtocol>> nodes_;
+  std::vector<bool> live_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,36 @@
+#include "sim/event_driver.hpp"
+
+namespace gossip::sim {
+
+EventDriver::EventDriver(Cluster& cluster, LossModel& loss, Rng& rng,
+                         EventDriverConfig config)
+    : cluster_(cluster), rng_(rng), config_(config),
+      network_(cluster, loss, rng, queue_, config.latency) {
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    if (cluster_.live(id)) start_node(id);
+  }
+}
+
+void EventDriver::start_node(NodeId id) { schedule_tick(id); }
+
+void EventDriver::schedule_tick(NodeId id) {
+  const double jitter_span = config_.period * config_.jitter;
+  const double gap =
+      config_.period - jitter_span + 2.0 * jitter_span * rng_.uniform_double();
+  queue_.schedule(queue_.now() + gap, [this, id]() {
+    // A node that died keeps its (dead) timer silent forever.
+    if (!cluster_.live(id)) return;
+    cluster_.node(id).on_initiate(rng_, network_);
+    schedule_tick(id);
+  });
+}
+
+void EventDriver::run_for(double duration) {
+  queue_.run_until(queue_.now() + duration);
+}
+
+void EventDriver::run_rounds(std::uint64_t rounds) {
+  run_for(static_cast<double>(rounds) * config_.period);
+}
+
+}  // namespace gossip::sim

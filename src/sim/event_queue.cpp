@@ -1,0 +1,43 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace gossip::sim {
+
+void EventQueue::schedule(SimTime when, Action action) {
+  assert(when >= now_);
+  heap_.push(Entry{when, next_seq_++, std::move(action)});
+}
+
+SimTime EventQueue::peek_time() const {
+  return heap_.empty() ? now_ : heap_.top().when;
+}
+
+bool EventQueue::run_next() {
+  if (heap_.empty()) return false;
+  // priority_queue::top() is const; move out via const_cast is UB-adjacent,
+  // so copy the small handle instead: Action is a std::function whose copy
+  // is cheap relative to event execution.
+  Entry entry = heap_.top();
+  heap_.pop();
+  now_ = entry.when;
+  entry.action();
+  return true;
+}
+
+std::size_t EventQueue::run_until(SimTime until) {
+  std::size_t executed = 0;
+  while (!heap_.empty() && heap_.top().when <= until) {
+    run_next();
+    ++executed;
+  }
+  now_ = std::max(now_, until);
+  return executed;
+}
+
+void EventQueue::clear() {
+  while (!heap_.empty()) heap_.pop();
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,60 @@
+// Deterministic discrete-event queue.
+//
+// Events carry a simulated timestamp and an opaque payload; ties are broken
+// by insertion sequence number, so runs are exactly reproducible for a given
+// seed regardless of heap implementation details.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace gossip::sim {
+
+using SimTime = double;
+
+class EventQueue {
+ public:
+  using Action = std::function<void()>;
+
+  // Schedules `action` at absolute time `when` (must be >= now()).
+  void schedule(SimTime when, Action action);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+
+  // Timestamp of the earliest pending event; now() if empty.
+  [[nodiscard]] SimTime peek_time() const;
+
+  // Current simulated time (timestamp of the last executed event).
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  // Executes the earliest event; returns false when the queue is empty.
+  bool run_next();
+
+  // Runs events with timestamp <= `until`, advancing now() to `until`.
+  // Returns the number of events executed.
+  std::size_t run_until(SimTime until);
+
+  void clear();
+
+ private:
+  struct Entry {
+    SimTime when;
+    std::uint64_t seq;
+    Action action;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.when != b.when) return a.when > b.when;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  SimTime now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace gossip::sim

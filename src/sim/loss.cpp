@@ -1,0 +1,65 @@
+#include "sim/loss.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip::sim {
+
+UniformLoss::UniformLoss(double rate) : rate_(rate) {
+  if (rate < 0.0 || rate > 1.0) {
+    throw std::invalid_argument("loss rate must be in [0, 1]");
+  }
+}
+
+bool UniformLoss::drop(Rng& rng) { return rng.bernoulli(rate_); }
+
+GilbertElliottLoss::GilbertElliottLoss(double p_good_to_bad,
+                                       double r_bad_to_good, double good_loss,
+                                       double bad_loss)
+    : p_(p_good_to_bad), r_(r_bad_to_good), good_loss_(good_loss),
+      bad_loss_(bad_loss) {
+  for (const double x : {p_, r_, good_loss_, bad_loss_}) {
+    if (x < 0.0 || x > 1.0) {
+      throw std::invalid_argument("Gilbert-Elliott parameters must be in [0,1]");
+    }
+  }
+  if (p_ + r_ <= 0.0) {
+    throw std::invalid_argument("Gilbert-Elliott chain must be able to move");
+  }
+}
+
+bool GilbertElliottLoss::drop(Rng& rng) {
+  // Advance the channel state, then sample loss in the new state.
+  if (bad_) {
+    if (rng.bernoulli(r_)) bad_ = false;
+  } else {
+    if (rng.bernoulli(p_)) bad_ = true;
+  }
+  return rng.bernoulli(bad_ ? bad_loss_ : good_loss_);
+}
+
+double GilbertElliottLoss::average_rate() const {
+  // Stationary probability of BAD is p / (p + r).
+  const double pi_bad = p_ / (p_ + r_);
+  return pi_bad * bad_loss_ + (1.0 - pi_bad) * good_loss_;
+}
+
+std::unique_ptr<GilbertElliottLoss> bursty_loss(double target_rate,
+                                                double mean_burst_length) {
+  if (target_rate <= 0.0 || target_rate >= 1.0) {
+    throw std::invalid_argument("target rate must be in (0, 1)");
+  }
+  if (mean_burst_length < 1.0) {
+    throw std::invalid_argument("mean burst length must be >= 1");
+  }
+  // In-burst loss is total: pi_bad = target_rate. Mean sojourn in BAD is
+  // 1/r = mean_burst_length, and p solves p/(p+r) = target_rate.
+  const double r = 1.0 / mean_burst_length;
+  const double p = r * target_rate / (1.0 - target_rate);
+  if (p > 1.0) {
+    throw std::invalid_argument("infeasible burst parameters");
+  }
+  return std::make_unique<GilbertElliottLoss>(p, r, 0.0, 1.0);
+}
+
+}  // namespace gossip::sim

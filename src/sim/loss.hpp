@@ -1,0 +1,60 @@
+// Message-loss models.
+//
+// The paper analyzes uniform i.i.d. loss with probability ℓ (§4.1). The
+// Gilbert-Elliott model is provided as an extension to probe the protocol's
+// robustness to the bursty, correlated loss the paper explicitly leaves out
+// ("nonuniform loss occurs in practice [33]").
+#pragma once
+
+#include <memory>
+
+#include "common/rng.hpp"
+
+namespace gossip::sim {
+
+class LossModel {
+ public:
+  virtual ~LossModel() = default;
+  // True if the next message should be dropped.
+  virtual bool drop(Rng& rng) = 0;
+  // Long-run average loss rate of this model.
+  [[nodiscard]] virtual double average_rate() const = 0;
+};
+
+// Uniform i.i.d. loss with probability `rate` per message.
+class UniformLoss final : public LossModel {
+ public:
+  explicit UniformLoss(double rate);
+  bool drop(Rng& rng) override;
+  [[nodiscard]] double average_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+// Two-state Gilbert-Elliott channel: a GOOD state with loss `good_loss` and
+// a BAD (burst) state with loss `bad_loss`; per-message transition
+// probabilities p (good->bad) and r (bad->good).
+class GilbertElliottLoss final : public LossModel {
+ public:
+  GilbertElliottLoss(double p_good_to_bad, double r_bad_to_good,
+                     double good_loss, double bad_loss);
+  bool drop(Rng& rng) override;
+  [[nodiscard]] double average_rate() const override;
+  [[nodiscard]] bool in_bad_state() const { return bad_; }
+
+ private:
+  double p_;
+  double r_;
+  double good_loss_;
+  double bad_loss_;
+  bool bad_ = false;
+};
+
+// Convenience: a Gilbert-Elliott channel whose long-run average equals
+// `target_rate` but concentrated in bursts of expected length
+// `mean_burst_length` (loss rate 1 inside bursts, 0 outside).
+[[nodiscard]] std::unique_ptr<GilbertElliottLoss> bursty_loss(
+    double target_rate, double mean_burst_length);
+
+}  // namespace gossip::sim

@@ -1,0 +1,59 @@
+#include "sim/network.hpp"
+
+#include <utility>
+
+namespace gossip::sim {
+
+DirectNetwork::DirectNetwork(Cluster& cluster, LossModel& loss, Rng& rng)
+    : cluster_(cluster), loss_(loss), rng_(rng) {}
+
+void DirectNetwork::send(Message message) {
+  ++metrics_.sent;
+  if (message.to >= cluster_.size() || !cluster_.live(message.to)) {
+    ++metrics_.to_dead;
+    return;
+  }
+  if (loss_.drop(rng_)) {
+    ++metrics_.lost;
+    return;
+  }
+  ++metrics_.delivered;
+  cluster_.node(message.to).on_message(message, rng_, *this);
+}
+
+QueuedNetwork::QueuedNetwork(Cluster& cluster, LossModel& loss, Rng& rng,
+                             EventQueue& queue, LatencyModel latency)
+    : cluster_(cluster), loss_(loss), rng_(rng), queue_(queue),
+      latency_(latency) {}
+
+void QueuedNetwork::send(Message message) {
+  ++metrics_.sent;
+  if (message.to >= cluster_.size() || !cluster_.live(message.to)) {
+    ++metrics_.to_dead;
+    return;
+  }
+  if (loss_.drop(rng_)) {
+    ++metrics_.lost;
+    return;
+  }
+  if (latency_.duplicate_rate > 0.0 &&
+      rng_.bernoulli(latency_.duplicate_rate)) {
+    ++metrics_.duplicated;
+    schedule_delivery(message);
+  }
+  schedule_delivery(std::move(message));
+}
+
+void QueuedNetwork::schedule_delivery(Message message) {
+  const SimTime arrival = queue_.now() + latency_.sample(rng_);
+  queue_.schedule(arrival, [this, msg = std::move(message)]() {
+    if (msg.to >= cluster_.size() || !cluster_.live(msg.to)) {
+      ++metrics_.to_dead;
+      return;
+    }
+    ++metrics_.delivered;
+    cluster_.node(msg.to).on_message(msg, rng_, *this);
+  });
+}
+
+}  // namespace gossip::sim

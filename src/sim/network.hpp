@@ -1,0 +1,93 @@
+// Network layers: apply the loss model and route messages to protocols.
+//
+// `DirectNetwork` delivers synchronously (used by the serialized round
+// driver that mirrors the paper's analysis model); `QueuedNetwork` schedules
+// deliveries on an EventQueue with sampled latency (used by the concurrent
+// event-driven simulator).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "core/messages.hpp"
+#include "sim/cluster.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/loss.hpp"
+
+namespace gossip::sim {
+
+struct NetworkMetrics {
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t delivered = 0;
+  // Messages addressed to dead nodes (silently dropped, like loss — the
+  // sender cannot tell the difference, which is the paper's point).
+  std::uint64_t to_dead = 0;
+  // Extra deliveries caused by network-level packet duplication
+  // (QueuedNetwork only; robustness extension beyond the paper's model).
+  std::uint64_t duplicated = 0;
+
+  [[nodiscard]] double loss_rate() const {
+    return sent == 0 ? 0.0 : static_cast<double>(lost) /
+                                 static_cast<double>(sent);
+  }
+};
+
+// Synchronous network: send() either drops the message or immediately
+// invokes the receiver's on_message (which may recursively send more
+// messages through this same transport — e.g. baseline replies).
+class DirectNetwork final : public Transport {
+ public:
+  DirectNetwork(Cluster& cluster, LossModel& loss, Rng& rng);
+
+  void send(Message message) override;
+
+  [[nodiscard]] const NetworkMetrics& metrics() const { return metrics_; }
+
+ private:
+  Cluster& cluster_;
+  LossModel& loss_;
+  Rng& rng_;
+  NetworkMetrics metrics_;
+};
+
+// Latency distribution for the event-driven simulator.
+struct LatencyModel {
+  double min_latency = 0.5;
+  double max_latency = 1.5;
+  // Probability that a delivered message is delivered a second time
+  // (packet duplication — real networks do this; the protocol must cope).
+  double duplicate_rate = 0.0;
+
+  [[nodiscard]] double sample(Rng& rng) const {
+    return min_latency + (max_latency - min_latency) * rng.uniform_double();
+  }
+};
+
+// Asynchronous network: send() samples loss immediately; surviving messages
+// are delivered after a sampled latency via the event queue. Deliveries to
+// nodes that died in flight are dropped at delivery time. With a nonzero
+// duplicate_rate a surviving message may additionally be delivered twice,
+// at independent latencies.
+class QueuedNetwork final : public Transport {
+ public:
+  QueuedNetwork(Cluster& cluster, LossModel& loss, Rng& rng,
+                EventQueue& queue, LatencyModel latency = {});
+
+  void send(Message message) override;
+
+  [[nodiscard]] const NetworkMetrics& metrics() const { return metrics_; }
+
+ private:
+  void schedule_delivery(Message message);
+
+  Cluster& cluster_;
+  LossModel& loss_;
+  Rng& rng_;
+  EventQueue& queue_;
+  LatencyModel latency_;
+  NetworkMetrics metrics_;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,48 @@
+// Serialized action driver — the paper's analysis model.
+//
+// "A central entity repeatedly selects a random node, invokes its
+// InitiateAction method, and waits for the completion of the Receive by the
+// receiving node" (§5). A *round* is the period in which each node is
+// expected to initiate exactly one action (§6.5), i.e. live_count()
+// uniformly random picks with replacement.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/loss.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+
+class RoundDriver {
+ public:
+  // The driver borrows all three; they must outlive it.
+  RoundDriver(Cluster& cluster, LossModel& loss, Rng& rng);
+
+  // One action: a uniformly random live node initiates; any messages are
+  // delivered (or lost) synchronously before this returns.
+  void step();
+
+  // `count` actions.
+  void run_actions(std::uint64_t count);
+
+  // `rounds` rounds of live_count() actions each.
+  void run_rounds(std::uint64_t rounds);
+
+  [[nodiscard]] std::uint64_t actions_executed() const { return actions_; }
+  [[nodiscard]] const NetworkMetrics& network_metrics() const {
+    return network_.metrics();
+  }
+  [[nodiscard]] Cluster& cluster() { return cluster_; }
+  [[nodiscard]] Rng& rng() { return rng_; }
+
+ private:
+  Cluster& cluster_;
+  Rng& rng_;
+  DirectNetwork network_;
+  std::uint64_t actions_ = 0;
+};
+
+}  // namespace gossip::sim

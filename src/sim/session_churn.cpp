@@ -1,0 +1,59 @@
+#include "sim/session_churn.hpp"
+
+#include <utility>
+
+#include "sim/churn.hpp"
+
+namespace gossip::sim {
+
+SessionChurn::SessionChurn(Cluster& cluster, Cluster::ProtocolFactory factory,
+                           SessionChurnConfig config, Rng& rng,
+                           LossModel* probe_loss)
+    : cluster_(cluster), factory_(std::move(factory)), config_(config),
+      probe_loss_(probe_loss) {
+  deadline_.resize(cluster_.size());
+  for (NodeId u = 0; u < cluster_.size(); ++u) {
+    deadline_[u] = cluster_.live(u)
+                       ? rng.pareto(config_.session_min, config_.session_shape)
+                       : rng.pareto(config_.gap_min, config_.gap_shape);
+  }
+}
+
+void SessionChurn::tick(Rng& rng) {
+  // New nodes spawned by other mechanisms get a fresh session.
+  if (deadline_.size() < cluster_.size()) {
+    const std::size_t old_size = deadline_.size();
+    deadline_.resize(cluster_.size());
+    for (std::size_t u = old_size; u < deadline_.size(); ++u) {
+      deadline_[u] = rng.pareto(config_.session_min, config_.session_shape);
+    }
+  }
+
+  for (NodeId u = 0; u < cluster_.size(); ++u) {
+    deadline_[u] -= 1.0;
+    if (deadline_[u] > 0.0) continue;
+    if (cluster_.live(u)) {
+      if (cluster_.live_count() <= config_.min_live) {
+        // Postpone the departure; the floor protects the experiment, not
+        // the protocol.
+        deadline_[u] = 1.0;
+        continue;
+      }
+      cluster_.kill(u);
+      ++departures_;
+      deadline_[u] = rng.pareto(config_.gap_min, config_.gap_shape);
+    } else {
+      try {
+        rejoin_node(cluster_, u, factory_, config_.rejoin_degree, rng,
+                    probe_loss_);
+        ++rejoins_;
+        deadline_[u] = rng.pareto(config_.session_min, config_.session_shape);
+      } catch (const std::exception&) {
+        // Not enough live contacts right now; retry shortly.
+        deadline_[u] = 1.0;
+      }
+    }
+  }
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,64 @@
+// Heavy-tailed session churn.
+//
+// Measurement studies of deployed peer-to-peer systems consistently find
+// session lengths heavy-tailed: most nodes stay minutes, a few stay days.
+// SessionChurn models each node as alternating Pareto-distributed online
+// sessions and offline gaps; a node coming back online reconnects through
+// the §5 probe path (`rejoin_node`), reusing whatever of its old view
+// still answers. This stresses S&F far beyond the paper's static-membership
+// analysis windows: the overlay must absorb simultaneous departures of
+// short-lived nodes while long-lived ones keep it mixed.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/cluster.hpp"
+#include "sim/loss.hpp"
+
+namespace gossip::sim {
+
+struct SessionChurnConfig {
+  // Pareto(min, shape) session lengths, in rounds. shape <= 1 has infinite
+  // mean (very heavy tail); deployments are typically 1 < shape < 2.
+  double session_min = 20.0;
+  double session_shape = 1.5;
+  // Offline gap distribution, also Pareto.
+  double gap_min = 10.0;
+  double gap_shape = 2.0;
+  // View entries a rejoining node needs (dL).
+  std::size_t rejoin_degree = 8;
+  // Never take the system below this many live nodes.
+  std::size_t min_live = 16;
+};
+
+class SessionChurn {
+ public:
+  // Assigns every (initially live) node a session deadline. The factory
+  // builds replacement protocol instances at rejoin.
+  SessionChurn(Cluster& cluster, Cluster::ProtocolFactory factory,
+               SessionChurnConfig config, Rng& rng,
+               LossModel* probe_loss = nullptr);
+
+  // Advances one round of lifetimes: nodes whose session expired go
+  // offline; nodes whose gap expired rejoin (probe-based). Call once per
+  // simulated round.
+  void tick(Rng& rng);
+
+  [[nodiscard]] std::uint64_t total_departures() const { return departures_; }
+  [[nodiscard]] std::uint64_t total_rejoins() const { return rejoins_; }
+
+ private:
+  Cluster& cluster_;
+  Cluster::ProtocolFactory factory_;
+  SessionChurnConfig config_;
+  LossModel* probe_loss_;
+  // Remaining rounds of the current session (live) or gap (dead).
+  std::vector<double> deadline_;
+  std::uint64_t departures_ = 0;
+  std::uint64_t rejoins_ = 0;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,77 @@
+#include "sim/trace.hpp"
+
+#include <sstream>
+
+namespace gossip::sim {
+
+namespace {
+
+const char* kind_name(MessageKind kind) {
+  switch (kind) {
+    case MessageKind::kPush:
+      return "push";
+    case MessageKind::kShuffleRequest:
+      return "shuffle-req";
+    case MessageKind::kShuffleReply:
+      return "shuffle-rep";
+    case MessageKind::kPushPullRequest:
+      return "pushpull-req";
+    case MessageKind::kPushPullReply:
+      return "pushpull-rep";
+    case MessageKind::kNewscastExchange:
+      return "newscast-xchg";
+    case MessageKind::kNewscastReply:
+      return "newscast-rep";
+  }
+  return "?";
+}
+
+}  // namespace
+
+TracingTransport::TracingTransport(Transport& next, std::size_t capacity)
+    : next_(next), capacity_(capacity) {}
+
+void TracingTransport::send(Message message) {
+  TraceRecord record;
+  record.sequence = sequence_++;
+  record.message = message;
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+  next_.send(std::move(message));
+}
+
+std::size_t TracingTransport::count(NodeId from, NodeId to,
+                                    MessageKind kind) const {
+  std::size_t n = 0;
+  for (const auto& record : records_) {
+    if (from != kNilNode && record.message.from != from) continue;
+    if (to != kNilNode && record.message.to != to) continue;
+    if (record.message.kind != kind) continue;
+    ++n;
+  }
+  return n;
+}
+
+std::string TracingTransport::dump(std::size_t limit) const {
+  std::ostringstream out;
+  const std::size_t start =
+      records_.size() > limit ? records_.size() - limit : 0;
+  for (std::size_t k = start; k < records_.size(); ++k) {
+    const auto& record = records_[k];
+    out << '#' << record.sequence << ' ' << record.message.from << "->"
+        << record.message.to << ' ' << kind_name(record.message.kind) << " [";
+    bool first = true;
+    for (const auto& entry : record.message.payload) {
+      if (!first) out << ' ';
+      first = false;
+      out << entry.id;
+      if (entry.dependent) out << '*';
+    }
+    out << "]\n";
+  }
+  return out.str();
+}
+
+void TracingTransport::clear() { records_.clear(); }
+
+}  // namespace gossip::sim

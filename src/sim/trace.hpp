@@ -1,0 +1,49 @@
+// Action tracing: a decorating Transport that records every message a
+// protocol sends (bounded ring buffer), for debugging, causality checks,
+// and test assertions about wire behavior.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "core/protocol.hpp"
+
+namespace gossip::sim {
+
+struct TraceRecord {
+  std::uint64_t sequence = 0;
+  Message message;
+};
+
+class TracingTransport final : public Transport {
+ public:
+  // Wraps `next`; keeps at most `capacity` most recent records.
+  TracingTransport(Transport& next, std::size_t capacity = 4096);
+
+  void send(Message message) override;
+
+  [[nodiscard]] const std::deque<TraceRecord>& records() const {
+    return records_;
+  }
+  [[nodiscard]] std::uint64_t total_sent() const { return sequence_; }
+
+  // Number of recorded messages from `from` (kNilNode = any) to `to`
+  // (kNilNode = any) of the given kind.
+  [[nodiscard]] std::size_t count(NodeId from, NodeId to,
+                                  MessageKind kind) const;
+
+  // Human-readable dump of the most recent `limit` records.
+  [[nodiscard]] std::string dump(std::size_t limit = 32) const;
+
+  void clear();
+
+ private:
+  Transport& next_;
+  std::size_t capacity_;
+  std::deque<TraceRecord> records_;
+  std::uint64_t sequence_ = 0;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "core/baselines/push_pull.hpp"
+#include "core/baselines/shuffle.hpp"
+#include "test_support.hpp"
+
+namespace gossip {
+namespace {
+
+using testing::CaptureTransport;
+
+// ---------------------------------------------------------------- Shuffle
+
+TEST(Shuffle, EmptyViewIsNoop) {
+  Shuffle node(0, ShuffleConfig{.view_size = 8, .shuffle_length = 3});
+  Rng rng(1);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  EXPECT_TRUE(transport.sent.empty());
+  EXPECT_EQ(node.metrics().self_loop_actions, 1u);
+}
+
+TEST(Shuffle, InitiateRemovesSentEntries) {
+  Shuffle node(9, ShuffleConfig{.view_size = 8, .shuffle_length = 3});
+  node.install_view({1, 2, 3, 4, 5});
+  Rng rng(2);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  ASSERT_EQ(transport.sent.size(), 1u);
+  const Message& req = transport.sent.front();
+  EXPECT_EQ(req.kind, MessageKind::kShuffleRequest);
+  EXPECT_EQ(req.payload.size(), 3u);
+  // 3 entries consumed from the view (deleted at send time).
+  EXPECT_EQ(node.view().degree(), 2u);
+  // Reinforcement: first payload entry is the sender's own id.
+  EXPECT_EQ(req.payload.front().id, 9u);
+  // The partner must not have been re-sent to itself.
+  for (const auto& e : req.payload) EXPECT_NE(e.id, req.to);
+}
+
+TEST(Shuffle, RequestTriggersReplyOfEqualSize) {
+  Shuffle replier(5, ShuffleConfig{.view_size = 8, .shuffle_length = 3});
+  replier.install_view({10, 11, 12, 13});
+  Rng rng(3);
+  CaptureTransport transport;
+  Message req;
+  req.from = 2;
+  req.to = 5;
+  req.kind = MessageKind::kShuffleRequest;
+  req.payload = {ViewEntry{2, false}, ViewEntry{20, false},
+                 ViewEntry{21, false}};
+  replier.on_message(req, rng, transport);
+  ASSERT_EQ(transport.sent.size(), 1u);
+  const Message& reply = transport.sent.front();
+  EXPECT_EQ(reply.kind, MessageKind::kShuffleReply);
+  EXPECT_EQ(reply.to, 2u);
+  EXPECT_EQ(reply.payload.size(), 3u);
+  // Replier removed 3 entries, absorbed 3: degree 4 - 3 + 3 = 4.
+  EXPECT_EQ(replier.view().degree(), 4u);
+  EXPECT_TRUE(replier.view().contains(2));
+  EXPECT_TRUE(replier.view().contains(20));
+}
+
+TEST(Shuffle, LosslessExchangeConservesTotalEntries) {
+  Shuffle a(0, ShuffleConfig{.view_size = 8, .shuffle_length = 2});
+  Shuffle b(1, ShuffleConfig{.view_size = 8, .shuffle_length = 2});
+  // All of a's entries name b, so the exchange partner is deterministic.
+  a.install_view({1, 1, 1, 1});
+  b.install_view({5, 6, 7, 8});
+  Rng rng(4);
+  CaptureTransport wire;
+  a.on_initiate(rng, wire);
+  ASSERT_EQ(wire.sent.size(), 1u);
+  const Message req = wire.sent.front();
+  wire.sent.clear();
+  ASSERT_EQ(req.to, 1u);
+  b.on_message(req, rng, wire);
+  ASSERT_EQ(wire.sent.size(), 1u);
+  a.on_message(wire.sent.front(), rng, wire);
+  // Exact swap: every delivered exchange conserves the total entry count
+  // (b stores a's pushed id and even the copy of its own id, as a
+  // self-edge).
+  EXPECT_EQ(a.view().degree(), 4u);
+  EXPECT_EQ(b.view().degree(), 4u);
+  EXPECT_TRUE(b.view().contains(0));
+  EXPECT_TRUE(b.view().contains(1));
+}
+
+TEST(Shuffle, LostRequestLeaksEntries) {
+  Shuffle node(0, ShuffleConfig{.view_size = 8, .shuffle_length = 3});
+  node.install_view({1, 2, 3, 4, 5, 6});
+  Rng rng(5);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  // The request is "lost" (never delivered): the 3 removed entries are
+  // gone for good — the §3.1 failure mode.
+  EXPECT_EQ(node.view().degree(), 3u);
+}
+
+TEST(Shuffle, AbsorbDropsOverflow) {
+  Shuffle node(0, ShuffleConfig{.view_size = 4, .shuffle_length = 4});
+  node.install_view({1, 2, 3});
+  Rng rng(6);
+  CaptureTransport transport;
+  Message reply;
+  reply.from = 9;
+  reply.to = 0;
+  reply.kind = MessageKind::kShuffleReply;
+  reply.payload = {ViewEntry{10, false}, ViewEntry{11, false},
+                   ViewEntry{12, false}};
+  node.on_message(reply, rng, transport);
+  EXPECT_EQ(node.view().degree(), 4u);
+  EXPECT_EQ(node.metrics().deletions, 1u);
+}
+
+TEST(Shuffle, StoresReturningOwnIdAsDependentSelfEdge) {
+  Shuffle node(7, ShuffleConfig{.view_size = 8, .shuffle_length = 2});
+  Rng rng(7);
+  CaptureTransport transport;
+  Message reply;
+  reply.from = 1;
+  reply.to = 7;
+  reply.kind = MessageKind::kShuffleReply;
+  reply.payload = {ViewEntry{7, false}, ViewEntry{3, false}};
+  node.on_message(reply, rng, transport);
+  // Exact swap semantics: the returning own id becomes a self-edge,
+  // labeled dependent per §2.
+  EXPECT_TRUE(node.view().contains(7));
+  EXPECT_TRUE(node.view().contains(3));
+  EXPECT_EQ(node.view().dependent_count(), 1u);
+}
+
+// -------------------------------------------------------------- Push-pull
+
+TEST(PushPull, EmptyViewIsNoop) {
+  PushPullKeep node(0, PushPullConfig{.view_size = 8, .exchange_length = 3});
+  Rng rng(8);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  EXPECT_TRUE(transport.sent.empty());
+}
+
+TEST(PushPull, InitiateKeepsViewIntact) {
+  PushPullKeep node(9, PushPullConfig{.view_size = 8, .exchange_length = 3});
+  node.install_view({1, 2, 3, 4});
+  Rng rng(9);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  ASSERT_EQ(transport.sent.size(), 1u);
+  // Nothing deleted at send time — loss cannot leak ids.
+  EXPECT_EQ(node.view().degree(), 4u);
+  const Message& req = transport.sent.front();
+  EXPECT_EQ(req.kind, MessageKind::kPushPullRequest);
+  EXPECT_EQ(req.payload.size(), 3u);
+  EXPECT_EQ(req.payload.front().id, 9u);  // pushed self id
+  // Copied entries are tagged dependent (the originals remain).
+  EXPECT_TRUE(req.payload[1].dependent);
+  EXPECT_TRUE(req.payload[2].dependent);
+}
+
+TEST(PushPull, RequestMergesAndReplies) {
+  PushPullKeep node(5, PushPullConfig{.view_size = 8, .exchange_length = 2});
+  node.install_view({10, 11});
+  Rng rng(10);
+  CaptureTransport transport;
+  Message req;
+  req.from = 2;
+  req.to = 5;
+  req.kind = MessageKind::kPushPullRequest;
+  req.payload = {ViewEntry{2, false}, ViewEntry{20, true}};
+  node.on_message(req, rng, transport);
+  EXPECT_TRUE(node.view().contains(2));
+  EXPECT_TRUE(node.view().contains(20));
+  EXPECT_EQ(node.view().degree(), 4u);
+  ASSERT_EQ(transport.sent.size(), 1u);
+  EXPECT_EQ(transport.sent.front().kind, MessageKind::kPushPullReply);
+  EXPECT_EQ(transport.sent.front().payload.size(), 2u);
+}
+
+TEST(PushPull, MergeDeduplicatesAndSkipsSelf) {
+  PushPullKeep node(5, PushPullConfig{.view_size = 8, .exchange_length = 2});
+  node.install_view({10});
+  Rng rng(11);
+  CaptureTransport transport;
+  Message reply;
+  reply.from = 2;
+  reply.to = 5;
+  reply.kind = MessageKind::kPushPullReply;
+  reply.payload = {ViewEntry{10, true}, ViewEntry{5, false}};
+  node.on_message(reply, rng, transport);
+  // 10 already present, 5 is self: nothing added.
+  EXPECT_EQ(node.view().degree(), 1u);
+  EXPECT_EQ(node.view().multiplicity(10), 1u);
+}
+
+TEST(PushPull, FullViewReplacesRandomVictim) {
+  PushPullKeep node(5, PushPullConfig{.view_size = 4, .exchange_length = 2});
+  node.install_view({1, 2, 3, 4});
+  Rng rng(12);
+  CaptureTransport transport;
+  Message reply;
+  reply.from = 2;
+  reply.to = 5;
+  reply.kind = MessageKind::kPushPullReply;
+  reply.payload = {ViewEntry{9, true}};
+  node.on_message(reply, rng, transport);
+  EXPECT_EQ(node.view().degree(), 4u);
+  EXPECT_TRUE(node.view().contains(9));
+  EXPECT_EQ(node.metrics().deletions, 1u);
+}
+
+}  // namespace
+}  // namespace gossip

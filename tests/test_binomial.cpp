@@ -1,0 +1,91 @@
+#include "common/binomial.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace gossip {
+namespace {
+
+TEST(Binomial, LogCoefficientExactSmall) {
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 0)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(10, 10)), 1.0, 1e-9);
+  EXPECT_NEAR(std::exp(log_binomial_coefficient(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(Binomial, LogCoefficientSymmetry) {
+  for (std::size_t k = 0; k <= 90; ++k) {
+    EXPECT_NEAR(log_binomial_coefficient(90, k),
+                log_binomial_coefficient(90, 90 - k), 1e-9);
+  }
+}
+
+TEST(Binomial, PmfSumsToOne) {
+  for (const double p : {0.0, 0.1, 0.5, 0.96, 1.0}) {
+    const auto pmf = binomial_pmf_vector(40, p);
+    double total = 0.0;
+    for (const double x : pmf) total += x;
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST(Binomial, PmfKnownValues) {
+  // Binomial(2, 0.5): 0.25, 0.5, 0.25.
+  EXPECT_NEAR(binomial_pmf(2, 0.5, 0), 0.25, 1e-12);
+  EXPECT_NEAR(binomial_pmf(2, 0.5, 1), 0.5, 1e-12);
+  EXPECT_NEAR(binomial_pmf(2, 0.5, 2), 0.25, 1e-12);
+  EXPECT_DOUBLE_EQ(binomial_pmf(2, 0.5, 3), 0.0);
+}
+
+TEST(Binomial, DegeneratePs) {
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 0.0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 5), 1.0);
+  EXPECT_DOUBLE_EQ(binomial_pmf(5, 1.0, 4), 0.0);
+}
+
+TEST(Binomial, CdfMonotoneAndComplete) {
+  double prev = 0.0;
+  for (std::size_t k = 0; k <= 30; ++k) {
+    const double c = binomial_cdf(30, 0.3, k);
+    EXPECT_GE(c, prev - 1e-12);
+    prev = c;
+  }
+  EXPECT_NEAR(binomial_cdf(30, 0.3, 30), 1.0, 1e-12);
+}
+
+TEST(Binomial, LogCdfHandlesTinyTails) {
+  // The §7.4 connectivity example: P(Bin(26, 0.96) <= 2) is on the order
+  // of 1e-31; the log-domain computation must not underflow to -inf.
+  const double log_tail = binomial_log_cdf(26, 0.96, 2);
+  EXPECT_GT(log_tail, -std::numeric_limits<double>::infinity());
+  EXPECT_LT(log_tail, std::log(1e-30));
+  EXPECT_GT(log_tail, std::log(1e-34));
+}
+
+TEST(Binomial, CdfMatchesPmfSum) {
+  double direct = 0.0;
+  for (std::size_t k = 0; k <= 7; ++k) direct += binomial_pmf(20, 0.4, k);
+  EXPECT_NEAR(binomial_cdf(20, 0.4, 7), direct, 1e-12);
+}
+
+TEST(LogSumExp, Basics) {
+  EXPECT_EQ(log_sum_exp({}), -std::numeric_limits<double>::infinity());
+  EXPECT_NEAR(log_sum_exp({0.0, 0.0}), std::log(2.0), 1e-12);
+  // Huge negative values must not underflow relative structure.
+  EXPECT_NEAR(log_sum_exp({-1000.0, -1000.0}), -1000.0 + std::log(2.0), 1e-9);
+  // Mixed magnitudes: exp(0) + exp(-745) ~ 1.
+  EXPECT_NEAR(log_sum_exp({0.0, -745.0}), 0.0, 1e-12);
+}
+
+TEST(Binomial, LogPmfConsistentWithPmf) {
+  for (std::size_t k = 0; k <= 10; ++k) {
+    EXPECT_NEAR(std::exp(binomial_log_pmf(10, 0.25, k)),
+                binomial_pmf(10, 0.25, k), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gossip

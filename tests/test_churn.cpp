@@ -1,0 +1,156 @@
+#include "sim/churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <stdexcept>
+
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+
+namespace gossip::sim {
+namespace {
+
+Cluster::ProtocolFactory sf_factory(std::size_t s = 12, std::size_t dl = 4) {
+  return [s, dl](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = s, .min_degree = dl});
+  };
+}
+
+Cluster seeded_cluster(std::size_t n, Rng& rng) {
+  Cluster cluster(n, sf_factory());
+  cluster.install_graph(random_out_regular(n, 4, rng));
+  return cluster;
+}
+
+TEST(Bootstrap, ReturnsDistinctLiveIds) {
+  Rng rng(1);
+  Cluster cluster = seeded_cluster(30, rng);
+  cluster.kill(3);
+  cluster.kill(7);
+  const auto ids = bootstrap_ids(cluster, 0, 6, rng);
+  EXPECT_EQ(ids.size(), 6u);
+  std::set<NodeId> unique(ids.begin(), ids.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (const NodeId id : ids) {
+    EXPECT_TRUE(cluster.live(id)) << id;
+  }
+}
+
+TEST(Bootstrap, ThrowsWhenNotEnoughLiveIds) {
+  Rng rng(2);
+  Cluster cluster(3, sf_factory());
+  cluster.kill(1);
+  cluster.kill(2);
+  EXPECT_THROW(bootstrap_ids(cluster, 0, 2, rng), std::runtime_error);
+}
+
+TEST(Bootstrap, HarvestsFromContactViewFirst) {
+  Rng rng(3);
+  Cluster cluster(10, sf_factory());
+  cluster.node(0).install_view({4, 5});
+  const auto ids = bootstrap_ids(cluster, 0, 3, rng);
+  // Contact + its view suffice: {0, 4, 5}.
+  const std::set<NodeId> got(ids.begin(), ids.end());
+  EXPECT_TRUE(got.contains(0));
+  EXPECT_TRUE(got.contains(4));
+  EXPECT_TRUE(got.contains(5));
+}
+
+TEST(JoinNode, StartsWithRequestedDegreeAndZeroIndegree) {
+  Rng rng(4);
+  Cluster cluster = seeded_cluster(30, rng);
+  const NodeId joiner = join_node(cluster, sf_factory(), 4, rng);
+  EXPECT_EQ(joiner, 30u);
+  EXPECT_EQ(cluster.node(joiner).view().degree(), 4u);
+  // Nobody knows the joiner yet (indegree 0).
+  const auto g = cluster.snapshot();
+  EXPECT_EQ(g.in_degree(joiner), 0u);
+  // All view entries are live nodes.
+  for (const NodeId v : cluster.node(joiner).view().ids()) {
+    EXPECT_TRUE(cluster.live(v));
+    EXPECT_NE(v, joiner);
+  }
+}
+
+TEST(ChurnProcessTest, RespectsMinLive) {
+  Rng rng(5);
+  Cluster cluster = seeded_cluster(10, rng);
+  ChurnProcess churn(cluster, sf_factory(), 4, /*join_rate=*/0.0,
+                     /*leave_rate=*/1.0, /*min_live=*/8);
+  for (int i = 0; i < 50; ++i) churn.maybe_churn(rng);
+  EXPECT_EQ(cluster.live_count(), 8u);
+  EXPECT_EQ(churn.total_leaves(), 2u);
+}
+
+TEST(ChurnProcessTest, JoinsGrowTheSystem) {
+  Rng rng(6);
+  Cluster cluster = seeded_cluster(10, rng);
+  ChurnProcess churn(cluster, sf_factory(), 4, /*join_rate=*/1.0,
+                     /*leave_rate=*/0.0);
+  for (int i = 0; i < 5; ++i) {
+    const auto outcome = churn.maybe_churn(rng);
+    EXPECT_NE(outcome.joined, kNilNode);
+    EXPECT_EQ(outcome.left, kNilNode);
+  }
+  EXPECT_EQ(cluster.size(), 15u);
+  EXPECT_EQ(churn.total_joins(), 5u);
+}
+
+TEST(ChurnProcessTest, RatesAreApproximatelyRespected) {
+  Rng rng(7);
+  Cluster cluster = seeded_cluster(200, rng);
+  ChurnProcess churn(cluster, sf_factory(), 4, /*join_rate=*/0.3,
+                     /*leave_rate=*/0.3, /*min_live=*/8);
+  for (int i = 0; i < 1000; ++i) churn.maybe_churn(rng);
+  EXPECT_NEAR(static_cast<double>(churn.total_joins()), 300.0, 60.0);
+  EXPECT_NEAR(static_cast<double>(churn.total_leaves()), 300.0, 60.0);
+}
+
+
+TEST(RejoinNode, ProbesOldViewAndReusesSurvivors) {
+  Rng rng(8);
+  Cluster cluster = seeded_cluster(20, rng);
+  // Give node 0 a known view, then fail it and one of its contacts.
+  cluster.node(0).install_view({1, 2, 3, 4});
+  cluster.kill(0);
+  cluster.kill(2);
+  rejoin_node(cluster, 0, sf_factory(), 4, rng);
+  EXPECT_TRUE(cluster.live(0));
+  const auto& view = cluster.node(0).view();
+  EXPECT_EQ(view.degree(), 4u);
+  // Survivors 1, 3, 4 are retained; dead 2 is not; one fresh id tops up.
+  EXPECT_TRUE(view.contains(1));
+  EXPECT_TRUE(view.contains(3));
+  EXPECT_TRUE(view.contains(4));
+  EXPECT_FALSE(view.contains(2));
+  EXPECT_FALSE(view.contains(0));
+  for (const NodeId v : view.ids()) EXPECT_TRUE(cluster.live(v));
+}
+
+TEST(RejoinNode, LostProbesFallBackToBootstrap) {
+  Rng rng(9);
+  Cluster cluster = seeded_cluster(20, rng);
+  cluster.node(0).install_view({1, 2, 3, 4});
+  cluster.kill(0);
+  UniformLoss all_lost(1.0);
+  rejoin_node(cluster, 0, sf_factory(), 4, rng, &all_lost);
+  EXPECT_TRUE(cluster.live(0));
+  EXPECT_EQ(cluster.node(0).view().degree(), 4u);
+  for (const NodeId v : cluster.node(0).view().ids()) {
+    EXPECT_TRUE(cluster.live(v));
+    EXPECT_NE(v, 0u);
+  }
+}
+
+TEST(RejoinNode, ThrowsForLiveNode) {
+  Rng rng(10);
+  Cluster cluster = seeded_cluster(10, rng);
+  EXPECT_THROW(rejoin_node(cluster, 0, sf_factory(), 4, rng),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,57 @@
+#include "common/csv.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gossip {
+namespace {
+
+TEST(CsvWriter, PlainRows) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"a", "b", "c"});
+  writer.write_row({"1", "2", "3"});
+  EXPECT_EQ(out.str(), "a,b,c\n1,2,3\n");
+  EXPECT_EQ(writer.rows_written(), 2u);
+}
+
+TEST(CsvWriter, QuotesSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.write_row({"has,comma", "has\"quote", "line\nbreak", "plain"});
+  EXPECT_EQ(out.str(),
+            "\"has,comma\",\"has\"\"quote\",\"line\nbreak\",plain\n");
+}
+
+TEST(CsvWriter, NumericCells) {
+  EXPECT_EQ(CsvWriter::cell(std::uint64_t{42}), "42");
+  // Doubles must round-trip.
+  const double value = 0.1 + 0.2;
+  const std::string text = CsvWriter::cell(value);
+  EXPECT_DOUBLE_EQ(std::stod(text), value);
+}
+
+TEST(CsvSeries, WritesAlignedColumns) {
+  std::ostringstream out;
+  write_csv_series(out, {"x", "y"}, {{0.0, 1.0}, {2.0, 3.0}});
+  EXPECT_EQ(out.str(), "x,y\n0,2\n1,3\n");
+}
+
+TEST(CsvSeries, ValidatesShapes) {
+  std::ostringstream out;
+  EXPECT_THROW(write_csv_series(out, {"x"}, {{1.0}, {2.0}}),
+               std::invalid_argument);
+  EXPECT_THROW(write_csv_series(out, {"x", "y"}, {{1.0}, {2.0, 3.0}}),
+               std::invalid_argument);
+}
+
+TEST(CsvSeries, EmptyColumnsProduceHeaderOnly) {
+  std::ostringstream out;
+  write_csv_series(out, {"x", "y"}, {{}, {}});
+  EXPECT_EQ(out.str(), "x,y\n");
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,95 @@
+#include "analysis/decay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::analysis {
+namespace {
+
+DecayParams paper_params(double loss) {
+  return DecayParams{
+      .view_size = 40, .min_degree = 18, .loss = loss, .delta = 0.01};
+}
+
+TEST(Decay, SurvivalFactorFormula) {
+  // 1 - (1-l-d) dL / s^2 with l=0, d=0.01, dL=18, s=40:
+  // 1 - 0.99 * 18/1600 = 1 - 0.0111375.
+  EXPECT_NEAR(survival_factor(paper_params(0.0)), 1.0 - 0.99 * 18.0 / 1600.0,
+              1e-12);
+}
+
+TEST(Decay, CurveIsMonotoneGeometric) {
+  const auto curve = leave_survival_bound(paper_params(0.01), 100);
+  ASSERT_EQ(curve.size(), 101u);
+  EXPECT_DOUBLE_EQ(curve[0], 1.0);
+  const double f = survival_factor(paper_params(0.01));
+  for (std::size_t r = 1; r < curve.size(); ++r) {
+    EXPECT_LT(curve[r], curve[r - 1]);
+    EXPECT_NEAR(curve[r], curve[r - 1] * f, 1e-12);
+  }
+}
+
+TEST(Decay, PaperHalfLifeAbout70Rounds) {
+  // §6.5.2: "after merely 70 rounds ... fewer than 50% of the id instances
+  // ... are expected to remain".
+  const auto rounds = rounds_until_survival_below(paper_params(0.0), 0.5);
+  EXPECT_GE(rounds, 60u);
+  EXPECT_LE(rounds, 70u);
+}
+
+TEST(Decay, DecayAlmostUnaffectedByLoss) {
+  // Fig 6.4's curves for l = 0..0.1 nearly coincide.
+  const auto r0 = rounds_until_survival_below(paper_params(0.0), 0.5);
+  const auto r10 = rounds_until_survival_below(paper_params(0.1), 0.5);
+  EXPECT_LE(r10, r0 + 10);
+  EXPECT_GE(r10, r0);  // more loss -> (slightly) slower removal
+}
+
+TEST(Decay, VeteranCreationRate) {
+  // (1-l-d) dL / s^2.
+  EXPECT_NEAR(veteran_creation_rate(paper_params(0.05)),
+              0.94 * 18.0 / 1600.0, 1e-12);
+}
+
+TEST(Decay, JoinerRatioAndIntegration) {
+  const auto p = paper_params(0.0);
+  // (dL/s)^2 = (18/40)^2.
+  EXPECT_NEAR(joiner_creation_ratio(p), 0.2025, 1e-12);
+  EXPECT_NEAR(joiner_instances_fraction(p), 0.2025, 1e-12);
+  // s^2 / ((1-l-d) dL) = 1600 / (0.99*18) ~ 89.8 rounds.
+  EXPECT_NEAR(joiner_integration_rounds(p), 1600.0 / (0.99 * 18.0), 1e-9);
+}
+
+TEST(Decay, Corollary614ShapeForHalfRatio) {
+  // For s/dL = 2 and l+d << 1: integration in ~2s rounds, creating at
+  // least Din/4 id instances.
+  DecayParams p{.view_size = 40, .min_degree = 20, .loss = 0.0, .delta = 0.0};
+  EXPECT_DOUBLE_EQ(joiner_instances_fraction(p), 0.25);
+  EXPECT_DOUBLE_EQ(joiner_integration_rounds(p), 2.0 * 40.0);
+}
+
+TEST(Decay, InvalidParameters) {
+  EXPECT_THROW((void)(survival_factor(DecayParams{.view_size = 0})),
+               std::invalid_argument);
+  EXPECT_THROW((void)(survival_factor(DecayParams{
+                   .view_size = 10, .min_degree = 12, .loss = 0, .delta = 0})),
+               std::invalid_argument);
+  EXPECT_THROW((void)(survival_factor(DecayParams{
+                   .view_size = 10, .min_degree = 2, .loss = 1.0, .delta = 0})),
+               std::invalid_argument);
+  EXPECT_THROW((void)(rounds_until_survival_below(paper_params(0.0), 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)(rounds_until_survival_below(paper_params(0.0), 1.5)),
+               std::invalid_argument);
+}
+
+TEST(Decay, NoDecayWithZeroMinDegree) {
+  DecayParams p{.view_size = 10, .min_degree = 0, .loss = 0.0, .delta = 0.0};
+  EXPECT_DOUBLE_EQ(survival_factor(p), 1.0);
+  EXPECT_THROW((void)(rounds_until_survival_below(p, 0.5)), std::runtime_error);
+  EXPECT_THROW((void)(joiner_integration_rounds(p)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

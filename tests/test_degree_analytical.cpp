@@ -1,0 +1,76 @@
+#include "analysis/degree_analytical.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/stats.hpp"
+
+namespace gossip::analysis {
+namespace {
+
+TEST(DegreeAnalytical, PmfIsNormalized) {
+  for (const std::size_t dm : {2u, 6u, 30u, 90u, 270u}) {
+    const auto pmf = analytical_outdegree_pmf(dm);
+    ASSERT_EQ(pmf.size(), dm + 1);
+    double total = 0.0;
+    for (const double p : pmf) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-10) << "dm=" << dm;
+  }
+}
+
+TEST(DegreeAnalytical, OddOutdegreesImpossible) {
+  const auto pmf = analytical_outdegree_pmf(30);
+  for (std::size_t d = 1; d <= 30; d += 2) {
+    EXPECT_DOUBLE_EQ(pmf[d], 0.0);
+  }
+}
+
+TEST(DegreeAnalytical, MeanIsOneThirdOfSumDegree) {
+  // Lemma 6.3: average in/outdegree is dm / 3.
+  for (const std::size_t dm : {30u, 90u, 150u}) {
+    const auto out = pmf_moments(analytical_outdegree_pmf(dm));
+    EXPECT_NEAR(out.mean, static_cast<double>(dm) / 3.0, 0.35) << "dm=" << dm;
+    const auto in = pmf_moments(analytical_indegree_pmf(dm));
+    EXPECT_NEAR(in.mean, static_cast<double>(dm) / 3.0, 0.2) << "dm=" << dm;
+    EXPECT_DOUBLE_EQ(analytical_mean_degree(dm),
+                     static_cast<double>(dm) / 3.0);
+  }
+}
+
+TEST(DegreeAnalytical, IndegreeIsMirroredOutdegree) {
+  constexpr std::size_t kDm = 30;
+  const auto out = analytical_outdegree_pmf(kDm);
+  const auto in = analytical_indegree_pmf(kDm);
+  ASSERT_EQ(in.size(), kDm / 2 + 1);
+  for (std::size_t i = 0; i <= kDm / 2; ++i) {
+    EXPECT_DOUBLE_EQ(in[i], out[kDm - 2 * i]);
+  }
+}
+
+TEST(DegreeAnalytical, SmallCaseByHand) {
+  // dm = 2: a(0) = C(2,0)*C(2,1) = 2; a(2) = C(2,2)*C(0,0) = 1.
+  const auto pmf = analytical_outdegree_pmf(2);
+  EXPECT_NEAR(pmf[0], 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(pmf[2], 1.0 / 3.0, 1e-12);
+}
+
+TEST(DegreeAnalytical, IndegreeVarianceBelowBinomial) {
+  // The Fig 6.1 claim: S&F indegree is more concentrated than a binomial
+  // with the same mean over the same support.
+  constexpr std::size_t kDm = 90;
+  const auto in = pmf_moments(analytical_indegree_pmf(kDm));
+  // Matching binomial over 0..45 with the same mean has variance
+  // n p (1-p) with n=45, p = mean/45.
+  const double p = in.mean / 45.0;
+  EXPECT_LT(in.variance, 45.0 * p * (1.0 - p));
+}
+
+TEST(DegreeAnalytical, RejectsInvalidSumDegree) {
+  EXPECT_THROW(analytical_outdegree_pmf(0), std::invalid_argument);
+  EXPECT_THROW(analytical_outdegree_pmf(7), std::invalid_argument);
+  EXPECT_THROW(analytical_indegree_pmf(1), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

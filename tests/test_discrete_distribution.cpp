@@ -1,0 +1,58 @@
+#include "common/discrete_distribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+namespace gossip {
+namespace {
+
+TEST(DiscreteDistribution, NormalizesWeights) {
+  DiscreteDistribution d({2.0, 6.0});
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_DOUBLE_EQ(d.prob(0), 0.25);
+  EXPECT_DOUBLE_EQ(d.prob(1), 0.75);
+  EXPECT_DOUBLE_EQ(d.prob(2), 0.0);  // out of range
+}
+
+TEST(DiscreteDistribution, RejectsInvalidWeights) {
+  EXPECT_THROW(DiscreteDistribution({0.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(DiscreteDistribution({1.0, -0.5}), std::invalid_argument);
+}
+
+TEST(DiscreteDistribution, Moments) {
+  DiscreteDistribution d({0.0, 1.0, 0.0, 1.0});  // uniform on {1, 3}
+  EXPECT_DOUBLE_EQ(d.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(d.variance(), 1.0);
+  // E[X(X-1)] = (0 + 6)/2 = 3.
+  EXPECT_DOUBLE_EQ(d.second_factorial_moment(), 3.0);
+}
+
+TEST(DiscreteDistribution, SampleFrequencies) {
+  DiscreteDistribution d({1.0, 3.0, 6.0});
+  Rng rng(1234);
+  std::vector<int> counts(3, 0);
+  constexpr int kSamples = 100'000;
+  for (int i = 0; i < kSamples; ++i) ++counts[d.sample(rng)];
+  EXPECT_NEAR(counts[0] / static_cast<double>(kSamples), 0.1, 0.01);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kSamples), 0.3, 0.01);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kSamples), 0.6, 0.01);
+}
+
+TEST(DiscreteDistribution, ZeroWeightOutcomesNeverSampled) {
+  DiscreteDistribution d({0.0, 1.0, 0.0});
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(d.sample(rng), 1u);
+  }
+}
+
+TEST(DiscreteDistribution, DefaultIsEmpty) {
+  DiscreteDistribution d;
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+}
+
+}  // namespace
+}  // namespace gossip

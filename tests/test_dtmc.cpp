@@ -1,0 +1,89 @@
+#include "markov/dtmc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "markov/stationary.hpp"
+
+namespace gossip::markov {
+namespace {
+
+TEST(DtmcBuilder, InternsStates) {
+  DtmcBuilder b;
+  EXPECT_FALSE(b.has_state(7));
+  const auto i = b.state_index(7);
+  EXPECT_TRUE(b.has_state(7));
+  EXPECT_EQ(b.state_index(7), i);
+  EXPECT_EQ(b.state_count(), 1u);
+}
+
+TEST(DtmcBuilder, BuildAddsSelfLoopRemainder) {
+  DtmcBuilder b;
+  b.add_transition(0, 1, 0.3);
+  const auto chain = b.build();
+  ASSERT_EQ(chain.keys.size(), 2u);
+  EXPECT_TRUE(chain.transition.is_row_stochastic());
+  const auto i0 = chain.index.at(0);
+  const auto i1 = chain.index.at(1);
+  EXPECT_DOUBLE_EQ(chain.transition.at(i0, i1), 0.3);
+  EXPECT_DOUBLE_EQ(chain.transition.at(i0, i0), 0.7);
+  EXPECT_DOUBLE_EQ(chain.transition.at(i1, i1), 1.0);
+}
+
+TEST(DtmcBuilder, AccumulatesParallelTransitions) {
+  DtmcBuilder b;
+  b.add_transition(0, 1, 0.2);
+  b.add_transition(0, 1, 0.3);
+  const auto chain = b.build();
+  EXPECT_DOUBLE_EQ(chain.transition.at(chain.index.at(0), chain.index.at(1)),
+                   0.5);
+}
+
+TEST(DtmcBuilder, RejectsNegativeWeight) {
+  DtmcBuilder b;
+  EXPECT_THROW(b.add_transition(0, 1, -0.1), std::invalid_argument);
+}
+
+TEST(DtmcBuilder, RejectsOverflowingRow) {
+  DtmcBuilder b;
+  b.add_transition(0, 1, 0.8);
+  b.add_transition(0, 2, 0.5);
+  EXPECT_THROW(b.build(), std::invalid_argument);
+}
+
+TEST(DtmcBuilder, ZeroWeightIgnored) {
+  DtmcBuilder b;
+  b.add_transition(0, 1, 0.0);
+  // State 0 was interned by add_transition's interning path only when
+  // weight > 0; zero weight is a no-op.
+  EXPECT_EQ(b.state_count(), 0u);
+}
+
+TEST(DtmcBuilder, DependenceMcOfFig71) {
+  // The paper's dependence MC (Fig 7.1) as a two-state chain:
+  // independent --(3/2)(l+d)--> dependent --(5/6)(1-(l+d))--> independent.
+  const double x = 0.02;  // l + delta
+  const double p_in = 1.5 * x;
+  const double p_out = (5.0 / 6.0) * (1.0 - x);
+  DtmcBuilder b;
+  constexpr std::uint64_t kIndependent = 0;
+  constexpr std::uint64_t kDependent = 1;
+  b.add_transition(kIndependent, kDependent, p_in);
+  b.add_transition(kDependent, kIndependent, p_out);
+  const auto chain = b.build();
+  const auto pi = stationary_distribution(chain.transition).distribution;
+  const double dependent_mass = pi[chain.index.at(kDependent)];
+  // Lemma 7.9: stationary dependent fraction = x / (5/9 + (4/9)x) <= 2x.
+  EXPECT_NEAR(dependent_mass, x / (5.0 / 9.0 + (4.0 / 9.0) * x), 1e-9);
+  EXPECT_LE(dependent_mass, 2.0 * x);
+}
+
+TEST(PackHelpers, RoundTrip) {
+  const auto key = pack_pair(123u, 456u);
+  EXPECT_EQ(unpack_first(key), 123u);
+  EXPECT_EQ(unpack_second(key), 456u);
+}
+
+}  // namespace
+}  // namespace gossip::markov

@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gossip::sim {
+namespace {
+
+TEST(EventQueue, ExecutesInTimeOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  q.schedule(3.0, [&] { order.push_back(3); });
+  q.schedule(1.0, [&] { order.push_back(1); });
+  q.schedule(2.0, [&] { order.push_back(2); });
+  while (q.run_next()) {
+  }
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(q.now(), 3.0);
+}
+
+TEST(EventQueue, TiesBreakByInsertionOrder) {
+  EventQueue q;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(5.0, [&order, i] { order.push_back(i); });
+  }
+  while (q.run_next()) {
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[i], i);
+  }
+}
+
+TEST(EventQueue, RunUntilStopsAtDeadline) {
+  EventQueue q;
+  int executed = 0;
+  q.schedule(1.0, [&] { ++executed; });
+  q.schedule(2.0, [&] { ++executed; });
+  q.schedule(3.0, [&] { ++executed; });
+  EXPECT_EQ(q.run_until(2.0), 2u);
+  EXPECT_EQ(executed, 2);
+  EXPECT_DOUBLE_EQ(q.now(), 2.0);
+  EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(EventQueue, RunUntilAdvancesTimeEvenWithoutEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.run_until(10.0), 0u);
+  EXPECT_DOUBLE_EQ(q.now(), 10.0);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents) {
+  EventQueue q;
+  int fired = 0;
+  q.schedule(1.0, [&] {
+    ++fired;
+    q.schedule(q.now() + 1.0, [&] { ++fired; });
+  });
+  q.run_until(5.0);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, PeekTime) {
+  EventQueue q;
+  EXPECT_DOUBLE_EQ(q.peek_time(), 0.0);
+  q.schedule(4.5, [] {});
+  EXPECT_DOUBLE_EQ(q.peek_time(), 4.5);
+}
+
+TEST(EventQueue, Clear) {
+  EventQueue q;
+  q.schedule(1.0, [] {});
+  q.schedule(2.0, [] {});
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(q.run_next());
+}
+
+TEST(EventQueue, RunNextOnEmptyReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.run_next());
+}
+
+}  // namespace
+}  // namespace gossip::sim

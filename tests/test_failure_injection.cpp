@@ -1,0 +1,203 @@
+// Failure-injection suite: the system is subjected to abrupt, correlated
+// failures — mass node crashes, loss spikes, total blackouts — and must
+// recover the paper's steady-state properties afterwards. These scenarios
+// go beyond the paper's i.i.d.-loss analysis; they probe the protocol's
+// self-stabilizing behavior ("starting from any sufficiently connected
+// state").
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/stats.hpp"
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/graph_stats.hpp"
+#include "sim/churn.hpp"
+#include "sim/round_driver.hpp"
+
+namespace gossip {
+namespace {
+
+using sim::Cluster;
+using sim::RoundDriver;
+using sim::UniformLoss;
+
+Cluster::ProtocolFactory sf_factory(std::size_t s = 24, std::size_t dl = 8) {
+  return [s, dl](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = s, .min_degree = dl});
+  };
+}
+
+TEST(FailureInjection, MassFailureOfThirdOfTheSystem) {
+  Rng rng(1);
+  constexpr std::size_t kN = 900;
+  Cluster cluster(kN, sf_factory());
+  cluster.install_graph(permutation_regular(kN, 6, rng));
+  UniformLoss loss(0.02);
+  RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(200);
+
+  // Kill 300 random nodes at once.
+  for (int k = 0; k < 300; ++k) {
+    cluster.kill(cluster.random_live_node(rng));
+  }
+  ASSERT_EQ(cluster.live_count(), kN - 300);
+
+  // Within a few half-lives the survivors' views purge the dead and the
+  // live overlay is connected and balanced.
+  driver.run_rounds(300);
+  const auto snap = cluster.snapshot();
+  EXPECT_TRUE(is_weakly_connected_among(snap, cluster.liveness()));
+  std::size_t dead_refs = 0;
+  std::size_t refs = 0;
+  for (const NodeId u : cluster.live_nodes()) {
+    for (const NodeId v : cluster.node(u).view().ids()) {
+      ++refs;
+      if (!cluster.live(v)) ++dead_refs;
+    }
+  }
+  EXPECT_LT(static_cast<double>(dead_refs) / static_cast<double>(refs), 0.02);
+}
+
+TEST(FailureInjection, LossSpikeAndRecovery) {
+  // 40% loss for 100 rounds, then back to 1%: degrees dip toward dL and
+  // must recover to the 1%-loss operating point.
+  Rng rng(2);
+  constexpr std::size_t kN = 800;
+  Cluster cluster(kN, sf_factory(40, 18));
+  cluster.install_graph(permutation_regular(kN, 10, rng));
+  {
+    UniformLoss calm(0.01);
+    RoundDriver driver(cluster, calm, rng);
+    driver.run_rounds(300);
+  }
+  const double before = degree_summary(cluster.snapshot()).out_mean;
+
+  {
+    UniformLoss spike(0.40);
+    RoundDriver driver(cluster, spike, rng);
+    driver.run_rounds(100);
+  }
+  const double during = degree_summary(cluster.snapshot()).out_mean;
+  EXPECT_LT(during, before - 1.0);  // the spike visibly thins the overlay
+  EXPECT_GE(during, 18.0);          // but never below dL (Obs 5.1)
+  EXPECT_TRUE(is_weakly_connected(cluster.snapshot()));
+
+  {
+    UniformLoss calm(0.01);
+    RoundDriver driver(cluster, calm, rng);
+    driver.run_rounds(400);
+  }
+  const double after = degree_summary(cluster.snapshot()).out_mean;
+  EXPECT_NEAR(after, before, 1.0);  // full recovery
+}
+
+TEST(FailureInjection, TotalBlackoutFreezesThenResumes) {
+  // 100% loss: every action drains or duplicates, nothing is delivered.
+  // Degrees must pin at dL (duplication floor) and recover afterwards.
+  Rng rng(3);
+  constexpr std::size_t kN = 400;
+  Cluster cluster(kN, sf_factory(24, 8));
+  cluster.install_graph(permutation_regular(kN, 6, rng));
+  {
+    UniformLoss calm(0.0);
+    RoundDriver driver(cluster, calm, rng);
+    driver.run_rounds(150);
+  }
+  {
+    UniformLoss blackout(1.0);
+    RoundDriver driver(cluster, blackout, rng);
+    driver.run_rounds(200);
+  }
+  const auto during = degree_summary(cluster.snapshot());
+  EXPECT_NEAR(during.out_mean, 8.0, 0.5);  // everyone pinned at dL
+  {
+    UniformLoss calm(0.01);
+    RoundDriver driver(cluster, calm, rng);
+    driver.run_rounds(400);
+  }
+  const auto after = degree_summary(cluster.snapshot());
+  EXPECT_GT(after.out_mean, 12.0);
+  EXPECT_TRUE(is_weakly_connected(cluster.snapshot()));
+}
+
+TEST(FailureInjection, FailAndRejoinCycle) {
+  // Nodes repeatedly crash and reconnect via the §5 probe path; the
+  // system must keep its shape throughout.
+  Rng rng(4);
+  constexpr std::size_t kN = 400;
+  const auto factory = sf_factory();
+  Cluster cluster(kN, factory);
+  cluster.install_graph(permutation_regular(kN, 6, rng));
+  UniformLoss loss(0.02);
+  RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(150);
+
+  UniformLoss probe_loss(0.02);
+  for (int cycle = 0; cycle < 20; ++cycle) {
+    // Crash 10 random nodes.
+    std::vector<NodeId> downed;
+    for (int k = 0; k < 10; ++k) {
+      const NodeId victim = cluster.random_live_node(rng);
+      cluster.kill(victim);
+      downed.push_back(victim);
+    }
+    driver.run_rounds(10);
+    // They reconnect, probing their stale views.
+    for (const NodeId v : downed) {
+      sim::rejoin_node(cluster, v, factory, 8, rng, &probe_loss);
+    }
+    driver.run_rounds(10);
+  }
+  EXPECT_EQ(cluster.live_count(), kN);
+  driver.run_rounds(150);
+  const auto snap = cluster.snapshot();
+  EXPECT_TRUE(is_weakly_connected(snap));
+  const auto summary = degree_summary(snap);
+  EXPECT_LT(summary.in_variance, 4.0 * summary.in_mean);
+}
+
+TEST(FailureInjection, HalfTheNetworkIsolatedTemporarily) {
+  // Simulate a temporary "partition" by killing one half, letting the
+  // other half re-mix, then reviving everyone with probe-based rejoin:
+  // the reunited overlay must be one weakly connected component again.
+  Rng rng(5);
+  constexpr std::size_t kN = 600;
+  const auto factory = sf_factory();
+  Cluster cluster(kN, factory);
+  cluster.install_graph(permutation_regular(kN, 6, rng));
+  UniformLoss loss(0.01);
+  RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(150);
+
+  for (NodeId v = 0; v < kN / 2; ++v) cluster.kill(v);
+  driver.run_rounds(200);
+  ASSERT_TRUE(is_weakly_connected_among(cluster.snapshot(),
+                                        cluster.liveness()));
+
+  for (NodeId v = 0; v < kN / 2; ++v) {
+    sim::rejoin_node(cluster, v, factory, 8, rng);
+  }
+  // Re-integration of 300 simultaneous joiners takes several integration
+  // windows (Lemma 6.13: ~s^2/dL = 72 rounds each to reach the Din/9
+  // floor; equalization needs a few more).
+  driver.run_rounds(700);
+  EXPECT_TRUE(is_weakly_connected(cluster.snapshot()));
+  const auto summary = degree_summary(cluster.snapshot());
+  // The returned half is fully re-integrated: their indegrees match.
+  RunningStats left;
+  RunningStats right;
+  const auto snap = cluster.snapshot();
+  for (NodeId v = 0; v < kN; ++v) {
+    (v < kN / 2 ? left : right)
+        .add(static_cast<double>(snap.in_degree(v)));
+  }
+  EXPECT_NEAR(left.mean(), right.mean(), 3.0);
+  EXPECT_GT(summary.in_mean, 8.0);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,175 @@
+#include "analysis/global_mc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph_gen.hpp"
+
+namespace gossip::analysis {
+namespace {
+
+// A 3-node directed 2-cycle graph: every node has out = in = 2, ds = 6.
+Digraph tiny_fixed_sum() {
+  Digraph g(3);
+  for (NodeId u = 0; u < 3; ++u) {
+    g.add_edge(u, (u + 1) % 3);
+    g.add_edge(u, (u + 2) % 3);
+  }
+  return g;
+}
+
+TEST(GlobalMc, StateRoundTrip) {
+  const Digraph g = tiny_fixed_sum();
+  const auto state = state_from_graph(g);
+  ASSERT_EQ(state.size(), 3u);
+  EXPECT_EQ(state[0], (std::vector<NodeId>{1, 2}));
+  EXPECT_TRUE(graph_from_state(state) == g);
+}
+
+TEST(GlobalMc, Validation) {
+  GlobalMcParams p;
+  p.initial = tiny_fixed_sum();
+  p.loss = 1.0;
+  EXPECT_THROW(build_global_mc(p), std::invalid_argument);
+
+  p = GlobalMcParams{};
+  p.initial = Digraph(1);
+  EXPECT_THROW(build_global_mc(p), std::invalid_argument);
+
+  p = GlobalMcParams{};
+  p.initial = Digraph(3);
+  p.initial.add_edge(0, 1);  // odd outdegree
+  EXPECT_THROW(build_global_mc(p), std::invalid_argument);
+
+  p = GlobalMcParams{};
+  p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+  p.initial = Digraph(2);
+  for (int i = 0; i < 8; ++i) p.initial.add_edge(0, 1);  // beyond capacity
+  EXPECT_THROW(build_global_mc(p), std::invalid_argument);
+}
+
+TEST(GlobalMc, NoLossFixedSumChainStructure) {
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+  p.loss = 0.0;
+  p.initial = tiny_fixed_sum();
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.exploration_complete);
+  EXPECT_GT(r.states.size(), 10u);
+  // Lemma A.2: the fixed-sum chain is irreducible.
+  EXPECT_TRUE(r.strongly_connected);
+  // Lemma 6.2: the sum-degree invariant holds in every reachable state.
+  for (const auto& state : r.states) {
+    const Digraph g = graph_from_state(state);
+    for (NodeId u = 0; u < 3; ++u) {
+      EXPECT_EQ(g.out_degree(u) + 2 * g.in_degree(u), 6u);
+    }
+  }
+}
+
+TEST(GlobalMc, NoLossStationaryUniformOnSimpleStates) {
+  // Lemma 7.5, exact form: the stationary distribution is uniform across
+  // the states without self- or parallel edges (the equal-transformation-
+  // weight argument is exact there); multiplicity-bearing states deviate.
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+  p.loss = 0.0;
+  p.initial = tiny_fixed_sum();
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.stationary.converged);
+  EXPECT_GT(r.simple_state_count, 0u);
+  EXPECT_LT(r.simple_state_uniformity_deviation, 1e-6);
+}
+
+TEST(GlobalMc, NoLossEdgePresenceUniform) {
+  // Lemma 7.6: P(v in u.lv) identical for all ordered pairs u != v.
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+  p.loss = 0.0;
+  p.initial = tiny_fixed_sum();
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.stationary.converged);
+  EXPECT_LT(r.edge_presence_spread, 1e-9);
+}
+
+TEST(GlobalMc, LossyChainIsStronglyConnected) {
+  // Lemma 7.1: with 0 < loss < 1, every reachable state can reach every
+  // other. Two nodes keep the state space small enough for exhaustive
+  // verification.
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 0);
+  GlobalMcParams p;
+  // dL > 0 is required under loss (§6.2): with dL = 0 the no-duplication
+  // dynamics drain degrees to zero and the drained states are absorbing.
+  p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+  p.loss = 0.25;
+  p.initial = g;
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.exploration_complete);
+  EXPECT_TRUE(r.strongly_connected);
+  EXPECT_TRUE(r.stationary.converged);
+}
+
+TEST(GlobalMc, LossyChainUniformEdgePresenceBySymmetry) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 0);
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+  p.loss = 0.2;
+  p.initial = g;
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.exploration_complete);
+  ASSERT_TRUE(r.stationary.converged);
+  // Lemma 7.6 under loss: uniform presence of every v != u (here, both
+  // ordered pairs by the node symmetry of the chain).
+  EXPECT_LT(r.edge_presence_spread, 1e-6);
+}
+
+TEST(GlobalMc, LossChangesStateSpaceButKeepsDegreesEvenAndBounded) {
+  Digraph g(2);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(1, 0);
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+  p.loss = 0.1;
+  p.initial = g;
+  const auto r = build_global_mc(p);
+  ASSERT_TRUE(r.exploration_complete);
+  for (const auto& state : r.states) {
+    for (const auto& view : state) {
+      EXPECT_EQ(view.size() % 2, 0u);
+      EXPECT_GE(view.size(), 2u);  // dL = 2, started at 2
+      EXPECT_LE(view.size(), 8u);
+    }
+  }
+}
+
+TEST(GlobalMc, ExplorationCapIsRespected) {
+  Digraph g(3);
+  for (NodeId u = 0; u < 3; ++u) {
+    g.add_edge(u, (u + 1) % 3);
+    g.add_edge(u, (u + 2) % 3);
+  }
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 8, .min_degree = 2};
+  p.loss = 0.1;
+  p.initial = g;
+  p.max_states = 500;
+  const auto r = build_global_mc(p);
+  EXPECT_FALSE(r.exploration_complete);
+  // The cap is checked between state expansions, so the final count can
+  // exceed it by at most one state's out-neighborhood.
+  EXPECT_LE(r.states.size(), 600u);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

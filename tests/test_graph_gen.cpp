@@ -1,0 +1,92 @@
+#include "graph/graph_gen.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/connectivity.hpp"
+#include "graph/graph_stats.hpp"
+
+namespace gossip {
+namespace {
+
+TEST(GraphGen, RandomOutRegularDegrees) {
+  Rng rng(1);
+  const auto g = random_out_regular(100, 7, rng);
+  for (NodeId u = 0; u < 100; ++u) {
+    EXPECT_EQ(g.out_degree(u), 7u);
+    EXPECT_EQ(g.edge_multiplicity(u, u), 0u) << "self-edge at " << u;
+  }
+  EXPECT_EQ(g.edge_count(), 700u);
+}
+
+TEST(GraphGen, RandomOutRegularDistinctNeighbors) {
+  Rng rng(2);
+  const auto g = random_out_regular(50, 10, rng);
+  EXPECT_EQ(g.parallel_edge_count(), 0u);
+}
+
+TEST(GraphGen, RandomOutRegularRejectsTooLargeDegree) {
+  Rng rng(3);
+  EXPECT_THROW(random_out_regular(5, 5, rng), std::invalid_argument);
+}
+
+TEST(GraphGen, RingWithChordsConnected) {
+  Rng rng(4);
+  const auto g = ring_with_chords(200, 2, rng);
+  EXPECT_TRUE(is_weakly_connected(g));
+  for (NodeId u = 0; u < 200; ++u) {
+    EXPECT_EQ(g.out_degree(u), 3u);
+    EXPECT_EQ(g.edge_multiplicity(u, u), 0u);
+  }
+}
+
+TEST(GraphGen, PermutationRegularExactDegrees) {
+  Rng rng(5);
+  constexpr std::size_t kK = 30;
+  const auto g = permutation_regular(300, kK, rng);
+  for (NodeId u = 0; u < 300; ++u) {
+    EXPECT_EQ(g.out_degree(u), kK);
+    EXPECT_EQ(g.in_degree(u), kK);
+    EXPECT_EQ(g.edge_multiplicity(u, u), 0u) << "fixed point at " << u;
+  }
+  // Sum degree ds(u) = k + 2k = 3k for every node (the §6.1 init).
+  const auto sums = sum_degree_histogram(g);
+  EXPECT_EQ(sums.max_value(), 3 * kK);
+  EXPECT_EQ(sums.count(3 * kK), 300u);
+  EXPECT_DOUBLE_EQ(sums.variance(), 0.0);
+}
+
+TEST(GraphGen, PermutationRegularSmallSystems) {
+  Rng rng(6);
+  const auto g = permutation_regular(2, 3, rng);
+  EXPECT_EQ(g.out_degree(0), 3u);
+  EXPECT_EQ(g.edge_multiplicity(0, 0), 0u);
+  EXPECT_EQ(g.edge_multiplicity(1, 1), 0u);
+  EXPECT_THROW(permutation_regular(1, 3, rng), std::invalid_argument);
+}
+
+TEST(GraphGen, LineGraphShape) {
+  const auto g = line_graph(4);
+  EXPECT_EQ(g.edge_count(), 3u);
+  EXPECT_EQ(g.out_degree(3), 0u);
+  EXPECT_EQ(g.in_degree(0), 0u);
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(GraphGen, StarGraphShape) {
+  const auto g = star_graph(10);
+  EXPECT_EQ(g.in_degree(0), 9u);
+  EXPECT_EQ(g.out_degree(0), 1u);
+  EXPECT_TRUE(is_weakly_connected(g));
+}
+
+TEST(GraphGen, GeneratorsAreSeedDeterministic) {
+  Rng rng1(77);
+  Rng rng2(77);
+  EXPECT_TRUE(random_out_regular(40, 4, rng1) ==
+              random_out_regular(40, 4, rng2));
+}
+
+}  // namespace
+}  // namespace gossip

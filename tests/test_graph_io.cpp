@@ -1,0 +1,69 @@
+#include "graph/graph_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "graph/graph_gen.hpp"
+
+namespace gossip {
+namespace {
+
+TEST(GraphIo, RoundTripPreservesGraph) {
+  Rng rng(1);
+  const auto g = random_out_regular(50, 5, rng);
+  const auto copy = parse_graph(serialize_graph(g));
+  EXPECT_TRUE(copy == g);
+}
+
+TEST(GraphIo, RoundTripPreservesMultiplicityAndSelfEdges) {
+  Digraph g(3);
+  g.add_edge(0, 1);
+  g.add_edge(0, 1);
+  g.add_edge(2, 2);
+  const auto copy = parse_graph(serialize_graph(g));
+  EXPECT_EQ(copy.edge_multiplicity(0, 1), 2u);
+  EXPECT_EQ(copy.edge_multiplicity(2, 2), 1u);
+  EXPECT_TRUE(copy == g);
+}
+
+TEST(GraphIo, EmptyGraph) {
+  const Digraph g(4);
+  const auto copy = parse_graph(serialize_graph(g));
+  EXPECT_EQ(copy.node_count(), 4u);
+  EXPECT_EQ(copy.edge_count(), 0u);
+}
+
+TEST(GraphIo, RejectsBadHeader) {
+  EXPECT_THROW(parse_graph("wrong\nnodes 2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_graph(""), std::invalid_argument);
+}
+
+TEST(GraphIo, RejectsMalformedCountAndEdges) {
+  EXPECT_THROW(parse_graph("membership-graph v1\nvertices 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_graph("membership-graph v1\nnodes 2\n0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_graph("membership-graph v1\nnodes 2\n0 1 9\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_graph("membership-graph v1\nnodes 2\n0 5\n"),
+               std::invalid_argument);
+}
+
+TEST(GraphIo, FileRoundTrip) {
+  Rng rng(2);
+  const auto g = ring_with_chords(20, 2, rng);
+  const std::string path = ::testing::TempDir() + "/graph_io_test.txt";
+  save_graph(g, path);
+  const auto copy = load_graph(path);
+  EXPECT_TRUE(copy == g);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIo, LoadMissingFileThrows) {
+  EXPECT_THROW(load_graph("/nonexistent/dir/file.txt"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip

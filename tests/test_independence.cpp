@@ -1,0 +1,114 @@
+#include "analysis/independence.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/binomial.hpp"
+
+namespace gossip::analysis {
+namespace {
+
+TEST(Independence, DependenceMcStationaryFraction) {
+  EXPECT_DOUBLE_EQ(dependence_mc_dependent_fraction(0.5, 0.5), 0.5);
+  EXPECT_NEAR(dependence_mc_dependent_fraction(0.1, 0.9), 0.1, 1e-12);
+  EXPECT_DOUBLE_EQ(dependence_mc_dependent_fraction(0.0, 1.0), 0.0);
+  EXPECT_THROW((void)(dependence_mc_dependent_fraction(0.5, 0.0)),
+               std::invalid_argument);
+  EXPECT_THROW((void)(dependence_mc_dependent_fraction(-0.1, 0.5)),
+               std::invalid_argument);
+}
+
+TEST(Independence, ExactBoundMatchesLemma79Formula) {
+  // (l+d) / (5/9 + (4/9)(l+d)).
+  const double x = 0.02;
+  EXPECT_NEAR(dependent_fraction_bound(0.01, 0.01),
+              x / (5.0 / 9.0 + (4.0 / 9.0) * x), 1e-12);
+}
+
+TEST(Independence, ExactBoundConsistentWithDependenceMc) {
+  // The exact bound is the stationary dependent mass of the chain with
+  // rates (3/2)(l+d) in and (5/6)(1-(l+d)) out.
+  for (const double x : {0.005, 0.02, 0.11}) {
+    EXPECT_NEAR(
+        dependent_fraction_bound(x, 0.0),
+        dependence_mc_dependent_fraction(1.5 * x, (5.0 / 6.0) * (1.0 - x)),
+        1e-12);
+  }
+}
+
+TEST(Independence, SimpleBoundDominatesExact) {
+  // Lemma 7.9: exact <= 2(l+d).
+  for (const double x : {0.001, 0.01, 0.05, 0.2, 0.5}) {
+    EXPECT_LE(dependent_fraction_bound(x, 0.0),
+              dependent_fraction_bound_simple(x, 0.0) + 1e-12);
+  }
+  EXPECT_DOUBLE_EQ(dependent_fraction_bound_simple(0.01, 0.01), 0.04);
+}
+
+TEST(Independence, AlphaBoundsComplement) {
+  EXPECT_NEAR(independence_lower_bound(0.01, 0.01) +
+                  dependent_fraction_bound(0.01, 0.01),
+              1.0, 1e-12);
+  EXPECT_NEAR(independence_lower_bound_simple(0.01, 0.01), 0.96, 1e-12);
+}
+
+TEST(Independence, ZeroLossZeroDeltaFullyIndependent) {
+  EXPECT_DOUBLE_EQ(dependent_fraction_bound(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(independence_lower_bound(0.0, 0.0), 1.0);
+}
+
+TEST(Independence, BoundRejectsInvalidRange) {
+  EXPECT_THROW((void)(dependent_fraction_bound(0.9, 0.2)), std::invalid_argument);
+  EXPECT_THROW((void)(dependent_fraction_bound(-0.1, 0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(dependent_fraction_bound_simple(1.0, 0.0)),
+               std::invalid_argument);
+}
+
+TEST(Independence, PaperConnectivityExample) {
+  // §7.4: "for l = d = 1% and eps = 1e-30, dL should be set to at least
+  // 26". alpha = 1 - 2(l+d) = 0.96.
+  const double alpha = independence_lower_bound_simple(0.01, 0.01);
+  EXPECT_EQ(min_degree_for_connectivity(alpha, 1e-30), 26u);
+}
+
+TEST(Independence, ConnectivityThresholdMonotoneInEpsilon) {
+  const double alpha = 0.96;
+  std::size_t prev = 3;
+  for (const double eps : {1e-6, 1e-12, 1e-20, 1e-30, 1e-60}) {
+    const auto d = min_degree_for_connectivity(alpha, eps);
+    EXPECT_GE(d, prev);
+    prev = d;
+  }
+}
+
+TEST(Independence, ConnectivityThresholdMonotoneInAlpha) {
+  // Less independence -> larger dL needed.
+  EXPECT_GE(min_degree_for_connectivity(0.8, 1e-30),
+            min_degree_for_connectivity(0.96, 1e-30));
+}
+
+TEST(Independence, ConnectivityThresholdActuallySuffices) {
+  // Verify the defining property: P(Bin(dL, alpha) <= 2) <= eps while
+  // dL - 1 fails.
+  const double alpha = 0.96;
+  const double eps = 1e-30;
+  const auto d = min_degree_for_connectivity(alpha, eps);
+  EXPECT_LE(binomial_cdf(d, alpha, 2), eps);
+  EXPECT_GT(binomial_cdf(d - 1, alpha, 2), eps);
+}
+
+TEST(Independence, ConnectivityValidation) {
+  EXPECT_THROW((void)(min_degree_for_connectivity(0.0, 1e-10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)(min_degree_for_connectivity(1.1, 1e-10)),
+               std::invalid_argument);
+  EXPECT_THROW((void)(min_degree_for_connectivity(0.9, 0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(min_degree_for_connectivity(0.9, 1.0)), std::invalid_argument);
+  // An absurd epsilon with weak alpha cannot be met below the cap.
+  EXPECT_THROW((void)(min_degree_for_connectivity(1e-8, 1e-300)),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

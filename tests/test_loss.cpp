@@ -1,0 +1,99 @@
+#include "sim/loss.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::sim {
+namespace {
+
+TEST(UniformLossTest, ZeroAndOneAreDeterministic) {
+  Rng rng(1);
+  UniformLoss never(0.0);
+  UniformLoss always(1.0);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(never.drop(rng));
+    EXPECT_TRUE(always.drop(rng));
+  }
+}
+
+TEST(UniformLossTest, EmpiricalRateMatches) {
+  Rng rng(2);
+  UniformLoss loss(0.05);
+  int drops = 0;
+  constexpr int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (loss.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(kTrials), 0.05, 0.003);
+  EXPECT_DOUBLE_EQ(loss.average_rate(), 0.05);
+}
+
+TEST(UniformLossTest, RejectsOutOfRange) {
+  EXPECT_THROW(UniformLoss(-0.1), std::invalid_argument);
+  EXPECT_THROW(UniformLoss(1.1), std::invalid_argument);
+}
+
+TEST(GilbertElliott, AverageRateFormula) {
+  // pi_bad = p/(p+r) = 0.2/(0.2+0.8) = 0.2; avg = 0.2*0.5 + 0.8*0.01.
+  GilbertElliottLoss ge(0.2, 0.8, 0.01, 0.5);
+  EXPECT_NEAR(ge.average_rate(), 0.2 * 0.5 + 0.8 * 0.01, 1e-12);
+}
+
+TEST(GilbertElliott, EmpiricalRateMatchesStationary) {
+  Rng rng(3);
+  GilbertElliottLoss ge(0.05, 0.45, 0.0, 1.0);
+  int drops = 0;
+  constexpr int kTrials = 400'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (ge.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(kTrials), ge.average_rate(), 0.005);
+}
+
+TEST(GilbertElliott, ParameterValidation) {
+  EXPECT_THROW(GilbertElliottLoss(-0.1, 0.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss(0.1, 1.5, 0.0, 1.0), std::invalid_argument);
+  EXPECT_THROW(GilbertElliottLoss(0.0, 0.0, 0.0, 1.0), std::invalid_argument);
+}
+
+TEST(BurstyLoss, MatchesTargetRate) {
+  const auto loss = bursty_loss(0.05, 4.0);
+  EXPECT_NEAR(loss->average_rate(), 0.05, 1e-12);
+  Rng rng(4);
+  int drops = 0;
+  constexpr int kTrials = 400'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (loss->drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(kTrials), 0.05, 0.005);
+}
+
+TEST(BurstyLoss, LossesAreBursty) {
+  // Consecutive-drop probability should far exceed the i.i.d. rate.
+  const auto loss = bursty_loss(0.05, 8.0);
+  Rng rng(5);
+  int drops = 0;
+  int consecutive = 0;
+  bool prev = false;
+  constexpr int kTrials = 400'000;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool d = loss->drop(rng);
+    if (d) {
+      ++drops;
+      if (prev) ++consecutive;
+    }
+    prev = d;
+  }
+  const double p_next_given_drop = consecutive / static_cast<double>(drops);
+  EXPECT_GT(p_next_given_drop, 0.5);  // i.i.d. would give ~0.05
+}
+
+TEST(BurstyLoss, ValidatesParameters) {
+  EXPECT_THROW(bursty_loss(0.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(bursty_loss(1.0, 4.0), std::invalid_argument);
+  EXPECT_THROW(bursty_loss(0.05, 0.5), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::sim

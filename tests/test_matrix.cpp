@@ -1,0 +1,91 @@
+#include "markov/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::markov {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.at(1, 2) = 2.0;
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 2.0);
+}
+
+TEST(Matrix, LeftMultiply) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const auto out = m.left_multiply({1.0, 10.0});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0], 31.0);
+  EXPECT_DOUBLE_EQ(out[1], 42.0);
+}
+
+TEST(Matrix, RightMultiply) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0;
+  m.at(0, 1) = 2.0;
+  m.at(1, 0) = 3.0;
+  m.at(1, 1) = 4.0;
+  const auto out = m.right_multiply({1.0, 10.0});
+  EXPECT_DOUBLE_EQ(out[0], 21.0);
+  EXPECT_DOUBLE_EQ(out[1], 43.0);
+}
+
+TEST(Matrix, Multiply) {
+  Matrix a(2, 2);
+  a.at(0, 1) = 1.0;
+  a.at(1, 0) = 1.0;
+  const Matrix b = a.multiply(a);  // swap twice = identity
+  EXPECT_DOUBLE_EQ(b.at(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(b.at(0, 1), 0.0);
+  EXPECT_DOUBLE_EQ(b.at(1, 1), 1.0);
+}
+
+TEST(Matrix, RowStochasticCheck) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 0.5;
+  m.at(0, 1) = 0.5;
+  m.at(1, 0) = 1.0;
+  EXPECT_TRUE(m.is_row_stochastic());
+  m.at(1, 0) = 0.9;
+  EXPECT_FALSE(m.is_row_stochastic());
+  m.at(1, 0) = 1.1;
+  m.at(1, 1) = -0.1;
+  EXPECT_FALSE(m.is_row_stochastic());
+}
+
+TEST(Matrix, NormalizeRows) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 2.0;
+  m.at(0, 1) = 2.0;
+  // Row 1 is all zeros -> becomes a self-loop.
+  m.normalize_rows();
+  EXPECT_TRUE(m.is_row_stochastic());
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.5);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), 1.0);
+}
+
+TEST(MatrixHelpers, L1Diff) {
+  EXPECT_DOUBLE_EQ(l1_diff({1.0, 2.0}, {0.0, 4.0}), 3.0);
+  EXPECT_DOUBLE_EQ(l1_diff({}, {}), 0.0);
+}
+
+TEST(MatrixHelpers, Normalize) {
+  std::vector<double> v = {1.0, 3.0};
+  normalize(v);
+  EXPECT_DOUBLE_EQ(v[0], 0.25);
+  EXPECT_DOUBLE_EQ(v[1], 0.75);
+  std::vector<double> zero = {0.0, 0.0};
+  EXPECT_THROW(normalize(zero), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::markov

@@ -1,0 +1,71 @@
+#include "core/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gossip {
+namespace {
+
+TEST(ProtocolMetrics, ZeroInitialized) {
+  const ProtocolMetrics m;
+  EXPECT_EQ(m.actions_initiated, 0u);
+  EXPECT_DOUBLE_EQ(m.duplication_rate(), 0.0);
+  EXPECT_DOUBLE_EQ(m.deletion_rate_received(), 0.0);
+  EXPECT_DOUBLE_EQ(m.self_loop_rate(), 0.0);
+}
+
+TEST(ProtocolMetrics, DuplicationRateOverEffectiveActions) {
+  ProtocolMetrics m;
+  m.actions_initiated = 100;
+  m.self_loop_actions = 60;
+  m.duplications = 10;
+  // 40 non-self-loop actions, 10 duplications.
+  EXPECT_DOUBLE_EQ(m.duplication_rate(), 0.25);
+}
+
+TEST(ProtocolMetrics, DeletionRate) {
+  ProtocolMetrics m;
+  m.messages_received = 50;
+  m.deletions = 5;
+  EXPECT_DOUBLE_EQ(m.deletion_rate_received(), 0.1);
+}
+
+TEST(ProtocolMetrics, SelfLoopRate) {
+  ProtocolMetrics m;
+  m.actions_initiated = 200;
+  m.self_loop_actions = 50;
+  EXPECT_DOUBLE_EQ(m.self_loop_rate(), 0.25);
+}
+
+TEST(ProtocolMetrics, Accumulation) {
+  ProtocolMetrics a;
+  a.actions_initiated = 1;
+  a.messages_sent = 1;
+  ProtocolMetrics b;
+  b.actions_initiated = 2;
+  b.duplications = 3;
+  b.ids_accepted = 4;
+  a += b;
+  EXPECT_EQ(a.actions_initiated, 3u);
+  EXPECT_EQ(a.messages_sent, 1u);
+  EXPECT_EQ(a.duplications, 3u);
+  EXPECT_EQ(a.ids_accepted, 4u);
+}
+
+TEST(ProtocolMetrics, ToStringContainsCounters) {
+  ProtocolMetrics m;
+  m.actions_initiated = 7;
+  m.deletions = 3;
+  const auto s = m.to_string();
+  EXPECT_NE(s.find("actions=7"), std::string::npos);
+  EXPECT_NE(s.find("del=3"), std::string::npos);
+}
+
+TEST(ProtocolMetrics, AllActionsSelfLoopsGivesZeroDupRate) {
+  ProtocolMetrics m;
+  m.actions_initiated = 10;
+  m.self_loop_actions = 10;
+  EXPECT_DOUBLE_EQ(m.duplication_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,80 @@
+#include "analysis/mixing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "analysis/global_mc.hpp"
+#include "graph/graph_gen.hpp"
+
+namespace gossip::analysis {
+namespace {
+
+markov::SparseChain two_state(double a, double b) {
+  markov::SparseChain chain(2);
+  chain.add(0, 1, a);
+  chain.add(1, 0, b);
+  chain.finalize();
+  return chain;
+}
+
+TEST(Mixing, TwoStateChainDecaysGeometrically) {
+  const auto chain = two_state(0.3, 0.3);
+  const std::vector<double> pi = {0.5, 0.5};
+  const auto r = measure_mixing(chain, pi, 30, 0.01);
+  ASSERT_EQ(r.expected_tv.size(), 31u);
+  EXPECT_NEAR(r.expected_tv[0], 0.5, 1e-12);
+  // The two-state chain has second eigenvalue 1 - a - b = 0.4:
+  // d(t) = 0.5 * 0.4^t exactly.
+  EXPECT_NEAR(r.expected_tv[1], 0.5 * 0.4, 1e-12);
+  EXPECT_NEAR(r.expected_tv[5], 0.5 * std::pow(0.4, 5), 1e-12);
+  EXPECT_NEAR(r.decay_rate, 0.4, 0.02);
+  // 0.5 * 0.4^t < 0.01 at t = 5 (0.00512).
+  EXPECT_EQ(r.tau_epsilon, 5u);
+}
+
+TEST(Mixing, EpsilonNotReachedReportsSentinel) {
+  const auto chain = two_state(0.001, 0.001);
+  const std::vector<double> pi = {0.5, 0.5};
+  const auto r = measure_mixing(chain, pi, 5, 0.01);
+  EXPECT_EQ(r.tau_epsilon, std::numeric_limits<std::size_t>::max());
+}
+
+TEST(Mixing, Validation) {
+  const auto chain = two_state(0.3, 0.3);
+  EXPECT_THROW(measure_mixing(chain, {1.0}, 5, 0.01), std::invalid_argument);
+  EXPECT_THROW(measure_mixing(chain, {0.5, 0.5}, 5, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(measure_mixing(chain, {0.5, 0.5}, 5, 1.0),
+               std::invalid_argument);
+}
+
+TEST(Mixing, GlobalChainMixesOrdersBelowLemma715Bound) {
+  // Exact τ_ε on the n=3 no-loss fixed-sum chain: tiny, as expected —
+  // Lemma 7.15's bound is deliberately loose.
+  GlobalMcParams p;
+  p.config = SendForgetConfig{.view_size = 6, .min_degree = 0};
+  p.loss = 0.0;
+  Digraph g(3);
+  for (NodeId u = 0; u < 3; ++u) {
+    g.add_edge(u, (u + 1) % 3);
+    g.add_edge(u, (u + 2) % 3);
+  }
+  p.initial = g;
+  const auto mc = build_global_mc(p);
+  ASSERT_TRUE(mc.stationary.converged);
+  const auto r =
+      measure_mixing(mc.chain, mc.stationary.distribution, 400, 0.01);
+  EXPECT_NE(r.tau_epsilon, std::numeric_limits<std::size_t>::max());
+  EXPECT_LT(r.tau_epsilon, 400u);
+  EXPECT_LT(r.decay_rate, 1.0);
+  // Monotone decay.
+  for (std::size_t t = 1; t < r.expected_tv.size(); ++t) {
+    EXPECT_LE(r.expected_tv[t], r.expected_tv[t - 1] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gossip::analysis

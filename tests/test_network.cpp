@@ -1,0 +1,152 @@
+#include "sim/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/send_forget.hpp"
+
+namespace gossip::sim {
+namespace {
+
+Cluster::ProtocolFactory sf_factory() {
+  return [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  };
+}
+
+Message push(NodeId from, NodeId to, NodeId carried) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{from, false}, ViewEntry{carried, false}};
+  return m;
+}
+
+TEST(DirectNetworkTest, DeliversWithoutLoss) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(1);
+  DirectNetwork net(cluster, loss, rng);
+  net.send(push(0, 1, 5));
+  EXPECT_EQ(net.metrics().sent, 1u);
+  EXPECT_EQ(net.metrics().delivered, 1u);
+  EXPECT_EQ(net.metrics().lost, 0u);
+  EXPECT_TRUE(cluster.node(1).view().contains(0));
+  EXPECT_TRUE(cluster.node(1).view().contains(5));
+}
+
+TEST(DirectNetworkTest, DropsAtConfiguredRate) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(1.0);
+  Rng rng(2);
+  DirectNetwork net(cluster, loss, rng);
+  for (int i = 0; i < 10; ++i) net.send(push(0, 1, 5));
+  EXPECT_EQ(net.metrics().lost, 10u);
+  EXPECT_EQ(net.metrics().delivered, 0u);
+  EXPECT_EQ(cluster.node(1).view().degree(), 0u);
+}
+
+TEST(DirectNetworkTest, MessagesToDeadNodesVanish) {
+  Cluster cluster(2, sf_factory());
+  cluster.kill(1);
+  UniformLoss loss(0.0);
+  Rng rng(3);
+  DirectNetwork net(cluster, loss, rng);
+  net.send(push(0, 1, 5));
+  EXPECT_EQ(net.metrics().to_dead, 1u);
+  EXPECT_EQ(net.metrics().delivered, 0u);
+}
+
+TEST(DirectNetworkTest, MessagesToUnknownIdsVanish) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(4);
+  DirectNetwork net(cluster, loss, rng);
+  net.send(push(0, 77, 5));
+  EXPECT_EQ(net.metrics().to_dead, 1u);
+}
+
+TEST(DirectNetworkTest, LossRateAccounting) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.5);
+  Rng rng(5);
+  DirectNetwork net(cluster, loss, rng);
+  for (int i = 0; i < 2000; ++i) net.send(push(0, 1, 5));
+  EXPECT_NEAR(net.metrics().loss_rate(), 0.5, 0.05);
+}
+
+TEST(QueuedNetworkTest, DeliversAfterLatency) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(6);
+  EventQueue queue;
+  QueuedNetwork net(cluster, loss, rng, queue,
+                    LatencyModel{.min_latency = 1.0, .max_latency = 2.0});
+  net.send(push(0, 1, 5));
+  // Not yet delivered.
+  EXPECT_EQ(cluster.node(1).view().degree(), 0u);
+  EXPECT_EQ(net.metrics().delivered, 0u);
+  queue.run_until(0.5);
+  EXPECT_EQ(net.metrics().delivered, 0u);
+  queue.run_until(2.0);
+  EXPECT_EQ(net.metrics().delivered, 1u);
+  EXPECT_TRUE(cluster.node(1).view().contains(5));
+}
+
+TEST(QueuedNetworkTest, DeliveryToNodeThatDiedInFlightIsDropped) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(7);
+  EventQueue queue;
+  QueuedNetwork net(cluster, loss, rng, queue);
+  net.send(push(0, 1, 5));
+  cluster.kill(1);
+  queue.run_until(10.0);
+  EXPECT_EQ(net.metrics().delivered, 0u);
+  EXPECT_EQ(net.metrics().to_dead, 1u);
+}
+
+TEST(QueuedNetworkTest, LossSampledAtSendTime) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(1.0);
+  Rng rng(8);
+  EventQueue queue;
+  QueuedNetwork net(cluster, loss, rng, queue);
+  net.send(push(0, 1, 5));
+  EXPECT_EQ(net.metrics().lost, 1u);
+  EXPECT_TRUE(queue.empty());
+}
+
+TEST(QueuedNetworkTest, DuplicateDeliveryWhenConfigured) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(9);
+  EventQueue queue;
+  QueuedNetwork net(cluster, loss, rng, queue,
+                    LatencyModel{.min_latency = 0.1,
+                                 .max_latency = 0.2,
+                                 .duplicate_rate = 1.0});
+  net.send(push(0, 1, 5));
+  queue.run_until(1.0);
+  // Delivered twice: the receiver stored the two payload ids twice.
+  EXPECT_EQ(net.metrics().duplicated, 1u);
+  EXPECT_EQ(net.metrics().delivered, 2u);
+  EXPECT_EQ(cluster.node(1).view().multiplicity(5), 2u);
+}
+
+TEST(QueuedNetworkTest, NoDuplicatesByDefault) {
+  Cluster cluster(2, sf_factory());
+  UniformLoss loss(0.0);
+  Rng rng(10);
+  EventQueue queue;
+  QueuedNetwork net(cluster, loss, rng, queue);
+  for (int i = 0; i < 50; ++i) net.send(push(0, 1, 5));
+  queue.run_until(100.0);
+  EXPECT_EQ(net.metrics().duplicated, 0u);
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,123 @@
+#include "sampling/random_walk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <vector>
+
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+
+namespace gossip::sampling {
+namespace {
+
+sim::Cluster make_cluster(std::size_t n, std::size_t k, Rng& rng) {
+  sim::Cluster cluster(n, [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 16, .min_degree = 0});
+  });
+  cluster.install_graph(permutation_regular(n, k, rng));
+  return cluster;
+}
+
+TEST(RandomWalk, SucceedsWithoutLoss) {
+  Rng rng(1);
+  auto cluster = make_cluster(100, 4, rng);
+  sim::UniformLoss loss(0.0);
+  RandomWalkSampler sampler(cluster, loss, RandomWalkConfig{.walk_length = 8});
+  for (int i = 0; i < 50; ++i) {
+    const auto sample = sampler.sample(0, rng);
+    ASSERT_TRUE(sample.has_value());
+    EXPECT_LT(*sample, 100u);
+  }
+  EXPECT_DOUBLE_EQ(sampler.stats().success_rate(), 1.0);
+}
+
+TEST(RandomWalk, SuccessDegradesExponentiallyWithLength) {
+  // §3.1: "the probability of a successful RW under message loss degrades
+  // exponentially with the length of the random walk".
+  Rng rng(2);
+  auto cluster = make_cluster(200, 6, rng);
+  constexpr double kLoss = 0.1;
+  for (const std::size_t length : {5u, 10u, 20u}) {
+    sim::UniformLoss loss(kLoss);
+    RandomWalkSampler sampler(cluster, loss,
+                              RandomWalkConfig{.walk_length = length});
+    constexpr int kTrials = 4000;
+    for (int i = 0; i < kTrials; ++i) {
+      sampler.sample(static_cast<NodeId>(i % 200), rng);
+    }
+    const double expected =
+        walk_success_probability(length, /*reply_required=*/true, kLoss);
+    EXPECT_NEAR(sampler.stats().success_rate(), expected, 0.04)
+        << "length " << length;
+  }
+}
+
+TEST(RandomWalk, AnalyticFormula) {
+  EXPECT_DOUBLE_EQ(walk_success_probability(10, true, 0.0), 1.0);
+  EXPECT_NEAR(walk_success_probability(10, true, 0.01), std::pow(0.99, 11),
+              1e-12);
+  EXPECT_NEAR(walk_success_probability(10, false, 0.01), std::pow(0.99, 10),
+              1e-12);
+}
+
+TEST(RandomWalk, StallsOnEmptyViews) {
+  Rng rng(3);
+  sim::Cluster cluster(4, [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  });
+  // All views empty.
+  sim::UniformLoss loss(0.0);
+  RandomWalkSampler sampler(cluster, loss, RandomWalkConfig{.walk_length = 3});
+  EXPECT_FALSE(sampler.sample(0, rng).has_value());
+  EXPECT_EQ(sampler.stats().stalled, 1u);
+}
+
+TEST(RandomWalk, DiesAtDeadNodes) {
+  Rng rng(4);
+  sim::Cluster cluster(2, [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  });
+  cluster.node(0).install_view({1, 1});
+  cluster.kill(1);
+  sim::UniformLoss loss(0.0);
+  RandomWalkSampler sampler(cluster, loss, RandomWalkConfig{.walk_length = 1});
+  EXPECT_FALSE(sampler.sample(0, rng).has_value());
+}
+
+TEST(RandomWalk, EndpointBiasOnIrregularGraphs) {
+  // §3.1's second objection: on a non-regular topology the walk samples
+  // proportionally to (stationary) degree, not uniformly. Build a graph
+  // where node 0 has double the degree of everyone else.
+  Rng rng(5);
+  constexpr std::size_t kN = 60;
+  sim::Cluster cluster(kN, [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 16, .min_degree = 0});
+  });
+  Digraph g = permutation_regular(kN, 4, rng);
+  // Every node gains one extra edge to node 0 (so node 0's undirected
+  // degree roughly doubles).
+  for (NodeId u = 1; u < kN; ++u) g.add_edge(u, 0);
+  cluster.install_graph(g);
+  sim::UniformLoss loss(0.0);
+  RandomWalkSampler sampler(cluster, loss,
+                            RandomWalkConfig{.walk_length = 30});
+  std::vector<int> hits(kN, 0);
+  constexpr int kTrials = 30'000;
+  for (int i = 0; i < kTrials; ++i) {
+    const auto s = sampler.sample(static_cast<NodeId>(i % kN), rng);
+    ASSERT_TRUE(s.has_value());
+    ++hits[*s];
+  }
+  const double uniform = static_cast<double>(kTrials) / kN;
+  // Node 0 is sampled well above the uniform share.
+  EXPECT_GT(hits[0], 1.5 * uniform);
+}
+
+}  // namespace
+}  // namespace gossip::sampling

@@ -1,0 +1,133 @@
+// Robustness at trust boundaries and determinism guarantees.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "analysis/degree_mc.hpp"
+#include "core/send_forget.hpp"
+#include "core/variants/send_forget_ext.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/event_driver.hpp"
+#include "sim/round_driver.hpp"
+#include "test_support.hpp"
+
+namespace gossip {
+namespace {
+
+using testing::CaptureTransport;
+
+// --------------------------------------------------- malformed messages
+
+TEST(Robustness, SfIgnoresWrongKind) {
+  SendForget node(0, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  Rng rng(1);
+  CaptureTransport transport;
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.kind = MessageKind::kShuffleRequest;
+  m.payload = {ViewEntry{1, false}, ViewEntry{2, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 0u);
+  EXPECT_EQ(node.metrics().messages_received, 1u);
+}
+
+TEST(Robustness, SfIgnoresWrongPayloadSize) {
+  SendForget node(0, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  Rng rng(2);
+  CaptureTransport transport;
+  for (const std::size_t size : {0u, 1u, 3u, 5u}) {
+    Message m;
+    m.from = 1;
+    m.to = 0;
+    m.kind = MessageKind::kPush;
+    for (std::size_t k = 0; k < size; ++k) {
+      m.payload.push_back(ViewEntry{static_cast<NodeId>(k + 1), false});
+    }
+    node.on_message(m, rng, transport);
+  }
+  EXPECT_EQ(node.view().degree(), 0u);
+}
+
+TEST(Robustness, SfIgnoresEmptyEntries) {
+  SendForget node(0, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  Rng rng(3);
+  CaptureTransport transport;
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{}, ViewEntry{2, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 0u);
+}
+
+TEST(Robustness, SfExtIgnoresOddPayloads) {
+  SendForgetExt node(0, SendForgetExtConfig{.view_size = 8, .min_degree = 2});
+  Rng rng(4);
+  CaptureTransport transport;
+  Message m;
+  m.from = 1;
+  m.to = 0;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{1, false}, ViewEntry{2, false},
+               ViewEntry{3, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 0u);
+  // Valid payload still accepted afterwards.
+  m.payload = {ViewEntry{1, false}, ViewEntry{2, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 2u);
+}
+
+// --------------------------------------------------------- determinism
+
+TEST(Robustness, RoundDriverIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    sim::Cluster cluster(200, [](NodeId id) {
+      return std::make_unique<SendForget>(
+          id, SendForgetConfig{.view_size = 16, .min_degree = 6});
+    });
+    cluster.install_graph(permutation_regular(200, 4, rng));
+    sim::UniformLoss loss(0.05);
+    sim::RoundDriver driver(cluster, loss, rng);
+    driver.run_rounds(100);
+    return cluster.snapshot();
+  };
+  EXPECT_TRUE(run(42) == run(42));
+  EXPECT_FALSE(run(42) == run(43));
+}
+
+TEST(Robustness, EventDriverIsSeedDeterministic) {
+  auto run = [](std::uint64_t seed) {
+    Rng rng(seed);
+    sim::Cluster cluster(100, [](NodeId id) {
+      return std::make_unique<SendForget>(
+          id, SendForgetConfig{.view_size = 16, .min_degree = 6});
+    });
+    cluster.install_graph(permutation_regular(100, 4, rng));
+    sim::UniformLoss loss(0.02);
+    sim::EventDriver driver(cluster, loss, rng);
+    driver.run_rounds(60);
+    return cluster.snapshot();
+  };
+  EXPECT_TRUE(run(7) == run(7));
+}
+
+TEST(Robustness, DegreeMcIsDeterministic) {
+  // The numeric pipeline has no hidden RNG: repeated solves are identical.
+  analysis::DegreeMcParams p;
+  p.view_size = 40;
+  p.min_degree = 18;
+  p.loss = 0.05;
+  const auto a = analysis::solve_degree_mc(p);
+  const auto b = analysis::solve_degree_mc(p);
+  ASSERT_EQ(a.stationary.size(), b.stationary.size());
+  for (std::size_t k = 0; k < a.stationary.size(); ++k) {
+    EXPECT_DOUBLE_EQ(a.stationary[k], b.stationary[k]);
+  }
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,209 @@
+#include "core/send_forget.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "test_support.hpp"
+
+namespace gossip {
+namespace {
+
+using testing::CaptureTransport;
+
+SendForgetConfig small_config() {
+  return SendForgetConfig{.view_size = 6, .min_degree = 0};
+}
+
+TEST(SendForgetConfig, ValidationRules) {
+  EXPECT_NO_THROW(default_send_forget_config().validate());
+  EXPECT_NO_THROW((SendForgetConfig{.view_size = 6, .min_degree = 0}.validate()));
+  // s must be >= 6 (§5 footnote).
+  EXPECT_THROW((SendForgetConfig{.view_size = 4, .min_degree = 0}.validate()),
+               std::invalid_argument);
+  // s must be even.
+  EXPECT_THROW((SendForgetConfig{.view_size = 7, .min_degree = 0}.validate()),
+               std::invalid_argument);
+  // dL must be even.
+  EXPECT_THROW((SendForgetConfig{.view_size = 40, .min_degree = 17}.validate()),
+               std::invalid_argument);
+  // dL <= s - 6.
+  EXPECT_THROW((SendForgetConfig{.view_size = 40, .min_degree = 36}.validate()),
+               std::invalid_argument);
+  EXPECT_NO_THROW((SendForgetConfig{.view_size = 40, .min_degree = 34}.validate()));
+}
+
+TEST(SendForget, DefaultConfigIsPapersExample) {
+  const auto cfg = default_send_forget_config();
+  EXPECT_EQ(cfg.view_size, 40u);   // s = 40
+  EXPECT_EQ(cfg.min_degree, 18u);  // dL = 18
+}
+
+TEST(SendForget, EmptyViewActionIsSelfLoop) {
+  SendForget node(0, small_config());
+  Rng rng(1);
+  CaptureTransport transport;
+  node.on_initiate(rng, transport);
+  EXPECT_TRUE(transport.sent.empty());
+  EXPECT_EQ(node.metrics().actions_initiated, 1u);
+  EXPECT_EQ(node.metrics().self_loop_actions, 1u);
+  EXPECT_EQ(node.metrics().messages_sent, 0u);
+}
+
+TEST(SendForget, PartialViewCanSelfLoop) {
+  // With 2 of 6 slots filled, most actions pick an empty slot.
+  SendForget node(0, small_config());
+  node.install_view({1, 2});
+  Rng rng(2);
+  CaptureTransport transport;
+  int self_loops = 0;
+  for (int i = 0; i < 1000; ++i) {
+    const auto before = node.metrics().self_loop_actions;
+    node.on_initiate(rng, transport);
+    if (node.metrics().self_loop_actions > before) ++self_loops;
+    // Refill in case the action consumed the entries.
+    node.install_view({1, 2});
+  }
+  // P(self-loop) = 1 - (2/6)(1/5) = 14/15.
+  EXPECT_NEAR(self_loops / 1000.0, 14.0 / 15.0, 0.04);
+}
+
+TEST(SendForget, ActionSendsSelfAndCarriedIdAndClearsSlots) {
+  // dL = 0 and degree 2 > 0: slots must be cleared (no duplication).
+  SendForget node(5, small_config());
+  node.install_view({1, 2});
+  Rng rng(3);
+  CaptureTransport transport;
+  // Loop until a non-self-loop action happens.
+  while (transport.sent.empty()) {
+    node.on_initiate(rng, transport);
+  }
+  ASSERT_EQ(transport.sent.size(), 1u);
+  const Message& m = transport.sent.front();
+  EXPECT_EQ(m.from, 5u);
+  EXPECT_EQ(m.kind, MessageKind::kPush);
+  ASSERT_EQ(m.payload.size(), 2u);
+  // Payload is [u, w]: the sender's own id plus the carried id.
+  EXPECT_EQ(m.payload[0].id, 5u);
+  // Target is one view id and the carried id is the other.
+  EXPECT_TRUE((m.to == 1 && m.payload[1].id == 2) ||
+              (m.to == 2 && m.payload[1].id == 1));
+  // Both slots cleared: degree dropped to 0.
+  EXPECT_EQ(node.view().degree(), 0u);
+  // No duplication happened, so the payload is tagged independent.
+  EXPECT_FALSE(m.payload[0].dependent);
+  EXPECT_FALSE(m.payload[1].dependent);
+  EXPECT_EQ(node.metrics().duplications, 0u);
+}
+
+TEST(SendForget, DuplicatesAtMinDegree) {
+  SendForgetConfig cfg{.view_size = 8, .min_degree = 2};
+  SendForget node(9, cfg);
+  node.install_view({1, 2});  // degree 2 == dL -> duplication
+  Rng rng(4);
+  CaptureTransport transport;
+  while (transport.sent.empty()) {
+    node.on_initiate(rng, transport);
+  }
+  // Entries kept.
+  EXPECT_EQ(node.view().degree(), 2u);
+  EXPECT_EQ(node.metrics().duplications, 1u);
+  // Duplication creates dependent instances in flight.
+  EXPECT_TRUE(transport.sent.front().payload[0].dependent);
+  EXPECT_TRUE(transport.sent.front().payload[1].dependent);
+}
+
+TEST(SendForget, ReceiveStoresBothIds) {
+  SendForget node(0, small_config());
+  Rng rng(5);
+  CaptureTransport transport;
+  Message m;
+  m.from = 3;
+  m.to = 0;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{3, false}, ViewEntry{7, true}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 2u);
+  EXPECT_TRUE(node.view().contains(3));
+  EXPECT_TRUE(node.view().contains(7));
+  // Dependence tags preserved on arrival.
+  EXPECT_EQ(node.view().dependent_count(), 1u);
+  EXPECT_EQ(node.metrics().ids_accepted, 2u);
+  EXPECT_EQ(node.metrics().deletions, 0u);
+  EXPECT_TRUE(transport.sent.empty());  // S&F never replies
+}
+
+TEST(SendForget, ReceiveWhenFullDeletes) {
+  SendForget node(0, small_config());
+  node.install_view({1, 2, 3, 4, 5, 6});
+  ASSERT_TRUE(node.view().full());
+  Rng rng(6);
+  CaptureTransport transport;
+  Message m;
+  m.from = 7;
+  m.to = 0;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{7, false}, ViewEntry{8, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_EQ(node.view().degree(), 6u);
+  EXPECT_FALSE(node.view().contains(7));
+  EXPECT_EQ(node.metrics().deletions, 1u);
+  EXPECT_EQ(node.metrics().ids_accepted, 0u);
+}
+
+TEST(SendForget, ReceivingOwnIdCreatesDependentSelfEdge) {
+  SendForget node(4, small_config());
+  Rng rng(7);
+  CaptureTransport transport;
+  Message m;
+  m.from = 1;
+  m.to = 4;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{1, false}, ViewEntry{4, false}};
+  node.on_message(m, rng, transport);
+  EXPECT_TRUE(node.view().contains(4));
+  // Self-edges are labeled dependent (§2).
+  for (const auto& e : node.view().entries()) {
+    if (e.id == 4) {
+      EXPECT_TRUE(e.dependent);
+    }
+  }
+}
+
+TEST(SendForget, OutdegreeInvariantUnderRandomChurnOfMessages) {
+  // Observation 5.1: d(u) stays even and within [dL, s] — including under
+  // arbitrary interleavings of initiate and receive.
+  SendForgetConfig cfg{.view_size = 10, .min_degree = 4};
+  SendForget node(0, cfg);
+  node.install_view({1, 2, 3, 4});
+  Rng rng(8);
+  CaptureTransport transport;
+  for (int i = 0; i < 5000; ++i) {
+    if (rng.bernoulli(0.5)) {
+      node.on_initiate(rng, transport);
+    } else {
+      Message m;
+      m.from = static_cast<NodeId>(1 + rng.uniform(50));
+      m.to = 0;
+      m.kind = MessageKind::kPush;
+      m.payload = {ViewEntry{m.from, false},
+                   ViewEntry{static_cast<NodeId>(1 + rng.uniform(50)), false}};
+      node.on_message(m, rng, transport);
+    }
+    const auto d = node.view().degree();
+    ASSERT_EQ(d % 2, 0u);
+    ASSERT_GE(d, cfg.min_degree);
+    ASSERT_LE(d, cfg.view_size);
+  }
+  // Both modes were exercised.
+  EXPECT_GT(node.metrics().duplications, 0u);
+  EXPECT_GT(node.metrics().deletions, 0u);
+}
+
+TEST(SendForget, ConstructorRejectsBadConfig) {
+  EXPECT_THROW(SendForget(0, SendForgetConfig{.view_size = 5, .min_degree = 0}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,112 @@
+#include "sim/session_churn.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/send_forget.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+namespace gossip::sim {
+namespace {
+
+Cluster::ProtocolFactory sf_factory() {
+  return [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 24, .min_degree = 8});
+  };
+}
+
+TEST(ParetoSampling, RespectsMinimumAndTailOrder) {
+  Rng rng(1);
+  double max_seen = 0.0;
+  double sum = 0.0;
+  constexpr int kSamples = 20'000;
+  for (int i = 0; i < kSamples; ++i) {
+    const double x = rng.pareto(10.0, 1.5);
+    ASSERT_GE(x, 10.0);
+    max_seen = std::max(max_seen, x);
+    sum += x;
+  }
+  // Mean of Pareto(10, 1.5) is 30; heavy tail gives noisy estimates.
+  EXPECT_NEAR(sum / kSamples, 30.0, 8.0);
+  // The tail produces outliers far above the mean.
+  EXPECT_GT(max_seen, 300.0);
+}
+
+TEST(SessionChurnTest, NodesDepartAndRejoin) {
+  Rng rng(2);
+  Cluster cluster(200, sf_factory());
+  cluster.install_graph(permutation_regular(200, 6, rng));
+  UniformLoss loss(0.01);
+  RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(50);
+
+  SessionChurnConfig config;
+  config.session_min = 10.0;
+  config.gap_min = 5.0;
+  config.min_live = 50;
+  SessionChurn churn(cluster, sf_factory(), config, rng);
+  for (int round = 0; round < 400; ++round) {
+    churn.tick(rng);
+    driver.run_rounds(1);
+  }
+  EXPECT_GT(churn.total_departures(), 100u);
+  EXPECT_GT(churn.total_rejoins(), 100u);
+  EXPECT_GE(cluster.live_count(), config.min_live);
+}
+
+TEST(SessionChurnTest, OverlayStaysHealthyUnderHeavyTailedChurn) {
+  Rng rng(3);
+  constexpr std::size_t kN = 400;
+  Cluster cluster(kN, sf_factory());
+  cluster.install_graph(permutation_regular(kN, 6, rng));
+  UniformLoss loss(0.02);
+  RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(100);
+
+  SessionChurnConfig config;
+  config.session_min = 30.0;
+  config.session_shape = 1.3;  // heavy tail
+  config.gap_min = 10.0;
+  config.min_live = 120;
+  SessionChurn churn(cluster, sf_factory(), config, rng);
+  for (int round = 0; round < 600; ++round) {
+    churn.tick(rng);
+    driver.run_rounds(1);
+    if (round % 100 == 99) {
+      ASSERT_TRUE(is_weakly_connected_among(cluster.snapshot(),
+                                            cluster.liveness()))
+          << "round " << round;
+    }
+  }
+  // The live population keeps churning yet dead references stay bounded.
+  std::size_t dead_refs = 0;
+  std::size_t refs = 0;
+  for (const NodeId u : cluster.live_nodes()) {
+    for (const NodeId v : cluster.node(u).view().ids()) {
+      ++refs;
+      if (v >= cluster.size() || !cluster.live(v)) ++dead_refs;
+    }
+  }
+  EXPECT_LT(static_cast<double>(dead_refs) / static_cast<double>(refs), 0.2);
+}
+
+TEST(SessionChurnTest, MinLiveFloorHolds) {
+  Rng rng(4);
+  Cluster cluster(40, sf_factory());
+  cluster.install_graph(permutation_regular(40, 6, rng));
+  SessionChurnConfig config;
+  config.session_min = 1.0;  // everyone wants to leave immediately
+  config.session_shape = 5.0;
+  config.gap_min = 1000.0;  // and stay away
+  config.min_live = 30;
+  SessionChurn churn(cluster, sf_factory(), config, rng);
+  for (int round = 0; round < 50; ++round) churn.tick(rng);
+  EXPECT_EQ(cluster.live_count(), 30u);
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,94 @@
+#include "sampling/size_estimator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "core/peer_sampler.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+namespace gossip::sampling {
+namespace {
+
+TEST(BirthdayEstimator, NoEstimateWithoutCollisions) {
+  BirthdaySizeEstimator est;
+  EXPECT_FALSE(est.estimate().has_value());
+  est.add_sample(1);
+  est.add_sample(2);
+  est.add_sample(3);
+  EXPECT_FALSE(est.estimate().has_value());
+  EXPECT_EQ(est.collision_pairs(), 0u);
+}
+
+TEST(BirthdayEstimator, CollisionPairCounting) {
+  BirthdaySizeEstimator est;
+  est.add_sample(5);
+  est.add_sample(5);
+  EXPECT_EQ(est.collision_pairs(), 1u);
+  est.add_sample(5);  // 3 occurrences -> 3 pairs
+  EXPECT_EQ(est.collision_pairs(), 3u);
+  est.add_sample(9);
+  est.add_sample(9);
+  EXPECT_EQ(est.collision_pairs(), 4u);
+}
+
+TEST(BirthdayEstimator, ExactOnDegenerateInput) {
+  // All samples identical -> n̂ = k(k-1)/(2 * k(k-1)/2) = 1.
+  BirthdaySizeEstimator est;
+  for (int k = 0; k < 10; ++k) est.add_sample(0);
+  ASSERT_TRUE(est.estimate().has_value());
+  EXPECT_DOUBLE_EQ(*est.estimate(), 1.0);
+}
+
+TEST(BirthdayEstimator, UnbiasedOnTrueUniformSamples) {
+  constexpr std::size_t kN = 500;
+  Rng rng(1);
+  BirthdaySizeEstimator est;
+  for (int k = 0; k < 600; ++k) {
+    est.add_sample(static_cast<NodeId>(rng.uniform(kN)));
+  }
+  ASSERT_TRUE(est.estimate().has_value());
+  EXPECT_NEAR(*est.estimate(), static_cast<double>(kN), kN * 0.25);
+}
+
+TEST(BirthdayEstimator, Reset) {
+  BirthdaySizeEstimator est;
+  est.add_sample(1);
+  est.add_sample(1);
+  est.reset();
+  EXPECT_EQ(est.sample_count(), 0u);
+  EXPECT_FALSE(est.estimate().has_value());
+}
+
+TEST(BirthdayEstimator, EstimatesSystemSizeFromSfSamples) {
+  // End-to-end application: estimate n from S&F view samples gathered
+  // over time — accurate because views are (nearly) uniform and fresh
+  // (M3-M5).
+  Rng rng(2);
+  constexpr std::size_t kN = 400;
+  sim::Cluster cluster(kN, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(permutation_regular(kN, 10, rng));
+  sim::UniformLoss loss(0.01);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(200);
+
+  BirthdaySizeEstimator est;
+  FreshPeerSampler sampler(cluster.node(0));
+  while (est.sample_count() < 500) {
+    if (const auto peer = sampler.sample(rng)) {
+      est.add_sample(*peer);
+    } else {
+      driver.run_rounds(1);
+    }
+  }
+  ASSERT_TRUE(est.estimate().has_value());
+  EXPECT_NEAR(*est.estimate(), static_cast<double>(kN), kN * 0.5);
+}
+
+}  // namespace
+}  // namespace gossip::sampling

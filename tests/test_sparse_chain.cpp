@@ -1,0 +1,117 @@
+#include "markov/sparse_chain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::markov {
+namespace {
+
+TEST(SparseChainTest, TwoStateStationary) {
+  SparseChain chain(2);
+  chain.add(0, 1, 0.3);
+  chain.add(1, 0, 0.1);
+  chain.finalize();
+  const auto result = chain.stationary();
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 0.25, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 0.75, 1e-9);
+}
+
+TEST(SparseChainTest, SelfLoopsAreImplicit) {
+  SparseChain chain(2);
+  chain.add(0, 0, 0.4);  // ignored
+  chain.add(0, 1, 0.5);
+  chain.finalize();
+  EXPECT_DOUBLE_EQ(chain.row_sum(0), 0.5);
+  EXPECT_EQ(chain.transition_count(), 1u);
+}
+
+TEST(SparseChainTest, StepMatchesDenseSemantics) {
+  SparseChain chain(3);
+  chain.add(0, 1, 1.0);
+  chain.add(1, 2, 0.5);
+  chain.finalize();
+  const auto out = chain.step({1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(out[0], 0.0);
+  EXPECT_DOUBLE_EQ(out[1], 1.0);
+  const auto out2 = chain.step(out);
+  EXPECT_DOUBLE_EQ(out2[1], 0.5);
+  EXPECT_DOUBLE_EQ(out2[2], 0.5);
+}
+
+TEST(SparseChainTest, RowOverflowThrows) {
+  SparseChain chain(2);
+  chain.add(0, 1, 0.8);
+  chain.add(0, 1, 0.5);
+  EXPECT_THROW(chain.finalize(), std::runtime_error);
+}
+
+TEST(SparseChainTest, ResizeOnDemand) {
+  SparseChain chain;
+  chain.add(5, 7, 0.1);
+  EXPECT_EQ(chain.state_count(), 8u);
+}
+
+TEST(SparseChainTest, StronglyConnectedDetection) {
+  SparseChain cycle(3);
+  cycle.add(0, 1, 0.5);
+  cycle.add(1, 2, 0.5);
+  cycle.add(2, 0, 0.5);
+  cycle.finalize();
+  EXPECT_TRUE(cycle.strongly_connected());
+
+  SparseChain chainlike(3);
+  chainlike.add(0, 1, 0.5);
+  chainlike.add(1, 2, 0.5);
+  chainlike.finalize();
+  EXPECT_FALSE(chainlike.strongly_connected());
+}
+
+TEST(SparseChainTest, DoublyStochasticDetection) {
+  // Symmetric chain: rows and columns both sum to 1.
+  SparseChain symmetric(2);
+  symmetric.add(0, 1, 0.3);
+  symmetric.add(1, 0, 0.3);
+  symmetric.finalize();
+  EXPECT_TRUE(symmetric.doubly_stochastic());
+
+  SparseChain skewed(2);
+  skewed.add(0, 1, 0.3);
+  skewed.add(1, 0, 0.1);
+  skewed.finalize();
+  EXPECT_FALSE(skewed.doubly_stochastic());
+}
+
+TEST(SparseChainTest, DoublyStochasticImpliesUniformStationary) {
+  SparseChain chain(4);
+  for (std::size_t s = 0; s < 4; ++s) {
+    chain.add(s, (s + 1) % 4, 0.25);
+    chain.add(s, (s + 3) % 4, 0.25);
+  }
+  chain.finalize();
+  ASSERT_TRUE(chain.doubly_stochastic());
+  const auto result = chain.stationary();
+  for (const double x : result.distribution) {
+    EXPECT_NEAR(x, 0.25, 1e-9);
+  }
+}
+
+TEST(SparseChainTest, EmptyChainThrowsOnStationary) {
+  SparseChain chain;
+  chain.finalize();
+  EXPECT_THROW(chain.stationary(), std::runtime_error);
+}
+
+TEST(SparseChainTest, WarmStartValidation) {
+  SparseChain chain(2);
+  chain.add(0, 1, 0.5);
+  chain.add(1, 0, 0.5);
+  chain.finalize();
+  EXPECT_THROW(chain.stationary({1.0}), std::invalid_argument);
+  const auto r = chain.stationary({0.9, 0.1});
+  EXPECT_NEAR(r.distribution[0], 0.5, 1e-9);
+}
+
+}  // namespace
+}  // namespace gossip::markov

@@ -1,0 +1,90 @@
+#include "graph/spectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "graph/graph_gen.hpp"
+
+namespace gossip {
+namespace {
+
+TEST(Spectral, RejectsEmptyGraph) {
+  EXPECT_THROW((void)(estimate_spectral_gap(Digraph(3))), std::invalid_argument);
+}
+
+TEST(Spectral, CompleteGraphHasLargeGap) {
+  constexpr std::size_t kN = 12;
+  Digraph g(kN);
+  for (NodeId u = 0; u < kN; ++u) {
+    for (NodeId v = 0; v < kN; ++v) {
+      if (u != v) g.add_edge(u, v);
+    }
+  }
+  const auto r = estimate_spectral_gap(g);
+  ASSERT_TRUE(r.converged);
+  // Lazy walk on K_n: lambda2 = (1 - 1/(n-1) * ... ) — nontrivial
+  // eigenvalue of D^-1 A is -1/(n-1); lazy: (1 - 1/(n-1))/2.
+  const double expected = 0.5 * (1.0 - 1.0 / (kN - 1.0));
+  EXPECT_NEAR(r.lambda2, expected, 1e-6);
+}
+
+TEST(Spectral, CycleGapMatchesClosedForm) {
+  constexpr std::size_t kN = 24;
+  Digraph g(kN);
+  for (NodeId u = 0; u < kN; ++u) {
+    g.add_edge(u, static_cast<NodeId>((u + 1) % kN));
+  }
+  const auto r = estimate_spectral_gap(g);
+  ASSERT_TRUE(r.converged);
+  // Lazy walk on the n-cycle: lambda2 = (1 + cos(2 pi / n)) / 2.
+  const double expected =
+      0.5 * (1.0 + std::cos(2.0 * std::numbers::pi / kN));
+  EXPECT_NEAR(r.lambda2, expected, 1e-6);
+}
+
+TEST(Spectral, LongerCyclesHaveSmallerGaps) {
+  double prev_gap = 1.0;
+  for (const std::size_t n : {8u, 16u, 32u, 64u}) {
+    Digraph g(n);
+    for (NodeId u = 0; u < n; ++u) {
+      g.add_edge(u, static_cast<NodeId>((u + 1) % n));
+    }
+    const auto r = estimate_spectral_gap(g);
+    EXPECT_LT(r.spectral_gap, prev_gap);
+    prev_gap = r.spectral_gap;
+  }
+  // A ring is a bad expander: the gap decays like 1/n^2.
+  EXPECT_LT(prev_gap, 0.01);
+}
+
+TEST(Spectral, RandomRegularGraphsAreExpanders) {
+  // Random d-regular graphs have a gap bounded away from zero,
+  // independent of n.
+  Rng rng(9);
+  double min_gap = 1.0;
+  for (const std::size_t n : {100u, 400u, 1600u}) {
+    const auto g = permutation_regular(n, 6, rng);
+    const auto r = estimate_spectral_gap(g);
+    ASSERT_TRUE(r.converged);
+    min_gap = std::min(min_gap, r.spectral_gap);
+  }
+  EXPECT_GT(min_gap, 0.1);
+}
+
+TEST(Spectral, DisconnectedGraphHasZeroGap) {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 0);
+  g.add_edge(2, 3);
+  g.add_edge(3, 2);
+  const auto r = estimate_spectral_gap(g);
+  ASSERT_TRUE(r.converged);
+  EXPECT_NEAR(r.lambda2, 1.0, 1e-6);
+  EXPECT_NEAR(r.spectral_gap, 0.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,97 @@
+#include "markov/stationary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::markov {
+namespace {
+
+// Two-state chain with P(0->1) = a, P(1->0) = b has stationary
+// (b, a) / (a + b).
+Matrix two_state(double a, double b) {
+  Matrix m(2, 2);
+  m.at(0, 0) = 1.0 - a;
+  m.at(0, 1) = a;
+  m.at(1, 0) = b;
+  m.at(1, 1) = 1.0 - b;
+  return m;
+}
+
+TEST(Stationary, TwoStateAnalytic) {
+  const Matrix p = two_state(0.3, 0.1);
+  const auto result = stationary_distribution(p);
+  EXPECT_TRUE(result.converged);
+  ASSERT_EQ(result.distribution.size(), 2u);
+  EXPECT_NEAR(result.distribution[0], 0.25, 1e-9);
+  EXPECT_NEAR(result.distribution[1], 0.75, 1e-9);
+  EXPECT_TRUE(is_stationary(p, result.distribution, 1e-9));
+}
+
+TEST(Stationary, DoublyStochasticGivesUniform) {
+  // Symmetric random-walk-with-lazy-step on a 4-cycle.
+  Matrix p(4, 4);
+  for (std::size_t i = 0; i < 4; ++i) {
+    p.at(i, i) = 0.5;
+    p.at(i, (i + 1) % 4) = 0.25;
+    p.at(i, (i + 3) % 4) = 0.25;
+  }
+  const auto result = stationary_distribution(p);
+  EXPECT_TRUE(result.converged);
+  for (const double x : result.distribution) {
+    EXPECT_NEAR(x, 0.25, 1e-9);
+  }
+}
+
+TEST(Stationary, RespectsInitialDistributionArgument) {
+  const Matrix p = two_state(0.5, 0.5);
+  StationaryOptions opts;
+  opts.initial = {1.0, 0.0};
+  const auto result = stationary_distribution(p, opts);
+  EXPECT_TRUE(result.converged);
+  EXPECT_NEAR(result.distribution[0], 0.5, 1e-9);
+}
+
+TEST(Stationary, WrongSizeInitialThrows) {
+  const Matrix p = two_state(0.5, 0.5);
+  StationaryOptions opts;
+  opts.initial = {1.0};
+  EXPECT_THROW(stationary_distribution(p, opts), std::invalid_argument);
+}
+
+TEST(Stationary, EmptyMatrixThrows) {
+  Matrix p;
+  EXPECT_THROW(stationary_distribution(p), std::invalid_argument);
+}
+
+TEST(Stationary, IterationLimitReported) {
+  const Matrix p = two_state(0.001, 0.001);
+  StationaryOptions opts;
+  opts.max_iterations = 3;
+  opts.initial = {1.0, 0.0};
+  const auto result = stationary_distribution(p, opts);
+  EXPECT_FALSE(result.converged);
+  EXPECT_EQ(result.iterations, 3u);
+  EXPECT_GT(result.residual, 0.0);
+}
+
+TEST(Stationary, IsStationaryRejectsWrongVector) {
+  const Matrix p = two_state(0.3, 0.1);
+  EXPECT_FALSE(is_stationary(p, {0.5, 0.5}, 1e-9));
+  EXPECT_FALSE(is_stationary(p, {1.0}, 1e-9));
+}
+
+TEST(Stationary, TvTrajectoryDecreasesToZero) {
+  const Matrix p = two_state(0.4, 0.2);
+  const auto pi = stationary_distribution(p).distribution;
+  const auto tv = tv_trajectory(p, {1.0, 0.0}, pi, 50);
+  ASSERT_EQ(tv.size(), 51u);
+  EXPECT_GT(tv.front(), 0.2);
+  EXPECT_LT(tv.back(), 1e-6);
+  for (std::size_t t = 1; t < tv.size(); ++t) {
+    EXPECT_LE(tv[t], tv[t - 1] + 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace gossip::markov

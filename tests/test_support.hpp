@@ -1,0 +1,23 @@
+// Shared helpers for protocol unit tests.
+#pragma once
+
+#include <vector>
+
+#include "core/protocol.hpp"
+
+namespace gossip::testing {
+
+// A transport that records outbound messages instead of delivering them.
+class CaptureTransport final : public Transport {
+ public:
+  void send(Message message) override { sent.push_back(std::move(message)); }
+
+  std::vector<Message> sent;
+};
+
+// Installs `ids` into the protocol view (slot order, tagged independent).
+inline void install(PeerProtocol& protocol, const std::vector<NodeId>& ids) {
+  protocol.install_view(ids);
+}
+
+}  // namespace gossip::testing

@@ -1,0 +1,90 @@
+#include "analysis/temporal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::analysis {
+namespace {
+
+TemporalParams base() {
+  TemporalParams p;
+  p.node_count = 1000;
+  p.view_size = 40;
+  p.expected_out = 28.0;
+  p.alpha = 0.96;
+  p.epsilon = 0.01;
+  return p;
+}
+
+TEST(Temporal, ConductanceBoundFormula) {
+  const auto p = base();
+  // dE (dE-1) a / (2 s (s-1)).
+  EXPECT_NEAR(expected_conductance_bound(p),
+              28.0 * 27.0 * 0.96 / (2.0 * 40.0 * 39.0), 1e-12);
+}
+
+TEST(Temporal, TauBoundFormula) {
+  const auto p = base();
+  const double s = 40.0;
+  const double de = 28.0;
+  const double front = 16.0 * s * s * 39.0 * 39.0 /
+                       (de * de * 27.0 * 27.0 * 0.96 * 0.96);
+  const double expected =
+      front * (1000.0 * s * std::log(1000.0) + std::log(4.0 / 0.01));
+  EXPECT_NEAR(temporal_independence_bound(p), expected, expected * 1e-12);
+}
+
+TEST(Temporal, PerNodeBoundIsTauOverN) {
+  const auto p = base();
+  EXPECT_NEAR(temporal_independence_actions_per_node(p),
+              temporal_independence_bound(p) / 1000.0, 1e-6);
+}
+
+TEST(Temporal, PerNodeActionsScaleAsSLogN) {
+  // With constant s, tau/n ~ s log n: doubling n adds ~s log 2 plus lower
+  // order terms -> the ratio of per-node bounds approaches
+  // log(2n)/log(n).
+  auto p = base();
+  const double at_n = temporal_independence_actions_per_node(p);
+  p.node_count = 2000;
+  const double at_2n = temporal_independence_actions_per_node(p);
+  const double expected_ratio = std::log(2000.0) / std::log(1000.0);
+  EXPECT_NEAR(at_2n / at_n, expected_ratio, 0.01);
+}
+
+TEST(Temporal, BoundDegradesGracefullyWithAlpha) {
+  auto p = base();
+  const double strong = temporal_independence_bound(p);
+  p.alpha = 0.48;  // half the independence
+  const double weak = temporal_independence_bound(p);
+  // tau ~ 1/alpha^2.
+  EXPECT_NEAR(weak / strong, 4.0, 1e-9);
+}
+
+TEST(Temporal, TighterEpsilonCostsOnlyLogarithmically) {
+  auto p = base();
+  const double loose = temporal_independence_bound(p);
+  p.epsilon = 1e-9;
+  const double tight = temporal_independence_bound(p);
+  EXPECT_LT(tight / loose, 1.01);  // n s log n dominates
+}
+
+TEST(Temporal, Validation) {
+  auto p = base();
+  p.node_count = 1;
+  EXPECT_THROW((void)(expected_conductance_bound(p)), std::invalid_argument);
+  p = base();
+  p.expected_out = 1.0;
+  EXPECT_THROW((void)(temporal_independence_bound(p)), std::invalid_argument);
+  p = base();
+  p.alpha = 0.0;
+  EXPECT_THROW((void)(temporal_independence_bound(p)), std::invalid_argument);
+  p = base();
+  p.epsilon = 1.0;
+  EXPECT_THROW((void)(temporal_independence_bound(p)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

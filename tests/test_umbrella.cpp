@@ -1,0 +1,39 @@
+// The umbrella header must be self-contained and expose the whole public
+// API: exercise one symbol from every subsystem through it alone.
+#include "gossip.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace gossip {
+namespace {
+
+TEST(Umbrella, EndToEndThroughSingleInclude) {
+  Rng rng(1);
+  sim::Cluster cluster(50, [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 12, .min_degree = 4});
+  });
+  cluster.install_graph(permutation_regular(50, 4, rng));
+  sim::UniformLoss loss(0.01);
+  sim::RoundDriver driver(cluster, loss, rng);
+  driver.run_rounds(50);
+
+  EXPECT_TRUE(is_weakly_connected(cluster.snapshot()));
+  EXPECT_GT(sampling::measure_spatial_dependence(cluster).entries, 0u);
+  EXPECT_GT(analysis::independence_lower_bound(0.01, 0.01), 0.9);
+  EXPECT_GT(estimate_spectral_gap(cluster.snapshot()).spectral_gap, 0.0);
+
+  FreshPeerSampler sampler(cluster.node(0));
+  EXPECT_TRUE(sampler.sample(rng).has_value());
+
+  markov::SparseChain chain(2);
+  chain.add(0, 1, 0.5);
+  chain.add(1, 0, 0.5);
+  chain.finalize();
+  EXPECT_TRUE(chain.strongly_connected());
+}
+
+}  // namespace
+}  // namespace gossip

@@ -1,0 +1,92 @@
+#include "sampling/uniformity.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "core/send_forget.hpp"
+
+namespace gossip::sampling {
+namespace {
+
+sim::Cluster::ProtocolFactory sf_factory() {
+  return [](NodeId id) {
+    return std::make_unique<SendForget>(
+        id, SendForgetConfig{.view_size = 6, .min_degree = 0});
+  };
+}
+
+TEST(UniformityTester, CountsOccurrencesAcrossViews) {
+  sim::Cluster cluster(3, sf_factory());
+  cluster.node(0).install_view({1, 2});
+  cluster.node(1).install_view({2, 2});
+  UniformityTester tester(3);
+  tester.record_snapshot(cluster);
+  EXPECT_EQ(tester.total_observations(), 4u);
+  EXPECT_EQ(tester.occurrence_counts()[1], 1u);
+  EXPECT_EQ(tester.occurrence_counts()[2], 3u);
+  EXPECT_EQ(tester.occurrence_counts()[0], 0u);
+}
+
+TEST(UniformityTester, SkipsSelfEdges) {
+  sim::Cluster cluster(2, sf_factory());
+  cluster.node(0).install_view({0, 1});
+  UniformityTester tester(2);
+  tester.record_snapshot(cluster);
+  EXPECT_EQ(tester.total_observations(), 1u);
+  EXPECT_EQ(tester.occurrence_counts()[0], 0u);
+}
+
+TEST(UniformityTester, SkipsDeadNodesViews) {
+  sim::Cluster cluster(3, sf_factory());
+  cluster.node(0).install_view({1, 1});
+  cluster.node(1).install_view({2, 2});
+  cluster.kill(1);
+  UniformityTester tester(3);
+  tester.record_snapshot(cluster);
+  // Only node 0's view counted.
+  EXPECT_EQ(tester.total_observations(), 2u);
+}
+
+TEST(UniformityTester, UniformCountsPassChiSquare) {
+  Rng rng(1);
+  constexpr std::size_t kN = 50;
+  sim::Cluster cluster(kN, sf_factory());
+  UniformityTester tester(kN);
+  // Synthesize perfectly uniform occupancy via a rotating view pattern.
+  for (int snap = 0; snap < 60; ++snap) {
+    for (NodeId u = 0; u < kN; ++u) {
+      const auto a = static_cast<NodeId>((u + 1 + snap) % kN);
+      const auto b = static_cast<NodeId>((u + 2 + snap) % kN);
+      cluster.node(u).install_view({a, b});
+    }
+    tester.record_snapshot(cluster);
+  }
+  const auto result = tester.test_uniform();
+  EXPECT_GT(result.p_value, 0.9);
+  EXPECT_LT(result.max_relative_deviation, 0.1);
+}
+
+TEST(UniformityTester, SkewedCountsFailChiSquare) {
+  constexpr std::size_t kN = 50;
+  sim::Cluster cluster(kN, sf_factory());
+  // Every node points at node 0 and node 1 only.
+  for (NodeId u = 0; u < kN; ++u) {
+    cluster.node(u).install_view(
+        {static_cast<NodeId>(u == 0 ? 2 : 0), static_cast<NodeId>(u == 1 ? 2 : 1)});
+  }
+  UniformityTester tester(kN);
+  for (int snap = 0; snap < 20; ++snap) tester.record_snapshot(cluster);
+  const auto result = tester.test_uniform();
+  EXPECT_LT(result.p_value, 1e-6);
+  EXPECT_GT(result.max_relative_deviation, 1.0);
+}
+
+TEST(UniformityTester, ThrowsWithoutObservations) {
+  UniformityTester tester(5);
+  EXPECT_THROW((void)(tester.test_uniform()), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace gossip::sampling

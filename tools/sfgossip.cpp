@@ -1,0 +1,495 @@
+// sfgossip — command-line front end to the library.
+//
+//   sfgossip simulate      run a membership overlay and report its health
+//   sfgossip degrees       solve the §6.2 degree Markov chain
+//   sfgossip thresholds    pick dL and s for a target degree (§6.3)
+//   sfgossip decay         leaver-id survival bound curve (§6.5, Fig 6.4)
+//   sfgossip connectivity  minimal dL for the §7.4 connectivity condition
+//   sfgossip walk          random-walk sampling success under loss (§3.1)
+//   sfgossip globalmc      exhaustive global MC for tiny systems (§7.1-7.3)
+//   sfgossip plan          Lemma A.1 planner between two graph files
+//
+// Every subcommand accepts --help. Numeric output goes to stdout; pass
+// --csv FILE where supported to also write machine-readable series.
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/decay.hpp"
+#include "analysis/degree_mc.hpp"
+#include "analysis/global_mc.hpp"
+#include "analysis/independence.hpp"
+#include "analysis/thresholds.hpp"
+#include "common/cli.hpp"
+#include "common/csv.hpp"
+#include "common/stats.hpp"
+#include "core/baselines/newscast.hpp"
+#include "core/baselines/push_pull.hpp"
+#include "core/baselines/shuffle.hpp"
+#include "core/send_forget.hpp"
+#include "core/variants/send_forget_ext.hpp"
+#include "graph/connectivity.hpp"
+#include "graph/graph_gen.hpp"
+#include "graph/graph_io.hpp"
+#include "graph/graph_stats.hpp"
+#include "graph/reachability.hpp"
+#include "graph/spectral.hpp"
+#include "sampling/random_walk.hpp"
+#include "sampling/health.hpp"
+#include "sampling/spatial.hpp"
+#include "sim/churn.hpp"
+#include "sim/event_driver.hpp"
+#include "sim/round_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: sfgossip <simulate|degrees|thresholds|decay|"
+               "connectivity|walk|globalmc|plan> [options]\n"
+               "run 'sfgossip <command> --help' for options.\n");
+  return 2;
+}
+
+// ------------------------------------------------------------- simulate
+
+int cmd_simulate(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip simulate [options]\n"
+        "  --nodes N         system size                  (default 1000)\n"
+        "  --rounds R        gossip rounds                (default 300)\n"
+        "  --loss L          message loss rate            (default 0.01)\n"
+        "  --view-size S     view slots s                 (default 40)\n"
+        "  --min-degree D    duplication threshold dL     (default 18)\n"
+        "  --protocol P      sf|sfext|shuffle|pushpull|newscast (default sf)\n"
+        "  --driver D        round|event                  (default round)\n"
+        "  --join-rate X     expected joins per round     (default 0)\n"
+        "  --leave-rate Y    expected leaves per round    (default 0)\n"
+        "  --seed S          RNG seed                     (default 1)\n"
+        "  --csv FILE        write the degree histogram as CSV\n"
+        "  --dump FILE       write the final membership graph\n");
+    return 0;
+  }
+  const auto nodes = args.get_size("nodes", 1000, 8, 1'000'000);
+  const auto rounds = args.get_size("rounds", 300, 1, 1'000'000);
+  const double loss_rate = args.get_double("loss", 0.01, 0.0, 0.99);
+  const auto view_size = args.get_size("view-size", 40, 6, 512);
+  const auto min_degree = args.get_size("min-degree", 18, 0, 506);
+  const auto protocol = args.get_string("protocol", "sf");
+  const auto driver_kind = args.get_string("driver", "round");
+  const double join_rate = args.get_double("join-rate", 0.0, 0.0, 10.0);
+  const double leave_rate = args.get_double("leave-rate", 0.0, 0.0, 10.0);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+
+  sim::Cluster::ProtocolFactory factory;
+  if (protocol == "sf") {
+    const SendForgetConfig cfg{.view_size = view_size,
+                               .min_degree = min_degree};
+    cfg.validate();
+    factory = [cfg](NodeId id) {
+      return std::make_unique<SendForget>(id, cfg);
+    };
+  } else if (protocol == "sfext") {
+    const SendForgetExtConfig cfg{.view_size = view_size,
+                                  .min_degree = min_degree,
+                                  .mark_instead_of_clear = true};
+    cfg.validate();
+    factory = [cfg](NodeId id) {
+      return std::make_unique<SendForgetExt>(id, cfg);
+    };
+  } else if (protocol == "shuffle") {
+    factory = [view_size](NodeId id) {
+      return std::make_unique<Shuffle>(
+          id, ShuffleConfig{.view_size = view_size, .shuffle_length = 4});
+    };
+  } else if (protocol == "pushpull") {
+    factory = [view_size](NodeId id) {
+      return std::make_unique<PushPullKeep>(
+          id, PushPullConfig{.view_size = view_size, .exchange_length = 4});
+    };
+  } else if (protocol == "newscast") {
+    factory = [view_size](NodeId id) {
+      return std::make_unique<Newscast>(
+          id, NewscastConfig{.view_size = view_size});
+    };
+  } else {
+    throw CliError("unknown --protocol '" + protocol + "'");
+  }
+
+  Rng rng(seed);
+  sim::Cluster cluster(nodes, factory);
+  const std::size_t init_degree =
+      std::max<std::size_t>(2, std::min(view_size / 4, nodes / 2) / 2 * 2);
+  cluster.install_graph(permutation_regular(nodes, init_degree, rng));
+  sim::UniformLoss loss(loss_rate);
+
+  std::unique_ptr<sim::ChurnProcess> churn;
+  if (join_rate > 0.0 || leave_rate > 0.0) {
+    churn = std::make_unique<sim::ChurnProcess>(
+        cluster, factory, std::max<std::size_t>(2, min_degree), join_rate,
+        leave_rate, std::max<std::size_t>(8, nodes / 4));
+  }
+
+  std::printf("simulating %zu nodes x %zu rounds, loss=%.3f, protocol=%s, "
+              "driver=%s\n",
+              nodes, rounds, loss_rate, protocol.c_str(),
+              driver_kind.c_str());
+
+  if (driver_kind == "round") {
+    sim::RoundDriver driver(cluster, loss, rng);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (churn) churn->maybe_churn(rng);
+      driver.run_rounds(1);
+    }
+    std::printf("network: %llu sent, %llu lost (%.3f)\n",
+                static_cast<unsigned long long>(driver.network_metrics().sent),
+                static_cast<unsigned long long>(driver.network_metrics().lost),
+                driver.network_metrics().loss_rate());
+  } else if (driver_kind == "event") {
+    sim::EventDriver driver(cluster, loss, rng);
+    for (std::size_t r = 0; r < rounds; ++r) {
+      if (churn) {
+        const auto outcome = churn->maybe_churn(rng);
+        if (outcome.joined != kNilNode) driver.start_node(outcome.joined);
+      }
+      driver.run_rounds(1);
+    }
+    std::printf("network: %llu sent, %llu lost (%.3f)\n",
+                static_cast<unsigned long long>(driver.network_metrics().sent),
+                static_cast<unsigned long long>(driver.network_metrics().lost),
+                driver.network_metrics().loss_rate());
+  } else {
+    throw CliError("unknown --driver '" + driver_kind + "'");
+  }
+
+  const auto overlay = cluster.snapshot();
+  const auto report = sampling::measure_health(cluster, /*with_spectral=*/true);
+
+  std::printf("\nlive nodes:            %zu of %zu\n", report.live,
+              report.nodes);
+  std::printf("outdegree mean/sd:     %.2f / %.2f\n", report.out_mean,
+              report.out_sd);
+  std::printf("indegree  mean/sd:     %.2f / %.2f\n", report.in_mean,
+              report.in_sd);
+  std::printf("weakly connected:      %s\n", report.connected ? "yes" : "NO");
+  std::printf("duplication rate:      %.4f\n", report.duplication_rate);
+  std::printf("dependent entries:     %.4f\n", report.dependent_fraction);
+  std::printf("dead references:       %.4f\n",
+              report.dead_reference_fraction);
+  if (report.spectral_gap > 0.0) {
+    std::printf("spectral gap:          %.4f\n", report.spectral_gap);
+  }
+  if (churn) {
+    std::printf("churn:                 %zu joins, %zu leaves\n",
+                churn->total_joins(), churn->total_leaves());
+  }
+
+  if (args.has("dump")) {
+    const auto path = args.get_string("dump", "");
+    save_graph(overlay, path);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.has("csv")) {
+    const auto path = args.get_string("csv", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    const auto out_h = out_degree_histogram(overlay);
+    const auto in_h = in_degree_histogram(overlay);
+    const std::size_t top = std::max(out_h.max_value(), in_h.max_value());
+    std::vector<double> axis;
+    std::vector<double> outs;
+    std::vector<double> ins;
+    for (std::size_t d = 0; d <= top; ++d) {
+      axis.push_back(static_cast<double>(d));
+      outs.push_back(static_cast<double>(out_h.count(d)));
+      ins.push_back(static_cast<double>(in_h.count(d)));
+    }
+    write_csv_series(out, {"degree", "outdegree_count", "indegree_count"},
+                     {axis, outs, ins});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// -------------------------------------------------------------- degrees
+
+int cmd_degrees(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip degrees [options] — solve the degree Markov chain (§6.2)\n"
+        "  --view-size S   (default 40)   --min-degree D (default 18)\n"
+        "  --loss L        (default 0)    --fixed-sum DM (Fig 6.1 mode)\n"
+        "  --csv FILE      write both pmfs as CSV\n");
+    return 0;
+  }
+  analysis::DegreeMcParams params;
+  params.view_size = args.get_size("view-size", 40, 6, 512);
+  params.min_degree = args.get_size("min-degree", 18, 0, 506);
+  params.loss = args.get_double("loss", 0.0, 0.0, 0.99);
+  if (args.has("fixed-sum")) {
+    params.fixed_sum_degree = args.get_size("fixed-sum", 0, 2, 512);
+  }
+  const auto result = analysis::solve_degree_mc(params);
+  std::printf("states=%zu converged=%d (outer iterations: %zu)\n",
+              result.states.size(), result.converged ? 1 : 0,
+              result.fixed_point_iterations);
+  std::printf("E[outdegree]=%.3f  E[indegree]=%.3f\n", result.expected_out,
+              result.expected_in);
+  std::printf("P(duplication)=%.5f  P(deletion)=%.5f  (dup - loss - del = "
+              "%.2e, Lemma 6.6)\n",
+              result.duplication_probability, result.deletion_probability,
+              result.duplication_probability - params.loss -
+                  result.deletion_probability);
+  if (args.has("csv")) {
+    const auto path = args.get_string("csv", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    const std::size_t top =
+        std::max(result.out_pmf.size(), result.in_pmf.size());
+    std::vector<double> axis;
+    std::vector<double> outs;
+    std::vector<double> ins;
+    for (std::size_t d = 0; d < top; ++d) {
+      axis.push_back(static_cast<double>(d));
+      outs.push_back(d < result.out_pmf.size() ? result.out_pmf[d] : 0.0);
+      ins.push_back(d < result.in_pmf.size() ? result.in_pmf[d] : 0.0);
+    }
+    write_csv_series(out, {"degree", "outdegree_pmf", "indegree_pmf"},
+                     {axis, outs, ins});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------- thresholds
+
+int cmd_thresholds(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf("sfgossip thresholds --target-degree D [--delta X]\n");
+    return 0;
+  }
+  const auto target = args.get_size("target-degree", 30, 2, 1000);
+  const double delta = args.get_double("delta", 0.01, 1e-9, 0.49);
+  const auto sel = analysis::select_thresholds(target, delta);
+  std::printf("d_hat=%zu delta=%g  ->  dL=%zu s=%zu\n", target, delta,
+              sel.min_degree, sel.view_size);
+  std::printf("P(d <= dL)=%.5f  P(d >= s)=%.5f  E[d]=%.1f\n",
+              sel.prob_at_or_below_min, sel.prob_at_or_above_max,
+              sel.expected_out);
+  return 0;
+}
+
+// ---------------------------------------------------------------- decay
+
+int cmd_decay(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip decay [--view-size S] [--min-degree D] [--loss L]\n"
+        "               [--delta X] [--rounds R] [--csv FILE]\n");
+    return 0;
+  }
+  analysis::DecayParams params{
+      .view_size = args.get_size("view-size", 40, 1, 512),
+      .min_degree = args.get_size("min-degree", 18, 0, 512),
+      .loss = args.get_double("loss", 0.01, 0.0, 0.99),
+      .delta = args.get_double("delta", 0.01, 0.0, 0.99)};
+  const auto rounds = args.get_size("rounds", 500, 1, 1'000'000);
+  const auto curve = analysis::leave_survival_bound(params, rounds);
+  std::printf("survival factor per round: %.6f\n", analysis::survival_factor(params));
+  std::printf("half-life (rounds):        %zu\n",
+              analysis::rounds_until_survival_below(params, 0.5));
+  std::printf("joiner integration window: %.1f rounds, creating >= %.3f*Din "
+              "instances\n",
+              analysis::joiner_integration_rounds(params),
+              analysis::joiner_instances_fraction(params));
+  if (args.has("csv")) {
+    const auto path = args.get_string("csv", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    std::vector<double> axis;
+    for (std::size_t r = 0; r < curve.size(); ++r) {
+      axis.push_back(static_cast<double>(r));
+    }
+    write_csv_series(out, {"round", "survival_bound"}, {axis, curve});
+    std::printf("wrote %s\n", path.c_str());
+  }
+  return 0;
+}
+
+// --------------------------------------------------------- connectivity
+
+int cmd_connectivity(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip connectivity [--loss L] [--delta X] [--epsilon E]\n");
+    return 0;
+  }
+  const double loss_rate = args.get_double("loss", 0.01, 0.0, 0.49);
+  const double delta = args.get_double("delta", 0.01, 0.0, 0.49);
+  const double epsilon = args.get_double("epsilon", 1e-30, 1e-300, 0.999);
+  const double alpha =
+      analysis::independence_lower_bound_simple(loss_rate, delta);
+  std::printf("alpha = 1 - 2(loss+delta) = %.4f\n", alpha);
+  std::printf("minimal dL for P(<3 independent neighbors) <= %g: %zu\n",
+              epsilon, analysis::min_degree_for_connectivity(alpha, epsilon));
+  return 0;
+}
+
+// ----------------------------------------------------------------- walk
+
+int cmd_walk(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip walk [--nodes N] [--length L] [--loss X] [--trials T]\n");
+    return 0;
+  }
+  const auto nodes = args.get_size("nodes", 1000, 8, 100'000);
+  const auto length = args.get_size("length", 10, 1, 10'000);
+  const double loss_rate = args.get_double("loss", 0.05, 0.0, 0.99);
+  const auto trials = args.get_size("trials", 10'000, 1, 100'000'000);
+
+  Rng rng(7);
+  sim::Cluster cluster(nodes, [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  });
+  cluster.install_graph(
+      permutation_regular(nodes, 10, rng));
+  {
+    sim::UniformLoss mix(0.01);
+    sim::RoundDriver driver(cluster, mix, rng);
+    driver.run_rounds(200);
+  }
+  sim::UniformLoss loss(loss_rate);
+  sampling::RandomWalkSampler sampler(
+      cluster, loss, sampling::RandomWalkConfig{.walk_length = length});
+  for (std::size_t i = 0; i < trials; ++i) {
+    sampler.sample(static_cast<NodeId>(i % nodes), rng);
+  }
+  std::printf("walks: %llu attempted, %llu completed (%.4f; predicted "
+              "(1-l)^(L+1) = %.4f)\n",
+              static_cast<unsigned long long>(sampler.stats().attempted),
+              static_cast<unsigned long long>(sampler.stats().completed),
+              sampler.stats().success_rate(),
+              sampling::walk_success_probability(length, true, loss_rate));
+  return 0;
+}
+
+// ------------------------------------------------------------- globalmc
+
+int cmd_globalmc(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip globalmc [--nodes N (2-4)] [--view-size S] "
+        "[--min-degree D]\n"
+        "                  [--loss L] [--init-degree K] [--max-states M]\n"
+        "builds the exhaustive global Markov chain over membership graphs\n"
+        "and reports the paper's structural lemma checks.\n");
+    return 0;
+  }
+  const auto n = args.get_size("nodes", 3, 2, 5);
+  analysis::GlobalMcParams params;
+  params.config.view_size = args.get_size("view-size", 6, 6, 16);
+  params.config.min_degree = args.get_size("min-degree", 0, 0, 8);
+  params.config.validate();
+  params.loss = args.get_double("loss", 0.0, 0.0, 0.99);
+  params.max_states = args.get_size("max-states", 500'000, 100, 5'000'000);
+  const auto k = args.get_size("init-degree", 2, 1, 6);
+  Digraph g(n);
+  for (NodeId u = 0; u < n; ++u) {
+    for (std::size_t j = 1; j <= k; ++j) {
+      g.add_edge(u, static_cast<NodeId>((u + j) % n));
+    }
+  }
+  params.initial = std::move(g);
+  const auto r = analysis::build_global_mc(params);
+  std::printf("states: %zu (%s), transitions: %zu\n", r.states.size(),
+              r.exploration_complete ? "complete" : "CAPPED",
+              r.chain.transition_count());
+  if (!r.exploration_complete) return 1;
+  std::printf("irreducible (Lemma 7.1/A.2):       %s\n",
+              r.strongly_connected ? "yes" : "NO");
+  if (r.stationary.converged) {
+    std::printf("stationary converged:              yes (%zu iterations)\n",
+                r.stationary.iterations);
+    std::printf("uniformity dev (all states):       %.3g\n",
+                r.uniformity_deviation);
+    std::printf("uniformity dev (simple states):    %.3g over %zu states\n",
+                r.simple_state_uniformity_deviation, r.simple_state_count);
+    std::printf("edge-presence spread (Lemma 7.6):  %.3g\n",
+                r.edge_presence_spread);
+  }
+  return 0;
+}
+
+// ----------------------------------------------------------------- plan
+
+int cmd_plan(const ArgParser& args) {
+  if (args.has("help") || args.positional().size() < 2) {
+    std::printf(
+        "sfgossip plan FROM.graph TO.graph [--view-size S] [--emit FILE]\n"
+        "plans a Lemma A.1 move sequence transforming FROM into TO\n"
+        "(same node count and sum-degree vectors required; files in the\n"
+        "membership-graph v1 format written by 'simulate --dump').\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const Digraph from = load_graph(args.positional()[0]);
+  const Digraph to = load_graph(args.positional()[1]);
+  std::size_t max_out = 0;
+  for (NodeId u = 0; u < from.node_count(); ++u) {
+    max_out = std::max({max_out, from.out_degree(u), to.out_degree(u)});
+  }
+  graph_ops::TransformLimits limits{
+      .view_size = args.get_size("view-size", max_out + 8, max_out + 2, 4096),
+      .min_degree = 0};
+  const auto moves = graph_ops::plan_transformation(from, to, limits);
+  if (args.has("emit")) {
+    const auto path = args.get_string("emit", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    out << graph_ops::serialize_moves(moves);
+    std::printf("wrote %s\n", path.c_str());
+  }
+  std::size_t exchanges = 0;
+  for (const auto& move : moves) {
+    if (move.kind == graph_ops::Move::Kind::kEdgeExchange) ++exchanges;
+  }
+  Digraph work = from;
+  graph_ops::apply_moves(work, moves, limits);
+  std::printf("plan: %zu moves (%zu exchanges, %zu borrows); replay %s\n",
+              moves.size(), exchanges, moves.size() - exchanges,
+              work == to ? "reproduces TO exactly" : "FAILED");
+  return work == to ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    const ArgParser args(argc - 1, argv + 1);
+    if (command == "simulate") return cmd_simulate(args);
+    if (command == "degrees") return cmd_degrees(args);
+    if (command == "thresholds") return cmd_thresholds(args);
+    if (command == "decay") return cmd_decay(args);
+    if (command == "connectivity") return cmd_connectivity(args);
+    if (command == "walk") return cmd_walk(args);
+    if (command == "globalmc") return cmd_globalmc(args);
+    if (command == "plan") return cmd_plan(args);
+    std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
+    return usage();
+  } catch (const CliError& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 2;
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "error: %s\n", error.what());
+    return 1;
+  }
+}
