@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bursty_loss.dir/ablation_bursty_loss.cpp.o"
+  "CMakeFiles/ablation_bursty_loss.dir/ablation_bursty_loss.cpp.o.d"
+  "ablation_bursty_loss"
+  "ablation_bursty_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bursty_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/appendix_reachability.dir/appendix_reachability.cpp.o"
+  "CMakeFiles/appendix_reachability.dir/appendix_reachability.cpp.o.d"
+  "appendix_reachability"
+  "appendix_reachability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/appendix_reachability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines_random_walk.dir/baselines_random_walk.cpp.o"
+  "CMakeFiles/baselines_random_walk.dir/baselines_random_walk.cpp.o.d"
+  "baselines_random_walk"
+  "baselines_random_walk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines_random_walk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

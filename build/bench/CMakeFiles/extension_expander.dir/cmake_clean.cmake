@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_expander.dir/extension_expander.cpp.o"
+  "CMakeFiles/extension_expander.dir/extension_expander.cpp.o.d"
+  "extension_expander"
+  "extension_expander.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_expander.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_scale.dir/extension_scale.cpp.o"
+  "CMakeFiles/extension_scale.dir/extension_scale.cpp.o.d"
+  "extension_scale"
+  "extension_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

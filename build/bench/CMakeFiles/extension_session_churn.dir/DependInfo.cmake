@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/extension_session_churn.cpp" "bench/CMakeFiles/extension_session_churn.dir/extension_session_churn.cpp.o" "gcc" "bench/CMakeFiles/extension_session_churn.dir/extension_session_churn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_sampling.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

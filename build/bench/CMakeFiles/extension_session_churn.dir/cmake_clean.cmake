@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_session_churn.dir/extension_session_churn.cpp.o"
+  "CMakeFiles/extension_session_churn.dir/extension_session_churn.cpp.o.d"
+  "extension_session_churn"
+  "extension_session_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_session_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

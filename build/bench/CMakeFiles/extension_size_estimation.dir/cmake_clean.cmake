@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_size_estimation.dir/extension_size_estimation.cpp.o"
+  "CMakeFiles/extension_size_estimation.dir/extension_size_estimation.cpp.o.d"
+  "extension_size_estimation"
+  "extension_size_estimation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_size_estimation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

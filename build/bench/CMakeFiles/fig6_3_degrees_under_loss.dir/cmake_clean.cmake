@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_3_degrees_under_loss.dir/fig6_3_degrees_under_loss.cpp.o"
+  "CMakeFiles/fig6_3_degrees_under_loss.dir/fig6_3_degrees_under_loss.cpp.o.d"
+  "fig6_3_degrees_under_loss"
+  "fig6_3_degrees_under_loss.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_3_degrees_under_loss.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

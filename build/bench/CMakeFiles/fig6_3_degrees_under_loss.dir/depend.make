@@ -1,0 +1,2 @@
+# Empty dependencies file for fig6_3_degrees_under_loss.
+# This may be replaced when dependencies are built.

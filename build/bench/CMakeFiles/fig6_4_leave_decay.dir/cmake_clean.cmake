@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_4_leave_decay.dir/fig6_4_leave_decay.cpp.o"
+  "CMakeFiles/fig6_4_leave_decay.dir/fig6_4_leave_decay.cpp.o.d"
+  "fig6_4_leave_decay"
+  "fig6_4_leave_decay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_4_leave_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

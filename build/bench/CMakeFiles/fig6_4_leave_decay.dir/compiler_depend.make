@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig6_4_leave_decay.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_3_thresholds.dir/sec6_3_thresholds.cpp.o"
+  "CMakeFiles/sec6_3_thresholds.dir/sec6_3_thresholds.cpp.o.d"
+  "sec6_3_thresholds"
+  "sec6_3_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_3_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_4_dup_del_balance.dir/sec6_4_dup_del_balance.cpp.o"
+  "CMakeFiles/sec6_4_dup_del_balance.dir/sec6_4_dup_del_balance.cpp.o.d"
+  "sec6_4_dup_del_balance"
+  "sec6_4_dup_del_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_4_dup_del_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec6_4_dup_del_balance.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec6_5_join_integration.dir/sec6_5_join_integration.cpp.o"
+  "CMakeFiles/sec6_5_join_integration.dir/sec6_5_join_integration.cpp.o.d"
+  "sec6_5_join_integration"
+  "sec6_5_join_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec6_5_join_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_2_global_mc.dir/sec7_2_global_mc.cpp.o"
+  "CMakeFiles/sec7_2_global_mc.dir/sec7_2_global_mc.cpp.o.d"
+  "sec7_2_global_mc"
+  "sec7_2_global_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_2_global_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_3_uniformity.dir/sec7_3_uniformity.cpp.o"
+  "CMakeFiles/sec7_3_uniformity.dir/sec7_3_uniformity.cpp.o.d"
+  "sec7_3_uniformity"
+  "sec7_3_uniformity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_3_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

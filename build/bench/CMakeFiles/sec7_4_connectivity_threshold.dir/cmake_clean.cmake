@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_4_connectivity_threshold.dir/sec7_4_connectivity_threshold.cpp.o"
+  "CMakeFiles/sec7_4_connectivity_threshold.dir/sec7_4_connectivity_threshold.cpp.o.d"
+  "sec7_4_connectivity_threshold"
+  "sec7_4_connectivity_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_4_connectivity_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_4_spatial_independence.dir/sec7_4_spatial_independence.cpp.o"
+  "CMakeFiles/sec7_4_spatial_independence.dir/sec7_4_spatial_independence.cpp.o.d"
+  "sec7_4_spatial_independence"
+  "sec7_4_spatial_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_4_spatial_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for sec7_4_spatial_independence.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec7_5_temporal_independence.dir/sec7_5_temporal_independence.cpp.o"
+  "CMakeFiles/sec7_5_temporal_independence.dir/sec7_5_temporal_independence.cpp.o.d"
+  "sec7_5_temporal_independence"
+  "sec7_5_temporal_independence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec7_5_temporal_independence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

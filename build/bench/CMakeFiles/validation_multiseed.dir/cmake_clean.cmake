@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_multiseed.dir/validation_multiseed.cpp.o"
+  "CMakeFiles/validation_multiseed.dir/validation_multiseed.cpp.o.d"
+  "validation_multiseed"
+  "validation_multiseed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_multiseed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

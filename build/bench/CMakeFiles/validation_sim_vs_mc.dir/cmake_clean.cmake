@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/validation_sim_vs_mc.dir/validation_sim_vs_mc.cpp.o"
+  "CMakeFiles/validation_sim_vs_mc.dir/validation_sim_vs_mc.cpp.o.d"
+  "validation_sim_vs_mc"
+  "validation_sim_vs_mc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/validation_sim_vs_mc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

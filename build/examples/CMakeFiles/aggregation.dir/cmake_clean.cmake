@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aggregation.dir/aggregation.cpp.o"
+  "CMakeFiles/aggregation.dir/aggregation.cpp.o.d"
+  "aggregation"
+  "aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/broadcast_overlay.dir/broadcast_overlay.cpp.o"
+  "CMakeFiles/broadcast_overlay.dir/broadcast_overlay.cpp.o.d"
+  "broadcast_overlay"
+  "broadcast_overlay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/broadcast_overlay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

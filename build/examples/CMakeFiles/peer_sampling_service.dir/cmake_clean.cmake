@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/peer_sampling_service.dir/peer_sampling_service.cpp.o"
+  "CMakeFiles/peer_sampling_service.dir/peer_sampling_service.cpp.o.d"
+  "peer_sampling_service"
+  "peer_sampling_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/peer_sampling_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart" "200" "60" "0.01")
+set_tests_properties(example_quickstart PROPERTIES  PASS_REGULAR_EXPRESSION "weakly connected: yes" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;15;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_churn_demo "/root/repo/build/examples/churn_demo" "150")
+set_tests_properties(example_churn_demo PROPERTIES  PASS_REGULAR_EXPRESSION "joins, [0-9]+ leaves processed" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_broadcast "/root/repo/build/examples/broadcast_overlay" "400" "3" "0.05")
+set_tests_properties(example_broadcast PROPERTIES  PASS_REGULAR_EXPRESSION "full coverage in [0-9]+ rounds" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_aggregation "/root/repo/build/examples/aggregation" "300" "0.01")
+set_tests_properties(example_aggregation PROPERTIES  PASS_REGULAR_EXPRESSION "converges geometrically" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_peer_sampling "/root/repo/build/examples/peer_sampling_service" "200" "0.01")
+set_tests_properties(example_peer_sampling PROPERTIES  PASS_REGULAR_EXPRESSION "distinct" _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

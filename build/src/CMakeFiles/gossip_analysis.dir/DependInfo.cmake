@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/decay.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/decay.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/decay.cpp.o.d"
+  "/root/repo/src/analysis/degree_analytical.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/degree_analytical.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/degree_analytical.cpp.o.d"
+  "/root/repo/src/analysis/degree_mc.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/degree_mc.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/degree_mc.cpp.o.d"
+  "/root/repo/src/analysis/global_mc.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/global_mc.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/global_mc.cpp.o.d"
+  "/root/repo/src/analysis/independence.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/independence.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/independence.cpp.o.d"
+  "/root/repo/src/analysis/mixing.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/mixing.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/mixing.cpp.o.d"
+  "/root/repo/src/analysis/temporal.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/temporal.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/temporal.cpp.o.d"
+  "/root/repo/src/analysis/thresholds.cpp" "src/CMakeFiles/gossip_analysis.dir/analysis/thresholds.cpp.o" "gcc" "src/CMakeFiles/gossip_analysis.dir/analysis/thresholds.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_markov.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_analysis.dir/analysis/decay.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/decay.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/degree_analytical.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/degree_analytical.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/degree_mc.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/degree_mc.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/global_mc.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/global_mc.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/independence.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/independence.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/mixing.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/mixing.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/temporal.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/temporal.cpp.o.d"
+  "CMakeFiles/gossip_analysis.dir/analysis/thresholds.cpp.o"
+  "CMakeFiles/gossip_analysis.dir/analysis/thresholds.cpp.o.d"
+  "libgossip_analysis.a"
+  "libgossip_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/binomial.cpp" "src/CMakeFiles/gossip_common.dir/common/binomial.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/binomial.cpp.o.d"
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/gossip_common.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/csv.cpp" "src/CMakeFiles/gossip_common.dir/common/csv.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/csv.cpp.o.d"
+  "/root/repo/src/common/discrete_distribution.cpp" "src/CMakeFiles/gossip_common.dir/common/discrete_distribution.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/discrete_distribution.cpp.o.d"
+  "/root/repo/src/common/histogram.cpp" "src/CMakeFiles/gossip_common.dir/common/histogram.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/histogram.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/gossip_common.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/gossip_common.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/gossip_common.dir/common/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_common.dir/common/binomial.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/binomial.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/cli.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/cli.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/csv.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/csv.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/discrete_distribution.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/discrete_distribution.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/histogram.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/histogram.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/rng.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/gossip_common.dir/common/stats.cpp.o"
+  "CMakeFiles/gossip_common.dir/common/stats.cpp.o.d"
+  "libgossip_common.a"
+  "libgossip_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

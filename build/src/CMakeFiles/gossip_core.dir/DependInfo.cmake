@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines/newscast.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/newscast.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/newscast.cpp.o.d"
+  "/root/repo/src/core/baselines/push_pull.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/push_pull.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/push_pull.cpp.o.d"
+  "/root/repo/src/core/baselines/shuffle.cpp" "src/CMakeFiles/gossip_core.dir/core/baselines/shuffle.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/baselines/shuffle.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/gossip_core.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/peer_sampler.cpp" "src/CMakeFiles/gossip_core.dir/core/peer_sampler.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/peer_sampler.cpp.o.d"
+  "/root/repo/src/core/send_forget.cpp" "src/CMakeFiles/gossip_core.dir/core/send_forget.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/send_forget.cpp.o.d"
+  "/root/repo/src/core/variants/send_forget_ext.cpp" "src/CMakeFiles/gossip_core.dir/core/variants/send_forget_ext.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/variants/send_forget_ext.cpp.o.d"
+  "/root/repo/src/core/view.cpp" "src/CMakeFiles/gossip_core.dir/core/view.cpp.o" "gcc" "src/CMakeFiles/gossip_core.dir/core/view.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

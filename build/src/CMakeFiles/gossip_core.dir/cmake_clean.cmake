@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_core.dir/core/baselines/newscast.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/newscast.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/baselines/push_pull.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/push_pull.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/baselines/shuffle.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/baselines/shuffle.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/metrics.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/metrics.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/peer_sampler.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/peer_sampler.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/send_forget.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/send_forget.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/variants/send_forget_ext.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/variants/send_forget_ext.cpp.o.d"
+  "CMakeFiles/gossip_core.dir/core/view.cpp.o"
+  "CMakeFiles/gossip_core.dir/core/view.cpp.o.d"
+  "libgossip_core.a"
+  "libgossip_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

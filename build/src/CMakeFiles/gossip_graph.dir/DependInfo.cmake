@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/graph/connectivity.cpp" "src/CMakeFiles/gossip_graph.dir/graph/connectivity.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/connectivity.cpp.o.d"
+  "/root/repo/src/graph/digraph.cpp" "src/CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o.d"
+  "/root/repo/src/graph/graph_gen.cpp" "src/CMakeFiles/gossip_graph.dir/graph/graph_gen.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/graph_gen.cpp.o.d"
+  "/root/repo/src/graph/graph_io.cpp" "src/CMakeFiles/gossip_graph.dir/graph/graph_io.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/graph_io.cpp.o.d"
+  "/root/repo/src/graph/graph_stats.cpp" "src/CMakeFiles/gossip_graph.dir/graph/graph_stats.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/graph_stats.cpp.o.d"
+  "/root/repo/src/graph/reachability.cpp" "src/CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o.d"
+  "/root/repo/src/graph/spectral.cpp" "src/CMakeFiles/gossip_graph.dir/graph/spectral.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/spectral.cpp.o.d"
+  "/root/repo/src/graph/transformations.cpp" "src/CMakeFiles/gossip_graph.dir/graph/transformations.cpp.o" "gcc" "src/CMakeFiles/gossip_graph.dir/graph/transformations.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_graph.dir/graph/connectivity.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/connectivity.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/digraph.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/graph_gen.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/graph_gen.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/graph_io.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/graph_io.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/graph_stats.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/graph_stats.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/reachability.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/spectral.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/spectral.cpp.o.d"
+  "CMakeFiles/gossip_graph.dir/graph/transformations.cpp.o"
+  "CMakeFiles/gossip_graph.dir/graph/transformations.cpp.o.d"
+  "libgossip_graph.a"
+  "libgossip_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/markov/dtmc.cpp" "src/CMakeFiles/gossip_markov.dir/markov/dtmc.cpp.o" "gcc" "src/CMakeFiles/gossip_markov.dir/markov/dtmc.cpp.o.d"
+  "/root/repo/src/markov/matrix.cpp" "src/CMakeFiles/gossip_markov.dir/markov/matrix.cpp.o" "gcc" "src/CMakeFiles/gossip_markov.dir/markov/matrix.cpp.o.d"
+  "/root/repo/src/markov/sparse_chain.cpp" "src/CMakeFiles/gossip_markov.dir/markov/sparse_chain.cpp.o" "gcc" "src/CMakeFiles/gossip_markov.dir/markov/sparse_chain.cpp.o.d"
+  "/root/repo/src/markov/stationary.cpp" "src/CMakeFiles/gossip_markov.dir/markov/stationary.cpp.o" "gcc" "src/CMakeFiles/gossip_markov.dir/markov/stationary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

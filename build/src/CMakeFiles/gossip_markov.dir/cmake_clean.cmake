@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_markov.dir/markov/dtmc.cpp.o"
+  "CMakeFiles/gossip_markov.dir/markov/dtmc.cpp.o.d"
+  "CMakeFiles/gossip_markov.dir/markov/matrix.cpp.o"
+  "CMakeFiles/gossip_markov.dir/markov/matrix.cpp.o.d"
+  "CMakeFiles/gossip_markov.dir/markov/sparse_chain.cpp.o"
+  "CMakeFiles/gossip_markov.dir/markov/sparse_chain.cpp.o.d"
+  "CMakeFiles/gossip_markov.dir/markov/stationary.cpp.o"
+  "CMakeFiles/gossip_markov.dir/markov/stationary.cpp.o.d"
+  "libgossip_markov.a"
+  "libgossip_markov.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_markov.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

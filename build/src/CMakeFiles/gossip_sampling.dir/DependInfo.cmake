@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sampling/health.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/health.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/health.cpp.o.d"
+  "/root/repo/src/sampling/random_walk.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/random_walk.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/random_walk.cpp.o.d"
+  "/root/repo/src/sampling/size_estimator.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/size_estimator.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/size_estimator.cpp.o.d"
+  "/root/repo/src/sampling/spatial.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/spatial.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/spatial.cpp.o.d"
+  "/root/repo/src/sampling/temporal_overlap.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/temporal_overlap.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/temporal_overlap.cpp.o.d"
+  "/root/repo/src/sampling/uniformity.cpp" "src/CMakeFiles/gossip_sampling.dir/sampling/uniformity.cpp.o" "gcc" "src/CMakeFiles/gossip_sampling.dir/sampling/uniformity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_sampling.dir/sampling/health.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/health.cpp.o.d"
+  "CMakeFiles/gossip_sampling.dir/sampling/random_walk.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/random_walk.cpp.o.d"
+  "CMakeFiles/gossip_sampling.dir/sampling/size_estimator.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/size_estimator.cpp.o.d"
+  "CMakeFiles/gossip_sampling.dir/sampling/spatial.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/spatial.cpp.o.d"
+  "CMakeFiles/gossip_sampling.dir/sampling/temporal_overlap.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/temporal_overlap.cpp.o.d"
+  "CMakeFiles/gossip_sampling.dir/sampling/uniformity.cpp.o"
+  "CMakeFiles/gossip_sampling.dir/sampling/uniformity.cpp.o.d"
+  "libgossip_sampling.a"
+  "libgossip_sampling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_sampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/churn.cpp" "src/CMakeFiles/gossip_sim.dir/sim/churn.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/churn.cpp.o.d"
+  "/root/repo/src/sim/cluster.cpp" "src/CMakeFiles/gossip_sim.dir/sim/cluster.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/cluster.cpp.o.d"
+  "/root/repo/src/sim/event_driver.cpp" "src/CMakeFiles/gossip_sim.dir/sim/event_driver.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/event_driver.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o.d"
+  "/root/repo/src/sim/loss.cpp" "src/CMakeFiles/gossip_sim.dir/sim/loss.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/loss.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/CMakeFiles/gossip_sim.dir/sim/network.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/network.cpp.o.d"
+  "/root/repo/src/sim/round_driver.cpp" "src/CMakeFiles/gossip_sim.dir/sim/round_driver.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/round_driver.cpp.o.d"
+  "/root/repo/src/sim/session_churn.cpp" "src/CMakeFiles/gossip_sim.dir/sim/session_churn.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/session_churn.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/CMakeFiles/gossip_sim.dir/sim/trace.cpp.o" "gcc" "src/CMakeFiles/gossip_sim.dir/sim/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gossip_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gossip_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gossip_sim.dir/sim/churn.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/churn.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/cluster.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/cluster.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/event_driver.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/event_driver.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/event_queue.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/loss.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/loss.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/network.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/network.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/round_driver.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/round_driver.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/session_churn.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/session_churn.cpp.o.d"
+  "CMakeFiles/gossip_sim.dir/sim/trace.cpp.o"
+  "CMakeFiles/gossip_sim.dir/sim/trace.cpp.o.d"
+  "libgossip_sim.a"
+  "libgossip_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gossip_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,72 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/build/tests/hygiene_analysis_decay.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_decay.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_decay.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_degree_analytical.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_degree_analytical.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_degree_analytical.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_degree_mc.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_degree_mc.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_degree_mc.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_global_mc.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_global_mc.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_global_mc.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_independence.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_independence.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_independence.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_mixing.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_mixing.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_mixing.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_temporal.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_temporal.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_temporal.cpp.o.d"
+  "/root/repo/build/tests/hygiene_analysis_thresholds.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_thresholds.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_analysis_thresholds.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_binomial.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_binomial.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_binomial.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_cli.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_cli.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_cli.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_csv.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_csv.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_csv.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_discrete_distribution.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_discrete_distribution.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_discrete_distribution.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_histogram.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_histogram.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_histogram.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_node_id.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_node_id.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_node_id.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_rng.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_rng.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_rng.cpp.o.d"
+  "/root/repo/build/tests/hygiene_common_stats.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_stats.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_common_stats.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_baselines_newscast.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_newscast.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_newscast.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_baselines_push_pull.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_push_pull.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_push_pull.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_baselines_shuffle.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_shuffle.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_baselines_shuffle.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_messages.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_messages.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_messages.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_metrics.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_metrics.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_metrics.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_peer_sampler.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_peer_sampler.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_peer_sampler.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_protocol.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_protocol.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_protocol.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_send_forget.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_send_forget.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_send_forget.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_variants_send_forget_ext.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_variants_send_forget_ext.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_variants_send_forget_ext.cpp.o.d"
+  "/root/repo/build/tests/hygiene_core_view.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_view.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_core_view.cpp.o.d"
+  "/root/repo/build/tests/hygiene_gossip.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_gossip.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_gossip.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_connectivity.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_connectivity.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_connectivity.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_digraph.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_digraph.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_digraph.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_graph_gen.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_gen.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_gen.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_graph_io.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_io.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_io.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_graph_stats.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_stats.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_graph_stats.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_reachability.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_reachability.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_reachability.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_spectral.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_spectral.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_spectral.cpp.o.d"
+  "/root/repo/build/tests/hygiene_graph_transformations.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_transformations.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_graph_transformations.cpp.o.d"
+  "/root/repo/build/tests/hygiene_markov_dtmc.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_dtmc.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_dtmc.cpp.o.d"
+  "/root/repo/build/tests/hygiene_markov_matrix.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_matrix.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_matrix.cpp.o.d"
+  "/root/repo/build/tests/hygiene_markov_sparse_chain.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_sparse_chain.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_sparse_chain.cpp.o.d"
+  "/root/repo/build/tests/hygiene_markov_stationary.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_stationary.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_markov_stationary.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_health.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_health.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_health.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_random_walk.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_random_walk.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_random_walk.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_size_estimator.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_size_estimator.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_size_estimator.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_spatial.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_spatial.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_spatial.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_temporal_overlap.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_temporal_overlap.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_temporal_overlap.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sampling_uniformity.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_uniformity.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sampling_uniformity.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_churn.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_churn.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_churn.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_cluster.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_cluster.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_cluster.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_event_driver.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_event_driver.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_event_driver.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_event_queue.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_event_queue.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_event_queue.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_loss.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_loss.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_loss.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_network.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_network.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_network.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_round_driver.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_round_driver.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_round_driver.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_session_churn.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_session_churn.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_session_churn.cpp.o.d"
+  "/root/repo/build/tests/hygiene_sim_trace.cpp" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_trace.cpp.o" "gcc" "tests/CMakeFiles/header_hygiene.dir/hygiene_sim_trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_decay.dir/test_decay.cpp.o"
+  "CMakeFiles/test_decay.dir/test_decay.cpp.o.d"
+  "test_decay"
+  "test_decay.pdb"
+  "test_decay[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_decay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

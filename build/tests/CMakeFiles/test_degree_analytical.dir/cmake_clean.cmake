@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_degree_analytical.dir/test_degree_analytical.cpp.o"
+  "CMakeFiles/test_degree_analytical.dir/test_degree_analytical.cpp.o.d"
+  "test_degree_analytical"
+  "test_degree_analytical.pdb"
+  "test_degree_analytical[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_degree_analytical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_discrete_distribution.dir/test_discrete_distribution.cpp.o"
+  "CMakeFiles/test_discrete_distribution.dir/test_discrete_distribution.cpp.o.d"
+  "test_discrete_distribution"
+  "test_discrete_distribution.pdb"
+  "test_discrete_distribution[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_discrete_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

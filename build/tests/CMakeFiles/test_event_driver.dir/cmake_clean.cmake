@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_event_driver.dir/test_event_driver.cpp.o"
+  "CMakeFiles/test_event_driver.dir/test_event_driver.cpp.o.d"
+  "test_event_driver"
+  "test_event_driver.pdb"
+  "test_event_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_event_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

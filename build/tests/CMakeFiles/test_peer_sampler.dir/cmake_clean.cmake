@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_peer_sampler.dir/test_peer_sampler.cpp.o"
+  "CMakeFiles/test_peer_sampler.dir/test_peer_sampler.cpp.o.d"
+  "test_peer_sampler"
+  "test_peer_sampler.pdb"
+  "test_peer_sampler[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_peer_sampler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

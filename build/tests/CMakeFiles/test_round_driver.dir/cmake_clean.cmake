@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_round_driver.dir/test_round_driver.cpp.o"
+  "CMakeFiles/test_round_driver.dir/test_round_driver.cpp.o.d"
+  "test_round_driver"
+  "test_round_driver.pdb"
+  "test_round_driver[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_round_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

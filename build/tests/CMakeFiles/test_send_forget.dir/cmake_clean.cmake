@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_send_forget.dir/test_send_forget.cpp.o"
+  "CMakeFiles/test_send_forget.dir/test_send_forget.cpp.o.d"
+  "test_send_forget"
+  "test_send_forget.pdb"
+  "test_send_forget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_send_forget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_send_forget_ext.dir/test_send_forget_ext.cpp.o"
+  "CMakeFiles/test_send_forget_ext.dir/test_send_forget_ext.cpp.o.d"
+  "test_send_forget_ext"
+  "test_send_forget_ext.pdb"
+  "test_send_forget_ext[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_send_forget_ext.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_size_estimator.dir/test_size_estimator.cpp.o"
+  "CMakeFiles/test_size_estimator.dir/test_size_estimator.cpp.o.d"
+  "test_size_estimator"
+  "test_size_estimator.pdb"
+  "test_size_estimator[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_size_estimator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sparse_chain.dir/test_sparse_chain.cpp.o"
+  "CMakeFiles/test_sparse_chain.dir/test_sparse_chain.cpp.o.d"
+  "test_sparse_chain"
+  "test_sparse_chain.pdb"
+  "test_sparse_chain[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sparse_chain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_temporal_overlap.dir/test_temporal_overlap.cpp.o"
+  "CMakeFiles/test_temporal_overlap.dir/test_temporal_overlap.cpp.o.d"
+  "test_temporal_overlap"
+  "test_temporal_overlap.pdb"
+  "test_temporal_overlap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_temporal_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

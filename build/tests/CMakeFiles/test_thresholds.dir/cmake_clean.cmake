@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_thresholds.dir/test_thresholds.cpp.o"
+  "CMakeFiles/test_thresholds.dir/test_thresholds.cpp.o.d"
+  "test_thresholds"
+  "test_thresholds.pdb"
+  "test_thresholds[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transformations.dir/test_transformations.cpp.o"
+  "CMakeFiles/test_transformations.dir/test_transformations.cpp.o.d"
+  "test_transformations"
+  "test_transformations.pdb"
+  "test_transformations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transformations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

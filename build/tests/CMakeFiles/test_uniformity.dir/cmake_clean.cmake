@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uniformity.dir/test_uniformity.cpp.o"
+  "CMakeFiles/test_uniformity.dir/test_uniformity.cpp.o.d"
+  "test_uniformity"
+  "test_uniformity.pdb"
+  "test_uniformity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uniformity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

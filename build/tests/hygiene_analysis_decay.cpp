@@ -1,0 +1,2 @@
+#include "analysis/decay.hpp"
+#include "analysis/decay.hpp"

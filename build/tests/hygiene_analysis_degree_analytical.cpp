@@ -1,0 +1,2 @@
+#include "analysis/degree_analytical.hpp"
+#include "analysis/degree_analytical.hpp"

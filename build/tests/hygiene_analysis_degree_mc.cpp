@@ -1,0 +1,2 @@
+#include "analysis/degree_mc.hpp"
+#include "analysis/degree_mc.hpp"

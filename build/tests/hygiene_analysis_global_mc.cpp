@@ -1,0 +1,2 @@
+#include "analysis/global_mc.hpp"
+#include "analysis/global_mc.hpp"

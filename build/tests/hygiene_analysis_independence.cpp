@@ -1,0 +1,2 @@
+#include "analysis/independence.hpp"
+#include "analysis/independence.hpp"

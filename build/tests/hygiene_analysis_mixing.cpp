@@ -1,0 +1,2 @@
+#include "analysis/mixing.hpp"
+#include "analysis/mixing.hpp"

@@ -1,0 +1,2 @@
+#include "analysis/temporal.hpp"
+#include "analysis/temporal.hpp"

@@ -1,0 +1,2 @@
+#include "analysis/thresholds.hpp"
+#include "analysis/thresholds.hpp"

@@ -1,0 +1,2 @@
+#include "common/binomial.hpp"
+#include "common/binomial.hpp"

@@ -1,0 +1,2 @@
+#include "common/cli.hpp"
+#include "common/cli.hpp"

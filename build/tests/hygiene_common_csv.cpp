@@ -1,0 +1,2 @@
+#include "common/csv.hpp"
+#include "common/csv.hpp"

@@ -1,0 +1,2 @@
+#include "common/discrete_distribution.hpp"
+#include "common/discrete_distribution.hpp"

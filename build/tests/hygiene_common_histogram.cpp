@@ -1,0 +1,2 @@
+#include "common/histogram.hpp"
+#include "common/histogram.hpp"

@@ -1,0 +1,2 @@
+#include "common/node_id.hpp"
+#include "common/node_id.hpp"

@@ -1,0 +1,2 @@
+#include "common/rng.hpp"
+#include "common/rng.hpp"

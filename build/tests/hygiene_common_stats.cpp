@@ -1,0 +1,2 @@
+#include "common/stats.hpp"
+#include "common/stats.hpp"

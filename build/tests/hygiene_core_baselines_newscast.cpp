@@ -1,0 +1,2 @@
+#include "core/baselines/newscast.hpp"
+#include "core/baselines/newscast.hpp"

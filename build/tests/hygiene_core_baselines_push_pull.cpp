@@ -1,0 +1,2 @@
+#include "core/baselines/push_pull.hpp"
+#include "core/baselines/push_pull.hpp"

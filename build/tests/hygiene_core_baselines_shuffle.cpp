@@ -1,0 +1,2 @@
+#include "core/baselines/shuffle.hpp"
+#include "core/baselines/shuffle.hpp"

@@ -1,0 +1,2 @@
+#include "core/messages.hpp"
+#include "core/messages.hpp"

@@ -1,0 +1,2 @@
+#include "core/metrics.hpp"
+#include "core/metrics.hpp"

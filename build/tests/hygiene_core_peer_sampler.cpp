@@ -1,0 +1,2 @@
+#include "core/peer_sampler.hpp"
+#include "core/peer_sampler.hpp"

@@ -1,0 +1,2 @@
+#include "core/protocol.hpp"
+#include "core/protocol.hpp"

@@ -1,0 +1,2 @@
+#include "core/send_forget.hpp"
+#include "core/send_forget.hpp"

@@ -1,0 +1,2 @@
+#include "core/variants/send_forget_ext.hpp"
+#include "core/variants/send_forget_ext.hpp"

@@ -1,0 +1,2 @@
+#include "core/view.hpp"
+#include "core/view.hpp"

@@ -1,0 +1,2 @@
+#include "gossip.hpp"
+#include "gossip.hpp"

@@ -1,0 +1,2 @@
+#include "graph/connectivity.hpp"
+#include "graph/connectivity.hpp"

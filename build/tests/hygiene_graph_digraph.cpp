@@ -1,0 +1,2 @@
+#include "graph/digraph.hpp"
+#include "graph/digraph.hpp"

@@ -1,0 +1,2 @@
+#include "graph/graph_gen.hpp"
+#include "graph/graph_gen.hpp"

@@ -1,0 +1,2 @@
+#include "graph/graph_io.hpp"
+#include "graph/graph_io.hpp"

@@ -1,0 +1,2 @@
+#include "graph/graph_stats.hpp"
+#include "graph/graph_stats.hpp"

@@ -1,0 +1,2 @@
+#include "graph/reachability.hpp"
+#include "graph/reachability.hpp"

@@ -1,0 +1,2 @@
+#include "graph/spectral.hpp"
+#include "graph/spectral.hpp"

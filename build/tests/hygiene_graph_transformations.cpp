@@ -1,0 +1,2 @@
+#include "graph/transformations.hpp"
+#include "graph/transformations.hpp"

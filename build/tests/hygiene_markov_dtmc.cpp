@@ -1,0 +1,2 @@
+#include "markov/dtmc.hpp"
+#include "markov/dtmc.hpp"

@@ -1,0 +1,2 @@
+#include "markov/matrix.hpp"
+#include "markov/matrix.hpp"

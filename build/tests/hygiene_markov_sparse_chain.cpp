@@ -1,0 +1,2 @@
+#include "markov/sparse_chain.hpp"
+#include "markov/sparse_chain.hpp"

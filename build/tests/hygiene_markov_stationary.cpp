@@ -1,0 +1,2 @@
+#include "markov/stationary.hpp"
+#include "markov/stationary.hpp"

@@ -1,0 +1,2 @@
+#include "sampling/health.hpp"
+#include "sampling/health.hpp"

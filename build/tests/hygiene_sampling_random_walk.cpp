@@ -1,0 +1,2 @@
+#include "sampling/random_walk.hpp"
+#include "sampling/random_walk.hpp"

@@ -1,0 +1,2 @@
+#include "sampling/size_estimator.hpp"
+#include "sampling/size_estimator.hpp"

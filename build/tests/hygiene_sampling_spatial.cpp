@@ -1,0 +1,2 @@
+#include "sampling/spatial.hpp"
+#include "sampling/spatial.hpp"

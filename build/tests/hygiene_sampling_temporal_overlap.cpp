@@ -1,0 +1,2 @@
+#include "sampling/temporal_overlap.hpp"
+#include "sampling/temporal_overlap.hpp"

@@ -1,0 +1,2 @@
+#include "sampling/uniformity.hpp"
+#include "sampling/uniformity.hpp"

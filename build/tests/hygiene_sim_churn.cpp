@@ -1,0 +1,2 @@
+#include "sim/churn.hpp"
+#include "sim/churn.hpp"

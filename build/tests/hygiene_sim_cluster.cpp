@@ -1,0 +1,2 @@
+#include "sim/cluster.hpp"
+#include "sim/cluster.hpp"

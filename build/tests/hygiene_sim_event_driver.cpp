@@ -1,0 +1,2 @@
+#include "sim/event_driver.hpp"
+#include "sim/event_driver.hpp"

@@ -1,0 +1,2 @@
+#include "sim/loss.hpp"
+#include "sim/loss.hpp"

@@ -1,0 +1,2 @@
+#include "sim/network.hpp"
+#include "sim/network.hpp"

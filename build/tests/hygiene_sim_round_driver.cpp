@@ -1,0 +1,2 @@
+#include "sim/round_driver.hpp"
+#include "sim/round_driver.hpp"

@@ -1,0 +1,2 @@
+#include "sim/session_churn.hpp"
+#include "sim/session_churn.hpp"

@@ -1,0 +1,2 @@
+#include "sim/trace.hpp"
+#include "sim/trace.hpp"

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sfgossip.dir/sfgossip.cpp.o"
+  "CMakeFiles/sfgossip.dir/sfgossip.cpp.o.d"
+  "sfgossip"
+  "sfgossip.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sfgossip.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
