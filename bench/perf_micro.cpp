@@ -8,10 +8,12 @@
 
 #include "analysis/degree_analytical.hpp"
 #include "common/rng.hpp"
+#include "core/flat_send_forget.hpp"
 #include "core/send_forget.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graph_gen.hpp"
 #include "sim/round_driver.hpp"
+#include "sim/sharded_driver.hpp"
 
 namespace {
 
@@ -61,6 +63,36 @@ void BM_SfProtocolAction(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SfProtocolAction)->Arg(1000)->Arg(10000);
+
+// One round of the flat-storage sharded driver (sharded hot path: no
+// per-action allocation, no virtual dispatch, O(1) slot selection).
+// range(0) = n, range(1) = shard/thread count.
+void BM_FlatShardedRound(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  FlatSendForgetCluster cluster(n, default_send_forget_config());
+  {
+    const Digraph g = permutation_regular(n, 10, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = threads, .loss_rate = 0.01, .seed = 4});
+  driver.run_rounds(50);  // reach steady state before timing
+  for (auto _ : state) {
+    driver.run_rounds(1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlatShardedRound)
+    ->Args({10000, 1})
+    ->Args({10000, 4})
+    ->Args({100000, 1})
+    ->Args({100000, 4});
 
 void BM_SnapshotGraph(benchmark::State& state) {
   Rng rng(5);

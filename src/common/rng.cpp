@@ -131,6 +131,17 @@ std::vector<std::size_t> Rng::permutation(std::size_t count) {
   return perm;
 }
 
+Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_index) {
+  // Hash root and index through independent splitmix64 chains before
+  // combining, so nearby (root, index) pairs land on decorrelated seeds and
+  // stream(r, i) never collides with the plain Rng(r) seeding path.
+  std::uint64_t root_state = root_seed;
+  std::uint64_t index_state = ~stream_index;
+  const std::uint64_t seed =
+      splitmix64_next(root_state) ^ rotl(splitmix64_next(index_state), 17);
+  return Rng(seed);
+}
+
 Rng Rng::split() {
   // Derive a child seed from two outputs; the child reseeds through
   // splitmix64, decorrelating it from this stream.

@@ -66,6 +66,14 @@ class Rng {
   // node / subsystem its own stream.
   Rng split();
 
+  // Deterministic independent stream derivation: the generator for
+  // (root_seed, stream_index) depends only on those two values, not on any
+  // generator state. Used to give each shard of a parallel simulation its
+  // own decorrelated stream so results are reproducible regardless of
+  // thread scheduling.
+  [[nodiscard]] static Rng stream(std::uint64_t root_seed,
+                                  std::uint64_t stream_index);
+
  private:
   std::array<std::uint64_t, 4> state_;
 };

@@ -1,0 +1,205 @@
+#include "core/flat_send_forget.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace gossip {
+
+FlatSendForgetCluster::FlatSendForgetCluster(std::size_t node_count,
+                                            SendForgetConfig config)
+    : config_(config),
+      n_(node_count),
+      view_size_(config.view_size),
+      slots_(node_count * config.view_size),
+      degree_(node_count, 0),
+      live_(node_count, 1),
+      live_count_(node_count) {
+  config_.validate();
+  if (node_count == 0) {
+    throw std::invalid_argument("flat cluster requires at least one node");
+  }
+}
+
+FlatInitiateResult FlatSendForgetCluster::initiate(NodeId u, Rng& rng,
+                                                   FlatPush& out) {
+  assert(u < n_ && live_[u]);
+  ViewEntry* v = view(u);
+  const auto [i, j] = rng.distinct_pair(view_size_);
+  const ViewEntry target = v[i];
+  const ViewEntry carried = v[j];
+  if (target.empty() || carried.empty()) {
+    // "If either of them is empty, nothing happens" — a self-loop
+    // transformation in the MC model.
+    return FlatInitiateResult::kSelfLoop;
+  }
+
+  const bool duplicate = degree_[u] <= config_.min_degree;
+  if (!duplicate) {
+    v[i] = ViewEntry{};
+    v[j] = ViewEntry{};
+    degree_[u] -= 2;
+  }
+
+  out.to = target.id;
+  out.sender = ViewEntry{u, duplicate};
+  out.carried = ViewEntry{carried.id, duplicate};
+  return duplicate ? FlatInitiateResult::kSentDuplicated
+                   : FlatInitiateResult::kSent;
+}
+
+std::size_t FlatSendForgetCluster::receive(NodeId u, const FlatPush& message,
+                                           Rng& rng) {
+  assert(u < n_ && live_[u]);
+  assert(!message.sender.empty() && !message.carried.empty());
+  if (degree_[u] == view_size_) {
+    // d(u) = s: the received ids are deleted.
+    return 0;
+  }
+  // Outdegree is even (Obs 5.1) and capacity is even, so a non-full view
+  // has at least two empty slots.
+  assert(view_size_ - degree_[u] >= 2);
+  store(u, message.sender, rng);
+  store(u, message.carried, rng);
+  return 2;
+}
+
+void FlatSendForgetCluster::store(NodeId u, ViewEntry entry, Rng& rng) {
+  // A received copy of our own id forms a self-edge; the paper labels all
+  // self-edges dependent (§2).
+  if (entry.id == u) entry.dependent = true;
+  const std::size_t slot = random_empty_slot(u, rng);
+  view(u)[slot] = entry;
+  ++degree_[u];
+}
+
+std::size_t FlatSendForgetCluster::random_empty_slot(NodeId u,
+                                                     Rng& rng) const {
+  const ViewEntry* v = view(u);
+  const std::size_t empties = view_size_ - degree_[u];
+  assert(empties > 0);
+  // Each accepted probe is uniform over empty slots, and so is the
+  // fallback; a mixture of uniforms over the same set stays uniform.
+  for (int probes = 0; probes < 64; ++probes) {
+    const std::size_t i = rng.uniform(view_size_);
+    if (v[i].empty()) return i;
+  }
+  std::size_t k = rng.uniform(empties);
+  for (std::size_t i = 0;; ++i) {
+    assert(i < view_size_);
+    if (v[i].empty() && k-- == 0) return i;
+  }
+}
+
+void FlatSendForgetCluster::kill(NodeId u) {
+  assert(u < n_);
+  if (!live_[u]) return;
+  live_[u] = 0;
+  --live_count_;
+}
+
+void FlatSendForgetCluster::revive(NodeId u, Rng& rng) {
+  assert(u < n_);
+  if (live_[u]) throw std::logic_error("node already live");
+  if (live_count_ == 0) {
+    throw std::logic_error("cannot bootstrap a joiner into an empty cluster");
+  }
+
+  // Collect min_degree distinct ids of live nodes: the contact plus live
+  // entries of its view, topping up from further random live nodes' views.
+  // A bounded number of attempts keeps this deterministic-time; if the
+  // cluster is too depleted to offer enough distinct ids we top up with
+  // repeats of live ids (the view is a multiset, so this is legal and keeps
+  // the joiner at outdegree dL as §6.5 requires).
+  const std::size_t want = config_.min_degree;
+  std::vector<NodeId> boot;
+  boot.reserve(want);
+  const auto add_distinct = [&](NodeId id) {
+    if (id == u || !live_[id]) return;
+    if (std::find(boot.begin(), boot.end(), id) != boot.end()) return;
+    boot.push_back(id);
+  };
+  NodeId contact = random_live_node(rng);
+  for (int attempts = 0; boot.size() < want && attempts < 64; ++attempts) {
+    add_distinct(contact);
+    const ViewEntry* cv = view(contact);
+    for (std::size_t i = 0; i < view_size_ && boot.size() < want; ++i) {
+      if (!cv[i].empty()) add_distinct(cv[i].id);
+    }
+    contact = random_live_node(rng);
+  }
+  while (boot.size() < want) {
+    const NodeId id = random_live_node(rng);
+    if (id != u) boot.push_back(id);
+  }
+
+  ViewEntry* v = view(u);
+  for (std::size_t i = 0; i < view_size_; ++i) v[i] = ViewEntry{};
+  for (std::size_t i = 0; i < boot.size(); ++i) {
+    v[i] = ViewEntry{boot[i], /*dependent=*/false};
+  }
+  degree_[u] = static_cast<std::uint32_t>(boot.size());
+  live_[u] = 1;
+  ++live_count_;
+}
+
+void FlatSendForgetCluster::install_view(NodeId u,
+                                         const std::vector<NodeId>& ids) {
+  assert(u < n_);
+  ViewEntry* v = view(u);
+  for (std::size_t i = 0; i < view_size_; ++i) v[i] = ViewEntry{};
+  const std::size_t count = std::min(ids.size(), view_size_);
+  for (std::size_t i = 0; i < count; ++i) {
+    assert(ids[i] != kNilNode);
+    v[i] = ViewEntry{ids[i], /*dependent=*/false};
+  }
+  degree_[u] = static_cast<std::uint32_t>(count);
+}
+
+std::vector<NodeId> FlatSendForgetCluster::view_ids(NodeId u) const {
+  const ViewEntry* v = view(u);
+  std::vector<NodeId> out;
+  out.reserve(degree_[u]);
+  for (std::size_t i = 0; i < view_size_; ++i) {
+    if (!v[i].empty()) out.push_back(v[i].id);
+  }
+  return out;
+}
+
+std::vector<ViewEntry> FlatSendForgetCluster::view_entries(NodeId u) const {
+  const ViewEntry* v = view(u);
+  std::vector<ViewEntry> out;
+  out.reserve(degree_[u]);
+  for (std::size_t i = 0; i < view_size_; ++i) {
+    if (!v[i].empty()) out.push_back(v[i]);
+  }
+  return out;
+}
+
+NodeId FlatSendForgetCluster::random_live_node(Rng& rng) const {
+  assert(live_count_ > 0);
+  // Churn call sites only; rejection sampling suffices off the hot path.
+  for (;;) {
+    const auto id = static_cast<NodeId>(rng.uniform(n_));
+    if (live_[id]) return id;
+  }
+}
+
+std::uint64_t FlatSendForgetCluster::fingerprint() const {
+  std::uint64_t h = 0xCBF29CE484222325ULL;  // FNV-1a offset basis
+  const auto mix = [&h](std::uint64_t value) {
+    h ^= value;
+    h *= 0x100000001B3ULL;
+  };
+  for (const ViewEntry& e : slots_) {
+    mix(e.id);
+    mix(e.dependent ? 2 : 1);
+  }
+  for (NodeId u = 0; u < n_; ++u) {
+    mix(degree_[u]);
+    mix(live_[u]);
+  }
+  return h;
+}
+
+}  // namespace gossip

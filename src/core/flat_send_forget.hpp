@@ -1,0 +1,117 @@
+// Flat-storage Send & Forget cluster — the hot path of large-scale runs.
+//
+// Semantically this is `n` copies of the S&F state machine of Fig 5.1, the
+// same protocol as `SendForget`; representationally it is one object: all
+// views live in a single contiguous std::vector<ViewEntry> (capacity s per
+// node), with flat degree/liveness side arrays. There is no per-node heap
+// allocation, no virtual dispatch, and no std::vector message payload on the
+// action path — a push fits in a 20-byte POD (`FlatPush`). This is what lets
+// the sharded driver sustain n = 10^6 nodes at memory-bandwidth-limited
+// speeds where the pointer-chasing `Cluster` of small objects cannot.
+//
+// Thread-safety contract (relied on by ShardedDriver): distinct nodes' state
+// is disjoint, so initiate(u)/receive(u) for different `u` may run
+// concurrently as long as no two threads touch the same node; liveness reads
+// during a round race with nothing because churn (kill/revive/install_*) is
+// only legal at a synchronization point between rounds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/send_forget.hpp"
+#include "core/view.hpp"
+
+namespace gossip {
+
+// A S&F push message [u, w] in flat form: payload entry `sender` carries the
+// initiator's own id, `carried` the id lifted from the initiator's view;
+// dependence tags as in the dependence MC of Fig 7.1.
+struct FlatPush {
+  NodeId to = kNilNode;
+  ViewEntry sender;
+  ViewEntry carried;
+};
+
+enum class FlatInitiateResult : std::uint8_t {
+  kSelfLoop,        // a selected slot was empty; no message produced
+  kSent,            // message produced, both slots cleared
+  kSentDuplicated,  // message produced, slots kept (d(u) <= dL)
+};
+
+class FlatSendForgetCluster {
+ public:
+  FlatSendForgetCluster(std::size_t node_count, SendForgetConfig config);
+
+  [[nodiscard]] std::size_t size() const { return n_; }
+  [[nodiscard]] const SendForgetConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t live_count() const { return live_count_; }
+  [[nodiscard]] bool live(NodeId u) const { return live_[u] != 0; }
+  [[nodiscard]] std::size_t degree(NodeId u) const { return degree_[u]; }
+
+  // InitiateAction(u), Fig 5.1. On kSelfLoop `out` is untouched; otherwise
+  // `out` holds the message to deliver (or lose — that's the caller's call).
+  FlatInitiateResult initiate(NodeId u, Rng& rng, FlatPush& out);
+
+  // Receive(u, [v1, v2]), Fig 5.1. Returns the number of ids accepted into
+  // the view: 2, or 0 when the view was full (a deletion).
+  std::size_t receive(NodeId u, const FlatPush& message, Rng& rng);
+
+  // --- churn (only between rounds; see thread-safety contract above) ---
+
+  // Marks u dead; its view is left frozen, ids referencing it wash out.
+  void kill(NodeId u);
+
+  // Rejoins a dead node per §5/§6.5: fresh view seeded with min_degree ids
+  // of live nodes bootstrapped from a random live contact's view (topped up
+  // from further random live nodes). Requires at least one live node.
+  void revive(NodeId u, Rng& rng);
+
+  // --- topology loading / inspection (not hot paths) ---
+
+  // Installs up to s out-neighbors into u's first slots, tagged independent.
+  void install_view(NodeId u, const std::vector<NodeId>& ids);
+
+  // Ids of u's nonempty slots, in slot order (multiset semantics).
+  [[nodiscard]] std::vector<NodeId> view_ids(NodeId u) const;
+
+  // Nonempty entries of u's view, in slot order.
+  [[nodiscard]] std::vector<ViewEntry> view_entries(NodeId u) const;
+
+  // Uniformly random live node; requires live_count() > 0.
+  [[nodiscard]] NodeId random_live_node(Rng& rng) const;
+
+  // FNV-1a hash over every slot (id + dependence tag), degree and liveness
+  // array — two runs are bit-identical iff their fingerprints match. Used
+  // to assert the sharded driver's determinism contract.
+  [[nodiscard]] std::uint64_t fingerprint() const;
+
+ private:
+  [[nodiscard]] ViewEntry* view(NodeId u) {
+    return slots_.data() + static_cast<std::size_t>(u) * view_size_;
+  }
+  [[nodiscard]] const ViewEntry* view(NodeId u) const {
+    return slots_.data() + static_cast<std::size_t>(u) * view_size_;
+  }
+
+  // Uniform over u's empty slots: rejection sampling against the contiguous
+  // slot row (expected s/(s-d) probes, all within the row's few cache
+  // lines), with an exact k-th-empty scan fallback so the draw terminates
+  // and stays exactly uniform.
+  [[nodiscard]] std::size_t random_empty_slot(NodeId u, Rng& rng) const;
+
+  void store(NodeId u, ViewEntry entry, Rng& rng);
+
+  SendForgetConfig config_;
+  std::size_t n_;
+  std::size_t view_size_;
+  std::vector<ViewEntry> slots_;        // n * s contiguous
+  std::vector<std::uint32_t> degree_;   // outdegree d(u)
+  std::vector<std::uint8_t> live_;
+  std::size_t live_count_;
+};
+
+}  // namespace gossip

@@ -5,9 +5,28 @@
 
 namespace gossip {
 
-LocalView::LocalView(std::size_t capacity) : slots_(capacity) {
+LocalView::LocalView(std::size_t capacity)
+    : slots_(capacity), order_(capacity), pos_(capacity) {
   assert(capacity > 0);
+  for (std::size_t i = 0; i < capacity; ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+    pos_[i] = static_cast<std::uint32_t>(i);
+  }
 }
+
+#ifndef NDEBUG
+void LocalView::check_index() const {
+  // The old implementation scanned the slots; assert the index agrees with
+  // such a scan: the first degree_ order_ entries are exactly the nonempty
+  // slots and the rest are exactly the empty ones.
+  for (std::size_t p = 0; p < order_.size(); ++p) {
+    const std::size_t slot = order_[p];
+    assert(slot < slots_.size());
+    assert(pos_[slot] == p);
+    assert(slots_[slot].empty() == (p >= degree_));
+  }
+}
+#endif
 
 bool LocalView::slot_empty(std::size_t i) const {
   assert(i < slots_.size());
@@ -22,40 +41,58 @@ const ViewEntry& LocalView::entry(std::size_t i) const {
 void LocalView::set(std::size_t i, ViewEntry entry) {
   assert(i < slots_.size());
   assert(!entry.empty());
-  if (slots_[i].empty()) ++degree_;
+  if (slots_[i].empty()) {
+    // Move slot i from the empty suffix into the nonempty prefix: swap it
+    // with the first empty position, then grow the prefix over it.
+    const std::uint32_t p = pos_[i];
+    const std::uint32_t boundary = static_cast<std::uint32_t>(degree_);
+    const std::uint32_t other = order_[boundary];
+    order_[p] = other;
+    pos_[other] = p;
+    order_[boundary] = static_cast<std::uint32_t>(i);
+    pos_[i] = boundary;
+    ++degree_;
+  }
   slots_[i] = entry;
 }
 
 void LocalView::clear(std::size_t i) {
   assert(i < slots_.size());
-  if (!slots_[i].empty()) --degree_;
+  if (!slots_[i].empty()) {
+    --degree_;
+    // Mirror of set(): swap slot i with the last nonempty position so it
+    // lands in the empty suffix.
+    const std::uint32_t p = pos_[i];
+    const std::uint32_t boundary = static_cast<std::uint32_t>(degree_);
+    const std::uint32_t other = order_[boundary];
+    order_[p] = other;
+    pos_[other] = p;
+    order_[boundary] = static_cast<std::uint32_t>(i);
+    pos_[i] = boundary;
+  }
   slots_[i] = ViewEntry{};
 }
 
 std::size_t LocalView::random_empty_slot(Rng& rng) const {
   assert(empty_slots() > 0);
-  // Views are small (s <= ~100); a reservoir scan is simple and exact.
-  std::size_t chosen = slots_.size();
-  std::size_t seen = 0;
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (!slots_[i].empty()) continue;
-    ++seen;
-    if (rng.uniform(seen) == 0) chosen = i;
-  }
-  assert(chosen < slots_.size());
+#ifndef NDEBUG
+  check_index();
+#endif
+  // One uniform draw over the empty suffix of the occupancy index. Within
+  // each region order_ holds some permutation, so the draw is exactly
+  // uniform over empty slots — same distribution as the old O(s) scan.
+  const std::size_t chosen = order_[degree_ + rng.uniform(empty_slots())];
+  assert(slots_[chosen].empty());
   return chosen;
 }
 
 std::size_t LocalView::random_nonempty_slot(Rng& rng) const {
   assert(degree_ > 0);
-  std::size_t chosen = slots_.size();
-  std::size_t seen = 0;
-  for (std::size_t i = 0; i < slots_.size(); ++i) {
-    if (slots_[i].empty()) continue;
-    ++seen;
-    if (rng.uniform(seen) == 0) chosen = i;
-  }
-  assert(chosen < slots_.size());
+#ifndef NDEBUG
+  check_index();
+#endif
+  const std::size_t chosen = order_[rng.uniform(degree_)];
+  assert(!slots_[chosen].empty());
   return chosen;
 }
 
@@ -105,6 +142,10 @@ std::size_t LocalView::intra_view_duplicates() const {
 
 void LocalView::clear_all() {
   for (auto& slot : slots_) slot = ViewEntry{};
+  for (std::size_t i = 0; i < slots_.size(); ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+    pos_[i] = static_cast<std::uint32_t>(i);
+  }
   degree_ = 0;
 }
 

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -54,9 +55,13 @@ class LocalView {
   void clear(std::size_t i);
 
   // Uniformly random empty slot index. Requires empty_slots() > 0.
+  // O(1): one rng draw against the occupancy index (the index partitions
+  // slot numbers into a nonempty prefix and an empty suffix, maintained by
+  // set/clear), so hot receive paths no longer pay an O(s) reservoir scan.
   [[nodiscard]] std::size_t random_empty_slot(Rng& rng) const;
 
-  // Uniformly random nonempty slot index. Requires degree() > 0.
+  // Uniformly random nonempty slot index. Requires degree() > 0. O(1), see
+  // random_empty_slot.
   [[nodiscard]] std::size_t random_nonempty_slot(Rng& rng) const;
 
   // Multiplicity of `id` among nonempty slots.
@@ -78,7 +83,19 @@ class LocalView {
   void clear_all();
 
  private:
+#ifndef NDEBUG
+  // Debug-only equivalence check of the occupancy index against a full scan
+  // of the slots (the pre-index implementation).
+  void check_index() const;
+#endif
+
   std::vector<ViewEntry> slots_;
+  // Occupancy index: `order_` is a permutation of slot numbers whose first
+  // degree_ entries are exactly the nonempty slots; `pos_[i]` is slot i's
+  // position within `order_`. set/clear maintain the partition with one
+  // swap, making uniform empty/nonempty slot draws O(1).
+  std::vector<std::uint32_t> order_;
+  std::vector<std::uint32_t> pos_;
   std::size_t degree_ = 0;
 };
 

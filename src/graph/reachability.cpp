@@ -528,7 +528,29 @@ std::vector<Move> plan_transformation(const Digraph& from, const Digraph& to,
   if (limits.view_size < max_out + 2) {
     throw std::invalid_argument("planner requires s >= max outdegree + 2");
   }
-  return Planner(from, to, limits).plan();
+  try {
+    return Planner(from, to, limits).plan();
+  } catch (const std::runtime_error& error) {
+    // Below the connectivity margin the paper's constructions assume
+    // (§7.4: at least 3 independent out-neighbors per node), a planning
+    // dead end means the instance cannot be maneuvered without
+    // partitioning; surface that as a refusal rather than the internal
+    // detail of whichever maneuver ran out of options first.
+    std::size_t total_out = 0;
+    for (NodeId x = 0; x < from.node_count(); ++x) {
+      total_out += from.out_degree(x);
+    }
+    if (from.node_count() > 0 &&
+        total_out < 4 * from.node_count()) {
+      throw std::runtime_error(
+          std::string("planner: refusing — the input overlay is too sparse "
+                      "to transform without partitioning (mean outdegree < "
+                      "4; the paper's connectivity conditions likewise "
+                      "require margin, see §7.4); underlying: ") +
+          error.what());
+    }
+    throw;
+  }
 }
 
 void apply_moves(Digraph& g, const std::vector<Move>& moves,

@@ -1,5 +1,6 @@
 #include "sim/cluster.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <stdexcept>
 
@@ -7,9 +8,13 @@ namespace gossip::sim {
 
 Cluster::Cluster(std::size_t node_count, const ProtocolFactory& factory) {
   nodes_.reserve(node_count);
+  live_ids_.reserve(node_count);
+  live_pos_.reserve(node_count);
   for (NodeId id = 0; id < node_count; ++id) {
     nodes_.push_back(factory(id));
     assert(nodes_.back()->self() == id);
+    live_ids_.push_back(id);
+    live_pos_.push_back(id);
   }
   live_.assign(node_count, true);
   live_count_ = node_count;
@@ -34,6 +39,12 @@ void Cluster::kill(NodeId id) {
   assert(id < live_.size());
   if (!live_[id]) return;
   live_[id] = false;
+  // Swap-remove from the dense live-id array.
+  const std::size_t p = live_pos_[id];
+  const NodeId last = live_ids_.back();
+  live_ids_[p] = last;
+  live_pos_[last] = p;
+  live_ids_.pop_back();
   --live_count_;
 }
 
@@ -43,6 +54,8 @@ void Cluster::revive(NodeId id, const ProtocolFactory& factory) {
   nodes_[id] = factory(id);
   assert(nodes_[id]->self() == id);
   live_[id] = true;
+  live_pos_[id] = live_ids_.size();
+  live_ids_.push_back(id);
   ++live_count_;
 }
 
@@ -51,25 +64,20 @@ NodeId Cluster::spawn(const ProtocolFactory& factory) {
   nodes_.push_back(factory(id));
   assert(nodes_.back()->self() == id);
   live_.push_back(true);
+  live_pos_.push_back(live_ids_.size());
+  live_ids_.push_back(id);
   ++live_count_;
   return id;
 }
 
 NodeId Cluster::random_live_node(Rng& rng) const {
   assert(live_count_ > 0);
-  // live_count_ is usually close to size(); rejection sampling is O(1).
-  for (;;) {
-    const auto id = static_cast<NodeId>(rng.uniform(nodes_.size()));
-    if (live_[id]) return id;
-  }
+  return live_ids_[rng.uniform(live_ids_.size())];
 }
 
 std::vector<NodeId> Cluster::live_nodes() const {
-  std::vector<NodeId> out;
-  out.reserve(live_count_);
-  for (NodeId id = 0; id < nodes_.size(); ++id) {
-    if (live_[id]) out.push_back(id);
-  }
+  std::vector<NodeId> out = live_ids_;
+  std::sort(out.begin(), out.end());
   return out;
 }
 

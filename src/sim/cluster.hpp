@@ -43,10 +43,13 @@ class Cluster {
   // Appends a brand-new node; returns its id.
   NodeId spawn(const ProtocolFactory& factory);
 
-  // Uniformly random live node. Requires live_count() > 0.
+  // Uniformly random live node. Requires live_count() > 0. O(1): one draw
+  // into the dense live-id array (kill/revive/spawn maintain it with
+  // swap-remove), so churn-heavy runs don't degrade toward rejection or
+  // scan costs as the live fraction shrinks.
   [[nodiscard]] NodeId random_live_node(Rng& rng) const;
 
-  // Ids of all live nodes, ascending.
+  // Ids of all live nodes, ascending. O(live log live).
   [[nodiscard]] std::vector<NodeId> live_nodes() const;
 
   [[nodiscard]] const std::vector<bool>& liveness() const { return live_; }
@@ -65,6 +68,11 @@ class Cluster {
  private:
   std::vector<std::unique_ptr<PeerProtocol>> nodes_;
   std::vector<bool> live_;
+  // Dense array of live ids (arbitrary order) plus each id's position in
+  // it; kill() swap-removes, revive()/spawn() append. Powers O(1) uniform
+  // live-node sampling.
+  std::vector<NodeId> live_ids_;
+  std::vector<std::size_t> live_pos_;
   std::size_t live_count_ = 0;
 };
 

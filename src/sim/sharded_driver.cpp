@@ -1,0 +1,174 @@
+#include "sim/sharded_driver.hpp"
+
+#include <barrier>
+#include <cassert>
+#include <stdexcept>
+#include <thread>
+
+namespace gossip::sim {
+
+ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
+                             ShardedDriverConfig config)
+    : cluster_(cluster),
+      config_(config),
+      churn_rng_(Rng::stream(config.seed, config.shard_count)) {
+  if (config_.shard_count == 0) {
+    throw std::invalid_argument("shard_count must be >= 1");
+  }
+  if (config_.loss_rate < 0.0 || config_.loss_rate > 1.0) {
+    throw std::invalid_argument("loss_rate must be in [0, 1]");
+  }
+  const std::size_t n = cluster_.size();
+  nodes_per_shard_ =
+      (n + config_.shard_count - 1) / config_.shard_count;  // ceil
+  shards_.resize(config_.shard_count);
+  mailboxes_.resize(config_.shard_count * config_.shard_count);
+  live_pos_.assign(n, 0);
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_[s].rng = Rng::stream(config_.seed, s);
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster_.live(u)) continue;
+    auto& live = shards_[shard_of(u)].live;
+    live_pos_[u] = static_cast<std::uint32_t>(live.size());
+    live.push_back(u);
+  }
+}
+
+void ShardedDriver::initiate_phase(std::size_t shard) {
+  Shard& sh = shards_[shard];
+  Rng& rng = sh.rng;
+  const std::size_t k = sh.live.size();
+  const double loss = config_.loss_rate;
+  FlatPush msg;
+  for (std::size_t a = 0; a < k; ++a) {
+    const NodeId u = sh.live[rng.uniform(k)];
+    const FlatInitiateResult result = cluster_.initiate(u, rng, msg);
+    ++sh.actions;
+    if (result == FlatInitiateResult::kSelfLoop) {
+      ++sh.self_loops;
+      continue;
+    }
+    if (result == FlatInitiateResult::kSentDuplicated) ++sh.duplications;
+    ++sh.net.sent;
+    if (loss > 0.0 && rng.bernoulli(loss)) {
+      ++sh.net.lost;
+      continue;
+    }
+    const std::size_t dst = shard_of(msg.to);
+    if (dst == shard) {
+      deliver(shard, msg);
+    } else {
+      outbox(shard, dst).messages.push_back(msg);
+    }
+  }
+}
+
+void ShardedDriver::drain_phase(std::size_t shard) {
+  // Fixed sender-shard order keeps the shard's RNG consumption — and hence
+  // the whole run — deterministic.
+  for (std::size_t src = 0; src < config_.shard_count; ++src) {
+    if (src == shard) continue;
+    auto& inbound = outbox(src, shard).messages;
+    for (const FlatPush& msg : inbound) {
+      deliver(shard, msg);
+    }
+    inbound.clear();  // keeps capacity; src refills only after the barrier
+  }
+}
+
+void ShardedDriver::deliver(std::size_t shard, const FlatPush& message) {
+  Shard& sh = shards_[shard];
+  assert(shard_of(message.to) == shard);
+  if (!cluster_.live(message.to)) {
+    // Dead receiver: dropped silently, indistinguishable from loss (§5).
+    ++sh.net.to_dead;
+    return;
+  }
+  ++sh.net.delivered;
+  if (cluster_.receive(message.to, message, sh.rng) == 0) ++sh.deletions;
+}
+
+void ShardedDriver::run_rounds(std::uint64_t rounds) {
+  if (rounds == 0) return;
+  const std::size_t threads = config_.shard_count;
+  if (threads == 1) {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      initiate_phase(0);
+      drain_phase(0);
+    }
+    return;
+  }
+
+  std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
+  const auto worker = [this, rounds, &barrier](std::size_t shard) {
+    for (std::uint64_t r = 0; r < rounds; ++r) {
+      initiate_phase(shard);
+      barrier.arrive_and_wait();
+      drain_phase(shard);
+      // Second barrier: no shard may start writing next round's mailboxes
+      // until every reader has drained this round's.
+      barrier.arrive_and_wait();
+    }
+  };
+
+  std::vector<std::thread> pool;
+  pool.reserve(threads - 1);
+  for (std::size_t s = 1; s < threads; ++s) {
+    pool.emplace_back(worker, s);
+  }
+  worker(0);
+  for (auto& t : pool) t.join();
+}
+
+void ShardedDriver::kill(NodeId u) {
+  if (!cluster_.live(u)) return;
+  cluster_.kill(u);
+  auto& live = shards_[shard_of(u)].live;
+  const std::uint32_t p = live_pos_[u];
+  const NodeId last = live.back();
+  live[p] = last;
+  live_pos_[last] = p;
+  live.pop_back();
+}
+
+void ShardedDriver::revive(NodeId u) {
+  cluster_.revive(u, churn_rng_);
+  auto& live = shards_[shard_of(u)].live;
+  live_pos_[u] = static_cast<std::uint32_t>(live.size());
+  live.push_back(u);
+}
+
+std::uint64_t ShardedDriver::actions_executed() const {
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.actions;
+  return total;
+}
+
+NetworkMetrics ShardedDriver::network_metrics() const {
+  NetworkMetrics total;
+  for (const Shard& sh : shards_) {
+    total.sent += sh.net.sent;
+    total.lost += sh.net.lost;
+    total.delivered += sh.net.delivered;
+    total.to_dead += sh.net.to_dead;
+    total.duplicated += sh.net.duplicated;
+  }
+  return total;
+}
+
+ProtocolMetrics ShardedDriver::protocol_metrics() const {
+  ProtocolMetrics m;
+  for (const Shard& sh : shards_) {
+    m.actions_initiated += sh.actions;
+    m.self_loop_actions += sh.self_loops;
+    m.messages_sent += sh.net.sent;
+    m.duplications += sh.duplications;
+    m.messages_received += sh.net.delivered;
+    m.deletions += sh.deletions;
+    m.ids_accepted += 2 * (sh.net.delivered - sh.deletions);
+  }
+  return m;
+}
+
+}  // namespace gossip::sim

@@ -1,0 +1,124 @@
+// Sharded parallel round driver over a FlatSendForgetCluster.
+//
+// Nodes are partitioned into `shard_count` contiguous shards, one worker
+// thread per shard. Each round runs in two phases per shard, separated by
+// barriers:
+//
+//   phase A (initiate): the shard performs one initiate-action per live node
+//     it owns, drawing initiators uniformly (with replacement) from its own
+//     live set. Message loss is sampled at send time from the shard's RNG.
+//     Surviving intra-shard messages are delivered inline; surviving
+//     cross-shard messages are appended to the (sender, receiver) mailbox.
+//   -- barrier --
+//   phase B (drain): each shard drains its inbound mailboxes in sender-shard
+//     order and delivers every message to its own nodes (messages to nodes
+//     that died in flight are dropped, like loss — the sender cannot tell).
+//   -- barrier --
+//
+// Why this is faithful to the paper's model: S&F actions are nonatomic and
+// the network may lose or delay any message (§4), so deferring cross-shard
+// delivery to the end of the round is indistinguishable from network
+// latency, and dropping messages to dead nodes is indistinguishable from
+// loss. The even-degree invariant (Obs 5.1) is purely node-local and holds
+// under any interleaving. What changes vs RoundDriver is only the action
+// *schedule*: per-round initiate counts are stratified per shard (each live
+// node initiates once per round in expectation, exactly as §6.5 defines a
+// round) and receives land at round granularity. Degree distributions match
+// statistically (asserted in tests/test_sharded_driver.cpp).
+//
+// Determinism contract: for a fixed (seed, shard_count) the entire run —
+// every view slot, tag, degree and counter — is bit-identical across
+// executions regardless of OS thread scheduling. Each shard's RNG is an
+// independent stream derived from (seed, shard index); mailboxes are
+// single-writer single-reader per (src, dst) pair with barrier-enforced
+// handover; drain order is fixed. Results *do* depend on shard_count (a
+// different partition is a different, equally valid schedule).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "common/rng.hpp"
+#include "core/flat_send_forget.hpp"
+#include "core/metrics.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+
+struct ShardedDriverConfig {
+  // Number of shards == number of worker threads. Must be >= 1.
+  std::size_t shard_count = 1;
+  // Uniform i.i.d. loss probability per message (§4.1's model).
+  double loss_rate = 0.0;
+  // Root seed; shard i draws from the independent stream (seed, i).
+  std::uint64_t seed = 1;
+};
+
+class ShardedDriver {
+ public:
+  // Borrows the cluster; it must outlive the driver. The cluster's node
+  // count is fixed for the driver's lifetime (kill/revive churn only).
+  ShardedDriver(FlatSendForgetCluster& cluster, ShardedDriverConfig config);
+
+  // Runs `rounds` rounds. Spawns shard_count - 1 worker threads (the
+  // calling thread drives shard 0) and joins them before returning.
+  void run_rounds(std::uint64_t rounds);
+
+  // --- churn; only legal between run_rounds calls ---
+  void kill(NodeId u);
+  void revive(NodeId u);
+  // The dedicated churn stream (stream index shard_count), so churn draws
+  // never perturb any shard's round stream.
+  [[nodiscard]] Rng& churn_rng() { return churn_rng_; }
+
+  [[nodiscard]] const FlatSendForgetCluster& cluster() const {
+    return cluster_;
+  }
+  [[nodiscard]] const ShardedDriverConfig& config() const { return config_; }
+  [[nodiscard]] std::size_t shard_of(NodeId u) const {
+    return u / nodes_per_shard_;
+  }
+
+  [[nodiscard]] std::uint64_t actions_executed() const;
+  // Aggregated across shards.
+  [[nodiscard]] NetworkMetrics network_metrics() const;
+  [[nodiscard]] ProtocolMetrics protocol_metrics() const;
+
+ private:
+  // All mutable per-shard state, padded so shards never share a cache line.
+  struct alignas(64) Shard {
+    Rng rng{0};
+    std::vector<NodeId> live;  // dense live ids owned by this shard
+    std::uint64_t actions = 0;
+    std::uint64_t self_loops = 0;
+    std::uint64_t duplications = 0;
+    std::uint64_t deletions = 0;
+    NetworkMetrics net;
+  };
+  // A (src, dst) mailbox: written only by src's thread in phase A, read and
+  // cleared only by dst's thread in phase B; the round barriers are the
+  // synchronization points of this single-producer single-consumer handoff.
+  struct alignas(64) Mailbox {
+    std::vector<FlatPush> messages;
+  };
+
+  void initiate_phase(std::size_t shard);
+  void drain_phase(std::size_t shard);
+  void deliver(std::size_t shard, const FlatPush& message);
+
+  [[nodiscard]] Mailbox& outbox(std::size_t src, std::size_t dst) {
+    return mailboxes_[src * config_.shard_count + dst];
+  }
+
+  FlatSendForgetCluster& cluster_;
+  ShardedDriverConfig config_;
+  std::size_t nodes_per_shard_;
+  std::vector<Shard> shards_;
+  std::vector<Mailbox> mailboxes_;           // shard_count^2, row = src
+  std::vector<std::uint32_t> live_pos_;      // id -> index in its shard list
+  Rng churn_rng_;
+};
+
+}  // namespace gossip::sim

@@ -1,0 +1,258 @@
+#include "sim/sharded_driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/flat_send_forget.hpp"
+#include "core/send_forget.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/round_driver.hpp"
+
+namespace gossip::sim {
+namespace {
+
+void install_regular_topology(FlatSendForgetCluster& cluster, std::size_t k,
+                              std::uint64_t graph_seed) {
+  Rng rng(graph_seed);
+  const Digraph g = permutation_regular(cluster.size(), k, rng);
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    cluster.install_view(u, g.out_neighbors(u));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FlatSendForgetCluster unit behavior (must mirror SendForget, Fig 5.1).
+// ---------------------------------------------------------------------------
+
+TEST(FlatSendForget, InitiateOnEmptyViewIsSelfLoop) {
+  FlatSendForgetCluster cluster(4, SendForgetConfig{.view_size = 6,
+                                                    .min_degree = 0});
+  Rng rng(1);
+  FlatPush msg;
+  EXPECT_EQ(cluster.initiate(0, rng, msg), FlatInitiateResult::kSelfLoop);
+  EXPECT_EQ(cluster.degree(0), 0u);
+}
+
+TEST(FlatSendForget, InitiateClearsSlotsAboveMinDegree) {
+  FlatSendForgetCluster cluster(8, SendForgetConfig{.view_size = 6,
+                                                    .min_degree = 0});
+  cluster.install_view(3, {1, 2});
+  Rng rng(2);
+  FlatPush msg;
+  FlatInitiateResult result = FlatInitiateResult::kSelfLoop;
+  while (result == FlatInitiateResult::kSelfLoop) {
+    result = cluster.initiate(3, rng, msg);
+  }
+  ASSERT_EQ(result, FlatInitiateResult::kSent);
+  EXPECT_EQ(cluster.degree(3), 0u);
+  EXPECT_EQ(msg.sender.id, 3u);
+  EXPECT_FALSE(msg.sender.dependent);
+  EXPECT_FALSE(msg.carried.dependent);
+  EXPECT_TRUE((msg.to == 1 && msg.carried.id == 2) ||
+              (msg.to == 2 && msg.carried.id == 1));
+}
+
+TEST(FlatSendForget, InitiateDuplicatesAtMinDegree) {
+  FlatSendForgetCluster cluster(8, SendForgetConfig{.view_size = 8,
+                                                    .min_degree = 2});
+  cluster.install_view(5, {1, 2});  // degree 2 == dL -> duplication
+  Rng rng(3);
+  FlatPush msg;
+  FlatInitiateResult result = FlatInitiateResult::kSelfLoop;
+  while (result == FlatInitiateResult::kSelfLoop) {
+    result = cluster.initiate(5, rng, msg);
+  }
+  ASSERT_EQ(result, FlatInitiateResult::kSentDuplicated);
+  EXPECT_EQ(cluster.degree(5), 2u);
+  EXPECT_TRUE(msg.sender.dependent);
+  EXPECT_TRUE(msg.carried.dependent);
+}
+
+TEST(FlatSendForget, ReceiveStoresBothIdsAndDeletesWhenFull) {
+  FlatSendForgetCluster cluster(10, SendForgetConfig{.view_size = 6,
+                                                     .min_degree = 0});
+  Rng rng(4);
+  FlatPush msg;
+  msg.to = 0;
+  msg.sender = ViewEntry{3, false};
+  msg.carried = ViewEntry{7, true};
+  EXPECT_EQ(cluster.receive(0, msg, rng), 2u);
+  EXPECT_EQ(cluster.degree(0), 2u);
+  const auto ids = cluster.view_ids(0);
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 3u), ids.end());
+  EXPECT_NE(std::find(ids.begin(), ids.end(), 7u), ids.end());
+
+  cluster.install_view(1, {2, 3, 4, 5, 6, 7});
+  msg.to = 1;
+  EXPECT_EQ(cluster.receive(1, msg, rng), 0u);  // full: deletion
+  EXPECT_EQ(cluster.degree(1), 6u);
+}
+
+TEST(FlatSendForget, ReceivingOwnIdCreatesDependentSelfEdge) {
+  FlatSendForgetCluster cluster(10, SendForgetConfig{.view_size = 6,
+                                                     .min_degree = 0});
+  Rng rng(5);
+  FlatPush msg;
+  msg.to = 4;
+  msg.sender = ViewEntry{1, false};
+  msg.carried = ViewEntry{4, false};
+  cluster.receive(4, msg, rng);
+  for (const ViewEntry& e : cluster.view_entries(4)) {
+    if (e.id == 4) EXPECT_TRUE(e.dependent);
+  }
+}
+
+TEST(FlatSendForget, ReviveBootstrapsMinDegreeLiveIds) {
+  FlatSendForgetCluster cluster(64, SendForgetConfig{.view_size = 12,
+                                                     .min_degree = 4});
+  install_regular_topology(cluster, 4, 11);
+  Rng rng(6);
+  cluster.kill(7);
+  EXPECT_EQ(cluster.live_count(), 63u);
+  cluster.revive(7, rng);
+  EXPECT_TRUE(cluster.live(7));
+  EXPECT_EQ(cluster.degree(7), 4u);
+  for (const NodeId id : cluster.view_ids(7)) {
+    EXPECT_NE(id, 7u);
+    EXPECT_TRUE(cluster.live(id));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ShardedDriver: determinism, invariants, equivalence with RoundDriver.
+// ---------------------------------------------------------------------------
+
+// One full sharded run with loss and churn; returns the final fingerprint.
+std::uint64_t churny_run(std::size_t n, std::size_t shards,
+                         std::uint64_t seed) {
+  FlatSendForgetCluster cluster(n, default_send_forget_config());
+  install_regular_topology(cluster, 18, 21);
+  ShardedDriver driver(
+      cluster, ShardedDriverConfig{
+                   .shard_count = shards, .loss_rate = 0.05, .seed = seed});
+  Rng churn_picks(seed ^ 0xABCD);
+  std::vector<NodeId> dead;
+  for (int batch = 0; batch < 8; ++batch) {
+    driver.run_rounds(3);
+    // Deterministic churn schedule: kill two nodes, revive one.
+    for (int i = 0; i < 2; ++i) {
+      const auto victim =
+          static_cast<NodeId>(churn_picks.uniform(cluster.size()));
+      if (cluster.live(victim) && cluster.live_count() > n / 2) {
+        driver.kill(victim);
+        dead.push_back(victim);
+      }
+    }
+    if (!dead.empty()) {
+      driver.revive(dead.back());
+      dead.pop_back();
+    }
+  }
+  return cluster.fingerprint() ^ (driver.actions_executed() * 0x9E37ULL) ^
+         driver.network_metrics().delivered;
+}
+
+TEST(ShardedDriver, BitExactDeterminismForFixedSeedAndThreadCount) {
+  // Same (seed, shard_count) => bit-identical final state and counters,
+  // regardless of how the OS schedules the worker threads.
+  const std::uint64_t a = churny_run(4096, 4, 77);
+  const std::uint64_t b = churny_run(4096, 4, 77);
+  EXPECT_EQ(a, b);
+  // Different seed must (overwhelmingly) diverge — guards against the
+  // fingerprint degenerating to a constant.
+  EXPECT_NE(a, churny_run(4096, 4, 78));
+}
+
+TEST(ShardedDriver, SingleVsMultiShardAreBothDeterministic) {
+  EXPECT_EQ(churny_run(1000, 1, 5), churny_run(1000, 1, 5));
+  EXPECT_EQ(churny_run(1000, 3, 5), churny_run(1000, 3, 5));
+}
+
+TEST(ShardedDriver, Obs51InvariantUnderParallelLossAndChurn) {
+  // Observation 5.1: every outdegree stays even and within [dL, s] — after
+  // >= 10k parallel actions under 5% loss with ongoing churn.
+  const std::size_t n = 2000;
+  const auto cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(n, cfg);
+  install_regular_topology(cluster, cfg.min_degree, 31);
+  ShardedDriver driver(cluster, ShardedDriverConfig{.shard_count = 4,
+                                                    .loss_rate = 0.05,
+                                                    .seed = 9});
+  Rng churn_picks(123);
+  std::vector<NodeId> dead;
+  for (int batch = 0; batch < 10; ++batch) {
+    driver.run_rounds(1);
+    for (int i = 0; i < 5; ++i) {
+      const auto victim = static_cast<NodeId>(churn_picks.uniform(n));
+      if (cluster.live(victim) && cluster.live_count() > n - 200) {
+        driver.kill(victim);
+        dead.push_back(victim);
+      }
+    }
+    while (dead.size() > 3) {
+      driver.revive(dead.back());
+      dead.pop_back();
+    }
+  }
+  ASSERT_GE(driver.actions_executed(), 10'000u);
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster.live(u)) continue;
+    const std::size_t d = cluster.degree(u);
+    ASSERT_EQ(d % 2, 0u) << "node " << u;
+    ASSERT_GE(d, cfg.min_degree) << "node " << u;
+    ASSERT_LE(d, cfg.view_size) << "node " << u;
+  }
+  // Loss actually happened and messages actually crossed shards.
+  EXPECT_GT(driver.network_metrics().lost, 0u);
+  EXPECT_GT(driver.network_metrics().delivered, 0u);
+}
+
+TEST(ShardedDriver, OneShardMatchesRoundDriverStatistically) {
+  // The sharded schedule (stratified initiations, barrier-drained
+  // deliveries) must reproduce the serialized driver's steady state:
+  // compare degree statistics at the paper's operating point under 5% loss.
+  const std::size_t n = 2000;
+  const std::size_t rounds = 300;
+  const auto cfg = default_send_forget_config();
+
+  FlatSendForgetCluster flat(n, cfg);
+  install_regular_topology(flat, cfg.min_degree, 41);
+  ShardedDriver sharded(flat, ShardedDriverConfig{.shard_count = 1,
+                                                  .loss_rate = 0.05,
+                                                  .seed = 17});
+  sharded.run_rounds(rounds);
+
+  Rng seq_rng(17);
+  Rng graph_rng(41);
+  Cluster cluster(n, [&cfg](NodeId id) {
+    return std::make_unique<SendForget>(id, cfg);
+  });
+  cluster.install_graph(permutation_regular(n, cfg.min_degree, graph_rng));
+  UniformLoss loss(0.05);
+  RoundDriver driver(cluster, loss, seq_rng);
+  driver.run_rounds(rounds);
+
+  double flat_mean = 0.0;
+  double seq_mean = 0.0;
+  for (NodeId u = 0; u < n; ++u) {
+    flat_mean += static_cast<double>(flat.degree(u));
+    seq_mean += static_cast<double>(cluster.node(u).view().degree());
+  }
+  flat_mean /= static_cast<double>(n);
+  seq_mean /= static_cast<double>(n);
+  // Same tolerance regime as test_send_forget.cpp's statistical checks
+  // (4% of the quantity's scale).
+  EXPECT_NEAR(flat_mean, seq_mean, 0.04 * static_cast<double>(cfg.view_size));
+
+  const auto flat_m = sharded.protocol_metrics();
+  const auto seq_m = cluster.aggregate_metrics();
+  EXPECT_NEAR(flat_m.self_loop_rate(), seq_m.self_loop_rate(), 0.04);
+  EXPECT_NEAR(flat_m.duplication_rate(), seq_m.duplication_rate(), 0.04);
+}
+
+}  // namespace
+}  // namespace gossip::sim

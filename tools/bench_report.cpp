@@ -1,0 +1,208 @@
+// bench_report — benchmark-trajectory harness.
+//
+// Runs the scale benchmarks in-process (sequential RoundDriver and the
+// sharded flat driver at several n / thread counts) and emits a
+// machine-readable BENCH_scale.json with actions/sec and RSS per
+// configuration, so every future PR has a perf baseline to diff against:
+//
+//   ./bench_report [output.json]         # default: BENCH_scale.json
+//   ./bench_report --quick [output.json] # smaller sizes, for smoke tests
+//
+// Compare a fresh run against the committed baseline to spot regressions.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/flat_send_forget.hpp"
+#include "core/send_forget.hpp"
+#include "graph/digraph.hpp"
+#include "graph/graph_gen.hpp"
+#include "sim/churn.hpp"
+#include "sim/round_driver.hpp"
+#include "sim/sharded_driver.hpp"
+
+namespace {
+
+using namespace gossip;
+using Clock = std::chrono::steady_clock;
+
+// Current resident set size in MiB, from /proc/self/status (0 elsewhere).
+double rss_mib() {
+#ifdef __linux__
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmRSS:", 0) == 0) {
+      return std::stod(line.substr(6)) / 1024.0;  // value is in kB
+    }
+  }
+#endif
+  return 0.0;
+}
+
+struct BenchResult {
+  std::string driver;
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  std::size_t rounds = 0;
+  std::uint64_t actions = 0;
+  double seconds = 0.0;
+  double actions_per_sec = 0.0;
+  double rss_mb = 0.0;
+};
+
+BenchResult run_sequential(std::size_t n, std::size_t rounds) {
+  Rng rng(7 + n);
+  const auto factory = [](NodeId id) {
+    return std::make_unique<SendForget>(id, default_send_forget_config());
+  };
+  sim::Cluster cluster(n, factory);
+  cluster.install_graph(permutation_regular(n, 10, rng));
+  sim::UniformLoss loss(0.02);
+  sim::RoundDriver driver(cluster, loss, rng);
+  sim::ChurnProcess churn(cluster, factory, 18, 1.0, 1.0, n / 2);
+
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    churn.maybe_churn(rng);
+    driver.run_rounds(1);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  BenchResult result{"sequential", n, 1, rounds, driver.actions_executed(),
+                     elapsed,
+                     static_cast<double>(driver.actions_executed()) / elapsed,
+                     rss_mib()};
+  return result;
+}
+
+BenchResult run_sharded(std::size_t n, std::size_t threads,
+                        std::size_t rounds) {
+  Rng rng(7 + n);
+  FlatSendForgetCluster cluster(n, default_send_forget_config());
+  {
+    const Digraph g = permutation_regular(n, 10, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = threads, .loss_rate = 0.02, .seed = 7 + n});
+  std::vector<NodeId> dead;
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Rng& crng = driver.churn_rng();
+    const auto victim = static_cast<NodeId>(crng.uniform(n));
+    if (cluster.live(victim) && cluster.live_count() > n / 2) {
+      driver.kill(victim);
+      dead.push_back(victim);
+    }
+    if (!dead.empty() && crng.bernoulli(0.5)) {
+      driver.revive(dead.back());
+      dead.pop_back();
+    }
+    driver.run_rounds(1);
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  BenchResult result{"sharded_flat", n, threads, rounds,
+                     driver.actions_executed(), elapsed,
+                     static_cast<double>(driver.actions_executed()) / elapsed,
+                     rss_mib()};
+  return result;
+}
+
+bool emit_json(const std::vector<BenchResult>& results,
+               const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"benchmark\": \"scale_trajectory\",\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+  out << "  \"results\": [\n";
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const BenchResult& r = results[i];
+    char buf[512];
+    std::snprintf(buf, sizeof(buf),
+                  "    {\"driver\": \"%s\", \"n\": %zu, \"threads\": %zu, "
+                  "\"rounds\": %zu, \"actions\": %llu, \"seconds\": %.3f, "
+                  "\"actions_per_sec\": %.4g, \"rss_mb\": %.1f}%s\n",
+                  r.driver.c_str(), r.n, r.threads, r.rounds,
+                  static_cast<unsigned long long>(r.actions), r.seconds,
+                  r.actions_per_sec, r.rss_mb,
+                  i + 1 < results.size() ? "," : "");
+    out << buf;
+  }
+  out << "  ],\n";
+
+  // Headline ratio: sharded (max threads benched) vs sequential at the
+  // largest n both drivers ran.
+  double seq = 0.0;
+  double sharded = 0.0;
+  std::size_t ref_n = 0;
+  for (const BenchResult& r : results) {
+    if (r.driver == "sequential" && r.n >= ref_n) {
+      ref_n = r.n;
+      seq = r.actions_per_sec;
+    }
+  }
+  for (const BenchResult& r : results) {
+    if (r.driver == "sharded_flat" && r.n == ref_n &&
+        r.actions_per_sec > sharded) {
+      sharded = r.actions_per_sec;
+    }
+  }
+  char tail[128];
+  std::snprintf(tail, sizeof(tail),
+                "  \"speedup_vs_sequential_at_n%zu\": %.2f\n", ref_n,
+                seq > 0.0 ? sharded / seq : 0.0);
+  out << tail << "}\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool quick = false;
+  std::string path = "BENCH_scale.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else {
+      path = argv[i];
+    }
+  }
+
+  std::vector<BenchResult> results;
+  const auto record = [&results](BenchResult r) {
+    std::printf("%-12s n=%-8zu threads=%zu rounds=%-4zu %10.3g actions/s "
+                "rss=%.0f MiB\n",
+                r.driver.c_str(), r.n, r.threads, r.rounds, r.actions_per_sec,
+                r.rss_mb);
+    results.push_back(std::move(r));
+  };
+
+  if (quick) {
+    record(run_sequential(5'000, 50));
+    record(run_sharded(5'000, 1, 50));
+    record(run_sharded(5'000, 4, 50));
+  } else {
+    record(run_sequential(50'000, 200));
+    record(run_sharded(50'000, 1, 200));
+    record(run_sharded(50'000, 4, 200));
+    record(run_sharded(200'000, 4, 100));
+    record(run_sharded(1'000'000, 4, 30));
+  }
+  if (!emit_json(results, path)) {
+    std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
+    return 1;
+  }
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
