@@ -4,14 +4,18 @@
 // simulation studies (millions of actions per second).
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <memory>
+#include <vector>
 
 #include "analysis/degree_analytical.hpp"
+#include "analysis/degree_mc.hpp"
 #include "common/rng.hpp"
 #include "core/flat_send_forget.hpp"
 #include "core/send_forget.hpp"
 #include "graph/connectivity.hpp"
 #include "graph/graph_gen.hpp"
+#include "markov/sparse_chain.hpp"
 #include "sim/round_driver.hpp"
 #include "sim/sharded_driver.hpp"
 
@@ -123,6 +127,132 @@ void BM_AnalyticalDegreePmf(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_AnalyticalDegreePmf);
+
+// ---------------------------------------------------------------------------
+// SpMV: one step pi' = pi P of a row-stochastic chain, dense vs CSR.
+// The CSR path switches to the thread pool automatically once the
+// transition count crosses SparseChain's parallel threshold (2^15), so the
+// largest Arg below exercises the parallel gather and the smaller ones the
+// serial one — the crossover is visible directly in the reported rates.
+
+constexpr std::size_t kNnzPerRow = 8;
+
+// A random chain with `k` off-diagonal transitions per row (total mass
+// 0.9; the rest is the implied self-loop).
+markov::SparseChain random_chain(std::size_t n, std::size_t k) {
+  markov::SparseChain chain(n);
+  Rng rng(17);
+  const double p = 0.9 / static_cast<double>(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::size_t to = rng.uniform(n);
+      if (to == i) to = (to + 1) % n;
+      chain.add(i, to, p);
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+void BM_SpmvDense(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const markov::SparseChain chain = random_chain(n, kNnzPerRow);
+  // Densify (diagonal carries the implied self-loop mass).
+  std::vector<double> dense(n * n, 0.0);
+  {
+    std::vector<double> e(n, 0.0);
+    std::vector<double> row;
+    for (std::size_t i = 0; i < n; ++i) {
+      e[i] = 1.0;
+      chain.step_into(e, row);
+      for (std::size_t j = 0; j < n; ++j) dense[i * n + j] = row[j];
+      dense[i * n + i] += 1.0 - chain.row_sum(i);
+      e[i] = 0.0;
+    }
+  }
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n);
+  for (auto _ : state) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double w = pi[i];
+      const double* row = &dense[i * n];
+      for (std::size_t j = 0; j < n; ++j) next[j] += w * row[j];
+    }
+    benchmark::DoNotOptimize(next.data());
+    pi.swap(next);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_SpmvDense)->Arg(512)->Arg(2048);
+
+void BM_SpmvCsr(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const markov::SparseChain chain = random_chain(n, kNnzPerRow);
+  std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next;
+  for (auto _ : state) {
+    chain.step_into(pi, next);
+    benchmark::DoNotOptimize(next.data());
+    pi.swap(next);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(chain.transition_count()));
+}
+// 131072 rows * 8 nnz is far past the parallel threshold: parallel CSR.
+BENCHMARK(BM_SpmvCsr)->Arg(512)->Arg(2048)->Arg(131072);
+
+// ---------------------------------------------------------------------------
+// Full §6.2 degree-MC solve at a reduced operating point: the classic
+// damped fixed point vs Anderson mixing (both with the accelerated inner
+// iteration, so the delta isolates the outer update rule).
+
+analysis::DegreeMcParams micro_degree_params(
+    analysis::DegreeMcAcceleration accel) {
+  analysis::DegreeMcParams p;
+  p.view_size = 20;
+  p.min_degree = 8;
+  p.loss = 0.05;
+  p.acceleration = accel;
+  return p;
+}
+
+void BM_DegreeMcDamped(benchmark::State& state) {
+  const auto params =
+      micro_degree_params(analysis::DegreeMcAcceleration::kDamped);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::solve_degree_mc(params));
+  }
+}
+BENCHMARK(BM_DegreeMcDamped)->Unit(benchmark::kMillisecond);
+
+void BM_DegreeMcAnderson(benchmark::State& state) {
+  const auto params =
+      micro_degree_params(analysis::DegreeMcAcceleration::kAnderson);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::solve_degree_mc(params));
+  }
+}
+BENCHMARK(BM_DegreeMcAnderson)->Unit(benchmark::kMillisecond);
+
+// Inner stationary solve on a fixed chain: plain power iteration vs the
+// Anderson-accelerated path (same stopping criterion).
+void BM_StationaryPower(benchmark::State& state) {
+  const markov::SparseChain chain = random_chain(4096, kNnzPerRow);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.stationary({}, 1e-12, 200'000, false));
+  }
+}
+BENCHMARK(BM_StationaryPower)->Unit(benchmark::kMillisecond);
+
+void BM_StationaryAnderson(benchmark::State& state) {
+  const markov::SparseChain chain = random_chain(4096, kNnzPerRow);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.stationary({}, 1e-12, 200'000, true));
+  }
+}
+BENCHMARK(BM_StationaryAnderson)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

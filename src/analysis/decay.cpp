@@ -80,4 +80,19 @@ double joiner_instances_fraction(const DecayParams& p) {
   return joiner_creation_ratio(p);
 }
 
+std::vector<DecaySweepPoint> decay_sweep(DecayParams params,
+                                         std::span<const double> losses,
+                                         double threshold) {
+  std::vector<DecaySweepPoint> out(losses.size());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    params.loss = losses[i];
+    DecaySweepPoint& p = out[i];
+    p.loss = losses[i];
+    p.survival_factor = survival_factor(params);
+    p.rounds_until_below = rounds_until_survival_below(params, threshold);
+    p.joiner_integration_rounds = joiner_integration_rounds(params);
+  }
+  return out;
+}
+
 }  // namespace gossip::analysis

@@ -8,6 +8,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace gossip::analysis {
@@ -48,5 +49,21 @@ struct DecayParams {
 // Expected id instances created by the joiner within the integration
 // window, as a fraction of Din (Lemma 6.13): (dL/s)².
 [[nodiscard]] double joiner_instances_fraction(const DecayParams& params);
+
+// Summary of the Lemma 6.9/6.10 decay at one loss rate, for sweeping ℓ
+// across the Fig 6.4 family of curves.
+struct DecaySweepPoint {
+  double loss = 0.0;
+  double survival_factor = 1.0;          // per-round factor (Lemma 6.9)
+  std::size_t rounds_until_below = 0;    // first r with bound < threshold
+  double joiner_integration_rounds = 0;  // Lemma 6.13 window at this ℓ
+};
+
+// Evaluates the decay/integration bounds at each loss in `losses`, keeping
+// the remaining parameters of `params` fixed (`params.loss` is ignored).
+// `threshold` is passed to rounds_until_survival_below, e.g. 0.5 for the
+// paper's half-life headline.
+[[nodiscard]] std::vector<DecaySweepPoint> decay_sweep(
+    DecayParams params, std::span<const double> losses, double threshold);
 
 }  // namespace gossip::analysis

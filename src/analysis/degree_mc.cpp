@@ -1,10 +1,14 @@
 #include "analysis/degree_mc.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <unordered_map>
+
+#include "markov/anderson.hpp"
+#include "markov/sparse_chain.hpp"
 
 namespace gossip::analysis {
 
@@ -19,61 +23,144 @@ struct PopulationStats {
   double initiator_dup = 0.0;     // P(initiator at dL | action fired)
 };
 
-struct SparseChain {
-  // Transition triplets excluding self-loops; self-loop mass is implicit
-  // (1 - sum of row).
-  std::vector<std::uint32_t> from;
-  std::vector<std::uint32_t> to;
-  std::vector<double> prob;
-  std::vector<double> row_sum;  // per-state outgoing (non-self) probability
-  // Uniform factor applied to all rates; 1/scale chain steps correspond
-  // to one round (each node initiating one action in expectation).
-  double scale = 1.0;
-};
-
 class DegreeMcSolver {
  public:
   explicit DegreeMcSolver(const DegreeMcParams& params) : p_(params) {
     validate();
     enumerate_states();
+    build_structure();
   }
 
-  DegreeMcResult solve() {
+  // Solves at the given loss rate; successive calls share the state space
+  // and CSR pattern and warm-start from the previous solution.
+  DegreeMcResult solve_at(double loss) {
+    if (loss < 0.0 || loss >= 1.0) {
+      throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    last_loss_ = loss;
     const std::size_t n = states_.size();
     if (n == 0) throw std::runtime_error("empty degree MC state space");
 
-    // Initial guess: uniform over states.
-    std::vector<double> pi(n, 1.0 / static_cast<double>(n));
+    std::vector<double> pi = warm_pi_;
+    if (pi.empty()) pi.assign(n, 1.0 / static_cast<double>(n));
 
     DegreeMcResult result;
-    // Damped fixed-point iteration: feeding the full update back causes a
-    // period-2 oscillation between an over-duplicating and an
-    // over-deleting regime; averaging the old and new distributions before
-    // recomputing the population statistics makes the iteration contract.
-    constexpr double kDamping = 0.5;
+    markov::AndersonMixer mixer(std::max<std::size_t>(1, p_.anderson_depth));
+    std::vector<double> f(n);
+    std::vector<double> accel;
+
     for (std::size_t iter = 0; iter < p_.max_fixed_point_iterations; ++iter) {
       const PopulationStats stats = population_stats(pi);
-      const SparseChain chain = build_chain(stats);
-      const std::vector<double> next = stationary(chain, pi);
-      const double diff = l1(pi, next);
+      refresh_values(stats, loss);
+
+      auto inner =
+          chain_.stationary(pi, p_.stationary_tolerance,
+                            p_.max_stationary_iterations,
+                            p_.accelerated_stationary);
+      result.stationary_iterations += inner.iterations;
+      result.stationary_residual = inner.residual;
+      std::vector<double>& g = inner.distribution;
+
+      double residual = 0.0;
       for (std::size_t k = 0; k < n; ++k) {
-        pi[k] = (1.0 - kDamping) * pi[k] + kDamping * next[k];
+        f[k] = g[k] - pi[k];
+        residual += std::abs(f[k]);
       }
       result.fixed_point_iterations = iter + 1;
-      if (diff < p_.fixed_point_tolerance) {
-        // Polish: adopt the exact stationary distribution of the final
-        // chain so that is_stationary holds for the reported parameters.
-        pi = next;
+      result.fixed_point_residual = residual;
+
+      if (residual < p_.fixed_point_tolerance) {
+        // Adopt the exact stationary distribution of the final chain so
+        // that is_stationary holds for the reported parameters.
+        pi = std::move(g);
         result.converged = true;
         break;
       }
+
+      bool accelerated = false;
+      if (p_.acceleration == DegreeMcAcceleration::kAnderson) {
+        mixer.push(pi, f, residual);
+        accelerated = mixer.extrapolate(accel) &&
+                      markov::project_to_simplex(accel);
+      }
+      if (accelerated) {
+        std::swap(pi, accel);
+      } else {
+        // Damped step: the paper-faithful update, and the Anderson
+        // fallback whenever the extrapolation declines or degenerates.
+        for (std::size_t k = 0; k < n; ++k) {
+          pi[k] = 0.5 * (pi[k] + g[k]);
+        }
+      }
     }
 
-    finalize(result, pi);
+    finalize(result, std::move(pi));
+    warm_pi_ = result.stationary;
     return result;
   }
 
+  // §6.5 transient: evolve the chain from (dL, 0) under steady-state
+  // population parameters.
+  JoinerTrajectory trajectory(std::size_t rounds) {
+    if (p_.min_degree < 2) {
+      throw std::invalid_argument("joiner analysis requires dL >= 2");
+    }
+    if (p_.fixed_sum_degree) {
+      throw std::invalid_argument("joiner analysis needs the general chain");
+    }
+    const DegreeMcResult steady = solve_at(p_.loss);
+    const PopulationStats stats = population_stats(steady.stationary);
+    refresh_values(stats, p_.loss);
+    const auto steps_per_round = static_cast<std::size_t>(
+        std::max(1.0, std::round(1.0 / scale_)));
+
+    std::vector<double> pi(states_.size(), 0.0);
+    const std::size_t start = state_at(p_.min_degree, 0);
+    if (start == kOutside) {
+      throw std::runtime_error("joiner start state missing from chain");
+    }
+    pi[start] = 1.0;
+
+    JoinerTrajectory trajectory;
+    std::vector<double> scratch(pi.size());
+    auto record = [&] {
+      double out = 0.0;
+      double in = 0.0;
+      for (std::size_t k = 0; k < states_.size(); ++k) {
+        out += pi[k] * states_[k].out;
+        in += pi[k] * states_[k].in;
+      }
+      trajectory.expected_out.push_back(out);
+      trajectory.expected_in.push_back(in);
+    };
+    record();
+    for (std::size_t r = 0; r < rounds; ++r) {
+      for (std::size_t step = 0; step < steps_per_round; ++step) {
+        chain_.step_into(pi, scratch);
+        std::swap(pi, scratch);
+      }
+      record();
+    }
+    return trajectory;
+  }
+
  private:
+  static constexpr std::size_t kOutside = static_cast<std::size_t>(-1);
+
+  // Per-state transition slots in the frozen CSR pattern; kNoSlot marks
+  // structurally absent edges (self-loops and truncation exits).
+  struct StateSlots {
+    std::size_t a_gain = markov::SparseChain::kNoSlot;  // (o', i+1)
+    std::size_t a_keep = markov::SparseChain::kNoSlot;  // (o', i)
+    std::size_t b_gain_drop = markov::SparseChain::kNoSlot;  // (o+2, i-1)
+    std::size_t b_drop = markov::SparseChain::kNoSlot;       // (o,   i-1)
+    std::size_t b_gain_keep = markov::SparseChain::kNoSlot;  // (o+2, i)
+    std::size_t c_dup = markov::SparseChain::kNoSlot;        // (o,   i+1)
+    std::size_t c_lose = markov::SparseChain::kNoSlot;       // (o,   i-1)
+    bool room = false;       // o + 2 <= s
+    bool duplicate = false;  // o <= dL
+  };
+
   void validate() const {
     if (p_.view_size < 6 || p_.view_size % 2 != 0) {
       throw std::invalid_argument("view size s must be even and >= 6");
@@ -83,6 +170,10 @@ class DegreeMcSolver {
     }
     if (p_.loss < 0.0 || p_.loss >= 1.0) {
       throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    if (p_.anderson_depth == 0 &&
+        p_.acceleration == DegreeMcAcceleration::kAnderson) {
+      throw std::invalid_argument("anderson_depth must be >= 1");
     }
     if (p_.fixed_sum_degree) {
       if (*p_.fixed_sum_degree % 2 != 0 || *p_.fixed_sum_degree == 0) {
@@ -133,10 +224,54 @@ class DegreeMcSolver {
     return (static_cast<std::uint64_t>(o) << 32) | static_cast<std::uint64_t>(i);
   }
 
-  // Index of state (o, i) or SIZE_MAX when outside the truncated space.
+  // Index of state (o, i) or kOutside when outside the truncated space.
   [[nodiscard]] std::size_t state_at(std::size_t o, std::size_t i) const {
     const auto it = index_.find(key(o, i));
-    return it == index_.end() ? static_cast<std::size_t>(-1) : it->second;
+    return it == index_.end() ? kOutside : it->second;
+  }
+
+  // Compiles the sparsity pattern once. Which transitions exist depends
+  // only on the state space and the thresholds — never on ℓ or on the
+  // population statistics — so every outer iteration (and every ℓ-sweep
+  // point) reuses this CSR structure and only rewrites values.
+  void build_structure() {
+    chain_.resize(states_.size());
+    slots_.resize(states_.size());
+    for (std::size_t k = 0; k < states_.size(); ++k) {
+      const std::size_t o = states_[k].out;
+      const std::size_t i = states_[k].in;
+      StateSlots& sl = slots_[k];
+      sl.room = o + 2 <= p_.view_size;
+      sl.duplicate = o <= p_.min_degree;
+
+      auto edge = [&](std::size_t to_o, std::size_t to_i) {
+        const std::size_t to = state_at(to_o, to_i);
+        // Transitions leaving the truncated space become self-loops
+        // (§6.2): simply do not emit them; the mass stays put.
+        if (to == kOutside) return markov::SparseChain::kNoSlot;
+        return chain_.add_edge(k, to);
+      };
+
+      // Event A: the tagged node initiates a non-self-loop action.
+      if (o >= 2) {
+        const std::size_t o_after = sl.duplicate ? o : o - 2;
+        sl.a_gain = edge(o_after, i + 1);
+        sl.a_keep = edge(o_after, i);
+      }
+
+      // Events B and C require the tagged node to be referenced (i > 0).
+      if (i == 0) continue;
+      // Event B: the tagged node is the message *target*.
+      if (sl.room) {
+        sl.b_gain_drop = edge(o + 2, i - 1);
+        sl.b_gain_keep = edge(o + 2, i);
+      }
+      sl.b_drop = edge(o, i - 1);
+      // Event C: the tagged node's id is the *carried* id w.
+      sl.c_dup = edge(o, i + 1);
+      sl.c_lose = edge(o, i - 1);
+    }
+    chain_.finalize_structure();
   }
 
   [[nodiscard]] PopulationStats population_stats(
@@ -164,10 +299,11 @@ class DegreeMcSolver {
     return st;
   }
 
-  [[nodiscard]] SparseChain build_chain(const PopulationStats& stats) const {
+  // Rewrites all transition values for the given population statistics and
+  // loss rate; the CSR pattern is untouched.
+  void refresh_values(const PopulationStats& stats, double loss) {
     const double s = static_cast<double>(p_.view_size);
     const double pair_count = s * (s - 1.0);
-    const double loss = p_.loss;
     const double q_room = stats.receiver_room;
     const double pz = stats.initiator_dup;
     const double c2 = stats.edge_factor;
@@ -183,154 +319,34 @@ class DegreeMcSolver {
                           pair_count;
       max_rate = std::max(max_rate, rate);
     }
-    const double scale = 0.95 / std::max(max_rate, 1e-12);
+    scale_ = 0.95 / std::max(max_rate, 1e-12);
 
-    SparseChain chain;
-    chain.scale = scale;
-    chain.row_sum.assign(states_.size(), 0.0);
-
-    auto add = [&](std::size_t from, std::size_t o, std::size_t i,
-                   double prob) {
-      if (prob <= 0.0) return;
-      const std::size_t to = state_at(o, i);
-      // Transitions leaving the truncated space become self-loops (§6.2):
-      // simply do not emit them; the mass stays put.
-      if (to == static_cast<std::size_t>(-1) || to == from) return;
-      chain.from.push_back(static_cast<std::uint32_t>(from));
-      chain.to.push_back(static_cast<std::uint32_t>(to));
-      chain.prob.push_back(prob);
-      chain.row_sum[from] += prob;
-    };
-
+    const double p_in_gain = (1.0 - loss) * q_room;
     for (std::size_t k = 0; k < states_.size(); ++k) {
-      const std::size_t o = states_[k].out;
-      const std::size_t i = states_[k].in;
-      const double od = static_cast<double>(o);
-      const double id = static_cast<double>(i);
+      const StateSlots& sl = slots_[k];
+      const double od = states_[k].out;
+      const double id = states_[k].in;
 
-      // Event A: the tagged node initiates a non-self-loop action.
-      const double rate_a = scale * od * (od - 1.0) / pair_count;
-      if (rate_a > 0.0) {
-        const bool dup = o <= p_.min_degree;
-        const std::size_t o_after = dup ? o : o - 2;
-        const double p_in_gain = (1.0 - loss) * q_room;
-        add(k, o_after, i + 1, rate_a * p_in_gain);
-        add(k, o_after, i, rate_a * (1.0 - p_in_gain));
-      }
+      const double rate_a = scale_ * od * (od - 1.0) / pair_count;
+      chain_.set_prob(sl.a_gain, rate_a * p_in_gain);
+      chain_.set_prob(sl.a_keep, rate_a * (1.0 - p_in_gain));
 
-      // Events B and C require the tagged node to be referenced (i > 0).
-      if (i == 0) continue;
-      const double rate_edge = scale * id * c2 / pair_count;
-
-      // Event B: the tagged node is the message *target*.
-      {
-        const bool room = o + 2 <= p_.view_size;
-        const double p_out_gain = room ? (1.0 - loss) : 0.0;
-        // z duplicates with prob pz (keeps its edge to us); otherwise our
-        // indegree drops by one.
-        add(k, o + (p_out_gain > 0 ? 2 : 0), i - 1,
-            rate_edge * (1.0 - pz) * p_out_gain);
-        add(k, o, i - 1, rate_edge * (1.0 - pz) * (1.0 - p_out_gain));
-        add(k, o + (p_out_gain > 0 ? 2 : 0), i, rate_edge * pz * p_out_gain);
-        // z dup & no out gain: state unchanged (implicit self-loop).
-      }
-
-      // Event C: the tagged node's id is the *carried* id w.
-      {
-        const double p_arrive = (1.0 - loss) * q_room;
-        // z dup & delivered & receiver room: a second instance appears.
-        add(k, o, i + 1, rate_edge * pz * p_arrive);
-        // z no-dup & (lost or receiver full): the only instance vanishes.
-        add(k, o, i - 1, rate_edge * (1.0 - pz) * (1.0 - p_arrive));
-      }
+      if (id == 0.0) continue;
+      const double rate_edge = scale_ * id * c2 / pair_count;
+      // Event B: with room the out-gain happens iff the message is not
+      // lost; without room the b_gain_* slots are structurally absent and
+      // the no-dup mass all lands on (o, i-1).
+      const double p_out_gain = sl.room ? (1.0 - loss) : 0.0;
+      chain_.set_prob(sl.b_gain_drop, rate_edge * (1.0 - pz) * p_out_gain);
+      chain_.set_prob(sl.b_drop, rate_edge * (1.0 - pz) * (1.0 - p_out_gain));
+      chain_.set_prob(sl.b_gain_keep, rate_edge * pz * p_out_gain);
+      // Event C: z dup & delivered & receiver room adds an instance; z
+      // no-dup & (lost or receiver full) removes the only instance.
+      const double p_arrive = (1.0 - loss) * q_room;
+      chain_.set_prob(sl.c_dup, rate_edge * pz * p_arrive);
+      chain_.set_prob(sl.c_lose, rate_edge * (1.0 - pz) * (1.0 - p_arrive));
     }
-
-    for (const double row : chain.row_sum) {
-      if (row > 1.0) throw std::runtime_error("degree MC row overflow");
-    }
-    return chain;
-  }
-
-  static void apply_step(const SparseChain& chain, std::vector<double>& pi,
-                         std::vector<double>& scratch) {
-    for (std::size_t k = 0; k < pi.size(); ++k) {
-      scratch[k] = pi[k] * (1.0 - chain.row_sum[k]);
-    }
-    for (std::size_t e = 0; e < chain.prob.size(); ++e) {
-      scratch[chain.to[e]] += pi[chain.from[e]] * chain.prob[e];
-    }
-    std::swap(pi, scratch);
-  }
-
-  [[nodiscard]] std::vector<double> stationary(
-      const SparseChain& chain, const std::vector<double>& warm_start) const {
-    std::vector<double> pi = warm_start;
-    std::vector<double> next(pi.size());
-    std::vector<double> previous(pi.size());
-    for (std::size_t it = 0; it < p_.max_stationary_iterations; ++it) {
-      previous = pi;
-      apply_step(chain, pi, next);
-      // Guard against drift.
-      double total = 0.0;
-      for (const double x : pi) total += x;
-      for (double& x : pi) x /= total;
-      if (l1(previous, pi) < p_.stationary_tolerance) break;
-    }
-    return pi;
-  }
-
- public:
-  // §6.5 transient: evolve the chain from (dL, 0) under steady-state
-  // population parameters.
-  JoinerTrajectory trajectory(std::size_t rounds) {
-    if (p_.min_degree < 2) {
-      throw std::invalid_argument("joiner analysis requires dL >= 2");
-    }
-    if (p_.fixed_sum_degree) {
-      throw std::invalid_argument("joiner analysis needs the general chain");
-    }
-    DegreeMcResult steady = solve();
-    const PopulationStats stats = population_stats(steady.stationary);
-    const SparseChain chain = build_chain(stats);
-    const auto steps_per_round = static_cast<std::size_t>(
-        std::max(1.0, std::round(1.0 / chain.scale)));
-
-    std::vector<double> pi(states_.size(), 0.0);
-    const std::size_t start = state_at(p_.min_degree, 0);
-    if (start == static_cast<std::size_t>(-1)) {
-      throw std::runtime_error("joiner start state missing from chain");
-    }
-    pi[start] = 1.0;
-
-    JoinerTrajectory trajectory;
-    std::vector<double> scratch(pi.size());
-    auto record = [&] {
-      double out = 0.0;
-      double in = 0.0;
-      for (std::size_t k = 0; k < states_.size(); ++k) {
-        out += pi[k] * states_[k].out;
-        in += pi[k] * states_[k].in;
-      }
-      trajectory.expected_out.push_back(out);
-      trajectory.expected_in.push_back(in);
-    };
-    record();
-    for (std::size_t r = 0; r < rounds; ++r) {
-      for (std::size_t step = 0; step < steps_per_round; ++step) {
-        apply_step(chain, pi, scratch);
-      }
-      record();
-    }
-    return trajectory;
-  }
-
- private:
-
-  [[nodiscard]] static double l1(const std::vector<double>& a,
-                                 const std::vector<double>& b) {
-    double sum = 0.0;
-    for (std::size_t k = 0; k < a.size(); ++k) sum += std::abs(a[k] - b[k]);
-    return sum;
+    chain_.commit_values();
   }
 
   void finalize(DegreeMcResult& result, std::vector<double> pi) const {
@@ -351,19 +367,35 @@ class DegreeMcSolver {
     result.receiver_room_probability = stats.receiver_room;
     result.duplication_probability = stats.initiator_dup;
     result.deletion_probability =
-        (1.0 - p_.loss) * (1.0 - stats.receiver_room);
+        (1.0 - last_loss_) * (1.0 - stats.receiver_room);
     result.stationary = std::move(pi);
   }
 
   DegreeMcParams p_;
   std::vector<DegreeState> states_;
   std::unordered_map<std::uint64_t, std::size_t> index_;
+  markov::SparseChain chain_;
+  std::vector<StateSlots> slots_;
+  double scale_ = 1.0;
+  double last_loss_ = 0.0;
+  std::vector<double> warm_pi_;
 };
 
 }  // namespace
 
 DegreeMcResult solve_degree_mc(const DegreeMcParams& params) {
-  return DegreeMcSolver(params).solve();
+  return DegreeMcSolver(params).solve_at(params.loss);
+}
+
+std::vector<DegreeMcResult> solve_degree_mc_sweep(
+    const DegreeMcParams& params, std::span<const double> losses) {
+  DegreeMcSolver solver(params);
+  std::vector<DegreeMcResult> results;
+  results.reserve(losses.size());
+  for (const double loss : losses) {
+    results.push_back(solver.solve_at(loss));
+  }
+  return results;
 }
 
 JoinerTrajectory joiner_degree_trajectory(const DegreeMcParams& params,

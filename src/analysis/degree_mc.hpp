@@ -19,14 +19,32 @@
 //  * the initiator holding an edge to the tagged node has outdegree
 //    distributed proportionally to pi(d) * d, and fires an action using
 //    that particular edge with probability proportional to d - 1.
+//
+// Solver architecture (performance): the transition *structure* — which
+// (state, state) pairs can ever carry mass — depends only on (s, dL, cap),
+// so it is compiled once into a CSR `markov::SparseChain`; each outer
+// iteration only rewrites the per-edge probability values. The outer loop
+// is accelerated with Anderson mixing (small least-squares over the last m
+// residuals, falling back to the classic damped step whenever the
+// extrapolation degenerates), the inner power iteration is warm-started
+// from the previous outer iterate (and itself Anderson-accelerated, see
+// markov::SparseChain::stationary), and ℓ-sweeps reuse both the structure
+// and the previous point's solution (solve_degree_mc_sweep).
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 namespace gossip::analysis {
+
+// Outer fixed-point update rule.
+enum class DegreeMcAcceleration {
+  kDamped,    // x += 0.5 * (G(x) - x), the paper-faithful baseline
+  kAnderson,  // Anderson mixing with damped fallback on non-decrease
+};
 
 struct DegreeMcParams {
   std::size_t view_size = 40;   // s
@@ -44,10 +62,16 @@ struct DegreeMcParams {
   // Outer fixed-point loop.
   double fixed_point_tolerance = 1e-11;
   std::size_t max_fixed_point_iterations = 300;
+  DegreeMcAcceleration acceleration = DegreeMcAcceleration::kAnderson;
+  // Anderson history depth m (>= 1; ignored for kDamped).
+  std::size_t anderson_depth = 4;
 
-  // Inner power iteration.
+  // Inner (Anderson-accelerated) power iteration. Setting
+  // accelerated_stationary = false runs classic power iteration — the
+  // seed-faithful baseline configuration for benchmarks.
   double stationary_tolerance = 1e-13;
   std::size_t max_stationary_iterations = 500'000;
+  bool accelerated_stationary = true;
 };
 
 struct DegreeState {
@@ -76,7 +100,14 @@ struct DegreeMcResult {
   // P(receiver has room), receiver sampled proportionally to indegree.
   double receiver_room_probability = 1.0;
 
+  // Convergence diagnostics: outer fixed-point iterations, the total
+  // number of inner power-iteration steps across all outer iterations
+  // (the real cost driver), and the final residuals of both loops, so
+  // benches can assert convergence instead of trusting tolerances.
   std::size_t fixed_point_iterations = 0;
+  std::size_t stationary_iterations = 0;
+  double fixed_point_residual = 0.0;  // L1(pi, G(pi)) at the last iteration
+  double stationary_residual = 0.0;   // L1 step change of the final solve
   bool converged = false;
 };
 
@@ -84,6 +115,15 @@ struct DegreeMcResult {
 // parameters; throws std::runtime_error if the state space degenerates
 // (e.g. all mass escapes).
 [[nodiscard]] DegreeMcResult solve_degree_mc(const DegreeMcParams& params);
+
+// Solves the chain for each loss value in `losses` with one solver: the
+// state space and CSR sparsity pattern are built once, and each point is
+// warm-started from the previous point's stationary distribution and
+// population statistics. Equivalent to calling solve_degree_mc per point
+// (same fixed points, same tolerances), only faster. `params.loss` is
+// ignored.
+[[nodiscard]] std::vector<DegreeMcResult> solve_degree_mc_sweep(
+    const DegreeMcParams& params, std::span<const double> losses);
 
 // Transient §6.5 analysis: the expected degree trajectory of a node that
 // joins a steady-state system with outdegree dL and indegree 0, obtained

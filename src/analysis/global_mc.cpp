@@ -3,31 +3,12 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
-#include <deque>
-#include <map>
+#include <cstdint>
 #include <stdexcept>
-#include <string>
-#include <unordered_map>
 
 namespace gossip::analysis {
 
 namespace {
-
-// Serializes a state to a canonical byte string for interning. Views are
-// kept sorted, so the encoding is canonical by construction.
-std::string encode(const GlobalState& state) {
-  std::string key;
-  key.reserve(state.size() * 8);
-  for (const auto& view : state) {
-    for (const NodeId id : view) {
-      key.push_back(static_cast<char>(id & 0xFF));
-      key.push_back(static_cast<char>((id >> 8) & 0xFF));
-    }
-    key.push_back('\x7F');
-    key.push_back('\x7F');
-  }
-  return key;
-}
 
 // Removes one instance of `id` from a sorted multiset view.
 void remove_instance(std::vector<NodeId>& view, NodeId id) {
@@ -41,9 +22,107 @@ void insert_instance(std::vector<NodeId>& view, NodeId id) {
   view.insert(std::upper_bound(view.begin(), view.end(), id), id);
 }
 
+// Interned storage for global states. Each state is one flat record in a
+// shared arena — `n` view lengths followed by the concatenated (sorted)
+// view contents — deduplicated through an open-addressing hash table that
+// compares records in place. No per-state heap allocations, no string
+// keys: interning a candidate state touches only the reusable encode
+// buffer and the arena.
+class StateArena {
+ public:
+  explicit StateArena(std::size_t node_count) : n_(node_count) {}
+
+  [[nodiscard]] std::size_t size() const { return begin_.size(); }
+
+  // Interns the state, returning its dense index (appending a new record
+  // when unseen).
+  std::size_t intern(const GlobalState& state) {
+    assert(state.size() == n_);
+    encode_buffer_.clear();
+    for (const auto& view : state) {
+      encode_buffer_.push_back(static_cast<NodeId>(view.size()));
+    }
+    for (const auto& view : state) {
+      encode_buffer_.insert(encode_buffer_.end(), view.begin(), view.end());
+    }
+    const std::uint64_t h = hash(encode_buffer_);
+
+    if (table_.empty()) rehash(1024);
+    const std::size_t mask = table_.size() - 1;
+    std::size_t pos = static_cast<std::size_t>(h) & mask;
+    while (table_[pos] != 0) {
+      const std::size_t candidate = table_[pos] - 1;
+      if (hashes_[candidate] == h && equals(candidate, encode_buffer_)) {
+        return candidate;
+      }
+      pos = (pos + 1) & mask;
+    }
+
+    const std::size_t index = begin_.size();
+    begin_.push_back(arena_.size());
+    arena_.insert(arena_.end(), encode_buffer_.begin(), encode_buffer_.end());
+    hashes_.push_back(h);
+    table_[pos] = index + 1;
+    if ((begin_.size() + 1) * 10 > table_.size() * 7) {
+      rehash(table_.size() * 2);
+    }
+    return index;
+  }
+
+  // Decodes record `index` back into the nested-vector representation.
+  [[nodiscard]] GlobalState decode(std::size_t index) const {
+    GlobalState state(n_);
+    const NodeId* record = arena_.data() + begin_[index];
+    const NodeId* ids = record + n_;
+    for (std::size_t u = 0; u < n_; ++u) {
+      state[u].assign(ids, ids + record[u]);
+      ids += record[u];
+    }
+    return state;
+  }
+
+ private:
+  [[nodiscard]] static std::uint64_t hash(const std::vector<NodeId>& record) {
+    // FNV-1a over the raw id values.
+    std::uint64_t h = 1469598103934665603ULL;
+    for (const NodeId v : record) {
+      h ^= v;
+      h *= 1099511628211ULL;
+    }
+    return h;
+  }
+
+  [[nodiscard]] bool equals(std::size_t index,
+                            const std::vector<NodeId>& record) const {
+    const std::size_t offset = begin_[index];
+    const std::size_t end = index + 1 < begin_.size() ? begin_[index + 1]
+                                                      : arena_.size();
+    if (end - offset != record.size()) return false;
+    return std::equal(record.begin(), record.end(), arena_.begin() + offset);
+  }
+
+  void rehash(std::size_t capacity) {
+    table_.assign(capacity, 0);
+    const std::size_t mask = capacity - 1;
+    for (std::size_t s = 0; s < begin_.size(); ++s) {
+      std::size_t pos = static_cast<std::size_t>(hashes_[s]) & mask;
+      while (table_[pos] != 0) pos = (pos + 1) & mask;
+      table_[pos] = s + 1;
+    }
+  }
+
+  std::size_t n_;
+  std::vector<NodeId> arena_;        // concatenated records
+  std::vector<std::size_t> begin_;   // state index -> arena offset
+  std::vector<std::uint64_t> hashes_;
+  std::vector<std::size_t> table_;   // open addressing; entry = index + 1
+  std::vector<NodeId> encode_buffer_;
+};
+
 class GlobalMcBuilder {
  public:
-  explicit GlobalMcBuilder(const GlobalMcParams& params) : p_(params) {
+  explicit GlobalMcBuilder(const GlobalMcParams& params)
+      : p_(params), arena_(params.initial.node_count()) {
     validate();
   }
 
@@ -52,22 +131,27 @@ class GlobalMcBuilder {
     result.node_count = p_.initial.node_count();
 
     const GlobalState initial = state_from_graph(p_.initial);
-    intern(initial);
+    arena_.intern(initial);
+    chain_.resize(1);
 
     // Breadth-first exploration; transitions are recorded as states are
     // expanded.
-    for (std::size_t s = 0; s < states_.size(); ++s) {
-      if (states_.size() > p_.max_states) {
+    for (std::size_t s = 0; s < arena_.size(); ++s) {
+      if (arena_.size() > p_.max_states) {
         result.exploration_complete = false;
         break;
       }
       expand(s);
     }
     result.exploration_complete =
-        result.exploration_complete && states_.size() <= p_.max_states;
+        result.exploration_complete && arena_.size() <= p_.max_states;
 
+    chain_.resize(arena_.size());
     chain_.finalize();
-    result.states = states_;
+    result.states.reserve(arena_.size());
+    for (std::size_t s = 0; s < arena_.size(); ++s) {
+      result.states.push_back(arena_.decode(s));
+    }
     result.strongly_connected =
         result.exploration_complete && chain_.strongly_connected();
     result.doubly_stochastic =
@@ -102,66 +186,64 @@ class GlobalMcBuilder {
     }
   }
 
-  std::size_t intern(const GlobalState& state) {
-    const std::string key = encode(state);
-    const auto [it, inserted] = index_.try_emplace(key, states_.size());
-    if (inserted) {
-      states_.push_back(state);
-      chain_.resize(states_.size());
-    }
-    return it->second;
-  }
-
   // Enumerates all transformations out of state `s` with exact
   // probabilities; anything not emitted stays as an implicit self-loop.
+  // All working states live in reusable member buffers — a full expansion
+  // performs no steady-state allocations.
   void expand(std::size_t s) {
-    // NOTE: states_ may reallocate during intern(); copy the source state.
-    const GlobalState state = states_[s];
-    const std::size_t n = state.size();
+    base_ = arena_.decode(s);
+    const std::size_t n = base_.size();
     const double cap = static_cast<double>(p_.config.view_size);
     const double pair_slots = cap * (cap - 1.0);
 
     for (NodeId u = 0; u < n; ++u) {
-      const auto& view = state[u];
+      const auto& view = base_[u];
       if (view.size() < 2) continue;  // only self-loop actions possible
-
-      // Distinct id values in the view with multiplicities.
-      std::map<NodeId, std::size_t> mult;
-      for (const NodeId id : view) ++mult[id];
 
       const bool duplicate = view.size() <= p_.config.min_degree;
 
-      for (const auto& [target, m_target] : mult) {
-        for (const auto& [carried, m_carried] : mult) {
-          const double favorable =
-              static_cast<double>(m_target) *
-              static_cast<double>(m_carried - (target == carried ? 1 : 0));
+      // Distinct id values with multiplicities: the view is sorted, so
+      // runs enumerate them without any per-view map.
+      for (std::size_t i = 0; i < view.size();) {
+        const NodeId target = view[i];
+        std::size_t ri = i;
+        while (ri < view.size() && view[ri] == target) ++ri;
+        const auto m_target = static_cast<double>(ri - i);
+        for (std::size_t j = 0; j < view.size();) {
+          const NodeId carried = view[j];
+          std::size_t rj = j;
+          while (rj < view.size() && view[rj] == carried) ++rj;
+          const double m_carried =
+              static_cast<double>(rj - j) - (target == carried ? 1.0 : 0.0);
+          j = rj;
+          const double favorable = m_target * m_carried;
           if (favorable <= 0.0) continue;
           const double p_pick =
               favorable / pair_slots / static_cast<double>(n);
 
           // Sender-side step (identical whether the message is lost).
-          GlobalState after_send = state;
+          after_send_ = base_;
           if (!duplicate) {
-            remove_instance(after_send[u], target);
-            remove_instance(after_send[u], carried);
+            remove_instance(after_send_[u], target);
+            remove_instance(after_send_[u], carried);
           }
 
           if (p_.loss > 0.0) {
-            emit(s, after_send, p_pick * p_.loss);
+            emit(s, after_send_, p_pick * p_.loss);
           }
 
           // Receive step at `target` (which may be u itself; the view used
           // is the post-send one — steps execute in order).
-          GlobalState delivered = after_send;
-          auto& receiver = delivered[target];
+          delivered_ = after_send_;
+          auto& receiver = delivered_[target];
           if (receiver.size() + 2 <= p_.config.view_size) {
             insert_instance(receiver, u);
             insert_instance(receiver, carried);
           }
           // else: deletion — ids dropped, view unchanged.
-          emit(s, delivered, p_pick * (1.0 - p_.loss));
+          emit(s, delivered_, p_pick * (1.0 - p_.loss));
         }
+        i = ri;
       }
     }
   }
@@ -171,19 +253,20 @@ class GlobalMcBuilder {
     // §7.1: partitioned membership graphs are excluded from G; edges
     // leading to them become self-loops.
     if (!weakly_connected(to_state)) return;
-    const std::size_t to = intern(to_state);
+    const std::size_t to = arena_.intern(to_state);
+    if (to >= chain_.state_count()) chain_.resize(arena_.size());
     chain_.add(from, to, prob);
   }
 
   // Weak connectivity of the membership graph (self-edges do not connect).
-  [[nodiscard]] static bool weakly_connected(const GlobalState& state) {
+  [[nodiscard]] bool weakly_connected(const GlobalState& state) {
     const std::size_t n = state.size();
-    std::vector<std::size_t> parent(n);
-    for (std::size_t i = 0; i < n; ++i) parent[i] = i;
+    parent_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) parent_[i] = i;
     auto find = [&](std::size_t x) {
-      while (parent[x] != x) {
-        parent[x] = parent[parent[x]];
-        x = parent[x];
+      while (parent_[x] != x) {
+        parent_[x] = parent_[parent_[x]];
+        x = parent_[x];
       }
       return x;
     };
@@ -193,7 +276,7 @@ class GlobalMcBuilder {
         const std::size_t a = find(u);
         const std::size_t b = find(v);
         if (a != b) {
-          parent[a] = b;
+          parent_[a] = b;
           --components;
         }
       }
@@ -214,7 +297,8 @@ class GlobalMcBuilder {
 
   void finalize_statistics(GlobalMcResult& result) const {
     const auto& pi = result.stationary.distribution;
-    const auto n_states = static_cast<double>(states_.size());
+    const auto& states = result.states;
+    const auto n_states = static_cast<double>(states.size());
     for (const double x : pi) {
       result.uniformity_deviation =
           std::max(result.uniformity_deviation, std::abs(x * n_states - 1.0));
@@ -222,8 +306,8 @@ class GlobalMcBuilder {
 
     // Uniformity restricted to simple states (exact Lemma 7.5 regime).
     double simple_mass = 0.0;
-    for (std::size_t s = 0; s < states_.size(); ++s) {
-      if (is_simple_state(states_[s])) {
+    for (std::size_t s = 0; s < states.size(); ++s) {
+      if (is_simple_state(states[s])) {
         ++result.simple_state_count;
         simple_mass += pi[s];
       }
@@ -231,8 +315,8 @@ class GlobalMcBuilder {
     if (result.simple_state_count > 0) {
       const double mean =
           simple_mass / static_cast<double>(result.simple_state_count);
-      for (std::size_t s = 0; s < states_.size(); ++s) {
-        if (!is_simple_state(states_[s])) continue;
+      for (std::size_t s = 0; s < states.size(); ++s) {
+        if (!is_simple_state(states[s])) continue;
         result.simple_state_uniformity_deviation =
             std::max(result.simple_state_uniformity_deviation,
                      std::abs(pi[s] / mean - 1.0));
@@ -242,9 +326,9 @@ class GlobalMcBuilder {
     // P(v in u.lv) under pi, for all ordered pairs u != v.
     const std::size_t n = result.node_count;
     std::vector<double> presence(n * n, 0.0);
-    for (std::size_t s = 0; s < states_.size(); ++s) {
+    for (std::size_t s = 0; s < states.size(); ++s) {
       for (NodeId u = 0; u < n; ++u) {
-        const auto& view = states_[s][u];
+        const auto& view = states[s][u];
         NodeId previous = kNilNode;
         for (const NodeId v : view) {
           if (v == previous) continue;  // presence, not multiplicity
@@ -272,9 +356,13 @@ class GlobalMcBuilder {
   }
 
   GlobalMcParams p_;
-  std::vector<GlobalState> states_;
-  std::unordered_map<std::string, std::size_t> index_;
+  StateArena arena_;
   markov::SparseChain chain_;
+  // expand() working buffers, reused across all expansions.
+  GlobalState base_;
+  GlobalState after_send_;
+  GlobalState delivered_;
+  std::vector<std::size_t> parent_;
 };
 
 }  // namespace

@@ -1,9 +1,12 @@
 #include "analysis/mixing.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <limits>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace gossip::analysis {
 
@@ -29,25 +32,45 @@ MixingResult measure_mixing(const markov::SparseChain& chain,
   result.epsilon = epsilon;
   result.tau_epsilon = std::numeric_limits<std::size_t>::max();
 
-  auto expected_tv = [&] {
-    double total = 0.0;
-    for (std::size_t x = 0; x < n; ++x) {
-      if (pi[x] == 0.0) continue;
-      double tv = 0.0;
-      for (std::size_t y = 0; y < n; ++y) {
-        tv += std::abs(rows[x][y] - pi[y]);
-      }
-      total += pi[x] * 0.5 * tv;
+  // Per-row TV contributions, summed in index order afterwards so the
+  // total does not depend on how rows were distributed over threads.
+  std::vector<double> tv_term(n, 0.0);
+  auto row_tv = [&](std::size_t x) {
+    if (pi[x] == 0.0) {
+      tv_term[x] = 0.0;
+      return;
     }
+    double tv = 0.0;
+    for (std::size_t y = 0; y < n; ++y) {
+      tv += std::abs(rows[x][y] - pi[y]);
+    }
+    tv_term[x] = pi[x] * 0.5 * tv;
+  };
+  auto total_tv = [&] {
+    double total = 0.0;
+    for (std::size_t x = 0; x < n; ++x) total += tv_term[x];
     return total;
   };
 
-  result.expected_tv.push_back(expected_tv());
-  for (std::size_t t = 1; t <= steps; ++t) {
-    for (std::size_t x = 0; x < n; ++x) {
-      rows[x] = chain.step(rows[x]);
+  // Rows evolve independently: distribute them over the pool, one sparse
+  // step plus one TV evaluation per row. The chunk grain is a pure
+  // function of n (determinism), and the nested parallelism inside
+  // step_into collapses to the inline path on worker threads.
+  const std::size_t grain = std::max<std::size_t>(16, n / 64);
+  auto evolve_rows = [&](std::size_t begin, std::size_t end) {
+    std::vector<double> scratch;
+    for (std::size_t x = begin; x < end; ++x) {
+      chain.step_into(rows[x], scratch);
+      rows[x].swap(scratch);
+      row_tv(x);
     }
-    const double d = expected_tv();
+  };
+
+  for (std::size_t x = 0; x < n; ++x) row_tv(x);
+  result.expected_tv.push_back(total_tv());
+  for (std::size_t t = 1; t <= steps; ++t) {
+    ThreadPool::global().parallel_for(n, grain, evolve_rows);
+    const double d = total_tv();
     result.expected_tv.push_back(d);
     if (d < epsilon &&
         result.tau_epsilon == std::numeric_limits<std::size_t>::max()) {

@@ -1,9 +1,11 @@
 #include "analysis/thresholds.hpp"
 
+#include <cmath>
 #include <stdexcept>
 #include <vector>
 
 #include "analysis/degree_analytical.hpp"
+#include "analysis/degree_mc.hpp"
 
 namespace gossip::analysis {
 
@@ -51,6 +53,39 @@ ThresholdSelection select_thresholds(std::size_t target_degree, double delta) {
     throw std::runtime_error("no feasible s: delta too small");
   }
   return sel;
+}
+
+std::vector<ThresholdLossValidation> validate_thresholds_under_loss(
+    const ThresholdSelection& selection, double delta,
+    std::span<const double> losses) {
+  if (selection.view_size == 0 || selection.min_degree > selection.view_size) {
+    throw std::invalid_argument("invalid threshold selection");
+  }
+  for (const double loss : losses) {
+    if (loss < 0.0 || loss + delta >= 1.0) {
+      throw std::invalid_argument("need 0 <= ℓ and ℓ + δ < 1");
+    }
+  }
+
+  DegreeMcParams params;
+  params.view_size = selection.view_size;
+  params.min_degree = selection.min_degree;
+  const std::vector<DegreeMcResult> solved =
+      solve_degree_mc_sweep(params, losses);
+
+  std::vector<ThresholdLossValidation> out(losses.size());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    const DegreeMcResult& r = solved[i];
+    ThresholdLossValidation& v = out[i];
+    v.loss = losses[i];
+    v.duplication_probability = r.duplication_probability;
+    v.deletion_probability = r.deletion_probability;
+    v.balance_gap = std::abs(r.duplication_probability -
+                             (v.loss + r.deletion_probability));
+    v.within_bound = r.duplication_probability >= v.loss &&
+                     r.duplication_probability <= v.loss + delta;
+  }
+  return out;
 }
 
 }  // namespace gossip::analysis

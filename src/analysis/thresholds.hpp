@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <span>
+#include <vector>
 
 namespace gossip::analysis {
 
@@ -29,5 +31,26 @@ struct ThresholdSelection {
 // feasible thresholds exist (delta too small).
 [[nodiscard]] ThresholdSelection select_thresholds(std::size_t target_degree,
                                                    double delta);
+
+// One point of the Lemma 6.7 check: at thresholds chosen for tolerance δ
+// with no loss, the steady-state duplication probability under loss ℓ
+// should stay within [ℓ, ℓ + δ] (and Lemma 6.6 forces dup = ℓ + del).
+struct ThresholdLossValidation {
+  double loss = 0.0;
+  double duplication_probability = 0.0;
+  double deletion_probability = 0.0;
+  // |dup - (ℓ + del)|: how tightly the Lemma 6.6 balance holds numerically.
+  double balance_gap = 0.0;
+  bool within_bound = false;  // dup in [ℓ, ℓ + δ]
+};
+
+// Validates a selection against the full §6.2 degree MC across loss rates,
+// using one warm-started sweep (solve_degree_mc_sweep) over `losses`.
+// Requires ℓ + δ < 1 for every loss. This is the numerical closure of
+// §6.3: the thresholds are chosen from the no-loss analytical
+// distribution, then certified against the lossy chain.
+[[nodiscard]] std::vector<ThresholdLossValidation>
+validate_thresholds_under_loss(const ThresholdSelection& selection,
+                               double delta, std::span<const double> losses);
 
 }  // namespace gossip::analysis

@@ -1,0 +1,143 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace gossip {
+
+namespace {
+
+// Set while a pool worker (or the caller participating in a parallel_for)
+// is executing chunks; nested parallel_for calls then run inline.
+thread_local bool t_inside_pool = false;
+
+// One parallel_for invocation. Heap-allocated and shared so a straggler
+// worker that wakes late only ever touches the (exhausted) job it grabbed,
+// never state reused by a newer invocation.
+struct Job {
+  const std::function<void(std::size_t, std::size_t)>* fn = nullptr;
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::size_t chunk_count = 0;
+  std::atomic<std::size_t> next_chunk{0};
+  std::atomic<std::size_t> chunks_finished{0};
+};
+
+}  // namespace
+
+struct ThreadPool::Impl {
+  std::mutex mutex;
+  std::condition_variable work_ready;
+  std::condition_variable work_done;
+  std::vector<std::thread> workers;
+
+  std::shared_ptr<Job> current;  // guarded by mutex
+  std::uint64_t generation = 0;  // guarded by mutex
+  bool shutting_down = false;
+
+  void run_chunks(Job& job) {
+    const bool was_inside = t_inside_pool;
+    t_inside_pool = true;
+    for (;;) {
+      const std::size_t c =
+          job.next_chunk.fetch_add(1, std::memory_order_relaxed);
+      if (c >= job.chunk_count) break;
+      const std::size_t begin = c * job.grain;
+      const std::size_t end = std::min(job.count, begin + job.grain);
+      (*job.fn)(begin, end);
+      if (job.chunks_finished.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          job.chunk_count) {
+        // Last chunk: wake the caller blocked in parallel_for.
+        std::lock_guard<std::mutex> lock(mutex);
+        work_done.notify_all();
+      }
+    }
+    t_inside_pool = was_inside;
+  }
+
+  void worker_loop() {
+    std::uint64_t seen_generation = 0;
+    for (;;) {
+      std::shared_ptr<Job> job;
+      {
+        std::unique_lock<std::mutex> lock(mutex);
+        work_ready.wait(lock, [&] {
+          return shutting_down || generation != seen_generation;
+        });
+        if (shutting_down) return;
+        seen_generation = generation;
+        job = current;
+      }
+      if (job) run_chunks(*job);
+    }
+  }
+};
+
+ThreadPool::ThreadPool(std::size_t thread_count)
+    : impl_(new Impl), thread_count_(thread_count == 0 ? 1 : thread_count) {
+  for (std::size_t i = 1; i < thread_count_; ++i) {
+    impl_->workers.emplace_back([this] { impl_->worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->shutting_down = true;
+  }
+  impl_->work_ready.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, std::size_t grain,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (count == 0) return;
+  if (grain == 0) grain = 1;
+  const std::size_t chunks = (count + grain - 1) / grain;
+  if (chunks == 1 || thread_count_ == 1 || t_inside_pool) {
+    // Inline path: single chunk, no workers, or nested call from a worker.
+    // Chunk boundaries are unchanged, so results are identical.
+    const bool was_inside = t_inside_pool;
+    t_inside_pool = true;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const std::size_t begin = c * grain;
+      fn(begin, std::min(count, begin + grain));
+    }
+    t_inside_pool = was_inside;
+    return;
+  }
+
+  auto job = std::make_shared<Job>();
+  job->fn = &fn;
+  job->count = count;
+  job->grain = grain;
+  job->chunk_count = chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mutex);
+    impl_->current = job;
+    ++impl_->generation;
+  }
+  impl_->work_ready.notify_all();
+  impl_->run_chunks(*job);  // the caller is one of the executors
+  {
+    std::unique_lock<std::mutex> lock(impl_->mutex);
+    impl_->work_done.wait(lock, [&] {
+      return job->chunks_finished.load(std::memory_order_acquire) ==
+             job->chunk_count;
+    });
+    if (impl_->current == job) impl_->current.reset();
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(std::thread::hardware_concurrency());
+  return pool;
+}
+
+}  // namespace gossip

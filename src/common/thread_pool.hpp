@@ -1,0 +1,55 @@
+// Persistent worker pool with a deterministic blocking parallel-for.
+//
+// The analysis pipeline (sparse SpMV in `markov/sparse_chain`, the mixing
+// loop, spectral power iteration) needs data parallelism with *bit-exact*
+// results: chunk boundaries are a pure function of (count, grain), never of
+// the worker count or of scheduling, and every output element is written by
+// exactly one chunk as a fixed-order sum. Workers only decide *which thread*
+// executes a chunk, so results are identical for any pool size — the same
+// contract the sharded simulation driver provides per (seed, shard_count),
+// strengthened here to independence from the thread count as well.
+//
+// parallel_for is re-entrant-safe: a call made from inside a worker (nested
+// parallelism, e.g. mixing evolving rows whose step could itself be
+// parallel) runs inline on the calling thread instead of deadlocking on the
+// pool.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+
+namespace gossip {
+
+class ThreadPool {
+ public:
+  // Spawns `thread_count - 1` workers (the caller participates as the
+  // remaining executor). thread_count == 0 is normalized to 1.
+  explicit ThreadPool(std::size_t thread_count);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Total executors (workers + the calling thread).
+  [[nodiscard]] std::size_t size() const { return thread_count_; }
+
+  // Invokes fn(begin, end) over [0, count) split into ceil(count / grain)
+  // contiguous chunks and blocks until all chunks ran. Chunk boundaries
+  // depend only on count and grain. Runs entirely inline when the pool has
+  // one executor, when there is a single chunk, or when called from inside
+  // a pool worker.
+  void parallel_for(std::size_t count, std::size_t grain,
+                    const std::function<void(std::size_t, std::size_t)>& fn);
+
+  // Process-wide pool sized to the hardware concurrency. Lazily constructed
+  // on first use; shared by all numeric kernels so oversubscription never
+  // multiplies across solver layers.
+  [[nodiscard]] static ThreadPool& global();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  std::size_t thread_count_;
+};
+
+}  // namespace gossip

@@ -1,30 +1,50 @@
 #include "graph/spectral.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 #include <vector>
 
+#include "common/thread_pool.hpp"
+
 namespace gossip {
 
 namespace {
 
-// Undirected adjacency (with multiplicity) and degrees.
+// Below this many adjacency entries a parallel dispatch costs more than
+// the matvec itself.
+constexpr std::size_t kParallelAdjacencyThreshold = 1 << 15;
+
+// Undirected adjacency (with multiplicity) in CSR form, plus degrees.
+// Flat storage keeps the power-iteration matvec cache-friendly and lets
+// it be chunked over the thread pool without per-row indirection.
 struct Undirected {
-  std::vector<std::vector<NodeId>> adj;
+  std::vector<std::size_t> row_ptr;  // n + 1
+  std::vector<NodeId> cols;
   std::vector<double> degree;
 };
 
 Undirected undirect(const Digraph& g) {
+  const std::size_t n = g.node_count();
   Undirected u;
-  u.adj.resize(g.node_count());
-  u.degree.assign(g.node_count(), 0.0);
-  for (NodeId a = 0; a < g.node_count(); ++a) {
+  u.degree.assign(n, 0.0);
+  u.row_ptr.assign(n + 1, 0);
+  for (NodeId a = 0; a < n; ++a) {
     for (const NodeId b : g.out_neighbors(a)) {
-      u.adj[a].push_back(b);
-      u.adj[b].push_back(a);
+      ++u.row_ptr[a + 1];
+      ++u.row_ptr[b + 1];
       u.degree[a] += 1.0;
       u.degree[b] += 1.0;
+    }
+  }
+  for (std::size_t i = 0; i < n; ++i) u.row_ptr[i + 1] += u.row_ptr[i];
+  u.cols.resize(u.row_ptr[n]);
+  std::vector<std::size_t> cursor(u.row_ptr.begin(), u.row_ptr.end() - 1);
+  for (NodeId a = 0; a < n; ++a) {
+    for (const NodeId b : g.out_neighbors(a)) {
+      u.cols[cursor[a]++] = b;
+      u.cols[cursor[b]++] = a;
     }
   }
   return u;
@@ -81,15 +101,39 @@ SpectralResult estimate_spectral_gap(const Digraph& graph,
   }
   for (double& v : x) v /= x_norm;
 
+  // One application of the lazy walk: y_i = x_i/2 + (sum_{j~i} x_j)/(2 d_i).
+  // Each output entry is an independent fixed-order sum over its CSR row,
+  // so the parallel version is bit-identical to the serial one for any
+  // worker count (the grain depends only on n).
+  auto matvec_rows = [&](std::vector<double>& y, std::size_t begin,
+                         std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      if (u.degree[i] == 0.0) {
+        y[i] = 0.0;
+        continue;
+      }
+      double acc = 0.0;
+      for (std::size_t k = u.row_ptr[i]; k < u.row_ptr[i + 1]; ++k) {
+        acc += x[u.cols[k]];
+      }
+      y[i] = 0.5 * x[i] + 0.5 * acc / u.degree[i];
+    }
+  };
+  const bool parallel = u.cols.size() >= kParallelAdjacencyThreshold;
+  const std::size_t grain = std::max<std::size_t>(256, n / 64);
+
   SpectralResult result;
   double lambda = 0.0;
+  std::vector<double> y(n, 0.0);
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    std::vector<double> y(n, 0.0);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (u.degree[i] == 0.0) continue;
-      double acc = 0.0;
-      for (const NodeId j : u.adj[i]) acc += x[j];
-      y[i] = 0.5 * x[i] + 0.5 * acc / u.degree[i];
+    if (parallel) {
+      ThreadPool::global().parallel_for(
+          n, grain,
+          [&](std::size_t begin, std::size_t end) {
+            matvec_rows(y, begin, end);
+          });
+    } else {
+      matvec_rows(y, 0, n);
     }
     deflate(y);
     const double y_norm = norm(y);

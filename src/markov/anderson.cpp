@@ -1,0 +1,141 @@
+#include "markov/anderson.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gossip::markov {
+
+namespace {
+
+// Solves the small dense system G x = b in place (Gaussian elimination
+// with partial pivoting); G is m×m row-major. Returns false on
+// (numerical) singularity.
+bool solve_dense(std::vector<double>& g, std::vector<double>& b,
+                 std::size_t m) {
+  for (std::size_t col = 0; col < m; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < m; ++r) {
+      if (std::abs(g[r * m + col]) > std::abs(g[pivot * m + col])) pivot = r;
+    }
+    if (std::abs(g[pivot * m + col]) < 1e-300) return false;
+    if (pivot != col) {
+      for (std::size_t c = 0; c < m; ++c) {
+        std::swap(g[col * m + c], g[pivot * m + c]);
+      }
+      std::swap(b[col], b[pivot]);
+    }
+    const double inv = 1.0 / g[col * m + col];
+    for (std::size_t r = col + 1; r < m; ++r) {
+      const double factor = g[r * m + col] * inv;
+      if (factor == 0.0) continue;
+      for (std::size_t c = col; c < m; ++c) {
+        g[r * m + c] -= factor * g[col * m + c];
+      }
+      b[r] -= factor * b[col];
+    }
+  }
+  for (std::size_t col = m; col-- > 0;) {
+    double acc = b[col];
+    for (std::size_t c = col + 1; c < m; ++c) {
+      acc -= g[col * m + c] * b[c];
+    }
+    b[col] = acc / g[col * m + col];
+  }
+  return true;
+}
+
+}  // namespace
+
+AndersonMixer::AndersonMixer(std::size_t depth) : depth_(depth) {
+  if (depth == 0) throw std::invalid_argument("Anderson depth must be >= 1");
+}
+
+void AndersonMixer::push(const std::vector<double>& x,
+                         const std::vector<double>& f, double residual_norm) {
+  if (has_last_ && residual_norm >= last_residual_norm_) {
+    // The previous step overshot; its secant information is poison.
+    history_x_.clear();
+    history_f_.clear();
+  }
+  last_residual_norm_ = residual_norm;
+  has_last_ = true;
+  history_x_.push_back(x);
+  history_f_.push_back(f);
+  if (history_x_.size() > depth_ + 1) {
+    history_x_.erase(history_x_.begin());
+    history_f_.erase(history_f_.begin());
+  }
+}
+
+bool AndersonMixer::extrapolate(std::vector<double>& next) const {
+  // Cooldown: a single secant pair right after a reset reproduces the
+  // overshoot that caused the reset — require at least two.
+  if (history_x_.size() < 3) return false;
+  const std::size_t m = history_x_.size() - 1;
+  const std::vector<double>& f = history_f_.back();
+  const std::size_t n = f.size();
+
+  // Columns: dF_j = f_{j+1} - f_j, dX_j = x_{j+1} - x_j.
+  auto df = [&](std::size_t j, std::size_t k) {
+    return history_f_[j + 1][k] - history_f_[j][k];
+  };
+  std::vector<double> gram(m * m, 0.0);
+  std::vector<double> rhs(m, 0.0);
+  double trace = 0.0;
+  for (std::size_t a = 0; a < m; ++a) {
+    for (std::size_t b = a; b < m; ++b) {
+      double dot = 0.0;
+      for (std::size_t k = 0; k < n; ++k) dot += df(a, k) * df(b, k);
+      gram[a * m + b] = dot;
+      gram[b * m + a] = dot;
+    }
+    trace += gram[a * m + a];
+    double dot = 0.0;
+    for (std::size_t k = 0; k < n; ++k) dot += df(a, k) * f[k];
+    rhs[a] = dot;
+  }
+  if (trace <= 0.0) return false;
+  // Scale-relative Tikhonov regularization. It must NOT have an absolute
+  // floor: near convergence ||dF||^2 is far below any fixed constant, and
+  // a floor would zero out gamma, silently turning every extrapolation
+  // into a no-op.
+  for (std::size_t a = 0; a < m; ++a) {
+    gram[a * m + a] += 1e-12 * trace;
+  }
+  if (!solve_dense(gram, rhs, m)) return false;
+
+  // next = x_k + f_k - sum_j gamma_j (dX_j + dF_j).
+  const std::vector<double>& x = history_x_.back();
+  next.resize(n);
+  for (std::size_t k = 0; k < n; ++k) next[k] = x[k] + f[k];
+  for (std::size_t j = 0; j < m; ++j) {
+    const double gamma = rhs[j];
+    if (gamma == 0.0) continue;
+    for (std::size_t k = 0; k < n; ++k) {
+      next[k] -=
+          gamma * (history_x_[j + 1][k] - history_x_[j][k] + df(j, k));
+    }
+  }
+  return true;
+}
+
+void AndersonMixer::reset() {
+  history_x_.clear();
+  history_f_.clear();
+  has_last_ = false;
+}
+
+bool project_to_simplex(std::vector<double>& v) {
+  double total = 0.0;
+  for (double& x : v) {
+    if (x < 0.0) x = 0.0;
+    total += x;
+  }
+  if (total <= 1e-12) return false;
+  const double inv = 1.0 / total;
+  for (double& x : v) x *= inv;
+  return true;
+}
+
+}  // namespace gossip::markov

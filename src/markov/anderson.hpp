@@ -1,0 +1,70 @@
+// Anderson mixing for fixed-point iterations x = G(x).
+//
+// Plain Picard iteration (x <- G(x), possibly damped) converges linearly
+// at the rate of G's dominant contraction factor — painfully slow both for
+// the power iteration on a slowly-mixing chain (factor = |lambda_2|, often
+// 1 - 1e-4) and for the §6.2 degree-MC outer loop. Anderson acceleration
+// keeps the last m iterate/residual pairs and extrapolates through the
+// least-squares combination of residual differences (AA-II); on linear
+// maps it is equivalent to a restarted Krylov method and typically cuts
+// iteration counts by one to two orders of magnitude.
+//
+// The mixer is deliberately conservative, tuned for robustness on the
+// chains in this repo:
+//  * the history is cleared whenever the residual fails to decrease (an
+//    overshoot poisons the secant information);
+//  * extrapolation requires at least two secant pairs — re-extrapolating
+//    from a single pair right after a reset locks the iteration into a
+//    period-2 limit cycle;
+//  * the caller decides the fallback step (plain or damped) whenever
+//    extrapolate() declines, and projects iterates back onto its feasible
+//    set (for distributions: clip negatives, renormalize).
+//
+// All operations are deterministic: same inputs, same history, same bits.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip::markov {
+
+class AndersonMixer {
+ public:
+  // depth = m, the number of secant pairs kept (>= 1).
+  explicit AndersonMixer(std::size_t depth);
+
+  // Records the iterate x and its residual f = G(x) - x, with residual_norm
+  // = ||f||. Clears the history first when residual_norm did not decrease
+  // relative to the previous push.
+  void push(const std::vector<double>& x, const std::vector<double>& f,
+            double residual_norm);
+
+  // Computes the AA-II extrapolation from the current history into `next`:
+  //   next = x_k + f_k - sum_j gamma_j (dX_j + dF_j),
+  // with gamma solving the regularized normal equations of
+  // min ||f_k - dF gamma||_2. Returns false (leaving `next` untouched)
+  // when the history holds fewer than two secant pairs or the
+  // least-squares system degenerates; the caller then takes its fallback
+  // step.
+  [[nodiscard]] bool extrapolate(std::vector<double>& next) const;
+
+  // Drops all history (e.g. when the underlying map changes).
+  void reset();
+
+  [[nodiscard]] std::size_t pairs() const { return history_x_.size(); }
+
+ private:
+  std::size_t depth_;
+  std::vector<std::vector<double>> history_x_;
+  std::vector<std::vector<double>> history_f_;
+  double last_residual_norm_ = 0.0;
+  bool has_last_ = false;
+};
+
+// Clips negative entries to zero and rescales to unit sum. Returns false
+// (leaving v untouched beyond the clip) when the positive mass is too
+// small to renormalize — the iterate is garbage and the caller should
+// fall back.
+bool project_to_simplex(std::vector<double>& v);
+
+}  // namespace gossip::markov

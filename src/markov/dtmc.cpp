@@ -49,4 +49,24 @@ DtmcBuilder::Chain DtmcBuilder::build(double tolerance) const {
   return chain;
 }
 
+DtmcBuilder::SparseBuild DtmcBuilder::build_sparse(double tolerance) const {
+  const std::size_t n = keys_.size();
+  SparseBuild result;
+  result.chain.resize(n);
+  result.keys = keys_;
+  result.index = index_;
+  for (std::size_t r = 0; r < n; ++r) {
+    double total = 0.0;
+    for (const auto& [c, w] : rows_[r]) {
+      result.chain.add(r, c, w);
+      total += w;
+    }
+    if (total > 1.0 + tolerance) {
+      throw std::invalid_argument("row weight exceeds 1");
+    }
+  }
+  result.chain.finalize(tolerance);
+  return result;
+}
+
 }  // namespace gossip::markov

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "markov/matrix.hpp"
+#include "markov/sparse_chain.hpp"
 
 namespace gossip::markov {
 
@@ -41,6 +42,16 @@ class DtmcBuilder {
   // Produces the row-stochastic chain. Rows whose accumulated weight exceeds
   // 1 + tolerance throw; remaining mass up to 1 becomes a self-loop.
   [[nodiscard]] Chain build(double tolerance = 1e-9) const;
+
+  struct SparseBuild {
+    SparseChain chain;                // finalized; self-loop mass implicit
+    std::vector<std::uint64_t> keys;  // dense index -> state key
+    std::unordered_map<std::uint64_t, std::size_t> index;  // key -> index
+  };
+
+  // Same chain in sparse (CSR) form, skipping the dense n×n materialization
+  // — the memory-sane path for large interned state spaces.
+  [[nodiscard]] SparseBuild build_sparse(double tolerance = 1e-9) const;
 
  private:
   std::unordered_map<std::uint64_t, std::size_t> index_;

@@ -1,8 +1,11 @@
 #include "markov/matrix.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
+
+#include "common/thread_pool.hpp"
 
 namespace gossip::markov {
 
@@ -30,17 +33,35 @@ double* Matrix::row(std::size_t r) {
 }
 
 std::vector<double> Matrix::left_multiply(const std::vector<double>& v) const {
-  assert(v.size() == rows_);
-  std::vector<double> out(cols_, 0.0);
-  for (std::size_t r = 0; r < rows_; ++r) {
-    const double vr = v[r];
-    if (vr == 0.0) continue;
-    const double* row_data = row(r);
-    for (std::size_t c = 0; c < cols_; ++c) {
-      out[c] += vr * row_data[c];
-    }
-  }
+  std::vector<double> out;
+  left_multiply_into(v, out);
   return out;
+}
+
+void Matrix::left_multiply_into(const std::vector<double>& v,
+                                std::vector<double>& out) const {
+  assert(v.size() == rows_);
+  assert(&v != &out);
+  out.assign(cols_, 0.0);
+  // Parallelize over column ranges: each range accumulates over all rows in
+  // index order, writing a disjoint slice of `out` — deterministic for any
+  // worker count. Below ~1M cells a serial pass wins.
+  auto accumulate = [&](std::size_t c_begin, std::size_t c_end) {
+    for (std::size_t r = 0; r < rows_; ++r) {
+      const double vr = v[r];
+      if (vr == 0.0) continue;
+      const double* row_data = data_.data() + r * cols_;
+      for (std::size_t c = c_begin; c < c_end; ++c) {
+        out[c] += vr * row_data[c];
+      }
+    }
+  };
+  if (rows_ * cols_ >= (1u << 20)) {
+    const std::size_t grain = std::max<std::size_t>(64, cols_ / 64);
+    ThreadPool::global().parallel_for(cols_, grain, accumulate);
+  } else {
+    accumulate(0, cols_);
+  }
 }
 
 std::vector<double> Matrix::right_multiply(const std::vector<double>& v) const {

@@ -28,6 +28,14 @@ class Matrix {
   [[nodiscard]] std::vector<double> left_multiply(
       const std::vector<double>& v) const;
 
+  // Allocation-free form of left_multiply; `out` is resized to cols().
+  // Large matrices are split into column ranges executed on the global
+  // thread pool; each output entry is a fixed-order sum over rows, so
+  // results are bit-identical for any thread count. `v` and `out` must
+  // not alias.
+  void left_multiply_into(const std::vector<double>& v,
+                          std::vector<double>& out) const;
+
   // Matrix times column vector: out = M * v, where v has length cols().
   [[nodiscard]] std::vector<double> right_multiply(
       const std::vector<double>& v) const;

@@ -6,7 +6,18 @@
 #include <stack>
 #include <stdexcept>
 
+#include "common/thread_pool.hpp"
+#include "markov/anderson.hpp"
+
 namespace gossip::markov {
+
+namespace {
+
+// Below this many stored transitions a parallel dispatch costs more than
+// the gather itself.
+constexpr std::size_t kParallelTransitionThreshold = 1 << 15;
+
+}  // namespace
 
 SparseChain::SparseChain(std::size_t state_count) : row_sum_(state_count, 0.0) {}
 
@@ -25,6 +36,37 @@ void SparseChain::add(std::size_t from, std::size_t to, double prob) {
   row_sum_[from] += prob;
 }
 
+std::size_t SparseChain::add_edge(std::size_t from, std::size_t to) {
+  assert(!finalized_);
+  resize(std::max(from, to) + 1);
+  if (from == to) return kNoSlot;
+  from_.push_back(static_cast<std::uint32_t>(from));
+  to_.push_back(static_cast<std::uint32_t>(to));
+  prob_.push_back(0.0);
+  return prob_.size() - 1;
+}
+
+void SparseChain::build_csr() {
+  const std::size_t n = state_count();
+  const std::size_t nnz = prob_.size();
+  in_row_ptr_.assign(n + 1, 0);
+  for (std::size_t e = 0; e < nnz; ++e) ++in_row_ptr_[to_[e] + 1];
+  for (std::size_t j = 0; j < n; ++j) in_row_ptr_[j + 1] += in_row_ptr_[j];
+  in_src_.resize(nnz);
+  in_prob_.resize(nnz);
+  slot_to_pos_.resize(nnz);
+  // Counting sort by destination; slots of a destination keep insertion
+  // order, so every gather below is a fixed-order sum.
+  std::vector<std::size_t> cursor(in_row_ptr_.begin(), in_row_ptr_.end() - 1);
+  for (std::size_t e = 0; e < nnz; ++e) {
+    const std::size_t pos = cursor[to_[e]]++;
+    in_src_[pos] = from_[e];
+    in_prob_[pos] = prob_[e];
+    slot_to_pos_[e] = pos;
+  }
+  finalized_ = true;
+}
+
 void SparseChain::finalize(double tolerance) {
   for (std::size_t s = 0; s < row_sum_.size(); ++s) {
     if (row_sum_[s] > 1.0 + tolerance) {
@@ -32,25 +74,70 @@ void SparseChain::finalize(double tolerance) {
     }
     row_sum_[s] = std::min(row_sum_[s], 1.0);
   }
-  finalized_ = true;
+  build_csr();
+}
+
+void SparseChain::finalize_structure() { build_csr(); }
+
+void SparseChain::set_prob(std::size_t slot, double prob) {
+  assert(finalized_);
+  if (slot == kNoSlot) return;
+  assert(slot < prob_.size());
+  prob_[slot] = prob;
+  in_prob_[slot_to_pos_[slot]] = prob;
+}
+
+void SparseChain::commit_values(double tolerance) {
+  assert(finalized_);
+  std::fill(row_sum_.begin(), row_sum_.end(), 0.0);
+  for (std::size_t e = 0; e < prob_.size(); ++e) {
+    row_sum_[from_[e]] += prob_[e];
+  }
+  for (double& row : row_sum_) {
+    if (row > 1.0 + tolerance) {
+      throw std::runtime_error("sparse chain row exceeds probability 1");
+    }
+    row = std::min(row, 1.0);
+  }
+}
+
+void SparseChain::step_into(const std::vector<double>& pi,
+                            std::vector<double>& out) const {
+  assert(finalized_);
+  assert(pi.size() == state_count());
+  assert(&pi != &out);
+  const std::size_t n = state_count();
+  out.resize(n);
+  const double* p = pi.data();
+  double* o = out.data();
+  auto gather = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t j = begin; j < end; ++j) {
+      double acc = p[j] * (1.0 - row_sum_[j]);
+      for (std::size_t k = in_row_ptr_[j]; k < in_row_ptr_[j + 1]; ++k) {
+        acc += p[in_src_[k]] * in_prob_[k];
+      }
+      o[j] = acc;
+    }
+  };
+  if (in_prob_.size() >= kParallelTransitionThreshold) {
+    // Grain is a pure function of n, so chunk boundaries — and therefore
+    // bits — do not depend on the worker count.
+    const std::size_t grain = std::max<std::size_t>(256, n / 64);
+    ThreadPool::global().parallel_for(n, grain, gather);
+  } else {
+    gather(0, n);
+  }
 }
 
 std::vector<double> SparseChain::step(const std::vector<double>& pi) const {
-  assert(finalized_);
-  assert(pi.size() == state_count());
-  std::vector<double> next(pi.size());
-  for (std::size_t s = 0; s < pi.size(); ++s) {
-    next[s] = pi[s] * (1.0 - row_sum_[s]);
-  }
-  for (std::size_t e = 0; e < prob_.size(); ++e) {
-    next[to_[e]] += pi[from_[e]] * prob_[e];
-  }
+  std::vector<double> next;
+  step_into(pi, next);
   return next;
 }
 
 SparseChain::StationaryResult SparseChain::stationary(
     std::vector<double> initial, double tolerance,
-    std::size_t max_iterations) const {
+    std::size_t max_iterations, bool accelerated) const {
   assert(finalized_);
   const std::size_t n = state_count();
   if (n == 0) throw std::runtime_error("empty chain");
@@ -61,20 +148,41 @@ SparseChain::StationaryResult SparseChain::stationary(
   } else if (pi.size() != n) {
     throw std::invalid_argument("initial distribution has wrong size");
   }
+  // Anderson-accelerated power iteration. The residual ||pi P - pi||_1 is
+  // the same stopping criterion plain power iteration uses (there the
+  // step change *is* the residual), so the accepted distribution is as
+  // tight as an unaccelerated solve; the mixer only shortens the path.
+  // Rejected or degenerate extrapolations fall back to the plain power
+  // step, so the worst case matches unaccelerated convergence.
+  AndersonMixer mixer(4);
+  std::vector<double> next(n);
+  std::vector<double> f(n);
+  std::vector<double> accel;
   for (std::size_t it = 0; it < max_iterations; ++it) {
-    std::vector<double> next = step(pi);
+    step_into(pi, next);
     double total = 0.0;
     for (const double x : next) total += x;
     for (double& x : next) x /= total;
     double diff = 0.0;
-    for (std::size_t s = 0; s < n; ++s) diff += std::abs(next[s] - pi[s]);
-    pi = std::move(next);
+    for (std::size_t s = 0; s < n; ++s) {
+      f[s] = next[s] - pi[s];
+      diff += std::abs(f[s]);
+    }
     result.iterations = it + 1;
     result.residual = diff;
     if (diff < tolerance) {
+      std::swap(pi, next);
       result.converged = true;
       break;
     }
+    if (accelerated) {
+      mixer.push(pi, f, diff);
+      if (mixer.extrapolate(accel) && project_to_simplex(accel)) {
+        std::swap(pi, accel);
+        continue;
+      }
+    }
+    std::swap(pi, next);
   }
   result.distribution = std::move(pi);
   return result;
@@ -86,7 +194,7 @@ bool SparseChain::strongly_connected() const {
   // Build adjacency and run iterative Tarjan (structure only).
   std::vector<std::vector<std::uint32_t>> adj(n);
   for (std::size_t e = 0; e < prob_.size(); ++e) {
-    adj[from_[e]].push_back(to_[e]);
+    if (prob_[e] > 0.0) adj[from_[e]].push_back(to_[e]);
   }
   constexpr std::uint32_t kUnvisited = 0xFFFFFFFFu;
   std::vector<std::uint32_t> index(n, kUnvisited);

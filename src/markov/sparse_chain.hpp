@@ -5,6 +5,16 @@
 // stores only the nonzero off-diagonal entries (self-loop mass is implied
 // by the row remainder) and provides stationary-distribution and
 // structure queries.
+//
+// Storage is a structure/value split: transitions are accumulated as
+// triplets (each add returns a stable *slot*), and finalize_structure()
+// compiles them into CSR indexed by *destination* state, so one step of
+// pi' = pi P is an independent fixed-order gather per output entry —
+// embarrassingly parallel (see step_into) and bit-reproducible for any
+// thread count. After the structure is frozen, set_prob() rewrites values
+// in place without touching the pattern; the §6.2 degree-MC outer loop
+// builds the sparsity pattern once and only refreshes values per fixed-
+// point iteration.
 #pragma once
 
 #include <cstddef>
@@ -15,6 +25,9 @@ namespace gossip::markov {
 
 class SparseChain {
  public:
+  // Slot sentinel returned by add_edge for ignored (self-loop) edges.
+  static constexpr std::size_t kNoSlot = static_cast<std::size_t>(-1);
+
   explicit SparseChain(std::size_t state_count = 0);
 
   [[nodiscard]] std::size_t state_count() const { return row_sum_.size(); }
@@ -27,18 +40,41 @@ class SparseChain {
   // of a row must stay <= 1 (checked in finalize()).
   void add(std::size_t from, std::size_t to, double prob);
 
+  // Structure/value split: records the transition from -> to with value 0
+  // and returns a stable slot usable with set_prob() after the structure
+  // is frozen. Self-loops are ignored (returns kNoSlot).
+  std::size_t add_edge(std::size_t from, std::size_t to);
+
   // Outgoing (non-self) probability mass of a row.
   [[nodiscard]] double row_sum(std::size_t state) const {
     return row_sum_[state];
   }
 
   // Validates rows (throws std::runtime_error if any row exceeds 1 beyond
-  // tolerance) and sorts transition storage. Must be called before the
+  // tolerance) and compiles the CSR index. Must be called before the
   // queries below.
   void finalize(double tolerance = 1e-9);
 
-  // pi' = pi P, exploiting sparsity. Requires finalize().
+  // Freezes the sparsity pattern only; values may then be rewritten with
+  // set_prob() + commit_values() any number of times.
+  void finalize_structure();
+
+  // Rewrites the value of a previously added transition. Requires
+  // finalize_structure() (or finalize()). kNoSlot is ignored.
+  void set_prob(std::size_t slot, double prob);
+
+  // Recomputes row sums after a batch of set_prob calls and re-validates
+  // (throws std::runtime_error on row overflow beyond tolerance).
+  void commit_values(double tolerance = 1e-9);
+
+  // pi' = pi P, exploiting sparsity. Requires finalize(). Each output
+  // entry is an independent fixed-order sum over its incoming transitions,
+  // parallelized over the global thread pool for large chains; results are
+  // bit-identical for any thread count.
   [[nodiscard]] std::vector<double> step(const std::vector<double>& pi) const;
+  // Allocation-free form; `out` is resized to state_count(). `pi` and
+  // `out` must not alias.
+  void step_into(const std::vector<double>& pi, std::vector<double>& out) const;
 
   struct StationaryResult {
     std::vector<double> distribution;
@@ -46,10 +82,16 @@ class SparseChain {
     bool converged = false;
     double residual = 0.0;
   };
-  // Power iteration from `initial` (uniform when empty).
+  // Anderson-accelerated power iteration from `initial` (uniform when
+  // empty). Stops when the residual ||pi P - pi||_1 drops below
+  // `tolerance` — the same criterion plain power iteration uses, so the
+  // result is as tight; the acceleration only shortens the path (and
+  // falls back to plain power steps when the extrapolation degenerates).
+  // `accelerated = false` runs classic power iteration — useful as a
+  // benchmark baseline and as the bit-for-bit seed-faithful path.
   [[nodiscard]] StationaryResult stationary(
       std::vector<double> initial = {}, double tolerance = 1e-12,
-      std::size_t max_iterations = 200'000) const;
+      std::size_t max_iterations = 200'000, bool accelerated = true) const;
 
   // True if every state can reach every other along positive-probability
   // transitions (self-loops ignored) — irreducibility (Lemma 7.1 checks).
@@ -60,14 +102,28 @@ class SparseChain {
   // fixed-sum chain (Lemmas 7.3/7.4 imply it; Lemma 7.5 follows).
   [[nodiscard]] bool doubly_stochastic(double tolerance = 1e-9) const;
 
-  // Number of stored (off-diagonal) transitions.
+  // Number of stored (off-diagonal) transition slots.
   [[nodiscard]] std::size_t transition_count() const { return to_.size(); }
 
  private:
+  void build_csr();
+
+  // Triplet (slot-indexed) storage; the build-time representation and the
+  // owner of the values.
   std::vector<std::uint32_t> from_;
   std::vector<std::uint32_t> to_;
   std::vector<double> prob_;
   std::vector<double> row_sum_;
+
+  // CSR by destination, compiled by finalize()/finalize_structure():
+  // incoming transitions of state j live at [in_row_ptr_[j],
+  // in_row_ptr_[j+1]) in in_src_ / in_prob_. slot_to_pos_ maps a triplet
+  // slot to its CSR position so set_prob stays O(1).
+  std::vector<std::size_t> in_row_ptr_;
+  std::vector<std::uint32_t> in_src_;
+  std::vector<double> in_prob_;
+  std::vector<std::size_t> slot_to_pos_;
+
   bool finalized_ = false;
 };
 

@@ -18,12 +18,13 @@ StationaryResult stationary_distribution(const Matrix& transition,
   } else if (pi.size() != n) {
     throw std::invalid_argument("initial distribution has wrong size");
   }
+  std::vector<double> next;
   for (std::size_t it = 0; it < options.max_iterations; ++it) {
-    std::vector<double> next = transition.left_multiply(pi);
+    transition.left_multiply_into(pi, next);
     // Re-normalize to counteract floating-point drift over many iterations.
     normalize(next);
     const double diff = l1_diff(pi, next);
-    pi = std::move(next);
+    std::swap(pi, next);
     result.iterations = it + 1;
     result.residual = diff;
     if (diff < options.tolerance) {
@@ -51,8 +52,10 @@ std::vector<double> tv_trajectory(const Matrix& transition,
   std::vector<double> tv;
   tv.reserve(steps + 1);
   tv.push_back(0.5 * l1_diff(initial, pi));
+  std::vector<double> next;
   for (std::size_t t = 0; t < steps; ++t) {
-    initial = transition.left_multiply(initial);
+    transition.left_multiply_into(initial, next);
+    std::swap(initial, next);
     tv.push_back(0.5 * l1_diff(initial, pi));
   }
   return tv;

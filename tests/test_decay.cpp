@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
 
 namespace gossip::analysis {
 namespace {
@@ -89,6 +91,34 @@ TEST(Decay, NoDecayWithZeroMinDegree) {
   EXPECT_DOUBLE_EQ(survival_factor(p), 1.0);
   EXPECT_THROW((void)(rounds_until_survival_below(p, 0.5)), std::runtime_error);
   EXPECT_THROW((void)(joiner_integration_rounds(p)), std::runtime_error);
+}
+
+TEST(Decay, SweepIsMonotoneInLoss) {
+  // Higher loss slows both the decay of leavers and the integration of
+  // joiners: the survival factor, half-life, and integration window all
+  // rise monotonically along the sweep.
+  const std::vector<double> losses{0.0, 0.05, 0.1, 0.2};
+  const auto points = decay_sweep(paper_params(0.0), losses, 0.5);
+  ASSERT_EQ(points.size(), losses.size());
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    EXPECT_DOUBLE_EQ(points[i].loss, losses[i]);
+    const auto single = leave_survival_bound(
+        DecayParams{.view_size = 40,
+                    .min_degree = 18,
+                    .loss = losses[i],
+                    .delta = 0.01},
+        1);
+    EXPECT_DOUBLE_EQ(points[i].survival_factor, single[1]);
+    if (i > 0) {
+      EXPECT_GT(points[i].survival_factor, points[i - 1].survival_factor);
+      EXPECT_GE(points[i].rounds_until_below, points[i - 1].rounds_until_below);
+      EXPECT_GT(points[i].joiner_integration_rounds,
+                points[i - 1].joiner_integration_rounds);
+    }
+  }
+  // Paper headline at ℓ = 0: half-life in the 60s.
+  EXPECT_GE(points[0].rounds_until_below, 60u);
+  EXPECT_LT(points[0].rounds_until_below, 70u);
 }
 
 }  // namespace

@@ -171,6 +171,59 @@ TEST(DegreeMc, SumDegreeCapDoesNotAffectResults) {
 }
 
 
+TEST(DegreeMc, ConvergenceDiagnosticsArePopulated) {
+  const auto r = solve_degree_mc(paper_params(0.05));
+  ASSERT_TRUE(r.converged);
+  EXPECT_GT(r.fixed_point_iterations, 0u);
+  EXPECT_LE(r.fixed_point_iterations, DegreeMcParams{}.max_fixed_point_iterations);
+  // Inner power-iteration steps accumulate across outer iterations, so
+  // there are strictly more of them than outer steps.
+  EXPECT_GT(r.stationary_iterations, r.fixed_point_iterations);
+  EXPECT_LE(r.fixed_point_residual, DegreeMcParams{}.fixed_point_tolerance);
+  EXPECT_LE(r.stationary_residual, DegreeMcParams{}.stationary_tolerance);
+}
+
+TEST(DegreeMc, SweepMatchesPerPointSolves) {
+  const std::vector<double> losses{0.0, 0.02, 0.08};
+  auto p = paper_params(0.0);
+  const auto swept = solve_degree_mc_sweep(p, losses);
+  ASSERT_EQ(swept.size(), losses.size());
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    p.loss = losses[i];
+    const auto single = solve_degree_mc(p);
+    ASSERT_TRUE(swept[i].converged) << "loss=" << losses[i];
+    EXPECT_NEAR(swept[i].expected_in, single.expected_in, 1e-8)
+        << "loss=" << losses[i];
+    EXPECT_NEAR(swept[i].expected_out, single.expected_out, 1e-8)
+        << "loss=" << losses[i];
+    EXPECT_NEAR(swept[i].duplication_probability,
+                single.duplication_probability, 1e-8)
+        << "loss=" << losses[i];
+  }
+}
+
+TEST(DegreeMc, SweepValidatesLosses) {
+  const std::vector<double> bad{0.0, 1.0};
+  EXPECT_THROW(solve_degree_mc_sweep(paper_params(0.0), bad),
+               std::invalid_argument);
+  const std::vector<double> empty;
+  EXPECT_TRUE(solve_degree_mc_sweep(paper_params(0.0), empty).empty());
+}
+
+TEST(DegreeMc, DampedAndAndersonFindTheSameFixedPoint) {
+  auto p = paper_params(0.05);
+  p.acceleration = DegreeMcAcceleration::kAnderson;
+  const auto anderson = solve_degree_mc(p);
+  p.acceleration = DegreeMcAcceleration::kDamped;
+  const auto damped = solve_degree_mc(p);
+  ASSERT_TRUE(anderson.converged);
+  ASSERT_TRUE(damped.converged);
+  EXPECT_NEAR(anderson.expected_in, damped.expected_in, 1e-8);
+  EXPECT_NEAR(anderson.expected_out, damped.expected_out, 1e-8);
+  // The point of Anderson mixing: materially fewer outer iterations.
+  EXPECT_LT(anderson.fixed_point_iterations, damped.fixed_point_iterations);
+}
+
 TEST(JoinerTrajectoryTest, StartsAtJoinStateAndRisesTowardSteadyState) {
   // §6.5: the joiner starts at (dL, 0); indegree rises monotonically
   // toward the steady-state mean, outdegree stays within [dL, s].

@@ -79,6 +79,47 @@ TEST(DtmcBuilder, DependenceMcOfFig71) {
   EXPECT_LE(dependent_mass, 2.0 * x);
 }
 
+TEST(DtmcBuilder, SparseBuildMatchesDenseBuild) {
+  // build_sparse() must encode the same chain as build(): same interning,
+  // same accumulated off-diagonal mass, same stationary distribution —
+  // only the storage (CSR with implicit self-loops vs dense matrix)
+  // differs.
+  DtmcBuilder b;
+  b.add_transition(10, 20, 0.3);
+  b.add_transition(20, 10, 0.1);
+  b.add_transition(20, 30, 0.2);
+  b.add_transition(30, 10, 0.6);
+  b.add_transition(10, 20, 0.2);  // parallel: accumulates to 0.5
+  b.add_transition(30, 30, 0.4);  // explicit self-loop mass
+
+  const auto dense = b.build();
+  const auto sparse = b.build_sparse();
+  ASSERT_EQ(sparse.keys, dense.keys);
+  ASSERT_EQ(sparse.chain.state_count(), dense.keys.size());
+  EXPECT_EQ(sparse.index.at(10), dense.index.at(10));
+
+  // Off-diagonal entries agree; diagonal is implicit in the sparse form.
+  const auto i10 = sparse.index.at(10);
+  const auto i20 = sparse.index.at(20);
+  EXPECT_DOUBLE_EQ(sparse.chain.row_sum(i10), 0.5);
+  EXPECT_DOUBLE_EQ(dense.transition.at(i10, i20), 0.5);
+  EXPECT_DOUBLE_EQ(dense.transition.at(i10, i10), 0.5);
+
+  const auto pi_dense = stationary_distribution(dense.transition).distribution;
+  const auto pi_sparse = sparse.chain.stationary();
+  ASSERT_TRUE(pi_sparse.converged);
+  for (std::size_t i = 0; i < pi_dense.size(); ++i) {
+    EXPECT_NEAR(pi_sparse.distribution[i], pi_dense[i], 1e-9) << "i=" << i;
+  }
+}
+
+TEST(DtmcBuilder, SparseBuildRejectsOverflowingRow) {
+  DtmcBuilder b;
+  b.add_transition(0, 1, 0.8);
+  b.add_transition(0, 2, 0.5);
+  EXPECT_THROW(b.build_sparse(), std::invalid_argument);
+}
+
 TEST(PackHelpers, RoundTrip) {
   const auto key = pack_pair(123u, 456u);
   EXPECT_EQ(unpack_first(key), 123u);

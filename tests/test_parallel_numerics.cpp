@@ -1,0 +1,176 @@
+// Threading correctness of the numeric kernels: the thread pool's
+// coverage/blocking contract and the bit-reproducibility promises of the
+// parallel SpMV and the mixing loop. This suite carries the `tsan` label —
+// configure with -DGOSSIP_SANITIZE=thread and run `ctest -L tsan` to put
+// the pool and the parallel gathers under ThreadSanitizer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstddef>
+#include <vector>
+
+#include "analysis/mixing.hpp"
+#include "common/rng.hpp"
+#include "common/thread_pool.hpp"
+#include "markov/sparse_chain.hpp"
+
+namespace gossip {
+namespace {
+
+// Large enough that SparseChain::step_into takes the parallel gather path
+// (transition count >= 2^15).
+markov::SparseChain large_random_chain(std::size_t n, std::size_t k,
+                                       std::uint64_t seed) {
+  markov::SparseChain chain(n);
+  Rng rng(seed);
+  const double p = 0.9 / static_cast<double>(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < k; ++j) {
+      std::size_t to = rng.uniform(n);
+      if (to == i) to = (to + 1) % n;
+      chain.add(i, to, p);
+    }
+  }
+  chain.finalize();
+  return chain;
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  constexpr std::size_t kCount = 100'003;  // prime: uneven final chunk
+  std::vector<std::atomic<int>> hits(kCount);
+  ThreadPool::global().parallel_for(kCount, 64,
+                                    [&](std::size_t begin, std::size_t end) {
+                                      for (std::size_t i = begin; i < end; ++i)
+                                        hits[i].fetch_add(1);
+                                    });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "i=" << i;
+  }
+}
+
+TEST(ThreadPool, BlocksUntilAllChunksRan) {
+  std::atomic<std::size_t> sum{0};
+  for (int round = 0; round < 50; ++round) {
+    ThreadPool::global().parallel_for(
+        1000, 10, [&](std::size_t begin, std::size_t end) {
+          sum.fetch_add(end - begin);
+        });
+    ASSERT_EQ(sum.load(), 1000u * (round + 1));
+  }
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  std::atomic<std::size_t> inner_total{0};
+  ThreadPool::global().parallel_for(
+      8, 1, [&](std::size_t begin, std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          // A nested parallel_for from a worker must not deadlock; it runs
+          // inline on the calling thread.
+          ThreadPool::global().parallel_for(
+              100, 10, [&](std::size_t b, std::size_t e) {
+                inner_total.fetch_add(e - b);
+              });
+        }
+      });
+  EXPECT_EQ(inner_total.load(), 800u);
+}
+
+TEST(ParallelSpmv, RepeatedRunsAreBitIdentical) {
+  const auto chain = large_random_chain(8192, 8, 21);
+  ASSERT_GE(chain.transition_count(), std::size_t{1} << 15);
+  std::vector<double> pi(chain.state_count());
+  Rng rng(5);
+  double total = 0.0;
+  for (double& x : pi) total += (x = rng.uniform_double());
+  for (double& x : pi) x /= total;
+
+  std::vector<double> first;
+  chain.step_into(pi, first);
+  for (int run = 0; run < 5; ++run) {
+    std::vector<double> again;
+    chain.step_into(pi, again);
+    ASSERT_EQ(again, first) << "run=" << run;  // bitwise, not approximate
+  }
+}
+
+TEST(ParallelSpmv, NestedInvocationMatchesTopLevel) {
+  // step_into called from inside a pool worker takes the inline path; the
+  // fixed-order per-destination gather must make that bit-identical to the
+  // top-level (parallel) invocation.
+  const auto chain = large_random_chain(8192, 8, 22);
+  std::vector<double> pi(chain.state_count(),
+                         1.0 / static_cast<double>(chain.state_count()));
+  std::vector<double> top;
+  chain.step_into(pi, top);
+
+  // Several single-index chunks so the calls land on pool workers (when
+  // the pool has more than one executor), each into its own output.
+  std::vector<std::vector<double>> nested(4);
+  ThreadPool::global().parallel_for(4, 1,
+                                    [&](std::size_t begin, std::size_t end) {
+                                      for (std::size_t i = begin; i < end; ++i)
+                                        chain.step_into(pi, nested[i]);
+                                    });
+  for (std::size_t i = 0; i < nested.size(); ++i) {
+    ASSERT_EQ(nested[i], top) << "chunk=" << i;
+  }
+}
+
+TEST(ParallelSpmv, ParallelStationaryMatchesSmallChainSemantics) {
+  // The same two-block structure solved at small (serial gather) and large
+  // (parallel gather) scale: every copy of the block must get the same
+  // stationary mass, so block sums agree across scales.
+  auto block_chain = [](std::size_t copies) {
+    markov::SparseChain chain(2 * copies);
+    for (std::size_t c = 0; c < copies; ++c) {
+      chain.add(2 * c, 2 * c + 1, 0.3);
+      chain.add(2 * c + 1, 2 * c, 0.1);
+      // Weak uniform coupling between consecutive copies keeps the chain
+      // irreducible without disturbing the within-block ratio.
+      chain.add(2 * c, (2 * c + 2) % (2 * copies), 1e-9);
+      chain.add(2 * c + 1, (2 * c + 3) % (2 * copies), 1e-9);
+    }
+    chain.finalize();
+    return chain;
+  };
+  const auto small = block_chain(4);       // serial path
+  const auto large = block_chain(10'000);  // parallel path
+  ASSERT_GE(large.transition_count(), std::size_t{1} << 15);
+  // Tolerance well above the L1 rounding floor of a 20k-entry
+  // renormalized vector (~1e-12): the residual cannot reach arbitrarily
+  // small values on large chains.
+  const auto rs = small.stationary({}, 1e-9, 200'000);
+  const auto rl = large.stationary({}, 1e-9, 200'000);
+  ASSERT_TRUE(rs.converged);
+  ASSERT_TRUE(rl.converged);
+  // Within every block pi(even) : pi(odd) = 1 : 3 (detailed balance of the
+  // 0.3 / 0.1 pair), at both scales.
+  EXPECT_NEAR(rs.distribution[1] / rs.distribution[0], 3.0, 1e-6);
+  EXPECT_NEAR(rl.distribution[1] / rl.distribution[0], 3.0, 1e-6);
+}
+
+TEST(ParallelMixing, RepeatedMeasurementsAreBitIdentical) {
+  // measure_mixing distributes rows over the pool; per-row TV terms are
+  // summed in index order, so the curve must not depend on scheduling.
+  markov::SparseChain chain(64);
+  Rng rng(9);
+  for (std::size_t i = 0; i < 64; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      std::size_t to = rng.uniform(64);
+      if (to == i) to = (to + 1) % 64;
+      chain.add(i, to, 0.2);
+    }
+  }
+  chain.finalize();
+  const auto pi = chain.stationary({}, 1e-13, 500'000);
+  ASSERT_TRUE(pi.converged);
+  const auto first = analysis::measure_mixing(chain, pi.distribution, 30, 0.01);
+  for (int run = 0; run < 3; ++run) {
+    const auto again =
+        analysis::measure_mixing(chain, pi.distribution, 30, 0.01);
+    ASSERT_EQ(again.expected_tv, first.expected_tv);
+  }
+}
+
+}  // namespace
+}  // namespace gossip

@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
 #include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
 
 namespace gossip::markov {
 namespace {
@@ -111,6 +115,150 @@ TEST(SparseChainTest, WarmStartValidation) {
   EXPECT_THROW(chain.stationary({1.0}), std::invalid_argument);
   const auto r = chain.stationary({0.9, 0.1});
   EXPECT_NEAR(r.distribution[0], 0.5, 1e-9);
+}
+
+TEST(SparseChainTest, StructureValueSplitRewritesInPlace) {
+  // add_edge/finalize_structure/set_prob/commit_values: the sparsity
+  // pattern is compiled once, values are rewritten per "outer iteration".
+  SparseChain chain(3);
+  const std::size_t s01 = chain.add_edge(0, 1);
+  const std::size_t s12 = chain.add_edge(1, 2);
+  const std::size_t s20 = chain.add_edge(2, 0);
+  const std::size_t self = chain.add_edge(1, 1);
+  EXPECT_EQ(self, SparseChain::kNoSlot);
+  chain.finalize_structure();
+
+  chain.set_prob(s01, 0.3);
+  chain.set_prob(s12, 0.5);
+  chain.set_prob(s20, 0.2);
+  chain.set_prob(self, 7.0);  // kNoSlot: ignored
+  chain.commit_values();
+  EXPECT_DOUBLE_EQ(chain.row_sum(0), 0.3);
+  const auto out1 = chain.step({1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(out1[0], 0.7);
+  EXPECT_DOUBLE_EQ(out1[1], 0.3);
+
+  // Second value pass over the same structure.
+  chain.set_prob(s01, 0.9);
+  chain.set_prob(s12, 0.1);
+  chain.set_prob(s20, 0.4);
+  chain.commit_values();
+  const auto out2 = chain.step({1.0, 0.0, 0.0});
+  EXPECT_DOUBLE_EQ(out2[0], 0.1);
+  EXPECT_DOUBLE_EQ(out2[1], 0.9);
+}
+
+TEST(SparseChainTest, StructureValueSplitMatchesDirectBuild) {
+  // A chain assembled via the split must be indistinguishable from one
+  // built directly with add()+finalize().
+  Rng rng(33);
+  SparseChain direct(50);
+  SparseChain split(50);
+  std::vector<std::size_t> slots;
+  std::vector<double> probs;
+  for (std::size_t i = 0; i < 50; ++i) {
+    for (std::size_t j = 0; j < 4; ++j) {
+      const std::size_t to = rng.uniform(50);
+      const double p = 0.2 * rng.uniform_double();
+      direct.add(i, to, p);
+      slots.push_back(split.add_edge(i, to));
+      probs.push_back(to == i ? 0.0 : p);
+    }
+  }
+  direct.finalize();
+  split.finalize_structure();
+  for (std::size_t k = 0; k < slots.size(); ++k) {
+    split.set_prob(slots[k], probs[k]);
+  }
+  split.commit_values();
+
+  std::vector<double> pi(50);
+  double total = 0.0;
+  for (double& x : pi) total += (x = rng.uniform_double());
+  for (double& x : pi) x /= total;
+  const auto a = direct.step(pi);
+  const auto b = split.step(pi);
+  for (std::size_t i = 0; i < 50; ++i) {
+    EXPECT_NEAR(a[i], b[i], 1e-15) << "i=" << i;
+  }
+}
+
+TEST(SparseChainTest, CommitValuesValidatesRows) {
+  SparseChain chain(2);
+  const std::size_t slot = chain.add_edge(0, 1);
+  chain.finalize_structure();
+  chain.set_prob(slot, 1.5);
+  EXPECT_THROW(chain.commit_values(), std::runtime_error);
+  chain.set_prob(slot, 0.5);
+  chain.commit_values();
+  EXPECT_DOUBLE_EQ(chain.row_sum(0), 0.5);
+}
+
+// Property test: sparse step == dense matvec on random chains. The dense
+// reference applies pi' = pi P with the implied self-loop mass on the
+// diagonal, accumulated in plain row order.
+TEST(SparseChainTest, StepMatchesDenseMatvecOnRandomChains) {
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    Rng rng(seed);
+    const std::size_t n = 20 + rng.uniform(60);
+    SparseChain chain(n);
+    std::vector<double> dense(n * n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      double remaining = 1.0;
+      const std::size_t fanout = 1 + rng.uniform(6);
+      for (std::size_t j = 0; j < fanout; ++j) {
+        const std::size_t to = rng.uniform(n);
+        const double p = remaining * 0.3 * rng.uniform_double();
+        remaining -= p;
+        chain.add(i, to, p);
+        if (to != i) dense[i * n + to] += p;
+      }
+    }
+    chain.finalize();
+    for (std::size_t i = 0; i < n; ++i) {
+      dense[i * n + i] += 1.0 - chain.row_sum(i);
+    }
+
+    std::vector<double> pi(n);
+    double total = 0.0;
+    for (double& x : pi) total += (x = rng.uniform_double());
+    for (double& x : pi) x /= total;
+
+    std::vector<double> expect(n, 0.0);
+    for (std::size_t i = 0; i < n; ++i) {
+      for (std::size_t j = 0; j < n; ++j) {
+        expect[j] += pi[i] * dense[i * n + j];
+      }
+    }
+    const auto got = chain.step(pi);
+    for (std::size_t j = 0; j < n; ++j) {
+      EXPECT_NEAR(got[j], expect[j], 1e-14) << "seed=" << seed << " j=" << j;
+    }
+  }
+}
+
+TEST(SparseChainTest, AcceleratedStationaryMatchesPlain) {
+  // Same stopping criterion, same destination: the Anderson-accelerated
+  // solve must agree with classic power iteration to solver tolerance.
+  Rng rng(77);
+  SparseChain chain(200);
+  for (std::size_t i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) {
+      std::size_t to = rng.uniform(200);
+      if (to == i) to = (to + 1) % 200;
+      chain.add(i, to, 0.3 * rng.uniform_double() + 1e-3);
+    }
+  }
+  chain.finalize();
+  const auto plain = chain.stationary({}, 1e-13, 500'000, false);
+  const auto accel = chain.stationary({}, 1e-13, 500'000, true);
+  ASSERT_TRUE(plain.converged);
+  ASSERT_TRUE(accel.converged);
+  EXPECT_LE(accel.iterations, plain.iterations);
+  for (std::size_t i = 0; i < 200; ++i) {
+    EXPECT_NEAR(accel.distribution[i], plain.distribution[i], 1e-9)
+        << "i=" << i;
+  }
 }
 
 }  // namespace
