@@ -16,6 +16,10 @@
 #include "graph/connectivity.hpp"
 #include "graph/graph_gen.hpp"
 #include "markov/sparse_chain.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/round_driver.hpp"
 #include "sim/sharded_driver.hpp"
 
@@ -96,6 +100,71 @@ BENCHMARK(BM_FlatShardedRound)
     ->Args({10000, 1})
     ->Args({10000, 4})
     ->Args({100000, 1})
+    ->Args({100000, 4});
+
+// Registry hot path: the per-shard counter increment, through the public
+// API and through the cached raw slab pointer (the path the sharded driver
+// actually takes). Both must be a plain add into a cache-resident cell —
+// any atomics or hashing sneaking in shows up here long before it shows in
+// the < 2% end-to-end overhead gate of BENCH_scale.json.
+void BM_RegistryCounterAdd(benchmark::State& state) {
+  obs::MetricsRegistry registry(4);
+  const obs::CounterId id = registry.counter("hot");
+  for (auto _ : state) {
+    registry.add(id, 0);
+    benchmark::ClobberMemory();
+  }
+  benchmark::DoNotOptimize(registry.counter_value(id));
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterAdd);
+
+void BM_RegistryCounterAddRawSlab(benchmark::State& state) {
+  obs::MetricsRegistry registry(4);
+  const obs::CounterId id = registry.counter("hot");
+  std::uint64_t* slab = registry.counters(0);
+  for (auto _ : state) {
+    ++slab[id.index];
+    benchmark::DoNotOptimize(slab);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_RegistryCounterAddRawSlab);
+
+// BM_FlatShardedRound with the full observability stack attached
+// (time-series + watchdog at stride 10, profiler). The delta against the
+// bare variant above is the per-round observation cost.
+void BM_FlatShardedRoundObserved(benchmark::State& state) {
+  Rng rng(4);
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto threads = static_cast<std::size_t>(state.range(1));
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(n, cfg);
+  {
+    const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = threads, .loss_rate = 0.01, .seed = 4});
+  obs::RoundTimeSeries series(10);
+  obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
+      .min_degree = cfg.min_degree, .view_size = cfg.view_size});
+  obs::PhaseProfiler profiler(threads);
+  driver.attach_time_series(&series);
+  driver.attach_watchdog(&watchdog);
+  driver.attach_profiler(&profiler);
+  driver.run_rounds(50);  // reach steady state before timing
+  for (auto _ : state) {
+    driver.run_rounds(1);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FlatShardedRoundObserved)
+    ->Args({10000, 4})
     ->Args({100000, 4});
 
 void BM_SnapshotGraph(benchmark::State& state) {

@@ -46,6 +46,7 @@ class DegreeMcSolver {
 
     DegreeMcResult result;
     markov::AndersonMixer mixer(std::max<std::size_t>(1, p_.anderson_depth));
+    mixer.set_telemetry(p_.telemetry, "degree_mc_outer");
     std::vector<double> f(n);
     std::vector<double> accel;
 
@@ -56,7 +57,8 @@ class DegreeMcSolver {
       auto inner =
           chain_.stationary(pi, p_.stationary_tolerance,
                             p_.max_stationary_iterations,
-                            p_.accelerated_stationary);
+                            p_.accelerated_stationary, p_.telemetry,
+                            "degree_mc_inner");
       result.stationary_iterations += inner.iterations;
       result.stationary_residual = inner.residual;
       std::vector<double>& g = inner.distribution;
@@ -68,6 +70,9 @@ class DegreeMcSolver {
       }
       result.fixed_point_iterations = iter + 1;
       result.fixed_point_residual = residual;
+      if (p_.telemetry != nullptr) {
+        p_.telemetry->on_iteration("degree_mc_outer", iter + 1, residual);
+      }
 
       if (residual < p_.fixed_point_tolerance) {
         // Adopt the exact stationary distribution of the final chain so
@@ -88,6 +93,9 @@ class DegreeMcSolver {
       } else {
         // Damped step: the paper-faithful update, and the Anderson
         // fallback whenever the extrapolation declines or degenerates.
+        if (p_.telemetry != nullptr) {
+          p_.telemetry->on_event("degree_mc_outer", "damped_step", iter + 1);
+        }
         for (std::size_t k = 0; k < n; ++k) {
           pi[k] = 0.5 * (pi[k] + g[k]);
         }

@@ -38,6 +38,8 @@
 #include <span>
 #include <vector>
 
+#include "obs/solver_telemetry.hpp"
+
 namespace gossip::analysis {
 
 // Outer fixed-point update rule.
@@ -72,6 +74,13 @@ struct DegreeMcParams {
   double stationary_tolerance = 1e-13;
   std::size_t max_stationary_iterations = 500'000;
   bool accelerated_stationary = true;
+
+  // Optional telemetry sink (borrowed; may be null). The outer loop
+  // reports per-iteration residuals as "degree_mc_outer" (with mixer
+  // events under the same name and "damped_step" fallbacks), the inner
+  // stationary solves as "degree_mc_inner". Feeds the same numbers the
+  // DegreeMcResult diagnostics summarize; never influences the solve.
+  obs::SolverSink* telemetry = nullptr;
 };
 
 struct DegreeState {

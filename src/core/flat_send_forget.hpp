@@ -81,6 +81,12 @@ class FlatSendForgetCluster {
   // Nonempty entries of u's view, in slot order.
   [[nodiscard]] std::vector<ViewEntry> view_entries(NodeId u) const;
 
+  // Raw slot row of u: view_size() entries, empty slots included. Zero-copy
+  // inspection path for the observability probes (obs::probe_cluster), which
+  // must walk every view without allocating per node.
+  [[nodiscard]] const ViewEntry* slots(NodeId u) const { return view(u); }
+  [[nodiscard]] std::size_t view_size() const { return view_size_; }
+
   // Uniformly random live node; requires live_count() > 0.
   [[nodiscard]] NodeId random_live_node(Rng& rng) const;
 

@@ -148,6 +148,10 @@ SpectralResult estimate_spectral_gap(const Digraph& graph,
     const double next_lambda = y_norm;  // Rayleigh growth factor
     for (std::size_t i = 0; i < n; ++i) x[i] = y[i] / y_norm;
     result.iterations = it + 1;
+    if (options.telemetry != nullptr) {
+      options.telemetry->on_iteration("spectral_power", it + 1,
+                                      std::abs(next_lambda - lambda));
+    }
     if (std::abs(next_lambda - lambda) < options.tolerance) {
       lambda = next_lambda;
       result.converged = true;

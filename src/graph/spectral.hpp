@@ -16,6 +16,7 @@
 
 #include "common/rng.hpp"
 #include "graph/digraph.hpp"
+#include "obs/solver_telemetry.hpp"
 
 namespace gossip {
 
@@ -33,6 +34,9 @@ struct SpectralOptions {
   std::size_t max_iterations = 20'000;
   double tolerance = 1e-9;
   std::uint64_t seed = 0x5EED;
+  // Optional sink (borrowed; may be null): per-iteration Rayleigh-quotient
+  // change is reported as "spectral_power". Never influences the solve.
+  obs::SolverSink* telemetry = nullptr;
 };
 
 // Power iteration on the lazy walk matrix with deflation of the known

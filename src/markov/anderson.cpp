@@ -51,12 +51,22 @@ AndersonMixer::AndersonMixer(std::size_t depth) : depth_(depth) {
   if (depth == 0) throw std::invalid_argument("Anderson depth must be >= 1");
 }
 
+void AndersonMixer::set_telemetry(obs::SolverSink* sink,
+                                  std::string_view solver_name) {
+  telemetry_ = sink;
+  telemetry_name_.assign(solver_name);
+}
+
 void AndersonMixer::push(const std::vector<double>& x,
                          const std::vector<double>& f, double residual_norm) {
+  ++pushes_;
   if (has_last_ && residual_norm >= last_residual_norm_) {
     // The previous step overshot; its secant information is poison.
     history_x_.clear();
     history_f_.clear();
+    if (telemetry_ != nullptr) {
+      telemetry_->on_event(telemetry_name_, "history_reset", pushes_);
+    }
   }
   last_residual_norm_ = residual_norm;
   has_last_ = true;
@@ -71,7 +81,12 @@ void AndersonMixer::push(const std::vector<double>& x,
 bool AndersonMixer::extrapolate(std::vector<double>& next) const {
   // Cooldown: a single secant pair right after a reset reproduces the
   // overshoot that caused the reset — require at least two.
-  if (history_x_.size() < 3) return false;
+  if (history_x_.size() < 3) {
+    if (telemetry_ != nullptr) {
+      telemetry_->on_event(telemetry_name_, "cooldown", pushes_);
+    }
+    return false;
+  }
   const std::size_t m = history_x_.size() - 1;
   const std::vector<double>& f = history_f_.back();
   const std::size_t n = f.size();
@@ -95,7 +110,12 @@ bool AndersonMixer::extrapolate(std::vector<double>& next) const {
     for (std::size_t k = 0; k < n; ++k) dot += df(a, k) * f[k];
     rhs[a] = dot;
   }
-  if (trace <= 0.0) return false;
+  if (trace <= 0.0) {
+    if (telemetry_ != nullptr) {
+      telemetry_->on_event(telemetry_name_, "degenerate", pushes_);
+    }
+    return false;
+  }
   // Scale-relative Tikhonov regularization. It must NOT have an absolute
   // floor: near convergence ||dF||^2 is far below any fixed constant, and
   // a floor would zero out gamma, silently turning every extrapolation
@@ -103,7 +123,12 @@ bool AndersonMixer::extrapolate(std::vector<double>& next) const {
   for (std::size_t a = 0; a < m; ++a) {
     gram[a * m + a] += 1e-12 * trace;
   }
-  if (!solve_dense(gram, rhs, m)) return false;
+  if (!solve_dense(gram, rhs, m)) {
+    if (telemetry_ != nullptr) {
+      telemetry_->on_event(telemetry_name_, "degenerate", pushes_);
+    }
+    return false;
+  }
 
   // next = x_k + f_k - sum_j gamma_j (dX_j + dF_j).
   const std::vector<double>& x = history_x_.back();

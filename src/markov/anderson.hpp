@@ -24,7 +24,11 @@
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <string_view>
 #include <vector>
+
+#include "obs/solver_telemetry.hpp"
 
 namespace gossip::markov {
 
@@ -32,6 +36,10 @@ class AndersonMixer {
  public:
   // depth = m, the number of secant pairs kept (>= 1).
   explicit AndersonMixer(std::size_t depth);
+
+  // Reports mixer events ("history_reset", "cooldown", "degenerate") to
+  // `sink` under `solver_name`. Null sink disables reporting (default).
+  void set_telemetry(obs::SolverSink* sink, std::string_view solver_name);
 
   // Records the iterate x and its residual f = G(x) - x, with residual_norm
   // = ||f||. Clears the history first when residual_norm did not decrease
@@ -59,6 +67,11 @@ class AndersonMixer {
   std::vector<std::vector<double>> history_f_;
   double last_residual_norm_ = 0.0;
   bool has_last_ = false;
+  std::size_t pushes_ = 0;  // telemetry iteration index
+  // The pointee is mutated from const extrapolate(): telemetry is an
+  // observer channel, not mixer state.
+  obs::SolverSink* telemetry_ = nullptr;
+  std::string telemetry_name_;
 };
 
 // Clips negative entries to zero and rescales to unit sum. Returns false

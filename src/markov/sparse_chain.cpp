@@ -137,7 +137,8 @@ std::vector<double> SparseChain::step(const std::vector<double>& pi) const {
 
 SparseChain::StationaryResult SparseChain::stationary(
     std::vector<double> initial, double tolerance,
-    std::size_t max_iterations, bool accelerated) const {
+    std::size_t max_iterations, bool accelerated,
+    obs::SolverSink* telemetry, std::string_view telemetry_name) const {
   assert(finalized_);
   const std::size_t n = state_count();
   if (n == 0) throw std::runtime_error("empty chain");
@@ -155,6 +156,7 @@ SparseChain::StationaryResult SparseChain::stationary(
   // Rejected or degenerate extrapolations fall back to the plain power
   // step, so the worst case matches unaccelerated convergence.
   AndersonMixer mixer(4);
+  mixer.set_telemetry(telemetry, telemetry_name);
   std::vector<double> next(n);
   std::vector<double> f(n);
   std::vector<double> accel;
@@ -170,6 +172,9 @@ SparseChain::StationaryResult SparseChain::stationary(
     }
     result.iterations = it + 1;
     result.residual = diff;
+    if (telemetry != nullptr) {
+      telemetry->on_iteration(telemetry_name, it + 1, diff);
+    }
     if (diff < tolerance) {
       std::swap(pi, next);
       result.converged = true;

@@ -19,7 +19,10 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string_view>
 #include <vector>
+
+#include "obs/solver_telemetry.hpp"
 
 namespace gossip::markov {
 
@@ -89,9 +92,14 @@ class SparseChain {
   // falls back to plain power steps when the extrapolation degenerates).
   // `accelerated = false` runs classic power iteration — useful as a
   // benchmark baseline and as the bit-for-bit seed-faithful path.
+  // A non-null `telemetry` receives the residual of every iteration under
+  // `telemetry_name`, plus the mixer's restart/cooldown events; telemetry
+  // never influences the iteration.
   [[nodiscard]] StationaryResult stationary(
       std::vector<double> initial = {}, double tolerance = 1e-12,
-      std::size_t max_iterations = 200'000, bool accelerated = true) const;
+      std::size_t max_iterations = 200'000, bool accelerated = true,
+      obs::SolverSink* telemetry = nullptr,
+      std::string_view telemetry_name = "stationary") const;
 
   // True if every state can reach every other along positive-probability
   // transitions (self-loops ignored) — irreducibility (Lemma 7.1 checks).

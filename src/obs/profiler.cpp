@@ -1,0 +1,88 @@
+#include "obs/profiler.hpp"
+
+#include <algorithm>
+#include <ostream>
+#include <sstream>
+
+namespace gossip::obs {
+
+PhaseProfiler::PhaseProfiler(std::size_t shard_count)
+    : slabs_(std::max<std::size_t>(1, shard_count)) {}
+
+PhaseId PhaseProfiler::phase(std::string_view name) {
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return PhaseId{i};
+  }
+  const auto id = static_cast<std::uint32_t>(names_.size());
+  names_.emplace_back(name);
+  const std::size_t want = padded(names_.size());
+  for (Slab& slab : slabs_) {
+    if (slab.cells.size() < want) slab.cells.resize(want);
+  }
+  return PhaseId{id};
+}
+
+std::vector<PhaseProfiler::PhaseTotal> PhaseProfiler::totals() const {
+  std::vector<PhaseTotal> out(names_.size());
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    out[i].name = names_[i];
+    for (const Slab& slab : slabs_) {
+      out[i].nanos += slab.cells[i].nanos;
+      out[i].count += slab.cells[i].count;
+    }
+  }
+  return out;
+}
+
+std::vector<PhaseProfiler::PhaseTotal> PhaseProfiler::shard_totals(
+    std::size_t shard) const {
+  std::vector<PhaseTotal> out(names_.size());
+  const Slab& slab = slabs_[shard];
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    out[i].name = names_[i];
+    out[i].nanos = slab.cells[i].nanos;
+    out[i].count = slab.cells[i].count;
+  }
+  return out;
+}
+
+void PhaseProfiler::reset() {
+  for (Slab& slab : slabs_) {
+    std::fill(slab.cells.begin(), slab.cells.end(), Cell{});
+  }
+}
+
+std::string PhaseProfiler::report() const {
+  std::ostringstream out;
+  for (const PhaseTotal& t : totals()) {
+    out << t.name << ": "
+        << static_cast<double>(t.nanos) / 1e6 << " ms over " << t.count
+        << " scopes\n";
+  }
+  return out.str();
+}
+
+void PhaseProfiler::write_json(std::ostream& out) const {
+  out << '[';
+  bool first = true;
+  for (std::uint32_t i = 0; i < names_.size(); ++i) {
+    if (!first) out << ',';
+    first = false;
+    std::uint64_t nanos = 0;
+    std::uint64_t count = 0;
+    for (const Slab& slab : slabs_) {
+      nanos += slab.cells[i].nanos;
+      count += slab.cells[i].count;
+    }
+    out << "{\"phase\":\"" << names_[i] << "\",\"nanos\":" << nanos
+        << ",\"count\":" << count << ",\"per_shard_nanos\":[";
+    for (std::size_t s = 0; s < slabs_.size(); ++s) {
+      if (s != 0) out << ',';
+      out << slabs_[s].cells[i].nanos;
+    }
+    out << "]}";
+  }
+  out << ']';
+}
+
+}  // namespace gossip::obs

@@ -1,0 +1,101 @@
+// Scoped phase profiler: RAII wall-clock timers aggregated per shard per
+// phase (initiate, drain, barrier-wait, SpMV, merge, ...).
+//
+// Same storage discipline as the metrics registry: one cache-line-padded
+// cell slab per shard, unsynchronized writes (each shard is written by
+// exactly one thread), deterministic fixed-order merge for reporting.
+// Times are wall-clock and therefore NOT deterministic across runs — the
+// profiler is a reporting layer only and feeds no simulation decision.
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gossip::obs {
+
+struct PhaseId {
+  std::uint32_t index = UINT32_MAX;
+  [[nodiscard]] bool valid() const { return index != UINT32_MAX; }
+};
+
+class PhaseProfiler {
+ public:
+  explicit PhaseProfiler(std::size_t shard_count = 1);
+
+  [[nodiscard]] std::size_t shard_count() const { return slabs_.size(); }
+
+  // Register-or-look-up a phase by name. Single-threaded only.
+  PhaseId phase(std::string_view name);
+
+  // Record one interval of `nanos` in `phase` on `shard`.
+  void add(PhaseId phase, std::size_t shard, std::uint64_t nanos) {
+    Cell& cell = slabs_[shard].cells[phase.index];
+    cell.nanos += nanos;
+    ++cell.count;
+  }
+
+  // RAII timer. A null profiler makes the scope a no-op, so call sites
+  // can be instrumented unconditionally.
+  class Scope {
+   public:
+    Scope(PhaseProfiler* profiler, PhaseId phase, std::size_t shard)
+        : profiler_(profiler), phase_(phase), shard_(shard) {
+      if (profiler_ != nullptr) {
+        start_ = std::chrono::steady_clock::now();
+      }
+    }
+    ~Scope() {
+      if (profiler_ != nullptr) {
+        const auto elapsed = std::chrono::steady_clock::now() - start_;
+        profiler_->add(phase_, shard_,
+                       static_cast<std::uint64_t>(
+                           std::chrono::duration_cast<std::chrono::nanoseconds>(
+                               elapsed)
+                               .count()));
+      }
+    }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    PhaseProfiler* profiler_;
+    PhaseId phase_;
+    std::size_t shard_;
+    std::chrono::steady_clock::time_point start_{};
+  };
+
+  struct PhaseTotal {
+    std::string name;
+    std::uint64_t nanos = 0;
+    std::uint64_t count = 0;
+  };
+  // Merged over shards (fixed shard order), in registration order.
+  [[nodiscard]] std::vector<PhaseTotal> totals() const;
+  [[nodiscard]] std::vector<PhaseTotal> shard_totals(std::size_t shard) const;
+
+  void reset();
+  [[nodiscard]] std::string report() const;
+  // [{"phase":"initiate","nanos":...,"count":...,
+  //   "per_shard_nanos":[...]}, ...]
+  void write_json(std::ostream& out) const;
+
+ private:
+  struct Cell {
+    std::uint64_t nanos = 0;
+    std::uint64_t count = 0;
+  };
+  struct alignas(64) Slab {
+    std::vector<Cell> cells;
+  };
+  static std::size_t padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
+
+  std::vector<std::string> names_;
+  std::vector<Slab> slabs_;
+};
+
+}  // namespace gossip::obs

@@ -1,0 +1,69 @@
+#include "obs/solver_telemetry.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace gossip::obs {
+
+void RecordingSolverSink::on_iteration(std::string_view solver,
+                                       std::size_t iteration,
+                                       double residual) {
+  iterations_.push_back(Iteration{std::string(solver), iteration, residual});
+}
+
+void RecordingSolverSink::on_event(std::string_view solver,
+                                   std::string_view event,
+                                   std::size_t iteration) {
+  events_.push_back(Event{std::string(solver), std::string(event), iteration});
+}
+
+std::size_t RecordingSolverSink::iteration_count(
+    std::string_view solver) const {
+  std::size_t count = 0;
+  for (const Iteration& it : iterations_) {
+    if (it.solver == solver) ++count;
+  }
+  return count;
+}
+
+std::size_t RecordingSolverSink::event_count(std::string_view solver,
+                                             std::string_view event) const {
+  std::size_t count = 0;
+  for (const Event& e : events_) {
+    if (e.solver == solver && e.event == event) ++count;
+  }
+  return count;
+}
+
+double RecordingSolverSink::last_residual(std::string_view solver) const {
+  double residual = std::numeric_limits<double>::quiet_NaN();
+  for (const Iteration& it : iterations_) {
+    if (it.solver == solver) residual = it.residual;
+  }
+  return residual;
+}
+
+void RecordingSolverSink::clear() {
+  iterations_.clear();
+  events_.clear();
+}
+
+void RecordingSolverSink::write_json(std::ostream& out) const {
+  out << "{\"iterations\":[";
+  for (std::size_t i = 0; i < iterations_.size(); ++i) {
+    if (i != 0) out << ',';
+    const Iteration& it = iterations_[i];
+    out << "{\"solver\":\"" << it.solver << "\",\"i\":" << it.iteration
+        << ",\"residual\":" << it.residual << '}';
+  }
+  out << "],\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i != 0) out << ',';
+    const Event& e = events_[i];
+    out << "{\"solver\":\"" << e.solver << "\",\"event\":\"" << e.event
+        << "\",\"i\":" << e.iteration << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace gossip::obs

@@ -1,0 +1,151 @@
+#include "obs/timeseries.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace gossip::obs {
+
+namespace {
+
+// Counter deltas can go backwards only through misuse (e.g. a registry
+// reset between samples); clamp so a glitch cannot underflow to 2^64.
+std::uint64_t delta(std::uint64_t now, std::uint64_t before) {
+  return now >= before ? now - before : 0;
+}
+
+double ratio(std::uint64_t num, std::uint64_t den) {
+  return den == 0 ? 0.0
+                  : static_cast<double>(num) / static_cast<double>(den);
+}
+
+DegreeSummary summarize(const std::vector<std::uint32_t>& degrees) {
+  DegreeSummary s;
+  if (degrees.empty()) return s;
+  s.min = UINT32_MAX;
+  double sum = 0.0;
+  for (const std::uint32_t d : degrees) {
+    sum += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = sum / static_cast<double>(degrees.size());
+  double sq = 0.0;
+  for (const std::uint32_t d : degrees) {
+    const double c = static_cast<double>(d) - s.mean;
+    sq += c * c;
+  }
+  s.sd = degrees.size() > 1
+             ? std::sqrt(sq / static_cast<double>(degrees.size() - 1))
+             : 0.0;
+  return s;
+}
+
+}  // namespace
+
+FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster) {
+  const std::size_t n = cluster.size();
+  const std::size_t s = cluster.view_size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::uint32_t> out_live;
+  out_live.reserve(cluster.live_count());
+  std::size_t occupied = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster.live(u)) continue;
+    out_live.push_back(static_cast<std::uint32_t>(cluster.degree(u)));
+    occupied += cluster.degree(u);
+    const ViewEntry* row = cluster.slots(u);
+    for (std::size_t i = 0; i < s; ++i) {
+      if (!row[i].empty()) ++indegree[row[i].id];
+    }
+  }
+  std::vector<std::uint32_t> in_live;
+  in_live.reserve(out_live.size());
+  for (NodeId u = 0; u < n; ++u) {
+    if (cluster.live(u)) in_live.push_back(indegree[u]);
+  }
+  FlatClusterProbe probe;
+  probe.live_nodes = out_live.size();
+  probe.outdegree = summarize(out_live);
+  probe.indegree = summarize(in_live);
+  const std::size_t total_slots = out_live.size() * s;
+  probe.empty_slot_fraction =
+      total_slots == 0
+          ? 0.0
+          : 1.0 - static_cast<double>(occupied) /
+                      static_cast<double>(total_slots);
+  return probe;
+}
+
+RoundTimeSeries::RoundTimeSeries(std::uint64_t stride)
+    : stride_(std::max<std::uint64_t>(1, stride)) {}
+
+void RoundTimeSeries::record(std::uint64_t round,
+                             const DegreeSummary& outdegree,
+                             const DegreeSummary& indegree,
+                             std::size_t live_nodes,
+                             double empty_slot_fraction,
+                             const CumulativeCounters& cumulative) {
+  RoundSample sample;
+  sample.round = round;
+  sample.live_nodes = live_nodes;
+  sample.outdegree = outdegree;
+  sample.indegree = indegree;
+  sample.empty_slot_fraction = empty_slot_fraction;
+  const std::uint64_t actions = delta(cumulative.actions, prev_.actions);
+  const std::uint64_t sent = delta(cumulative.sent, prev_.sent);
+  sample.duplication_rate =
+      ratio(delta(cumulative.duplications, prev_.duplications), sent);
+  sample.deletion_rate =
+      ratio(delta(cumulative.deletions, prev_.deletions), sent);
+  sample.self_loop_rate =
+      ratio(delta(cumulative.self_loops, prev_.self_loops), actions);
+  sample.loss_rate = ratio(delta(cumulative.lost, prev_.lost) +
+                               delta(cumulative.to_dead, prev_.to_dead),
+                           sent);
+  prev_ = cumulative;
+  samples_.push_back(sample);
+}
+
+void RoundTimeSeries::clear() {
+  samples_.clear();
+  prev_ = CumulativeCounters{};
+}
+
+void RoundTimeSeries::write_csv(std::ostream& out) const {
+  out << "round,live_nodes,out_mean,out_sd,out_min,out_max,"
+         "in_mean,in_sd,in_min,in_max,empty_slot_fraction,"
+         "duplication_rate,deletion_rate,self_loop_rate,loss_rate\n";
+  for (const RoundSample& s : samples_) {
+    out << s.round << ',' << s.live_nodes << ',' << s.outdegree.mean << ','
+        << s.outdegree.sd << ',' << s.outdegree.min << ',' << s.outdegree.max
+        << ',' << s.indegree.mean << ',' << s.indegree.sd << ','
+        << s.indegree.min << ',' << s.indegree.max << ','
+        << s.empty_slot_fraction << ',' << s.duplication_rate << ','
+        << s.deletion_rate << ',' << s.self_loop_rate << ',' << s.loss_rate
+        << '\n';
+  }
+}
+
+void RoundTimeSeries::write_json(std::ostream& out) const {
+  out << '[';
+  for (std::size_t i = 0; i < samples_.size(); ++i) {
+    if (i != 0) out << ',';
+    const RoundSample& s = samples_[i];
+    out << "{\"round\":" << s.round << ",\"live_nodes\":" << s.live_nodes
+        << ",\"outdegree\":{\"mean\":" << s.outdegree.mean
+        << ",\"sd\":" << s.outdegree.sd << ",\"min\":" << s.outdegree.min
+        << ",\"max\":" << s.outdegree.max << '}'
+        << ",\"indegree\":{\"mean\":" << s.indegree.mean
+        << ",\"sd\":" << s.indegree.sd << ",\"min\":" << s.indegree.min
+        << ",\"max\":" << s.indegree.max << '}'
+        << ",\"empty_slot_fraction\":" << s.empty_slot_fraction
+        << ",\"duplication_rate\":" << s.duplication_rate
+        << ",\"deletion_rate\":" << s.deletion_rate
+        << ",\"self_loop_rate\":" << s.self_loop_rate
+        << ",\"loss_rate\":" << s.loss_rate << '}';
+  }
+  out << ']';
+}
+
+}  // namespace gossip::obs

@@ -1,0 +1,96 @@
+// Round time-series recorder: strided snapshots of the quantities the
+// paper's steady-state claims are about — degree-distribution summaries
+// (Obs 5.1 / §6), duplication/deletion/self-loop/loss rates (Lemmas
+// 6.6/6.7), live-node count, and empty-slot fraction.
+//
+// Rates are *interval* rates: the recorder differences the cumulative
+// driver counters between successive samples, so each row describes the
+// window since the previous one (the first row describes everything since
+// the run started).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/flat_send_forget.hpp"
+
+namespace gossip::obs {
+
+struct DegreeSummary {
+  double mean = 0.0;
+  double sd = 0.0;
+  std::uint32_t min = 0;
+  std::uint32_t max = 0;
+};
+
+// Cumulative driver counters at sampling time. `sent` counts messages the
+// initiator actually produced (self-loop actions send nothing); every sent
+// message is eventually lost, delivered, or dead-dropped.
+struct CumulativeCounters {
+  std::uint64_t actions = 0;
+  std::uint64_t self_loops = 0;
+  std::uint64_t duplications = 0;
+  std::uint64_t deletions = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t lost = 0;
+  std::uint64_t delivered = 0;
+  std::uint64_t to_dead = 0;
+};
+
+struct RoundSample {
+  std::uint64_t round = 0;
+  std::size_t live_nodes = 0;
+  DegreeSummary outdegree;
+  DegreeSummary indegree;
+  double empty_slot_fraction = 0.0;
+  // Interval rates since the previous sample: duplications / deletions per
+  // sent message, self-loops per action, (lost + to_dead) per sent message.
+  double duplication_rate = 0.0;
+  double deletion_rate = 0.0;
+  double self_loop_rate = 0.0;
+  double loss_rate = 0.0;
+};
+
+// One O(n * s) pass over a flat cluster: out/in degree summaries over live
+// nodes (indegree counts id instances held in live views), live count, and
+// the fraction of empty view slots among live nodes.
+struct FlatClusterProbe {
+  DegreeSummary outdegree;
+  DegreeSummary indegree;
+  std::size_t live_nodes = 0;
+  double empty_slot_fraction = 0.0;
+};
+[[nodiscard]] FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster);
+
+class RoundTimeSeries {
+ public:
+  explicit RoundTimeSeries(std::uint64_t stride = 1);
+
+  [[nodiscard]] std::uint64_t stride() const { return stride_; }
+  [[nodiscard]] bool due(std::uint64_t round) const {
+    return round % stride_ == 0;
+  }
+
+  void record(std::uint64_t round, const DegreeSummary& outdegree,
+              const DegreeSummary& indegree, std::size_t live_nodes,
+              double empty_slot_fraction, const CumulativeCounters& cumulative);
+
+  [[nodiscard]] const std::vector<RoundSample>& samples() const {
+    return samples_;
+  }
+  void clear();
+
+  void write_csv(std::ostream& out) const;
+  // JSON array of sample objects.
+  void write_json(std::ostream& out) const;
+
+ private:
+  std::uint64_t stride_;
+  CumulativeCounters prev_{};
+  std::vector<RoundSample> samples_;
+};
+
+}  // namespace gossip::obs

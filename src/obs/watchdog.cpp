@@ -1,0 +1,156 @@
+#include "obs/watchdog.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace gossip::obs {
+
+const char* violation_kind_name(ViolationKind kind) {
+  switch (kind) {
+    case ViolationKind::kOddOutdegree:
+      return "odd_outdegree";
+    case ViolationKind::kOutdegreeBelowMin:
+      return "outdegree_below_min";
+    case ViolationKind::kOutdegreeAboveMax:
+      return "outdegree_above_max";
+    case ViolationKind::kMailboxConservation:
+      return "mailbox_conservation";
+    case ViolationKind::kDuplicationRateBound:
+      return "duplication_rate_bound";
+    case ViolationKind::kDupDelBalance:
+      return "dup_del_balance";
+  }
+  return "unknown";
+}
+
+InvariantWatchdog::InvariantWatchdog(WatchdogConfig config)
+    : config_(config) {}
+
+void InvariantWatchdog::record(const Violation& violation) {
+  ++violation_count_;
+  if (log_.size() < config_.max_logged) log_.push_back(violation);
+}
+
+void InvariantWatchdog::check_degree(std::uint64_t round, NodeId node,
+                                     std::size_t shard,
+                                     std::size_t outdegree) {
+  ++checks_run_;
+  const auto d = static_cast<double>(outdegree);
+  if (outdegree % 2 != 0) {
+    record(Violation{ViolationKind::kOddOutdegree, round, node, shard, d, 0.0,
+                     0.0});
+  }
+  if (outdegree < config_.min_degree && round >= config_.warmup_rounds) {
+    record(Violation{ViolationKind::kOutdegreeBelowMin, round, node, shard, d,
+                     static_cast<double>(config_.min_degree),
+                     static_cast<double>(config_.view_size)});
+  }
+  if (outdegree > config_.view_size) {
+    record(Violation{ViolationKind::kOutdegreeAboveMax, round, node, shard, d,
+                     static_cast<double>(config_.min_degree),
+                     static_cast<double>(config_.view_size)});
+  }
+}
+
+void InvariantWatchdog::check_cluster(std::uint64_t round,
+                                      const FlatSendForgetCluster& cluster,
+                                      std::size_t nodes_per_shard) {
+  const std::size_t n = cluster.size();
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster.live(u)) continue;
+    const std::size_t shard =
+        nodes_per_shard == 0 ? 0 : static_cast<std::size_t>(u) / nodes_per_shard;
+    check_degree(round, u, shard, cluster.degree(u));
+  }
+}
+
+void InvariantWatchdog::check_conservation(std::uint64_t round,
+                                           const CumulativeCounters& c) {
+  ++checks_run_;
+  const std::uint64_t accounted = c.lost + c.delivered + c.to_dead;
+  if (accounted != c.sent) {
+    record(Violation{ViolationKind::kMailboxConservation, round, kNilNode, 0,
+                     static_cast<double>(accounted),
+                     static_cast<double>(c.sent),
+                     static_cast<double>(c.sent)});
+  }
+}
+
+void InvariantWatchdog::check_rates(std::uint64_t round,
+                                    const CumulativeCounters& c) {
+  // Lemmas 6.6/6.7 describe the steady state; counters accumulated during
+  // bootstrap (every send from a node at d <= dL duplicates) would poison
+  // the running rates for hundreds of rounds. The first post-warmup sample
+  // becomes the baseline and rates are measured over the window since it.
+  if (round < config_.warmup_rounds) return;
+  if (!have_rate_baseline_) {
+    rate_baseline_ = c;
+    have_rate_baseline_ = true;
+    return;
+  }
+  const auto delta = [](std::uint64_t now, std::uint64_t before) {
+    return now >= before ? now - before : std::uint64_t{0};
+  };
+  const std::uint64_t sent_window = delta(c.sent, rate_baseline_.sent);
+  if (sent_window < config_.min_sent_for_rates) return;
+  ++checks_run_;
+  const auto sent = static_cast<double>(sent_window);
+  const double loss = static_cast<double>(delta(c.lost, rate_baseline_.lost) +
+                                           delta(c.to_dead,
+                                                 rate_baseline_.to_dead)) /
+                      sent;
+  const double dup =
+      static_cast<double>(delta(c.duplications, rate_baseline_.duplications)) /
+      sent;
+  const double del =
+      static_cast<double>(delta(c.deletions, rate_baseline_.deletions)) / sent;
+  // Lemma 6.7: dup in [l, l + delta].
+  const double lo = loss - config_.rate_tolerance;
+  const double hi = loss + config_.delta + config_.rate_tolerance;
+  if (dup < lo || dup > hi) {
+    record(Violation{ViolationKind::kDuplicationRateBound, round, kNilNode, 0,
+                     dup, lo, hi});
+  }
+  // Lemma 6.6: dup = l + del.
+  const double imbalance = std::abs(dup - (loss + del));
+  if (imbalance > config_.rate_tolerance) {
+    record(Violation{ViolationKind::kDupDelBalance, round, kNilNode, 0,
+                     imbalance, 0.0, config_.rate_tolerance});
+  }
+}
+
+std::string InvariantWatchdog::report() const {
+  std::ostringstream out;
+  out << "watchdog: " << checks_run_ << " checks, " << violation_count_
+      << " violations\n";
+  for (const Violation& v : log_) {
+    out << "  " << violation_kind_name(v.kind) << " round=" << v.round;
+    if (v.node != kNilNode) out << " node=" << v.node;
+    out << " shard=" << v.shard << " observed=" << v.observed << " bounds=["
+        << v.bound_lo << ", " << v.bound_hi << "]\n";
+  }
+  return out.str();
+}
+
+void InvariantWatchdog::write_json(std::ostream& out) const {
+  out << "{\"checks_run\":" << checks_run_
+      << ",\"violations\":" << violation_count_ << ",\"log\":[";
+  for (std::size_t i = 0; i < log_.size(); ++i) {
+    if (i != 0) out << ',';
+    const Violation& v = log_[i];
+    out << "{\"kind\":\"" << violation_kind_name(v.kind)
+        << "\",\"round\":" << v.round << ",\"node\":";
+    if (v.node == kNilNode) {
+      out << -1;
+    } else {
+      out << v.node;
+    }
+    out << ",\"shard\":" << v.shard << ",\"observed\":" << v.observed
+        << ",\"bound_lo\":" << v.bound_lo << ",\"bound_hi\":" << v.bound_hi
+        << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace gossip::obs

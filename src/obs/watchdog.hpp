@@ -1,0 +1,124 @@
+// Invariant watchdog: a sampled continuous checker for the paper's
+// structural and statistical guarantees.
+//
+// Structural (checked exactly, per node):
+//   Obs 5.1   every live node's outdegree is even and in [dL, s].
+//             Nodes seeded below dL climb monotonically to dL and never
+//             drop below it again, so the below-dL check is suppressed for
+//             the first `warmup_rounds` rounds; even-ness and the upper
+//             bound hold from round 0.
+// Accounting (checked exactly, per sample):
+//   mailbox conservation: sent = lost + delivered + to_dead. Only valid
+//             when no messages are in flight at the sample point (round
+//             and sharded drivers; the event driver samples mid-flight
+//             and must not enable this check).
+// Statistical (checked against tolerances, per sample):
+//   Lemma 6.7 duplication rate in [l, l + delta] where l is the *measured*
+//             loss rate (lost + to_dead per sent) — dead drops act as loss.
+//   Lemma 6.6 dup = l + del (per sent message).
+// The lemmas are steady-state statements, so rates are measured over the
+// window since the first post-warmup sample (the bootstrap transient —
+// where every send from a node at d <= dL duplicates — would otherwise
+// poison the running rates for hundreds of rounds), and only once the
+// window holds at least `min_sent_for_rates` messages.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/flat_send_forget.hpp"
+#include "obs/timeseries.hpp"
+
+namespace gossip::obs {
+
+enum class ViolationKind : std::uint8_t {
+  kOddOutdegree,
+  kOutdegreeBelowMin,
+  kOutdegreeAboveMax,
+  kMailboxConservation,
+  kDuplicationRateBound,
+  kDupDelBalance,
+};
+
+[[nodiscard]] const char* violation_kind_name(ViolationKind kind);
+
+struct Violation {
+  ViolationKind kind = ViolationKind::kOddOutdegree;
+  std::uint64_t round = 0;
+  NodeId node = kNilNode;  // kNilNode for cluster-global checks
+  std::size_t shard = 0;
+  double observed = 0.0;
+  double bound_lo = 0.0;
+  double bound_hi = 0.0;
+};
+
+struct WatchdogConfig {
+  std::size_t min_degree = 0;  // dL
+  std::size_t view_size = 0;   // s
+  double delta = 0.01;         // Lemma 6.7 slack
+  // Absolute tolerance on the statistical rate checks (finite-sample noise
+  // plus churn transients).
+  double rate_tolerance = 0.05;
+  // Rounds during which outdegree-below-dL is not reported (bootstrap
+  // topologies commonly seed below dL) and rate checks accumulate no
+  // window. 100 rounds is enough for a dL-seeded overlay to equilibrate
+  // its degree distribution (measured: dup rate settles by ~round 80).
+  std::uint64_t warmup_rounds = 100;
+  // Minimum sent messages in the post-warmup window before rate checks
+  // apply.
+  std::uint64_t min_sent_for_rates = 20'000;
+  // Violations beyond this many are counted but not logged.
+  std::size_t max_logged = 64;
+};
+
+class InvariantWatchdog {
+ public:
+  explicit InvariantWatchdog(WatchdogConfig config);
+
+  [[nodiscard]] const WatchdogConfig& config() const { return config_; }
+
+  // Obs 5.1 for a single node.
+  void check_degree(std::uint64_t round, NodeId node, std::size_t shard,
+                    std::size_t outdegree);
+
+  // Obs 5.1 over every live node of a flat cluster. `nodes_per_shard`
+  // attributes each node to the shard that owns it (ceil(n/shard_count) in
+  // the sharded driver); pass 0 for unsharded drivers.
+  void check_cluster(std::uint64_t round, const FlatSendForgetCluster& cluster,
+                     std::size_t nodes_per_shard);
+
+  // Mailbox conservation on cumulative counters.
+  void check_conservation(std::uint64_t round, const CumulativeCounters& c);
+
+  // Lemma 6.6 / 6.7 running-rate bounds on cumulative counters.
+  void check_rates(std::uint64_t round, const CumulativeCounters& c);
+
+  [[nodiscard]] std::uint64_t checks_run() const { return checks_run_; }
+  [[nodiscard]] std::uint64_t violation_count() const {
+    return violation_count_;
+  }
+  // The first max_logged violations, in detection order.
+  [[nodiscard]] const std::vector<Violation>& log() const { return log_; }
+
+  [[nodiscard]] std::string report() const;
+  // {"checks_run":..,"violations":..,"log":[{...},...]}
+  void write_json(std::ostream& out) const;
+
+ private:
+  void record(const Violation& violation);
+
+  WatchdogConfig config_;
+  std::uint64_t checks_run_ = 0;
+  std::uint64_t violation_count_ = 0;
+  // Counter snapshot at the first post-warmup check_rates call; rates are
+  // measured over the window since it.
+  CumulativeCounters rate_baseline_{};
+  bool have_rate_baseline_ = false;
+  std::vector<Violation> log_;
+};
+
+}  // namespace gossip::obs

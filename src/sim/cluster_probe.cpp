@@ -1,0 +1,83 @@
+#include "sim/cluster_probe.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace gossip::sim {
+
+namespace {
+
+obs::DegreeSummary summarize(const std::vector<std::uint32_t>& degrees) {
+  obs::DegreeSummary s;
+  if (degrees.empty()) return s;
+  s.min = UINT32_MAX;
+  double sum = 0.0;
+  for (const std::uint32_t d : degrees) {
+    sum += d;
+    s.min = std::min(s.min, d);
+    s.max = std::max(s.max, d);
+  }
+  s.mean = sum / static_cast<double>(degrees.size());
+  double sq = 0.0;
+  for (const std::uint32_t d : degrees) {
+    const double c = static_cast<double>(d) - s.mean;
+    sq += c * c;
+  }
+  s.sd = degrees.size() > 1
+             ? std::sqrt(sq / static_cast<double>(degrees.size() - 1))
+             : 0.0;
+  return s;
+}
+
+}  // namespace
+
+obs::FlatClusterProbe probe_cluster(const Cluster& cluster) {
+  const std::size_t n = cluster.size();
+  std::vector<std::uint32_t> indegree(n, 0);
+  std::vector<std::uint32_t> out_live;
+  out_live.reserve(cluster.live_count());
+  std::size_t occupied = 0;
+  std::size_t capacity = 0;
+  for (NodeId u = 0; u < n; ++u) {
+    if (!cluster.live(u)) continue;
+    const LocalView& view = cluster.node(u).view();
+    out_live.push_back(static_cast<std::uint32_t>(view.degree()));
+    occupied += view.degree();
+    capacity += view.capacity();
+    for (std::size_t i = 0; i < view.capacity(); ++i) {
+      if (!view.slot_empty(i)) ++indegree[view.entry(i).id];
+    }
+  }
+  std::vector<std::uint32_t> in_live;
+  in_live.reserve(out_live.size());
+  for (NodeId u = 0; u < n; ++u) {
+    if (cluster.live(u)) in_live.push_back(indegree[u]);
+  }
+  obs::FlatClusterProbe probe;
+  probe.live_nodes = out_live.size();
+  probe.outdegree = summarize(out_live);
+  probe.indegree = summarize(in_live);
+  probe.empty_slot_fraction =
+      capacity == 0 ? 0.0
+                    : 1.0 - static_cast<double>(occupied) /
+                                static_cast<double>(capacity);
+  return probe;
+}
+
+obs::CumulativeCounters cumulative_counters(const ProtocolMetrics& protocol,
+                                            const NetworkMetrics& network) {
+  obs::CumulativeCounters c;
+  c.actions = protocol.actions_initiated;
+  c.self_loops = protocol.self_loop_actions;
+  c.duplications = protocol.duplications;
+  c.deletions = protocol.deletions;
+  c.sent = network.sent;
+  c.lost = network.lost;
+  c.delivered = network.delivered;
+  c.to_dead = network.to_dead;
+  return c;
+}
+
+}  // namespace gossip::sim

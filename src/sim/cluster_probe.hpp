@@ -1,0 +1,25 @@
+// Observability probe over the pointer-based Cluster, mirroring
+// obs::probe_cluster for FlatSendForgetCluster: one pass over live views
+// producing degree summaries, empty-slot fraction and live count, plus the
+// cumulative-counter bridge the round/event drivers feed to the
+// time-series recorder and the invariant watchdog.
+#pragma once
+
+#include "core/metrics.hpp"
+#include "obs/timeseries.hpp"
+#include "sim/cluster.hpp"
+#include "sim/network.hpp"
+
+namespace gossip::sim {
+
+// O(n * s) over live nodes; indegree counts id instances held in live views.
+[[nodiscard]] obs::FlatClusterProbe probe_cluster(const Cluster& cluster);
+
+// Driver counters in the registry's cumulative layout. Protocol counters
+// are aggregated over *live* nodes only (a dead node takes its history with
+// it), so under churn successive snapshots may not be monotone — the
+// time-series recorder clamps interval deltas at zero.
+[[nodiscard]] obs::CumulativeCounters cumulative_counters(
+    const ProtocolMetrics& protocol, const NetworkMetrics& network);
+
+}  // namespace gossip::sim

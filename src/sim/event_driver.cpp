@@ -1,5 +1,9 @@
 #include "sim/event_driver.hpp"
 
+#include <algorithm>
+
+#include "sim/cluster_probe.hpp"
+
 namespace gossip::sim {
 
 EventDriver::EventDriver(Cluster& cluster, LossModel& loss, Rng& rng,
@@ -25,12 +29,54 @@ void EventDriver::schedule_tick(NodeId id) {
   });
 }
 
+void EventDriver::attach_time_series(obs::RoundTimeSeries* series) {
+  series_ = series;
+  if (series != nullptr) {
+    observe_stride_ = std::max<std::uint64_t>(1, series->stride());
+  }
+}
+
+void EventDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {
+  watchdog_ = watchdog;
+}
+
+void EventDriver::observe_round(std::uint64_t round) {
+  const obs::FlatClusterProbe probe = probe_cluster(cluster_);
+  const obs::CumulativeCounters c =
+      cumulative_counters(cluster_.aggregate_metrics(), network_.metrics());
+  if (series_ != nullptr) {
+    series_->record(round, probe.outdegree, probe.indegree, probe.live_nodes,
+                    probe.empty_slot_fraction, c);
+  }
+  if (watchdog_ != nullptr) {
+    const std::size_t n = cluster_.size();
+    for (NodeId u = 0; u < n; ++u) {
+      if (!cluster_.live(u)) continue;
+      watchdog_->check_degree(round, u, /*shard=*/0,
+                              cluster_.node(u).view().degree());
+    }
+    // No conservation check: messages are in flight at any sample point.
+    watchdog_->check_rates(round, c);
+  }
+}
+
 void EventDriver::run_for(double duration) {
   queue_.run_until(queue_.now() + duration);
 }
 
 void EventDriver::run_rounds(std::uint64_t rounds) {
-  run_for(static_cast<double>(rounds) * config_.period);
+  if (series_ == nullptr && watchdog_ == nullptr) {
+    run_for(static_cast<double>(rounds) * config_.period);
+    rounds_completed_ += rounds;
+    return;
+  }
+  for (std::uint64_t r = 0; r < rounds; ++r) {
+    run_for(config_.period);
+    ++rounds_completed_;
+    if (rounds_completed_ % observe_stride_ == 0) {
+      observe_round(rounds_completed_);
+    }
+  }
 }
 
 }  // namespace gossip::sim

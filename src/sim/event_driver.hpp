@@ -11,6 +11,8 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/loss.hpp"
@@ -36,7 +38,22 @@ class EventDriver {
   void run_for(double duration);
 
   // Runs approximately `rounds` rounds (rounds * period time units).
+  // With observers attached, time advances one period at a time and the
+  // observers sample at stride boundaries. run_until pins now() to its
+  // target, so for a binary-representable period (the 10.0 default) the
+  // stepped schedule is bit-identical to the single run_for; otherwise the
+  // round boundaries may differ by float rounding.
   void run_rounds(std::uint64_t rounds);
+
+  // --- observability (attach before run_rounds; borrowed, may be null).
+  // Samples are taken mid-flight (messages may be queued), so the watchdog
+  // runs its structural degree checks and statistical rate checks but NOT
+  // mailbox conservation, which only holds at quiescent points. ---
+  void attach_time_series(obs::RoundTimeSeries* series);
+  void attach_watchdog(obs::InvariantWatchdog* watchdog);
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return rounds_completed_;
+  }
 
   // Starts the periodic timer of a node (used after spawn/revive).
   void start_node(NodeId id);
@@ -51,12 +68,17 @@ class EventDriver {
 
  private:
   void schedule_tick(NodeId id);
+  void observe_round(std::uint64_t round);
 
   Cluster& cluster_;
   Rng& rng_;
   EventDriverConfig config_;
   EventQueue queue_;
   QueuedNetwork network_;
+  std::uint64_t rounds_completed_ = 0;
+  obs::RoundTimeSeries* series_ = nullptr;
+  obs::InvariantWatchdog* watchdog_ = nullptr;
+  std::uint64_t observe_stride_ = 1;
 };
 
 }  // namespace gossip::sim

@@ -1,9 +1,24 @@
 #include "sim/round_driver.hpp"
 
+#include <algorithm>
+
+#include "sim/cluster_probe.hpp"
+
 namespace gossip::sim {
 
 RoundDriver::RoundDriver(Cluster& cluster, LossModel& loss, Rng& rng)
     : cluster_(cluster), rng_(rng), network_(cluster, loss, rng) {}
+
+void RoundDriver::attach_time_series(obs::RoundTimeSeries* series) {
+  series_ = series;
+  if (series != nullptr) {
+    observe_stride_ = std::max<std::uint64_t>(1, series->stride());
+  }
+}
+
+void RoundDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {
+  watchdog_ = watchdog;
+}
 
 void RoundDriver::step() {
   const NodeId initiator = cluster_.random_live_node(rng_);
@@ -15,9 +30,36 @@ void RoundDriver::run_actions(std::uint64_t count) {
   for (std::uint64_t i = 0; i < count; ++i) step();
 }
 
+void RoundDriver::observe_round(std::uint64_t round) {
+  const obs::FlatClusterProbe probe = probe_cluster(cluster_);
+  const obs::CumulativeCounters c =
+      cumulative_counters(cluster_.aggregate_metrics(), network_.metrics());
+  if (series_ != nullptr) {
+    series_->record(round, probe.outdegree, probe.indegree, probe.live_nodes,
+                    probe.empty_slot_fraction, c);
+  }
+  if (watchdog_ != nullptr) {
+    const std::size_t n = cluster_.size();
+    for (NodeId u = 0; u < n; ++u) {
+      if (!cluster_.live(u)) continue;
+      watchdog_->check_degree(round, u, /*shard=*/0,
+                              cluster_.node(u).view().degree());
+    }
+    // The direct network delivers synchronously, so nothing is in flight
+    // at a round boundary and conservation is exact.
+    watchdog_->check_conservation(round, c);
+    watchdog_->check_rates(round, c);
+  }
+}
+
 void RoundDriver::run_rounds(std::uint64_t rounds) {
+  const bool observing = series_ != nullptr || watchdog_ != nullptr;
   for (std::uint64_t r = 0; r < rounds; ++r) {
     run_actions(cluster_.live_count());
+    ++rounds_completed_;
+    if (observing && rounds_completed_ % observe_stride_ == 0) {
+      observe_round(rounds_completed_);
+    }
   }
 }
 

@@ -10,6 +10,8 @@
 #include <cstdint>
 
 #include "common/rng.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
@@ -28,21 +30,38 @@ class RoundDriver {
   // `count` actions.
   void run_actions(std::uint64_t count);
 
-  // `rounds` rounds of live_count() actions each.
+  // `rounds` rounds of live_count() actions each. Attached observers are
+  // sampled at round boundaries (when the round index matches the series'
+  // stride); step()/run_actions() never sample — there is no round clock.
   void run_rounds(std::uint64_t rounds);
 
   [[nodiscard]] std::uint64_t actions_executed() const { return actions_; }
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return rounds_completed_;
+  }
   [[nodiscard]] const NetworkMetrics& network_metrics() const {
     return network_.metrics();
   }
   [[nodiscard]] Cluster& cluster() { return cluster_; }
   [[nodiscard]] Rng& rng() { return rng_; }
 
+  // --- observability (attach before run_rounds; borrowed, may be null).
+  // Observation reads views and counters only: it draws nothing from the
+  // RNG, so attaching observers does not change the run. ---
+  void attach_time_series(obs::RoundTimeSeries* series);
+  void attach_watchdog(obs::InvariantWatchdog* watchdog);
+
  private:
+  void observe_round(std::uint64_t round);
+
   Cluster& cluster_;
   Rng& rng_;
   DirectNetwork network_;
   std::uint64_t actions_ = 0;
+  std::uint64_t rounds_completed_ = 0;
+  obs::RoundTimeSeries* series_ = nullptr;
+  obs::InvariantWatchdog* watchdog_ = nullptr;
+  std::uint64_t observe_stride_ = 1;
 };
 
 }  // namespace gossip::sim

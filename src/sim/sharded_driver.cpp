@@ -1,5 +1,6 @@
 #include "sim/sharded_driver.hpp"
 
+#include <algorithm>
 #include <barrier>
 #include <cassert>
 #include <stdexcept>
@@ -11,13 +12,28 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
                              ShardedDriverConfig config)
     : cluster_(cluster),
       config_(config),
+      registry_(config.shard_count == 0 ? 1 : config.shard_count),
       churn_rng_(Rng::stream(config.seed, config.shard_count)) {
   if (config_.shard_count == 0) {
     throw std::invalid_argument("shard_count must be >= 1");
   }
   if (config_.loss_rate < 0.0 || config_.loss_rate > 1.0) {
-    throw std::invalid_argument("loss_rate must be in [0, 1]");
+    throw std::invalid_argument("loss_rate must be >= 0 and <= 1");
   }
+  // Counter registration order must match the Counter enum: the hot path
+  // indexes the slab directly.
+  static constexpr const char* kCounterNames[kCounterCount] = {
+      "actions_initiated", "self_loop_actions", "duplications",
+      "deletions",         "messages_sent",     "messages_lost",
+      "messages_delivered", "messages_to_dead",
+  };
+  for (std::uint32_t i = 0; i < kCounterCount; ++i) {
+    const obs::CounterId id = registry_.counter(kCounterNames[i]);
+    assert(id.index == i);
+    (void)id;
+  }
+  live_gauge_ = registry_.gauge("live_nodes");
+  round_gauge_ = registry_.gauge("round");
   const std::size_t n = cluster_.size();
   nodes_per_shard_ =
       (n + config_.shard_count - 1) / config_.shard_count;  // ceil
@@ -26,6 +42,8 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   live_pos_.assign(n, 0);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     shards_[s].rng = Rng::stream(config_.seed, s);
+    // Safe to cache: the driver performs no further registrations.
+    shards_[s].m = registry_.counters(s);
   }
   for (NodeId u = 0; u < n; ++u) {
     if (!cluster_.live(u)) continue;
@@ -35,80 +53,192 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   }
 }
 
+void ShardedDriver::attach_time_series(obs::RoundTimeSeries* series) {
+  series_ = series;
+  if (series != nullptr) observe_stride_ = series->stride();
+}
+
+void ShardedDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {
+  watchdog_ = watchdog;
+}
+
+void ShardedDriver::attach_profiler(obs::PhaseProfiler* profiler) {
+  profiler_ = profiler;
+  if (profiler != nullptr) {
+    ph_initiate_ = profiler->phase("initiate");
+    ph_drain_ = profiler->phase("drain");
+    ph_barrier_ = profiler->phase("barrier_wait");
+    ph_observe_ = profiler->phase("observe");
+  }
+}
+
+void ShardedDriver::set_observation_stride(std::uint64_t stride) {
+  observe_stride_ = std::max<std::uint64_t>(1, stride);
+}
+
+template <bool kCount>
 void ShardedDriver::initiate_phase(std::size_t shard) {
   Shard& sh = shards_[shard];
   Rng& rng = sh.rng;
   const std::size_t k = sh.live.size();
   const double loss = config_.loss_rate;
   FlatPush msg;
+  LocalCounts lc;
   for (std::size_t a = 0; a < k; ++a) {
     const NodeId u = sh.live[rng.uniform(k)];
     const FlatInitiateResult result = cluster_.initiate(u, rng, msg);
-    ++sh.actions;
     if (result == FlatInitiateResult::kSelfLoop) {
-      ++sh.self_loops;
+      if constexpr (kCount) ++lc.self_loops;
       continue;
     }
-    if (result == FlatInitiateResult::kSentDuplicated) ++sh.duplications;
-    ++sh.net.sent;
+    if constexpr (kCount) {
+      if (result == FlatInitiateResult::kSentDuplicated) ++lc.duplications;
+    }
     if (loss > 0.0 && rng.bernoulli(loss)) {
-      ++sh.net.lost;
+      if constexpr (kCount) ++lc.lost;
       continue;
     }
     const std::size_t dst = shard_of(msg.to);
     if (dst == shard) {
-      deliver(shard, msg);
+      deliver<kCount>(shard, msg, lc);
     } else {
       outbox(shard, dst).messages.push_back(msg);
     }
   }
+  if constexpr (kCount) {
+    std::uint64_t* m = sh.m;
+    m[kActions] += k;  // exactly one action per live node per round
+    m[kSelfLoops] += lc.self_loops;
+    m[kDuplications] += lc.duplications;
+    m[kDeletions] += lc.deletions;
+    // Every non-self-loop action sends exactly one message (Fig 5.1), so
+    // the sent count is derived rather than counted per action.
+    m[kSent] += k - lc.self_loops;
+    m[kLost] += lc.lost;
+    m[kDelivered] += lc.delivered;
+    m[kToDead] += lc.to_dead;
+  }
 }
 
+template <bool kCount>
 void ShardedDriver::drain_phase(std::size_t shard) {
+  LocalCounts lc;
   // Fixed sender-shard order keeps the shard's RNG consumption — and hence
   // the whole run — deterministic.
   for (std::size_t src = 0; src < config_.shard_count; ++src) {
     if (src == shard) continue;
     auto& inbound = outbox(src, shard).messages;
     for (const FlatPush& msg : inbound) {
-      deliver(shard, msg);
+      deliver<kCount>(shard, msg, lc);
     }
     inbound.clear();  // keeps capacity; src refills only after the barrier
   }
+  if constexpr (kCount) {
+    std::uint64_t* m = shards_[shard].m;
+    m[kDeletions] += lc.deletions;
+    m[kDelivered] += lc.delivered;
+    m[kToDead] += lc.to_dead;
+  }
 }
 
-void ShardedDriver::deliver(std::size_t shard, const FlatPush& message) {
+template <bool kCount>
+void ShardedDriver::deliver(std::size_t shard, const FlatPush& message,
+                            [[maybe_unused]] LocalCounts& lc) {
   Shard& sh = shards_[shard];
   assert(shard_of(message.to) == shard);
   if (!cluster_.live(message.to)) {
     // Dead receiver: dropped silently, indistinguishable from loss (§5).
-    ++sh.net.to_dead;
+    if constexpr (kCount) ++lc.to_dead;
     return;
   }
-  ++sh.net.delivered;
-  if (cluster_.receive(message.to, message, sh.rng) == 0) ++sh.deletions;
+  if constexpr (kCount) ++lc.delivered;
+  [[maybe_unused]] const std::size_t accepted =
+      cluster_.receive(message.to, message, sh.rng);
+  if constexpr (kCount) {
+    if (accepted == 0) ++lc.deletions;
+  }
+}
+
+void ShardedDriver::observe_round(std::uint64_t round) {
+  const obs::PhaseProfiler::Scope timer(profiler_, ph_observe_, 0);
+  const obs::FlatClusterProbe probe = obs::probe_cluster(cluster_);
+  registry_.set(live_gauge_, 0, static_cast<double>(probe.live_nodes));
+  registry_.set(round_gauge_, 0, static_cast<double>(round));
+  const obs::CumulativeCounters c = cumulative_counters();
+  if (series_ != nullptr) {
+    series_->record(round, probe.outdegree, probe.indegree, probe.live_nodes,
+                    probe.empty_slot_fraction, c);
+  }
+  if (watchdog_ != nullptr) {
+    watchdog_->check_cluster(round, cluster_, nodes_per_shard_);
+    // All mailboxes are drained at the end of phase B, so conservation is
+    // exact here.
+    watchdog_->check_conservation(round, c);
+    watchdog_->check_rates(round, c);
+  }
 }
 
 void ShardedDriver::run_rounds(std::uint64_t rounds) {
   if (rounds == 0) return;
+  if (config_.count_metrics) {
+    run_rounds_impl<true>(rounds);
+  } else {
+    run_rounds_impl<false>(rounds);
+  }
+}
+
+template <bool kCount>
+void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
   const std::size_t threads = config_.shard_count;
+  const std::uint64_t base = rounds_completed_;
+  const bool observe = observing();
   if (threads == 1) {
     for (std::uint64_t r = 0; r < rounds; ++r) {
-      initiate_phase(0);
-      drain_phase(0);
+      {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, 0);
+        initiate_phase<kCount>(0);
+      }
+      {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, 0);
+        drain_phase<kCount>(0);
+      }
+      if (observe && observation_due(base + r + 1)) {
+        observe_round(base + r + 1);
+      }
     }
+    rounds_completed_ = base + rounds;
     return;
   }
 
   std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
-  const auto worker = [this, rounds, &barrier](std::size_t shard) {
+  const auto worker = [this, rounds, base, observe,
+                       &barrier](std::size_t shard) {
     for (std::uint64_t r = 0; r < rounds; ++r) {
-      initiate_phase(shard);
-      barrier.arrive_and_wait();
-      drain_phase(shard);
-      // Second barrier: no shard may start writing next round's mailboxes
-      // until every reader has drained this round's.
-      barrier.arrive_and_wait();
+      {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, shard);
+        initiate_phase<kCount>(shard);
+      }
+      {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        barrier.arrive_and_wait();
+      }
+      {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, shard);
+        drain_phase<kCount>(shard);
+      }
+      {
+        // Second barrier: no shard may start writing next round's mailboxes
+        // until every reader has drained this round's.
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        barrier.arrive_and_wait();
+      }
+      // Phase C: sampling is a pure function of (global round, stride), so
+      // every thread agrees on whether this third barrier exists.
+      if (observe && observation_due(base + r + 1)) {
+        if (shard == 0) observe_round(base + r + 1);
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        barrier.arrive_and_wait();
+      }
     }
   };
 
@@ -119,6 +249,7 @@ void ShardedDriver::run_rounds(std::uint64_t rounds) {
   }
   worker(0);
   for (auto& t : pool) t.join();
+  rounds_completed_ = base + rounds;
 }
 
 void ShardedDriver::kill(NodeId u) {
@@ -141,33 +272,48 @@ void ShardedDriver::revive(NodeId u) {
 
 std::uint64_t ShardedDriver::actions_executed() const {
   std::uint64_t total = 0;
-  for (const Shard& sh : shards_) total += sh.actions;
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    total += registry_.counters(s)[kActions];
+  }
   return total;
 }
 
-NetworkMetrics ShardedDriver::network_metrics() const {
-  NetworkMetrics total;
-  for (const Shard& sh : shards_) {
-    total.sent += sh.net.sent;
-    total.lost += sh.net.lost;
-    total.delivered += sh.net.delivered;
-    total.to_dead += sh.net.to_dead;
-    total.duplicated += sh.net.duplicated;
+obs::CumulativeCounters ShardedDriver::cumulative_counters() const {
+  obs::CumulativeCounters c;
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    const std::uint64_t* m = registry_.counters(s);
+    c.actions += m[kActions];
+    c.self_loops += m[kSelfLoops];
+    c.duplications += m[kDuplications];
+    c.deletions += m[kDeletions];
+    c.sent += m[kSent];
+    c.lost += m[kLost];
+    c.delivered += m[kDelivered];
+    c.to_dead += m[kToDead];
   }
+  return c;
+}
+
+NetworkMetrics ShardedDriver::network_metrics() const {
+  const obs::CumulativeCounters c = cumulative_counters();
+  NetworkMetrics total;
+  total.sent = c.sent;
+  total.lost = c.lost;
+  total.delivered = c.delivered;
+  total.to_dead = c.to_dead;
   return total;
 }
 
 ProtocolMetrics ShardedDriver::protocol_metrics() const {
+  const obs::CumulativeCounters c = cumulative_counters();
   ProtocolMetrics m;
-  for (const Shard& sh : shards_) {
-    m.actions_initiated += sh.actions;
-    m.self_loop_actions += sh.self_loops;
-    m.messages_sent += sh.net.sent;
-    m.duplications += sh.duplications;
-    m.messages_received += sh.net.delivered;
-    m.deletions += sh.deletions;
-    m.ids_accepted += 2 * (sh.net.delivered - sh.deletions);
-  }
+  m.actions_initiated = c.actions;
+  m.self_loop_actions = c.self_loops;
+  m.messages_sent = c.sent;
+  m.duplications = c.duplications;
+  m.messages_received = c.delivered;
+  m.deletions = c.deletions;
+  m.ids_accepted = 2 * (c.delivered - c.deletions);
   return m;
 }
 

@@ -14,6 +14,12 @@
 //     order and delivers every message to its own nodes (messages to nodes
 //     that died in flight are dropped, like loss — the sender cannot tell).
 //   -- barrier --
+//   [phase C (observe), only on sampling rounds when observers are
+//     attached: shard 0 probes the quiescent cluster and feeds the
+//     time-series recorder / invariant watchdog while the other shards
+//     wait at a third barrier. Whether a round samples is a pure function
+//     of the global round index and the observation stride, so every
+//     thread takes the same barrier count.]
 //
 // Why this is faithful to the paper's model: S&F actions are nonatomic and
 // the network may lose or delay any message (§4), so deferring cross-shard
@@ -33,6 +39,12 @@
 // single-writer single-reader per (src, dst) pair with barrier-enforced
 // handover; drain order is fixed. Results *do* depend on shard_count (a
 // different partition is a different, equally valid schedule).
+//
+// All protocol and network counters live in an obs::MetricsRegistry (one
+// cache-line-padded slab per shard, unsynchronized increments, fixed-order
+// merge), so the registry dump inherits the same determinism contract.
+// Observation draws nothing from any RNG stream and never mutates protocol
+// state, so attaching observers leaves the fingerprint unchanged.
 #pragma once
 
 #include <cstddef>
@@ -43,6 +55,10 @@
 #include "common/rng.hpp"
 #include "core/flat_send_forget.hpp"
 #include "core/metrics.hpp"
+#include "obs/profiler.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::sim {
@@ -54,6 +70,12 @@ struct ShardedDriverConfig {
   double loss_rate = 0.0;
   // Root seed; shard i draws from the independent stream (seed, i).
   std::uint64_t seed = 1;
+  // When false, every counter write is compiled out of the round hot path
+  // (the "no-op sink" baseline bench_report measures registry overhead
+  // against); metrics accessors then read as zero. Counting never touches
+  // any RNG stream, so the action schedule — and the cluster fingerprint —
+  // is identical either way.
+  bool count_metrics = true;
 };
 
 class ShardedDriver {
@@ -82,20 +104,49 @@ class ShardedDriver {
   }
 
   [[nodiscard]] std::uint64_t actions_executed() const;
-  // Aggregated across shards.
+  // Rounds completed over the driver's lifetime (the observation clock).
+  [[nodiscard]] std::uint64_t rounds_completed() const {
+    return rounds_completed_;
+  }
+  // Aggregated across shards; both are views over the metrics registry.
   [[nodiscard]] NetworkMetrics network_metrics() const;
   [[nodiscard]] ProtocolMetrics protocol_metrics() const;
+  [[nodiscard]] obs::CumulativeCounters cumulative_counters() const;
+
+  // --- observability (attach before run_rounds; borrowed, may be null) ---
+
+  [[nodiscard]] obs::MetricsRegistry& metrics_registry() { return registry_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics_registry() const {
+    return registry_;
+  }
+  // Also sets the observation stride to the series' stride.
+  void attach_time_series(obs::RoundTimeSeries* series);
+  void attach_watchdog(obs::InvariantWatchdog* watchdog);
+  void attach_profiler(obs::PhaseProfiler* profiler);
+  // Sampling cadence for the observe phase (rounds whose global index is a
+  // multiple of `stride` sample). Independent of any RNG stream.
+  void set_observation_stride(std::uint64_t stride);
 
  private:
-  // All mutable per-shard state, padded so shards never share a cache line.
+  // Registry counter layout; indices into each shard's counter slab.
+  enum Counter : std::uint32_t {
+    kActions = 0,
+    kSelfLoops,
+    kDuplications,
+    kDeletions,
+    kSent,
+    kLost,
+    kDelivered,
+    kToDead,
+    kCounterCount,
+  };
+
+  // Per-shard hot state, padded so shards never share a cache line. The
+  // counters themselves live in the registry; `m` caches the shard's slab.
   struct alignas(64) Shard {
     Rng rng{0};
-    std::vector<NodeId> live;  // dense live ids owned by this shard
-    std::uint64_t actions = 0;
-    std::uint64_t self_loops = 0;
-    std::uint64_t duplications = 0;
-    std::uint64_t deletions = 0;
-    NetworkMetrics net;
+    std::vector<NodeId> live;   // dense live ids owned by this shard
+    std::uint64_t* m = nullptr;  // registry counter slab, index by Counter
   };
   // A (src, dst) mailbox: written only by src's thread in phase A, read and
   // cleared only by dst's thread in phase B; the round barriers are the
@@ -104,9 +155,38 @@ class ShardedDriver {
     std::vector<FlatPush> messages;
   };
 
+  // Phase-local counter accumulator: counts live in registers / hot stack
+  // for the duration of a phase and are flushed to the shard's registry
+  // slab once at phase end, so counting costs register adds rather than
+  // per-event memory traffic (the < 2% registry overhead budget).
+  struct LocalCounts {
+    std::uint64_t self_loops = 0;
+    std::uint64_t duplications = 0;
+    std::uint64_t deletions = 0;
+    std::uint64_t lost = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t to_dead = 0;
+  };
+
+  // kCount = config_.count_metrics, lifted to a template parameter so the
+  // no-op baseline carries no per-increment branch.
+  template <bool kCount>
   void initiate_phase(std::size_t shard);
+  template <bool kCount>
   void drain_phase(std::size_t shard);
-  void deliver(std::size_t shard, const FlatPush& message);
+  template <bool kCount>
+  void deliver(std::size_t shard, const FlatPush& message, LocalCounts& lc);
+  template <bool kCount>
+  void run_rounds_impl(std::uint64_t rounds);
+  [[nodiscard]] bool observing() const {
+    return series_ != nullptr || watchdog_ != nullptr;
+  }
+  [[nodiscard]] bool observation_due(std::uint64_t round) const {
+    return round % observe_stride_ == 0;
+  }
+  // Runs on shard 0's thread while every other shard waits at the phase-C
+  // barrier (single-threaded: simply between rounds).
+  void observe_round(std::uint64_t round);
 
   [[nodiscard]] Mailbox& outbox(std::size_t src, std::size_t dst) {
     return mailboxes_[src * config_.shard_count + dst];
@@ -115,10 +195,23 @@ class ShardedDriver {
   FlatSendForgetCluster& cluster_;
   ShardedDriverConfig config_;
   std::size_t nodes_per_shard_;
+  obs::MetricsRegistry registry_;
+  obs::GaugeId live_gauge_;
+  obs::GaugeId round_gauge_;
   std::vector<Shard> shards_;
   std::vector<Mailbox> mailboxes_;           // shard_count^2, row = src
   std::vector<std::uint32_t> live_pos_;      // id -> index in its shard list
   Rng churn_rng_;
+  std::uint64_t rounds_completed_ = 0;
+
+  obs::RoundTimeSeries* series_ = nullptr;
+  obs::InvariantWatchdog* watchdog_ = nullptr;
+  obs::PhaseProfiler* profiler_ = nullptr;
+  std::uint64_t observe_stride_ = 1;
+  obs::PhaseId ph_initiate_{};
+  obs::PhaseId ph_drain_{};
+  obs::PhaseId ph_barrier_{};
+  obs::PhaseId ph_observe_{};
 };
 
 }  // namespace gossip::sim

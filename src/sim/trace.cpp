@@ -29,21 +29,35 @@ const char* kind_name(MessageKind kind) {
 }  // namespace
 
 TracingTransport::TracingTransport(Transport& next, std::size_t capacity)
-    : next_(next), capacity_(capacity) {}
+    : next_(next), ring_(capacity == 0 ? 1 : capacity) {}
 
 void TracingTransport::send(Message message) {
-  TraceRecord record;
-  record.sequence = sequence_++;
-  record.message = message;
-  records_.push_back(std::move(record));
-  while (records_.size() > capacity_) records_.pop_front();
+  // Overwrite in place: the slot's payload vector keeps its capacity, so
+  // a warmed-up ring allocates nothing per record.
+  TraceRecord& slot = ring_[(head_ + size_) % ring_.size()];
+  slot.sequence = sequence_++;
+  slot.message = message;
+  if (size_ < ring_.size()) {
+    ++size_;
+  } else {
+    head_ = (head_ + 1) % ring_.size();
+    ++dropped_;
+  }
   next_.send(std::move(message));
+}
+
+std::vector<TraceRecord> TracingTransport::records() const {
+  std::vector<TraceRecord> out;
+  out.reserve(size_);
+  for (std::size_t k = 0; k < size_; ++k) out.push_back(at(k));
+  return out;
 }
 
 std::size_t TracingTransport::count(NodeId from, NodeId to,
                                     MessageKind kind) const {
   std::size_t n = 0;
-  for (const auto& record : records_) {
+  for (std::size_t k = 0; k < size_; ++k) {
+    const TraceRecord& record = at(k);
     if (from != kNilNode && record.message.from != from) continue;
     if (to != kNilNode && record.message.to != to) continue;
     if (record.message.kind != kind) continue;
@@ -54,10 +68,9 @@ std::size_t TracingTransport::count(NodeId from, NodeId to,
 
 std::string TracingTransport::dump(std::size_t limit) const {
   std::ostringstream out;
-  const std::size_t start =
-      records_.size() > limit ? records_.size() - limit : 0;
-  for (std::size_t k = start; k < records_.size(); ++k) {
-    const auto& record = records_[k];
+  const std::size_t start = size_ > limit ? size_ - limit : 0;
+  for (std::size_t k = start; k < size_; ++k) {
+    const auto& record = at(k);
     out << '#' << record.sequence << ' ' << record.message.from << "->"
         << record.message.to << ' ' << kind_name(record.message.kind) << " [";
     bool first = true;
@@ -72,6 +85,9 @@ std::string TracingTransport::dump(std::size_t limit) const {
   return out.str();
 }
 
-void TracingTransport::clear() { records_.clear(); }
+void TracingTransport::clear() {
+  head_ = 0;
+  size_ = 0;
+}
 
 }  // namespace gossip::sim

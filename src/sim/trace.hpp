@@ -1,12 +1,17 @@
 // Action tracing: a decorating Transport that records every message a
-// protocol sends (bounded ring buffer), for debugging, causality checks,
-// and test assertions about wire behavior.
+// protocol sends (fixed-capacity ring buffer), for debugging, causality
+// checks, and test assertions about wire behavior.
+//
+// The ring is preallocated at construction and slots are overwritten in
+// place, so steady-state tracing allocates nothing per record (payload
+// vectors reuse their capacity on overwrite). Overwritten records are
+// tallied in drop_count().
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
-#include <deque>
 #include <string>
+#include <vector>
 
 #include "core/protocol.hpp"
 
@@ -24,10 +29,13 @@ class TracingTransport final : public Transport {
 
   void send(Message message) override;
 
-  [[nodiscard]] const std::deque<TraceRecord>& records() const {
-    return records_;
-  }
+  // Snapshot of the retained records, oldest to newest.
+  [[nodiscard]] std::vector<TraceRecord> records() const;
   [[nodiscard]] std::uint64_t total_sent() const { return sequence_; }
+  // Records overwritten by newer ones since construction (clear() keeps it,
+  // like total_sent; cleared records are discarded, not dropped).
+  [[nodiscard]] std::uint64_t drop_count() const { return dropped_; }
+  [[nodiscard]] std::size_t capacity() const { return ring_.size(); }
 
   // Number of recorded messages from `from` (kNilNode = any) to `to`
   // (kNilNode = any) of the given kind.
@@ -40,10 +48,17 @@ class TracingTransport final : public Transport {
   void clear();
 
  private:
+  // k-th oldest retained record, k < size_.
+  [[nodiscard]] const TraceRecord& at(std::size_t k) const {
+    return ring_[(head_ + k) % ring_.size()];
+  }
+
   Transport& next_;
-  std::size_t capacity_;
-  std::deque<TraceRecord> records_;
+  std::vector<TraceRecord> ring_;
+  std::size_t head_ = 0;  // index of the oldest retained record
+  std::size_t size_ = 0;  // retained records, <= ring_.size()
   std::uint64_t sequence_ = 0;
+  std::uint64_t dropped_ = 0;
 };
 
 }  // namespace gossip::sim

@@ -45,6 +45,19 @@ TEST(TracingTransport, RingBufferEvictsOldest) {
   EXPECT_EQ(sink.sent.size(), 5u);  // forwarding unaffected
 }
 
+TEST(TracingTransport, DropCountTalliesEvictions) {
+  CaptureTransport sink;
+  TracingTransport trace(sink, /*capacity=*/3);
+  EXPECT_EQ(trace.capacity(), 3u);
+  for (NodeId k = 0; k < 3; ++k) trace.send(push(k, k + 1));
+  EXPECT_EQ(trace.drop_count(), 0u);  // nothing evicted while within capacity
+  for (NodeId k = 3; k < 8; ++k) trace.send(push(k, k + 1));
+  EXPECT_EQ(trace.drop_count(), 5u);
+  EXPECT_EQ(trace.total_sent(), 8u);
+  trace.clear();
+  EXPECT_EQ(trace.drop_count(), 5u);  // survives clear, like total_sent
+}
+
 TEST(TracingTransport, CountWithWildcards) {
   CaptureTransport sink;
   TracingTransport trace(sink);

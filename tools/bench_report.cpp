@@ -1,11 +1,15 @@
 // bench_report — benchmark-trajectory harness.
 //
-// Two modes, each emitting a machine-readable JSON baseline so every
+// Three modes, each emitting a machine-readable JSON baseline so every
 // future PR has a perf trajectory to diff against:
 //
-//   ./bench_report [output.json]           # scale: BENCH_scale.json
-//   ./bench_report --analysis [out.json]   # solvers: BENCH_analysis.json
-//   ./bench_report [--analysis] --quick    # reduced sizes, for smoke tests
+//   ./bench_report [output.json]            # scale: BENCH_scale.json
+//   ./bench_report --analysis [out.json]    # solvers: BENCH_analysis.json
+//   ./bench_report --telemetry [out.json]   # obs: BENCH_telemetry.json
+//   ./bench_report [--mode] --quick         # reduced sizes, for smoke tests
+//
+// Every output carries a schema_version / tool / git header so baselines
+// are traceable to the tree that produced them.
 //
 // Scale mode runs the simulation drivers (sequential RoundDriver vs the
 // sharded flat driver at several n / thread counts) and records
@@ -22,6 +26,12 @@
 // power iteration. Solutions of the two degree-MC configurations are
 // cross-checked in-process (max mean-indegree difference is part of the
 // report).
+//
+// Telemetry mode exercises the full observability stack on a sharded run
+// (round time-series, invariant watchdog, per-phase profiler) plus an
+// instrumented degree-MC + spectral solve, and dumps everything as JSON.
+// Scale mode additionally re-runs the largest sharded configuration with
+// observers attached and records the overhead as obs_overhead_pct.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -40,14 +50,36 @@
 #include "graph/digraph.hpp"
 #include "graph/graph_gen.hpp"
 #include "graph/spectral.hpp"
+#include "obs/profiler.hpp"
+#include "obs/solver_telemetry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sim/churn.hpp"
 #include "sim/round_driver.hpp"
 #include "sim/sharded_driver.hpp"
+
+#ifndef GOSSIP_GIT_DESCRIBE
+#define GOSSIP_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
 using namespace gossip;
 using Clock = std::chrono::steady_clock;
+
+constexpr int kSchemaVersion = 2;
+
+// Shared JSON header: identifies the schema, the tool, and the tree that
+// produced the baseline. `benchmark` distinguishes the three modes.
+void emit_header(std::ofstream& out, const char* benchmark) {
+  out << "{\n";
+  out << "  \"benchmark\": \"" << benchmark << "\",\n";
+  out << "  \"schema_version\": " << kSchemaVersion << ",\n";
+  out << "  \"tool\": \"bench_report\",\n";
+  out << "  \"git\": \"" << GOSSIP_GIT_DESCRIBE << "\",\n";
+  out << "  \"hardware_threads\": " << std::thread::hardware_concurrency()
+      << ",\n";
+}
 
 // Current resident set size in MiB, from /proc/self/status (0 elsewhere).
 double rss_mib() {
@@ -80,7 +112,10 @@ BenchResult run_sequential(std::size_t n, std::size_t rounds) {
     return std::make_unique<SendForget>(id, default_send_forget_config());
   };
   sim::Cluster cluster(n, factory);
-  cluster.install_graph(permutation_regular(n, 10, rng));
+  // Seed at dL, the paper's join outdegree (§6.5): the overlay then starts
+  // inside the Obs 5.1 envelope and reaches its steady state quickly.
+  cluster.install_graph(
+      permutation_regular(n, default_send_forget_config().min_degree, rng));
   sim::UniformLoss loss(0.02);
   sim::RoundDriver driver(cluster, loss, rng);
   sim::ChurnProcess churn(cluster, factory, 18, 1.0, 1.0, n / 2);
@@ -99,19 +134,49 @@ BenchResult run_sequential(std::size_t n, std::size_t rounds) {
   return result;
 }
 
-BenchResult run_sharded(std::size_t n, std::size_t threads,
-                        std::size_t rounds) {
+// Three variants of the identical simulation (neither counting nor
+// observation draws any RNG, so all three execute the same action
+// sequence):
+//   kNoopCounters  counter writes compiled out of the hot path — the
+//                  no-op-sink baseline;
+//   kBare          registry counting on (the default everywhere);
+//   kObserved      counting plus time-series recorder, watchdog, and phase
+//                  profiler at stride 10.
+// bare-vs-noop is the registry hot-path overhead (gated < 2% in
+// BENCH_scale.json); observed-vs-bare is the strided sampling cost,
+// reported for transparency and amortizable by raising the stride.
+enum class ShardedMode { kNoopCounters, kBare, kObserved };
+
+BenchResult run_sharded(std::size_t n, std::size_t threads, std::size_t rounds,
+                        ShardedMode mode = ShardedMode::kBare,
+                        std::uint64_t actions_hint = 0) {
+  const bool observed = mode == ShardedMode::kObserved;
   Rng rng(7 + n);
-  FlatSendForgetCluster cluster(n, default_send_forget_config());
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(n, cfg);
   {
-    const Digraph g = permutation_regular(n, 10, rng);
+    // dL-seeded like run_sequential: Obs 5.1 holds from round 0.
+    const Digraph g = permutation_regular(n, cfg.min_degree, rng);
     for (NodeId u = 0; u < n; ++u) {
       cluster.install_view(u, g.out_neighbors(u));
     }
   }
   sim::ShardedDriver driver(
-      cluster, sim::ShardedDriverConfig{
-                   .shard_count = threads, .loss_rate = 0.02, .seed = 7 + n});
+      cluster,
+      sim::ShardedDriverConfig{
+          .shard_count = threads,
+          .loss_rate = 0.02,
+          .seed = 7 + n,
+          .count_metrics = mode != ShardedMode::kNoopCounters});
+  obs::RoundTimeSeries series(10);
+  obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
+      .min_degree = cfg.min_degree, .view_size = cfg.view_size});
+  obs::PhaseProfiler profiler(threads);
+  if (observed) {
+    driver.attach_time_series(&series);
+    driver.attach_watchdog(&watchdog);
+    driver.attach_profiler(&profiler);
+  }
   std::vector<NodeId> dead;
   const auto start = Clock::now();
   for (std::size_t r = 0; r < rounds; ++r) {
@@ -129,10 +194,20 @@ BenchResult run_sharded(std::size_t n, std::size_t threads,
   }
   const double elapsed =
       std::chrono::duration<double>(Clock::now() - start).count();
-  BenchResult result{"sharded_flat", n, threads, rounds,
-                     driver.actions_executed(), elapsed,
-                     static_cast<double>(driver.actions_executed()) / elapsed,
-                     rss_mib()};
+  if (observed && watchdog.violation_count() > 0) {
+    std::fprintf(stderr, "%s", watchdog.report().c_str());
+  }
+  // The no-op run counts nothing; its twin bare run supplies the action
+  // count (identical schedule).
+  const std::uint64_t actions = mode == ShardedMode::kNoopCounters
+                                    ? actions_hint
+                                    : driver.actions_executed();
+  const char* name = observed ? "sharded_flat_observed"
+                     : mode == ShardedMode::kNoopCounters
+                         ? "sharded_flat_noop_counters"
+                         : "sharded_flat";
+  BenchResult result{name, n, threads, rounds, actions, elapsed,
+                     static_cast<double>(actions) / elapsed, rss_mib()};
   return result;
 }
 
@@ -140,9 +215,7 @@ bool emit_json(const std::vector<BenchResult>& results,
                const std::string& path) {
   const std::size_t hw = std::thread::hardware_concurrency();
   std::ofstream out(path);
-  out << "{\n";
-  out << "  \"benchmark\": \"scale_trajectory\",\n";
-  out << "  \"hardware_threads\": " << hw << ",\n";
+  emit_header(out, "scale_trajectory");
   out << "  \"results\": [\n";
   for (std::size_t i = 0; i < results.size(); ++i) {
     const BenchResult& r = results[i];
@@ -182,11 +255,50 @@ bool emit_json(const std::vector<BenchResult>& results,
       best_threads = r.threads;
     }
   }
-  char tail[256];
+  // Instrumentation overheads, each at the largest n that ran both
+  // variants of a pair with the same thread count. All variants execute the
+  // identical action sequence (neither counting nor observation draws RNG):
+  //   registry_overhead_pct  counting vs no-op-sink baseline — the
+  //                          hot-path cost of the registry. Gate: < 2%.
+  //   obs_overhead_pct       observed (stride-10 sampling: O(n*s) probe,
+  //                          watchdog scan) vs bare — reported for
+  //                          transparency, amortized by raising the stride.
+  const auto overhead_vs = [&results](const char* base_name,
+                                      const char* variant_name,
+                                      std::size_t& out_ref_n) {
+    double pct = 0.0;
+    out_ref_n = 0;
+    for (const BenchResult& a : results) {
+      if (a.driver != base_name) continue;
+      for (const BenchResult& b : results) {
+        if (b.driver == variant_name && b.n == a.n &&
+            b.threads == a.threads && a.n >= out_ref_n &&
+            a.actions_per_sec > 0.0) {
+          out_ref_n = a.n;
+          pct = 100.0 * (1.0 - b.actions_per_sec / a.actions_per_sec);
+        }
+      }
+    }
+    return pct;
+  };
+  std::size_t reg_ref_n = 0;
+  std::size_t obs_ref_n = 0;
+  // Regression of the counted run relative to the no-op baseline.
+  const double registry_overhead_pct =
+      overhead_vs("sharded_flat_noop_counters", "sharded_flat", reg_ref_n);
+  const double obs_overhead_pct =
+      overhead_vs("sharded_flat", "sharded_flat_observed", obs_ref_n);
+
+  char tail[512];
   std::snprintf(tail, sizeof(tail),
+                "  \"registry_overhead_pct\": %.2f,\n"
+                "  \"registry_overhead_ref_n\": %zu,\n"
+                "  \"obs_overhead_pct\": %.2f,\n"
+                "  \"obs_overhead_ref_n\": %zu,\n"
                 "  \"speedup_vs_sequential_at_n%zu\": %.2f,\n"
                 "  \"speedup_threads\": %zu,\n"
                 "  \"speedup_oversubscribed\": %s\n",
+                registry_overhead_pct, reg_ref_n, obs_overhead_pct, obs_ref_n,
                 ref_n, seq > 0.0 ? sharded / seq : 0.0, best_threads,
                 best_threads > hw ? "true" : "false");
   out << tail << "}\n";
@@ -269,8 +381,6 @@ DegreeRun run_degree_accelerated(const analysis::DegreeMcParams& params,
 }
 
 bool emit_analysis_json(bool quick, const std::string& path) {
-  const std::size_t hw = std::thread::hardware_concurrency();
-
   // Degree MC ℓ-sweep at the paper's running example (reduced for --quick).
   analysis::DegreeMcParams dp;
   dp.view_size = quick ? 20 : 40;
@@ -336,9 +446,7 @@ bool emit_analysis_json(bool quick, const std::string& path) {
               s_seconds, sr.lambda2, sr.iterations);
 
   std::ofstream out(path);
-  out << "{\n";
-  out << "  \"benchmark\": \"analysis_pipeline\",\n";
-  out << "  \"hardware_threads\": " << hw << ",\n";
+  emit_header(out, "analysis_pipeline");
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
 
   auto emit_run = [&out](const char* key, const DegreeRun& run,
@@ -436,23 +544,205 @@ bool emit_analysis_json(bool quick, const std::string& path) {
   return static_cast<bool>(out);
 }
 
+// --------------------------------------------------------------------------
+// Telemetry mode (--telemetry): exercise the full observability stack and
+// dump it. One sharded run with series/watchdog/profiler attached, then an
+// instrumented degree-MC solve and spectral power iteration through a
+// recording solver sink.
+
+bool emit_telemetry_json(bool quick, const std::string& path) {
+  const std::size_t n = quick ? 5'000 : 50'000;
+  const std::size_t threads = 4;
+  // Past the 100-round watchdog warmup in both modes, so the Lemma 6.6/6.7
+  // rate checks run against a steady-state window.
+  const std::size_t rounds = quick ? 150 : 250;
+  const std::uint64_t stride = 10;
+  const SendForgetConfig cfg = default_send_forget_config();
+
+  Rng rng(7 + n);
+  FlatSendForgetCluster cluster(n, cfg);
+  {
+    // dL-seeded (§6.5 join outdegree): Obs 5.1 holds from round 0 and the
+    // rate lemmas apply once the post-warmup window accumulates mass.
+    const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = threads, .loss_rate = 0.02, .seed = 7 + n});
+  obs::RoundTimeSeries series(stride);
+  obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
+      .min_degree = cfg.min_degree, .view_size = cfg.view_size});
+  obs::PhaseProfiler profiler(threads);
+  driver.attach_time_series(&series);
+  driver.attach_watchdog(&watchdog);
+  driver.attach_profiler(&profiler);
+
+  std::printf("telemetry: sharded n=%zu threads=%zu rounds=%zu stride=%llu\n",
+              n, threads, rounds, static_cast<unsigned long long>(stride));
+  std::vector<NodeId> dead;
+  const auto sim_start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Rng& crng = driver.churn_rng();
+    const auto victim = static_cast<NodeId>(crng.uniform(n));
+    if (cluster.live(victim) && cluster.live_count() > n / 2) {
+      driver.kill(victim);
+      dead.push_back(victim);
+    }
+    if (!dead.empty() && crng.bernoulli(0.5)) {
+      driver.revive(dead.back());
+      dead.pop_back();
+    }
+    driver.run_rounds(1);
+  }
+  const double sim_seconds =
+      std::chrono::duration<double>(Clock::now() - sim_start).count();
+  std::printf("%s", profiler.report().c_str());
+  std::printf("%s", watchdog.report().c_str());
+
+  obs::RecordingSolverSink sink;
+  analysis::DegreeMcParams dp;
+  dp.view_size = quick ? 20 : 40;
+  dp.min_degree = quick ? 8 : 18;
+  dp.loss = 0.05;
+  dp.telemetry = &sink;
+  const auto d_start = Clock::now();
+  const auto dr = analysis::solve_degree_mc(dp);
+  const double d_seconds =
+      std::chrono::duration<double>(Clock::now() - d_start).count();
+  std::printf("degree MC: %zu outer, %zu inner iterations (%.3f s)\n",
+              sink.iteration_count("degree_mc_outer"),
+              sink.iteration_count("degree_mc_inner"), d_seconds);
+
+  const std::size_t sn = quick ? 5'000 : 50'000;
+  Rng srng(11);
+  const Digraph overlay = permutation_regular(sn, 10, srng);
+  SpectralOptions so;
+  so.telemetry = &sink;
+  const auto s_start = Clock::now();
+  const auto sr = estimate_spectral_gap(overlay, so);
+  const double s_seconds =
+      std::chrono::duration<double>(Clock::now() - s_start).count();
+  std::printf("spectral: lambda2=%.4f in %zu iterations (%.3f s)\n",
+              sr.lambda2, sr.iterations, s_seconds);
+
+  std::ofstream out(path);
+  emit_header(out, "telemetry");
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"simulation\": {\n    \"driver\": \"sharded_flat\", "
+                "\"n\": %zu, \"threads\": %zu, \"rounds\": %zu, "
+                "\"loss\": 0.02, \"stride\": %llu, \"actions\": %llu, "
+                "\"seconds\": %.3f,\n",
+                n, threads, rounds, static_cast<unsigned long long>(stride),
+                static_cast<unsigned long long>(driver.actions_executed()),
+                sim_seconds);
+  out << buf;
+  out << "    \"series\": ";
+  series.write_json(out);
+  out << ",\n    \"watchdog\": ";
+  watchdog.write_json(out);
+  out << ",\n    \"phases\": ";
+  profiler.write_json(out);
+  out << ",\n    \"registry\": ";
+  driver.metrics_registry().write_json(out);
+  out << "\n  },\n";
+
+  // Full residual trajectory for the (small) outer loop; the inner power
+  // iterations are summarized as counts to keep the file bounded.
+  auto json_finite = [](double v) { return std::isfinite(v) ? v : 0.0; };
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"solvers\": {\n"
+      "    \"degree_mc\": {\"loss\": %g, \"converged\": %s, "
+      "\"outer_iterations\": %zu, \"inner_iterations\": %zu, "
+      "\"history_resets\": %zu, \"cooldowns\": %zu, \"damped_steps\": %zu, "
+      "\"final_outer_residual\": %.3g, \"seconds\": %.3f,\n",
+      dp.loss, dr.converged ? "true" : "false",
+      sink.iteration_count("degree_mc_outer"),
+      sink.iteration_count("degree_mc_inner"),
+      sink.event_count("degree_mc_outer", "history_reset") +
+          sink.event_count("degree_mc_inner", "history_reset"),
+      sink.event_count("degree_mc_outer", "cooldown") +
+          sink.event_count("degree_mc_inner", "cooldown"),
+      sink.event_count("degree_mc_outer", "damped_step"),
+      json_finite(sink.last_residual("degree_mc_outer")), d_seconds);
+  out << buf;
+  out << "      \"outer_residuals\": [";
+  bool first = true;
+  for (const obs::RecordingSolverSink::Iteration& it : sink.iterations()) {
+    if (it.solver != "degree_mc_outer") continue;
+    if (!first) out << ", ";
+    first = false;
+    std::snprintf(buf, sizeof(buf), "%.6g", json_finite(it.residual));
+    out << buf;
+  }
+  out << "]\n    },\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"spectral\": {\"n\": %zu, \"lambda2\": %.6f, "
+                "\"iterations\": %zu, \"converged\": %s, "
+                "\"last_residual\": %.3g, \"seconds\": %.3f}\n",
+                sn, sr.lambda2, sr.iterations, sr.converged ? "true" : "false",
+                json_finite(sink.last_residual("spectral_power")), s_seconds);
+  out << buf;
+  out << "  }\n}\n";
+  if (watchdog.violation_count() > 0) {
+    std::fprintf(stderr, "error: watchdog reported %llu violations\n",
+                 static_cast<unsigned long long>(watchdog.violation_count()));
+  }
+  return static_cast<bool>(out) && watchdog.violation_count() == 0;
+}
+
 }  // namespace
+
+// Best-of-N for the overhead gate pairs: run-to-run variance on shared
+// hardware is several percent, an order of magnitude above the effect
+// being measured, so keep the fastest of repeated runs (the run with the
+// least scheduler/cache interference — the standard noise-floor
+// estimator).
+BenchResult best_of(std::size_t reps, std::size_t n, std::size_t threads,
+                    std::size_t rounds, ShardedMode mode,
+                    std::uint64_t actions_hint = 0) {
+  BenchResult best = run_sharded(n, threads, rounds, mode, actions_hint);
+  for (std::size_t i = 1; i < reps; ++i) {
+    BenchResult r = run_sharded(n, threads, rounds, mode, actions_hint);
+    if (r.actions_per_sec > best.actions_per_sec) best = std::move(r);
+  }
+  return best;
+}
 
 int main(int argc, char** argv) {
   bool quick = false;
   bool analysis_mode = false;
+  bool telemetry_mode = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       quick = true;
     } else if (std::strcmp(argv[i], "--analysis") == 0) {
       analysis_mode = true;
+    } else if (std::strcmp(argv[i], "--telemetry") == 0) {
+      telemetry_mode = true;
     } else {
       path = argv[i];
     }
   }
   if (path.empty()) {
-    path = analysis_mode ? "BENCH_analysis.json" : "BENCH_scale.json";
+    path = telemetry_mode ? "BENCH_telemetry.json"
+           : analysis_mode ? "BENCH_analysis.json"
+                           : "BENCH_scale.json";
+  }
+
+  if (telemetry_mode) {
+    if (!emit_telemetry_json(quick, path)) {
+      std::fprintf(stderr, "error: telemetry run failed (%s)\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
   }
 
   if (analysis_mode) {
@@ -475,12 +765,25 @@ int main(int argc, char** argv) {
 
   if (quick) {
     record(run_sequential(5'000, 50));
-    record(run_sharded(5'000, 1, 50));
+    const BenchResult bare_small =
+        best_of(3, 5'000, 1, 50, ShardedMode::kBare);
+    record(bare_small);
+    record(best_of(3, 5'000, 1, 50, ShardedMode::kNoopCounters,
+                   bare_small.actions));
     record(run_sharded(5'000, 4, 50));
+    record(run_sharded(5'000, 4, 50, ShardedMode::kObserved));
   } else {
     record(run_sequential(50'000, 200));
-    record(run_sharded(50'000, 1, 200));
+    // The registry-overhead gate pair runs single-threaded: oversubscribed
+    // multi-thread timing (common in CI containers) is barrier-scheduling
+    // noise, not counting cost.
+    const BenchResult bare_large =
+        best_of(5, 50'000, 1, 200, ShardedMode::kBare);
+    record(bare_large);
+    record(best_of(5, 50'000, 1, 200, ShardedMode::kNoopCounters,
+                   bare_large.actions));
     record(run_sharded(50'000, 4, 200));
+    record(run_sharded(50'000, 4, 200, ShardedMode::kObserved));
     record(run_sharded(200'000, 4, 100));
     record(run_sharded(1'000'000, 4, 30));
   }

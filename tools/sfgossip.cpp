@@ -37,12 +37,18 @@
 #include "graph/graph_stats.hpp"
 #include "graph/reachability.hpp"
 #include "graph/spectral.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
 #include "sampling/random_walk.hpp"
 #include "sampling/health.hpp"
 #include "sampling/spatial.hpp"
 #include "sim/churn.hpp"
 #include "sim/event_driver.hpp"
 #include "sim/round_driver.hpp"
+
+#ifndef GOSSIP_GIT_DESCRIBE
+#define GOSSIP_GIT_DESCRIBE "unknown"
+#endif
 
 namespace {
 
@@ -73,7 +79,10 @@ int cmd_simulate(const ArgParser& args) {
         "  --leave-rate Y    expected leaves per round    (default 0)\n"
         "  --seed S          RNG seed                     (default 1)\n"
         "  --csv FILE        write the degree histogram as CSV\n"
-        "  --dump FILE       write the final membership graph\n");
+        "  --dump FILE       write the final membership graph\n"
+        "  --metrics-out F   write round time-series (+ watchdog report for\n"
+        "                    sf/sfext): .csv ext = series CSV, else JSON\n"
+        "  --metrics-stride N  rounds between samples     (default 10)\n");
     return 0;
   }
   const auto nodes = args.get_size("nodes", 1000, 8, 1'000'000);
@@ -125,8 +134,14 @@ int cmd_simulate(const ArgParser& args) {
 
   Rng rng(seed);
   sim::Cluster cluster(nodes, factory);
+  // S&F nodes join at outdegree exactly dL (§6.5), which also starts the
+  // overlay inside the Obs 5.1 envelope; other protocols keep the generic
+  // quarter-view seed.
   const std::size_t init_degree =
-      std::max<std::size_t>(2, std::min(view_size / 4, nodes / 2) / 2 * 2);
+      (protocol == "sf" || protocol == "sfext") && min_degree >= 2
+          ? std::min(min_degree / 2 * 2, (nodes - 2) / 2 * 2)
+          : std::max<std::size_t>(2,
+                                  std::min(view_size / 4, nodes / 2) / 2 * 2);
   cluster.install_graph(permutation_regular(nodes, init_degree, rng));
   sim::UniformLoss loss(loss_rate);
 
@@ -137,6 +152,19 @@ int cmd_simulate(const ArgParser& args) {
         leave_rate, std::max<std::size_t>(8, nodes / 4));
   }
 
+  std::unique_ptr<obs::RoundTimeSeries> series;
+  std::unique_ptr<obs::InvariantWatchdog> watchdog;
+  if (args.has("metrics-out")) {
+    const auto stride = args.get_size("metrics-stride", 10, 1, 1'000'000);
+    series = std::make_unique<obs::RoundTimeSeries>(stride);
+    // Obs 5.1 and the Lemma 6.6/6.7 rate bounds only constrain plain S&F;
+    // baselines (and sfext's mark-instead-of-clear) are exempt.
+    if (protocol == "sf") {
+      watchdog = std::make_unique<obs::InvariantWatchdog>(obs::WatchdogConfig{
+          .min_degree = min_degree, .view_size = view_size});
+    }
+  }
+
   std::printf("simulating %zu nodes x %zu rounds, loss=%.3f, protocol=%s, "
               "driver=%s\n",
               nodes, rounds, loss_rate, protocol.c_str(),
@@ -144,6 +172,8 @@ int cmd_simulate(const ArgParser& args) {
 
   if (driver_kind == "round") {
     sim::RoundDriver driver(cluster, loss, rng);
+    driver.attach_time_series(series.get());
+    driver.attach_watchdog(watchdog.get());
     for (std::size_t r = 0; r < rounds; ++r) {
       if (churn) churn->maybe_churn(rng);
       driver.run_rounds(1);
@@ -154,6 +184,8 @@ int cmd_simulate(const ArgParser& args) {
                 driver.network_metrics().loss_rate());
   } else if (driver_kind == "event") {
     sim::EventDriver driver(cluster, loss, rng);
+    driver.attach_time_series(series.get());
+    driver.attach_watchdog(watchdog.get());
     for (std::size_t r = 0; r < rounds; ++r) {
       if (churn) {
         const auto outcome = churn->maybe_churn(rng);
@@ -214,6 +246,28 @@ int cmd_simulate(const ArgParser& args) {
     write_csv_series(out, {"degree", "outdegree_count", "indegree_count"},
                      {axis, outs, ins});
     std::printf("wrote %s\n", path.c_str());
+  }
+  if (series) {
+    const auto path = args.get_string("metrics-out", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    const bool as_csv =
+        path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+    if (as_csv) {
+      series->write_csv(out);
+    } else {
+      out << "{\n  \"tool\": \"sfgossip\",\n  \"schema_version\": 1,\n"
+          << "  \"git\": \"" << GOSSIP_GIT_DESCRIBE << "\",\n  \"series\": ";
+      series->write_json(out);
+      if (watchdog) {
+        out << ",\n  \"watchdog\": ";
+        watchdog->write_json(out);
+      }
+      out << "\n}\n";
+    }
+    std::printf("wrote %s (%zu samples)\n", path.c_str(),
+                series->samples().size());
+    if (watchdog) std::printf("%s", watchdog->report().c_str());
   }
   return 0;
 }
