@@ -1,0 +1,28 @@
+#include "analysis/prediction.hpp"
+
+#include <utility>
+
+#include "analysis/independence.hpp"
+
+namespace gossip::analysis {
+
+obs::TheoryPrediction make_theory_prediction(const DegreeMcParams& params,
+                                             double delta) {
+  DegreeMcResult mc = solve_degree_mc(params);
+  obs::TheoryPrediction pred;
+  pred.loss = params.loss;
+  pred.delta = delta;
+  pred.view_size = params.view_size;
+  pred.min_degree = params.min_degree;
+  pred.out_pmf = std::move(mc.out_pmf);
+  pred.in_pmf = std::move(mc.in_pmf);
+  pred.expected_out = mc.expected_out;
+  pred.expected_in = mc.expected_in;
+  pred.duplication_probability = mc.duplication_probability;
+  pred.deletion_probability = mc.deletion_probability;
+  pred.alpha_lower_bound =
+      independence_lower_bound_simple(params.loss, delta);
+  return pred;
+}
+
+}  // namespace gossip::analysis

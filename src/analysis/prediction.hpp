@@ -1,0 +1,18 @@
+// Bridge from the analysis solvers to the obs-layer TheoryPrediction: the
+// obs library cannot link analysis (the dependency points the other way),
+// so the oracle's input is produced here — one §6.2 degree-MC solve plus
+// the Lemma 7.9 closed-form bound, packed into plain data.
+#pragma once
+
+#include "analysis/degree_mc.hpp"
+#include "obs/oracle/prediction.hpp"
+
+namespace gossip::analysis {
+
+// Solves the degree MC at `params` and packages the stationary marginals,
+// action-outcome probabilities, and the α ≥ 1 − 2(ℓ+δ) bound for the
+// TheoryOracle. Propagates the solver's exceptions on bad parameters.
+[[nodiscard]] obs::TheoryPrediction make_theory_prediction(
+    const DegreeMcParams& params, double delta = 0.01);
+
+}  // namespace gossip::analysis

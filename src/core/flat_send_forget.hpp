@@ -34,6 +34,10 @@ struct FlatPush {
   NodeId to = kNilNode;
   ViewEntry sender;
   ViewEntry carried;
+  // Flight-recorder correlation id threading a send to its delivery across
+  // shards; 0 when no recorder is attached. Not protocol state: receive()
+  // ignores it and it is invisible to the cluster fingerprint.
+  std::uint64_t message_id = 0;
 };
 
 enum class FlatInitiateResult : std::uint8_t {

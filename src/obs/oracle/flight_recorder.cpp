@@ -1,0 +1,207 @@
+#include "obs/oracle/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+namespace gossip::obs {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'F', 'F', 'R'};
+constexpr std::uint32_t kVersion = 1;
+
+std::size_t round_up_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+template <typename T>
+void write_pod(std::ostream& out, const T& value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+bool read_pod(std::istream& in, T& value) {
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+const char* flight_event_kind_name(FlightEventKind kind) {
+  switch (kind) {
+    case FlightEventKind::kSelfLoop: return "self_loop";
+    case FlightEventKind::kSend: return "send";
+    case FlightEventKind::kDuplicate: return "duplicate";
+    case FlightEventKind::kLose: return "lose";
+    case FlightEventKind::kDeliver: return "deliver";
+    case FlightEventKind::kDelete: return "delete";
+    case FlightEventKind::kToDead: return "to_dead";
+    case FlightEventKind::kKill: return "kill";
+    case FlightEventKind::kRevive: return "revive";
+  }
+  return "unknown";
+}
+
+FlightRecorder::FlightRecorder(std::size_t shard_count, std::size_t capacity)
+    : capacity_(round_up_pow2(std::max<std::size_t>(8, capacity))),
+      mask_(capacity_ - 1),
+      shards_(std::max<std::size_t>(1, shard_count)) {
+  for (Shard& sh : shards_) sh.ring.resize(capacity_);
+}
+
+std::uint64_t FlightRecorder::total_recorded() const {
+  std::uint64_t total = 0;
+  for (const Shard& sh : shards_) total += sh.total;
+  return total;
+}
+
+std::vector<FlightEvent> FlightRecorder::shard_events(
+    std::size_t shard) const {
+  const Shard& sh = shards_[shard];
+  const std::uint64_t stored = std::min<std::uint64_t>(sh.total, capacity_);
+  std::vector<FlightEvent> out;
+  out.reserve(stored);
+  // Oldest retained event first: when the ring has wrapped, that is the
+  // cell the next write would overwrite.
+  const std::uint64_t begin = sh.total - stored;
+  for (std::uint64_t i = 0; i < stored; ++i) {
+    out.push_back(sh.ring[(begin + i) & mask_]);
+  }
+  return out;
+}
+
+void FlightRecorder::clear() {
+  for (Shard& sh : shards_) {
+    sh.total = 0;
+    sh.sequence = 0;
+  }
+}
+
+void FlightRecorder::dump(std::ostream& out) const {
+  out.write(kMagic, sizeof(kMagic));
+  write_pod(out, kVersion);
+  write_pod(out, static_cast<std::uint32_t>(shards_.size()));
+  write_pod(out, static_cast<std::uint64_t>(capacity_));
+  for (std::size_t s = 0; s < shards_.size(); ++s) {
+    const std::vector<FlightEvent> events = shard_events(s);
+    write_pod(out, shards_[s].total);
+    write_pod(out, shards_[s].sequence);
+    write_pod(out, static_cast<std::uint64_t>(events.size()));
+    if (!events.empty()) {
+      out.write(reinterpret_cast<const char*>(events.data()),
+                static_cast<std::streamsize>(events.size() *
+                                             sizeof(FlightEvent)));
+    }
+  }
+}
+
+bool FlightRecorder::dump_to_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  dump(out);
+  return static_cast<bool>(out);
+}
+
+bool FlightTrace::load(std::istream& in) {
+  events_.clear();
+  dropped_.clear();
+  char magic[4];
+  in.read(magic, sizeof(magic));
+  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  std::uint32_t version = 0;
+  std::uint32_t shard_count = 0;
+  std::uint64_t capacity = 0;
+  if (!read_pod(in, version) || version != kVersion) return false;
+  if (!read_pod(in, shard_count) || shard_count == 0 ||
+      shard_count > 4096) {
+    return false;
+  }
+  if (!read_pod(in, capacity)) return false;
+  dropped_.assign(shard_count, 0);
+  for (std::uint32_t s = 0; s < shard_count; ++s) {
+    std::uint64_t total = 0;
+    std::uint64_t sequence = 0;
+    std::uint64_t stored = 0;
+    if (!read_pod(in, total) || !read_pod(in, sequence) ||
+        !read_pod(in, stored) || stored > capacity) {
+      events_.clear();
+      dropped_.clear();
+      return false;
+    }
+    dropped_[s] = total > stored ? total - stored : 0;
+    const std::size_t offset = events_.size();
+    events_.resize(offset + stored);
+    if (stored != 0) {
+      in.read(reinterpret_cast<char*>(events_.data() + offset),
+              static_cast<std::streamsize>(stored * sizeof(FlightEvent)));
+      if (!in) {
+        events_.clear();
+        dropped_.clear();
+        return false;
+      }
+    }
+  }
+  // Global order: by round, then shard, preserving each shard's own
+  // chronology (stable sort over per-shard-ordered input).
+  std::stable_sort(events_.begin(), events_.end(),
+                   [](const FlightEvent& a, const FlightEvent& b) {
+                     if (a.round != b.round) return a.round < b.round;
+                     return a.shard < b.shard;
+                   });
+  return true;
+}
+
+bool FlightTrace::load_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  return load(in);
+}
+
+std::uint64_t FlightTrace::total_dropped() const {
+  std::uint64_t total = 0;
+  for (const std::uint64_t d : dropped_) total += d;
+  return total;
+}
+
+std::vector<FlightEvent> FlightTrace::message_lifecycle(
+    std::uint64_t message_id) const {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : events_) {
+    if (e.message_id == message_id && message_id != 0) out.push_back(e);
+  }
+  return out;
+}
+
+std::vector<FlightEvent> FlightTrace::node_history(NodeId node) const {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& e : events_) {
+    if (e.node == node || e.peer == node) out.push_back(e);
+  }
+  return out;
+}
+
+std::string FlightTrace::format_event(const FlightEvent& event) {
+  char buf[160];
+  if (event.message_id != 0) {
+    std::snprintf(buf, sizeof(buf),
+                  "round %u shard %u: %-9s msg %llx node %u peer %u",
+                  event.round, event.shard,
+                  flight_event_kind_name(event.kind),
+                  static_cast<unsigned long long>(event.message_id),
+                  event.node, event.peer);
+  } else {
+    std::snprintf(buf, sizeof(buf), "round %u shard %u: %-9s node %u",
+                  event.round, event.shard,
+                  flight_event_kind_name(event.kind), event.node);
+  }
+  return buf;
+}
+
+}  // namespace gossip::obs

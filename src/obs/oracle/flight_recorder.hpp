@@ -1,0 +1,159 @@
+// Flight recorder: compact per-shard ring buffers of protocol events.
+//
+// Every protocol-visible event (initiate outcome, send, loss, delivery,
+// deletion, churn) is one 24-byte POD appended to the recording shard's
+// ring — a single store plus a counter bump, no locks, no allocation after
+// construction, and no RNG draws, so recording never perturbs a run (the
+// fingerprint stays bit-identical; pinned in tests/test_flight_recorder.cpp).
+// Message ids thread causality: the initiator's shard assigns
+// (shard << 48 | per-shard sequence) at send time and the id rides the
+// message, so a cross-shard delivery event names the same id as its send.
+//
+// The ring keeps the *last* capacity events per shard (older ones are
+// overwritten and counted as dropped) — exactly what a post-mortem needs
+// when the DriftMonitor escalates to VIOLATION and the TheoryOracle dumps
+// the recorder. Dumps are a small binary format ("SFFR"); FlightTrace
+// loads one back and reconstructs a message's lifecycle or a node's view
+// history for `sfgossip trace-dump`.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "common/node_id.hpp"
+
+namespace gossip::obs {
+
+enum class FlightEventKind : std::uint8_t {
+  kSelfLoop = 0,  // initiate drew an empty slot; no message (Fig 5.1)
+  kSend,          // initiate produced a message (node -> peer)
+  kDuplicate,     // the send kept its slots (d(u) <= dL); follows kSend
+  kLose,          // the network dropped the message at send time
+  kDeliver,       // receiver accepted the message (node = receiver)
+  kDelete,        // receiver was full; both ids dropped (follows kDeliver)
+  kToDead,        // receiver died in flight; dropped like loss
+  kKill,          // churn: node left
+  kRevive,        // churn: node rejoined
+};
+
+[[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);
+
+struct FlightEvent {
+  std::uint64_t message_id = 0;  // 0 when the event carries no message
+  std::uint32_t round = 0;
+  NodeId node = kNilNode;  // acting node (initiator / receiver / churned)
+  NodeId peer = kNilNode;  // other party (receiver of a send; sender of a
+                           // delivery); kNilNode when not applicable
+  FlightEventKind kind = FlightEventKind::kSelfLoop;
+  std::uint8_t shard = 0;
+  std::uint16_t reserved = 0;
+};
+static_assert(sizeof(FlightEvent) == 24, "FlightEvent must stay compact");
+
+class FlightRecorder {
+ public:
+  // `capacity` is per shard and rounded up to a power of two (so the ring
+  // index is a mask, not a division).
+  explicit FlightRecorder(std::size_t shard_count,
+                          std::size_t capacity = 1u << 15);
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  // Assigns the next message id for `shard`. Deterministic (a per-shard
+  // sequence), never 0.
+  [[nodiscard]] std::uint64_t begin_message(std::size_t shard) {
+    return make_message_id(shard, ++shards_[shard].sequence);
+  }
+
+  // Hot path: append one event to `shard`'s ring. Only the shard's own
+  // thread may call this (same single-writer discipline as the registry).
+  void record(std::size_t shard, FlightEvent event) {
+    Shard& sh = shards_[shard];
+    event.shard = static_cast<std::uint8_t>(shard);
+    sh.ring[sh.total & mask_] = event;
+    ++sh.total;
+  }
+
+  // Events currently held / overwritten for one shard.
+  [[nodiscard]] std::uint64_t recorded(std::size_t shard) const {
+    return shards_[shard].total;
+  }
+  [[nodiscard]] std::uint64_t dropped(std::size_t shard) const {
+    const std::uint64_t total = shards_[shard].total;
+    return total > capacity_ ? total - capacity_ : 0;
+  }
+  [[nodiscard]] std::uint64_t total_recorded() const;
+
+  // `shard`'s retained events, oldest first (the ring unwrapped).
+  [[nodiscard]] std::vector<FlightEvent> shard_events(std::size_t shard) const;
+
+  void clear();
+
+  // Binary dump: "SFFR" magic, version, shard count, per-shard totals and
+  // retained events. Same-architecture format (native endianness) — a
+  // debugging artifact, not an interchange format.
+  void dump(std::ostream& out) const;
+  // Returns false (and writes nothing durable) on I/O failure.
+  bool dump_to_file(const std::string& path) const;
+
+  [[nodiscard]] static std::uint64_t make_message_id(std::size_t shard,
+                                                     std::uint64_t sequence) {
+    return (static_cast<std::uint64_t>(shard) << 48) | sequence;
+  }
+  [[nodiscard]] static std::size_t message_shard(std::uint64_t message_id) {
+    return static_cast<std::size_t>(message_id >> 48);
+  }
+
+ private:
+  struct alignas(64) Shard {
+    std::vector<FlightEvent> ring;
+    std::uint64_t total = 0;     // events ever recorded
+    std::uint64_t sequence = 0;  // last message id sequence issued
+  };
+
+  std::size_t capacity_ = 0;
+  std::uint64_t mask_ = 0;
+  std::vector<Shard> shards_;
+};
+
+// A loaded dump: every retained event merged across shards in (round,
+// shard, intra-shard order) — a deterministic global order consistent with
+// each shard's own chronology.
+class FlightTrace {
+ public:
+  // Parses a dump; returns false on malformed input (leaves *this empty).
+  bool load(std::istream& in);
+  bool load_file(const std::string& path);
+
+  [[nodiscard]] std::size_t shard_count() const { return dropped_.size(); }
+  [[nodiscard]] const std::vector<FlightEvent>& events() const {
+    return events_;
+  }
+  [[nodiscard]] std::uint64_t dropped(std::size_t shard) const {
+    return dropped_[shard];
+  }
+  [[nodiscard]] std::uint64_t total_dropped() const;
+
+  // Every event carrying `message_id`, in global order: the message's
+  // lifecycle (send [+ duplicate] then deliver/lose/to-dead [+ delete]).
+  [[nodiscard]] std::vector<FlightEvent> message_lifecycle(
+      std::uint64_t message_id) const;
+
+  // Every event naming `node` (as actor or peer), in global order: the
+  // node's view history — what it sent, received, dropped, and when it
+  // churned.
+  [[nodiscard]] std::vector<FlightEvent> node_history(NodeId node) const;
+
+  // "round 12 shard 0: send msg 0x... 17 -> 42" — one line, no newline.
+  [[nodiscard]] static std::string format_event(const FlightEvent& event);
+
+ private:
+  std::vector<FlightEvent> events_;
+  std::vector<std::uint64_t> dropped_;
+};
+
+}  // namespace gossip::obs

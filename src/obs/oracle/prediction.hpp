@@ -1,0 +1,46 @@
+// Precomputed paper predictions consumed by the TheoryOracle.
+//
+// A TheoryPrediction is a plain-data snapshot of what §6/§7 predict for a
+// run at loss rate ℓ: the §6.2 degree-MC stationary marginals, the
+// Lemma 6.7 duplication band [ℓ, ℓ+δ], and the Lemma 7.9 spatial-
+// independence lower bound α ≥ 1 − 2(ℓ+δ). It deliberately lives in the
+// obs layer as data only — the solver that *produces* it is
+// analysis::make_theory_prediction (the analysis library links obs, not
+// the other way around), and tests may also construct predictions by hand.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace gossip::obs {
+
+struct TheoryPrediction {
+  // Parameters the prediction was computed at. `loss` is the ℓ the run is
+  // *believed* to experience; the oracle's whole point is to notice when
+  // the empirical run disagrees.
+  double loss = 0.0;
+  double delta = 0.01;  // δ slack of Lemma 6.7 / Lemma 7.9
+  std::size_t view_size = 0;   // s
+  std::size_t min_degree = 0;  // dL
+
+  // §6.2 stationary marginals, indexed by degree value.
+  std::vector<double> out_pmf;
+  std::vector<double> in_pmf;
+  double expected_out = 0.0;
+  double expected_in = 0.0;
+
+  // Steady-state action outcome probabilities from the degree MC.
+  // Lemma 6.7 predicts duplication_probability ∈ [ℓ, ℓ+δ]; Lemma 6.6
+  // predicts duplication = ℓ + deletion.
+  double duplication_probability = 0.0;
+  double deletion_probability = 0.0;
+
+  // Lemma 7.9: expected independence α ≥ 1 − 2(ℓ+δ).
+  double alpha_lower_bound = 1.0;
+
+  [[nodiscard]] bool valid() const {
+    return view_size > 0 && !out_pmf.empty() && !in_pmf.empty();
+  }
+};
+
+}  // namespace gossip::obs

@@ -1,0 +1,350 @@
+#include "obs/oracle/theory_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace gossip::obs {
+
+namespace {
+
+// Support cells the prediction considers reachable; mass below this is
+// treated as zero when counting effective bins.
+constexpr double kSupportEps = 1e-9;
+
+double tvd_hist_vs_pmf(const std::vector<std::uint64_t>& hist,
+                       const std::vector<double>& pmf, std::uint64_t samples,
+                       std::size_t* effective_bins) {
+  const std::size_t len = std::max(hist.size(), pmf.size());
+  double tvd = 0.0;
+  std::size_t bins = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double p = i < pmf.size() ? pmf[i] : 0.0;
+    const double q =
+        (i < hist.size() && samples > 0)
+            ? static_cast<double>(hist[i]) / static_cast<double>(samples)
+            : 0.0;
+    tvd += std::abs(p - q);
+    if (p > kSupportEps || q > 0.0) ++bins;
+  }
+  if (effective_bins != nullptr) *effective_bins = std::max<std::size_t>(1, bins);
+  return 0.5 * tvd;
+}
+
+// Pearson χ² with sparse-cell folding: cells whose expected count falls
+// below 0.5 are folded into one residual cell, and the residual's expected
+// count is floored so a single stray observation cannot produce an
+// astronomically large statistic (it still registers as drift; the limit
+// comparison does the judging).
+double chi2_hist_vs_pmf(const std::vector<std::uint64_t>& hist,
+                        const std::vector<double>& pmf, std::uint64_t samples,
+                        std::size_t* dof_out) {
+  const auto n = static_cast<double>(samples);
+  const std::size_t len = std::max(hist.size(), pmf.size());
+  double chi2 = 0.0;
+  double residual_expected = 0.0;
+  double residual_observed = 0.0;
+  std::size_t cells = 0;
+  for (std::size_t i = 0; i < len; ++i) {
+    const double p = i < pmf.size() ? pmf[i] : 0.0;
+    const double obs =
+        i < hist.size() ? static_cast<double>(hist[i]) : 0.0;
+    const double expected = n * p;
+    if (expected >= 0.5) {
+      const double diff = obs - expected;
+      chi2 += diff * diff / expected;
+      ++cells;
+    } else {
+      residual_expected += expected;
+      residual_observed += obs;
+    }
+  }
+  if (residual_observed > 0.0 || residual_expected > 0.0) {
+    const double expected = std::max(residual_expected, 0.25);
+    const double diff = residual_observed - expected;
+    chi2 += diff * diff / expected;
+    ++cells;
+  }
+  if (dof_out != nullptr) *dof_out = cells > 1 ? cells - 1 : 1;
+  return chi2;
+}
+
+std::uint64_t counter_delta(std::uint64_t now, std::uint64_t before) {
+  return now >= before ? now - before : 0;
+}
+
+}  // namespace
+
+TheoryOracle::TheoryOracle(TheoryPrediction prediction, OracleConfig config,
+                           DriftMonitorConfig monitor_config)
+    : prediction_(std::move(prediction)),
+      config_(config),
+      monitor_(monitor_config) {
+  monitor_.set_violation_callback([this](const DriftTransition&) {
+    if (flight_recorder_ != nullptr && !flight_dumped_ &&
+        !flight_dump_path_.empty()) {
+      flight_dumped_ = flight_recorder_->dump_to_file(flight_dump_path_);
+    }
+  });
+}
+
+void TheoryOracle::bind_registry(MetricsRegistry* registry,
+                                 std::size_t shard) {
+  registry_ = registry;
+  registry_shard_ = shard;
+  if (registry_ == nullptr) return;
+  for (std::size_t i = 0;
+       i < static_cast<std::size_t>(DriftCheck::kCheckCount); ++i) {
+    score_gauges_[i] = registry_->gauge(
+        std::string("drift_") +
+        drift_check_name(static_cast<DriftCheck>(i)));
+  }
+  violations_gauge_ = registry_->gauge("drift_violations");
+}
+
+void TheoryOracle::arm_flight_dump(FlightRecorder* recorder,
+                                   std::string path) {
+  flight_recorder_ = recorder;
+  flight_dump_path_ = std::move(path);
+  flight_dumped_ = false;
+}
+
+void TheoryOracle::check_degree(const FlatClusterProbe& probe) {
+  const std::uint64_t samples = probe.live_nodes;
+  if (samples == 0 || !prediction_.valid()) return;
+
+  std::size_t out_bins = 1;
+  std::size_t in_bins = 1;
+  last_.tvd_out = tvd_hist_vs_pmf(probe.outdegree_hist, prediction_.out_pmf,
+                                  samples, &out_bins);
+  last_.tvd_in = tvd_hist_vs_pmf(probe.indegree_hist, prediction_.in_pmf,
+                                 samples, &in_bins);
+  const auto n = static_cast<double>(samples);
+  last_.tvd_out_limit =
+      config_.tvd_bias +
+      config_.tvd_noise_factor * std::sqrt(static_cast<double>(out_bins) / n);
+  last_.tvd_in_limit =
+      config_.tvd_bias +
+      config_.tvd_noise_factor * std::sqrt(static_cast<double>(in_bins) / n);
+
+  std::size_t out_dof = 1;
+  std::size_t in_dof = 1;
+  last_.chi2_out = chi2_hist_vs_pmf(probe.outdegree_hist,
+                                    prediction_.out_pmf, samples, &out_dof);
+  last_.chi2_in = chi2_hist_vs_pmf(probe.indegree_hist, prediction_.in_pmf,
+                                   samples, &in_dof);
+  const auto chi2_limit = [this, n](std::size_t dof) {
+    const auto d = static_cast<double>(dof);
+    return d + config_.chi2_noise_sd * std::sqrt(2.0 * d) +
+           config_.chi2_bias_per_sample * n;
+  };
+  last_.chi2_out_limit = chi2_limit(out_dof);
+  last_.chi2_in_limit = chi2_limit(in_dof);
+  last_.degree_checked = true;
+
+  monitor_.record(DriftCheck::kDegreeOut,
+                  std::max(last_.tvd_out / last_.tvd_out_limit,
+                           last_.chi2_out / last_.chi2_out_limit));
+  monitor_.record(DriftCheck::kDegreeIn,
+                  std::max(last_.tvd_in / last_.tvd_in_limit,
+                           last_.chi2_in / last_.chi2_in_limit));
+}
+
+void TheoryOracle::check_rates(std::uint64_t round,
+                               const CumulativeCounters& counters) {
+  if (round < config_.warmup_rounds) return;
+  if (!have_rate_baseline_) {
+    // First post-warmup probe: pin the window start so transient rates
+    // never dilute the steady-state estimate (same trick as the watchdog).
+    rate_baseline_ = counters;
+    have_rate_baseline_ = true;
+    return;
+  }
+  const std::uint64_t sent = counter_delta(counters.sent, rate_baseline_.sent);
+  last_.window_sent = sent;
+  if (sent < config_.min_sent_for_rates) return;
+  const auto sent_d = static_cast<double>(sent);
+  last_.duplication_rate =
+      static_cast<double>(counter_delta(counters.duplications,
+                                        rate_baseline_.duplications)) /
+      sent_d;
+  last_.deletion_rate =
+      static_cast<double>(counter_delta(counters.deletions,
+                                        rate_baseline_.deletions)) /
+      sent_d;
+  last_.rates_checked = true;
+
+  // Lemma 6.7: dup rate in [ℓ, ℓ+δ] — against the *predicted* ℓ.
+  const double lo = prediction_.loss;
+  const double hi = prediction_.loss + prediction_.delta;
+  double dup_excess = 0.0;
+  if (last_.duplication_rate < lo) dup_excess = lo - last_.duplication_rate;
+  if (last_.duplication_rate > hi) dup_excess = last_.duplication_rate - hi;
+  monitor_.record(DriftCheck::kDuplicationRate,
+                  dup_excess / config_.rate_tolerance);
+
+  // Lemma 6.6 via the MC: deletion probability at the predicted ℓ.
+  const double del_err =
+      std::abs(last_.deletion_rate - prediction_.deletion_probability);
+  monitor_.record(DriftCheck::kDeletionRate, del_err / config_.rate_tolerance);
+}
+
+void TheoryOracle::check_uniformity(
+    std::span<const std::uint32_t> occurrences) {
+  if (occurrences.empty()) return;
+  if (occurrence_sum_.size() != occurrences.size()) {
+    occurrence_sum_.assign(occurrences.size(), 0);
+    always_live_.assign(occurrences.size(), 1);
+    uniformity_probes_ = 0;
+  }
+  for (std::size_t i = 0; i < occurrences.size(); ++i) {
+    if (occurrences[i] == kDeadNodeOccurrence) {
+      always_live_[i] = 0;
+    } else if (always_live_[i] != 0) {
+      occurrence_sum_[i] += occurrences[i];
+    }
+  }
+  ++uniformity_probes_;
+  if (uniformity_probes_ < config_.min_probes_for_uniformity) return;
+
+  std::uint64_t m = 0;
+  double sum = 0.0;
+  for (std::size_t i = 0; i < occurrence_sum_.size(); ++i) {
+    if (always_live_[i] != 0) {
+      ++m;
+      sum += static_cast<double>(occurrence_sum_[i]);
+    }
+  }
+  if (m < 16) return;  // too few stable ids for a max-deviation statistic
+  const double mean = sum / static_cast<double>(m);
+  double sq = 0.0;
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < occurrence_sum_.size(); ++i) {
+    if (always_live_[i] == 0) continue;
+    const double dev = static_cast<double>(occurrence_sum_[i]) - mean;
+    sq += dev * dev;
+    max_dev = std::max(max_dev, std::abs(dev));
+  }
+  const double sd =
+      std::sqrt(sq / static_cast<double>(m > 1 ? m - 1 : 1));
+  if (sd <= 0.0) return;
+  last_.uniformity_z = max_dev / sd;
+  last_.uniformity_limit =
+      config_.uniformity_slack *
+      std::sqrt(2.0 * std::log(static_cast<double>(m)));
+  last_.uniformity_ids = m;
+  last_.uniformity_checked = true;
+  monitor_.record(DriftCheck::kUniformity,
+                  last_.uniformity_z / last_.uniformity_limit);
+}
+
+void TheoryOracle::check_alpha(const FlatClusterProbe& probe) {
+  if (probe.occupied_slots == 0) return;
+  last_.alpha_hat = 1.0 - static_cast<double>(probe.dependent_entries) /
+                              static_cast<double>(probe.occupied_slots);
+  last_.alpha_checked = true;
+  const double shortfall =
+      std::max(0.0, prediction_.alpha_lower_bound - last_.alpha_hat);
+  monitor_.record(DriftCheck::kIndependence,
+                  shortfall / config_.alpha_tolerance);
+}
+
+void TheoryOracle::observe(std::uint64_t round, const FlatClusterProbe& probe,
+                           std::span<const std::uint32_t> occurrences,
+                           const CumulativeCounters& counters) {
+  ++probes_;
+  last_ = OracleSnapshot{};
+  last_.round = round;
+  monitor_.begin_probe(round);
+  if (round >= config_.warmup_rounds) {
+    check_degree(probe);
+    check_uniformity(occurrences);
+    check_alpha(probe);
+  }
+  check_rates(round, counters);
+  monitor_.end_probe();
+
+  if (registry_ != nullptr) {
+    const DriftSample& sample = monitor_.samples().back();
+    for (std::size_t i = 0;
+         i < static_cast<std::size_t>(DriftCheck::kCheckCount); ++i) {
+      registry_->set(score_gauges_[i], registry_shard_, sample.score[i]);
+    }
+    registry_->set(violations_gauge_, registry_shard_,
+                   static_cast<double>(monitor_.violation_transitions()));
+  }
+}
+
+std::string TheoryOracle::report() const {
+  std::ostringstream out;
+  out << "theory oracle: prediction ℓ=" << prediction_.loss
+      << " δ=" << prediction_.delta << " E[out]=" << prediction_.expected_out
+      << " dup=" << prediction_.duplication_probability
+      << " del=" << prediction_.deletion_probability
+      << " α≥" << prediction_.alpha_lower_bound << '\n';
+  out << "  probes " << probes_ << ", last round " << last_.round << '\n';
+  if (last_.degree_checked) {
+    out << "  degree: TVD out " << last_.tvd_out << " (limit "
+        << last_.tvd_out_limit << "), in " << last_.tvd_in << " (limit "
+        << last_.tvd_in_limit << "); χ² out " << last_.chi2_out << " (limit "
+        << last_.chi2_out_limit << ")\n";
+  }
+  if (last_.rates_checked) {
+    out << "  rates: dup " << last_.duplication_rate << " vs ["
+        << prediction_.loss << ", " << prediction_.loss + prediction_.delta
+        << "], del " << last_.deletion_rate << " vs "
+        << prediction_.deletion_probability << " over " << last_.window_sent
+        << " sent\n";
+  }
+  if (last_.uniformity_checked) {
+    out << "  uniformity: max|z| " << last_.uniformity_z << " (limit "
+        << last_.uniformity_limit << ", ids " << last_.uniformity_ids
+        << ")\n";
+  }
+  if (last_.alpha_checked) {
+    out << "  independence: α̂ " << last_.alpha_hat << " vs bound "
+        << prediction_.alpha_lower_bound << '\n';
+  }
+  out << monitor_.report();
+  return out.str();
+}
+
+void TheoryOracle::write_json(std::ostream& out) const {
+  out << "{\"prediction\":{\"loss\":" << prediction_.loss
+      << ",\"delta\":" << prediction_.delta
+      << ",\"view_size\":" << prediction_.view_size
+      << ",\"min_degree\":" << prediction_.min_degree
+      << ",\"expected_out\":" << prediction_.expected_out
+      << ",\"expected_in\":" << prediction_.expected_in
+      << ",\"duplication_probability\":"
+      << prediction_.duplication_probability
+      << ",\"deletion_probability\":" << prediction_.deletion_probability
+      << ",\"alpha_lower_bound\":" << prediction_.alpha_lower_bound << '}'
+      << ",\"probes\":" << probes_ << ",\"last\":{"
+      << "\"round\":" << last_.round
+      << ",\"degree_checked\":" << (last_.degree_checked ? "true" : "false")
+      << ",\"tvd_out\":" << last_.tvd_out
+      << ",\"tvd_out_limit\":" << last_.tvd_out_limit
+      << ",\"tvd_in\":" << last_.tvd_in
+      << ",\"tvd_in_limit\":" << last_.tvd_in_limit
+      << ",\"chi2_out\":" << last_.chi2_out
+      << ",\"chi2_out_limit\":" << last_.chi2_out_limit
+      << ",\"chi2_in\":" << last_.chi2_in
+      << ",\"chi2_in_limit\":" << last_.chi2_in_limit
+      << ",\"rates_checked\":" << (last_.rates_checked ? "true" : "false")
+      << ",\"duplication_rate\":" << last_.duplication_rate
+      << ",\"deletion_rate\":" << last_.deletion_rate
+      << ",\"window_sent\":" << last_.window_sent
+      << ",\"uniformity_checked\":"
+      << (last_.uniformity_checked ? "true" : "false")
+      << ",\"uniformity_z\":" << last_.uniformity_z
+      << ",\"uniformity_limit\":" << last_.uniformity_limit
+      << ",\"uniformity_ids\":" << last_.uniformity_ids
+      << ",\"alpha_checked\":" << (last_.alpha_checked ? "true" : "false")
+      << ",\"alpha_hat\":" << last_.alpha_hat << "},\"monitor\":";
+  monitor_.write_json(out);
+  out << ",\"flight_dumped\":" << (flight_dumped_ ? "true" : "false") << '}';
+}
+
+}  // namespace gossip::obs

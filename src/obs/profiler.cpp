@@ -9,12 +9,13 @@ namespace gossip::obs {
 PhaseProfiler::PhaseProfiler(std::size_t shard_count)
     : slabs_(std::max<std::size_t>(1, shard_count)) {}
 
-PhaseId PhaseProfiler::phase(std::string_view name) {
+PhaseId PhaseProfiler::phase(std::string_view name, bool coordinator) {
   for (std::uint32_t i = 0; i < names_.size(); ++i) {
     if (names_[i] == name) return PhaseId{i};
   }
   const auto id = static_cast<std::uint32_t>(names_.size());
   names_.emplace_back(name);
+  coordinator_.push_back(coordinator ? 1 : 0);
   const std::size_t want = padded(names_.size());
   for (Slab& slab : slabs_) {
     if (slab.cells.size() < want) slab.cells.resize(want);
@@ -54,8 +55,10 @@ void PhaseProfiler::reset() {
 
 std::string PhaseProfiler::report() const {
   std::ostringstream out;
-  for (const PhaseTotal& t : totals()) {
-    out << t.name << ": "
+  const auto phase_totals = totals();
+  for (std::uint32_t i = 0; i < phase_totals.size(); ++i) {
+    const PhaseTotal& t = phase_totals[i];
+    out << t.name << (coordinator_[i] != 0 ? " [coordinator]" : "") << ": "
         << static_cast<double>(t.nanos) / 1e6 << " ms over " << t.count
         << " scopes\n";
   }
@@ -75,12 +78,20 @@ void PhaseProfiler::write_json(std::ostream& out) const {
       count += slab.cells[i].count;
     }
     out << "{\"phase\":\"" << names_[i] << "\",\"nanos\":" << nanos
-        << ",\"count\":" << count << ",\"per_shard_nanos\":[";
-    for (std::size_t s = 0; s < slabs_.size(); ++s) {
-      if (s != 0) out << ',';
-      out << slabs_[s].cells[i].nanos;
+        << ",\"count\":" << count << ",\"coordinator\":"
+        << (coordinator_[i] != 0 ? "true" : "false");
+    if (coordinator_[i] != 0) {
+      // One thread worked for the whole cluster; a per-shard split would
+      // just pin everything on whichever shard ran the coordinator.
+      out << '}';
+    } else {
+      out << ",\"per_shard_nanos\":[";
+      for (std::size_t s = 0; s < slabs_.size(); ++s) {
+        if (s != 0) out << ',';
+        out << slabs_[s].cells[i].nanos;
+      }
+      out << "]}";
     }
-    out << "]}";
   }
   out << ']';
 }

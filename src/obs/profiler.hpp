@@ -30,7 +30,15 @@ class PhaseProfiler {
   [[nodiscard]] std::size_t shard_count() const { return slabs_.size(); }
 
   // Register-or-look-up a phase by name. Single-threaded only.
-  PhaseId phase(std::string_view name);
+  // A *coordinator* phase runs on one thread on behalf of the whole
+  // cluster (e.g. the quiescent phase-C probe on shard 0) — its time is
+  // attributed to the run, not to the shard that happened to execute it,
+  // so reports and JSON label it instead of showing a lopsided per-shard
+  // split. Re-registering keeps the first call's coordinator flag.
+  PhaseId phase(std::string_view name, bool coordinator = false);
+  [[nodiscard]] bool coordinator(PhaseId phase) const {
+    return coordinator_[phase.index] != 0;
+  }
 
   // Record one interval of `nanos` in `phase` on `shard`.
   void add(PhaseId phase, std::size_t shard, std::uint64_t nanos) {
@@ -80,8 +88,9 @@ class PhaseProfiler {
 
   void reset();
   [[nodiscard]] std::string report() const;
-  // [{"phase":"initiate","nanos":...,"count":...,
-  //   "per_shard_nanos":[...]}, ...]
+  // [{"phase":"initiate","nanos":...,"count":...,"coordinator":false,
+  //   "per_shard_nanos":[...]}, ...] — coordinator phases carry
+  // "coordinator":true and no per_shard_nanos (the split is meaningless).
   void write_json(std::ostream& out) const;
 
  private:
@@ -95,6 +104,7 @@ class PhaseProfiler {
   static std::size_t padded(std::size_t n) { return (n + 3) & ~std::size_t{3}; }
 
   std::vector<std::string> names_;
+  std::vector<std::uint8_t> coordinator_;
   std::vector<Slab> slabs_;
 };
 

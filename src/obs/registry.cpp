@@ -106,6 +106,16 @@ void MetricsRegistry::observe(HistogramId id, std::size_t shard, double value) {
   ++slabs_[shard].hist_buckets[meta.offset + bucket];
 }
 
+void MetricsRegistry::observe_n(HistogramId id, std::size_t shard,
+                                double value, std::uint64_t count) {
+  const HistogramMeta& meta = histograms_[id.index];
+  const auto it = std::lower_bound(meta.upper_bounds.begin(),
+                                   meta.upper_bounds.end(), value);
+  const auto bucket =
+      static_cast<std::size_t>(it - meta.upper_bounds.begin());
+  slabs_[shard].hist_buckets[meta.offset + bucket] += count;
+}
+
 std::uint64_t MetricsRegistry::counter_value(CounterId id) const {
   std::uint64_t sum = 0;
   for (const Slab& slab : slabs_) sum += slab.counters[id.index];

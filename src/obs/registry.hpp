@@ -67,6 +67,11 @@ class MetricsRegistry {
     slabs_[shard].gauges[id.index] = value;
   }
   void observe(HistogramId id, std::size_t shard, double value);
+  // Bulk form: record `count` observations of `value` with one bucket
+  // lookup — how the drivers fold a whole probe-time degree histogram into
+  // the registry without n individual observe() calls.
+  void observe_n(HistogramId id, std::size_t shard, double value,
+                 std::uint64_t count);
 
   // Raw counter slab for one shard, indexed by CounterId::index. The
   // fastest hot path: cache this pointer once per phase and bump cells

@@ -43,31 +43,49 @@ DegreeSummary summarize(const std::vector<std::uint32_t>& degrees) {
 
 }  // namespace
 
-FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster) {
+FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster,
+                               std::vector<std::uint32_t>* occurrences) {
   const std::size_t n = cluster.size();
   const std::size_t s = cluster.view_size();
   std::vector<std::uint32_t> indegree(n, 0);
   std::vector<std::uint32_t> out_live;
   out_live.reserve(cluster.live_count());
+  FlatClusterProbe probe;
+  probe.outdegree_hist.assign(s + 1, 0);
+  probe.indegree_hist.assign(2 * s + 1, 0);
   std::size_t occupied = 0;
   for (NodeId u = 0; u < n; ++u) {
     if (!cluster.live(u)) continue;
-    out_live.push_back(static_cast<std::uint32_t>(cluster.degree(u)));
-    occupied += cluster.degree(u);
+    const std::size_t d = cluster.degree(u);
+    out_live.push_back(static_cast<std::uint32_t>(d));
+    ++probe.outdegree_hist[std::min(d, s)];
+    occupied += d;
     const ViewEntry* row = cluster.slots(u);
     for (std::size_t i = 0; i < s; ++i) {
-      if (!row[i].empty()) ++indegree[row[i].id];
+      if (!row[i].empty()) {
+        ++indegree[row[i].id];
+        if (row[i].dependent) ++probe.dependent_entries;
+      }
     }
   }
   std::vector<std::uint32_t> in_live;
   in_live.reserve(out_live.size());
   for (NodeId u = 0; u < n; ++u) {
-    if (cluster.live(u)) in_live.push_back(indegree[u]);
+    if (cluster.live(u)) {
+      in_live.push_back(indegree[u]);
+      ++probe.indegree_hist[std::min<std::size_t>(indegree[u], 2 * s)];
+    }
   }
-  FlatClusterProbe probe;
+  if (occurrences != nullptr) {
+    occurrences->assign(n, UINT32_MAX);
+    for (NodeId u = 0; u < n; ++u) {
+      if (cluster.live(u)) (*occurrences)[u] = indegree[u];
+    }
+  }
   probe.live_nodes = out_live.size();
   probe.outdegree = summarize(out_live);
   probe.indegree = summarize(in_live);
+  probe.occupied_slots = occupied;
   const std::size_t total_slots = out_live.size() * s;
   probe.empty_slot_fraction =
       total_slots == 0

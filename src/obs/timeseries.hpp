@@ -55,15 +55,29 @@ struct RoundSample {
 };
 
 // One O(n * s) pass over a flat cluster: out/in degree summaries over live
-// nodes (indegree counts id instances held in live views), live count, and
-// the fraction of empty view slots among live nodes.
+// nodes (indegree counts id instances held in live views), live count, the
+// fraction of empty view slots among live nodes, full degree histograms
+// (outdegree_hist[d] = live nodes with outdegree d; indegree capped into
+// the last bucket), and the dependence census the TheoryOracle's α̂ check
+// reads (occupied view slots among live nodes / how many carry the
+// dependent tag).
 struct FlatClusterProbe {
   DegreeSummary outdegree;
   DegreeSummary indegree;
   std::size_t live_nodes = 0;
   double empty_slot_fraction = 0.0;
+  std::vector<std::uint64_t> outdegree_hist;  // size view_size + 1
+  std::vector<std::uint64_t> indegree_hist;   // size 2*view_size+1, last = overflow
+  std::uint64_t occupied_slots = 0;
+  std::uint64_t dependent_entries = 0;
 };
-[[nodiscard]] FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster);
+// `occurrences`, when non-null, is resized to cluster.size() and filled
+// with each id's occurrence count across live views; dead ids get
+// kDeadNodeOccurrence (UINT32_MAX, declared in obs/oracle/theory_oracle.hpp)
+// so streaming consumers can tell "dead" from "live but never referenced".
+[[nodiscard]] FlatClusterProbe probe_cluster(
+    const FlatSendForgetCluster& cluster,
+    std::vector<std::uint32_t>* occurrences = nullptr);
 
 class RoundTimeSeries {
  public:

@@ -33,32 +33,55 @@ obs::DegreeSummary summarize(const std::vector<std::uint32_t>& degrees) {
 
 }  // namespace
 
-obs::FlatClusterProbe probe_cluster(const Cluster& cluster) {
+obs::FlatClusterProbe probe_cluster(const Cluster& cluster,
+                                    std::vector<std::uint32_t>* occurrences) {
   const std::size_t n = cluster.size();
   std::vector<std::uint32_t> indegree(n, 0);
   std::vector<std::uint32_t> out_live;
   out_live.reserve(cluster.live_count());
+  obs::FlatClusterProbe probe;
   std::size_t occupied = 0;
   std::size_t capacity = 0;
+  std::size_t max_capacity = 0;
   for (NodeId u = 0; u < n; ++u) {
     if (!cluster.live(u)) continue;
     const LocalView& view = cluster.node(u).view();
-    out_live.push_back(static_cast<std::uint32_t>(view.degree()));
-    occupied += view.degree();
+    const std::size_t d = view.degree();
+    out_live.push_back(static_cast<std::uint32_t>(d));
+    occupied += d;
     capacity += view.capacity();
+    max_capacity = std::max(max_capacity, view.capacity());
+    if (probe.outdegree_hist.size() < max_capacity + 1) {
+      probe.outdegree_hist.resize(max_capacity + 1, 0);
+    }
+    ++probe.outdegree_hist[d];  // d <= capacity <= max_capacity
     for (std::size_t i = 0; i < view.capacity(); ++i) {
-      if (!view.slot_empty(i)) ++indegree[view.entry(i).id];
+      if (!view.slot_empty(i)) {
+        ++indegree[view.entry(i).id];
+        if (view.entry(i).dependent) ++probe.dependent_entries;
+      }
     }
   }
+  probe.indegree_hist.assign(2 * max_capacity + 1, 0);
   std::vector<std::uint32_t> in_live;
   in_live.reserve(out_live.size());
   for (NodeId u = 0; u < n; ++u) {
-    if (cluster.live(u)) in_live.push_back(indegree[u]);
+    if (cluster.live(u)) {
+      in_live.push_back(indegree[u]);
+      ++probe.indegree_hist[std::min<std::size_t>(indegree[u],
+                                                  2 * max_capacity)];
+    }
   }
-  obs::FlatClusterProbe probe;
+  if (occurrences != nullptr) {
+    occurrences->assign(n, UINT32_MAX);
+    for (NodeId u = 0; u < n; ++u) {
+      if (cluster.live(u)) (*occurrences)[u] = indegree[u];
+    }
+  }
   probe.live_nodes = out_live.size();
   probe.outdegree = summarize(out_live);
   probe.indegree = summarize(in_live);
+  probe.occupied_slots = occupied;
   probe.empty_slot_fraction =
       capacity == 0 ? 0.0
                     : 1.0 - static_cast<double>(occupied) /

@@ -12,8 +12,12 @@
 
 namespace gossip::sim {
 
-// O(n * s) over live nodes; indegree counts id instances held in live views.
-[[nodiscard]] obs::FlatClusterProbe probe_cluster(const Cluster& cluster);
+// O(n * s) over live nodes; indegree counts id instances held in live
+// views. Fills the same histogram / dependence-census / occurrence outputs
+// as the flat probe (see obs/timeseries.hpp) so the TheoryOracle is
+// cluster-representation agnostic.
+[[nodiscard]] obs::FlatClusterProbe probe_cluster(
+    const Cluster& cluster, std::vector<std::uint32_t>* occurrences = nullptr);
 
 // Driver counters in the registry's cumulative layout. Protocol counters
 // are aggregated over *live* nodes only (a dead node takes its history with

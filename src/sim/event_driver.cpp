@@ -40,8 +40,18 @@ void EventDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {
   watchdog_ = watchdog;
 }
 
+void EventDriver::attach_oracle(obs::TheoryOracle* oracle) {
+  oracle_ = oracle;
+}
+
+void EventDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
+  network_.set_flight_recorder(recorder);
+  recording_ = recorder != nullptr;
+}
+
 void EventDriver::observe_round(std::uint64_t round) {
-  const obs::FlatClusterProbe probe = probe_cluster(cluster_);
+  const obs::FlatClusterProbe probe = probe_cluster(
+      cluster_, oracle_ != nullptr ? &occurrence_scratch_ : nullptr);
   const obs::CumulativeCounters c =
       cumulative_counters(cluster_.aggregate_metrics(), network_.metrics());
   if (series_ != nullptr) {
@@ -58,6 +68,9 @@ void EventDriver::observe_round(std::uint64_t round) {
     // No conservation check: messages are in flight at any sample point.
     watchdog_->check_rates(round, c);
   }
+  if (oracle_ != nullptr) {
+    oracle_->observe(round, probe, occurrence_scratch_, c);
+  }
 }
 
 void EventDriver::run_for(double duration) {
@@ -65,12 +78,16 @@ void EventDriver::run_for(double duration) {
 }
 
 void EventDriver::run_rounds(std::uint64_t rounds) {
-  if (series_ == nullptr && watchdog_ == nullptr) {
+  // Recording forces the stepped schedule too, so events carry round
+  // stamps rather than all landing on round 0.
+  if (series_ == nullptr && watchdog_ == nullptr && oracle_ == nullptr &&
+      !recording_) {
     run_for(static_cast<double>(rounds) * config_.period);
     rounds_completed_ += rounds;
     return;
   }
   for (std::uint64_t r = 0; r < rounds; ++r) {
+    network_.set_record_round(rounds_completed_ + 1);
     run_for(config_.period);
     ++rounds_completed_;
     if (rounds_completed_ % observe_stride_ == 0) {

@@ -9,8 +9,11 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/rng.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+#include "obs/oracle/theory_oracle.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
@@ -51,6 +54,13 @@ class EventDriver {
   // mailbox conservation, which only holds at quiescent points. ---
   void attach_time_series(obs::RoundTimeSeries* series);
   void attach_watchdog(obs::InvariantWatchdog* watchdog);
+  // Theory-oracle drift detection. Samples here are mid-flight, so the
+  // oracle's rate window sees send-time counters slightly ahead of
+  // delivery-time ones — the same caveat as the watchdog above.
+  void attach_oracle(obs::TheoryOracle* oracle);
+  // Transport-level flight recording (QueuedNetwork; delivery events are
+  // stamped with the round current at delivery time).
+  void attach_flight_recorder(obs::FlightRecorder* recorder);
   [[nodiscard]] std::uint64_t rounds_completed() const {
     return rounds_completed_;
   }
@@ -78,6 +88,9 @@ class EventDriver {
   std::uint64_t rounds_completed_ = 0;
   obs::RoundTimeSeries* series_ = nullptr;
   obs::InvariantWatchdog* watchdog_ = nullptr;
+  obs::TheoryOracle* oracle_ = nullptr;
+  std::vector<std::uint32_t> occurrence_scratch_;
+  bool recording_ = false;
   std::uint64_t observe_stride_ = 1;
 };
 

@@ -9,15 +9,33 @@ DirectNetwork::DirectNetwork(Cluster& cluster, LossModel& loss, Rng& rng)
 
 void DirectNetwork::send(Message message) {
   ++metrics_.sent;
+  std::uint64_t id = 0;
+  if (recorder_ != nullptr) {
+    id = recorder_->begin_message(0);
+    recorder_->record(0, {id, record_round_, message.from, message.to,
+                          obs::FlightEventKind::kSend});
+  }
   if (message.to >= cluster_.size() || !cluster_.live(message.to)) {
     ++metrics_.to_dead;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.to, message.from,
+                            obs::FlightEventKind::kToDead});
+    }
     return;
   }
   if (loss_.drop(rng_)) {
     ++metrics_.lost;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.from, message.to,
+                            obs::FlightEventKind::kLose});
+    }
     return;
   }
   ++metrics_.delivered;
+  if (recorder_ != nullptr) {
+    recorder_->record(0, {id, record_round_, message.to, message.from,
+                          obs::FlightEventKind::kDeliver});
+  }
   cluster_.node(message.to).on_message(message, rng_, *this);
 }
 
@@ -28,30 +46,57 @@ QueuedNetwork::QueuedNetwork(Cluster& cluster, LossModel& loss, Rng& rng,
 
 void QueuedNetwork::send(Message message) {
   ++metrics_.sent;
+  std::uint64_t id = 0;
+  if (recorder_ != nullptr) {
+    id = recorder_->begin_message(0);
+    recorder_->record(0, {id, record_round_, message.from, message.to,
+                          obs::FlightEventKind::kSend});
+  }
   if (message.to >= cluster_.size() || !cluster_.live(message.to)) {
     ++metrics_.to_dead;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.to, message.from,
+                            obs::FlightEventKind::kToDead});
+    }
     return;
   }
   if (loss_.drop(rng_)) {
     ++metrics_.lost;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.from, message.to,
+                            obs::FlightEventKind::kLose});
+    }
     return;
   }
   if (latency_.duplicate_rate > 0.0 &&
       rng_.bernoulli(latency_.duplicate_rate)) {
     ++metrics_.duplicated;
-    schedule_delivery(message);
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.from, message.to,
+                            obs::FlightEventKind::kDuplicate});
+    }
+    schedule_delivery(message, id);
   }
-  schedule_delivery(std::move(message));
+  schedule_delivery(std::move(message), id);
 }
 
-void QueuedNetwork::schedule_delivery(Message message) {
+void QueuedNetwork::schedule_delivery(Message message,
+                                      std::uint64_t message_id) {
   const SimTime arrival = queue_.now() + latency_.sample(rng_);
-  queue_.schedule(arrival, [this, msg = std::move(message)]() {
+  queue_.schedule(arrival, [this, msg = std::move(message), message_id]() {
     if (msg.to >= cluster_.size() || !cluster_.live(msg.to)) {
       ++metrics_.to_dead;
+      if (recorder_ != nullptr) {
+        recorder_->record(0, {message_id, record_round_, msg.to, msg.from,
+                              obs::FlightEventKind::kToDead});
+      }
       return;
     }
     ++metrics_.delivered;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {message_id, record_round_, msg.to, msg.from,
+                            obs::FlightEventKind::kDeliver});
+    }
     cluster_.node(msg.to).on_message(msg, rng_, *this);
   });
 }

@@ -11,6 +11,7 @@
 
 #include "common/rng.hpp"
 #include "core/messages.hpp"
+#include "obs/oracle/flight_recorder.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/loss.hpp"
@@ -45,11 +46,27 @@ class DirectNetwork final : public Transport {
 
   [[nodiscard]] const NetworkMetrics& metrics() const { return metrics_; }
 
+  // Flight recording at the transport boundary: send / lose / deliver /
+  // to-dead events land in `recorder`'s shard 0 ring (these drivers are
+  // single-threaded). Receiver-side outcomes (deletion) are not visible
+  // through on_message, so unlike the ShardedDriver no kDelete events are
+  // recorded here. Recording draws no RNG.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  // The round stamped on subsequent events (the drivers bump this; the
+  // transport has no round clock of its own).
+  void set_record_round(std::uint64_t round) {
+    record_round_ = static_cast<std::uint32_t>(round);
+  }
+
  private:
   Cluster& cluster_;
   LossModel& loss_;
   Rng& rng_;
   NetworkMetrics metrics_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t record_round_ = 0;
 };
 
 // Latency distribution for the event-driven simulator.
@@ -79,8 +96,18 @@ class QueuedNetwork final : public Transport {
 
   [[nodiscard]] const NetworkMetrics& metrics() const { return metrics_; }
 
+  // Same contract as DirectNetwork::set_flight_recorder; a network-level
+  // packet duplication records a kDuplicate on the same message id, and
+  // delivery events are stamped with the round current at *delivery* time.
+  void set_flight_recorder(obs::FlightRecorder* recorder) {
+    recorder_ = recorder;
+  }
+  void set_record_round(std::uint64_t round) {
+    record_round_ = static_cast<std::uint32_t>(round);
+  }
+
  private:
-  void schedule_delivery(Message message);
+  void schedule_delivery(Message message, std::uint64_t message_id);
 
   Cluster& cluster_;
   LossModel& loss_;
@@ -88,6 +115,8 @@ class QueuedNetwork final : public Transport {
   EventQueue& queue_;
   LatencyModel latency_;
   NetworkMetrics metrics_;
+  obs::FlightRecorder* recorder_ = nullptr;
+  std::uint32_t record_round_ = 0;
 };
 
 }  // namespace gossip::sim

@@ -20,6 +20,14 @@ void RoundDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {
   watchdog_ = watchdog;
 }
 
+void RoundDriver::attach_oracle(obs::TheoryOracle* oracle) {
+  oracle_ = oracle;
+}
+
+void RoundDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
+  network_.set_flight_recorder(recorder);
+}
+
 void RoundDriver::step() {
   const NodeId initiator = cluster_.random_live_node(rng_);
   cluster_.node(initiator).on_initiate(rng_, network_);
@@ -31,7 +39,8 @@ void RoundDriver::run_actions(std::uint64_t count) {
 }
 
 void RoundDriver::observe_round(std::uint64_t round) {
-  const obs::FlatClusterProbe probe = probe_cluster(cluster_);
+  const obs::FlatClusterProbe probe = probe_cluster(
+      cluster_, oracle_ != nullptr ? &occurrence_scratch_ : nullptr);
   const obs::CumulativeCounters c =
       cumulative_counters(cluster_.aggregate_metrics(), network_.metrics());
   if (series_ != nullptr) {
@@ -50,11 +59,16 @@ void RoundDriver::observe_round(std::uint64_t round) {
     watchdog_->check_conservation(round, c);
     watchdog_->check_rates(round, c);
   }
+  if (oracle_ != nullptr) {
+    oracle_->observe(round, probe, occurrence_scratch_, c);
+  }
 }
 
 void RoundDriver::run_rounds(std::uint64_t rounds) {
-  const bool observing = series_ != nullptr || watchdog_ != nullptr;
+  const bool observing =
+      series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr;
   for (std::uint64_t r = 0; r < rounds; ++r) {
+    network_.set_record_round(rounds_completed_ + 1);
     run_actions(cluster_.live_count());
     ++rounds_completed_;
     if (observing && rounds_completed_ % observe_stride_ == 0) {

@@ -9,7 +9,11 @@
 
 #include <cstdint>
 
+#include <vector>
+
 #include "common/rng.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+#include "obs/oracle/theory_oracle.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
@@ -50,6 +54,12 @@ class RoundDriver {
   // RNG, so attaching observers does not change the run. ---
   void attach_time_series(obs::RoundTimeSeries* series);
   void attach_watchdog(obs::InvariantWatchdog* watchdog);
+  // Theory-oracle drift detection at round boundaries (same probe inputs
+  // as the ShardedDriver's phase C).
+  void attach_oracle(obs::TheoryOracle* oracle);
+  // Transport-level flight recording (send/lose/deliver/to-dead into the
+  // recorder's shard 0; see DirectNetwork::set_flight_recorder).
+  void attach_flight_recorder(obs::FlightRecorder* recorder);
 
  private:
   void observe_round(std::uint64_t round);
@@ -61,6 +71,8 @@ class RoundDriver {
   std::uint64_t rounds_completed_ = 0;
   obs::RoundTimeSeries* series_ = nullptr;
   obs::InvariantWatchdog* watchdog_ = nullptr;
+  obs::TheoryOracle* oracle_ = nullptr;
+  std::vector<std::uint32_t> occurrence_scratch_;
   std::uint64_t observe_stride_ = 1;
 };
 

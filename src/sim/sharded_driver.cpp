@@ -34,6 +34,21 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   }
   live_gauge_ = registry_.gauge("live_nodes");
   round_gauge_ = registry_.gauge("round");
+  // Probe-time degree histograms, one bucket per degree value (indegree is
+  // unbounded above; the implicit +inf bucket catches the overflow the
+  // probe folds into its last cell).
+  const auto degree_bounds = [](std::size_t max_degree) {
+    std::vector<double> bounds;
+    bounds.reserve(max_degree + 1);
+    for (std::size_t d = 0; d <= max_degree; ++d) {
+      bounds.push_back(static_cast<double>(d));
+    }
+    return bounds;
+  };
+  outdegree_hist_ =
+      registry_.histogram("outdegree", degree_bounds(cluster_.view_size()));
+  indegree_hist_ =
+      registry_.histogram("indegree", degree_bounds(2 * cluster_.view_size()));
   const std::size_t n = cluster_.size();
   nodes_per_shard_ =
       (n + config_.shard_count - 1) / config_.shard_count;  // ceil
@@ -42,7 +57,8 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   live_pos_.assign(n, 0);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     shards_[s].rng = Rng::stream(config_.seed, s);
-    // Safe to cache: the driver performs no further registrations.
+    // Safe to cache: the only later registration (attach_oracle's drift
+    // gauges) re-caches these pointers.
     shards_[s].m = registry_.counters(s);
   }
   for (NodeId u = 0; u < n; ++u) {
@@ -68,7 +84,10 @@ void ShardedDriver::attach_profiler(obs::PhaseProfiler* profiler) {
     ph_initiate_ = profiler->phase("initiate");
     ph_drain_ = profiler->phase("drain");
     ph_barrier_ = profiler->phase("barrier_wait");
-    ph_observe_ = profiler->phase("observe");
+    // The quiescent probe runs on shard 0 on behalf of the whole cluster;
+    // labeling it a coordinator phase keeps reports from attributing all
+    // of its time to shard 0's workload.
+    ph_observe_ = profiler->phase("observe", /*coordinator=*/true);
   }
 }
 
@@ -76,12 +95,35 @@ void ShardedDriver::set_observation_stride(std::uint64_t stride) {
   observe_stride_ = std::max<std::uint64_t>(1, stride);
 }
 
-template <bool kCount>
-void ShardedDriver::initiate_phase(std::size_t shard) {
+void ShardedDriver::attach_oracle(obs::TheoryOracle* oracle) {
+  oracle_ = oracle;
+  if (oracle != nullptr) {
+    oracle->bind_registry(&registry_, 0);
+    // Gauge registration reallocates the slabs; the cached counter
+    // pointers must be refreshed.
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+      shards_[s].m = registry_.counters(s);
+    }
+  }
+}
+
+void ShardedDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
+  if (recorder != nullptr &&
+      recorder->shard_count() != config_.shard_count) {
+    throw std::invalid_argument(
+        "flight recorder shard_count must match the driver's");
+  }
+  recorder_ = recorder;
+}
+
+template <bool kCount, bool kRecord>
+void ShardedDriver::initiate_phase(std::size_t shard,
+                                   [[maybe_unused]] std::uint64_t round) {
   Shard& sh = shards_[shard];
   Rng& rng = sh.rng;
   const std::size_t k = sh.live.size();
   const double loss = config_.loss_rate;
+  [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
   FlatPush msg;
   LocalCounts lc;
   for (std::size_t a = 0; a < k; ++a) {
@@ -89,18 +131,35 @@ void ShardedDriver::initiate_phase(std::size_t shard) {
     const FlatInitiateResult result = cluster_.initiate(u, rng, msg);
     if (result == FlatInitiateResult::kSelfLoop) {
       if constexpr (kCount) ++lc.self_loops;
+      if constexpr (kRecord) {
+        recorder_->record(shard, {0, r32, u, kNilNode,
+                                  obs::FlightEventKind::kSelfLoop});
+      }
       continue;
     }
     if constexpr (kCount) {
       if (result == FlatInitiateResult::kSentDuplicated) ++lc.duplications;
     }
+    if constexpr (kRecord) {
+      msg.message_id = recorder_->begin_message(shard);
+      recorder_->record(shard, {msg.message_id, r32, u, msg.to,
+                                obs::FlightEventKind::kSend});
+      if (result == FlatInitiateResult::kSentDuplicated) {
+        recorder_->record(shard, {msg.message_id, r32, u, msg.to,
+                                  obs::FlightEventKind::kDuplicate});
+      }
+    }
     if (loss > 0.0 && rng.bernoulli(loss)) {
       if constexpr (kCount) ++lc.lost;
+      if constexpr (kRecord) {
+        recorder_->record(shard, {msg.message_id, r32, u, msg.to,
+                                  obs::FlightEventKind::kLose});
+      }
       continue;
     }
     const std::size_t dst = shard_of(msg.to);
     if (dst == shard) {
-      deliver<kCount>(shard, msg, lc);
+      deliver<kCount, kRecord>(shard, msg, lc, round);
     } else {
       outbox(shard, dst).messages.push_back(msg);
     }
@@ -120,8 +179,8 @@ void ShardedDriver::initiate_phase(std::size_t shard) {
   }
 }
 
-template <bool kCount>
-void ShardedDriver::drain_phase(std::size_t shard) {
+template <bool kCount, bool kRecord>
+void ShardedDriver::drain_phase(std::size_t shard, std::uint64_t round) {
   LocalCounts lc;
   // Fixed sender-shard order keeps the shard's RNG consumption — and hence
   // the whole run — deterministic.
@@ -129,7 +188,7 @@ void ShardedDriver::drain_phase(std::size_t shard) {
     if (src == shard) continue;
     auto& inbound = outbox(src, shard).messages;
     for (const FlatPush& msg : inbound) {
-      deliver<kCount>(shard, msg, lc);
+      deliver<kCount, kRecord>(shard, msg, lc, round);
     }
     inbound.clear();  // keeps capacity; src refills only after the barrier
   }
@@ -141,29 +200,66 @@ void ShardedDriver::drain_phase(std::size_t shard) {
   }
 }
 
-template <bool kCount>
+template <bool kCount, bool kRecord>
 void ShardedDriver::deliver(std::size_t shard, const FlatPush& message,
-                            [[maybe_unused]] LocalCounts& lc) {
+                            [[maybe_unused]] LocalCounts& lc,
+                            [[maybe_unused]] std::uint64_t round) {
   Shard& sh = shards_[shard];
   assert(shard_of(message.to) == shard);
+  [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
   if (!cluster_.live(message.to)) {
     // Dead receiver: dropped silently, indistinguishable from loss (§5).
     if constexpr (kCount) ++lc.to_dead;
+    if constexpr (kRecord) {
+      recorder_->record(shard, {message.message_id, r32, message.to,
+                                message.sender.id,
+                                obs::FlightEventKind::kToDead});
+    }
     return;
   }
   if constexpr (kCount) ++lc.delivered;
+  if constexpr (kRecord) {
+    recorder_->record(shard, {message.message_id, r32, message.to,
+                              message.sender.id,
+                              obs::FlightEventKind::kDeliver});
+  }
   [[maybe_unused]] const std::size_t accepted =
       cluster_.receive(message.to, message, sh.rng);
   if constexpr (kCount) {
     if (accepted == 0) ++lc.deletions;
   }
+  if constexpr (kRecord) {
+    if (accepted == 0) {
+      recorder_->record(shard, {message.message_id, r32, message.to,
+                                message.sender.id,
+                                obs::FlightEventKind::kDelete});
+    }
+  }
 }
 
 void ShardedDriver::observe_round(std::uint64_t round) {
   const obs::PhaseProfiler::Scope timer(profiler_, ph_observe_, 0);
-  const obs::FlatClusterProbe probe = obs::probe_cluster(cluster_);
+  const obs::FlatClusterProbe probe = obs::probe_cluster(
+      cluster_, oracle_ != nullptr ? &occurrence_scratch_ : nullptr);
   registry_.set(live_gauge_, 0, static_cast<double>(probe.live_nodes));
   registry_.set(round_gauge_, 0, static_cast<double>(round));
+  if (config_.count_metrics) {
+    // Fold the probe's degree census into the registry histograms: one
+    // bulk bucket update per degree value instead of one observe() per
+    // node (shard 0 writes; the merge is summation anyway).
+    for (std::size_t d = 0; d < probe.outdegree_hist.size(); ++d) {
+      if (probe.outdegree_hist[d] != 0) {
+        registry_.observe_n(outdegree_hist_, 0, static_cast<double>(d),
+                            probe.outdegree_hist[d]);
+      }
+    }
+    for (std::size_t d = 0; d < probe.indegree_hist.size(); ++d) {
+      if (probe.indegree_hist[d] != 0) {
+        registry_.observe_n(indegree_hist_, 0, static_cast<double>(d),
+                            probe.indegree_hist[d]);
+      }
+    }
+  }
   const obs::CumulativeCounters c = cumulative_counters();
   if (series_ != nullptr) {
     series_->record(round, probe.outdegree, probe.indegree, probe.live_nodes,
@@ -176,34 +272,46 @@ void ShardedDriver::observe_round(std::uint64_t round) {
     watchdog_->check_conservation(round, c);
     watchdog_->check_rates(round, c);
   }
+  if (oracle_ != nullptr) {
+    oracle_->observe(round, probe, occurrence_scratch_, c);
+  }
 }
 
 void ShardedDriver::run_rounds(std::uint64_t rounds) {
   if (rounds == 0) return;
   if (config_.count_metrics) {
-    run_rounds_impl<true>(rounds);
+    if (recorder_ != nullptr) {
+      run_rounds_impl<true, true>(rounds);
+    } else {
+      run_rounds_impl<true, false>(rounds);
+    }
   } else {
-    run_rounds_impl<false>(rounds);
+    if (recorder_ != nullptr) {
+      run_rounds_impl<false, true>(rounds);
+    } else {
+      run_rounds_impl<false, false>(rounds);
+    }
   }
 }
 
-template <bool kCount>
+template <bool kCount, bool kRecord>
 void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
   const std::size_t threads = config_.shard_count;
   const std::uint64_t base = rounds_completed_;
   const bool observe = observing();
   if (threads == 1) {
     for (std::uint64_t r = 0; r < rounds; ++r) {
+      const std::uint64_t round = base + r + 1;
       {
         const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, 0);
-        initiate_phase<kCount>(0);
+        initiate_phase<kCount, kRecord>(0, round);
       }
       {
         const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, 0);
-        drain_phase<kCount>(0);
+        drain_phase<kCount, kRecord>(0, round);
       }
-      if (observe && observation_due(base + r + 1)) {
-        observe_round(base + r + 1);
+      if (observe && observation_due(round)) {
+        observe_round(round);
       }
     }
     rounds_completed_ = base + rounds;
@@ -214,9 +322,10 @@ void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
   const auto worker = [this, rounds, base, observe,
                        &barrier](std::size_t shard) {
     for (std::uint64_t r = 0; r < rounds; ++r) {
+      const std::uint64_t round = base + r + 1;
       {
         const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, shard);
-        initiate_phase<kCount>(shard);
+        initiate_phase<kCount, kRecord>(shard, round);
       }
       {
         const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
@@ -224,7 +333,7 @@ void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
       }
       {
         const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, shard);
-        drain_phase<kCount>(shard);
+        drain_phase<kCount, kRecord>(shard, round);
       }
       {
         // Second barrier: no shard may start writing next round's mailboxes
@@ -234,8 +343,8 @@ void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
       }
       // Phase C: sampling is a pure function of (global round, stride), so
       // every thread agrees on whether this third barrier exists.
-      if (observe && observation_due(base + r + 1)) {
-        if (shard == 0) observe_round(base + r + 1);
+      if (observe && observation_due(round)) {
+        if (shard == 0) observe_round(round);
         const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
         barrier.arrive_and_wait();
       }
@@ -261,6 +370,13 @@ void ShardedDriver::kill(NodeId u) {
   live[p] = last;
   live_pos_[last] = p;
   live.pop_back();
+  if (recorder_ != nullptr) {
+    // Churn runs between run_rounds calls on the caller's thread, so
+    // writing the owning shard's ring is safe here.
+    recorder_->record(shard_of(u),
+                      {0, static_cast<std::uint32_t>(rounds_completed_), u,
+                       kNilNode, obs::FlightEventKind::kKill});
+  }
 }
 
 void ShardedDriver::revive(NodeId u) {
@@ -268,6 +384,11 @@ void ShardedDriver::revive(NodeId u) {
   auto& live = shards_[shard_of(u)].live;
   live_pos_[u] = static_cast<std::uint32_t>(live.size());
   live.push_back(u);
+  if (recorder_ != nullptr) {
+    recorder_->record(shard_of(u),
+                      {0, static_cast<std::uint32_t>(rounds_completed_), u,
+                       kNilNode, obs::FlightEventKind::kRevive});
+  }
 }
 
 std::uint64_t ShardedDriver::actions_executed() const {

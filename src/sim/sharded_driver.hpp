@@ -55,6 +55,8 @@
 #include "common/rng.hpp"
 #include "core/flat_send_forget.hpp"
 #include "core/metrics.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+#include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
@@ -123,6 +125,14 @@ class ShardedDriver {
   void attach_time_series(obs::RoundTimeSeries* series);
   void attach_watchdog(obs::InvariantWatchdog* watchdog);
   void attach_profiler(obs::PhaseProfiler* profiler);
+  // Theory-oracle drift detection: the oracle gets the probe, the per-id
+  // occurrence census, and the cumulative counters at each phase-C sample.
+  // Registers drift gauges in the driver's registry (and re-caches the
+  // counter slabs that registration invalidates).
+  void attach_oracle(obs::TheoryOracle* oracle);
+  // Protocol event recording; the recorder's shard_count must equal the
+  // driver's. Recording draws no RNG and never changes the fingerprint.
+  void attach_flight_recorder(obs::FlightRecorder* recorder);
   // Sampling cadence for the observe phase (rounds whose global index is a
   // multiple of `stride` sample). Independent of any RNG stream.
   void set_observation_stride(std::uint64_t stride);
@@ -168,18 +178,21 @@ class ShardedDriver {
     std::uint64_t to_dead = 0;
   };
 
-  // kCount = config_.count_metrics, lifted to a template parameter so the
-  // no-op baseline carries no per-increment branch.
-  template <bool kCount>
-  void initiate_phase(std::size_t shard);
-  template <bool kCount>
-  void drain_phase(std::size_t shard);
-  template <bool kCount>
-  void deliver(std::size_t shard, const FlatPush& message, LocalCounts& lc);
-  template <bool kCount>
+  // kCount = config_.count_metrics and kRecord = (flight recorder
+  // attached), both lifted to template parameters so the baseline hot path
+  // carries neither a per-increment nor a per-event branch (the same
+  // no-op-sink pattern, now a 2x2 dispatch in run_rounds).
+  template <bool kCount, bool kRecord>
+  void initiate_phase(std::size_t shard, std::uint64_t round);
+  template <bool kCount, bool kRecord>
+  void drain_phase(std::size_t shard, std::uint64_t round);
+  template <bool kCount, bool kRecord>
+  void deliver(std::size_t shard, const FlatPush& message, LocalCounts& lc,
+               std::uint64_t round);
+  template <bool kCount, bool kRecord>
   void run_rounds_impl(std::uint64_t rounds);
   [[nodiscard]] bool observing() const {
-    return series_ != nullptr || watchdog_ != nullptr;
+    return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr;
   }
   [[nodiscard]] bool observation_due(std::uint64_t round) const {
     return round % observe_stride_ == 0;
@@ -207,6 +220,15 @@ class ShardedDriver {
   obs::RoundTimeSeries* series_ = nullptr;
   obs::InvariantWatchdog* watchdog_ = nullptr;
   obs::PhaseProfiler* profiler_ = nullptr;
+  obs::TheoryOracle* oracle_ = nullptr;
+  obs::FlightRecorder* recorder_ = nullptr;
+  // Probe-time degree histograms (satellite of the oracle work: the
+  // registry's histogram path finally has a producer).
+  obs::HistogramId outdegree_hist_{};
+  obs::HistogramId indegree_hist_{};
+  // Scratch for the per-id occurrence census the oracle consumes; only
+  // touched in observe_round.
+  std::vector<std::uint32_t> occurrence_scratch_;
   std::uint64_t observe_stride_ = 1;
   obs::PhaseId ph_initiate_{};
   obs::PhaseId ph_drain_{};

@@ -366,6 +366,71 @@ TEST(Watchdog, CleanOnLossChurnIntegrationRun) {
   EXPECT_EQ(series.samples().size(), 15u);
 }
 
+// The violation path end to end: corruption injected into a *running*
+// driver must surface through the driver's own observation hook, with the
+// node/round/shard attribution a post-mortem needs. (The unit tests above
+// call the check_* methods directly; these go through run_rounds.)
+TEST(Watchdog, DriverSurfacesInjectedViewCorruption) {
+  const std::size_t n = 64;
+  const SendForgetConfig cfg{.view_size = 8, .min_degree = 2};
+  Rng rng(5);
+  FlatSendForgetCluster cluster(n, cfg);
+  const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+  for (NodeId u = 0; u < n; ++u) cluster.install_view(u, g.out_neighbors(u));
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = 2, .loss_rate = 0.0, .seed = 3});
+  obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
+      .min_degree = cfg.min_degree, .view_size = cfg.view_size});
+  driver.attach_watchdog(&watchdog);
+
+  driver.run_rounds(2);
+  EXPECT_EQ(watchdog.violation_count(), 0u) << watchdog.report();
+
+  // Odd outdegree violates Obs 5.1, and the protocol preserves degree
+  // parity (every action moves an outdegree by 0 or 2), so the corruption
+  // survives the next round to its quiescent observation point.
+  const NodeId victim = 40;
+  cluster.install_view(victim, {1});
+  driver.run_rounds(1);
+  ASSERT_GE(watchdog.violation_count(), 1u);
+  const obs::Violation& v = watchdog.log().front();
+  EXPECT_EQ(v.kind, obs::ViolationKind::kOddOutdegree);
+  EXPECT_EQ(v.node, victim);
+  EXPECT_EQ(v.round, 3u);
+  EXPECT_EQ(v.shard, victim / ((n + 1) / 2));  // ceil(n / shard_count)
+}
+
+TEST(Watchdog, DriverSurfacesFabricatedMailboxImbalance) {
+  const std::size_t n = 64;
+  const SendForgetConfig cfg{.view_size = 8, .min_degree = 2};
+  Rng rng(6);
+  FlatSendForgetCluster cluster(n, cfg);
+  const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+  for (NodeId u = 0; u < n; ++u) cluster.install_view(u, g.out_neighbors(u));
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = 2, .loss_rate = 0.05, .seed = 9});
+  obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
+      .min_degree = cfg.min_degree, .view_size = cfg.view_size});
+  driver.attach_watchdog(&watchdog);
+
+  driver.run_rounds(3);
+  EXPECT_EQ(watchdog.violation_count(), 0u) << watchdog.report();
+
+  // Fabricate messages that were "sent" but never resolve: bump the sent
+  // counter behind the driver's back (the name lookup is idempotent, so no
+  // slab reallocation disturbs the driver's cached pointers). The next
+  // quiescent observation must flag sent != lost + delivered + to_dead.
+  obs::MetricsRegistry& registry = driver.metrics_registry();
+  registry.add(registry.counter("messages_sent"), 0, 1000);
+  driver.run_rounds(1);
+  ASSERT_GE(watchdog.violation_count(), 1u);
+  const obs::Violation& v = watchdog.log().front();
+  EXPECT_EQ(v.kind, obs::ViolationKind::kMailboxConservation);
+  EXPECT_EQ(v.round, 4u);
+}
+
 // ----------------------------------------------------------- time-series
 
 TEST(RoundTimeSeries, StrideGatesAndRatesAreIntervals) {

@@ -6,10 +6,14 @@
 //   ./bench_report [output.json]            # scale: BENCH_scale.json
 //   ./bench_report --analysis [out.json]    # solvers: BENCH_analysis.json
 //   ./bench_report --telemetry [out.json]   # obs: BENCH_telemetry.json
+//   ./bench_report --drift [out.json]       # oracle: BENCH_drift.json
 //   ./bench_report [--mode] --quick         # reduced sizes, for smoke tests
 //
 // Every output carries a schema_version / tool / git header so baselines
-// are traceable to the tree that produced them.
+// are traceable to the tree that produced them. Writing a BENCH_* baseline
+// from a dirty tree is refused (the header would record "…-dirty", which
+// tools/check_bench.py rejects); pass --allow-dirty to override for local
+// experiments.
 //
 // Scale mode runs the simulation drivers (sequential RoundDriver vs the
 // sharded flat driver at several n / thread counts) and records
@@ -31,7 +35,16 @@
 // (round time-series, invariant watchdog, per-phase profiler) plus an
 // instrumented degree-MC + spectral solve, and dumps everything as JSON.
 // Scale mode additionally re-runs the largest sharded configuration with
-// observers attached and records the overhead as obs_overhead_pct.
+// observers attached and records the overhead as obs_overhead_pct, and the
+// single-thread gate pair with the flight recorder attached
+// (recorder_overhead_pct, gated < 2% like the registry).
+//
+// Drift mode runs the TheoryOracle against two sharded simulations: one
+// correctly parameterized (predictions and simulation both at ℓ = 0.02 —
+// must finish with zero drift violations) and one deliberately
+// mis-parameterized (simulating ℓ = 0.10 against ℓ = 0.02 predictions —
+// must escalate the DriftMonitor to VIOLATION and dump the armed flight
+// recorder). Both outcomes are gates in BENCH_drift.json.
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -45,11 +58,14 @@
 #include "analysis/degree_mc.hpp"
 #include "analysis/global_mc.hpp"
 #include "analysis/mixing.hpp"
+#include "analysis/prediction.hpp"
 #include "core/flat_send_forget.hpp"
 #include "core/send_forget.hpp"
 #include "graph/digraph.hpp"
 #include "graph/graph_gen.hpp"
 #include "graph/spectral.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+#include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
 #include "obs/solver_telemetry.hpp"
 #include "obs/timeseries.hpp"
@@ -134,18 +150,21 @@ BenchResult run_sequential(std::size_t n, std::size_t rounds) {
   return result;
 }
 
-// Three variants of the identical simulation (neither counting nor
-// observation draws any RNG, so all three execute the same action
+// Four variants of the identical simulation (neither counting, recording,
+// nor observation draws any RNG, so all four execute the same action
 // sequence):
 //   kNoopCounters  counter writes compiled out of the hot path — the
 //                  no-op-sink baseline;
 //   kBare          registry counting on (the default everywhere);
+//   kRecorder      counting plus the flight recorder's per-event ring
+//                  append on every protocol event;
 //   kObserved      counting plus time-series recorder, watchdog, and phase
 //                  profiler at stride 10.
-// bare-vs-noop is the registry hot-path overhead (gated < 2% in
-// BENCH_scale.json); observed-vs-bare is the strided sampling cost,
-// reported for transparency and amortizable by raising the stride.
-enum class ShardedMode { kNoopCounters, kBare, kObserved };
+// bare-vs-noop is the registry hot-path overhead and recorder-vs-bare the
+// flight-recorder hot-path overhead (each gated < 2% in BENCH_scale.json);
+// observed-vs-bare is the strided sampling cost, reported for transparency
+// and amortizable by raising the stride.
+enum class ShardedMode { kNoopCounters, kBare, kRecorder, kObserved };
 
 BenchResult run_sharded(std::size_t n, std::size_t threads, std::size_t rounds,
                         ShardedMode mode = ShardedMode::kBare,
@@ -172,10 +191,14 @@ BenchResult run_sharded(std::size_t n, std::size_t threads, std::size_t rounds,
   obs::InvariantWatchdog watchdog(obs::WatchdogConfig{
       .min_degree = cfg.min_degree, .view_size = cfg.view_size});
   obs::PhaseProfiler profiler(threads);
+  obs::FlightRecorder recorder(threads);
   if (observed) {
     driver.attach_time_series(&series);
     driver.attach_watchdog(&watchdog);
     driver.attach_profiler(&profiler);
+  }
+  if (mode == ShardedMode::kRecorder) {
+    driver.attach_flight_recorder(&recorder);
   }
   std::vector<NodeId> dead;
   const auto start = Clock::now();
@@ -205,6 +228,8 @@ BenchResult run_sharded(std::size_t n, std::size_t threads, std::size_t rounds,
   const char* name = observed ? "sharded_flat_observed"
                      : mode == ShardedMode::kNoopCounters
                          ? "sharded_flat_noop_counters"
+                     : mode == ShardedMode::kRecorder
+                         ? "sharded_flat_recorder"
                          : "sharded_flat";
   BenchResult result{name, n, threads, rounds, actions, elapsed,
                      static_cast<double>(actions) / elapsed, rss_mib()};
@@ -260,6 +285,8 @@ bool emit_json(const std::vector<BenchResult>& results,
   // identical action sequence (neither counting nor observation draws RNG):
   //   registry_overhead_pct  counting vs no-op-sink baseline — the
   //                          hot-path cost of the registry. Gate: < 2%.
+  //   recorder_overhead_pct  flight recorder attached vs bare — one ring
+  //                          store per protocol event. Gate: < 2%.
   //   obs_overhead_pct       observed (stride-10 sampling: O(n*s) probe,
   //                          watchdog scan) vs bare — reported for
   //                          transparency, amortized by raising the stride.
@@ -282,23 +309,29 @@ bool emit_json(const std::vector<BenchResult>& results,
     return pct;
   };
   std::size_t reg_ref_n = 0;
+  std::size_t rec_ref_n = 0;
   std::size_t obs_ref_n = 0;
   // Regression of the counted run relative to the no-op baseline.
   const double registry_overhead_pct =
       overhead_vs("sharded_flat_noop_counters", "sharded_flat", reg_ref_n);
+  const double recorder_overhead_pct =
+      overhead_vs("sharded_flat", "sharded_flat_recorder", rec_ref_n);
   const double obs_overhead_pct =
       overhead_vs("sharded_flat", "sharded_flat_observed", obs_ref_n);
 
-  char tail[512];
+  char tail[640];
   std::snprintf(tail, sizeof(tail),
                 "  \"registry_overhead_pct\": %.2f,\n"
                 "  \"registry_overhead_ref_n\": %zu,\n"
+                "  \"recorder_overhead_pct\": %.2f,\n"
+                "  \"recorder_overhead_ref_n\": %zu,\n"
                 "  \"obs_overhead_pct\": %.2f,\n"
                 "  \"obs_overhead_ref_n\": %zu,\n"
                 "  \"speedup_vs_sequential_at_n%zu\": %.2f,\n"
                 "  \"speedup_threads\": %zu,\n"
                 "  \"speedup_oversubscribed\": %s\n",
-                registry_overhead_pct, reg_ref_n, obs_overhead_pct, obs_ref_n,
+                registry_overhead_pct, reg_ref_n, recorder_overhead_pct,
+                rec_ref_n, obs_overhead_pct, obs_ref_n,
                 ref_n, seq > 0.0 ? sharded / seq : 0.0, best_threads,
                 best_threads > hw ? "true" : "false");
   out << tail << "}\n";
@@ -696,6 +729,236 @@ bool emit_telemetry_json(bool quick, const std::string& path) {
   return static_cast<bool>(out) && watchdog.violation_count() == 0;
 }
 
+// --------------------------------------------------------------------------
+// Drift mode (--drift): the TheoryOracle's end-to-end gates. One correctly
+// parameterized run that must stay clean, one deliberately mis-parameterized
+// run that must trip the DriftMonitor and dump the armed flight recorder.
+
+struct DriftRun {
+  std::size_t n = 0;
+  std::size_t threads = 0;
+  std::size_t rounds = 0;
+  double sim_loss = 0.0;
+  double seconds = 0.0;
+  std::uint64_t actions = 0;
+  std::uint64_t probes = 0;
+  std::uint64_t warns = 0;
+  std::uint64_t violations = 0;
+  obs::OracleSnapshot snap;
+  double peak[static_cast<std::size_t>(obs::DriftCheck::kCheckCount)] = {};
+  bool dump_written = false;
+  std::uint64_t dump_events = 0;
+  std::uint64_t dump_dropped = 0;
+};
+
+// One sharded run (same churn schedule as telemetry mode) with the oracle
+// and flight recorder attached. `sim_loss` is what the network actually
+// drops; `pred` is what the oracle expects — the two differ only in the
+// mis-parameterized leg.
+DriftRun run_drift(std::size_t n, std::size_t threads, std::size_t rounds,
+                   double sim_loss, const obs::TheoryPrediction& pred,
+                   const std::string& dump_path) {
+  DriftRun run;
+  run.n = n;
+  run.threads = threads;
+  run.rounds = rounds;
+  run.sim_loss = sim_loss;
+
+  Rng rng(7 + n);
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(n, cfg);
+  {
+    // dL-seeded (§6.5 join outdegree), like every other sharded bench.
+    const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{.shard_count = threads,
+                                        .loss_rate = sim_loss,
+                                        .seed = 7 + n});
+  obs::TheoryOracle oracle(pred);
+  obs::FlightRecorder recorder(threads);
+  driver.attach_oracle(&oracle);
+  driver.attach_flight_recorder(&recorder);
+  driver.set_observation_stride(10);
+  oracle.arm_flight_dump(&recorder, dump_path);
+
+  std::vector<NodeId> dead;
+  const auto start = Clock::now();
+  for (std::size_t r = 0; r < rounds; ++r) {
+    Rng& crng = driver.churn_rng();
+    const auto victim = static_cast<NodeId>(crng.uniform(n));
+    if (cluster.live(victim) && cluster.live_count() > n / 2) {
+      driver.kill(victim);
+      dead.push_back(victim);
+    }
+    if (!dead.empty() && crng.bernoulli(0.5)) {
+      driver.revive(dead.back());
+      dead.pop_back();
+    }
+    driver.run_rounds(1);
+  }
+  run.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  run.actions = driver.actions_executed();
+  run.probes = oracle.probes();
+  run.warns = oracle.monitor().warn_transitions();
+  run.violations = oracle.monitor().violation_transitions();
+  run.snap = oracle.last();
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(obs::DriftCheck::kCheckCount); ++c) {
+    run.peak[c] = oracle.monitor().peak_score(static_cast<obs::DriftCheck>(c));
+  }
+  run.dump_written = oracle.flight_dumped();
+  if (run.dump_written) {
+    obs::FlightTrace trace;
+    if (trace.load_file(dump_path)) {
+      run.dump_events = trace.events().size();
+      run.dump_dropped = trace.total_dropped();
+    } else {
+      run.dump_written = false;  // unreadable dump is a failed dump
+    }
+  }
+  std::printf("%s", oracle.report().c_str());
+  return run;
+}
+
+void emit_drift_run(std::ofstream& out, const char* key, const DriftRun& r,
+                    const obs::TheoryPrediction& pred) {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"n\": %zu, \"threads\": %zu, \"rounds\": %zu,\n"
+      "    \"sim_loss\": %g, \"predicted_loss\": %g, \"seconds\": %.3f,\n"
+      "    \"actions\": %llu, \"probes\": %llu,\n"
+      "    \"warn_transitions\": %llu, \"violation_transitions\": %llu,\n",
+      key, r.n, r.threads, r.rounds, r.sim_loss, pred.loss, r.seconds,
+      static_cast<unsigned long long>(r.actions),
+      static_cast<unsigned long long>(r.probes),
+      static_cast<unsigned long long>(r.warns),
+      static_cast<unsigned long long>(r.violations));
+  out << buf;
+  out << "    \"peak_scores\": {";
+  for (std::size_t c = 0;
+       c < static_cast<std::size_t>(obs::DriftCheck::kCheckCount); ++c) {
+    std::snprintf(buf, sizeof(buf), "%s\"%s\": %.3f",
+                  c == 0 ? "" : ", ",
+                  obs::drift_check_name(static_cast<obs::DriftCheck>(c)),
+                  r.peak[c]);
+    out << buf;
+  }
+  out << "},\n";
+  const obs::OracleSnapshot& s = r.snap;
+  std::snprintf(
+      buf, sizeof(buf),
+      "    \"last_probe\": {\n"
+      "      \"round\": %llu,\n"
+      "      \"degree_checked\": %s, \"tvd_out\": %.5f, "
+      "\"tvd_out_limit\": %.5f, \"tvd_in\": %.5f, \"tvd_in_limit\": %.5f,\n"
+      "      \"chi2_out\": %.1f, \"chi2_out_limit\": %.1f, "
+      "\"chi2_in\": %.1f, \"chi2_in_limit\": %.1f,\n"
+      "      \"rates_checked\": %s, \"duplication_rate\": %.5f, "
+      "\"deletion_rate\": %.5f, \"window_sent\": %llu,\n"
+      "      \"uniformity_checked\": %s, \"uniformity_z\": %.3f, "
+      "\"uniformity_limit\": %.3f, \"uniformity_ids\": %llu,\n"
+      "      \"alpha_checked\": %s, \"alpha_hat\": %.5f, "
+      "\"alpha_lower_bound\": %.5f\n    },\n",
+      static_cast<unsigned long long>(s.round),
+      s.degree_checked ? "true" : "false", s.tvd_out, s.tvd_out_limit,
+      s.tvd_in, s.tvd_in_limit, s.chi2_out, s.chi2_out_limit, s.chi2_in,
+      s.chi2_in_limit, s.rates_checked ? "true" : "false",
+      s.duplication_rate, s.deletion_rate,
+      static_cast<unsigned long long>(s.window_sent),
+      s.uniformity_checked ? "true" : "false", s.uniformity_z,
+      s.uniformity_limit, static_cast<unsigned long long>(s.uniformity_ids),
+      s.alpha_checked ? "true" : "false", s.alpha_hat,
+      pred.alpha_lower_bound);
+  out << buf;
+  std::snprintf(buf, sizeof(buf),
+                "    \"dump_written\": %s, \"dump_events\": %llu, "
+                "\"dump_dropped\": %llu\n  }",
+                r.dump_written ? "true" : "false",
+                static_cast<unsigned long long>(r.dump_events),
+                static_cast<unsigned long long>(r.dump_dropped));
+  out << buf;
+}
+
+bool emit_drift_json(bool quick, const std::string& path) {
+  // Predictions at the paper's running example (s=40, dL=18) and ℓ = 0.02
+  // — the same configuration every sharded bench simulates.
+  analysis::DegreeMcParams dp;
+  dp.view_size = default_send_forget_config().view_size;
+  dp.min_degree = default_send_forget_config().min_degree;
+  dp.loss = 0.02;
+  const obs::TheoryPrediction pred = analysis::make_theory_prediction(dp);
+
+  // The clean leg needs to clear the oracle's 400-round statistical warmup
+  // with enough post-warmup probes for the streaming checks.
+  const std::size_t clean_n = quick ? 10'000 : 50'000;
+  const std::size_t clean_rounds = quick ? 520 : 600;
+  // The mis-parameterized leg trips on the first few post-warmup probes,
+  // so it barely needs to outlive the warmup.
+  const std::size_t mis_n = quick ? 8'000 : 20'000;
+  const std::size_t mis_rounds = 480;
+  const std::size_t threads = 4;
+
+  std::printf("drift: clean run n=%zu rounds=%zu loss=%.2f (predicted %.2f)\n",
+              clean_n, clean_rounds, 0.02, pred.loss);
+  const DriftRun clean = run_drift(clean_n, threads, clean_rounds, 0.02, pred,
+                                   path + ".clean.trace");
+  std::printf("drift: mis-parameterized run n=%zu rounds=%zu loss=%.2f "
+              "(predicted %.2f)\n",
+              mis_n, mis_rounds, 0.10, pred.loss);
+  const DriftRun mis = run_drift(mis_n, threads, mis_rounds, 0.10, pred,
+                                 path + ".misparam.trace");
+
+  const bool clean_ok = clean.violations == 0;
+  const bool mis_ok =
+      mis.violations > 0 && mis.dump_written && mis.dump_events > 0;
+
+  std::ofstream out(path);
+  emit_header(out, "drift_oracle");
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"prediction\": {\"loss\": %g, \"delta\": %g, "
+                "\"view_size\": %zu, \"min_degree\": %zu, "
+                "\"expected_out\": %.4f, \"expected_in\": %.4f, "
+                "\"duplication_probability\": %.5f, "
+                "\"deletion_probability\": %.5f, "
+                "\"alpha_lower_bound\": %.4f},\n",
+                pred.loss, pred.delta, pred.view_size, pred.min_degree,
+                pred.expected_out, pred.expected_in,
+                pred.duplication_probability, pred.deletion_probability,
+                pred.alpha_lower_bound);
+  out << buf;
+  emit_drift_run(out, "clean", clean, pred);
+  out << ",\n";
+  emit_drift_run(out, "misparam", mis, pred);
+  out << ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"gates\": {\"clean_zero_violations\": %s, "
+                "\"misparam_tripped\": %s}\n}\n",
+                clean_ok ? "true" : "false", mis_ok ? "true" : "false");
+  out << buf;
+  if (!clean_ok) {
+    std::fprintf(stderr,
+                 "error: clean run reported %llu drift violations\n",
+                 static_cast<unsigned long long>(clean.violations));
+  }
+  if (!mis_ok) {
+    std::fprintf(stderr,
+                 "error: mis-parameterized run failed to trip the monitor "
+                 "(violations=%llu dump=%d events=%llu)\n",
+                 static_cast<unsigned long long>(mis.violations),
+                 mis.dump_written ? 1 : 0,
+                 static_cast<unsigned long long>(mis.dump_events));
+  }
+  return static_cast<bool>(out) && clean_ok && mis_ok;
+}
+
 }  // namespace
 
 // Best-of-N for the overhead gate pairs: run-to-run variance on shared
@@ -714,10 +977,31 @@ BenchResult best_of(std::size_t reps, std::size_t n, std::size_t threads,
   return best;
 }
 
+// True when the configure-time git-describe stamp marks an untracked or
+// modified tree. The stamp is captured at configure time: a clean rebuild
+// after committing is required before regenerating baselines.
+bool tree_is_dirty() {
+  const std::string git = GOSSIP_GIT_DESCRIBE;
+  return git == "unknown" ||
+         (git.size() >= 6 && git.compare(git.size() - 6, 6, "-dirty") == 0);
+}
+
+// Baseline outputs are the committed BENCH_*.json files the regression gate
+// (tools/check_bench.py) validates; ad-hoc output names are exempt from the
+// dirty-tree refusal.
+bool is_baseline_output(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  return base.rfind("BENCH_", 0) == 0;
+}
+
 int main(int argc, char** argv) {
   bool quick = false;
   bool analysis_mode = false;
   bool telemetry_mode = false;
+  bool drift_mode = false;
+  bool allow_dirty = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
@@ -726,6 +1010,10 @@ int main(int argc, char** argv) {
       analysis_mode = true;
     } else if (std::strcmp(argv[i], "--telemetry") == 0) {
       telemetry_mode = true;
+    } else if (std::strcmp(argv[i], "--drift") == 0) {
+      drift_mode = true;
+    } else if (std::strcmp(argv[i], "--allow-dirty") == 0) {
+      allow_dirty = true;
     } else {
       path = argv[i];
     }
@@ -733,7 +1021,33 @@ int main(int argc, char** argv) {
   if (path.empty()) {
     path = telemetry_mode ? "BENCH_telemetry.json"
            : analysis_mode ? "BENCH_analysis.json"
+           : drift_mode    ? "BENCH_drift.json"
                            : "BENCH_scale.json";
+  }
+
+  if (is_baseline_output(path) && tree_is_dirty()) {
+    if (!allow_dirty) {
+      std::fprintf(
+          stderr,
+          "error: refusing to write baseline %s from a dirty tree "
+          "(git: %s).\ncommit first and reconfigure so the header records a "
+          "clean revision, or pass --allow-dirty for a local experiment.\n",
+          path.c_str(), GOSSIP_GIT_DESCRIBE);
+      return 2;
+    }
+    std::fprintf(stderr,
+                 "warning: writing baseline %s from a dirty tree (git: %s); "
+                 "tools/check_bench.py will reject it if committed.\n",
+                 path.c_str(), GOSSIP_GIT_DESCRIBE);
+  }
+
+  if (drift_mode) {
+    if (!emit_drift_json(quick, path)) {
+      std::fprintf(stderr, "error: drift run failed (%s)\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
   }
 
   if (telemetry_mode) {
@@ -770,18 +1084,20 @@ int main(int argc, char** argv) {
     record(bare_small);
     record(best_of(3, 5'000, 1, 50, ShardedMode::kNoopCounters,
                    bare_small.actions));
+    record(best_of(3, 5'000, 1, 50, ShardedMode::kRecorder));
     record(run_sharded(5'000, 4, 50));
     record(run_sharded(5'000, 4, 50, ShardedMode::kObserved));
   } else {
     record(run_sequential(50'000, 200));
-    // The registry-overhead gate pair runs single-threaded: oversubscribed
-    // multi-thread timing (common in CI containers) is barrier-scheduling
-    // noise, not counting cost.
+    // The registry- and recorder-overhead gate pairs run single-threaded:
+    // oversubscribed multi-thread timing (common in CI containers) is
+    // barrier-scheduling noise, not counting cost.
     const BenchResult bare_large =
         best_of(5, 50'000, 1, 200, ShardedMode::kBare);
     record(bare_large);
     record(best_of(5, 50'000, 1, 200, ShardedMode::kNoopCounters,
                    bare_large.actions));
+    record(best_of(5, 50'000, 1, 200, ShardedMode::kRecorder));
     record(run_sharded(50'000, 4, 200));
     record(run_sharded(50'000, 4, 200, ShardedMode::kObserved));
     record(run_sharded(200'000, 4, 100));

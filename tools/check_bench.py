@@ -1,0 +1,164 @@
+#!/usr/bin/env python3
+"""Regression gate over the committed BENCH_*.json baselines.
+
+Validates every baseline in the repository root (or the directory given as
+the first argument):
+
+  all files     schema_version >= 2 header present; the git stamp records a
+                clean revision (bench_report refuses to write a BENCH_*
+                baseline from a dirty tree; this catches one smuggled in
+                with --allow-dirty).
+  scale         registry_overhead_pct and recorder_overhead_pct under the
+                2% hot-path budget; a nonempty results table.
+  analysis      the accelerated degree-MC sweep agrees with the seed
+                baseline configuration (max mean-indegree difference).
+  telemetry     zero watchdog violations, nonempty registry histograms
+                (the degree histograms must actually be wired), and the
+                "observe" phase attributed as a coordinator phase.
+  drift         the correctly parameterized run finished with zero drift
+                violations inside the degree-TVD limits, and the
+                mis-parameterized run tripped the monitor and dumped a
+                nonempty flight trace.
+
+Run directly or via ctest (registered as check_bench_baselines). Exits
+nonzero listing every failed check; prints one OK line per file otherwise.
+"""
+
+import glob
+import json
+import os
+import sys
+
+HOT_PATH_BUDGET_PCT = 2.0
+DEGREE_MC_AGREEMENT = 1e-6
+
+
+def fail(errors, path, message):
+    errors.append(f"{os.path.basename(path)}: {message}")
+
+
+def check_header(doc, path, errors):
+    schema = doc.get("schema_version")
+    if not isinstance(schema, int) or schema < 2:
+        fail(errors, path, f"schema_version {schema!r} (need >= 2)")
+    git = doc.get("git")
+    if not isinstance(git, str) or not git:
+        fail(errors, path, "missing git stamp")
+    elif git == "unknown" or git.endswith("-dirty"):
+        fail(errors, path, f"baseline written from a dirty tree (git: {git})")
+
+
+def check_scale(doc, path, errors):
+    if not doc.get("results"):
+        fail(errors, path, "empty results table")
+    for key in ("registry_overhead_pct", "recorder_overhead_pct"):
+        pct = doc.get(key)
+        if not isinstance(pct, (int, float)):
+            fail(errors, path, f"missing {key}")
+        elif pct >= HOT_PATH_BUDGET_PCT:
+            fail(errors, path,
+                 f"{key} = {pct:.2f}% (budget < {HOT_PATH_BUDGET_PCT}%)")
+
+
+def check_analysis(doc, path, errors):
+    degree = doc.get("degree_mc", {})
+    diff = degree.get("max_mean_indegree_diff")
+    if not isinstance(diff, (int, float)):
+        fail(errors, path, "missing degree_mc.max_mean_indegree_diff")
+    elif diff > DEGREE_MC_AGREEMENT:
+        fail(errors, path,
+             f"accelerated degree MC disagrees with baseline by {diff:g}")
+
+
+def check_telemetry(doc, path, errors):
+    sim = doc.get("simulation", {})
+    violations = sim.get("watchdog", {}).get("violations")
+    if violations != 0:
+        fail(errors, path, f"watchdog violations = {violations!r} (want 0)")
+    if not sim.get("registry", {}).get("histograms"):
+        fail(errors, path, "registry histograms are empty "
+             "(degree histograms not wired)")
+    phases = {p.get("phase"): p for p in sim.get("phases", [])}
+    observe = phases.get("observe")
+    if observe is None:
+        fail(errors, path, "no 'observe' phase in the profiler dump")
+    elif observe.get("coordinator") is not True:
+        fail(errors, path, "'observe' phase not marked as coordinator "
+             "(its nanos would be misattributed to shard 0)")
+    elif "per_shard_nanos" in observe:
+        fail(errors, path,
+             "'observe' phase still carries per_shard_nanos")
+
+
+def check_drift(doc, path, errors):
+    gates = doc.get("gates", {})
+    if gates.get("clean_zero_violations") is not True:
+        fail(errors, path, "clean run gate failed")
+    if gates.get("misparam_tripped") is not True:
+        fail(errors, path, "mis-parameterized run gate failed")
+    clean = doc.get("clean", {})
+    if clean.get("violation_transitions") != 0:
+        fail(errors, path,
+             f"clean run had {clean.get('violation_transitions')!r} "
+             "drift violations")
+    probe = clean.get("last_probe", {})
+    for stat, limit in (("tvd_out", "tvd_out_limit"),
+                        ("tvd_in", "tvd_in_limit")):
+        value, bound = probe.get(stat), probe.get(limit)
+        if not isinstance(value, (int, float)) or \
+           not isinstance(bound, (int, float)):
+            fail(errors, path, f"missing {stat}/{limit} in clean last_probe")
+        elif value >= bound:
+            fail(errors, path,
+                 f"clean {stat} = {value:g} outside its limit {bound:g}")
+    mis = doc.get("misparam", {})
+    if not mis.get("violation_transitions"):
+        fail(errors, path, "mis-parameterized run never escalated to "
+             "VIOLATION")
+    if mis.get("dump_written") is not True or not mis.get("dump_events"):
+        fail(errors, path, "mis-parameterized run did not dump a nonempty "
+             "flight trace")
+
+
+CHECKS = {
+    "scale_trajectory": check_scale,
+    "analysis_pipeline": check_analysis,
+    "telemetry": check_telemetry,
+    "drift_oracle": check_drift,
+}
+
+
+def main(argv):
+    root = argv[1] if len(argv) > 1 else "."
+    paths = sorted(glob.glob(os.path.join(root, "BENCH_*.json")))
+    if not paths:
+        print(f"error: no BENCH_*.json baselines under {root}",
+              file=sys.stderr)
+        return 1
+    errors = []
+    for path in paths:
+        try:
+            with open(path, encoding="utf-8") as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as exc:
+            fail(errors, path, f"unreadable: {exc}")
+            continue
+        check_header(doc, path, errors)
+        kind = doc.get("benchmark")
+        checker = CHECKS.get(kind)
+        if checker is None:
+            fail(errors, path, f"unknown benchmark kind {kind!r}")
+        else:
+            checker(doc, path, errors)
+        print(f"checked {os.path.basename(path)} ({kind})")
+    if errors:
+        print(f"\n{len(errors)} baseline check(s) failed:", file=sys.stderr)
+        for error in errors:
+            print(f"  {error}", file=sys.stderr)
+        return 1
+    print(f"all {len(paths)} baselines pass")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

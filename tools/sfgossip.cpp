@@ -8,12 +8,17 @@
 //   sfgossip walk          random-walk sampling success under loss (§3.1)
 //   sfgossip globalmc      exhaustive global MC for tiny systems (§7.1-7.3)
 //   sfgossip plan          Lemma A.1 planner between two graph files
+//   sfgossip trace-dump    inspect a flight-recorder dump (simulate
+//                          --trace-out, or a drift-violation post-mortem)
 //
 // Every subcommand accepts --help. Numeric output goes to stdout; pass
 // --csv FILE where supported to also write machine-readable series.
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <memory>
 #include <string>
 #include <vector>
@@ -37,6 +42,7 @@
 #include "graph/graph_stats.hpp"
 #include "graph/reachability.hpp"
 #include "graph/spectral.hpp"
+#include "obs/oracle/flight_recorder.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sampling/random_walk.hpp"
@@ -57,7 +63,7 @@ using namespace gossip;
 int usage() {
   std::fprintf(stderr,
                "usage: sfgossip <simulate|degrees|thresholds|decay|"
-               "connectivity|walk|globalmc|plan> [options]\n"
+               "connectivity|walk|globalmc|plan|trace-dump> [options]\n"
                "run 'sfgossip <command> --help' for options.\n");
   return 2;
 }
@@ -82,7 +88,12 @@ int cmd_simulate(const ArgParser& args) {
         "  --dump FILE       write the final membership graph\n"
         "  --metrics-out F   write round time-series (+ watchdog report for\n"
         "                    sf/sfext): .csv ext = series CSV, else JSON\n"
-        "  --metrics-stride N  rounds between samples     (default 10)\n");
+        "  --metrics-stride N  rounds between samples     (default 10)\n"
+        "  --trace-out FILE  record protocol events in a flight-recorder\n"
+        "                    ring and dump it at the end (read it back with\n"
+        "                    'sfgossip trace-dump FILE')\n"
+        "  --trace-capacity N  ring capacity, rounded to a power of two\n"
+        "                    (default 32768; the ring keeps the LAST N)\n");
     return 0;
   }
   const auto nodes = args.get_size("nodes", 1000, 8, 1'000'000);
@@ -165,6 +176,15 @@ int cmd_simulate(const ArgParser& args) {
     }
   }
 
+  // The recorder rides either driver's network (events land on its single
+  // shard); the ring keeps the last --trace-capacity events.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (args.has("trace-out")) {
+    const auto capacity =
+        args.get_size("trace-capacity", 1u << 15, 64, 1u << 24);
+    recorder = std::make_unique<obs::FlightRecorder>(1, capacity);
+  }
+
   std::printf("simulating %zu nodes x %zu rounds, loss=%.3f, protocol=%s, "
               "driver=%s\n",
               nodes, rounds, loss_rate, protocol.c_str(),
@@ -174,6 +194,7 @@ int cmd_simulate(const ArgParser& args) {
     sim::RoundDriver driver(cluster, loss, rng);
     driver.attach_time_series(series.get());
     driver.attach_watchdog(watchdog.get());
+    driver.attach_flight_recorder(recorder.get());
     for (std::size_t r = 0; r < rounds; ++r) {
       if (churn) churn->maybe_churn(rng);
       driver.run_rounds(1);
@@ -186,6 +207,7 @@ int cmd_simulate(const ArgParser& args) {
     sim::EventDriver driver(cluster, loss, rng);
     driver.attach_time_series(series.get());
     driver.attach_watchdog(watchdog.get());
+    driver.attach_flight_recorder(recorder.get());
     for (std::size_t r = 0; r < rounds; ++r) {
       if (churn) {
         const auto outcome = churn->maybe_churn(rng);
@@ -268,6 +290,17 @@ int cmd_simulate(const ArgParser& args) {
     std::printf("wrote %s (%zu samples)\n", path.c_str(),
                 series->samples().size());
     if (watchdog) std::printf("%s", watchdog->report().c_str());
+  }
+  if (recorder) {
+    const auto path = args.get_string("trace-out", "");
+    if (!recorder->dump_to_file(path)) {
+      throw CliError("cannot write trace '" + path + "'");
+    }
+    const std::uint64_t kept =
+        recorder->recorded(0) - recorder->dropped(0);
+    std::printf("wrote %s (%llu events kept, %llu overwritten)\n",
+                path.c_str(), static_cast<unsigned long long>(kept),
+                static_cast<unsigned long long>(recorder->dropped(0)));
   }
   return 0;
 }
@@ -522,6 +555,64 @@ int cmd_plan(const ArgParser& args) {
   return work == to ? 0 : 1;
 }
 
+// ----------------------------------------------------------- trace-dump
+
+int cmd_trace_dump(const ArgParser& args) {
+  if (args.has("help") || args.positional().empty()) {
+    std::printf(
+        "sfgossip trace-dump FILE [options] — inspect a flight-recorder "
+        "dump\n"
+        "  --message ID    only the lifecycle of one message id (0x.. ok)\n"
+        "  --node N        only events naming node N (actor or peer)\n"
+        "  --limit K       print at most K events        (default 100)\n"
+        "FILE is a dump written by 'simulate --trace-out' or by the\n"
+        "TheoryOracle on a drift violation (bench_report --drift).\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const std::string path = args.positional()[0];
+  obs::FlightTrace trace;
+  if (!trace.load_file(path)) {
+    throw CliError("cannot load trace '" + path + "' (not an SFFR dump?)");
+  }
+  std::uint64_t dropped = 0;
+  for (std::size_t s = 0; s < trace.shard_count(); ++s) {
+    dropped += trace.dropped(s);
+  }
+  std::printf("%s: %zu shards, %zu events kept, %llu overwritten\n",
+              path.c_str(), trace.shard_count(), trace.events().size(),
+              static_cast<unsigned long long>(dropped));
+
+  std::vector<obs::FlightEvent> selected;
+  if (args.has("message")) {
+    const auto id_str = args.get_string("message", "0");
+    const std::uint64_t id = std::strtoull(id_str.c_str(), nullptr, 0);
+    if (id == 0) throw CliError("--message needs a nonzero id");
+    selected = trace.message_lifecycle(id);
+    std::printf("message 0x%llx: %zu events (origin shard %zu)\n",
+                static_cast<unsigned long long>(id), selected.size(),
+                obs::FlightRecorder::message_shard(id));
+  } else if (args.has("node")) {
+    const auto node = static_cast<NodeId>(
+        args.get_size("node", 0, 0, std::numeric_limits<NodeId>::max()));
+    selected = trace.node_history(node);
+    std::printf("node %llu: %zu events\n",
+                static_cast<unsigned long long>(node), selected.size());
+  } else {
+    selected = trace.events();
+  }
+
+  const auto limit = args.get_size("limit", 100, 1, 100'000'000);
+  const std::size_t shown = std::min<std::size_t>(limit, selected.size());
+  // With no filter and a full ring the interesting part is the end (the
+  // ring keeps the most recent events), so print the tail.
+  const std::size_t start = selected.size() - shown;
+  if (start > 0) std::printf("... %zu earlier events elided ...\n", start);
+  for (std::size_t i = start; i < selected.size(); ++i) {
+    std::printf("%s\n", obs::FlightTrace::format_event(selected[i]).c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -537,6 +628,7 @@ int main(int argc, char** argv) {
     if (command == "walk") return cmd_walk(args);
     if (command == "globalmc") return cmd_globalmc(args);
     if (command == "plan") return cmd_plan(args);
+    if (command == "trace-dump") return cmd_trace_dump(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const CliError& error) {
