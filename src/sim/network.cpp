@@ -10,10 +10,12 @@ DirectNetwork::DirectNetwork(Cluster& cluster, LossModel& loss, Rng& rng)
 void DirectNetwork::send(Message message) {
   ++metrics_.sent;
   std::uint64_t id = 0;
+  // No kSend event: delivery is inline, so the fate event recorded below
+  // (to-dead / lose / deliver) carries the same fields. QueuedNetwork keeps
+  // kSend because there a message is genuinely in flight until its
+  // scheduled delivery fires.
   if (recorder_ != nullptr) {
     id = recorder_->begin_message(0);
-    recorder_->record(0, {id, record_round_, message.from, message.to,
-                          obs::FlightEventKind::kSend});
   }
   if (message.to >= cluster_.size() || !cluster_.live(message.to)) {
     ++metrics_.to_dead;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <barrier>
 #include <cassert>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 
@@ -124,42 +125,47 @@ void ShardedDriver::initiate_phase(std::size_t shard,
   const std::size_t k = sh.live.size();
   const double loss = config_.loss_rate;
   [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
+  // Burst cursor: amortizes the recorder's pointer chasing over the whole
+  // phase (flushes counters back on scope exit).
+  std::optional<obs::FlightRecorder::ShardWriter> writer;
+  if constexpr (kRecord) writer.emplace(*recorder_, shard);
   FlatPush msg;
   LocalCounts lc;
   for (std::size_t a = 0; a < k; ++a) {
     const NodeId u = sh.live[rng.uniform(k)];
     const FlatInitiateResult result = cluster_.initiate(u, rng, msg);
     if (result == FlatInitiateResult::kSelfLoop) {
+      // Self-loops are pure no-ops: not recorded (the rate lives in the
+      // metrics), so they never crowd message events out of the ring.
       if constexpr (kCount) ++lc.self_loops;
-      if constexpr (kRecord) {
-        recorder_->record(shard, {0, r32, u, kNilNode,
-                                  obs::FlightEventKind::kSelfLoop});
-      }
       continue;
     }
     if constexpr (kCount) {
       if (result == FlatInitiateResult::kSentDuplicated) ++lc.duplications;
     }
     if constexpr (kRecord) {
-      msg.message_id = recorder_->begin_message(shard);
-      recorder_->record(shard, {msg.message_id, r32, u, msg.to,
-                                obs::FlightEventKind::kSend});
+      // No kSend event: this driver resolves every message's fate within
+      // the round, and the fate event (deliver / lose / to-dead) carries
+      // the same (id, round, sender, receiver) fields — recording both
+      // would double the event volume for zero extra information.
+      msg.message_id = writer->begin_message();
       if (result == FlatInitiateResult::kSentDuplicated) {
-        recorder_->record(shard, {msg.message_id, r32, u, msg.to,
-                                  obs::FlightEventKind::kDuplicate});
+        writer->record({msg.message_id, r32, u, msg.to,
+                        obs::FlightEventKind::kDuplicate});
       }
     }
     if (loss > 0.0 && rng.bernoulli(loss)) {
       if constexpr (kCount) ++lc.lost;
       if constexpr (kRecord) {
-        recorder_->record(shard, {msg.message_id, r32, u, msg.to,
-                                  obs::FlightEventKind::kLose});
+        writer->record({msg.message_id, r32, u, msg.to,
+                        obs::FlightEventKind::kLose});
       }
       continue;
     }
     const std::size_t dst = shard_of(msg.to);
     if (dst == shard) {
-      deliver<kCount, kRecord>(shard, msg, lc, round);
+      deliver<kCount, kRecord>(shard, msg, lc, round,
+                               kRecord ? &*writer : nullptr);
     } else {
       outbox(shard, dst).messages.push_back(msg);
     }
@@ -182,13 +188,16 @@ void ShardedDriver::initiate_phase(std::size_t shard,
 template <bool kCount, bool kRecord>
 void ShardedDriver::drain_phase(std::size_t shard, std::uint64_t round) {
   LocalCounts lc;
+  std::optional<obs::FlightRecorder::ShardWriter> writer;
+  if constexpr (kRecord) writer.emplace(*recorder_, shard);
   // Fixed sender-shard order keeps the shard's RNG consumption — and hence
   // the whole run — deterministic.
   for (std::size_t src = 0; src < config_.shard_count; ++src) {
     if (src == shard) continue;
     auto& inbound = outbox(src, shard).messages;
     for (const FlatPush& msg : inbound) {
-      deliver<kCount, kRecord>(shard, msg, lc, round);
+      deliver<kCount, kRecord>(shard, msg, lc, round,
+                               kRecord ? &*writer : nullptr);
     }
     inbound.clear();  // keeps capacity; src refills only after the barrier
   }
@@ -201,9 +210,10 @@ void ShardedDriver::drain_phase(std::size_t shard, std::uint64_t round) {
 }
 
 template <bool kCount, bool kRecord>
-void ShardedDriver::deliver(std::size_t shard, const FlatPush& message,
-                            [[maybe_unused]] LocalCounts& lc,
-                            [[maybe_unused]] std::uint64_t round) {
+void ShardedDriver::deliver(
+    std::size_t shard, const FlatPush& message,
+    [[maybe_unused]] LocalCounts& lc, [[maybe_unused]] std::uint64_t round,
+    [[maybe_unused]] obs::FlightRecorder::ShardWriter* writer) {
   Shard& sh = shards_[shard];
   assert(shard_of(message.to) == shard);
   [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
@@ -211,17 +221,15 @@ void ShardedDriver::deliver(std::size_t shard, const FlatPush& message,
     // Dead receiver: dropped silently, indistinguishable from loss (§5).
     if constexpr (kCount) ++lc.to_dead;
     if constexpr (kRecord) {
-      recorder_->record(shard, {message.message_id, r32, message.to,
-                                message.sender.id,
-                                obs::FlightEventKind::kToDead});
+      writer->record({message.message_id, r32, message.to,
+                      message.sender.id, obs::FlightEventKind::kToDead});
     }
     return;
   }
   if constexpr (kCount) ++lc.delivered;
   if constexpr (kRecord) {
-    recorder_->record(shard, {message.message_id, r32, message.to,
-                              message.sender.id,
-                              obs::FlightEventKind::kDeliver});
+    writer->record({message.message_id, r32, message.to, message.sender.id,
+                    obs::FlightEventKind::kDeliver});
   }
   [[maybe_unused]] const std::size_t accepted =
       cluster_.receive(message.to, message, sh.rng);
@@ -230,9 +238,8 @@ void ShardedDriver::deliver(std::size_t shard, const FlatPush& message,
   }
   if constexpr (kRecord) {
     if (accepted == 0) {
-      recorder_->record(shard, {message.message_id, r32, message.to,
-                                message.sender.id,
-                                obs::FlightEventKind::kDelete});
+      writer->record({message.message_id, r32, message.to,
+                      message.sender.id, obs::FlightEventKind::kDelete});
     }
   }
 }

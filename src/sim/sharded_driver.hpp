@@ -188,7 +188,7 @@ class ShardedDriver {
   void drain_phase(std::size_t shard, std::uint64_t round);
   template <bool kCount, bool kRecord>
   void deliver(std::size_t shard, const FlatPush& message, LocalCounts& lc,
-               std::uint64_t round);
+               std::uint64_t round, obs::FlightRecorder::ShardWriter* writer);
   template <bool kCount, bool kRecord>
   void run_rounds_impl(std::uint64_t rounds);
   [[nodiscard]] bool observing() const {

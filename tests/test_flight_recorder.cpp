@@ -190,29 +190,38 @@ TEST(FlightRecorderIntegration, ShardedRunCapturesProtocolAndChurnEvents) {
   ASSERT_TRUE(trace.load(buffer));
   ASSERT_EQ(trace.total_dropped(), 0u);
 
+  // The sharded driver resolves fates inline, so it emits no kSend (and no
+  // kSelfLoop) events — only message fates and churn reach the ring.
   bool saw_kill = false;
-  std::uint64_t sent_id = 0;
+  std::uint64_t fate_id = 0;
   for (const FlightEvent& e : trace.events()) {
     if (e.kind == FlightEventKind::kKill) saw_kill = true;
-    if (e.kind == FlightEventKind::kSend && sent_id == 0) {
-      sent_id = e.message_id;
+    EXPECT_NE(e.kind, FlightEventKind::kSend);
+    EXPECT_NE(e.kind, FlightEventKind::kSelfLoop);
+    if (fate_id == 0 && (e.kind == FlightEventKind::kDeliver ||
+                         e.kind == FlightEventKind::kLose ||
+                         e.kind == FlightEventKind::kToDead)) {
+      fate_id = e.message_id;
     }
   }
   EXPECT_TRUE(saw_kill);
-  ASSERT_NE(sent_id, 0u);
-  // Every send resolves: its lifecycle ends in a terminal network outcome.
-  const std::vector<FlightEvent> life = trace.message_lifecycle(sent_id);
-  ASSERT_GE(life.size(), 2u);
-  EXPECT_EQ(life.front().kind, FlightEventKind::kSend);
-  bool resolved = false;
+  ASSERT_NE(fate_id, 0u);
+  // A message's lifecycle is its fate events: exactly one terminal network
+  // outcome, optionally preceded by a duplicate / followed by a delete.
+  const std::vector<FlightEvent> life = trace.message_lifecycle(fate_id);
+  ASSERT_GE(life.size(), 1u);
+  std::size_t terminal = 0;
   for (const FlightEvent& e : life) {
     if (e.kind == FlightEventKind::kDeliver ||
         e.kind == FlightEventKind::kLose ||
         e.kind == FlightEventKind::kToDead) {
-      resolved = true;
+      ++terminal;
+    } else {
+      EXPECT_TRUE(e.kind == FlightEventKind::kDuplicate ||
+                  e.kind == FlightEventKind::kDelete);
     }
   }
-  EXPECT_TRUE(resolved);
+  EXPECT_EQ(terminal, 1u);
 }
 
 TEST(FlightRecorderIntegration, RoundDriverEventsMatchNetworkMetrics) {
@@ -228,14 +237,15 @@ TEST(FlightRecorderIntegration, RoundDriverEventsMatchNetworkMetrics) {
   driver.attach_flight_recorder(&recorder);
   driver.run_rounds(20);
 
-  std::uint64_t sends = 0;
   std::uint64_t losses = 0;
   std::uint64_t deliveries = 0;
   std::uint64_t to_dead = 0;
   std::uint32_t max_round = 0;
   for (const FlightEvent& e : recorder.shard_events(0)) {
     switch (e.kind) {
-      case FlightEventKind::kSend: ++sends; break;
+      // Inline drivers emit no kSend: the fate events below carry the same
+      // fields, so fates must partition the sent count exactly.
+      case FlightEventKind::kSend: ADD_FAILURE() << "unexpected kSend"; break;
       case FlightEventKind::kLose: ++losses; break;
       case FlightEventKind::kDeliver: ++deliveries; break;
       case FlightEventKind::kToDead: ++to_dead; break;
@@ -243,7 +253,7 @@ TEST(FlightRecorderIntegration, RoundDriverEventsMatchNetworkMetrics) {
     }
     max_round = std::max(max_round, e.round);
   }
-  EXPECT_EQ(sends, driver.network_metrics().sent);
+  EXPECT_EQ(losses + deliveries + to_dead, driver.network_metrics().sent);
   EXPECT_EQ(losses, driver.network_metrics().lost);
   EXPECT_EQ(deliveries, driver.network_metrics().delivered);
   EXPECT_EQ(to_dead, driver.network_metrics().to_dead);

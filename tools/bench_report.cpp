@@ -45,6 +45,7 @@
 // mis-parameterized (simulating ℓ = 0.10 against ℓ = 0.02 predictions —
 // must escalate the DriftMonitor to VIOLATION and dump the armed flight
 // recorder). Both outcomes are gates in BENCH_drift.json.
+#include <algorithm>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
@@ -236,8 +237,17 @@ BenchResult run_sharded(std::size_t n, std::size_t threads, std::size_t rounds,
   return result;
 }
 
+// Gate overheads measured by the paired/median protocol (see
+// gate_overhead_run below); the per-result table alone cannot reproduce
+// them, so they arrive precomputed.
+struct GateOverheads {
+  double registry_pct = 0.0;
+  double recorder_pct = 0.0;
+  std::size_t ref_n = 0;
+};
+
 bool emit_json(const std::vector<BenchResult>& results,
-               const std::string& path) {
+               const std::string& path, const GateOverheads& gates) {
   const std::size_t hw = std::thread::hardware_concurrency();
   std::ofstream out(path);
   emit_header(out, "scale_trajectory");
@@ -280,16 +290,17 @@ bool emit_json(const std::vector<BenchResult>& results,
       best_threads = r.threads;
     }
   }
-  // Instrumentation overheads, each at the largest n that ran both
-  // variants of a pair with the same thread count. All variants execute the
-  // identical action sequence (neither counting nor observation draws RNG):
+  // Instrumentation overheads. All variants execute the identical action
+  // sequence (neither counting nor observation draws RNG):
   //   registry_overhead_pct  counting vs no-op-sink baseline — the
   //                          hot-path cost of the registry. Gate: < 2%.
   //   recorder_overhead_pct  flight recorder attached vs bare — one ring
-  //                          store per protocol event. Gate: < 2%.
+  //                          store per message fate. Gate: < 2%.
   //   obs_overhead_pct       observed (stride-10 sampling: O(n*s) probe,
   //                          watchdog scan) vs bare — reported for
   //                          transparency, amortized by raising the stride.
+  // The two gated values come from the paired/median protocol in
+  // gate_overhead_run; obs is informational and computed from the table.
   const auto overhead_vs = [&results](const char* base_name,
                                       const char* variant_name,
                                       std::size_t& out_ref_n) {
@@ -308,14 +319,11 @@ bool emit_json(const std::vector<BenchResult>& results,
     }
     return pct;
   };
-  std::size_t reg_ref_n = 0;
-  std::size_t rec_ref_n = 0;
+  const std::size_t reg_ref_n = gates.ref_n;
+  const std::size_t rec_ref_n = gates.ref_n;
   std::size_t obs_ref_n = 0;
-  // Regression of the counted run relative to the no-op baseline.
-  const double registry_overhead_pct =
-      overhead_vs("sharded_flat_noop_counters", "sharded_flat", reg_ref_n);
-  const double recorder_overhead_pct =
-      overhead_vs("sharded_flat", "sharded_flat_recorder", rec_ref_n);
+  const double registry_overhead_pct = gates.registry_pct;
+  const double recorder_overhead_pct = gates.recorder_pct;
   const double obs_overhead_pct =
       overhead_vs("sharded_flat", "sharded_flat_observed", obs_ref_n);
 
@@ -961,20 +969,79 @@ bool emit_drift_json(bool quick, const std::string& path) {
 
 }  // namespace
 
-// Best-of-N for the overhead gate pairs: run-to-run variance on shared
-// hardware is several percent, an order of magnitude above the effect
-// being measured, so keep the fastest of repeated runs (the run with the
-// least scheduler/cache interference — the standard noise-floor
-// estimator).
-BenchResult best_of(std::size_t reps, std::size_t n, std::size_t threads,
-                    std::size_t rounds, ShardedMode mode,
-                    std::uint64_t actions_hint = 0) {
-  BenchResult best = run_sharded(n, threads, rounds, mode, actions_hint);
-  for (std::size_t i = 1; i < reps; ++i) {
-    BenchResult r = run_sharded(n, threads, rounds, mode, actions_hint);
-    if (r.actions_per_sec > best.actions_per_sec) best = std::move(r);
-  }
-  return best;
+// The interleaved gate run: per-repetition, the three legs (bare /
+// no-op-counter sink / flight recorder) run back to back, each repetition
+// yields one *paired* overhead ratio per gate, and the reported overhead
+// is the median of those ratios. Rationale: run-to-run variance on shared
+// 1-core hardware is several percent — an order of magnitude above the
+// effect being measured — and the noise arrives in bursts (CPU steal,
+// frequency phases) that corrupt whole runs, so best-of-N of legs timed
+// minutes apart has measured ±5% swings on a pair whose true difference
+// is under 1%. Pairing confines a burst to the one repetition it lands
+// in; the median then discards that repetition entirely. The per-leg
+// throughput results (for the results table) keep each leg's fastest
+// repetition. kBare runs first within a repetition: the action count it
+// measures (deterministic for fixed n/threads/rounds) seeds the
+// no-op-counter leg, which cannot count its own.
+struct GateRun {
+  std::vector<BenchResult> best;  // fastest repetition per leg
+  GateOverheads overheads;        // median paired ratios
+};
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  const std::size_t mid = v.size() / 2;
+  return v.size() % 2 == 1 ? v[mid] : 0.5 * (v[mid - 1] + v[mid]);
+}
+
+GateRun gate_overhead_run(std::size_t reps, std::size_t n, std::size_t threads,
+                          std::size_t rounds) {
+  GateRun gate;
+  gate.overheads.ref_n = n;
+  // Calibration run: warms caches before any timed pair and supplies the
+  // action count (deterministic for fixed n/threads/rounds) that the
+  // no-op-counter leg cannot measure for itself.
+  BenchResult bare_best = run_sharded(n, threads, rounds, ShardedMode::kBare);
+  const std::uint64_t actions = bare_best.actions;
+
+  // One pair block per gate: base and variant strictly back to back, so
+  // each ratio compares runs with zero gap between them — even a 2-second
+  // separation (a third leg in between) has measured percent-level drift
+  // on this hardware.
+  BenchResult noop_best;
+  BenchResult rec_best;
+  const auto keep = [](BenchResult& best, BenchResult r) {
+    if (best.driver.empty() || r.actions_per_sec > best.actions_per_sec) {
+      best = std::move(r);
+    }
+  };
+  // Each pair: the reference (denominator) mode, then the variant whose
+  // slowdown relative to it is the gate value.
+  const auto pair_block = [&](ShardedMode ref, BenchResult& ref_best,
+                              ShardedMode variant, BenchResult& variant_best) {
+    std::vector<double> pcts;
+    for (std::size_t i = 0; i < reps; ++i) {
+      BenchResult base = run_sharded(n, threads, rounds, ref, actions);
+      BenchResult var = run_sharded(n, threads, rounds, variant, actions);
+      if (base.actions_per_sec > 0.0 && var.actions_per_sec > 0.0) {
+        pcts.push_back(
+            100.0 * (1.0 - var.actions_per_sec / base.actions_per_sec));
+      }
+      keep(ref_best, std::move(base));
+      keep(variant_best, std::move(var));
+    }
+    return median(std::move(pcts));
+  };
+  // Registry gate: the counted run (bare) measured against the no-op sink.
+  gate.overheads.registry_pct = pair_block(
+      ShardedMode::kNoopCounters, noop_best, ShardedMode::kBare, bare_best);
+  // Recorder gate: recording measured against the counted default.
+  gate.overheads.recorder_pct = pair_block(
+      ShardedMode::kBare, bare_best, ShardedMode::kRecorder, rec_best);
+  gate.best.push_back(std::move(bare_best));
+  gate.best.push_back(std::move(noop_best));
+  gate.best.push_back(std::move(rec_best));
+  return gate;
 }
 
 // True when the configure-time git-describe stamp marks an untracked or
@@ -1077,33 +1144,31 @@ int main(int argc, char** argv) {
     results.push_back(std::move(r));
   };
 
+  // The registry- and recorder-overhead gate legs run single-threaded
+  // (oversubscribed multi-thread timing, common in CI containers, is
+  // barrier-scheduling noise, not counting cost) under the paired/median
+  // protocol of gate_overhead_run.
+  GateOverheads gates;
   if (quick) {
     record(run_sequential(5'000, 50));
-    const BenchResult bare_small =
-        best_of(3, 5'000, 1, 50, ShardedMode::kBare);
-    record(bare_small);
-    record(best_of(3, 5'000, 1, 50, ShardedMode::kNoopCounters,
-                   bare_small.actions));
-    record(best_of(3, 5'000, 1, 50, ShardedMode::kRecorder));
+    GateRun gate = gate_overhead_run(5, 5'000, 1, 50);
+    gates = gate.overheads;
+    for (BenchResult& r : gate.best) record(std::move(r));
     record(run_sharded(5'000, 4, 50));
     record(run_sharded(5'000, 4, 50, ShardedMode::kObserved));
   } else {
     record(run_sequential(50'000, 200));
-    // The registry- and recorder-overhead gate pairs run single-threaded:
-    // oversubscribed multi-thread timing (common in CI containers) is
-    // barrier-scheduling noise, not counting cost.
-    const BenchResult bare_large =
-        best_of(5, 50'000, 1, 200, ShardedMode::kBare);
-    record(bare_large);
-    record(best_of(5, 50'000, 1, 200, ShardedMode::kNoopCounters,
-                   bare_large.actions));
-    record(best_of(5, 50'000, 1, 200, ShardedMode::kRecorder));
+    // Gate legs run 2x the table's round count: a ~2-second timed region
+    // averages over the sub-second noise bursts that corrupt shorter runs.
+    GateRun gate = gate_overhead_run(7, 50'000, 1, 400);
+    gates = gate.overheads;
+    for (BenchResult& r : gate.best) record(std::move(r));
     record(run_sharded(50'000, 4, 200));
     record(run_sharded(50'000, 4, 200, ShardedMode::kObserved));
     record(run_sharded(200'000, 4, 100));
     record(run_sharded(1'000'000, 4, 30));
   }
-  if (!emit_json(results, path)) {
+  if (!emit_json(results, path, gates)) {
     std::fprintf(stderr, "error: cannot write %s\n", path.c_str());
     return 1;
   }
