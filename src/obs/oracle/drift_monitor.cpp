@@ -39,10 +39,23 @@ DriftMonitor::DriftMonitor(DriftMonitorConfig config) : config_(config) {
   config_.clear_streak = std::max<std::size_t>(1, config_.clear_streak);
 }
 
-void DriftMonitor::begin_probe(std::uint64_t round) {
+void DriftMonitor::begin_probe(std::uint64_t round, bool expected) {
   current_ = DriftSample{};
   current_.round = round;
+  current_.expected = expected;
   in_probe_ = true;
+  if (expected) ++expected_probes_;
+  if (expected != last_expected_) {
+    // Crossing the declared-window boundary resets the per-lane streaks:
+    // an excursion that began inside the window must re-earn its streak
+    // from scratch before it can escalate, and stale ok-streaks from
+    // before the window don't count toward clearing after it.
+    for (Lane& lane : lanes_) {
+      lane.candidate_streak = 0;
+      lane.ok_streak = 0;
+    }
+    last_expected_ = expected;
+  }
 }
 
 void DriftMonitor::transition(Lane& lane, DriftCheck check, DriftState to,
@@ -61,6 +74,11 @@ void DriftMonitor::record(DriftCheck check, double score) {
   const auto i = static_cast<std::size_t>(check);
   current_.score[i] = score;
   Lane& lane = lanes_[i];
+  if (current_.expected) {
+    // Declared fault window: account the drift, don't escalate on it.
+    lane.expected_peak = std::max(lane.expected_peak, score);
+    return;
+  }
   lane.peak = std::max(lane.peak, score);
 
   if (score <= 1.0) {
@@ -88,6 +106,14 @@ void DriftMonitor::record(DriftCheck check, double score) {
 
 void DriftMonitor::end_probe() {
   if (!in_probe_) return;
+  if (current_.expected) {
+    for (const double s : current_.score) {
+      if (s > 1.0) {
+        ++accounted_excursions_;
+        break;
+      }
+    }
+  }
   samples_.push_back(current_);
   in_probe_ = false;
 }
@@ -105,24 +131,36 @@ DriftState DriftMonitor::overall_state() const {
 std::string DriftMonitor::report() const {
   std::ostringstream out;
   out << "drift monitor: " << samples_.size() << " probes, " << warns_
-      << " warn transitions, " << violations_ << " violation transitions\n";
+      << " warn transitions, " << violations_ << " violation transitions";
+  if (expected_probes_ > 0) {
+    out << ", " << expected_probes_ << " expected probes ("
+        << accounted_excursions_ << " accounted excursions)";
+  }
+  out << '\n';
   for (std::size_t i = 0; i < kChecks; ++i) {
     out << "  " << drift_check_name(static_cast<DriftCheck>(i)) << ": "
         << drift_state_name(lanes_[i].state) << " (peak score "
-        << lanes_[i].peak << ")\n";
+        << lanes_[i].peak;
+    if (lanes_[i].expected_peak > 0.0) {
+      out << ", expected peak " << lanes_[i].expected_peak;
+    }
+    out << ")\n";
   }
   return out.str();
 }
 
 void DriftMonitor::write_json(std::ostream& out) const {
   out << "{\"violations\":" << violations_ << ",\"warns\":" << warns_
+      << ",\"expected_probes\":" << expected_probes_
+      << ",\"accounted_excursions\":" << accounted_excursions_
       << ",\"overall\":\"" << drift_state_name(overall_state()) << '"'
       << ",\"states\":{";
   for (std::size_t i = 0; i < kChecks; ++i) {
     if (i != 0) out << ',';
     out << '"' << drift_check_name(static_cast<DriftCheck>(i)) << "\":{"
         << "\"state\":\"" << drift_state_name(lanes_[i].state)
-        << "\",\"peak_score\":" << lanes_[i].peak << '}';
+        << "\",\"peak_score\":" << lanes_[i].peak
+        << ",\"expected_peak\":" << lanes_[i].expected_peak << '}';
   }
   out << "},\"transitions\":[";
   for (std::size_t i = 0; i < log_.size(); ++i) {
@@ -137,7 +175,8 @@ void DriftMonitor::write_json(std::ostream& out) const {
   for (std::size_t i = 0; i < samples_.size(); ++i) {
     if (i != 0) out << ',';
     const DriftSample& s = samples_[i];
-    out << "{\"round\":" << s.round;
+    out << "{\"round\":" << s.round
+        << ",\"expected\":" << (s.expected ? "true" : "false");
     for (std::size_t c = 0; c < kChecks; ++c) {
       out << ",\"" << drift_check_name(static_cast<DriftCheck>(c))
           << "\":" << s.score[c];

@@ -59,6 +59,9 @@ struct DriftMonitorConfig {
 struct DriftSample {
   std::uint64_t round = 0;
   double score[static_cast<std::size_t>(DriftCheck::kCheckCount)] = {};
+  // The probe fell inside a declared fault window: scores are recorded but
+  // never escalate the state machines.
+  bool expected = false;
 };
 
 struct DriftTransition {
@@ -78,7 +81,15 @@ class DriftMonitor {
   // Called once per check per probe by the oracle; `score` is the
   // normalized deviation (<= 1 in tolerance). Finishing a probe requires a
   // matching end_probe() so per-probe streak accounting stays aligned.
-  void begin_probe(std::uint64_t round);
+  //
+  // An *expected* probe (the round sits inside a declared fault window,
+  // plus its grace period) records scores into the sample trail and the
+  // expected-peak statistic but drives no state transitions: scripted
+  // drift is accounted, not escalated, while undeclared drift still trips
+  // VIOLATION. Streaks never span the expected/normal boundary, so an
+  // excursion that started inside a window cannot fire the alarm on the
+  // first probe after it.
+  void begin_probe(std::uint64_t round, bool expected = false);
   void record(DriftCheck check, double score);
   void end_probe();
 
@@ -91,15 +102,27 @@ class DriftMonitor {
   [[nodiscard]] std::uint64_t violation_transitions() const {
     return violations_;
   }
+  // Expected probes seen / expected probes whose worst score breached the
+  // warn threshold (drift that a declared fault window accounted for).
+  [[nodiscard]] std::uint64_t expected_probes() const {
+    return expected_probes_;
+  }
+  [[nodiscard]] std::uint64_t accounted_excursions() const {
+    return accounted_excursions_;
+  }
   [[nodiscard]] const std::vector<DriftTransition>& log() const {
     return log_;
   }
   [[nodiscard]] const std::vector<DriftSample>& samples() const {
     return samples_;
   }
-  // Peak score seen on a check over the whole run.
+  // Peak score seen on a check over the whole run (normal probes only).
   [[nodiscard]] double peak_score(DriftCheck check) const {
     return lanes_[static_cast<std::size_t>(check)].peak;
+  }
+  // Peak score seen during expected (declared-window) probes.
+  [[nodiscard]] double expected_peak_score(DriftCheck check) const {
+    return lanes_[static_cast<std::size_t>(check)].expected_peak;
   }
 
   // Invoked on every transition *into* kViolation.
@@ -120,6 +143,7 @@ class DriftMonitor {
     std::size_t candidate_streak = 0;
     std::size_t ok_streak = 0;
     double peak = 0.0;
+    double expected_peak = 0.0;
   };
 
   void transition(Lane& lane, DriftCheck check, DriftState to, double score);
@@ -128,8 +152,11 @@ class DriftMonitor {
   Lane lanes_[static_cast<std::size_t>(DriftCheck::kCheckCount)];
   DriftSample current_{};
   bool in_probe_ = false;
+  bool last_expected_ = false;
   std::uint64_t warns_ = 0;
   std::uint64_t violations_ = 0;
+  std::uint64_t expected_probes_ = 0;
+  std::uint64_t accounted_excursions_ = 0;
   std::vector<DriftTransition> log_;
   std::vector<DriftSample> samples_;
   std::function<void(const DriftTransition&)> on_violation_;

@@ -45,6 +45,7 @@ const char* flight_event_kind_name(FlightEventKind kind) {
     case FlightEventKind::kToDead: return "to_dead";
     case FlightEventKind::kKill: return "kill";
     case FlightEventKind::kRevive: return "revive";
+    case FlightEventKind::kFaultDrop: return "fault_drop";
   }
   return "unknown";
 }

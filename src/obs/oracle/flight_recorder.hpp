@@ -46,6 +46,9 @@ enum class FlightEventKind : std::uint8_t {
   kToDead,        // receiver died in flight; dropped like loss
   kKill,          // churn: node left
   kRevive,        // churn: node rejoined
+  kFaultDrop,     // an attached fault plane dropped the message (scripted
+                  // injection — distinct from ambient kLose so trace-dump
+                  // post-mortems separate faults from background loss)
 };
 
 [[nodiscard]] const char* flight_event_kind_name(FlightEventKind kind);

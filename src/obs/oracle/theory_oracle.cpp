@@ -103,6 +103,19 @@ void TheoryOracle::bind_registry(MetricsRegistry* registry,
   violations_gauge_ = registry_->gauge("drift_violations");
 }
 
+void TheoryOracle::declare_fault_window(std::uint64_t begin,
+                                        std::uint64_t end,
+                                        std::uint64_t grace_rounds) {
+  fault_windows_.push_back({begin, end + grace_rounds});
+}
+
+bool TheoryOracle::round_expected(std::uint64_t round) const {
+  for (const FaultWindow& w : fault_windows_) {
+    if (round >= w.begin && round < w.end_with_grace) return true;
+  }
+  return false;
+}
+
 void TheoryOracle::arm_flight_dump(FlightRecorder* recorder,
                                    std::string path) {
   flight_recorder_ = recorder;
@@ -256,7 +269,19 @@ void TheoryOracle::observe(std::uint64_t round, const FlatClusterProbe& probe,
   ++probes_;
   last_ = OracleSnapshot{};
   last_.round = round;
-  monitor_.begin_probe(round);
+  const bool expected = round_expected(round);
+  if (!expected && last_probe_expected_) {
+    // Suppression just ended: the rate window and the streaming uniformity
+    // sums are poisoned by the declared fault, so restart both — this
+    // probe re-pins the rate baseline and the uniformity census starts
+    // accumulating from the healed overlay.
+    have_rate_baseline_ = false;
+    occurrence_sum_.clear();
+    always_live_.clear();
+    uniformity_probes_ = 0;
+  }
+  last_probe_expected_ = expected;
+  monitor_.begin_probe(round, expected);
   if (round >= config_.warmup_rounds) {
     check_degree(probe);
     check_uniformity(occurrences);

@@ -127,6 +127,18 @@ class TheoryOracle {
                std::span<const std::uint32_t> occurrences,
                const CumulativeCounters& counters);
 
+  // Declares a scripted fault window [begin, end): probes landing in
+  // [begin, end + grace_rounds) run in the DriftMonitor's *expected* mode
+  // (drift accounted, never escalated — see drift_monitor.hpp), and when
+  // the suppression window closes the oracle restarts its windowed-rate
+  // baseline and streaming-uniformity accumulation so statistics poisoned
+  // by the fault cannot false-trip the post-heal run. Undeclared faults
+  // keep tripping VIOLATION as before. Call before run_rounds.
+  void declare_fault_window(std::uint64_t begin, std::uint64_t end,
+                            std::uint64_t grace_rounds = 0);
+  // True when `round` falls inside any declared window (plus grace).
+  [[nodiscard]] bool round_expected(std::uint64_t round) const;
+
   [[nodiscard]] std::uint64_t probes() const { return probes_; }
   [[nodiscard]] const OracleSnapshot& last() const { return last_; }
 
@@ -163,6 +175,14 @@ class TheoryOracle {
   // Rate window (post-warmup baseline, watchdog-style).
   CumulativeCounters rate_baseline_{};
   bool have_rate_baseline_ = false;
+
+  // Declared fault windows (suppression spans [begin, end + grace)).
+  struct FaultWindow {
+    std::uint64_t begin = 0;
+    std::uint64_t end_with_grace = 0;
+  };
+  std::vector<FaultWindow> fault_windows_;
+  bool last_probe_expected_ = false;
 
   // Streaming uniformity state.
   std::vector<std::uint64_t> occurrence_sum_;

@@ -121,19 +121,27 @@ void RoundTimeSeries::record(std::uint64_t round,
   sample.loss_rate = ratio(delta(cumulative.lost, prev_.lost) +
                                delta(cumulative.to_dead, prev_.to_dead),
                            sent);
+  sample.fault_rate =
+      ratio(delta(cumulative.faulted, prev_.faulted), sent);
   prev_ = cumulative;
   samples_.push_back(sample);
 }
 
 void RoundTimeSeries::clear() {
   samples_.clear();
+  annotations_.clear();
   prev_ = CumulativeCounters{};
+}
+
+void RoundTimeSeries::annotate(std::uint64_t round, std::string label) {
+  annotations_.push_back({round, std::move(label)});
 }
 
 void RoundTimeSeries::write_csv(std::ostream& out) const {
   out << "round,live_nodes,out_mean,out_sd,out_min,out_max,"
          "in_mean,in_sd,in_min,in_max,empty_slot_fraction,"
-         "duplication_rate,deletion_rate,self_loop_rate,loss_rate\n";
+         "duplication_rate,deletion_rate,self_loop_rate,loss_rate,"
+         "fault_rate\n";
   for (const RoundSample& s : samples_) {
     out << s.round << ',' << s.live_nodes << ',' << s.outdegree.mean << ','
         << s.outdegree.sd << ',' << s.outdegree.min << ',' << s.outdegree.max
@@ -141,7 +149,7 @@ void RoundTimeSeries::write_csv(std::ostream& out) const {
         << s.indegree.min << ',' << s.indegree.max << ','
         << s.empty_slot_fraction << ',' << s.duplication_rate << ','
         << s.deletion_rate << ',' << s.self_loop_rate << ',' << s.loss_rate
-        << '\n';
+        << ',' << s.fault_rate << '\n';
   }
 }
 
@@ -161,7 +169,18 @@ void RoundTimeSeries::write_json(std::ostream& out) const {
         << ",\"duplication_rate\":" << s.duplication_rate
         << ",\"deletion_rate\":" << s.deletion_rate
         << ",\"self_loop_rate\":" << s.self_loop_rate
-        << ",\"loss_rate\":" << s.loss_rate << '}';
+        << ",\"loss_rate\":" << s.loss_rate
+        << ",\"fault_rate\":" << s.fault_rate << '}';
+  }
+  out << ']';
+}
+
+void RoundTimeSeries::write_annotations_json(std::ostream& out) const {
+  out << '[';
+  for (std::size_t i = 0; i < annotations_.size(); ++i) {
+    if (i != 0) out << ',';
+    out << "{\"round\":" << annotations_[i].round << ",\"label\":\""
+        << annotations_[i].label << "\"}";
   }
   out << ']';
 }

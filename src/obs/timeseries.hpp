@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -28,7 +29,7 @@ struct DegreeSummary {
 
 // Cumulative driver counters at sampling time. `sent` counts messages the
 // initiator actually produced (self-loop actions send nothing); every sent
-// message is eventually lost, delivered, or dead-dropped.
+// message is eventually lost, delivered, dead-dropped, or fault-dropped.
 struct CumulativeCounters {
   std::uint64_t actions = 0;
   std::uint64_t self_loops = 0;
@@ -38,6 +39,9 @@ struct CumulativeCounters {
   std::uint64_t lost = 0;
   std::uint64_t delivered = 0;
   std::uint64_t to_dead = 0;
+  // Drops injected by an attached fault plane (kept separate from ambient
+  // `lost` so post-mortems can tell scripted faults from background loss).
+  std::uint64_t faulted = 0;
 };
 
 struct RoundSample {
@@ -47,11 +51,13 @@ struct RoundSample {
   DegreeSummary indegree;
   double empty_slot_fraction = 0.0;
   // Interval rates since the previous sample: duplications / deletions per
-  // sent message, self-loops per action, (lost + to_dead) per sent message.
+  // sent message, self-loops per action, (lost + to_dead) per sent message,
+  // fault-plane drops per sent message.
   double duplication_rate = 0.0;
   double deletion_rate = 0.0;
   double self_loop_rate = 0.0;
   double loss_rate = 0.0;
+  double fault_rate = 0.0;
 };
 
 // One O(n * s) pass over a flat cluster: out/in degree summaries over live
@@ -79,6 +85,14 @@ struct FlatClusterProbe {
     const FlatSendForgetCluster& cluster,
     std::vector<std::uint32_t>* occurrences = nullptr);
 
+// A point-in-time marker on the series (fault-phase boundaries, recovery
+// events); kept out of the per-sample schema so consumers of the sample
+// array are unaffected.
+struct SeriesAnnotation {
+  std::uint64_t round = 0;
+  std::string label;
+};
+
 class RoundTimeSeries {
  public:
   explicit RoundTimeSeries(std::uint64_t stride = 1);
@@ -97,14 +111,24 @@ class RoundTimeSeries {
   }
   void clear();
 
+  // Attach a marker to the series (e.g. "fault:split:begin" from the
+  // RecoveryTracker). Rounds are expected nondecreasing but not enforced.
+  void annotate(std::uint64_t round, std::string label);
+  [[nodiscard]] const std::vector<SeriesAnnotation>& annotations() const {
+    return annotations_;
+  }
+
   void write_csv(std::ostream& out) const;
   // JSON array of sample objects.
   void write_json(std::ostream& out) const;
+  // JSON array of {"round":..,"label":".."} annotation objects.
+  void write_annotations_json(std::ostream& out) const;
 
  private:
   std::uint64_t stride_;
   CumulativeCounters prev_{};
   std::vector<RoundSample> samples_;
+  std::vector<SeriesAnnotation> annotations_;
 };
 
 }  // namespace gossip::obs

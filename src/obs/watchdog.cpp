@@ -68,7 +68,8 @@ void InvariantWatchdog::check_cluster(std::uint64_t round,
 void InvariantWatchdog::check_conservation(std::uint64_t round,
                                            const CumulativeCounters& c) {
   ++checks_run_;
-  const std::uint64_t accounted = c.lost + c.delivered + c.to_dead;
+  const std::uint64_t accounted =
+      c.lost + c.delivered + c.to_dead + c.faulted;
   if (accounted != c.sent) {
     record(Violation{ViolationKind::kMailboxConservation, round, kNilNode, 0,
                      static_cast<double>(accounted),
@@ -96,10 +97,14 @@ void InvariantWatchdog::check_rates(std::uint64_t round,
   if (sent_window < config_.min_sent_for_rates) return;
   ++checks_run_;
   const auto sent = static_cast<double>(sent_window);
-  const double loss = static_cast<double>(delta(c.lost, rate_baseline_.lost) +
-                                           delta(c.to_dead,
-                                                 rate_baseline_.to_dead)) /
-                      sent;
+  // Fault-plane drops act as loss for the lemmas: the sender cannot tell a
+  // scripted drop from an ambient one, so the *effective* loss drives the
+  // duplication/deletion balance.
+  const double loss =
+      static_cast<double>(delta(c.lost, rate_baseline_.lost) +
+                          delta(c.to_dead, rate_baseline_.to_dead) +
+                          delta(c.faulted, rate_baseline_.faulted)) /
+      sent;
   const double dup =
       static_cast<double>(delta(c.duplications, rate_baseline_.duplications)) /
       sent;

@@ -8,7 +8,8 @@
 //             the first `warmup_rounds` rounds; even-ness and the upper
 //             bound hold from round 0.
 // Accounting (checked exactly, per sample):
-//   mailbox conservation: sent = lost + delivered + to_dead. Only valid
+//   mailbox conservation: sent = lost + delivered + to_dead + faulted
+//             (fault-plane drops are accounted separately). Only valid
 //             when no messages are in flight at the sample point (round
 //             and sharded drivers; the event driver samples mid-flight
 //             and must not enable this check).

@@ -100,6 +100,7 @@ obs::CumulativeCounters cumulative_counters(const ProtocolMetrics& protocol,
   c.lost = network.lost;
   c.delivered = network.delivered;
   c.to_dead = network.to_dead;
+  c.faulted = network.faulted;
   return c;
 }
 

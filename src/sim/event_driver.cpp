@@ -49,6 +49,15 @@ void EventDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
   recording_ = recorder != nullptr;
 }
 
+void EventDriver::attach_fault_plane(const FaultPlane* plane) {
+  network_.set_fault_plane(plane);
+  faulting_ = plane != nullptr;
+}
+
+void EventDriver::attach_recovery(obs::RecoveryTracker* tracker) {
+  recovery_ = tracker;
+}
+
 void EventDriver::observe_round(std::uint64_t round) {
   const obs::FlatClusterProbe probe = probe_cluster(
       cluster_, oracle_ != nullptr ? &occurrence_scratch_ : nullptr);
@@ -71,6 +80,10 @@ void EventDriver::observe_round(std::uint64_t round) {
   if (oracle_ != nullptr) {
     oracle_->observe(round, probe, occurrence_scratch_, c);
   }
+  if (recovery_ != nullptr) {
+    recovery_->observe(round, probe, /*cluster=*/nullptr, watchdog_,
+                       oracle_ != nullptr ? &oracle_->monitor() : nullptr);
+  }
 }
 
 void EventDriver::run_for(double duration) {
@@ -79,9 +92,10 @@ void EventDriver::run_for(double duration) {
 
 void EventDriver::run_rounds(std::uint64_t rounds) {
   // Recording forces the stepped schedule too, so events carry round
-  // stamps rather than all landing on round 0.
+  // stamps rather than all landing on round 0; a fault plane needs it for
+  // the same reason — its phase windows read the network's round clock.
   if (series_ == nullptr && watchdog_ == nullptr && oracle_ == nullptr &&
-      !recording_) {
+      recovery_ == nullptr && !recording_ && !faulting_) {
     run_for(static_cast<double>(rounds) * config_.period);
     rounds_completed_ += rounds;
     return;

@@ -14,10 +14,12 @@
 #include "common/rng.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
+#include "obs/recovery.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
 
@@ -61,6 +63,13 @@ class EventDriver {
   // Transport-level flight recording (QueuedNetwork; delivery events are
   // stamped with the round current at delivery time).
   void attach_flight_recorder(obs::FlightRecorder* recorder);
+  // Scripted link-level fault injection. Forces the stepped run_rounds
+  // schedule (like recording) so the network's round clock — which the
+  // plane's phase windows read — actually advances.
+  void attach_fault_plane(const FaultPlane* plane);
+  // Degradation-window tracking; connectivity lane skipped (no flat view
+  // graph behind the polymorphic cluster).
+  void attach_recovery(obs::RecoveryTracker* tracker);
   [[nodiscard]] std::uint64_t rounds_completed() const {
     return rounds_completed_;
   }
@@ -89,8 +98,10 @@ class EventDriver {
   obs::RoundTimeSeries* series_ = nullptr;
   obs::InvariantWatchdog* watchdog_ = nullptr;
   obs::TheoryOracle* oracle_ = nullptr;
+  obs::RecoveryTracker* recovery_ = nullptr;
   std::vector<std::uint32_t> occurrence_scratch_;
   bool recording_ = false;
+  bool faulting_ = false;
   std::uint64_t observe_stride_ = 1;
 };
 

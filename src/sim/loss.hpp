@@ -35,6 +35,20 @@ class UniformLoss final : public LossModel {
 // Two-state Gilbert-Elliott channel: a GOOD state with loss `good_loss` and
 // a BAD (burst) state with loss `bad_loss`; per-message transition
 // probabilities p (good->bad) and r (bad->good).
+//
+// One instance is ONE shared state machine: every message passed through
+// drop() advances the same chain, regardless of sender or receiver — i.e. a
+// single channel all traffic shares, not per-link state. That matches a
+// shared-uplink burst (everyone's packets die together) and is what the
+// drivers assume: the serial drivers route all traffic through one
+// instance (one global channel); the ShardedDriver's loss_model factory
+// builds one instance per shard (per-shard channels). For per-link burst
+// state you would need n² instances; nothing here models that.
+//
+// Long-run average: the chain's stationary bad-state mass is
+// pi_bad = p / (p + r), so average_rate() = pi_bad * bad_loss +
+// (1 - pi_bad) * good_loss (checked empirically in tests/test_loss.cpp for
+// the general good_loss/bad_loss case, not just the bursty_loss 0/1 one).
 class GilbertElliottLoss final : public LossModel {
  public:
   GilbertElliottLoss(double p_good_to_bad, double r_bad_to_good,

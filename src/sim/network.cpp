@@ -25,6 +25,16 @@ void DirectNetwork::send(Message message) {
     }
     return;
   }
+  if (fault_plane_ != nullptr &&
+      fault_plane_->drop(message.from, message.to, record_round_, rng_,
+                         fault_ctx_)) {
+    ++metrics_.faulted;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.from, message.to,
+                            obs::FlightEventKind::kFaultDrop});
+    }
+    return;
+  }
   if (loss_.drop(rng_)) {
     ++metrics_.lost;
     if (recorder_ != nullptr) {
@@ -59,6 +69,16 @@ void QueuedNetwork::send(Message message) {
     if (recorder_ != nullptr) {
       recorder_->record(0, {id, record_round_, message.to, message.from,
                             obs::FlightEventKind::kToDead});
+    }
+    return;
+  }
+  if (fault_plane_ != nullptr &&
+      fault_plane_->drop(message.from, message.to, record_round_, rng_,
+                         fault_ctx_)) {
+    ++metrics_.faulted;
+    if (recorder_ != nullptr) {
+      recorder_->record(0, {id, record_round_, message.from, message.to,
+                            obs::FlightEventKind::kFaultDrop});
     }
     return;
   }

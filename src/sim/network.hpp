@@ -14,6 +14,7 @@
 #include "obs/oracle/flight_recorder.hpp"
 #include "sim/cluster.hpp"
 #include "sim/event_queue.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/loss.hpp"
 
 namespace gossip::sim {
@@ -28,6 +29,9 @@ struct NetworkMetrics {
   // Extra deliveries caused by network-level packet duplication
   // (QueuedNetwork only; robustness extension beyond the paper's model).
   std::uint64_t duplicated = 0;
+  // Drops injected by an attached FaultPlane (scripted faults, kept apart
+  // from ambient `lost` so runs can tell injection from background loss).
+  std::uint64_t faulted = 0;
 
   [[nodiscard]] double loss_rate() const {
     return sent == 0 ? 0.0 : static_cast<double>(lost) /
@@ -60,6 +64,15 @@ class DirectNetwork final : public Transport {
     record_round_ = static_cast<std::uint32_t>(round);
   }
 
+  // Attach a scripted fault plane; the link check runs before the ambient
+  // loss draw and uses the same round clock as the flight recorder (the
+  // drivers bump it every round when a plane is attached). Pass nullptr to
+  // detach.
+  void set_fault_plane(const FaultPlane* plane) {
+    fault_plane_ = plane;
+    if (plane != nullptr) fault_ctx_ = plane->make_context();
+  }
+
  private:
   Cluster& cluster_;
   LossModel& loss_;
@@ -67,6 +80,8 @@ class DirectNetwork final : public Transport {
   NetworkMetrics metrics_;
   obs::FlightRecorder* recorder_ = nullptr;
   std::uint32_t record_round_ = 0;
+  const FaultPlane* fault_plane_ = nullptr;
+  FaultPlane::Context fault_ctx_;
 };
 
 // Latency distribution for the event-driven simulator.
@@ -106,6 +121,14 @@ class QueuedNetwork final : public Transport {
     record_round_ = static_cast<std::uint32_t>(round);
   }
 
+  // Same contract as DirectNetwork::set_fault_plane. The fault fate is
+  // sampled at *send* time (the link eats the packet), never on the queued
+  // delivery leg.
+  void set_fault_plane(const FaultPlane* plane) {
+    fault_plane_ = plane;
+    if (plane != nullptr) fault_ctx_ = plane->make_context();
+  }
+
  private:
   void schedule_delivery(Message message, std::uint64_t message_id);
 
@@ -117,6 +140,8 @@ class QueuedNetwork final : public Transport {
   NetworkMetrics metrics_;
   obs::FlightRecorder* recorder_ = nullptr;
   std::uint32_t record_round_ = 0;
+  const FaultPlane* fault_plane_ = nullptr;
+  FaultPlane::Context fault_ctx_;
 };
 
 }  // namespace gossip::sim

@@ -28,6 +28,14 @@ void RoundDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
   network_.set_flight_recorder(recorder);
 }
 
+void RoundDriver::attach_fault_plane(const FaultPlane* plane) {
+  network_.set_fault_plane(plane);
+}
+
+void RoundDriver::attach_recovery(obs::RecoveryTracker* tracker) {
+  recovery_ = tracker;
+}
+
 void RoundDriver::step() {
   const NodeId initiator = cluster_.random_live_node(rng_);
   cluster_.node(initiator).on_initiate(rng_, network_);
@@ -62,11 +70,15 @@ void RoundDriver::observe_round(std::uint64_t round) {
   if (oracle_ != nullptr) {
     oracle_->observe(round, probe, occurrence_scratch_, c);
   }
+  if (recovery_ != nullptr) {
+    recovery_->observe(round, probe, /*cluster=*/nullptr, watchdog_,
+                       oracle_ != nullptr ? &oracle_->monitor() : nullptr);
+  }
 }
 
 void RoundDriver::run_rounds(std::uint64_t rounds) {
-  const bool observing =
-      series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr;
+  const bool observing = series_ != nullptr || watchdog_ != nullptr ||
+                         oracle_ != nullptr || recovery_ != nullptr;
   for (std::uint64_t r = 0; r < rounds; ++r) {
     network_.set_record_round(rounds_completed_ + 1);
     run_actions(cluster_.live_count());

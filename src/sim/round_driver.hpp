@@ -14,9 +14,11 @@
 #include "common/rng.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
+#include "obs/recovery.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/cluster.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
 
@@ -60,6 +62,13 @@ class RoundDriver {
   // Transport-level flight recording (send/lose/deliver/to-dead into the
   // recorder's shard 0; see DirectNetwork::set_flight_recorder).
   void attach_flight_recorder(obs::FlightRecorder* recorder);
+  // Scripted link-level fault injection on the direct network (the round
+  // clock run_rounds maintains doubles as the plane's schedule clock, so
+  // only run_rounds — not step/run_actions — advances phases).
+  void attach_fault_plane(const FaultPlane* plane);
+  // Degradation-window tracking at round boundaries; the connectivity lane
+  // is skipped (this driver's polymorphic cluster has no flat view graph).
+  void attach_recovery(obs::RecoveryTracker* tracker);
 
  private:
   void observe_round(std::uint64_t round);
@@ -72,6 +81,7 @@ class RoundDriver {
   obs::RoundTimeSeries* series_ = nullptr;
   obs::InvariantWatchdog* watchdog_ = nullptr;
   obs::TheoryOracle* oracle_ = nullptr;
+  obs::RecoveryTracker* recovery_ = nullptr;
   std::vector<std::uint32_t> occurrence_scratch_;
   std::uint64_t observe_stride_ = 1;
 };

@@ -26,7 +26,7 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   static constexpr const char* kCounterNames[kCounterCount] = {
       "actions_initiated", "self_loop_actions", "duplications",
       "deletions",         "messages_sent",     "messages_lost",
-      "messages_delivered", "messages_to_dead",
+      "messages_delivered", "messages_to_dead", "messages_faulted",
   };
   for (std::uint32_t i = 0; i < kCounterCount; ++i) {
     const obs::CounterId id = registry_.counter(kCounterNames[i]);
@@ -58,9 +58,12 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   live_pos_.assign(n, 0);
   for (std::size_t s = 0; s < config_.shard_count; ++s) {
     shards_[s].rng = Rng::stream(config_.seed, s);
-    // Safe to cache: the only later registration (attach_oracle's drift
-    // gauges) re-caches these pointers.
+    // Safe to cache: the later registrations (attach_oracle's drift
+    // gauges, attach_recovery's recovery gauges) re-cache these pointers.
     shards_[s].m = registry_.counters(s);
+    if (config_.loss_model) {
+      shards_[s].loss = config_.loss_model(s);
+    }
   }
   for (NodeId u = 0; u < n; ++u) {
     if (!cluster_.live(u)) continue;
@@ -117,6 +120,30 @@ void ShardedDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
   recorder_ = recorder;
 }
 
+void ShardedDriver::attach_fault_plane(const FaultPlane* plane) {
+  if (plane != nullptr && plane->node_count() != cluster_.size()) {
+    throw std::invalid_argument(
+        "fault plane node_count must match the cluster's");
+  }
+  fault_plane_ = plane;
+  for (std::size_t s = 0; s < config_.shard_count; ++s) {
+    shards_[s].fault_ctx =
+        plane != nullptr ? plane->make_context() : FaultPlane::Context{};
+  }
+}
+
+void ShardedDriver::attach_recovery(obs::RecoveryTracker* tracker) {
+  recovery_ = tracker;
+  if (tracker != nullptr) {
+    tracker->bind_registry(&registry_, 0);
+    // Gauge registration reallocates the slabs; refresh the cached counter
+    // pointers (same ordering hazard as attach_oracle).
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+      shards_[s].m = registry_.counters(s);
+    }
+  }
+}
+
 template <bool kCount, bool kRecord>
 void ShardedDriver::initiate_phase(std::size_t shard,
                                    [[maybe_unused]] std::uint64_t round) {
@@ -124,6 +151,10 @@ void ShardedDriver::initiate_phase(std::size_t shard,
   Rng& rng = sh.rng;
   const std::size_t k = sh.live.size();
   const double loss = config_.loss_rate;
+  // Hoisted: both are fixed for the whole phase, so the per-message checks
+  // are perfectly predicted branches when neither feature is in use.
+  LossModel* const loss_model = sh.loss.get();
+  const FaultPlane* const plane = fault_plane_;
   [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
   // Burst cursor: amortizes the recorder's pointer chasing over the whole
   // phase (flushes counters back on scope exit).
@@ -154,7 +185,21 @@ void ShardedDriver::initiate_phase(std::size_t shard,
                         obs::FlightEventKind::kDuplicate});
       }
     }
-    if (loss > 0.0 && rng.bernoulli(loss)) {
+    // Link-level fault check runs before the ambient loss draw (same order
+    // as the serial networks); an idle plane consumes no RNG.
+    if (plane != nullptr &&
+        plane->drop(u, msg.to, round, rng, sh.fault_ctx)) {
+      if constexpr (kCount) ++lc.faulted;
+      if constexpr (kRecord) {
+        writer->record({msg.message_id, r32, u, msg.to,
+                        obs::FlightEventKind::kFaultDrop});
+      }
+      continue;
+    }
+    const bool ambient_drop = loss_model != nullptr
+                                  ? loss_model->drop(rng)
+                                  : loss > 0.0 && rng.bernoulli(loss);
+    if (ambient_drop) {
       if constexpr (kCount) ++lc.lost;
       if constexpr (kRecord) {
         writer->record({msg.message_id, r32, u, msg.to,
@@ -182,6 +227,7 @@ void ShardedDriver::initiate_phase(std::size_t shard,
     m[kLost] += lc.lost;
     m[kDelivered] += lc.delivered;
     m[kToDead] += lc.to_dead;
+    m[kFaulted] += lc.faulted;
   }
 }
 
@@ -281,6 +327,10 @@ void ShardedDriver::observe_round(std::uint64_t round) {
   }
   if (oracle_ != nullptr) {
     oracle_->observe(round, probe, occurrence_scratch_, c);
+  }
+  if (recovery_ != nullptr) {
+    recovery_->observe(round, probe, &cluster_, watchdog_,
+                       oracle_ != nullptr ? &oracle_->monitor() : nullptr);
   }
 }
 
@@ -418,6 +468,7 @@ obs::CumulativeCounters ShardedDriver::cumulative_counters() const {
     c.lost += m[kLost];
     c.delivered += m[kDelivered];
     c.to_dead += m[kToDead];
+    c.faulted += m[kFaulted];
   }
   return c;
 }
@@ -429,6 +480,7 @@ NetworkMetrics ShardedDriver::network_metrics() const {
   total.lost = c.lost;
   total.delivered = c.delivered;
   total.to_dead = c.to_dead;
+  total.faulted = c.faulted;
   return total;
 }
 

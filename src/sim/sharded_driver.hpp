@@ -49,6 +49,8 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -58,9 +60,12 @@
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recovery.hpp"
 #include "obs/registry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
+#include "sim/fault_plane.hpp"
+#include "sim/loss.hpp"
 #include "sim/network.hpp"
 
 namespace gossip::sim {
@@ -68,8 +73,15 @@ namespace gossip::sim {
 struct ShardedDriverConfig {
   // Number of shards == number of worker threads. Must be >= 1.
   std::size_t shard_count = 1;
-  // Uniform i.i.d. loss probability per message (§4.1's model).
+  // Uniform i.i.d. loss probability per message (§4.1's model). Ignored
+  // when `loss_model` is set.
   double loss_rate = 0.0;
+  // Optional non-uniform ambient loss (LossModel parity with the serial
+  // drivers): called once per shard at construction to build that shard's
+  // private model — per-shard channels, the same blocking kDegradeShard
+  // uses — whose draws come from the shard's own RNG stream, preserving
+  // the determinism contract. Leave empty for the scalar fast path.
+  std::function<std::unique_ptr<LossModel>(std::size_t shard)> loss_model{};
   // Root seed; shard i draws from the independent stream (seed, i).
   std::uint64_t seed = 1;
   // When false, every counter write is compiled out of the round hot path
@@ -133,6 +145,16 @@ class ShardedDriver {
   // Protocol event recording; the recorder's shard_count must equal the
   // driver's. Recording draws no RNG and never changes the fingerprint.
   void attach_flight_recorder(obs::FlightRecorder* recorder);
+  // Scripted link-level fault injection. The plane must have been built
+  // with this driver's (node_count, shard_count) blocking; each shard gets
+  // its own Context so burst chains are per-shard channels. While no phase
+  // is active the plane draws no RNG, so an attached-but-idle plane leaves
+  // the fingerprint bit-identical (pinned in tests/test_fault_plane.cpp).
+  void attach_fault_plane(const FaultPlane* plane);
+  // Degradation-window / time-to-recover tracking at each phase-C probe;
+  // feeds on the probe, the cluster, and whatever watchdog / oracle are
+  // attached. Registers recovery_* gauges (and re-caches counter slabs).
+  void attach_recovery(obs::RecoveryTracker* tracker);
   // Sampling cadence for the observe phase (rounds whose global index is a
   // multiple of `stride` sample). Independent of any RNG stream.
   void set_observation_stride(std::uint64_t stride);
@@ -148,6 +170,7 @@ class ShardedDriver {
     kLost,
     kDelivered,
     kToDead,
+    kFaulted,
     kCounterCount,
   };
 
@@ -157,6 +180,10 @@ class ShardedDriver {
     Rng rng{0};
     std::vector<NodeId> live;   // dense live ids owned by this shard
     std::uint64_t* m = nullptr;  // registry counter slab, index by Counter
+    // Per-shard ambient loss model (null = scalar loss_rate fast path).
+    std::unique_ptr<LossModel> loss;
+    // Per-shard fault-plane state (burst chains, active-phase cache).
+    FaultPlane::Context fault_ctx;
   };
   // A (src, dst) mailbox: written only by src's thread in phase A, read and
   // cleared only by dst's thread in phase B; the round barriers are the
@@ -176,6 +203,7 @@ class ShardedDriver {
     std::uint64_t lost = 0;
     std::uint64_t delivered = 0;
     std::uint64_t to_dead = 0;
+    std::uint64_t faulted = 0;
   };
 
   // kCount = config_.count_metrics and kRecord = (flight recorder
@@ -192,7 +220,8 @@ class ShardedDriver {
   template <bool kCount, bool kRecord>
   void run_rounds_impl(std::uint64_t rounds);
   [[nodiscard]] bool observing() const {
-    return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr;
+    return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr ||
+           recovery_ != nullptr;
   }
   [[nodiscard]] bool observation_due(std::uint64_t round) const {
     return round % observe_stride_ == 0;
@@ -222,6 +251,8 @@ class ShardedDriver {
   obs::PhaseProfiler* profiler_ = nullptr;
   obs::TheoryOracle* oracle_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
+  obs::RecoveryTracker* recovery_ = nullptr;
+  const FaultPlane* fault_plane_ = nullptr;
   // Probe-time degree histograms (satellite of the oracle work: the
   // registry's histogram path finally has a producer).
   obs::HistogramId outdegree_hist_{};

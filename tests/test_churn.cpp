@@ -145,6 +145,66 @@ TEST(RejoinNode, LostProbesFallBackToBootstrap) {
   }
 }
 
+TEST(RejoinNode, BurstSpanningProbesForcesFullBootstrap) {
+  // All probes go through one shared channel, so a burst that opens on the
+  // first probe (p=1, r=0: lossless GOOD, total BAD) eats the whole probe
+  // batch and forces the same full-bootstrap fallback as UniformLoss(1);
+  // the identical channel pinned GOOD (p=0, r=1) loses nothing and every
+  // live old-view member is retained.
+  for (const bool burst : {true, false}) {
+    Rng rng(11);
+    Cluster cluster = seeded_cluster(30, rng);
+    cluster.node(0).install_view({1, 2, 3, 4});
+    cluster.kill(0);
+    cluster.kill(2);
+    GilbertElliottLoss channel(burst ? 1.0 : 0.0, burst ? 0.0 : 1.0,
+                               /*good_loss=*/0.0, /*bad_loss=*/1.0);
+    rejoin_node(cluster, 0, sf_factory(), 4, rng, &channel);
+    EXPECT_TRUE(cluster.live(0));
+    const auto& view = cluster.node(0).view();
+    EXPECT_EQ(view.degree(), 4u);
+    EXPECT_FALSE(view.contains(2)) << "dead node retained, burst=" << burst;
+    for (const NodeId v : view.ids()) {
+      EXPECT_TRUE(cluster.live(v));
+      EXPECT_NE(v, 0u);
+    }
+    if (burst) {
+      // Every live probe (1, 3, 4) consumed a draw inside the burst.
+      EXPECT_TRUE(channel.in_bad_state());
+    } else {
+      EXPECT_TRUE(view.contains(1));
+      EXPECT_TRUE(view.contains(3));
+      EXPECT_TRUE(view.contains(4));
+    }
+  }
+}
+
+TEST(RejoinNode, BurstyProbeLossRetainsSurvivorsAtChannelRate) {
+  // Averaged over many independent rejoins through a 50% bursty channel,
+  // live old-view members survive probing at roughly the channel's pass
+  // rate. Bootstrap top-up can re-add a lost member by chance, so the band
+  // is wide — but it excludes both keep-everything and lose-everything.
+  const std::vector<NodeId> old_view{1, 2, 3, 4, 5, 6};
+  std::size_t retained = 0;
+  constexpr std::size_t kRuns = 300;
+  for (std::size_t run = 0; run < kRuns; ++run) {
+    Rng rng(1000 + run);
+    Cluster cluster = seeded_cluster(40, rng);
+    cluster.node(0).install_view(old_view);
+    cluster.kill(0);
+    const auto channel = bursty_loss(0.5, 3.0);
+    rejoin_node(cluster, 0, sf_factory(), 6, rng, channel.get());
+    ASSERT_EQ(cluster.node(0).view().degree(), 6u);
+    for (const NodeId v : old_view) {
+      if (cluster.node(0).view().contains(v)) ++retained;
+    }
+  }
+  const double rate =
+      retained / static_cast<double>(kRuns * old_view.size());
+  EXPECT_GT(rate, 0.30);
+  EXPECT_LT(rate, 0.85);
+}
+
 TEST(RejoinNode, ThrowsForLiveNode) {
   Rng rng(10);
   Cluster cluster = seeded_cluster(10, rng);

@@ -114,5 +114,37 @@ TEST(EventDriverTest, InvariantsSurvivePacketDuplication) {
   }
 }
 
+TEST(EventDriverTest, Observation51HoldsUnderDuplicationAndLoss) {
+  // Obs 5.1 in full — even outdegree in [dL, s] — at every node and every
+  // checkpoint, with the queued network duplicating packets on top of
+  // ambient loss. Duplicate deliveries must neither push a view past s nor
+  // let the shuffle accounting dip below dL mid-run.
+  Rng graph_rng(9);
+  constexpr std::size_t kViewSize = 12;
+  constexpr std::size_t kMinDegree = 4;
+  Cluster cluster(80, sf_factory(kViewSize, kMinDegree));
+  cluster.install_graph(permutation_regular(80, kMinDegree, graph_rng));
+  UniformLoss loss(0.05);
+  Rng rng(10);
+  EventDriverConfig config;
+  config.period = 2.0;
+  config.latency = LatencyModel{.min_latency = 0.5,
+                                .max_latency = 3.0,
+                                .duplicate_rate = 0.15};
+  EventDriver driver(cluster, loss, rng, config);
+  for (int chunk = 0; chunk < 10; ++chunk) {
+    driver.run_rounds(20);
+    for (NodeId id = 0; id < cluster.size(); ++id) {
+      const auto d = cluster.node(id).view().degree();
+      ASSERT_EQ(d % 2, 0u) << "odd degree at node " << id;
+      ASSERT_GE(d, kMinDegree) << "node " << id << " below dL";
+      ASSERT_LE(d, kViewSize) << "node " << id << " above s";
+    }
+  }
+  // The run must actually have exercised both hazards.
+  EXPECT_GT(driver.network_metrics().duplicated, 0u);
+  EXPECT_GT(driver.network_metrics().lost, 0u);
+}
+
 }  // namespace
 }  // namespace gossip::sim

@@ -51,6 +51,42 @@ TEST(GilbertElliott, EmpiricalRateMatchesStationary) {
   EXPECT_NEAR(drops / static_cast<double>(kTrials), ge.average_rate(), 0.005);
 }
 
+TEST(GilbertElliott, EmpiricalRateMatchesStationaryGeneralCase) {
+  // Nonzero loss in BOTH states: exercises the full two-level mixture that
+  // average_rate() promises, not just the 0/1 corner bursty_loss uses.
+  Rng rng(6);
+  GilbertElliottLoss ge(0.05, 0.45, 0.02, 0.6);
+  // pi_bad = 0.05/0.50 = 0.1; avg = 0.1*0.6 + 0.9*0.02 = 0.078.
+  EXPECT_NEAR(ge.average_rate(), 0.078, 1e-12);
+  int drops = 0;
+  constexpr int kTrials = 400'000;
+  for (int i = 0; i < kTrials; ++i) {
+    if (ge.drop(rng)) ++drops;
+  }
+  EXPECT_NEAR(drops / static_cast<double>(kTrials), ge.average_rate(), 0.005);
+}
+
+TEST(GilbertElliott, BurstsSpanInterleavedCallers) {
+  // One instance is ONE shared channel: drop() has no notion of sender, so
+  // a burst seen by one "link" is visible to whoever sends next. With the
+  // stream split across two alternating links, P(B drops | A just dropped)
+  // must track the in-burst rate, not the 5% long-run average.
+  const auto loss = bursty_loss(0.05, 8.0);
+  Rng rng(7);
+  int a_drops = 0;
+  int b_after_a = 0;
+  constexpr int kTrials = 200'000;
+  for (int i = 0; i < kTrials; ++i) {
+    const bool a = loss->drop(rng);  // link A's message
+    const bool b = loss->drop(rng);  // link B's message, same channel
+    if (a) {
+      ++a_drops;
+      if (b) ++b_after_a;
+    }
+  }
+  EXPECT_GT(b_after_a / static_cast<double>(a_drops), 0.5);
+}
+
 TEST(GilbertElliott, ParameterValidation) {
   EXPECT_THROW(GilbertElliottLoss(-0.1, 0.5, 0.0, 1.0), std::invalid_argument);
   EXPECT_THROW(GilbertElliottLoss(0.1, 1.5, 0.0, 1.0), std::invalid_argument);

@@ -1,0 +1,355 @@
+// RecoveryTracker lane detection and episode bookkeeping, plus the
+// DriftMonitor's expected-probe mode and the TheoryOracle's declared fault
+// windows — the accounting that lets scripted chaos read as "expected
+// degradation to recover from" rather than an alarm.
+#include "obs/recovery.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flat_send_forget.hpp"
+#include "obs/oracle/drift_monitor.hpp"
+#include "obs/oracle/theory_oracle.hpp"
+#include "obs/registry.hpp"
+#include "obs/timeseries.hpp"
+#include "obs/watchdog.hpp"
+
+namespace gossip::obs {
+namespace {
+
+constexpr std::uint32_t kDegreeBit =
+    1u << static_cast<std::uint32_t>(RecoveryLane::kDegree);
+constexpr std::uint32_t kConnectivityBit =
+    1u << static_cast<std::uint32_t>(RecoveryLane::kConnectivity);
+constexpr std::uint32_t kWatchdogBit =
+    1u << static_cast<std::uint32_t>(RecoveryLane::kWatchdog);
+constexpr std::uint32_t kOracleBit =
+    1u << static_cast<std::uint32_t>(RecoveryLane::kOracle);
+
+RecoveryConfig test_config() {
+  RecoveryConfig config;
+  config.min_degree = 4;
+  config.view_size = 8;
+  config.warmup_rounds = 0;  // unit tests drive probes by hand
+  return config;
+}
+
+// A probe with `live` nodes all at even outdegree `degree` (in band).
+FlatClusterProbe calm_probe(std::size_t live, std::size_t degree,
+                            std::size_t view_size = 8) {
+  FlatClusterProbe probe;
+  probe.live_nodes = live;
+  probe.outdegree.mean = static_cast<double>(degree);
+  probe.outdegree_hist.assign(std::max(view_size, degree) + 1, 0);
+  probe.outdegree_hist[degree] = live;
+  return probe;
+}
+
+TEST(RecoveryLanes, Names) {
+  EXPECT_STREQ(recovery_lane_name(RecoveryLane::kDegree), "degree");
+  EXPECT_STREQ(recovery_lane_name(RecoveryLane::kConnectivity),
+               "connectivity");
+  EXPECT_STREQ(recovery_lane_name(RecoveryLane::kWatchdog), "watchdog");
+  EXPECT_STREQ(recovery_lane_name(RecoveryLane::kOracle), "oracle");
+}
+
+TEST(RecoveryTracker, StructuralDegreeViolationTripsDegreeLane) {
+  RecoveryTracker tracker(test_config());
+  tracker.observe(1, calm_probe(100, 6), nullptr, nullptr, nullptr);
+  EXPECT_TRUE(tracker.in_band());
+
+  // 5% of nodes at odd outdegree breaches max_structural_fraction = 1%.
+  FlatClusterProbe probe = calm_probe(100, 6);
+  probe.outdegree_hist[6] = 95;
+  probe.outdegree_hist[5] = 5;
+  tracker.observe(2, probe, nullptr, nullptr, nullptr);
+  EXPECT_EQ(tracker.degraded_lanes(), kDegreeBit);
+
+  // Below dL counts too (warmup is 0 here).
+  probe = calm_probe(100, 6);
+  probe.outdegree_hist[6] = 95;
+  probe.outdegree_hist[2] = 5;
+  tracker.observe(3, probe, nullptr, nullptr, nullptr);
+  EXPECT_EQ(tracker.degraded_lanes(), kDegreeBit);
+}
+
+TEST(RecoveryTracker, MeanDipUsesHysteresis) {
+  RecoveryTracker tracker(test_config());
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.baseline_mean_degree(), 26.0);
+
+  // Dip past degree_drop = 1.0 below baseline: out of band.
+  FlatClusterProbe dipped = calm_probe(100, 26);
+  dipped.outdegree.mean = 24.5;
+  tracker.observe(2, dipped, nullptr, nullptr, nullptr);
+  EXPECT_EQ(tracker.degraded_lanes(), kDegreeBit);
+
+  // Climbing back to baseline - 0.8 is NOT enough (recover band is 0.6).
+  dipped.outdegree.mean = 25.2;
+  tracker.observe(3, dipped, nullptr, nullptr, nullptr);
+  EXPECT_EQ(tracker.degraded_lanes(), kDegreeBit);
+
+  // baseline - 0.5 clears the hysteresis.
+  dipped.outdegree.mean = 25.5;
+  tracker.observe(4, dipped, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(tracker.in_band());
+
+  // A fresh dip of only 0.9 does not re-trip (drop band is 1.0).
+  dipped.outdegree.mean = 25.1;
+  tracker.observe(5, dipped, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(tracker.in_band());
+}
+
+TEST(RecoveryTracker, CalmBaselineNeverUpdatesDuringFaultWindows) {
+  RecoveryTracker tracker(test_config());
+  tracker.declare_window(10, 20, "w");
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.baseline_mean_degree(), 26.0);
+  // In-band probe *inside* the window must not poison the baseline.
+  tracker.observe(12, calm_probe(100, 20), nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.baseline_mean_degree(), 26.0);
+}
+
+TEST(RecoveryTracker, DeclaredWindowMeasuresRecoveryFromHeal) {
+  RecoveryTracker tracker(test_config());
+  RoundTimeSeries series(1);
+  tracker.attach_series(&series);
+  tracker.declare_window(10, 20, "cut");
+
+  tracker.observe(5, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  FlatClusterProbe dipped = calm_probe(100, 26);
+  dipped.outdegree.mean = 22.0;
+  tracker.observe(12, dipped, nullptr, nullptr, nullptr);  // inside window
+  tracker.observe(25, dipped, nullptr, nullptr, nullptr);  // healed, still out
+  dipped.outdegree.mean = 25.8;
+  tracker.observe(30, dipped, nullptr, nullptr, nullptr);  // back in band
+
+  const RecoveryEpisode* e = tracker.episode("cut");
+  ASSERT_NE(e, nullptr);
+  EXPECT_TRUE(e->declared);
+  EXPECT_TRUE(e->degraded);
+  EXPECT_TRUE(e->recovered);
+  EXPECT_EQ(e->recovered_round, 30u);
+  EXPECT_EQ(e->recovery_rounds(), 10u);  // heal 20 -> recovered 30
+  EXPECT_EQ(e->lanes, kDegreeBit);
+  EXPECT_EQ(tracker.unrecovered(), 0u);
+
+  std::vector<std::string> labels;
+  for (const SeriesAnnotation& a : series.annotations()) {
+    labels.push_back(a.label);
+  }
+  EXPECT_EQ(labels, (std::vector<std::string>{
+                        "fault:cut:begin", "fault:cut:heal",
+                        "recovered:cut"}));
+}
+
+TEST(RecoveryTracker, OutOfBandOutsideWindowsOpensUndeclaredEpisode) {
+  RecoveryTracker tracker(test_config());
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  FlatClusterProbe dipped = calm_probe(100, 26);
+  dipped.outdegree.mean = 20.0;
+  tracker.observe(50, dipped, nullptr, nullptr, nullptr);
+  const RecoveryEpisode* e = tracker.episode("undeclared");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->declared);
+  EXPECT_EQ(e->begin, 50u);
+  EXPECT_TRUE(e->degraded);
+  EXPECT_FALSE(e->recovered);
+  EXPECT_EQ(tracker.unrecovered(), 1u);
+
+  tracker.observe(60, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  EXPECT_TRUE(tracker.episode("undeclared")->recovered);
+  EXPECT_EQ(tracker.episode("undeclared")->recovered_round, 60u);
+  EXPECT_EQ(tracker.unrecovered(), 0u);
+}
+
+TEST(RecoveryTracker, CoveredExcursionsNeverOpenUndeclaredEpisodes) {
+  RecoveryTracker tracker(test_config());
+  tracker.declare_window(10, 20, "cut");
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  FlatClusterProbe dipped = calm_probe(100, 26);
+  dipped.outdegree.mean = 20.0;
+  // Out of band at round 40: past the window's heal but the episode has
+  // not recovered yet, so the window still owns the excursion.
+  tracker.observe(40, dipped, nullptr, nullptr, nullptr);
+  EXPECT_EQ(tracker.episode("undeclared"), nullptr);
+  EXPECT_EQ(tracker.episodes().size(), 1u);
+}
+
+TEST(RecoveryTracker, UnreachedWindowStaysNeverDegraded) {
+  RecoveryTracker tracker(test_config());
+  tracker.declare_window(1000, 1100, "future");
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  const RecoveryEpisode* e = tracker.episode("future");
+  ASSERT_NE(e, nullptr);
+  EXPECT_FALSE(e->degraded);
+  EXPECT_FALSE(e->recovered);
+  EXPECT_EQ(tracker.unrecovered(), 0u);  // never degraded => not unrecovered
+  EXPECT_NE(tracker.report().find("never degraded"), std::string::npos);
+}
+
+TEST(RecoveryTracker, ConnectivityLaneSeesSplitViewGraph) {
+  // Two 4-node islands: each node's view points inside its own half only.
+  FlatSendForgetCluster cluster(8, SendForgetConfig{.view_size = 8,
+                                                    .min_degree = 0});
+  for (NodeId u = 0; u < 8; ++u) {
+    const NodeId base = u < 4 ? 0 : 4;
+    cluster.install_view(u, {base + (u + 1) % 4, base + (u + 2) % 4});
+  }
+  RecoveryConfig config = test_config();
+  config.min_degree = 0;
+  RecoveryTracker tracker(config);
+  const FlatClusterProbe probe = probe_cluster(cluster);
+  tracker.observe(1, probe, &cluster, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.component_fraction(), 0.5);
+  EXPECT_NE(tracker.degraded_lanes() & kConnectivityBit, 0u);
+
+  // Bridge the halves: one cross edge makes the graph weakly connected.
+  cluster.install_view(0, {1, 2, 5, 6});
+  tracker.observe(2, probe_cluster(cluster), &cluster, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.component_fraction(), 1.0);
+  EXPECT_EQ(tracker.degraded_lanes() & kConnectivityBit, 0u);
+}
+
+TEST(RecoveryTracker, WatchdogLaneFiresOnNewViolationsOnly) {
+  InvariantWatchdog watchdog(WatchdogConfig{.min_degree = 4, .view_size = 8});
+  watchdog.check_degree(200, 0, 0, 3);  // odd AND below dL: violation
+  ASSERT_GT(watchdog.violation_count(), 0u);
+
+  RecoveryTracker tracker(test_config());
+  tracker.observe(1, calm_probe(100, 26), nullptr, &watchdog, nullptr);
+  EXPECT_NE(tracker.degraded_lanes() & kWatchdogBit, 0u);
+  // No new violations since: the lane clears.
+  tracker.observe(2, calm_probe(100, 26), nullptr, &watchdog, nullptr);
+  EXPECT_EQ(tracker.degraded_lanes(), 0u);
+}
+
+TEST(RecoveryTracker, OracleLaneSeesExpectedProbeScores) {
+  DriftMonitor monitor;
+  // An *expected* probe with a breaching score: no state transition, but
+  // the tracker still reads the raw sample as degradation.
+  monitor.begin_probe(100, /*expected=*/true);
+  monitor.record(DriftCheck::kDuplicationRate, 3.0);
+  monitor.end_probe();
+  ASSERT_EQ(monitor.overall_state(), DriftState::kOk);
+
+  RecoveryTracker tracker(test_config());
+  tracker.observe(100, calm_probe(100, 26), nullptr, nullptr, &monitor);
+  EXPECT_NE(tracker.degraded_lanes() & kOracleBit, 0u);
+
+  monitor.begin_probe(110, /*expected=*/true);
+  monitor.record(DriftCheck::kDuplicationRate, 0.4);
+  monitor.end_probe();
+  tracker.observe(110, calm_probe(100, 26), nullptr, nullptr, &monitor);
+  EXPECT_EQ(tracker.degraded_lanes(), 0u);
+}
+
+TEST(RecoveryTracker, GaugesExported) {
+  MetricsRegistry registry(1);
+  RecoveryTracker tracker(test_config());
+  tracker.bind_registry(&registry, 0);
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  FlatClusterProbe dipped = calm_probe(100, 26);
+  dipped.outdegree.mean = 20.0;
+  tracker.observe(10, dipped, nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge(
+                       "recovery_degraded_lanes")), 1.0);
+  EXPECT_DOUBLE_EQ(registry.gauge_value(registry.gauge("recovery_episodes")),
+                   1.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge_value(registry.gauge("recovery_unrecovered")), 1.0);
+  tracker.observe(20, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge_value(registry.gauge("recovery_unrecovered")), 0.0);
+  EXPECT_DOUBLE_EQ(
+      registry.gauge_value(registry.gauge("recovery_last_rounds")), 10.0);
+}
+
+TEST(RecoveryTracker, WriteJsonRoundTripsEpisodeFields) {
+  RecoveryTracker tracker(test_config());
+  tracker.declare_window(10, 20, "cut");
+  tracker.observe(1, calm_probe(100, 26), nullptr, nullptr, nullptr);
+  std::ostringstream out;
+  tracker.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"label\":\"cut\""), std::string::npos);
+  EXPECT_NE(json.find("\"declared\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"unrecovered\":0"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// DriftMonitor expected-probe mode.
+// ---------------------------------------------------------------------------
+
+void probe_with_score(DriftMonitor& monitor, std::uint64_t round, double score,
+                      bool expected) {
+  monitor.begin_probe(round, expected);
+  monitor.record(DriftCheck::kDuplicationRate, score);
+  monitor.end_probe();
+}
+
+TEST(DriftMonitorExpected, ExpectedProbesAccountButNeverEscalate) {
+  DriftMonitor monitor;
+  for (std::uint64_t r = 0; r < 5; ++r) {
+    probe_with_score(monitor, 100 + 10 * r, 5.0, /*expected=*/true);
+  }
+  EXPECT_EQ(monitor.overall_state(), DriftState::kOk);
+  EXPECT_EQ(monitor.warn_transitions(), 0u);
+  EXPECT_EQ(monitor.violation_transitions(), 0u);
+  EXPECT_EQ(monitor.expected_probes(), 5u);
+  EXPECT_EQ(monitor.accounted_excursions(), 5u);
+  // The excursion lands in the expected peak, not the normal peak.
+  EXPECT_DOUBLE_EQ(
+      monitor.expected_peak_score(DriftCheck::kDuplicationRate), 5.0);
+  EXPECT_DOUBLE_EQ(monitor.peak_score(DriftCheck::kDuplicationRate), 0.0);
+}
+
+TEST(DriftMonitorExpected, InBandExpectedProbesAreNotExcursions) {
+  DriftMonitor monitor;
+  probe_with_score(monitor, 100, 0.5, /*expected=*/true);
+  EXPECT_EQ(monitor.expected_probes(), 1u);
+  EXPECT_EQ(monitor.accounted_excursions(), 0u);
+}
+
+TEST(DriftMonitorExpected, UndeclaredDriftStillTrips) {
+  DriftMonitor monitor;  // violation_ratio 2.0, violation_streak 2
+  probe_with_score(monitor, 100, 5.0, /*expected=*/false);
+  EXPECT_EQ(monitor.overall_state(), DriftState::kWarn);
+  probe_with_score(monitor, 110, 5.0, /*expected=*/false);
+  EXPECT_EQ(monitor.overall_state(), DriftState::kViolation);
+  EXPECT_EQ(monitor.violation_transitions(), 1u);
+}
+
+TEST(DriftMonitorExpected, StreaksResetAcrossTheExpectedBoundary) {
+  DriftMonitor monitor;
+  probe_with_score(monitor, 100, 5.0, /*expected=*/false);  // warn, streak 1
+  probe_with_score(monitor, 110, 5.0, /*expected=*/true);   // boundary
+  probe_with_score(monitor, 120, 5.0, /*expected=*/false);  // streak restarts
+  EXPECT_EQ(monitor.overall_state(), DriftState::kWarn)
+      << "an excursion straddling a declared window must not fire on the "
+         "first probe after it";
+  probe_with_score(monitor, 130, 5.0, /*expected=*/false);
+  EXPECT_EQ(monitor.overall_state(), DriftState::kViolation);
+}
+
+TEST(TheoryOracleWindows, RoundExpectedCoversWindowPlusGrace) {
+  TheoryPrediction pred;
+  pred.view_size = 8;
+  pred.min_degree = 4;
+  pred.out_pmf.assign(9, 1.0 / 9.0);
+  pred.in_pmf.assign(9, 1.0 / 9.0);
+  TheoryOracle oracle(pred);
+  oracle.declare_fault_window(100, 200, /*grace_rounds=*/40);
+  EXPECT_FALSE(oracle.round_expected(99));
+  EXPECT_TRUE(oracle.round_expected(100));
+  EXPECT_TRUE(oracle.round_expected(199));
+  EXPECT_TRUE(oracle.round_expected(239));  // grace period
+  EXPECT_FALSE(oracle.round_expected(240));
+}
+
+}  // namespace
+}  // namespace gossip::obs

@@ -7,6 +7,7 @@
 //   ./bench_report --analysis [out.json]    # solvers: BENCH_analysis.json
 //   ./bench_report --telemetry [out.json]   # obs: BENCH_telemetry.json
 //   ./bench_report --drift [out.json]       # oracle: BENCH_drift.json
+//   ./bench_report --chaos [out.json]       # faults: BENCH_chaos.json
 //   ./bench_report [--mode] --quick         # reduced sizes, for smoke tests
 //
 // Every output carries a schema_version / tool / git header so baselines
@@ -45,6 +46,14 @@
 // mis-parameterized (simulating ℓ = 0.10 against ℓ = 0.02 predictions —
 // must escalate the DriftMonitor to VIOLATION and dump the armed flight
 // recorder). Both outcomes are gates in BENCH_drift.json.
+//
+// Chaos mode drives the deterministic fault plane through four sharded
+// legs and gates on the RecoveryTracker's measured time-to-recover: a
+// symmetric 20-round partition that must heal within budget, a 20% mass
+// kill that must recover within budget, a regional Gilbert-Elliott burst
+// the overlay must ride out without ending degraded, and an *undeclared*
+// loss spike under an attached TheoryOracle that must still trip the
+// DriftMonitor (the fault plane must not blunt drift detection).
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -68,10 +77,12 @@
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
+#include "obs/recovery.hpp"
 #include "obs/solver_telemetry.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/churn.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/round_driver.hpp"
 #include "sim/sharded_driver.hpp"
 
@@ -967,6 +978,382 @@ bool emit_drift_json(bool quick, const std::string& path) {
   return static_cast<bool>(out) && clean_ok && mis_ok;
 }
 
+// ---------------------------------------------------------------------------
+// Chaos mode (--chaos): fault-plane recovery gates. Each leg runs the
+// sharded driver with a scripted FaultSchedule (or a mass kill) and a
+// RecoveryTracker; the committed gates bound the measured time-to-recover.
+// Calibration (n=4000, ℓ=0.01, stride 5): a 20-round symmetric cut dips
+// the mean outdegree ~4 below baseline and the post-heal mean climbs back
+// ~0.05–0.07/round, so the partition leg measures ~140 recovery rounds —
+// budgets below carry ~2x headroom over that, not tuned to the seed.
+
+struct ChaosSpec {
+  std::size_t n = 0;
+  std::size_t threads = 4;
+  std::size_t rounds = 0;
+  double loss = 0.01;
+  sim::FaultSchedule schedule;  // may be empty (mass-kill leg)
+  double kill_fraction = 0.0;   // fraction of nodes killed at kill_round
+  std::uint64_t kill_round = 0;
+  bool declare = true;          // declare windows to the tracker (and oracle)
+  bool with_oracle = false;
+};
+
+struct ChaosRun {
+  ChaosSpec spec;
+  double seconds = 0.0;
+  std::uint64_t actions = 0;
+  std::uint64_t sent = 0;
+  std::uint64_t faulted = 0;
+  std::size_t killed = 0;
+  std::vector<obs::RecoveryEpisode> episodes;
+  std::size_t unrecovered = 0;
+  std::uint32_t final_lanes = 0;
+  double component_fraction = 1.0;
+  std::uint64_t warns = 0;       // oracle legs only
+  std::uint64_t violations = 0;  // oracle legs only
+};
+
+ChaosRun run_chaos(const ChaosSpec& spec) {
+  ChaosRun run;
+  run.spec = spec;
+
+  Rng rng(7 + spec.n);
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(spec.n, cfg);
+  {
+    // dL-seeded (§6.5 join outdegree), like every other sharded bench.
+    const Digraph g = permutation_regular(spec.n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < spec.n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{.shard_count = spec.threads,
+                                        .loss_rate = spec.loss,
+                                        .seed = 7 + spec.n});
+  const sim::FaultPlane plane(spec.schedule, spec.n, spec.threads);
+  obs::RecoveryTracker tracker(
+      obs::RecoveryConfig{.min_degree = cfg.min_degree,
+                          .view_size = cfg.view_size});
+  if (spec.declare) {
+    for (const sim::FaultPhase& p : spec.schedule.phases) {
+      tracker.declare_window(p.begin, p.end, p.label);
+    }
+    if (spec.kill_fraction > 0.0) {
+      // The fault window spans the to-dead washout transient (~4-round
+      // half-life), not just the kill instant: the degree dip only shows
+      // up once the dead references start washing out, and a window healed
+      // before the dip arrives would close as a false "recovered".
+      tracker.declare_window(spec.kill_round, spec.kill_round + 20,
+                             "mass-kill");
+    }
+  }
+  std::unique_ptr<obs::TheoryOracle> oracle;
+  if (spec.with_oracle) {
+    analysis::DegreeMcParams dp;
+    dp.view_size = cfg.view_size;
+    dp.min_degree = cfg.min_degree;
+    dp.loss = spec.loss;
+    oracle = std::make_unique<obs::TheoryOracle>(
+        analysis::make_theory_prediction(dp));
+    if (spec.declare) {
+      for (const sim::FaultPhase& p : spec.schedule.phases) {
+        oracle->declare_fault_window(p.begin, p.end, /*grace_rounds=*/40);
+      }
+    }
+    driver.attach_oracle(oracle.get());
+  }
+  if (!spec.schedule.empty()) driver.attach_fault_plane(&plane);
+  driver.attach_recovery(&tracker);  // last: re-caches the counter slabs
+  driver.set_observation_stride(5);
+
+  const auto start = Clock::now();
+  if (spec.kill_fraction > 0.0) {
+    driver.run_rounds(spec.kill_round);
+    const auto to_kill =
+        static_cast<std::size_t>(spec.kill_fraction *
+                                 static_cast<double>(spec.n));
+    Rng& crng = driver.churn_rng();
+    while (run.killed < to_kill) {
+      const auto victim = static_cast<NodeId>(crng.uniform(spec.n));
+      if (cluster.live(victim)) {
+        driver.kill(victim);
+        ++run.killed;
+      }
+    }
+    driver.run_rounds(spec.rounds - spec.kill_round);
+  } else {
+    driver.run_rounds(spec.rounds);
+  }
+  run.seconds = std::chrono::duration<double>(Clock::now() - start).count();
+  run.actions = driver.actions_executed();
+  run.sent = driver.network_metrics().sent;
+  run.faulted = driver.network_metrics().faulted;
+  run.episodes = tracker.episodes();
+  run.unrecovered = tracker.unrecovered();
+  run.final_lanes = tracker.degraded_lanes();
+  run.component_fraction = tracker.component_fraction();
+  if (oracle != nullptr) {
+    run.warns = oracle->monitor().warn_transitions();
+    run.violations = oracle->monitor().violation_transitions();
+  }
+  std::printf("%s", tracker.report().c_str());
+  return run;
+}
+
+const obs::RecoveryEpisode* chaos_episode(const ChaosRun& run,
+                                          const char* label) {
+  for (const obs::RecoveryEpisode& e : run.episodes) {
+    if (e.label == label) return &e;
+  }
+  return nullptr;
+}
+
+// Gate: the labelled episode degraded, recovered, and the measured
+// time-to-recover fits the budget — and no episode in the leg is left
+// unrecovered.
+bool chaos_recovered(const ChaosRun& run, const char* label,
+                     std::uint64_t budget) {
+  const obs::RecoveryEpisode* e = chaos_episode(run, label);
+  return e != nullptr && e->degraded && e->recovered &&
+         e->recovery_rounds() <= budget && run.unrecovered == 0;
+}
+
+void emit_chaos_run(std::ofstream& out, const char* key, const ChaosRun& r) {
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"%s\": {\n"
+      "    \"n\": %zu, \"threads\": %zu, \"rounds\": %zu, \"loss\": %g,\n"
+      "    \"seconds\": %.3f, \"actions\": %llu, \"sent\": %llu, "
+      "\"faulted\": %llu, \"killed\": %zu,\n"
+      "    \"unrecovered\": %zu, \"final_degraded_lanes\": %u, "
+      "\"component_fraction\": %.4f,\n",
+      key, r.spec.n, r.spec.threads, r.spec.rounds, r.spec.loss, r.seconds,
+      static_cast<unsigned long long>(r.actions),
+      static_cast<unsigned long long>(r.sent),
+      static_cast<unsigned long long>(r.faulted), r.killed, r.unrecovered,
+      r.final_lanes, r.component_fraction);
+  out << buf;
+  if (r.spec.with_oracle) {
+    std::snprintf(buf, sizeof(buf),
+                  "    \"warn_transitions\": %llu, "
+                  "\"violation_transitions\": %llu,\n",
+                  static_cast<unsigned long long>(r.warns),
+                  static_cast<unsigned long long>(r.violations));
+    out << buf;
+  }
+  out << "    \"episodes\": [";
+  for (std::size_t i = 0; i < r.episodes.size(); ++i) {
+    const obs::RecoveryEpisode& e = r.episodes[i];
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n      {\"label\": \"%s\", \"declared\": %s, "
+                  "\"begin\": %llu, \"heal\": %llu, \"degraded\": %s, "
+                  "\"recovered\": %s, \"recovery_rounds\": %llu, "
+                  "\"lanes\": [",
+                  i == 0 ? "" : ",", e.label.c_str(),
+                  e.declared ? "true" : "false",
+                  static_cast<unsigned long long>(e.begin),
+                  static_cast<unsigned long long>(e.heal),
+                  e.degraded ? "true" : "false",
+                  e.recovered ? "true" : "false",
+                  static_cast<unsigned long long>(e.recovery_rounds()));
+    out << buf;
+    bool first = true;
+    for (std::size_t lane = 0;
+         lane < static_cast<std::size_t>(obs::RecoveryLane::kLaneCount);
+         ++lane) {
+      if ((e.lanes & (1u << lane)) == 0) continue;
+      out << (first ? "\"" : ", \"")
+          << obs::recovery_lane_name(static_cast<obs::RecoveryLane>(lane))
+          << "\"";
+      first = false;
+    }
+    out << "]}";
+  }
+  out << "\n    ]\n  }";
+}
+
+bool emit_chaos_json(bool quick, const std::string& path) {
+  // Recovery budgets are round counts and mean-field (n-independent), so
+  // quick mode only shrinks n; the fault windows and budgets stay fixed.
+  const std::size_t n = quick ? 2'000 : 4'000;
+  const std::size_t threads = 4;
+  // Measured at n=4000: partition 90, mass kill ~205, burst 50 recovery
+  // rounds; budgets carry ~2x headroom so they bound regressions without
+  // being tuned to one seed.
+  constexpr std::uint64_t kPartitionBudget = 200;
+  constexpr std::uint64_t kMassKillBudget = 360;
+  constexpr std::uint64_t kBurstBudget = 150;
+
+  // Leg 1: symmetric 20-round partition of the id space's two halves.
+  // Short on purpose — S&F has no discovery, so a cut held past cross-edge
+  // washout (~4-round half-life) can never re-merge.
+  ChaosSpec partition;
+  partition.n = n;
+  partition.threads = threads;
+  partition.rounds = 480;
+  {
+    sim::FaultPhase cut;
+    cut.kind = sim::FaultKind::kPartition;
+    cut.begin = 150;
+    cut.end = 170;
+    cut.a_lo = 0;
+    cut.a_hi = static_cast<NodeId>(n / 2 - 1);
+    cut.b_lo = static_cast<NodeId>(n / 2);
+    cut.b_hi = static_cast<NodeId>(n - 1);
+    cut.label = "split";
+    partition.schedule.phases.push_back(cut);
+  }
+
+  // Leg 2: kill 20% of the cluster at round 150, no fault plane — the
+  // recovery tracker must see the to-dead loss transient and measure the
+  // overlay's climb back into band.
+  ChaosSpec mass;
+  mass.n = n;
+  mass.threads = threads;
+  mass.rounds = 520;
+  mass.kill_fraction = 0.20;
+  mass.kill_round = 150;
+
+  // Leg 3: 40 rounds of Gilbert-Elliott bursts (50% average loss, mean
+  // burst length 8) for senders in one of four regions. Gate: the overlay
+  // rides it out — nothing left degraded at the end of the run.
+  ChaosSpec burst;
+  burst.n = n;
+  burst.threads = threads;
+  burst.rounds = 420;
+  burst.schedule.regions = 4;
+  {
+    sim::FaultPhase b;
+    b.kind = sim::FaultKind::kBurst;
+    b.begin = 150;
+    b.end = 190;
+    b.region = 1;
+    b.rate = 0.5;
+    b.burst_len = 8.0;
+    b.label = "rack-burst";
+    burst.schedule.phases.push_back(b);
+  }
+
+  // Leg 4: a loss spike the oracle was NOT told about, landing after its
+  // 400-round statistical warmup. The fault plane must not blunt drift
+  // detection: the DriftMonitor has to trip, and the tracker has to open
+  // an undeclared episode.
+  ChaosSpec spike;
+  spike.n = n;
+  spike.threads = threads;
+  spike.rounds = 520;
+  spike.declare = false;
+  spike.with_oracle = true;
+  {
+    sim::FaultPhase s;
+    s.kind = sim::FaultKind::kLossSpike;
+    s.begin = 440;
+    s.end = 480;
+    s.rate = 0.15;
+    s.label = "undeclared-spike";
+    spike.schedule.phases.push_back(s);
+  }
+
+  std::printf("chaos: partition leg n=%zu rounds=%zu cut=[150,170)\n", n,
+              partition.rounds);
+  const ChaosRun part_run = run_chaos(partition);
+  std::printf("chaos: mass-failure leg n=%zu rounds=%zu kill=20%%@150\n", n,
+              mass.rounds);
+  const ChaosRun mass_run = run_chaos(mass);
+  std::printf("chaos: burst leg n=%zu rounds=%zu region=1 rate=0.5\n", n,
+              burst.rounds);
+  const ChaosRun burst_run = run_chaos(burst);
+  std::printf("chaos: undeclared-spike leg n=%zu rounds=%zu "
+              "spike=[440,480) rate=0.15 (oracle attached)\n",
+              n, spike.rounds);
+  const ChaosRun spike_run = run_chaos(spike);
+
+  const bool part_ok = chaos_recovered(part_run, "split", kPartitionBudget) &&
+                       part_run.faulted > 0;
+  const bool mass_ok = chaos_recovered(mass_run, "mass-kill", kMassKillBudget);
+  const bool burst_ok =
+      chaos_recovered(burst_run, "rack-burst", kBurstBudget) &&
+      burst_run.final_lanes == 0 && burst_run.faulted > 0;
+  const obs::RecoveryEpisode* undeclared =
+      chaos_episode(spike_run, "undeclared");
+  const bool spike_ok = spike_run.violations > 0 && undeclared != nullptr &&
+                        undeclared->degraded && spike_run.faulted > 0;
+
+  std::ofstream out(path);
+  emit_header(out, "chaos_faults");
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "  \"budgets\": {\"partition_rounds\": %llu, "
+                "\"mass_kill_rounds\": %llu, \"burst_rounds\": %llu},\n",
+                static_cast<unsigned long long>(kPartitionBudget),
+                static_cast<unsigned long long>(kMassKillBudget),
+                static_cast<unsigned long long>(kBurstBudget));
+  out << buf;
+  emit_chaos_run(out, "partition_heal", part_run);
+  out << ",\n";
+  emit_chaos_run(out, "mass_failure", mass_run);
+  out << ",\n";
+  emit_chaos_run(out, "burst_survival", burst_run);
+  out << ",\n";
+  emit_chaos_run(out, "undeclared_spike", spike_run);
+  out << ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"gates\": {\"partition_recovered\": %s, "
+                "\"mass_failure_recovered\": %s, \"burst_survived\": %s, "
+                "\"undeclared_tripped\": %s}\n}\n",
+                part_ok ? "true" : "false", mass_ok ? "true" : "false",
+                burst_ok ? "true" : "false", spike_ok ? "true" : "false");
+  out << buf;
+
+  if (!part_ok) {
+    const obs::RecoveryEpisode* e = chaos_episode(part_run, "split");
+    std::fprintf(stderr,
+                 "error: partition leg failed its recovery gate "
+                 "(degraded=%d recovered=%d rounds=%llu budget=%llu "
+                 "unrecovered=%zu)\n",
+                 e != nullptr && e->degraded, e != nullptr && e->recovered,
+                 static_cast<unsigned long long>(
+                     e != nullptr ? e->recovery_rounds() : 0),
+                 static_cast<unsigned long long>(kPartitionBudget),
+                 part_run.unrecovered);
+  }
+  if (!mass_ok) {
+    const obs::RecoveryEpisode* e = chaos_episode(mass_run, "mass-kill");
+    std::fprintf(stderr,
+                 "error: mass-failure leg failed its recovery gate "
+                 "(degraded=%d recovered=%d rounds=%llu budget=%llu "
+                 "unrecovered=%zu)\n",
+                 e != nullptr && e->degraded, e != nullptr && e->recovered,
+                 static_cast<unsigned long long>(
+                     e != nullptr ? e->recovery_rounds() : 0),
+                 static_cast<unsigned long long>(kMassKillBudget),
+                 mass_run.unrecovered);
+  }
+  if (!burst_ok) {
+    const obs::RecoveryEpisode* e = chaos_episode(burst_run, "rack-burst");
+    std::fprintf(stderr,
+                 "error: burst leg failed its recovery gate (recovered=%d "
+                 "rounds=%llu budget=%llu final_lanes=%u unrecovered=%zu)\n",
+                 e != nullptr && e->recovered,
+                 static_cast<unsigned long long>(
+                     e != nullptr ? e->recovery_rounds() : 0),
+                 static_cast<unsigned long long>(kBurstBudget),
+                 burst_run.final_lanes, burst_run.unrecovered);
+  }
+  if (!spike_ok) {
+    std::fprintf(stderr,
+                 "error: undeclared spike failed to trip the monitor "
+                 "(violations=%llu undeclared_episode=%d)\n",
+                 static_cast<unsigned long long>(spike_run.violations),
+                 undeclared != nullptr && undeclared->degraded);
+  }
+  return static_cast<bool>(out) && part_ok && mass_ok && burst_ok && spike_ok;
+}
+
 }  // namespace
 
 // The interleaved gate run: per-repetition, the three legs (bare /
@@ -1068,6 +1455,7 @@ int main(int argc, char** argv) {
   bool analysis_mode = false;
   bool telemetry_mode = false;
   bool drift_mode = false;
+  bool chaos_mode = false;
   bool allow_dirty = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -1079,6 +1467,8 @@ int main(int argc, char** argv) {
       telemetry_mode = true;
     } else if (std::strcmp(argv[i], "--drift") == 0) {
       drift_mode = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos_mode = true;
     } else if (std::strcmp(argv[i], "--allow-dirty") == 0) {
       allow_dirty = true;
     } else {
@@ -1089,6 +1479,7 @@ int main(int argc, char** argv) {
     path = telemetry_mode ? "BENCH_telemetry.json"
            : analysis_mode ? "BENCH_analysis.json"
            : drift_mode    ? "BENCH_drift.json"
+           : chaos_mode    ? "BENCH_chaos.json"
                            : "BENCH_scale.json";
   }
 
@@ -1106,6 +1497,15 @@ int main(int argc, char** argv) {
                  "warning: writing baseline %s from a dirty tree (git: %s); "
                  "tools/check_bench.py will reject it if committed.\n",
                  path.c_str(), GOSSIP_GIT_DESCRIBE);
+  }
+
+  if (chaos_mode) {
+    if (!emit_chaos_json(quick, path)) {
+      std::fprintf(stderr, "error: chaos run failed (%s)\n", path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
   }
 
   if (drift_mode) {

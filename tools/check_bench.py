@@ -19,6 +19,12 @@ the first argument):
                 violations inside the degree-TVD limits, and the
                 mis-parameterized run tripped the monitor and dumped a
                 nonempty flight trace.
+  chaos         every fault-plane leg holds its gate: the partition and
+                mass-kill legs degraded and recovered within their round
+                budgets, the regional burst leg recovered and ended fully
+                in band, and the undeclared-spike leg still tripped the
+                drift monitor (declared-window accounting must not blunt
+                detection of faults nobody declared).
 
 Run directly or via ctest (registered as check_bench_baselines). Exits
 nonzero listing every failed check; prints one OK line per file otherwise.
@@ -120,11 +126,60 @@ def check_drift(doc, path, errors):
              "flight trace")
 
 
+def check_chaos(doc, path, errors):
+    gates = doc.get("gates", {})
+    for gate in ("partition_recovered", "mass_failure_recovered",
+                 "burst_survived", "undeclared_tripped"):
+        if gates.get(gate) is not True:
+            fail(errors, path, f"chaos gate {gate} failed")
+    budgets = doc.get("budgets", {})
+    for leg, label, budget_key in (
+            ("partition_heal", "split", "partition_rounds"),
+            ("mass_failure", "mass-kill", "mass_kill_rounds"),
+            ("burst_survival", "rack-burst", "burst_rounds")):
+        run = doc.get(leg, {})
+        budget = budgets.get(budget_key)
+        if not isinstance(budget, int):
+            fail(errors, path, f"missing budgets.{budget_key}")
+            continue
+        episode = next((e for e in run.get("episodes", [])
+                        if e.get("label") == label), None)
+        if episode is None:
+            fail(errors, path, f"{leg}: no '{label}' episode recorded")
+            continue
+        if episode.get("degraded") is not True:
+            fail(errors, path,
+                 f"{leg}: '{label}' never degraded (fault had no effect)")
+        if episode.get("recovered") is not True:
+            fail(errors, path, f"{leg}: '{label}' never recovered")
+        rounds = episode.get("recovery_rounds")
+        if not isinstance(rounds, int):
+            fail(errors, path, f"{leg}: missing recovery_rounds")
+        elif rounds > budget:
+            fail(errors, path,
+                 f"{leg}: recovered in {rounds} rounds "
+                 f"(budget {budget})")
+        if run.get("unrecovered") != 0:
+            fail(errors, path,
+                 f"{leg}: {run.get('unrecovered')!r} unrecovered episode(s)")
+        if not run.get("faulted") and leg != "mass_failure":
+            fail(errors, path, f"{leg}: fault plane dropped no messages")
+    spike = doc.get("undeclared_spike", {})
+    if not spike.get("violation_transitions"):
+        fail(errors, path,
+             "undeclared spike never escalated the drift monitor")
+    if not any(e.get("label") == "undeclared" and e.get("degraded")
+               for e in spike.get("episodes", [])):
+        fail(errors, path,
+             "undeclared spike opened no undeclared recovery episode")
+
+
 CHECKS = {
     "scale_trajectory": check_scale,
     "analysis_pipeline": check_analysis,
     "telemetry": check_telemetry,
     "drift_oracle": check_drift,
+    "chaos_faults": check_chaos,
 }
 
 

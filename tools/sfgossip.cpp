@@ -10,6 +10,8 @@
 //   sfgossip plan          Lemma A.1 planner between two graph files
 //   sfgossip trace-dump    inspect a flight-recorder dump (simulate
 //                          --trace-out, or a drift-violation post-mortem)
+//   sfgossip chaos         run a scripted fault scenario on the sharded
+//                          driver and report recovery times
 //
 // Every subcommand accepts --help. Numeric output goes to stdout; pass
 // --csv FILE where supported to also write machine-readable series.
@@ -48,9 +50,14 @@
 #include "sampling/random_walk.hpp"
 #include "sampling/health.hpp"
 #include "sampling/spatial.hpp"
+#include "analysis/prediction.hpp"
+#include "core/flat_send_forget.hpp"
+#include "obs/recovery.hpp"
 #include "sim/churn.hpp"
 #include "sim/event_driver.hpp"
+#include "sim/fault_plane.hpp"
 #include "sim/round_driver.hpp"
+#include "sim/sharded_driver.hpp"
 
 #ifndef GOSSIP_GIT_DESCRIBE
 #define GOSSIP_GIT_DESCRIBE "unknown"
@@ -63,7 +70,7 @@ using namespace gossip;
 int usage() {
   std::fprintf(stderr,
                "usage: sfgossip <simulate|degrees|thresholds|decay|"
-               "connectivity|walk|globalmc|plan|trace-dump> [options]\n"
+               "connectivity|walk|globalmc|plan|trace-dump|chaos> [options]\n"
                "run 'sfgossip <command> --help' for options.\n");
   return 2;
 }
@@ -613,6 +620,179 @@ int cmd_trace_dump(const ArgParser& args) {
   return 0;
 }
 
+// ---------------------------------------------------------------- chaos
+
+// Scenario config lines ("key value") provide run defaults; same-named CLI
+// flags win when both are present.
+std::size_t scenario_size(const sim::ScenarioFile& scenario,
+                          const ArgParser& args, const char* key,
+                          std::size_t fallback, std::size_t lo,
+                          std::size_t hi) {
+  if (!args.has(key)) {
+    for (const auto& [k, v] : scenario.config) {
+      if (k != key) continue;
+      // Re-parse through the CLI machinery so scenario values get the same
+      // range validation and error text as flags.
+      return ArgParser({"--" + std::string(key) + "=" + v})
+          .get_size(key, fallback, lo, hi);
+    }
+  }
+  return args.get_size(key, fallback, lo, hi);
+}
+
+double scenario_double(const sim::ScenarioFile& scenario,
+                       const ArgParser& args, const char* key,
+                       double fallback, double lo, double hi) {
+  if (!args.has(key)) {
+    for (const auto& [k, v] : scenario.config) {
+      if (k != key) continue;
+      return ArgParser({"--" + std::string(key) + "=" + v})
+          .get_double(key, fallback, lo, hi);
+    }
+  }
+  return args.get_double(key, fallback, lo, hi);
+}
+
+int cmd_chaos(const ArgParser& args) {
+  if (args.has("help") || !args.has("scenario")) {
+    std::printf(
+        "sfgossip chaos --scenario FILE [options]\n"
+        "Runs the scripted fault schedule in FILE on the sharded driver and\n"
+        "reports per-window recovery times (see DESIGN.md §5d; a sample\n"
+        "scenario ships in examples/scenarios/partition_heal.txt).\n"
+        "  --scenario FILE   fault schedule + config (required)\n"
+        "  --nodes N         system size                  (default 5000)\n"
+        "  --rounds R        total rounds     (default: last heal + 200)\n"
+        "  --loss L          ambient loss rate            (default 0.01)\n"
+        "  --view-size S     view slots s                 (default 40)\n"
+        "  --min-degree D    duplication threshold dL     (default 18)\n"
+        "  --shards T        worker shards                (default 4)\n"
+        "  --seed S          RNG seed                     (default 1)\n"
+        "  --stride N        rounds between probes        (default 5)\n"
+        "  --warmup W        tracker warmup rounds        (default 100)\n"
+        "  --oracle          attach the theory oracle; scripted windows are\n"
+        "                    declared (drift accounted, not escalated)\n"
+        "  --grace G         post-heal oracle grace rounds (default 40)\n"
+        "  --json FILE       write series + annotations + recovery JSON\n"
+        "Scenario config lines (nodes, rounds, loss, view-size, min-degree,\n"
+        "shards, seed, stride, warmup, grace) set defaults; flags override.\n");
+    return args.has("help") ? 0 : 2;
+  }
+  const std::string scenario_path = args.get_string("scenario", "");
+  sim::ScenarioFile scenario;
+  std::string error;
+  if (!sim::load_scenario_file(scenario_path, &scenario, &error)) {
+    throw CliError("cannot load scenario '" + scenario_path + "': " + error);
+  }
+  if (scenario.schedule.empty()) {
+    throw CliError("scenario '" + scenario_path + "' declares no phases");
+  }
+
+  const std::size_t nodes =
+      scenario_size(scenario, args, "nodes", 5000, 64, 1'000'000);
+  const std::size_t default_rounds =
+      static_cast<std::size_t>(scenario.schedule.last_end()) + 200;
+  const std::size_t rounds =
+      scenario_size(scenario, args, "rounds", default_rounds, 1, 10'000'000);
+  const double loss = scenario_double(scenario, args, "loss", 0.01, 0.0, 0.99);
+  const std::size_t view_size =
+      scenario_size(scenario, args, "view-size", 40, 6, 512);
+  const std::size_t min_degree =
+      scenario_size(scenario, args, "min-degree", 18, 2, 506);
+  const std::size_t shards = scenario_size(scenario, args, "shards", 4, 1, 64);
+  const auto seed =
+      static_cast<std::uint64_t>(scenario_size(scenario, args, "seed", 1, 0,
+                                               1'000'000'000));
+  const std::size_t stride =
+      scenario_size(scenario, args, "stride", 5, 1, 100'000);
+  const std::size_t warmup =
+      scenario_size(scenario, args, "warmup", 100, 0, 1'000'000);
+  const std::size_t grace =
+      scenario_size(scenario, args, "grace", 40, 0, 1'000'000);
+
+  const SendForgetConfig cfg{.view_size = view_size,
+                             .min_degree = min_degree};
+  cfg.validate();
+  const sim::FaultPlane plane(scenario.schedule, nodes, shards);
+
+  std::printf("chaos: %zu nodes x %zu rounds, loss=%.3f, %zu shard(s), "
+              "seed=%llu\n%s",
+              nodes, rounds, loss, shards,
+              static_cast<unsigned long long>(seed),
+              plane.describe().c_str());
+
+  FlatSendForgetCluster cluster(nodes, cfg);
+  Rng graph_rng(seed * 3 + 1);
+  const Digraph g = permutation_regular(nodes, min_degree, graph_rng);
+  for (NodeId u = 0; u < nodes; ++u) {
+    cluster.install_view(u, g.out_neighbors(u));
+  }
+
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = shards, .loss_rate = loss, .seed = seed});
+  obs::RoundTimeSeries series(stride);
+  obs::RecoveryTracker recovery(obs::RecoveryConfig{
+      .min_degree = min_degree, .view_size = view_size,
+      .warmup_rounds = warmup});
+  for (const sim::FaultPhase& phase : scenario.schedule.phases) {
+    recovery.declare_window(phase.begin, phase.end, phase.label);
+  }
+  recovery.attach_series(&series);
+
+  std::unique_ptr<obs::TheoryOracle> oracle;
+  if (args.has("oracle")) {
+    analysis::DegreeMcParams dp;
+    dp.view_size = view_size;
+    dp.min_degree = min_degree;
+    dp.loss = loss;
+    oracle = std::make_unique<obs::TheoryOracle>(
+        analysis::make_theory_prediction(dp));
+    for (const sim::FaultPhase& phase : scenario.schedule.phases) {
+      oracle->declare_fault_window(phase.begin, phase.end, grace);
+    }
+    driver.attach_oracle(oracle.get());
+  }
+  driver.attach_time_series(&series);
+  driver.attach_fault_plane(&plane);
+  // Last: recovery's gauge registration must come after the oracle's so
+  // both re-cache the registry slabs they invalidate.
+  driver.attach_recovery(&recovery);
+
+  driver.run_rounds(rounds);
+
+  const sim::NetworkMetrics net = driver.network_metrics();
+  std::printf("network: %llu sent, %llu lost, %llu fault-dropped\n",
+              static_cast<unsigned long long>(net.sent),
+              static_cast<unsigned long long>(net.lost),
+              static_cast<unsigned long long>(net.faulted));
+  std::printf("%s", recovery.report().c_str());
+  if (oracle) std::printf("%s", oracle->report().c_str());
+
+  if (args.has("json")) {
+    const auto path = args.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    out << "{\n  \"tool\": \"sfgossip\",\n  \"schema_version\": 1,\n"
+        << "  \"git\": \"" << GOSSIP_GIT_DESCRIBE << "\",\n"
+        << "  \"scenario\": \"" << scenario_path << "\",\n  \"series\": ";
+    series.write_json(out);
+    out << ",\n  \"annotations\": ";
+    series.write_annotations_json(out);
+    out << ",\n  \"recovery\": ";
+    recovery.write_json(out);
+    if (oracle) {
+      out << ",\n  \"oracle\": ";
+      oracle->write_json(out);
+    }
+    out << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  // Exit status mirrors the run's health: 1 when any declared window never
+  // recovered or an undeclared excursion is still open.
+  return recovery.unrecovered() == 0 ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -629,6 +809,7 @@ int main(int argc, char** argv) {
     if (command == "globalmc") return cmd_globalmc(args);
     if (command == "plan") return cmd_plan(args);
     if (command == "trace-dump") return cmd_trace_dump(args);
+    if (command == "chaos") return cmd_chaos(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const CliError& error) {
