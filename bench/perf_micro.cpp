@@ -53,6 +53,131 @@ void BM_ViewRandomEmptySlot(benchmark::State& state) {
 }
 BENCHMARK(BM_ViewRandomEmptySlot);
 
+// --------------------------------------------------------------------------
+// Packed-slab primitives. The packed engine's two inner operations are the
+// distinct-pair slot sample in initiate() and the empty-slot store in
+// receive(); both walk 4-byte PackedViewEntry rows (a 40-slot row is 160 B
+// = 2.5 cache lines, vs 8 lines for the unpacked ViewEntry layout).
+
+// Pure two-slot sample: every node sits at d = dL, so initiate() always
+// duplicates and keeps its slots — the state never changes and the loop
+// times exactly one distinct-pair draw, two packed loads, and (on the
+// ~72% of draws that hit two nonempty slots) the message formation.
+void BM_PackedTwoSlotSample(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  Rng rng(11);
+  SendForgetConfig cfg = default_send_forget_config();
+  cfg.min_degree = 34;  // max legal dL for s = 40: stay in duplicate mode
+  FlatSendForgetCluster cluster(kN, cfg);
+  {
+    const Digraph g = permutation_regular(kN, cfg.min_degree, rng);
+    for (NodeId u = 0; u < kN; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  FlatPush msg;
+  NodeId u = 0;
+  std::uint64_t sent = 0;
+  for (auto _ : state) {
+    sent += cluster.initiate(u, rng, msg) != FlatInitiateResult::kSelfLoop;
+    u = (u + 1) & (kN - 1);
+  }
+  benchmark::DoNotOptimize(sent);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedTwoSlotSample);
+
+// Packed store round trip at high fill: each iteration delivers one 2-id
+// message (two empty-slot rejection samples + two 4-byte stores) and then
+// initiates until a send clears a slot pair again, so the degree oscillates
+// between 30 and 32 forever. Items = delivered messages; the initiate side
+// is the clearing path already timed above.
+void BM_PackedStoreDeliver(benchmark::State& state) {
+  constexpr std::size_t kN = 4096;
+  Rng rng(12);
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(kN, cfg);
+  {
+    const Digraph g = permutation_regular(kN, 30, rng);
+    for (NodeId u = 0; u < kN; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  FlatPush out;
+  NodeId u = 0;
+  for (auto _ : state) {
+    FlatPush msg;
+    msg.count = 2;
+    msg.ids[0] = PackedViewEntry::pack((u + 1) & (kN - 1), false);
+    msg.ids[1] = PackedViewEntry::pack((u + 2) & (kN - 1), true);
+    benchmark::DoNotOptimize(cluster.receive(u, msg, rng));
+    while (cluster.initiate(u, rng, out) == FlatInitiateResult::kSelfLoop) {
+    }
+    u = (u + 1) & (kN - 1);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PackedStoreDeliver);
+
+// --------------------------------------------------------------------------
+// Cross-shard handoff: push a round's worth of messages and drain them
+// frame-at-a-time (the mailbox the sharded driver ships between shards)
+// vs a plain std::vector<FlatPush> push_back/iterate (the single-push
+// scheme the frames replaced). Both reach steady-state capacity after the
+// first iteration; the delta is the frame bookkeeping against the
+// vector's size/capacity checks on an identical sequential walk.
+
+constexpr std::size_t kMailboxBatch = 1024;
+
+void BM_FrameMailboxPushDrain(benchmark::State& state) {
+  sim::FrameMailbox box;
+  FlatPush msg;
+  msg.count = 2;
+  msg.ids[0] = PackedViewEntry::pack(1, false);
+  msg.ids[1] = PackedViewEntry::pack(2, true);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kMailboxBatch; ++i) {
+      msg.to = static_cast<NodeId>(i);
+      box.push(msg);
+    }
+    for (std::size_t f = 0; f < box.used; ++f) {
+      const sim::BatchFrame& frame = box.frames[f];
+      for (std::uint32_t i = 0; i < frame.count; ++i) {
+        sink += frame.messages[i].to;
+      }
+    }
+    box.clear();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kMailboxBatch));
+}
+BENCHMARK(BM_FrameMailboxPushDrain);
+
+void BM_VectorPushDrain(benchmark::State& state) {
+  std::vector<FlatPush> box;
+  FlatPush msg;
+  msg.count = 2;
+  msg.ids[0] = PackedViewEntry::pack(1, false);
+  msg.ids[1] = PackedViewEntry::pack(2, true);
+  std::uint64_t sink = 0;
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < kMailboxBatch; ++i) {
+      msg.to = static_cast<NodeId>(i);
+      box.push_back(msg);
+    }
+    for (const FlatPush& m : box) {
+      sink += m.to;
+    }
+    box.clear();
+  }
+  benchmark::DoNotOptimize(sink);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(kMailboxBatch));
+}
+BENCHMARK(BM_VectorPushDrain);
+
 // One full protocol action including message delivery, at the paper's
 // operating point.
 void BM_SfProtocolAction(benchmark::State& state) {

@@ -7,13 +7,7 @@
 
 namespace gossip {
 
-namespace {
-
-constexpr std::uint64_t rotl(std::uint64_t x, int k) {
-  return (x << k) | (x >> (64 - k));
-}
-
-}  // namespace
+using detail::rotl64;
 
 std::uint64_t splitmix64_next(std::uint64_t& state) {
   std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
@@ -32,33 +26,6 @@ Rng::Rng(std::uint64_t seed) {
   }
 }
 
-Rng::result_type Rng::operator()() {
-  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
-  const std::uint64_t t = state_[1] << 17;
-  state_[2] ^= state_[0];
-  state_[3] ^= state_[1];
-  state_[1] ^= state_[2];
-  state_[0] ^= state_[3];
-  state_[2] ^= t;
-  state_[3] = rotl(state_[3], 45);
-  return result;
-}
-
-std::uint64_t Rng::uniform(std::uint64_t bound) {
-  assert(bound > 0);
-  // Lemire's method: multiply-shift with rejection of the biased low range.
-  __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
-  auto lo = static_cast<std::uint64_t>(m);
-  if (lo < bound) {
-    const std::uint64_t threshold = -bound % bound;
-    while (lo < threshold) {
-      m = static_cast<__uint128_t>((*this)()) * bound;
-      lo = static_cast<std::uint64_t>(m);
-    }
-  }
-  return static_cast<std::uint64_t>(m >> 64);
-}
-
 std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   assert(lo <= hi);
   const auto span =
@@ -67,30 +34,12 @@ std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
   return lo + static_cast<std::int64_t>(uniform(span));
 }
 
-double Rng::uniform_double() {
-  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
-}
-
-bool Rng::bernoulli(double p) {
-  if (p <= 0.0) return false;
-  if (p >= 1.0) return true;
-  return uniform_double() < p;
-}
-
 double Rng::pareto(double minimum, double shape) {
   assert(minimum > 0.0);
   assert(shape > 0.0);
   // 1 - uniform_double() lies in (0, 1]; no log/pow domain issues.
   const double u = 1.0 - uniform_double();
   return minimum * std::pow(u, -1.0 / shape);
-}
-
-std::pair<std::size_t, std::size_t> Rng::distinct_pair(std::size_t count) {
-  assert(count >= 2);
-  const std::size_t first = uniform(count);
-  std::size_t second = uniform(count - 1);
-  if (second >= first) ++second;
-  return {first, second};
 }
 
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t count,
@@ -138,7 +87,7 @@ Rng Rng::stream(std::uint64_t root_seed, std::uint64_t stream_index) {
   std::uint64_t root_state = root_seed;
   std::uint64_t index_state = ~stream_index;
   const std::uint64_t seed =
-      splitmix64_next(root_state) ^ rotl(splitmix64_next(index_state), 17);
+      splitmix64_next(root_state) ^ rotl64(splitmix64_next(index_state), 17);
   return Rng(seed);
 }
 
@@ -147,7 +96,7 @@ Rng Rng::split() {
   // splitmix64, decorrelating it from this stream.
   const std::uint64_t a = (*this)();
   const std::uint64_t b = (*this)();
-  return Rng(a ^ rotl(b, 31));
+  return Rng(a ^ rotl64(b, 31));
 }
 
 }  // namespace gossip

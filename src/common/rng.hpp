@@ -7,14 +7,27 @@
 #pragma once
 
 #include <array>
+#include <cassert>
 #include <cstdint>
 #include <limits>
+#include <utility>
 #include <vector>
 
 namespace gossip {
 
+namespace detail {
+constexpr std::uint64_t rotl64(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace detail
+
 // xoshiro256** 1.0 by Blackman & Vigna (public domain reference algorithm).
 // Satisfies the C++ UniformRandomBitGenerator requirements.
+//
+// The single-step draws (operator(), uniform, bernoulli, distinct_pair) are
+// defined inline in this header: the flat S&F hot path makes several draws
+// per action and the build does not use LTO, so an out-of-line definition
+// would cost a cross-TU call per draw.
 class Rng {
  public:
   using result_type = std::uint64_t;
@@ -28,20 +41,50 @@ class Rng {
     return std::numeric_limits<result_type>::max();
   }
 
-  result_type operator()();
+  result_type operator()() {
+    const std::uint64_t result = detail::rotl64(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = detail::rotl64(state_[3], 45);
+    return result;
+  }
 
   // Uniform integer in [0, bound). `bound` must be positive. Uses Lemire's
   // nearly-divisionless rejection method, so the result is exactly uniform.
-  std::uint64_t uniform(std::uint64_t bound);
+  std::uint64_t uniform(std::uint64_t bound) {
+    assert(bound > 0);
+    // Lemire's method: multiply-shift with rejection of the biased low
+    // range.
+    __uint128_t m = static_cast<__uint128_t>((*this)()) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = -bound % bound;
+      while (lo < threshold) {
+        m = static_cast<__uint128_t>((*this)()) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
 
   // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
 
   // Uniform double in [0, 1) with 53 bits of precision.
-  double uniform_double();
+  double uniform_double() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
 
   // Bernoulli trial: true with probability p (clamped to [0, 1]).
-  bool bernoulli(double p);
+  bool bernoulli(double p) {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return uniform_double() < p;
+  }
 
   // Pareto(minimum, shape) variate: minimum * U^(-1/shape), U ~ (0, 1].
   // Heavy-tailed; mean exists only for shape > 1. Requires minimum > 0,
@@ -51,7 +94,13 @@ class Rng {
   // Two distinct indices drawn uniformly at random from [0, count).
   // Requires count >= 2. This is the slot-pair selection primitive of the
   // S&F protocol (Fig 5.1, line 2).
-  std::pair<std::size_t, std::size_t> distinct_pair(std::size_t count);
+  std::pair<std::size_t, std::size_t> distinct_pair(std::size_t count) {
+    assert(count >= 2);
+    const std::size_t first = uniform(count);
+    std::size_t second = uniform(count - 1);
+    if (second >= first) ++second;
+    return {first, second};
+  }
 
   // k distinct indices sampled uniformly from [0, count) (order random).
   // Requires k <= count. O(k) expected time via partial Fisher-Yates on a

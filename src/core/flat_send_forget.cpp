@@ -1,94 +1,100 @@
 #include "core/flat_send_forget.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <stdexcept>
 
 namespace gossip {
 
 FlatSendForgetCluster::FlatSendForgetCluster(std::size_t node_count,
-                                            SendForgetConfig config)
+                                            SendForgetConfig config,
+                                            FlatClusterOptions options)
     : config_(config),
+      options_(options),
       n_(node_count),
       view_size_(config.view_size),
-      slots_(node_count * config.view_size),
-      degree_(node_count, 0),
-      live_(node_count, 1),
+      pairs_(options.pairs_per_message),
       live_count_(node_count) {
   config_.validate();
   if (node_count == 0) {
     throw std::invalid_argument("flat cluster requires at least one node");
   }
+  if (node_count > static_cast<std::size_t>(PackedViewEntry::kMaxId) + 1) {
+    // The dependence tag lives in bit 31 of the packed id.
+    throw std::invalid_argument(
+        "flat cluster holds at most 2^31 - 1 nodes (packed id width)");
+  }
+  if (view_size_ > 0xFFFF) {
+    throw std::invalid_argument(
+        "view_size must fit the 16-bit packed degree array");
+  }
+  if (pairs_ < 1 || pairs_ > kMaxPairsPerMessage) {
+    throw std::invalid_argument("pairs_per_message must be in [1, 4]");
+  }
+  if (2 * pairs_ > view_size_) {
+    throw std::invalid_argument(
+        "a batched message may not carry more ids than the view holds");
+  }
+  // First-touch: stripe every slab along the same contiguous node partition
+  // the sharded driver uses (ceil(n / stripes) nodes per stripe).
+  const std::size_t stripes = std::max<std::size_t>(1, options.init_threads);
+  const std::size_t nodes_per_stripe =
+      stripes <= 1 ? 0 : (node_count + stripes - 1) / stripes;
+  slots_ = FirstTouchSlab<PackedViewEntry>(node_count * view_size_,
+                                           PackedViewEntry{},
+                                           nodes_per_stripe * view_size_);
+  degree_ =
+      FirstTouchSlab<std::uint16_t>(node_count, 0, nodes_per_stripe);
+  live_ = FirstTouchSlab<std::uint8_t>(node_count, 1, nodes_per_stripe);
 }
 
-FlatInitiateResult FlatSendForgetCluster::initiate(NodeId u, Rng& rng,
-                                                   FlatPush& out) {
-  assert(u < n_ && live_[u]);
-  ViewEntry* v = view(u);
-  const auto [i, j] = rng.distinct_pair(view_size_);
-  const ViewEntry target = v[i];
-  const ViewEntry carried = v[j];
-  if (target.empty() || carried.empty()) {
-    // "If either of them is empty, nothing happens" — a self-loop
-    // transformation in the MC model.
-    return FlatInitiateResult::kSelfLoop;
+FlatInitiateResult FlatSendForgetCluster::initiate_batched(NodeId u,
+                                                           Rng& rng,
+                                                           FlatPush& out) {
+  PackedViewEntry* v = view(u);
+  const std::size_t want = 2 * pairs_;
+  // 2p distinct slots, uniform, by rejection against a fixed-size scratch
+  // (no allocation; want <= 8 keeps the duplicate scan trivial).
+  std::size_t slots[2 * kMaxPairsPerMessage];
+  std::size_t got = 0;
+  while (got < want) {
+    const std::size_t i = rng.uniform(view_size_);
+    bool seen = false;
+    for (std::size_t t = 0; t < got; ++t) {
+      if (slots[t] == i) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) slots[got++] = i;
   }
-
-  const bool duplicate = degree_[u] <= config_.min_degree;
+  PackedViewEntry picked[2 * kMaxPairsPerMessage];
+  for (std::size_t t = 0; t < want; ++t) {
+    picked[t] = v[slots[t]];
+    if (picked[t].empty()) {
+      // Any empty selection aborts the action, exactly as in
+      // SendForgetExt::initiate (the p-fold "nothing happens" case).
+      return FlatInitiateResult::kSelfLoop;
+    }
+  }
+  // SendForgetExt's duplication test: keep the slots while the view is
+  // within `want` of the floor. (Equivalent to the p = 1 expression
+  // `degree <= min_degree` at even degrees.)
+  const bool duplicate = degree_[u] < config_.min_degree + want;
   if (!duplicate) {
-    v[i] = ViewEntry{};
-    v[j] = ViewEntry{};
-    degree_[u] -= 2;
+    for (std::size_t t = 0; t < want; ++t) v[slots[t]] = PackedViewEntry{};
+    degree_[u] = static_cast<std::uint16_t>(degree_[u] - want);
   }
-
-  out.to = target.id;
-  out.sender = ViewEntry{u, duplicate};
-  out.carried = ViewEntry{carried.id, duplicate};
+  // picked[0] names the destination (as v[i] does in Fig 5.1); the message
+  // payload is the sender's id plus the other 2p - 1 lifted ids, every
+  // entry tagged with the duplication flag.
+  out.to = picked[0].id_unchecked();
+  out.count = static_cast<std::uint32_t>(want);
+  out.ids[0] = PackedViewEntry::pack(u, duplicate);
+  for (std::size_t t = 1; t < want; ++t) {
+    out.ids[t] = picked[t].with_dependent(duplicate);
+  }
   return duplicate ? FlatInitiateResult::kSentDuplicated
                    : FlatInitiateResult::kSent;
-}
-
-std::size_t FlatSendForgetCluster::receive(NodeId u, const FlatPush& message,
-                                           Rng& rng) {
-  assert(u < n_ && live_[u]);
-  assert(!message.sender.empty() && !message.carried.empty());
-  if (degree_[u] == view_size_) {
-    // d(u) = s: the received ids are deleted.
-    return 0;
-  }
-  // Outdegree is even (Obs 5.1) and capacity is even, so a non-full view
-  // has at least two empty slots.
-  assert(view_size_ - degree_[u] >= 2);
-  store(u, message.sender, rng);
-  store(u, message.carried, rng);
-  return 2;
-}
-
-void FlatSendForgetCluster::store(NodeId u, ViewEntry entry, Rng& rng) {
-  // A received copy of our own id forms a self-edge; the paper labels all
-  // self-edges dependent (§2).
-  if (entry.id == u) entry.dependent = true;
-  const std::size_t slot = random_empty_slot(u, rng);
-  view(u)[slot] = entry;
-  ++degree_[u];
-}
-
-std::size_t FlatSendForgetCluster::random_empty_slot(NodeId u,
-                                                     Rng& rng) const {
-  const ViewEntry* v = view(u);
-  const std::size_t empties = view_size_ - degree_[u];
-  assert(empties > 0);
-  // Each accepted probe is uniform over empty slots, and so is the
-  // fallback; a mixture of uniforms over the same set stays uniform.
-  for (int probes = 0; probes < 64; ++probes) {
-    const std::size_t i = rng.uniform(view_size_);
-    if (v[i].empty()) return i;
-  }
-  std::size_t k = rng.uniform(empties);
-  for (std::size_t i = 0;; ++i) {
-    assert(i < view_size_);
-    if (v[i].empty() && k-- == 0) return i;
-  }
 }
 
 void FlatSendForgetCluster::kill(NodeId u) {
@@ -122,9 +128,9 @@ void FlatSendForgetCluster::revive(NodeId u, Rng& rng) {
   NodeId contact = random_live_node(rng);
   for (int attempts = 0; boot.size() < want && attempts < 64; ++attempts) {
     add_distinct(contact);
-    const ViewEntry* cv = view(contact);
+    const PackedViewEntry* cv = view(contact);
     for (std::size_t i = 0; i < view_size_ && boot.size() < want; ++i) {
-      if (!cv[i].empty()) add_distinct(cv[i].id);
+      if (!cv[i].empty()) add_distinct(cv[i].id_unchecked());
     }
     contact = random_live_node(rng);
   }
@@ -133,12 +139,12 @@ void FlatSendForgetCluster::revive(NodeId u, Rng& rng) {
     if (id != u) boot.push_back(id);
   }
 
-  ViewEntry* v = view(u);
-  for (std::size_t i = 0; i < view_size_; ++i) v[i] = ViewEntry{};
+  PackedViewEntry* v = view(u);
+  for (std::size_t i = 0; i < view_size_; ++i) v[i] = PackedViewEntry{};
   for (std::size_t i = 0; i < boot.size(); ++i) {
-    v[i] = ViewEntry{boot[i], /*dependent=*/false};
+    v[i] = PackedViewEntry::pack(boot[i], /*dependent=*/false);
   }
-  degree_[u] = static_cast<std::uint32_t>(boot.size());
+  degree_[u] = static_cast<std::uint16_t>(boot.size());
   live_[u] = 1;
   ++live_count_;
 }
@@ -146,32 +152,41 @@ void FlatSendForgetCluster::revive(NodeId u, Rng& rng) {
 void FlatSendForgetCluster::install_view(NodeId u,
                                          const std::vector<NodeId>& ids) {
   assert(u < n_);
-  ViewEntry* v = view(u);
-  for (std::size_t i = 0; i < view_size_; ++i) v[i] = ViewEntry{};
+  PackedViewEntry* v = view(u);
+  for (std::size_t i = 0; i < view_size_; ++i) v[i] = PackedViewEntry{};
   const std::size_t count = std::min(ids.size(), view_size_);
   for (std::size_t i = 0; i < count; ++i) {
     assert(ids[i] != kNilNode);
-    v[i] = ViewEntry{ids[i], /*dependent=*/false};
+    v[i] = PackedViewEntry::pack(ids[i], /*dependent=*/false);
   }
-  degree_[u] = static_cast<std::uint32_t>(count);
+  degree_[u] = static_cast<std::uint16_t>(count);
+}
+
+void FlatSendForgetCluster::install_slot(NodeId u, std::size_t slot,
+                                         NodeId id) {
+  assert(u < n_ && slot < view_size_ && id != kNilNode);
+  PackedViewEntry* v = view(u);
+  assert(v[slot].empty());
+  v[slot] = PackedViewEntry::pack(id, /*dependent=*/false);
+  degree_[u] = static_cast<std::uint16_t>(degree_[u] + 1);
 }
 
 std::vector<NodeId> FlatSendForgetCluster::view_ids(NodeId u) const {
-  const ViewEntry* v = view(u);
+  const PackedViewEntry* v = view(u);
   std::vector<NodeId> out;
   out.reserve(degree_[u]);
   for (std::size_t i = 0; i < view_size_; ++i) {
-    if (!v[i].empty()) out.push_back(v[i].id);
+    if (!v[i].empty()) out.push_back(v[i].id_unchecked());
   }
   return out;
 }
 
 std::vector<ViewEntry> FlatSendForgetCluster::view_entries(NodeId u) const {
-  const ViewEntry* v = view(u);
+  const PackedViewEntry* v = view(u);
   std::vector<ViewEntry> out;
   out.reserve(degree_[u]);
   for (std::size_t i = 0; i < view_size_; ++i) {
-    if (!v[i].empty()) out.push_back(v[i]);
+    if (!v[i].empty()) out.push_back(v[i].unpack());
   }
   return out;
 }
@@ -191,7 +206,11 @@ std::uint64_t FlatSendForgetCluster::fingerprint() const {
     h ^= value;
     h *= 0x100000001B3ULL;
   };
-  for (const ViewEntry& e : slots_) {
+  // Mixed over unpacked values (empty slot = kNilNode, independent), so the
+  // hash of any reachable state is identical to the unpacked engine's.
+  const std::size_t total = n_ * view_size_;
+  for (std::size_t i = 0; i < total; ++i) {
+    const ViewEntry e = slots_[i].unpack();
     mix(e.id);
     mix(e.dependent ? 2 : 1);
   }

@@ -2,67 +2,162 @@
 //
 // Semantically this is `n` copies of the S&F state machine of Fig 5.1, the
 // same protocol as `SendForget`; representationally it is one object: all
-// views live in a single contiguous std::vector<ViewEntry> (capacity s per
-// node), with flat degree/liveness side arrays. There is no per-node heap
-// allocation, no virtual dispatch, and no std::vector message payload on the
-// action path — a push fits in a 20-byte POD (`FlatPush`). This is what lets
-// the sharded driver sustain n = 10^6 nodes at memory-bandwidth-limited
-// speeds where the pointer-chasing `Cluster` of small objects cannot.
+// views live in a single contiguous slab of 4-byte `PackedViewEntry` slots
+// (capacity s per node, dependence tag folded into the id's top bit), with
+// flat degree/liveness side arrays in struct-of-arrays layout. There is no
+// per-node heap allocation, no virtual dispatch, and no std::vector message
+// payload on the action path — a push fits in a fixed-size POD (`FlatPush`).
+// A 40-slot view row is 160 bytes (3 cache lines instead of the unpacked
+// layout's 5), which is what lets the sharded driver sustain n = 10^7 nodes
+// at memory-bandwidth-limited speeds where the pointer-chasing `Cluster` of
+// small objects cannot.
+//
+// Batched messages (§5): with `pairs_per_message` = p > 1 the cluster runs
+// the paper's batched-messages variant (the flat counterpart of
+// `SendForgetExt`): one initiate-action samples 2p distinct slots and sends
+// the initiator's id plus 2p-1 view ids in a single message. p = 1 is the
+// plain Fig 5.1 protocol and reproduces the unpacked engine's RNG draw
+// sequence exactly — bit-identical trajectories, pinned by the
+// packed-vs-unpacked equivalence test in tests/test_packed_view.cpp.
 //
 // Thread-safety contract (relied on by ShardedDriver): distinct nodes' state
 // is disjoint, so initiate(u)/receive(u) for different `u` may run
 // concurrently as long as no two threads touch the same node; liveness reads
 // during a round race with nothing because churn (kill/revive/install_*) is
 // only legal at a synchronization point between rounds.
+//
+// The hot-path members (initiate / receive / store / random_empty_slot) are
+// defined inline in this header: the build has no LTO, and at ~100ns per
+// action a cross-TU call per step is measurable.
 #pragma once
 
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <vector>
 
+#include "common/first_touch.hpp"
 #include "common/node_id.hpp"
 #include "common/rng.hpp"
+#include "core/packed_view.hpp"
 #include "core/send_forget.hpp"
 #include "core/view.hpp"
 
 namespace gossip {
 
-// A S&F push message [u, w] in flat form: payload entry `sender` carries the
-// initiator's own id, `carried` the id lifted from the initiator's view;
-// dependence tags as in the dependence MC of Fig 7.1.
+// Upper bound on `pairs_per_message`, fixed so FlatPush stays a fixed-size
+// POD the mailbox frames can hold by value.
+inline constexpr std::size_t kMaxPairsPerMessage = 4;
+
+// A S&F push message in flat form. `ids[0]` carries the initiator's own id,
+// `ids[1..count-1]` the ids lifted from the initiator's view; dependence
+// tags as in the dependence MC of Fig 7.1. `count` is 2 for the plain
+// protocol and 2p for the §5 batched variant.
 struct FlatPush {
   NodeId to = kNilNode;
-  ViewEntry sender;
-  ViewEntry carried;
+  std::uint32_t count = 0;
+  PackedViewEntry ids[2 * kMaxPairsPerMessage];
   // Flight-recorder correlation id threading a send to its delivery across
   // shards; 0 when no recorder is attached. Not protocol state: receive()
   // ignores it and it is invisible to the cluster fingerprint.
   std::uint64_t message_id = 0;
+
+  // The [u, w] naming of Fig 5.1 (valid for every p >= 1).
+  [[nodiscard]] PackedViewEntry sender() const { return ids[0]; }
+  [[nodiscard]] PackedViewEntry carried() const { return ids[1]; }
 };
 
 enum class FlatInitiateResult : std::uint8_t {
   kSelfLoop,        // a selected slot was empty; no message produced
-  kSent,            // message produced, both slots cleared
-  kSentDuplicated,  // message produced, slots kept (d(u) <= dL)
+  kSent,            // message produced, selected slots cleared
+  kSentDuplicated,  // message produced, slots kept (low degree)
+};
+
+// Construction-time knobs orthogonal to the protocol parameters.
+struct FlatClusterOptions {
+  // §5 batched messages: ids per message = 2 * pairs_per_message. 1 = the
+  // plain Fig 5.1 protocol (bit-identical to the unpacked engine).
+  std::size_t pairs_per_message = 1;
+  // Stripes the slab zero-fill across this many threads so each contiguous
+  // node range is first-touched — and hence NUMA-placed — near the worker
+  // that will own it. Purely a placement hint; 1 = plain serial fill.
+  std::size_t init_threads = 1;
 };
 
 class FlatSendForgetCluster {
  public:
-  FlatSendForgetCluster(std::size_t node_count, SendForgetConfig config);
+  FlatSendForgetCluster(std::size_t node_count, SendForgetConfig config,
+                        FlatClusterOptions options = {});
 
   [[nodiscard]] std::size_t size() const { return n_; }
   [[nodiscard]] const SendForgetConfig& config() const { return config_; }
+  [[nodiscard]] const FlatClusterOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t pairs_per_message() const { return pairs_; }
   [[nodiscard]] std::size_t live_count() const { return live_count_; }
   [[nodiscard]] bool live(NodeId u) const { return live_[u] != 0; }
   [[nodiscard]] std::size_t degree(NodeId u) const { return degree_[u]; }
 
-  // InitiateAction(u), Fig 5.1. On kSelfLoop `out` is untouched; otherwise
-  // `out` holds the message to deliver (or lose — that's the caller's call).
-  FlatInitiateResult initiate(NodeId u, Rng& rng, FlatPush& out);
+  // InitiateAction(u), Fig 5.1 (p = 1) or its §5 batched generalization.
+  // On kSelfLoop `out` is untouched; otherwise `out` holds the message to
+  // deliver (or lose — that's the caller's call).
+  FlatInitiateResult initiate(NodeId u, Rng& rng, FlatPush& out) {
+    assert(u < n_ && live_[u]);
+    if (pairs_ == 1) {
+      // Plain Fig 5.1. This path must reproduce the unpacked engine's
+      // exact draw sequence: one distinct_pair, nothing else.
+      PackedViewEntry* v = view(u);
+      const auto [i, j] = rng.distinct_pair(view_size_);
+      const PackedViewEntry target = v[i];
+      const PackedViewEntry carried = v[j];
+      if (target.empty() || carried.empty()) {
+        // "If either of them is empty, nothing happens" — a self-loop
+        // transformation in the MC model.
+        return FlatInitiateResult::kSelfLoop;
+      }
+      const bool duplicate = degree_[u] <= config_.min_degree;
+      if (!duplicate) {
+        v[i] = PackedViewEntry{};
+        v[j] = PackedViewEntry{};
+        degree_[u] = static_cast<std::uint16_t>(degree_[u] - 2);
+      }
+      out.to = target.id_unchecked();
+      out.count = 2;
+      out.ids[0] = PackedViewEntry::pack(u, duplicate);
+      out.ids[1] = carried.with_dependent(duplicate);
+      return duplicate ? FlatInitiateResult::kSentDuplicated
+                       : FlatInitiateResult::kSent;
+    }
+    return initiate_batched(u, rng, out);
+  }
 
-  // Receive(u, [v1, v2]), Fig 5.1. Returns the number of ids accepted into
-  // the view: 2, or 0 when the view was full (a deletion).
-  std::size_t receive(NodeId u, const FlatPush& message, Rng& rng);
+  // Receive(u, [v1, .., v2p]), Fig 5.1 / §5. Returns the number of ids
+  // accepted into the view: all of them, or — when the view fills — the
+  // prefix that fit (0 on an already-full view). Any shortfall is one
+  // deletion event, exactly as in `SendForgetExt`.
+  std::size_t receive(NodeId u, const FlatPush& message, Rng& rng) {
+    assert(u < n_ && live_[u]);
+    assert(message.count >= 2 && message.count <= 2 * kMaxPairsPerMessage);
+    const std::size_t d = degree_[u];
+    if (d == view_size_) {
+      // d(u) = s: the received ids are deleted.
+      return 0;
+    }
+    if (message.count == 2) {
+      // Outdegree is even (Obs 5.1) and capacity is even, so a non-full
+      // view has at least two empty slots.
+      assert(view_size_ - d >= 2);
+      store(u, message.ids[0], rng);
+      store(u, message.ids[1], rng);
+      return 2;
+    }
+    std::size_t accepted = 0;
+    for (std::uint32_t i = 0; i < message.count; ++i) {
+      if (degree_[u] == view_size_) break;  // remainder deleted
+      store(u, message.ids[i], rng);
+      ++accepted;
+    }
+    return accepted;
+  }
 
   // --- churn (only between rounds; see thread-safety contract above) ---
 
@@ -79,31 +174,51 @@ class FlatSendForgetCluster {
   // Installs up to s out-neighbors into u's first slots, tagged independent.
   void install_view(NodeId u, const std::vector<NodeId>& ids);
 
+  // Installs `id` (tagged independent) into slot `slot` of u, which must be
+  // empty. Lets callers seed huge clusters slot-by-slot — e.g. from a family
+  // of permutations — without ever materializing a Digraph whose
+  // vector-of-vectors adjacency would dwarf the packed slab at n = 10^7.
+  void install_slot(NodeId u, std::size_t slot, NodeId id);
+
   // Ids of u's nonempty slots, in slot order (multiset semantics).
   [[nodiscard]] std::vector<NodeId> view_ids(NodeId u) const;
 
-  // Nonempty entries of u's view, in slot order.
+  // Nonempty entries of u's view, in slot order (unpacked).
   [[nodiscard]] std::vector<ViewEntry> view_entries(NodeId u) const;
 
-  // Raw slot row of u: view_size() entries, empty slots included. Zero-copy
-  // inspection path for the observability probes (obs::probe_cluster), which
-  // must walk every view without allocating per node.
-  [[nodiscard]] const ViewEntry* slots(NodeId u) const { return view(u); }
+  // Raw slot row of u: view_size() packed entries, empty slots included.
+  // Zero-copy inspection path for the observability probes
+  // (obs::probe_cluster), which must walk every view without allocating.
+  [[nodiscard]] const PackedViewEntry* slots(NodeId u) const {
+    return view(u);
+  }
   [[nodiscard]] std::size_t view_size() const { return view_size_; }
+
+  // Hints a node's liveness byte, degree, and first slot-row line toward
+  // cache. The driver issues this for a message's receiver as soon as the
+  // destination is known, so the (random-access) fetch overlaps the loss
+  // draw / frame walk instead of stalling delivery. No architectural effect.
+  void prefetch_node(NodeId u) const {
+    __builtin_prefetch(&live_[u]);
+    __builtin_prefetch(&degree_[u]);
+    __builtin_prefetch(view(u));
+  }
 
   // Uniformly random live node; requires live_count() > 0.
   [[nodiscard]] NodeId random_live_node(Rng& rng) const;
 
   // FNV-1a hash over every slot (id + dependence tag), degree and liveness
   // array — two runs are bit-identical iff their fingerprints match. Used
-  // to assert the sharded driver's determinism contract.
+  // to assert the sharded driver's determinism contract. Computed over the
+  // *unpacked* slot values, so the definition (and the value for any given
+  // state) is unchanged from the unpacked engine.
   [[nodiscard]] std::uint64_t fingerprint() const;
 
  private:
-  [[nodiscard]] ViewEntry* view(NodeId u) {
+  [[nodiscard]] PackedViewEntry* view(NodeId u) {
     return slots_.data() + static_cast<std::size_t>(u) * view_size_;
   }
-  [[nodiscard]] const ViewEntry* view(NodeId u) const {
+  [[nodiscard]] const PackedViewEntry* view(NodeId u) const {
     return slots_.data() + static_cast<std::size_t>(u) * view_size_;
   }
 
@@ -111,16 +226,43 @@ class FlatSendForgetCluster {
   // slot row (expected s/(s-d) probes, all within the row's few cache
   // lines), with an exact k-th-empty scan fallback so the draw terminates
   // and stays exactly uniform.
-  [[nodiscard]] std::size_t random_empty_slot(NodeId u, Rng& rng) const;
+  [[nodiscard]] std::size_t random_empty_slot(NodeId u, Rng& rng) const {
+    const PackedViewEntry* v = view(u);
+    const std::size_t empties = view_size_ - degree_[u];
+    assert(empties > 0);
+    // Each accepted probe is uniform over empty slots, and so is the
+    // fallback; a mixture of uniforms over the same set stays uniform.
+    for (int probes = 0; probes < 64; ++probes) {
+      const std::size_t i = rng.uniform(view_size_);
+      if (v[i].empty()) return i;
+    }
+    std::size_t k = rng.uniform(empties);
+    for (std::size_t i = 0;; ++i) {
+      assert(i < view_size_);
+      if (v[i].empty() && k-- == 0) return i;
+    }
+  }
 
-  void store(NodeId u, ViewEntry entry, Rng& rng);
+  void store(NodeId u, PackedViewEntry entry, Rng& rng) {
+    // A received copy of our own id forms a self-edge; the paper labels
+    // all self-edges dependent (§2).
+    if (entry.id_unchecked() == u) entry = entry.as_dependent();
+    const std::size_t slot = random_empty_slot(u, rng);
+    view(u)[slot] = entry;
+    degree_[u] = static_cast<std::uint16_t>(degree_[u] + 1);
+  }
+
+  // §5 batched variant (p >= 2); out-of-line, it is not the default path.
+  FlatInitiateResult initiate_batched(NodeId u, Rng& rng, FlatPush& out);
 
   SendForgetConfig config_;
+  FlatClusterOptions options_;
   std::size_t n_;
   std::size_t view_size_;
-  std::vector<ViewEntry> slots_;        // n * s contiguous
-  std::vector<std::uint32_t> degree_;   // outdegree d(u)
-  std::vector<std::uint8_t> live_;
+  std::size_t pairs_;
+  FirstTouchSlab<PackedViewEntry> slots_;  // n * s contiguous, SoA
+  FirstTouchSlab<std::uint16_t> degree_;   // outdegree d(u)
+  FirstTouchSlab<std::uint8_t> live_;
   std::size_t live_count_;
 };
 

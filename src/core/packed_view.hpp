@@ -1,0 +1,96 @@
+// Packed view-slot representation for the flat hot path.
+//
+// A `ViewEntry` is 8 bytes: a 4-byte NodeId plus a bool dependence tag that
+// padding rounds up to another 4 bytes. Half of every view row is therefore
+// air. `PackedViewEntry` folds the dependence tag of the dependence MC
+// (Fig 7.1) into the top bit of the id word:
+//
+//   bits = id | (dependent << 31)        id < 2^31   (asserted at pack time)
+//   bits = 0xFFFFFFFF                    empty slot
+//
+// so a slot is 4 bytes, a 40-slot view row is 160 bytes (3 cache lines
+// instead of 5), and emptiness / id / tag checks are single masked compares
+// that vectorize. The all-ones empty encoding is deliberate: it is the
+// bottom 32 bits of `kNilNode`, it cannot collide with a packed live id
+// because pack() rejects ids above 2^31 - 2, and a row of empty slots is a
+// memset pattern.
+//
+// `unpack()` restores the exact unpacked semantics — an empty slot reads as
+// {kNilNode, independent} just as a default `ViewEntry` does — which is what
+// keeps the packed cluster's fingerprint definition bit-identical to the
+// unpacked one.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/node_id.hpp"
+#include "core/view.hpp"
+
+namespace gossip {
+
+class PackedViewEntry {
+ public:
+  static constexpr std::uint32_t kDependentBit = 0x8000'0000u;
+  static constexpr std::uint32_t kIdMask = 0x7FFF'FFFFu;
+  static constexpr std::uint32_t kEmptyBits = 0xFFFF'FFFFu;
+  // Largest id that survives packing: bit 31 is the tag, and the all-ones
+  // pattern (id 0x7FFFFFFF + dependent) is reserved for "empty".
+  static constexpr NodeId kMaxId = 0x7FFF'FFFEu;
+
+  constexpr PackedViewEntry() = default;
+
+  [[nodiscard]] static constexpr PackedViewEntry pack(NodeId id,
+                                                      bool dependent) {
+    assert(id <= kMaxId);
+    return PackedViewEntry(id | (dependent ? kDependentBit : 0u));
+  }
+  [[nodiscard]] static constexpr PackedViewEntry from_bits(
+      std::uint32_t bits) {
+    return PackedViewEntry(bits);
+  }
+
+  [[nodiscard]] constexpr bool empty() const { return bits_ == kEmptyBits; }
+  // Sentinel-preserving: an empty slot reads back as kNilNode, exactly like
+  // the unpacked ViewEntry's default id.
+  [[nodiscard]] constexpr NodeId id() const {
+    return empty() ? kNilNode : (bits_ & kIdMask);
+  }
+  [[nodiscard]] constexpr bool dependent() const {
+    return !empty() && (bits_ & kDependentBit) != 0;
+  }
+  // Unchecked accessors for hot paths that already know the slot is live.
+  [[nodiscard]] constexpr NodeId id_unchecked() const {
+    return bits_ & kIdMask;
+  }
+  [[nodiscard]] constexpr std::uint32_t bits() const { return bits_; }
+
+  // Same id, tag forced to `dependent` (the §5 duplication relabel).
+  [[nodiscard]] constexpr PackedViewEntry with_dependent(
+      bool dependent) const {
+    assert(!empty());
+    return PackedViewEntry((bits_ & kIdMask) |
+                           (dependent ? kDependentBit : 0u));
+  }
+  [[nodiscard]] constexpr PackedViewEntry as_dependent() const {
+    assert(!empty());
+    return PackedViewEntry(bits_ | kDependentBit);
+  }
+
+  [[nodiscard]] constexpr ViewEntry unpack() const {
+    return empty() ? ViewEntry{} : ViewEntry{id_unchecked(), dependent()};
+  }
+
+  friend constexpr bool operator==(PackedViewEntry a, PackedViewEntry b) {
+    return a.bits_ == b.bits_;
+  }
+
+ private:
+  explicit constexpr PackedViewEntry(std::uint32_t bits) : bits_(bits) {}
+
+  std::uint32_t bits_ = kEmptyBits;
+};
+
+static_assert(sizeof(PackedViewEntry) == 4);
+
+}  // namespace gossip

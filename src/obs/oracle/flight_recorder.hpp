@@ -69,12 +69,15 @@ class FlightRecorder {
  public:
   // `capacity` is per shard and rounded up to a power of two (so the ring
   // index is a mask, not a division). The default keeps the ring small
-  // enough to stay cache-resident (4096 × 24 B = 96 KiB per shard): a ring
-  // larger than L2 turns every append into a DRAM write and recording
-  // overhead jumps from <2% to ~8% of the round loop at n=50k. Raise it
-  // explicitly when a deeper post-mortem tail is worth that cost.
+  // enough to stay cache-resident *under load* (512 × 24 B = 12 KiB per
+  // shard): the round loop streams the whole packed slab between ring
+  // wraps, so a ring that competes with that stream for L2 turns appends
+  // into DRAM read-for-ownership + writeback traffic. Measured on the
+  // n=50k single-shard gate leg, a 96 KiB ring costs ~3.6% of the round
+  // loop and a 12 KiB ring ~1%, against the <2% recording budget. Raise
+  // capacity explicitly when a deeper post-mortem tail is worth that cost.
   explicit FlightRecorder(std::size_t shard_count,
-                          std::size_t capacity = 1u << 12);
+                          std::size_t capacity = 1u << 9);
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   [[nodiscard]] std::size_t capacity() const { return capacity_; }

@@ -92,10 +92,10 @@ double RecoveryTracker::largest_component_fraction(
   for (NodeId u = 0; u < n; ++u) {
     if (!cluster.live(u)) continue;
     ++live;
-    const ViewEntry* row = cluster.slots(u);
+    const PackedViewEntry* row = cluster.slots(u);
     for (std::size_t i = 0; i < s; ++i) {
       if (row[i].empty()) continue;
-      const NodeId v = row[i].id;
+      const NodeId v = row[i].id_unchecked();
       if (v < n && cluster.live(v)) unite(u, static_cast<std::uint32_t>(v));
     }
   }

@@ -60,11 +60,11 @@ FlatClusterProbe probe_cluster(const FlatSendForgetCluster& cluster,
     out_live.push_back(static_cast<std::uint32_t>(d));
     ++probe.outdegree_hist[std::min(d, s)];
     occupied += d;
-    const ViewEntry* row = cluster.slots(u);
+    const PackedViewEntry* row = cluster.slots(u);
     for (std::size_t i = 0; i < s; ++i) {
       if (!row[i].empty()) {
-        ++indegree[row[i].id];
-        if (row[i].dependent) ++probe.dependent_entries;
+        ++indegree[row[i].id_unchecked()];
+        if (row[i].dependent()) ++probe.dependent_entries;
       }
     }
   }

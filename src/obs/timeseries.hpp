@@ -42,6 +42,9 @@ struct CumulativeCounters {
   // Drops injected by an attached fault plane (kept separate from ambient
   // `lost` so post-mortems can tell scripted faults from background loss).
   std::uint64_t faulted = 0;
+  // Ids actually stored by receivers. With §5 batched messages a delivery
+  // can be partially accepted, so this is counted, not derived.
+  std::uint64_t ids_accepted = 0;
 };
 
 struct RoundSample {

@@ -18,6 +18,13 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   if (config_.shard_count == 0) {
     throw std::invalid_argument("shard_count must be >= 1");
   }
+  threads_ = config_.thread_count == 0 ? config_.shard_count
+                                       : config_.thread_count;
+  if (threads_ > config_.shard_count) {
+    throw std::invalid_argument("thread_count must be <= shard_count");
+  }
+  shards_per_worker_ =
+      (config_.shard_count + threads_ - 1) / threads_;  // ceil
   if (config_.loss_rate < 0.0 || config_.loss_rate > 1.0) {
     throw std::invalid_argument("loss_rate must be >= 0 and <= 1");
   }
@@ -27,6 +34,7 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
       "actions_initiated", "self_loop_actions", "duplications",
       "deletions",         "messages_sent",     "messages_lost",
       "messages_delivered", "messages_to_dead", "messages_faulted",
+      "ids_accepted",
   };
   for (std::uint32_t i = 0; i < kCounterCount; ++i) {
     const obs::CounterId id = registry_.counter(kCounterNames[i]);
@@ -53,6 +61,18 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
   const std::size_t n = cluster_.size();
   nodes_per_shard_ =
       (n + config_.shard_count - 1) / config_.shard_count;  // ceil
+  // Exact division-by-invariant (Lemire): for 32-bit u and d >= 2,
+  // floor(u / d) == high64(u * (2^64 / d rounded up)). d == 1 is the
+  // identity branch in shard_of.
+  shard_magic_ = nodes_per_shard_ > 1
+                     ? ~std::uint64_t{0} / nodes_per_shard_ + 1
+                     : 0;
+#ifndef NDEBUG
+  for (std::size_t u = 0; u < n; u += (n / 64) + 1) {
+    assert(shard_of(static_cast<NodeId>(u)) == u / nodes_per_shard_);
+  }
+  assert(shard_of(static_cast<NodeId>(n - 1)) == (n - 1) / nodes_per_shard_);
+#endif
   shards_.resize(config_.shard_count);
   mailboxes_.resize(config_.shard_count * config_.shard_count);
   live_pos_.assign(n, 0);
@@ -88,9 +108,9 @@ void ShardedDriver::attach_profiler(obs::PhaseProfiler* profiler) {
     ph_initiate_ = profiler->phase("initiate");
     ph_drain_ = profiler->phase("drain");
     ph_barrier_ = profiler->phase("barrier_wait");
-    // The quiescent probe runs on shard 0 on behalf of the whole cluster;
-    // labeling it a coordinator phase keeps reports from attributing all
-    // of its time to shard 0's workload.
+    // The quiescent probe runs on the first worker on behalf of the whole
+    // cluster; labeling it a coordinator phase keeps reports from
+    // attributing all of its time to shard 0's workload.
     ph_observe_ = profiler->phase("observe", /*coordinator=*/true);
   }
 }
@@ -146,15 +166,17 @@ void ShardedDriver::attach_recovery(obs::RecoveryTracker* tracker) {
 
 template <bool kCount, bool kRecord>
 void ShardedDriver::initiate_phase(std::size_t shard,
-                                   [[maybe_unused]] std::uint64_t round) {
+                                   [[maybe_unused]] std::uint64_t round,
+                                   bool quiesce) {
   Shard& sh = shards_[shard];
   Rng& rng = sh.rng;
   const std::size_t k = sh.live.size();
   const double loss = config_.loss_rate;
-  // Hoisted: both are fixed for the whole phase, so the per-message checks
-  // are perfectly predicted branches when neither feature is in use.
+  // Hoisted: all fixed for the whole phase, so the per-message checks are
+  // perfectly predicted branches when the feature is not in use.
   LossModel* const loss_model = sh.loss.get();
   const FaultPlane* const plane = fault_plane_;
+  const bool single_shard = config_.shard_count == 1;
   [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
   // Burst cursor: amortizes the recorder's pointer chasing over the whole
   // phase (flushes counters back on scope exit).
@@ -162,8 +184,17 @@ void ShardedDriver::initiate_phase(std::size_t shard,
   if constexpr (kRecord) writer.emplace(*recorder_, shard);
   FlatPush msg;
   LocalCounts lc;
+  std::uint64_t produced = 0;
   for (std::size_t a = 0; a < k; ++a) {
     const NodeId u = sh.live[rng.uniform(k)];
+    if (quiesce && cluster_.degree(u) == 0) {
+      // Idle skip: a degree-0 node's action is a guaranteed self-loop, so
+      // skip its slot draws entirely (still one action / one self-loop in
+      // the counters). Only taken in quiescence mode, where the altered
+      // draw schedule is part of the mode's contract.
+      if constexpr (kCount) ++lc.self_loops;
+      continue;
+    }
     const FlatInitiateResult result = cluster_.initiate(u, rng, msg);
     if (result == FlatInitiateResult::kSelfLoop) {
       // Self-loops are pure no-ops: not recorded (the rate lives in the
@@ -171,6 +202,10 @@ void ShardedDriver::initiate_phase(std::size_t shard,
       if constexpr (kCount) ++lc.self_loops;
       continue;
     }
+    ++produced;
+    // Start pulling the receiver's row while the fault/loss draws run; on a
+    // drop the hint is wasted but the draw order is untouched either way.
+    cluster_.prefetch_node(msg.to);
     if constexpr (kCount) {
       if (result == FlatInitiateResult::kSentDuplicated) ++lc.duplications;
     }
@@ -207,13 +242,27 @@ void ShardedDriver::initiate_phase(std::size_t shard,
       }
       continue;
     }
-    const std::size_t dst = shard_of(msg.to);
+    const std::size_t dst = single_shard ? shard : shard_of(msg.to);
     if (dst == shard) {
       deliver<kCount, kRecord>(shard, msg, lc, round,
                                kRecord ? &*writer : nullptr);
     } else {
-      outbox(shard, dst).messages.push_back(msg);
+      outbox(shard, dst).push(msg);
     }
+  }
+  if (quiesce) {
+    // Quiescent iff this shard can never produce again absent inbound
+    // traffic: nothing sent this round and every owned live view empty.
+    bool quiet = produced == 0;
+    if (quiet) {
+      for (const NodeId u : sh.live) {
+        if (cluster_.degree(u) != 0) {
+          quiet = false;
+          break;
+        }
+      }
+    }
+    sh.quiet = quiet ? 1 : 0;
   }
   if constexpr (kCount) {
     std::uint64_t* m = sh.m;
@@ -228,6 +277,7 @@ void ShardedDriver::initiate_phase(std::size_t shard,
     m[kDelivered] += lc.delivered;
     m[kToDead] += lc.to_dead;
     m[kFaulted] += lc.faulted;
+    m[kIdsAccepted] += lc.ids_accepted;
   }
 }
 
@@ -237,21 +287,31 @@ void ShardedDriver::drain_phase(std::size_t shard, std::uint64_t round) {
   std::optional<obs::FlightRecorder::ShardWriter> writer;
   if constexpr (kRecord) writer.emplace(*recorder_, shard);
   // Fixed sender-shard order keeps the shard's RNG consumption — and hence
-  // the whole run — deterministic.
+  // the whole run — deterministic. Messages arrive in whole frames: the
+  // inner loops walk plain arrays, one destination-shard run at a time.
   for (std::size_t src = 0; src < config_.shard_count; ++src) {
     if (src == shard) continue;
-    auto& inbound = outbox(src, shard).messages;
-    for (const FlatPush& msg : inbound) {
-      deliver<kCount, kRecord>(shard, msg, lc, round,
-                               kRecord ? &*writer : nullptr);
+    FrameMailbox& inbound = outbox(src, shard);
+    for (std::size_t f = 0; f < inbound.used; ++f) {
+      const BatchFrame& frame = inbound.frames[f];
+      for (std::uint32_t i = 0; i < frame.count; ++i) {
+        // The frame is a plain array, so the receiver of message i + d is
+        // known d deliveries in advance — prefetch its row now.
+        if (i + 4 < frame.count) {
+          cluster_.prefetch_node(frame.messages[i + 4].to);
+        }
+        deliver<kCount, kRecord>(shard, frame.messages[i], lc, round,
+                                 kRecord ? &*writer : nullptr);
+      }
     }
-    inbound.clear();  // keeps capacity; src refills only after the barrier
+    inbound.clear();  // keeps frames; src refills only after the barrier
   }
   if constexpr (kCount) {
     std::uint64_t* m = shards_[shard].m;
     m[kDeletions] += lc.deletions;
     m[kDelivered] += lc.delivered;
     m[kToDead] += lc.to_dead;
+    m[kIdsAccepted] += lc.ids_accepted;
   }
 }
 
@@ -263,29 +323,34 @@ void ShardedDriver::deliver(
   Shard& sh = shards_[shard];
   assert(shard_of(message.to) == shard);
   [[maybe_unused]] const auto r32 = static_cast<std::uint32_t>(round);
+  [[maybe_unused]] const NodeId sender = message.ids[0].id_unchecked();
   if (!cluster_.live(message.to)) {
     // Dead receiver: dropped silently, indistinguishable from loss (§5).
     if constexpr (kCount) ++lc.to_dead;
     if constexpr (kRecord) {
-      writer->record({message.message_id, r32, message.to,
-                      message.sender.id, obs::FlightEventKind::kToDead});
+      writer->record({message.message_id, r32, message.to, sender,
+                      obs::FlightEventKind::kToDead});
     }
     return;
   }
   if constexpr (kCount) ++lc.delivered;
   if constexpr (kRecord) {
-    writer->record({message.message_id, r32, message.to, message.sender.id,
+    writer->record({message.message_id, r32, message.to, sender,
                     obs::FlightEventKind::kDeliver});
   }
   [[maybe_unused]] const std::size_t accepted =
       cluster_.receive(message.to, message, sh.rng);
   if constexpr (kCount) {
-    if (accepted == 0) ++lc.deletions;
+    lc.ids_accepted += accepted;
+    // Any shortfall — full view, or a batched remainder that no longer
+    // fits — is one deletion event (== the unpacked accepted == 0 test at
+    // p = 1, where accepted is 0 or 2).
+    if (accepted < message.count) ++lc.deletions;
   }
   if constexpr (kRecord) {
-    if (accepted == 0) {
-      writer->record({message.message_id, r32, message.to,
-                      message.sender.id, obs::FlightEventKind::kDelete});
+    if (accepted < message.count) {
+      writer->record({message.message_id, r32, message.to, sender,
+                      obs::FlightEventKind::kDelete});
     }
   }
 }
@@ -335,87 +400,117 @@ void ShardedDriver::observe_round(std::uint64_t round) {
 }
 
 void ShardedDriver::run_rounds(std::uint64_t rounds) {
-  if (rounds == 0) return;
+  rounds_completed_ += run_rounds_dispatch(rounds, /*quiesce=*/false);
+}
+
+std::uint64_t ShardedDriver::run_to_quiescence(std::uint64_t max_rounds) {
+  const std::uint64_t ran = run_rounds_dispatch(max_rounds, /*quiesce=*/true);
+  rounds_completed_ += ran;
+  return ran;
+}
+
+std::uint64_t ShardedDriver::run_rounds_dispatch(std::uint64_t rounds,
+                                                 bool quiesce) {
+  if (rounds == 0) return 0;
   if (config_.count_metrics) {
     if (recorder_ != nullptr) {
-      run_rounds_impl<true, true>(rounds);
-    } else {
-      run_rounds_impl<true, false>(rounds);
+      return run_rounds_impl<true, true>(rounds, quiesce);
     }
-  } else {
-    if (recorder_ != nullptr) {
-      run_rounds_impl<false, true>(rounds);
-    } else {
-      run_rounds_impl<false, false>(rounds);
-    }
+    return run_rounds_impl<true, false>(rounds, quiesce);
   }
+  if (recorder_ != nullptr) {
+    return run_rounds_impl<false, true>(rounds, quiesce);
+  }
+  return run_rounds_impl<false, false>(rounds, quiesce);
 }
 
 template <bool kCount, bool kRecord>
-void ShardedDriver::run_rounds_impl(std::uint64_t rounds) {
-  const std::size_t threads = config_.shard_count;
+std::uint64_t ShardedDriver::run_rounds_impl(std::uint64_t rounds,
+                                             bool quiesce) {
   const std::uint64_t base = rounds_completed_;
   const bool observe = observing();
-  if (threads == 1) {
+  if (threads_ == 1) {
+    // One worker owns every shard; phases still run shard-blocked in
+    // ascending order, so the schedule is the multi-thread schedule.
+    std::uint64_t ran = 0;
     for (std::uint64_t r = 0; r < rounds; ++r) {
       const std::uint64_t round = base + r + 1;
-      {
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, 0);
-        initiate_phase<kCount, kRecord>(0, round);
+      for (std::size_t s = 0; s < config_.shard_count; ++s) {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, s);
+        initiate_phase<kCount, kRecord>(s, round, quiesce);
       }
-      {
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, 0);
-        drain_phase<kCount, kRecord>(0, round);
+      for (std::size_t s = 0; s < config_.shard_count; ++s) {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, s);
+        drain_phase<kCount, kRecord>(s, round);
       }
       if (observe && observation_due(round)) {
         observe_round(round);
       }
+      ++ran;
+      if (quiesce && all_quiet()) break;
     }
-    rounds_completed_ = base + rounds;
-    return;
+    return ran;
   }
 
-  std::barrier barrier(static_cast<std::ptrdiff_t>(threads));
-  const auto worker = [this, rounds, base, observe,
-                       &barrier](std::size_t shard) {
+  std::barrier barrier(static_cast<std::ptrdiff_t>(threads_));
+  std::uint64_t ran_main = 0;
+  const auto worker = [this, rounds, base, observe, quiesce, &barrier,
+                       &ran_main](std::size_t w) {
+    const std::size_t lo = shard_lo(w);
+    const std::size_t hi = shard_hi(w);
+    std::uint64_t ran = 0;
     for (std::uint64_t r = 0; r < rounds; ++r) {
       const std::uint64_t round = base + r + 1;
-      {
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, shard);
-        initiate_phase<kCount, kRecord>(shard, round);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_initiate_, s);
+        initiate_phase<kCount, kRecord>(s, round, quiesce);
       }
       {
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, lo);
         barrier.arrive_and_wait();
       }
-      {
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, shard);
-        drain_phase<kCount, kRecord>(shard, round);
+      for (std::size_t s = lo; s < hi; ++s) {
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_drain_, s);
+        drain_phase<kCount, kRecord>(s, round);
       }
       {
         // Second barrier: no shard may start writing next round's mailboxes
         // until every reader has drained this round's.
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, lo);
         barrier.arrive_and_wait();
       }
       // Phase C: sampling is a pure function of (global round, stride), so
       // every thread agrees on whether this third barrier exists.
       if (observe && observation_due(round)) {
-        if (shard == 0) observe_round(round);
-        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, shard);
+        if (w == 0) observe_round(round);
+        const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, lo);
         barrier.arrive_and_wait();
       }
+      ++ran;
+      if (quiesce) {
+        // Every worker reads flags all of which were written before the
+        // phase-A barrier, so they agree on the verdict. The extra barrier
+        // keeps a worker that continues from writing next round's quiet
+        // flags while a slower one is still reading this round's.
+        const bool stop = all_quiet();
+        {
+          const obs::PhaseProfiler::Scope timer(profiler_, ph_barrier_, lo);
+          barrier.arrive_and_wait();
+        }
+        if (stop) break;
+      }
     }
+    if (w == 0) ran_main = ran;
   };
 
   std::vector<std::thread> pool;
-  pool.reserve(threads - 1);
-  for (std::size_t s = 1; s < threads; ++s) {
-    pool.emplace_back(worker, s);
+  pool.reserve(threads_ - 1);
+  for (std::size_t w = 1; w < threads_; ++w) {
+    pool.emplace_back(worker, w);
   }
   worker(0);
   for (auto& t : pool) t.join();
-  rounds_completed_ = base + rounds;
+  return ran_main;
 }
 
 void ShardedDriver::kill(NodeId u) {
@@ -469,6 +564,7 @@ obs::CumulativeCounters ShardedDriver::cumulative_counters() const {
     c.delivered += m[kDelivered];
     c.to_dead += m[kToDead];
     c.faulted += m[kFaulted];
+    c.ids_accepted += m[kIdsAccepted];
   }
   return c;
 }
@@ -493,7 +589,10 @@ ProtocolMetrics ShardedDriver::protocol_metrics() const {
   m.duplications = c.duplications;
   m.messages_received = c.delivered;
   m.deletions = c.deletions;
-  m.ids_accepted = 2 * (c.delivered - c.deletions);
+  // Counted directly (not derived): with batched messages a delivery can
+  // be partially accepted, so 2 * (delivered - deletions) is only exact at
+  // p = 1.
+  m.ids_accepted = c.ids_accepted;
   return m;
 }
 

@@ -1,25 +1,32 @@
 // Sharded parallel round driver over a FlatSendForgetCluster.
 //
-// Nodes are partitioned into `shard_count` contiguous shards, one worker
-// thread per shard. Each round runs in two phases per shard, separated by
-// barriers:
+// Nodes are partitioned into `shard_count` contiguous *logical* shards.
+// Logical shards are the unit of determinism: each has its own RNG stream,
+// live list and mailboxes. Execution is carried by `thread_count` worker
+// threads (default: one per shard), each of which owns a contiguous block
+// of shards and runs them in fixed ascending order — so the action schedule
+// is a pure function of (seed, shard_count) and the final state is
+// bit-identical for *any* worker-thread count. Each round runs in two
+// phases, separated by barriers:
 //
-//   phase A (initiate): the shard performs one initiate-action per live node
-//     it owns, drawing initiators uniformly (with replacement) from its own
-//     live set. Message loss is sampled at send time from the shard's RNG.
-//     Surviving intra-shard messages are delivered inline; surviving
-//     cross-shard messages are appended to the (sender, receiver) mailbox.
+//   phase A (initiate): each shard performs one initiate-action per live
+//     node it owns, drawing initiators uniformly (with replacement) from
+//     its own live set. Message loss is sampled at send time from the
+//     shard's RNG. Surviving intra-shard messages are delivered inline;
+//     surviving cross-shard messages are appended to the (sender, receiver)
+//     mailbox as fixed-size batch frames.
 //   -- barrier --
-//   phase B (drain): each shard drains its inbound mailboxes in sender-shard
-//     order and delivers every message to its own nodes (messages to nodes
-//     that died in flight are dropped, like loss — the sender cannot tell).
+//   phase B (drain): each shard drains its inbound mailboxes in sender-
+//     shard order, walking whole frames per destination run, and delivers
+//     every message to its own nodes (messages to nodes that died in
+//     flight are dropped, like loss — the sender cannot tell).
 //   -- barrier --
 //   [phase C (observe), only on sampling rounds when observers are
-//     attached: shard 0 probes the quiescent cluster and feeds the
-//     time-series recorder / invariant watchdog while the other shards
-//     wait at a third barrier. Whether a round samples is a pure function
-//     of the global round index and the observation stride, so every
-//     thread takes the same barrier count.]
+//     attached: the first worker probes the quiescent cluster and feeds
+//     the time-series recorder / invariant watchdog while the other
+//     workers wait at a third barrier. Whether a round samples is a pure
+//     function of the global round index and the observation stride, so
+//     every thread takes the same barrier count.]
 //
 // Why this is faithful to the paper's model: S&F actions are nonatomic and
 // the network may lose or delay any message (§4), so deferring cross-shard
@@ -34,11 +41,13 @@
 //
 // Determinism contract: for a fixed (seed, shard_count) the entire run —
 // every view slot, tag, degree and counter — is bit-identical across
-// executions regardless of OS thread scheduling. Each shard's RNG is an
-// independent stream derived from (seed, shard index); mailboxes are
-// single-writer single-reader per (src, dst) pair with barrier-enforced
-// handover; drain order is fixed. Results *do* depend on shard_count (a
-// different partition is a different, equally valid schedule).
+// executions regardless of OS thread scheduling *and* of thread_count
+// (pinned in tests). Each shard's RNG is an independent stream derived from
+// (seed, shard index); mailboxes are single-writer single-reader per
+// (src, dst) pair with barrier-enforced handover (a worker that owns both
+// ends simply hands the frames to itself); drain order is fixed. Results
+// *do* depend on shard_count (a different partition is a different, equally
+// valid schedule).
 //
 // All protocol and network counters live in an obs::MetricsRegistry (one
 // cache-line-padded slab per shard, unsynchronized increments, fixed-order
@@ -70,9 +79,50 @@
 
 namespace gossip::sim {
 
+// Fixed-size mailbox frame: a run of FlatPush messages bound for one
+// destination shard. Mailboxes grow frame-at-a-time and drain frame-at-a-
+// time, so steady-state rounds do no per-message allocation and the drain
+// loop walks plain arrays.
+inline constexpr std::size_t kFrameCapacity = 32;
+struct BatchFrame {
+  std::uint32_t count = 0;
+  FlatPush messages[kFrameCapacity];
+};
+
+// A (src, dst) mailbox: written only by src's worker in phase A, read only
+// by dst's worker in phase B; the round barriers are the synchronization
+// points of this single-producer single-consumer handoff. Frames are
+// recycled across rounds (clear() just rewinds the cursor), so the frame
+// vector reaches steady-state capacity after the first few rounds.
+struct alignas(64) FrameMailbox {
+  std::vector<BatchFrame> frames;
+  std::size_t used = 0;  // frames in flight this round
+
+  void push(const FlatPush& message) {
+    if (used == 0 || frames[used - 1].count == kFrameCapacity) {
+      if (used == frames.size()) frames.emplace_back();
+      frames[used].count = 0;
+      ++used;
+    }
+    BatchFrame& frame = frames[used - 1];
+    frame.messages[frame.count++] = message;
+  }
+  void clear() { used = 0; }
+  [[nodiscard]] std::size_t message_count() const {
+    if (used == 0) return 0;
+    return (used - 1) * kFrameCapacity + frames[used - 1].count;
+  }
+};
+
 struct ShardedDriverConfig {
-  // Number of shards == number of worker threads. Must be >= 1.
+  // Number of logical shards — the determinism unit. Must be >= 1. The
+  // schedule, RNG streams and fingerprints depend on this (and the seed)
+  // only.
   std::size_t shard_count = 1;
+  // Worker threads executing the shards; 0 means one thread per shard.
+  // Must be <= shard_count (a worker owns a contiguous block of shards).
+  // Purely an execution knob: any value yields bit-identical results.
+  std::size_t thread_count = 0;
   // Uniform i.i.d. loss probability per message (§4.1's model). Ignored
   // when `loss_model` is set.
   double loss_rate = 0.0;
@@ -98,9 +148,19 @@ class ShardedDriver {
   // count is fixed for the driver's lifetime (kill/revive churn only).
   ShardedDriver(FlatSendForgetCluster& cluster, ShardedDriverConfig config);
 
-  // Runs `rounds` rounds. Spawns shard_count - 1 worker threads (the
-  // calling thread drives shard 0) and joins them before returning.
+  // Runs `rounds` rounds. Spawns thread_count - 1 worker threads (the
+  // calling thread drives the first shard block) and joins them before
+  // returning.
   void run_rounds(std::uint64_t rounds);
+
+  // Runs at most `max_rounds` rounds in idle-skip mode and stops early at
+  // quiescence: a round in which no shard produced a message and every
+  // live node's view is empty (a decayed cluster can never wake itself
+  // up). Degree-0 initiators skip their slot draws entirely — a different
+  // (but still deterministic) draw schedule from run_rounds, which is why
+  // the mode is opt-in per call rather than a config flag. Returns the
+  // number of rounds actually executed.
+  std::uint64_t run_to_quiescence(std::uint64_t max_rounds);
 
   // --- churn; only legal between run_rounds calls ---
   void kill(NodeId u);
@@ -113,9 +173,16 @@ class ShardedDriver {
     return cluster_;
   }
   [[nodiscard]] const ShardedDriverConfig& config() const { return config_; }
+  // Owning shard of node u (contiguous ranges of ceil(n / shard_count)).
+  // On the message hot path this is a multiply-shift (Lemire's exact
+  // division-by-invariant for 32-bit operands), not an integer division.
   [[nodiscard]] std::size_t shard_of(NodeId u) const {
-    return u / nodes_per_shard_;
+    if (nodes_per_shard_ == 1) return u;
+    return static_cast<std::size_t>(
+        (static_cast<unsigned __int128>(shard_magic_) * u) >> 64);
   }
+  // Effective worker-thread count (config.thread_count, defaulted).
+  [[nodiscard]] std::size_t thread_count() const { return threads_; }
 
   [[nodiscard]] std::uint64_t actions_executed() const;
   // Rounds completed over the driver's lifetime (the observation clock).
@@ -171,6 +238,7 @@ class ShardedDriver {
     kDelivered,
     kToDead,
     kFaulted,
+    kIdsAccepted,
     kCounterCount,
   };
 
@@ -184,12 +252,9 @@ class ShardedDriver {
     std::unique_ptr<LossModel> loss;
     // Per-shard fault-plane state (burst chains, active-phase cache).
     FaultPlane::Context fault_ctx;
-  };
-  // A (src, dst) mailbox: written only by src's thread in phase A, read and
-  // cleared only by dst's thread in phase B; the round barriers are the
-  // synchronization points of this single-producer single-consumer handoff.
-  struct alignas(64) Mailbox {
-    std::vector<FlatPush> messages;
+    // Quiescence flag for this shard's last phase A; written by the owning
+    // worker before the phase barrier, read by every worker after it.
+    std::uint8_t quiet = 0;
   };
 
   // Phase-local counter accumulator: counts live in registers / hot stack
@@ -204,6 +269,7 @@ class ShardedDriver {
     std::uint64_t delivered = 0;
     std::uint64_t to_dead = 0;
     std::uint64_t faulted = 0;
+    std::uint64_t ids_accepted = 0;
   };
 
   // kCount = config_.count_metrics and kRecord = (flight recorder
@@ -211,14 +277,15 @@ class ShardedDriver {
   // carries neither a per-increment nor a per-event branch (the same
   // no-op-sink pattern, now a 2x2 dispatch in run_rounds).
   template <bool kCount, bool kRecord>
-  void initiate_phase(std::size_t shard, std::uint64_t round);
+  void initiate_phase(std::size_t shard, std::uint64_t round, bool quiesce);
   template <bool kCount, bool kRecord>
   void drain_phase(std::size_t shard, std::uint64_t round);
   template <bool kCount, bool kRecord>
   void deliver(std::size_t shard, const FlatPush& message, LocalCounts& lc,
                std::uint64_t round, obs::FlightRecorder::ShardWriter* writer);
   template <bool kCount, bool kRecord>
-  void run_rounds_impl(std::uint64_t rounds);
+  std::uint64_t run_rounds_impl(std::uint64_t rounds, bool quiesce);
+  std::uint64_t run_rounds_dispatch(std::uint64_t rounds, bool quiesce);
   [[nodiscard]] bool observing() const {
     return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr ||
            recovery_ != nullptr;
@@ -226,22 +293,40 @@ class ShardedDriver {
   [[nodiscard]] bool observation_due(std::uint64_t round) const {
     return round % observe_stride_ == 0;
   }
-  // Runs on shard 0's thread while every other shard waits at the phase-C
-  // barrier (single-threaded: simply between rounds).
+  // Runs on the first worker's thread while every other worker waits at
+  // the phase-C barrier (single-threaded: simply between rounds).
   void observe_round(std::uint64_t round);
+  [[nodiscard]] bool all_quiet() const {
+    for (const Shard& sh : shards_) {
+      if (sh.quiet == 0) return false;
+    }
+    return true;
+  }
 
-  [[nodiscard]] Mailbox& outbox(std::size_t src, std::size_t dst) {
+  // Worker w owns the contiguous shard block [shard_lo(w), shard_hi(w)).
+  [[nodiscard]] std::size_t shard_lo(std::size_t worker) const {
+    return worker * shards_per_worker_;
+  }
+  [[nodiscard]] std::size_t shard_hi(std::size_t worker) const {
+    const std::size_t hi = (worker + 1) * shards_per_worker_;
+    return hi < config_.shard_count ? hi : config_.shard_count;
+  }
+
+  [[nodiscard]] FrameMailbox& outbox(std::size_t src, std::size_t dst) {
     return mailboxes_[src * config_.shard_count + dst];
   }
 
   FlatSendForgetCluster& cluster_;
   ShardedDriverConfig config_;
+  std::size_t threads_;            // effective worker threads
+  std::size_t shards_per_worker_;  // ceil(shard_count / threads_)
   std::size_t nodes_per_shard_;
+  std::uint64_t shard_magic_;      // 2^64 / nodes_per_shard_, rounded up
   obs::MetricsRegistry registry_;
   obs::GaugeId live_gauge_;
   obs::GaugeId round_gauge_;
   std::vector<Shard> shards_;
-  std::vector<Mailbox> mailboxes_;           // shard_count^2, row = src
+  std::vector<FrameMailbox> mailboxes_;      // shard_count^2, row = src
   std::vector<std::uint32_t> live_pos_;      // id -> index in its shard list
   Rng churn_rng_;
   std::uint64_t rounds_completed_ = 0;

@@ -49,11 +49,12 @@ TEST(FlatSendForget, InitiateClearsSlotsAboveMinDegree) {
   }
   ASSERT_EQ(result, FlatInitiateResult::kSent);
   EXPECT_EQ(cluster.degree(3), 0u);
-  EXPECT_EQ(msg.sender.id, 3u);
-  EXPECT_FALSE(msg.sender.dependent);
-  EXPECT_FALSE(msg.carried.dependent);
-  EXPECT_TRUE((msg.to == 1 && msg.carried.id == 2) ||
-              (msg.to == 2 && msg.carried.id == 1));
+  EXPECT_EQ(msg.count, 2u);
+  EXPECT_EQ(msg.sender().id(), 3u);
+  EXPECT_FALSE(msg.sender().dependent());
+  EXPECT_FALSE(msg.carried().dependent());
+  EXPECT_TRUE((msg.to == 1 && msg.carried().id() == 2) ||
+              (msg.to == 2 && msg.carried().id() == 1));
 }
 
 TEST(FlatSendForget, InitiateDuplicatesAtMinDegree) {
@@ -68,8 +69,8 @@ TEST(FlatSendForget, InitiateDuplicatesAtMinDegree) {
   }
   ASSERT_EQ(result, FlatInitiateResult::kSentDuplicated);
   EXPECT_EQ(cluster.degree(5), 2u);
-  EXPECT_TRUE(msg.sender.dependent);
-  EXPECT_TRUE(msg.carried.dependent);
+  EXPECT_TRUE(msg.sender().dependent());
+  EXPECT_TRUE(msg.carried().dependent());
 }
 
 TEST(FlatSendForget, ReceiveStoresBothIdsAndDeletesWhenFull) {
@@ -78,8 +79,9 @@ TEST(FlatSendForget, ReceiveStoresBothIdsAndDeletesWhenFull) {
   Rng rng(4);
   FlatPush msg;
   msg.to = 0;
-  msg.sender = ViewEntry{3, false};
-  msg.carried = ViewEntry{7, true};
+  msg.count = 2;
+  msg.ids[0] = PackedViewEntry::pack(3, false);
+  msg.ids[1] = PackedViewEntry::pack(7, true);
   EXPECT_EQ(cluster.receive(0, msg, rng), 2u);
   EXPECT_EQ(cluster.degree(0), 2u);
   const auto ids = cluster.view_ids(0);
@@ -98,8 +100,9 @@ TEST(FlatSendForget, ReceivingOwnIdCreatesDependentSelfEdge) {
   Rng rng(5);
   FlatPush msg;
   msg.to = 4;
-  msg.sender = ViewEntry{1, false};
-  msg.carried = ViewEntry{4, false};
+  msg.count = 2;
+  msg.ids[0] = PackedViewEntry::pack(1, false);
+  msg.ids[1] = PackedViewEntry::pack(4, false);
   cluster.receive(4, msg, rng);
   for (const ViewEntry& e : cluster.view_entries(4)) {
     if (e.id == 4) EXPECT_TRUE(e.dependent);
@@ -127,13 +130,16 @@ TEST(FlatSendForget, ReviveBootstrapsMinDegreeLiveIds) {
 // ---------------------------------------------------------------------------
 
 // One full sharded run with loss and churn; returns the final fingerprint.
+// `threads` = 0 keeps the historical one-worker-per-shard execution.
 std::uint64_t churny_run(std::size_t n, std::size_t shards,
-                         std::uint64_t seed) {
+                         std::uint64_t seed, std::size_t threads = 0) {
   FlatSendForgetCluster cluster(n, default_send_forget_config());
   install_regular_topology(cluster, 18, 21);
   ShardedDriver driver(
-      cluster, ShardedDriverConfig{
-                   .shard_count = shards, .loss_rate = 0.05, .seed = seed});
+      cluster, ShardedDriverConfig{.shard_count = shards,
+                                   .thread_count = threads,
+                                   .loss_rate = 0.05,
+                                   .seed = seed});
   Rng churn_picks(seed ^ 0xABCD);
   std::vector<NodeId> dead;
   for (int batch = 0; batch < 8; ++batch) {
@@ -170,6 +176,92 @@ TEST(ShardedDriver, BitExactDeterminismForFixedSeedAndThreadCount) {
 TEST(ShardedDriver, SingleVsMultiShardAreBothDeterministic) {
   EXPECT_EQ(churny_run(1000, 1, 5), churny_run(1000, 1, 5));
   EXPECT_EQ(churny_run(1000, 3, 5), churny_run(1000, 3, 5));
+}
+
+TEST(ShardedDriver, FingerprintInvariantAcrossThreadCounts) {
+  // The logical shard is the determinism unit: for a fixed (seed,
+  // shard_count), the final state is bit-identical no matter how many
+  // worker threads execute the shards.
+  const std::uint64_t base = churny_run(4096, 8, 123, /*threads=*/1);
+  EXPECT_EQ(base, churny_run(4096, 8, 123, /*threads=*/2));
+  EXPECT_EQ(base, churny_run(4096, 8, 123, /*threads=*/3));
+  EXPECT_EQ(base, churny_run(4096, 8, 123, /*threads=*/8));
+  // ... while shard_count is part of the contract: changing it re-streams
+  // the RNGs and must diverge.
+  EXPECT_NE(base, churny_run(4096, 4, 123, /*threads=*/4));
+}
+
+TEST(ShardedDriver, BatchedPairsDeterministicAcrossThreadCounts) {
+  // §5 batched messages (p = 2): 4-id payloads ride the same mailbox
+  // frames; the determinism contract must hold for them too. Runs under
+  // ThreadSanitizer via the suite's `tsan` label.
+  const auto run = [](std::size_t threads) {
+    FlatSendForgetCluster cluster(2048, default_send_forget_config(),
+                                  FlatClusterOptions{.pairs_per_message = 2});
+    install_regular_topology(cluster, 18, 5);
+    ShardedDriver driver(cluster, ShardedDriverConfig{.shard_count = 4,
+                                                      .thread_count = threads,
+                                                      .loss_rate = 0.05,
+                                                      .seed = 33});
+    driver.run_rounds(40);
+    return cluster.fingerprint() ^ driver.network_metrics().delivered ^
+           (driver.protocol_metrics().ids_accepted * 0x9E37ULL);
+  };
+  const std::uint64_t base = run(1);
+  EXPECT_EQ(base, run(2));
+  EXPECT_EQ(base, run(4));
+}
+
+TEST(ShardedDriver, BatchedPairsAcceptPartialPayloads) {
+  // A 2p-id delivery into a view with fewer than 2p empty slots accepts
+  // the prefix that fits and records exactly one deletion (§5 /
+  // SendForgetExt semantics) — visible through ids_accepted < 2p * count.
+  FlatSendForgetCluster cluster(512, default_send_forget_config(),
+                                FlatClusterOptions{.pairs_per_message = 2});
+  install_regular_topology(cluster, 36, 7);  // near-full views
+  ShardedDriver driver(cluster, ShardedDriverConfig{.shard_count = 2,
+                                                    .thread_count = 1,
+                                                    .loss_rate = 0.0,
+                                                    .seed = 11});
+  driver.run_rounds(30);
+  const auto m = driver.protocol_metrics();
+  ASSERT_GT(m.messages_received, 0u);
+  EXPECT_GT(m.ids_accepted, 0u);
+  // Partial acceptance happened: accepted ids are not a whole multiple of
+  // full 4-id payloads for every delivery.
+  EXPECT_LT(m.ids_accepted, 4 * m.messages_received);
+  EXPECT_GT(m.deletions, 0u);
+}
+
+TEST(ShardedDriver, RunToQuiescenceStopsEarlyAndIsDeterministic) {
+  // dL = 0 with total loss: every action clears two slots and nothing is
+  // ever delivered, so the cluster decays to all-empty views and the
+  // quiescence predicate must fire long before the round budget.
+  const auto run = [](std::size_t threads, std::uint64_t* ran_out) {
+    FlatSendForgetCluster cluster(
+        512, SendForgetConfig{.view_size = 16, .min_degree = 0});
+    install_regular_topology(cluster, 8, 13);
+    ShardedDriver driver(cluster, ShardedDriverConfig{.shard_count = 4,
+                                                      .thread_count = threads,
+                                                      .loss_rate = 1.0,
+                                                      .seed = 3});
+    const std::uint64_t ran = driver.run_to_quiescence(50'000);
+    if (ran_out != nullptr) *ran_out = ran;
+    for (NodeId u = 0; u < cluster.size(); ++u) {
+      EXPECT_EQ(cluster.degree(u), 0u) << "node " << u;
+    }
+    return cluster.fingerprint() ^ (ran * 0x9E37ULL);
+  };
+  std::uint64_t ran1 = 0;
+  std::uint64_t ran4 = 0;
+  const std::uint64_t a = run(1, &ran1);
+  EXPECT_LT(ran1, 50'000u);
+  EXPECT_GT(ran1, 0u);
+  // Same seed, same shard count: identical stopping round and final state,
+  // single- or multi-threaded.
+  EXPECT_EQ(a, run(1, nullptr));
+  EXPECT_EQ(a, run(4, &ran4));
+  EXPECT_EQ(ran1, ran4);
 }
 
 TEST(ShardedDriver, Obs51InvariantUnderParallelLossAndChurn) {

@@ -37,6 +37,23 @@ import sys
 
 HOT_PATH_BUDGET_PCT = 2.0
 DEGREE_MC_AGREEMENT = 1e-6
+# Observation overhead budget (observed vs bare at the reference n). The
+# cost is the stride-10 quiescent probe: an O(n*s) walk over every packed
+# view row plus the watchdog scan, amortized over 10 rounds of useful work.
+# Packed 4-byte entries halved the probe's traffic relative to the unpacked
+# seed engine (20.7% there), so a sampling regression past this budget means
+# the probe degraded structurally, not that the workload got faster.
+OBS_BUDGET_PCT = 25.0
+# Memory-footprint gate for the 10M-node leg: the packed SoA layout budgets
+# ~171 B/node (160 B slot row + degree/live side arrays + the driver's live
+# lists); 220 leaves allocator and mailbox headroom without letting a
+# per-node regression (e.g. an unpacked entry sneaking back in) pass.
+BYTES_PER_NODE_BUDGET = 220.0
+BYTES_PER_NODE_MIN_N = 10_000_000
+# Single-worker throughput gate at the n = 50k operating point: >= 1.5x the
+# unpacked seed engine's committed 8.93M actions/sec.
+SINGLE_THREAD_GATE_N = 50_000
+SINGLE_THREAD_FLOOR_APS = 1.5 * 8.93e6
 
 
 def fail(errors, path, message):
@@ -55,8 +72,10 @@ def check_header(doc, path, errors):
 
 
 def check_scale(doc, path, errors):
-    if not doc.get("results"):
+    results = doc.get("results")
+    if not results:
         fail(errors, path, "empty results table")
+        return
     for key in ("registry_overhead_pct", "recorder_overhead_pct"):
         pct = doc.get(key)
         if not isinstance(pct, (int, float)):
@@ -64,6 +83,54 @@ def check_scale(doc, path, errors):
         elif pct >= HOT_PATH_BUDGET_PCT:
             fail(errors, path,
                  f"{key} = {pct:.2f}% (budget < {HOT_PATH_BUDGET_PCT}%)")
+    obs = doc.get("obs_overhead_pct")
+    if not isinstance(obs, (int, float)):
+        fail(errors, path, "missing obs_overhead_pct")
+    elif obs >= OBS_BUDGET_PCT:
+        fail(errors, path,
+             f"obs_overhead_pct = {obs:.2f}% (budget < {OBS_BUDGET_PCT}%; "
+             "the stride-10 quiescent probe got structurally slower)")
+    # Memory footprint at the 10M-node operating point. The baseline must
+    # actually contain such a leg — the headline scale claim is void if the
+    # big run silently disappears from the table.
+    big = [r for r in results
+           if r.get("driver", "").startswith("sharded")
+           and r.get("n", 0) >= BYTES_PER_NODE_MIN_N]
+    if not big:
+        fail(errors, path,
+             f"no sharded leg with n >= {BYTES_PER_NODE_MIN_N}")
+    for r in big:
+        bpn = r.get("bytes_per_node")
+        if not isinstance(bpn, (int, float)) or bpn <= 0:
+            fail(errors, path,
+                 f"n={r.get('n')}: missing/zero bytes_per_node")
+        elif bpn > BYTES_PER_NODE_BUDGET:
+            fail(errors, path,
+                 f"n={r.get('n')}: bytes_per_node = {bpn:.1f} "
+                 f"(budget <= {BYTES_PER_NODE_BUDGET:.0f})")
+    # Single-worker throughput at n = 50k: the packed hot path plus
+    # shard-blocked scheduling must clear 1.5x the unpacked seed engine on
+    # one thread, independent of how many cores the bench box has.
+    best_1t = max((r.get("actions_per_sec", 0.0) for r in results
+                   if r.get("driver") == "sharded_flat"
+                   and r.get("n") == SINGLE_THREAD_GATE_N
+                   and r.get("threads") == 1), default=0.0)
+    if best_1t <= 0.0:
+        fail(errors, path,
+             f"no sharded_flat leg at n={SINGLE_THREAD_GATE_N} threads=1")
+    elif best_1t < SINGLE_THREAD_FLOOR_APS:
+        fail(errors, path,
+             f"single-thread n={SINGLE_THREAD_GATE_N} throughput "
+             f"{best_1t:.3g} actions/sec "
+             f"(floor {SINGLE_THREAD_FLOOR_APS:.3g})")
+    # When the winning speedup configuration is oversubscribed, the honest
+    # single-worker companion figure must ride along.
+    if doc.get("speedup_oversubscribed") is True:
+        if not any(k.startswith("speedup_vs_sequential_at_n")
+                   and k.endswith("_1t") for k in doc):
+            fail(errors, path,
+                 "speedup is oversubscribed but the _1t companion "
+                 "speedup key is missing")
 
 
 def check_analysis(doc, path, errors):
