@@ -1,0 +1,718 @@
+#include "analysis/mean_field.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "markov/anderson.hpp"
+
+namespace gossip::analysis {
+
+namespace {
+
+// Population-level quantities of the closure, all functionals of the two
+// marginals (the in marginal only contributes its mean).
+struct ClosureStats {
+  double mean_out = 0.0;
+  double second_factorial = 0.0;  // F2 = E[o(o-1)]
+  double edge_factor = 0.0;       // c2 = F2 / E[o]
+  double q_room = 0.0;            // P(o + 2 <= s) under P_out
+  double pz = 0.0;                // dL(dL-1) P_out(dL) / F2
+  double mean_in = 0.0;
+};
+
+// Population statistics of the full pair measure — identical formulas to
+// the exact solver (the receiver-room probability is in-mass-weighted,
+// which is exactly what the product closure approximates away).
+struct PairStats {
+  double second_factorial = 0.0;
+  double edge_factor = 0.0;
+  double receiver_room = 1.0;
+  double initiator_dup = 0.0;
+};
+
+// Dense LU with partial pivoting for the per-level phase blocks (row
+// vector times matrix systems: x * A = b). Factors A^T so each solve is
+// one forward/backward substitution.
+class SmallLu {
+ public:
+  // `a` is row-major m x m. Returns false when numerically singular.
+  bool factor(const std::vector<double>& a, std::size_t m) {
+    m_ = m;
+    lu_.resize(m * m);
+    piv_.resize(m);
+    // lu_ holds A^T: lu_[r * m + c] = a[c * m + r].
+    for (std::size_t r = 0; r < m; ++r) {
+      for (std::size_t c = 0; c < m; ++c) lu_[r * m + c] = a[c * m + r];
+    }
+    for (std::size_t col = 0; col < m; ++col) {
+      std::size_t pivot = col;
+      double best = std::abs(lu_[col * m + col]);
+      for (std::size_t r = col + 1; r < m; ++r) {
+        const double v = std::abs(lu_[r * m + col]);
+        if (v > best) {
+          best = v;
+          pivot = r;
+        }
+      }
+      if (!(best > 0.0) || !std::isfinite(best)) return false;
+      piv_[col] = pivot;
+      if (pivot != col) {
+        for (std::size_t c = 0; c < m; ++c) {
+          std::swap(lu_[col * m + c], lu_[pivot * m + c]);
+        }
+      }
+      const double inv = 1.0 / lu_[col * m + col];
+      for (std::size_t r = col + 1; r < m; ++r) {
+        const double f = lu_[r * m + col] * inv;
+        lu_[r * m + col] = f;
+        if (f == 0.0) continue;
+        for (std::size_t c = col + 1; c < m; ++c) {
+          lu_[r * m + c] -= f * lu_[col * m + c];
+        }
+      }
+    }
+    return true;
+  }
+
+  // Solves x * A = b (i.e. A^T x^T = b^T) for one row vector.
+  void solve_left(const double* b, double* x) const {
+    const std::size_t m = m_;
+    for (std::size_t r = 0; r < m; ++r) x[r] = b[r];
+    for (std::size_t col = 0; col < m; ++col) {
+      if (piv_[col] != col) std::swap(x[col], x[piv_[col]]);
+      const double v = x[col];
+      if (v == 0.0) continue;
+      for (std::size_t r = col + 1; r < m; ++r) {
+        x[r] -= lu_[r * m + col] * v;
+      }
+    }
+    for (std::size_t col = m; col-- > 0;) {
+      double v = x[col];
+      for (std::size_t c = col + 1; c < m; ++c) {
+        v -= lu_[col * m + c] * x[c];
+      }
+      x[col] = v / lu_[col * m + col];
+    }
+  }
+
+ private:
+  std::vector<double> lu_;
+  std::vector<std::size_t> piv_;
+  std::size_t m_ = 0;
+};
+
+class MeanFieldSolver {
+ public:
+  explicit MeanFieldSolver(const MeanFieldParams& params) : p_(params) {
+    validate();
+    cap_ = p_.sum_degree_cap != 0 ? p_.sum_degree_cap : 3 * p_.view_size;
+    if (cap_ < p_.view_size) {
+      throw std::invalid_argument("sum degree cap must be >= s");
+    }
+    out_count_ = (p_.view_size - p_.min_degree) / 2 + 1;
+    in_count_ = (cap_ - p_.min_degree) / 2 + 1;
+    if (p_.refinement_iterations > 0) build_levels();
+  }
+
+  MeanFieldResult solve_at(double loss) {
+    if (loss < 0.0 || loss >= 1.0) {
+      throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    const std::size_t n = out_count_ + in_count_;
+    std::vector<double> x = warm_x_;
+    if (x.empty()) {
+      // Uniform marginals: any simplex point works, this one keeps the
+      // first closure statistics finite.
+      x.assign(n, 0.0);
+      for (std::size_t k = 0; k < out_count_; ++k) {
+        x[k] = 1.0 / static_cast<double>(out_count_);
+      }
+      for (std::size_t i = 0; i < in_count_; ++i) {
+        x[out_count_ + i] = 1.0 / static_cast<double>(in_count_);
+      }
+    }
+
+    MeanFieldResult result;
+    markov::AndersonMixer mixer(std::max<std::size_t>(1, p_.anderson_depth));
+    mixer.set_telemetry(p_.telemetry, "mean_field_closure");
+    std::vector<double> g(n);
+    std::vector<double> f(n);
+    std::vector<double> accel;
+    bool closure_converged = false;
+
+    for (std::size_t iter = 0; iter < p_.max_iterations; ++iter) {
+      const ClosureStats stats = closure_stats(x);
+      solve_out_chain(stats, loss, g);
+      solve_in_chain(stats, loss, g);
+
+      double residual = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        f[k] = g[k] - x[k];
+        residual += std::abs(f[k]);
+      }
+      result.closure_iterations = iter + 1;
+      result.closure_residual = residual;
+      if (p_.telemetry != nullptr) {
+        p_.telemetry->on_iteration("mean_field_closure", iter + 1, residual);
+      }
+      if (residual < p_.tolerance) {
+        x = g;
+        closure_converged = true;
+        break;
+      }
+
+      mixer.push(x, f, residual);
+      if (mixer.extrapolate(accel) && project_blocks(accel)) {
+        std::swap(x, accel);
+      } else {
+        if (p_.telemetry != nullptr) {
+          p_.telemetry->on_event("mean_field_closure", "damped_step",
+                                 iter + 1);
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          x[k] = 0.5 * (x[k] + g[k]);
+        }
+      }
+    }
+    warm_x_ = x;
+
+    if (p_.refinement_iterations > 0) {
+      result.converged = refine(x, loss, result) && closure_converged;
+    } else {
+      result.converged = closure_converged;
+      finalize_closure(closure_stats(x), x, loss, result);
+    }
+    return result;
+  }
+
+ private:
+  // --- product-form closure ---------------------------------------------
+
+  void validate() const {
+    if (p_.view_size < 6 || p_.view_size % 2 != 0) {
+      throw std::invalid_argument("view size s must be even and >= 6");
+    }
+    if (p_.min_degree % 2 != 0 || p_.min_degree + 6 > p_.view_size) {
+      throw std::invalid_argument("dL must be even with dL <= s - 6");
+    }
+    if (p_.loss < 0.0 || p_.loss >= 1.0) {
+      throw std::invalid_argument("loss must be in [0, 1)");
+    }
+    if (p_.anderson_depth == 0) {
+      throw std::invalid_argument("anderson_depth must be >= 1");
+    }
+  }
+
+  [[nodiscard]] ClosureStats closure_stats(
+      const std::vector<double>& x) const {
+    ClosureStats st;
+    for (std::size_t k = 0; k < out_count_; ++k) {
+      const double o = static_cast<double>(p_.min_degree + 2 * k);
+      const double w = x[k];
+      st.mean_out += w * o;
+      st.second_factorial += w * o * (o - 1.0);
+      if (p_.min_degree + 2 * k + 2 <= p_.view_size) st.q_room += w;
+    }
+    st.edge_factor =
+        st.mean_out > 0.0 ? st.second_factorial / st.mean_out : 0.0;
+    const double dl = static_cast<double>(p_.min_degree);
+    st.pz = st.second_factorial > 0.0
+                ? x[0] * dl * (dl - 1.0) / st.second_factorial
+                : 0.0;
+    for (std::size_t i = 0; i < in_count_; ++i) {
+      st.mean_in += x[out_count_ + i] * static_cast<double>(i);
+    }
+    return st;
+  }
+
+  // Detailed balance on the out birth–death chain: flux up from o is
+  // E[in]·c2·(1−ℓ) (a delivered B event targeting the node), flux down
+  // from o is o(o−1) (a non-duplicating action), both per unit time.
+  void solve_out_chain(const ClosureStats& st, double loss,
+                       std::vector<double>& g) const {
+    const double birth = st.mean_in * st.edge_factor * (1.0 - loss);
+    double w = 1.0;
+    double total = 1.0;
+    g[0] = 1.0;
+    for (std::size_t k = 1; k < out_count_; ++k) {
+      const double o = static_cast<double>(p_.min_degree + 2 * k);
+      w *= birth / (o * (o - 1.0));
+      g[k] = w;
+      total += w;
+    }
+    for (std::size_t k = 0; k < out_count_; ++k) g[k] /= total;
+  }
+
+  // Detailed balance on the in birth–death chain: λ(i) = F2·g + i·c2·pz·g
+  // with g = (1−ℓ)·q_room (delivered initiations plus C duplications),
+  // μ(i) = i·c2·(1−pz)·(2−g) (B decrements plus C losses).
+  void solve_in_chain(const ClosureStats& st, double loss,
+                      std::vector<double>& g) const {
+    const double arrive = (1.0 - loss) * st.q_room;
+    const double c2 = st.edge_factor;
+    double w = 1.0;
+    double total = 1.0;
+    g[out_count_] = 1.0;
+    for (std::size_t i = 1; i < in_count_; ++i) {
+      const double lam = st.second_factorial * arrive +
+                         static_cast<double>(i - 1) * c2 * st.pz * arrive;
+      const double mu = static_cast<double>(i) * c2 * (1.0 - st.pz) *
+                        (2.0 - arrive);
+      w *= lam / std::max(mu, 1e-300);
+      w = std::min(w, 1e250);
+      g[out_count_ + i] = w;
+      total += w;
+    }
+    for (std::size_t i = 0; i < in_count_; ++i) g[out_count_ + i] /= total;
+  }
+
+  // Clips negatives and renormalizes each marginal block; the Anderson
+  // extrapolation is rejected when a block degenerates.
+  [[nodiscard]] bool project_blocks(std::vector<double>& v) const {
+    auto block = [&](std::size_t begin, std::size_t end) {
+      double total = 0.0;
+      for (std::size_t k = begin; k < end; ++k) {
+        if (v[k] < 0.0) v[k] = 0.0;
+        total += v[k];
+      }
+      if (!(total > 0.0) || !std::isfinite(total)) return false;
+      for (std::size_t k = begin; k < end; ++k) v[k] /= total;
+      return true;
+    };
+    return block(0, out_count_) && block(out_count_, out_count_ + in_count_);
+  }
+
+  void finalize_closure(const ClosureStats& st, const std::vector<double>& x,
+                        double loss, MeanFieldResult& result) const {
+    result.out_pmf.assign(p_.view_size + 1, 0.0);
+    result.in_pmf.assign(in_count_, 0.0);
+    for (std::size_t k = 0; k < out_count_; ++k) {
+      result.out_pmf[p_.min_degree + 2 * k] = x[k];
+    }
+    for (std::size_t i = 0; i < in_count_; ++i) {
+      result.in_pmf[i] = x[out_count_ + i];
+    }
+    result.expected_out = st.mean_out;
+    result.expected_in = st.mean_in;
+    result.receiver_room_probability = st.q_room;
+    result.duplication_probability = st.pz;
+    result.deletion_probability = (1.0 - loss) * (1.0 - st.q_room);
+  }
+
+  // --- 1/n refinement: exact pair generator, direct QBD solve -----------
+  //
+  // States are ordered level-major: level i holds the out-degree phases
+  // {o_start(i), o_start(i)+2, ..., min(s, cap-2i)}. Every §6.2 event
+  // changes i by at most one, so the pair generator is block tridiagonal
+  // and its stationary distribution follows from one backward block
+  // elimination (U_L = M_L; R_{j-1} = -A_{j-1} U_j^{-1};
+  // U_{j-1} = M_{j-1} + R_{j-1} C_j; then pi_0 U_0 = 0 and
+  // pi_{j} = pi_{j-1} R_{j-1}).
+
+  struct Level {
+    std::size_t offset = 0;   // index of the first state of the level
+    std::size_t o_start = 0;  // smallest out degree present
+    std::size_t count = 0;    // number of phases
+  };
+
+  void build_levels() {
+    const std::size_t max_in = (cap_ - p_.min_degree) / 2;
+    levels_.reserve(max_in + 1);
+    std::size_t offset = 0;
+    for (std::size_t i = 0; i <= max_in; ++i) {
+      Level lv;
+      lv.offset = offset;
+      // The isolated state (0, 0) is unreachable (§6.2) and excluded.
+      lv.o_start = (p_.min_degree == 0 && i == 0) ? 2 : p_.min_degree;
+      const std::size_t o_max = std::min(p_.view_size, cap_ - 2 * i);
+      lv.count = (o_max - lv.o_start) / 2 + 1;
+      levels_.push_back(lv);
+      offset += lv.count;
+    }
+    pair_count_ = offset;
+
+    // The block shapes never change: allocate once, zero-fill per rebuild.
+    const std::size_t L = levels_.size();
+    blocks_m_.resize(L);
+    blocks_a_.resize(L);
+    blocks_c_.resize(L);
+    r_.resize(L);
+    for (std::size_t i = 0; i < L; ++i) {
+      const std::size_t m = levels_[i].count;
+      blocks_m_[i].resize(m * m);
+      if (i + 1 < L) {
+        blocks_a_[i].resize(m * levels_[i + 1].count);
+        r_[i].resize(m * levels_[i + 1].count);
+      }
+      if (i > 0) blocks_c_[i].resize(m * levels_[i - 1].count);
+    }
+  }
+
+  [[nodiscard]] PairStats pair_stats(const std::vector<double>& pi) const {
+    PairStats st;
+    double mean_out = 0.0;
+    double in_mass = 0.0;
+    double in_room_mass = 0.0;
+    double dup_mass = 0.0;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      const Level& lv = levels_[i];
+      for (std::size_t k = 0; k < lv.count; ++k) {
+        const double w = pi[lv.offset + k];
+        const std::size_t ou = lv.o_start + 2 * k;
+        const double o = static_cast<double>(ou);
+        mean_out += w * o;
+        st.second_factorial += w * o * (o - 1.0);
+        in_mass += w * static_cast<double>(i);
+        if (ou + 2 <= p_.view_size) in_room_mass += w * static_cast<double>(i);
+        if (ou == p_.min_degree) dup_mass += w * o * (o - 1.0);
+      }
+    }
+    st.edge_factor = mean_out > 0.0 ? st.second_factorial / mean_out : 0.0;
+    st.receiver_room = in_mass > 0.0 ? in_room_mass / in_mass : 1.0;
+    st.initiator_dup = st.second_factorial > 0.0
+                           ? dup_mass / st.second_factorial
+                           : 0.0;
+    return st;
+  }
+
+  // Assembles the three block diagonals of the generator for the current
+  // population statistics. Rates are the exact solver's, with the common
+  // 1/(s(s-1)) factor dropped (a uniform rate scale leaves the stationary
+  // distribution unchanged). Transitions leaving the truncated space are
+  // self-loops and contribute nothing to the generator.
+  void build_blocks(double c2, double q_room, double pz, double loss) {
+    const std::size_t L = levels_.size();
+    for (std::size_t i = 0; i < L; ++i) {
+      std::fill(blocks_m_[i].begin(), blocks_m_[i].end(), 0.0);
+      std::fill(blocks_a_[i].begin(), blocks_a_[i].end(), 0.0);
+      std::fill(blocks_c_[i].begin(), blocks_c_[i].end(), 0.0);
+    }
+    const double p_in_gain = (1.0 - loss) * q_room;
+    const double p_arrive = (1.0 - loss) * q_room;
+
+    for (std::size_t i = 0; i < L; ++i) {
+      const Level& lv = levels_[i];
+      const std::size_t m = lv.count;
+      const std::size_t m_up = i + 1 < L ? levels_[i + 1].count : 0;
+      const std::size_t m_down = i > 0 ? levels_[i - 1].count : 0;
+
+      for (std::size_t k = 0; k < m; ++k) {
+        const std::size_t o = lv.o_start + 2 * k;
+        const double od = static_cast<double>(o);
+        const bool room = o + 2 <= p_.view_size;
+        const bool duplicate = o <= p_.min_degree;
+        double out_rate = 0.0;
+
+        // Destinations outside the truncated space — or landing on the
+        // excluded isolated state (0, 0) — are self-loops in the exact
+        // chain: they are skipped and contribute nothing to the generator.
+        auto same = [&](std::size_t to_o, double rate) {
+          const std::size_t o_max = lv.o_start + 2 * (lv.count - 1);
+          if (to_o < lv.o_start || to_o > o_max) return;
+          blocks_m_[i][k * m + (to_o - lv.o_start) / 2] += rate;
+          out_rate += rate;
+        };
+        auto up = [&](std::size_t to_o, double rate) {
+          const Level& up_lv = levels_[i + 1];
+          const std::size_t o_max = up_lv.o_start + 2 * (up_lv.count - 1);
+          if (to_o < up_lv.o_start || to_o > o_max) return;
+          blocks_a_[i][k * m_up + (to_o - up_lv.o_start) / 2] += rate;
+          out_rate += rate;
+        };
+        auto down = [&](std::size_t to_o, double rate) {
+          const Level& dn_lv = levels_[i - 1];
+          const std::size_t o_max = dn_lv.o_start + 2 * (dn_lv.count - 1);
+          if (to_o < dn_lv.o_start || to_o > o_max) return;
+          blocks_c_[i][k * m_down + (to_o - dn_lv.o_start) / 2] += rate;
+          out_rate += rate;
+        };
+
+        // Event A: the node initiates a non-self-loop action. With
+        // duplication (o <= dL) the a_keep outcome is a true self-loop.
+        if (o >= 2) {
+          const double rate_a = od * (od - 1.0);
+          const std::size_t o_after = duplicate ? o : o - 2;
+          if (i + 1 < L) up(o_after, rate_a * p_in_gain);
+          if (o_after != o) same(o_after, rate_a * (1.0 - p_in_gain));
+        }
+
+        // Events B and C require the node to be referenced (i > 0).
+        if (i > 0) {
+          const double rate_edge = static_cast<double>(i) * c2;
+          const double p_out_gain = room ? (1.0 - loss) : 0.0;
+          if (room) {
+            down(o + 2, rate_edge * (1.0 - pz) * p_out_gain);
+            same(o + 2, rate_edge * pz * p_out_gain);
+          }
+          down(o, rate_edge * (1.0 - pz) * (1.0 - p_out_gain));
+          if (i + 1 < L) up(o, rate_edge * pz * p_arrive);
+          down(o, rate_edge * (1.0 - pz) * (1.0 - p_arrive));
+        }
+
+        blocks_m_[i][k * m + k] -= out_rate;
+      }
+    }
+  }
+
+  // Stationary distribution of the assembled block-tridiagonal generator.
+  // Throws std::runtime_error when a reduced block is singular (cannot
+  // happen for an irreducible truncated chain).
+  void qbd_stationary(std::vector<double>& pi) {
+    const std::size_t L = levels_.size();
+    // Backward elimination: U_L = M_L, then fold each level into the one
+    // below. r_[j] holds R_j (levels_[j].count x levels_[j+1].count).
+    u_ = blocks_m_[L - 1];
+    for (std::size_t j = L - 1; j > 0; --j) {
+      const std::size_t m = levels_[j].count;
+      const std::size_t m_prev = levels_[j - 1].count;
+      if (!lu_.factor(u_, m)) {
+        throw std::runtime_error("mean-field QBD block singular");
+      }
+      std::vector<double>& r = r_[j - 1];
+      rhs_.resize(m);
+      for (std::size_t row = 0; row < m_prev; ++row) {
+        for (std::size_t c = 0; c < m; ++c) {
+          rhs_[c] = -blocks_a_[j - 1][row * m + c];
+        }
+        lu_.solve_left(rhs_.data(), r.data() + row * m);
+      }
+      // U_{j-1} = M_{j-1} + R_{j-1} C_j.
+      u_next_ = blocks_m_[j - 1];
+      const std::vector<double>& c = blocks_c_[j];
+      for (std::size_t row = 0; row < m_prev; ++row) {
+        for (std::size_t mid = 0; mid < m; ++mid) {
+          const double rv = r[row * m + mid];
+          if (rv == 0.0) continue;
+          for (std::size_t col = 0; col < m_prev; ++col) {
+            u_next_[row * m_prev + col] += rv * c[mid * m_prev + col];
+          }
+        }
+      }
+      std::swap(u_, u_next_);
+    }
+
+    // pi_0 spans the left null space of U_0: replace the first column by
+    // ones (a temporary normalization) and solve pi_0 * U~ = e_0.
+    const std::size_t m0 = levels_[0].count;
+    for (std::size_t row = 0; row < m0; ++row) u_[row * m0] = 1.0;
+    if (!lu_.factor(u_, m0)) {
+      throw std::runtime_error("mean-field QBD root block singular");
+    }
+    rhs_.assign(m0, 0.0);
+    rhs_[0] = 1.0;
+    pi.assign(pair_count_, 0.0);
+    lu_.solve_left(rhs_.data(), pi.data());
+
+    // Forward propagation and global normalization.
+    for (std::size_t j = 1; j < levels_.size(); ++j) {
+      const std::size_t m_prev = levels_[j - 1].count;
+      const std::size_t m = levels_[j].count;
+      const double* prev = pi.data() + levels_[j - 1].offset;
+      double* cur = pi.data() + levels_[j].offset;
+      const std::vector<double>& r = r_[j - 1];
+      for (std::size_t row = 0; row < m_prev; ++row) {
+        const double pv = prev[row];
+        if (pv == 0.0) continue;
+        for (std::size_t col = 0; col < m; ++col) {
+          cur[col] += pv * r[row * m + col];
+        }
+      }
+    }
+    double total = 0.0;
+    for (double& v : pi) {
+      if (v < 0.0) v = 0.0;  // round-off in the deep tail
+      total += v;
+    }
+    if (!(total > 0.0) || !std::isfinite(total)) {
+      throw std::runtime_error("mean-field QBD solve degenerated");
+    }
+    for (double& v : pi) v /= total;
+  }
+
+  // Consistency loop of the refinement, iterated in the three-dimensional
+  // statistics space (c2/s, q_room, pz) rather than over the occupancy
+  // measure: with an exact inner solve the full-measure Picard map is
+  // unstable at small ℓ (the pz -> P(dL) feedback is strongly negative),
+  // while in statistics space the Anderson mixer acts as a quasi-Newton
+  // method and converges in a handful of QBD solves. Warm started from the
+  // converged closure's product measure; per-point deterministic (sweeps
+  // match per-point calls). Returns convergence.
+  bool refine(const std::vector<double>& x, double loss,
+              MeanFieldResult& result) {
+    // Product initial measure over the truncated pair space, used only to
+    // seed the statistics.
+    std::vector<double> pi(pair_count_, 0.0);
+    double total = 0.0;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      const Level& lv = levels_[i];
+      for (std::size_t k = 0; k < lv.count; ++k) {
+        const std::size_t oi = (lv.o_start + 2 * k - p_.min_degree) / 2;
+        const double v = x[oi] * x[out_count_ + i];
+        pi[lv.offset + k] = v;
+        total += v;
+      }
+    }
+    if (!(total > 0.0)) {
+      throw std::runtime_error("mean-field closure degenerated");
+    }
+    for (double& v : pi) v /= total;
+
+    const double s = static_cast<double>(p_.view_size);
+    PairStats seed = pair_stats(pi);
+    std::array<double, 3> theta = {seed.edge_factor / s, seed.receiver_room,
+                                   seed.initiator_dup};
+    auto clamp = [](std::array<double, 3>& v) {
+      for (double& t : v) t = std::clamp(t, 0.0, 1.0);
+    };
+    // F(theta) = stats(QBD stationary at theta) - theta; fills `pi` as a
+    // side effect and returns the L1 residual.
+    auto eval = [&](const std::array<double, 3>& th, std::array<double, 3>& f,
+                    std::vector<double>& dist) {
+      build_blocks(th[0] * s, th[1], th[2], loss);
+      qbd_stationary(dist);
+      const PairStats ns = pair_stats(dist);
+      f[0] = ns.edge_factor / s - th[0];
+      f[1] = ns.receiver_room - th[1];
+      f[2] = ns.initiator_dup - th[2];
+      return std::abs(f[0]) + std::abs(f[1]) + std::abs(f[2]);
+    };
+
+    std::array<double, 3> f;
+    double fn = eval(theta, f, pi);
+    std::array<double, 3> f_probe;
+    std::array<double, 3> f_trial;
+    std::vector<double> pi_scratch;
+    std::vector<double> jt(9);  // J^T, row-major 3x3
+    bool converged = fn < p_.refinement_tolerance;
+
+    for (std::size_t iter = 0; !converged && iter < p_.refinement_iterations;
+         ++iter) {
+      // Central-difference Jacobian of F, two QBD solves per column (the
+      // map is stiff near small ℓ; forward differences stall the search).
+      for (std::size_t k = 0; k < 3; ++k) {
+        const double h = std::max(1e-7, 1e-4 * std::abs(theta[k]));
+        std::array<double, 3> th = theta;
+        th[k] += h;
+        eval(th, f_probe, pi_scratch);
+        th[k] = theta[k] - h;
+        eval(th, f_trial, pi_scratch);
+        for (std::size_t r = 0; r < 3; ++r) {
+          // J^T[k][r] = dF_r / dtheta_k.
+          jt[k * 3 + r] = (f_probe[r] - f_trial[r]) / (2.0 * h);
+        }
+      }
+      std::array<double, 3> step;
+      std::array<double, 3> rhs = {-f[0], -f[1], -f[2]};
+      if (lu3_.factor(jt, 3)) {
+        lu3_.solve_left(rhs.data(), step.data());
+      } else {
+        // Singular Jacobian: fall back to a cautious relaxation step.
+        for (std::size_t k = 0; k < 3; ++k) step[k] = 0.05 * f[k];
+      }
+
+      // Backtracking line search on the residual norm; the fixed point is
+      // stiff at small ℓ, so a full Newton step can overshoot the basin.
+      bool accepted = false;
+      for (double t = 1.0; t >= 1.0 / 1024.0; t *= 0.5) {
+        std::array<double, 3> th = theta;
+        for (std::size_t k = 0; k < 3; ++k) th[k] += t * step[k];
+        clamp(th);
+        const double fn_trial = eval(th, f_trial, pi_scratch);
+        if (fn_trial < fn) {
+          theta = th;
+          f = f_trial;
+          fn = fn_trial;
+          std::swap(pi, pi_scratch);
+          accepted = true;
+          break;
+        }
+      }
+      result.refinement_iterations = iter + 1;
+      result.refinement_residual = fn;
+      if (p_.telemetry != nullptr) {
+        p_.telemetry->on_iteration("mean_field_refine", iter + 1, fn);
+      }
+      if (fn < p_.refinement_tolerance) {
+        converged = true;
+      } else if (!accepted) {
+        break;  // no descent direction left; report unconverged
+      }
+    }
+
+    const PairStats stats = pair_stats(pi);
+    result.out_pmf.assign(p_.view_size + 1, 0.0);
+    result.in_pmf.assign(in_count_, 0.0);
+    result.expected_out = 0.0;
+    result.expected_in = 0.0;
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+      const Level& lv = levels_[i];
+      for (std::size_t k = 0; k < lv.count; ++k) {
+        const double w = pi[lv.offset + k];
+        result.out_pmf[lv.o_start + 2 * k] += w;
+        result.in_pmf[i] += w;
+        result.expected_out += w * static_cast<double>(lv.o_start + 2 * k);
+        result.expected_in += w * static_cast<double>(i);
+      }
+    }
+    result.receiver_room_probability = stats.receiver_room;
+    result.duplication_probability = stats.initiator_dup;
+    result.deletion_probability = (1.0 - loss) * (1.0 - stats.receiver_room);
+    return converged;
+  }
+
+  MeanFieldParams p_;
+  std::size_t cap_ = 0;
+  std::size_t out_count_ = 0;
+  std::size_t in_count_ = 0;
+  std::vector<double> warm_x_;
+
+  std::vector<Level> levels_;
+  std::size_t pair_count_ = 0;
+  std::vector<std::vector<double>> blocks_m_;
+  std::vector<std::vector<double>> blocks_a_;
+  std::vector<std::vector<double>> blocks_c_;
+  std::vector<std::vector<double>> r_;
+  std::vector<double> u_;
+  std::vector<double> u_next_;
+  std::vector<double> rhs_;
+  SmallLu lu_;
+  SmallLu lu3_;
+};
+
+}  // namespace
+
+MeanFieldParams mean_field_params(const DegreeMcParams& params) {
+  if (params.fixed_sum_degree) {
+    throw std::invalid_argument(
+        "fixed_sum_degree has no mean-field counterpart (§6.1 line chain)");
+  }
+  MeanFieldParams mf;
+  mf.view_size = params.view_size;
+  mf.min_degree = params.min_degree;
+  mf.loss = params.loss;
+  mf.sum_degree_cap = params.sum_degree_cap;
+  mf.anderson_depth = std::max<std::size_t>(1, params.anderson_depth);
+  mf.telemetry = params.telemetry;
+  return mf;
+}
+
+MeanFieldResult solve_mean_field(const MeanFieldParams& params) {
+  return MeanFieldSolver(params).solve_at(params.loss);
+}
+
+std::vector<MeanFieldResult> solve_mean_field_sweep(
+    const MeanFieldParams& params, std::span<const double> losses) {
+  MeanFieldSolver solver(params);
+  std::vector<MeanFieldResult> results;
+  results.reserve(losses.size());
+  for (const double loss : losses) {
+    results.push_back(solver.solve_at(loss));
+  }
+  return results;
+}
+
+}  // namespace gossip::analysis

@@ -97,6 +97,13 @@ FlatInitiateResult FlatSendForgetCluster::initiate_batched(NodeId u,
                    : FlatInitiateResult::kSent;
 }
 
+void FlatSendForgetCluster::set_min_degree(std::size_t min_degree) {
+  SendForgetConfig candidate = config_;
+  candidate.min_degree = min_degree;
+  candidate.validate();
+  config_.min_degree = min_degree;
+}
+
 void FlatSendForgetCluster::kill(NodeId u) {
   assert(u < n_);
   if (!live_[u]) return;

@@ -169,6 +169,13 @@ class FlatSendForgetCluster {
   // from further random live nodes). Requires at least one live node.
   void revive(NodeId u, Rng& rng);
 
+  // Installs a new duplication threshold dL (the §6.3 online retuning
+  // actuator). Takes effect at the next initiate-action; all other state —
+  // views, degrees, liveness — is untouched, and no RNG is drawn. The new
+  // value must satisfy the protocol constraints (even, dL + 6 <= s);
+  // throws std::invalid_argument otherwise.
+  void set_min_degree(std::size_t min_degree);
+
   // --- topology loading / inspection (not hot paths) ---
 
   // Installs up to s out-neighbors into u's first slots, tagged independent.

@@ -103,6 +103,17 @@ void TheoryOracle::bind_registry(MetricsRegistry* registry,
   violations_gauge_ = registry_->gauge("drift_violations");
 }
 
+void TheoryOracle::update_prediction(TheoryPrediction prediction) {
+  prediction_ = std::move(prediction);
+  // Statistics accumulated against the previous stationary point are no
+  // longer comparable: re-pin the rate window at the next probe and start
+  // the uniformity census over, as when a declared fault window closes.
+  have_rate_baseline_ = false;
+  occurrence_sum_.clear();
+  always_live_.clear();
+  uniformity_probes_ = 0;
+}
+
 void TheoryOracle::declare_fault_window(std::uint64_t begin,
                                         std::uint64_t end,
                                         std::uint64_t grace_rounds) {

@@ -127,6 +127,15 @@ class TheoryOracle {
                std::span<const std::uint32_t> occurrences,
                const CumulativeCounters& counters);
 
+  // Swaps the live prediction (an online retune installed new dL/s or a
+  // new estimated ℓ). The windowed-rate baseline and the streaming
+  // uniformity census accumulated statistics against the *old* stationary
+  // point, so both restart — exactly the window-close reset — while the
+  // DriftMonitor history and violation counts are preserved. Callers
+  // should pair this with declare_fault_window over the transition so the
+  // excursion between the two stationary points never escalates.
+  void update_prediction(TheoryPrediction prediction);
+
   // Declares a scripted fault window [begin, end): probes landing in
   // [begin, end + grace_rounds) run in the DriftMonitor's *expected* mode
   // (drift accounted, never escalated — see drift_monitor.hpp), and when

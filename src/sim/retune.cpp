@@ -1,0 +1,268 @@
+#include "sim/retune.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+namespace gossip::sim {
+
+namespace {
+
+std::uint64_t delta_u64(std::uint64_t now, std::uint64_t then) {
+  return now >= then ? now - then : 0;
+}
+
+}  // namespace
+
+RetuneController::RetuneController(RetuneConfig config, Solver solver,
+                                   Actuator actuator)
+    : config_(config),
+      solver_(std::move(solver)),
+      actuator_(std::move(actuator)) {
+  if (!solver_) {
+    throw std::invalid_argument("retune controller requires a solver");
+  }
+  config_.loss_window_probes = std::max<std::size_t>(
+      2, config_.loss_window_probes);
+  config_.min_probes = std::max<std::size_t>(2, config_.min_probes);
+}
+
+void RetuneController::bind_oracle(obs::TheoryOracle* oracle) {
+  oracle_ = oracle;
+  if (oracle_ == nullptr) return;
+  const obs::TheoryPrediction& pred = oracle_->prediction();
+  target_out_ = pred.expected_out;
+  view_size_ = pred.view_size;
+  installed_min_degree_ = pred.min_degree;
+  if (!primed_) original_min_degree_ = pred.min_degree;
+  primed_ = pred.valid();
+}
+
+bool RetuneController::estimate_loss(std::uint64_t round,
+                                     const obs::CumulativeCounters& counters) {
+  Snapshot snap;
+  snap.round = round;
+  snap.sent = counters.sent;
+  snap.dropped = counters.lost + counters.faulted + counters.to_dead;
+  window_.push_back(snap);
+  if (window_.size() > config_.loss_window_probes) {
+    window_.erase(window_.begin());
+  }
+  if (window_.size() < config_.min_probes) return false;
+  const Snapshot& oldest = window_.front();
+  const std::uint64_t sent = delta_u64(snap.sent, oldest.sent);
+  if (sent == 0) return false;
+  const std::uint64_t dropped = delta_u64(snap.dropped, oldest.dropped);
+  loss_estimate_ =
+      static_cast<double>(dropped) / static_cast<double>(sent);
+  // The validity boundary: the prediction solvers require ℓ + δ < 1.
+  loss_estimate_ = std::min(loss_estimate_, 0.99 - config_.delta);
+  // The plateau detector's short-horizon view: the newest interval only.
+  const Snapshot& prev = window_[window_.size() - 2];
+  const std::uint64_t recent_sent = delta_u64(snap.sent, prev.sent);
+  if (recent_sent > 0) {
+    recent_estimate_ = static_cast<double>(delta_u64(snap.dropped,
+                                                     prev.dropped)) /
+                       static_cast<double>(recent_sent);
+    recent_estimate_ = std::min(recent_estimate_, 0.99 - config_.delta);
+  }
+  estimate_ready_ = true;
+  return true;
+}
+
+std::size_t RetuneController::select_min_degree(
+    double loss, obs::TheoryPrediction* best) const {
+  // §6.3 live: smallest even dL′ at or above the originally configured dL
+  // whose predicted E[out] is within degree_margin of the original target
+  // while the predicted
+  // duplication stays in the Lemma 6.7 band at ℓ̂. Duplication excess grows
+  // with dL, so the ascending scan visits the cheapest compliant candidates
+  // first; if no candidate reaches the target, the largest band-compliant
+  // one is the best effort.
+  const std::size_t floor_dl = original_min_degree_;
+  const std::size_t ceil_dl = view_size_ - 6;
+  std::size_t chosen = 0;
+  bool have_fallback = false;
+  for (std::size_t dl = floor_dl; dl <= ceil_dl; dl += 2) {
+    obs::TheoryPrediction pred =
+        solver_(view_size_, dl, loss, config_.delta);
+    const bool compliant =
+        pred.duplication_probability <= loss + config_.delta;
+    if (compliant) {
+      chosen = dl;
+      *best = pred;
+      have_fallback = true;
+    }
+    if (compliant && pred.expected_out >= target_out_ - config_.degree_margin) {
+      return dl;
+    }
+    if (!compliant && have_fallback) break;  // only gets worse upward
+  }
+  return have_fallback ? chosen : floor_dl;
+}
+
+void RetuneController::retune(std::uint64_t round) {
+  obs::TheoryPrediction pred;
+  const std::size_t dl = select_min_degree(loss_estimate_, &pred);
+  if (!pred.valid()) {
+    // select_min_degree found nothing compliant; rebase on the current dL
+    // at ℓ̂ so at least the oracle's reference matches reality.
+    pred = solver_(view_size_, installed_min_degree_, loss_estimate_,
+                   config_.delta);
+  }
+
+  RetuneEvent event;
+  event.round = round;
+  event.loss_estimate = loss_estimate_;
+  event.old_min_degree = installed_min_degree_;
+  event.new_min_degree = dl;
+  event.predicted_out = pred.expected_out;
+  event.predicted_duplication = pred.duplication_probability;
+  event.applied = !config_.dry_run;
+  events_.push_back(event);
+  cooldown_until_ = round + config_.cooldown_rounds;
+  if (config_.dry_run) return;
+
+  if (dl != installed_min_degree_ && actuator_) {
+    actuator_(dl);
+    installed_min_degree_ = dl;
+  }
+  oracle_->update_prediction(std::move(pred));
+  // Account the excursion between the stationary points: expected, never
+  // escalated. The window may grow (maybe_extend_window) while the
+  // overlay is still travelling.
+  window_end_ = round + config_.window_rounds;
+  extensions_ = 0;
+  oracle_->declare_fault_window(round, window_end_, config_.grace_rounds);
+  cooldown_until_ = window_end_ + config_.grace_rounds +
+                    config_.cooldown_rounds;
+  ++applied_;
+}
+
+void RetuneController::maybe_extend_window(std::uint64_t round) {
+  if (extensions_ >= config_.max_extensions) return;
+  if (window_end_ + config_.grace_rounds <
+      round + config_.extend_headroom) {
+    return;  // already past any extendable region
+  }
+  if (round + config_.extend_headroom < window_end_) return;  // not yet near
+  // Near the end of the declared window: still out of tolerance?
+  const auto& samples = oracle_->monitor().samples();
+  if (samples.empty()) return;
+  const obs::DriftSample& last = samples.back();
+  double worst = 0.0;
+  for (const double s : last.score) worst = std::max(worst, s);
+  if (worst <= 1.0) return;
+  window_end_ += config_.extend_rounds;
+  ++extensions_;
+  oracle_->declare_fault_window(round, window_end_, config_.grace_rounds);
+  cooldown_until_ = window_end_ + config_.grace_rounds +
+                    config_.cooldown_rounds;
+}
+
+void RetuneController::observe(std::uint64_t round,
+                               const obs::CumulativeCounters& counters) {
+  if (oracle_ == nullptr) return;
+  if (!primed_) {
+    // Late-bound prediction (oracle primed after bind): re-capture.
+    bind_oracle(oracle_);
+    if (!primed_) return;
+  }
+  if (!estimate_loss(round, counters)) return;
+
+  // ℓ̂ has plateaued when the newest inter-probe estimate agrees with the
+  // trailing window; while they disagree the window still mixes pre- and
+  // post-drift traffic and the windowed value is diluted.
+  const bool stable = std::abs(recent_estimate_ - loss_estimate_) <=
+                      config_.stability_tolerance;
+
+  if (!config_.dry_run && round < window_end_ + config_.grace_rounds) {
+    if (pending_retune_ && stable) {
+      // A provisional window is open and ℓ̂ has settled: complete the
+      // install (retune() re-declares the window from here).
+      pending_retune_ = false;
+      if (std::abs(loss_estimate_ - oracle_->prediction().loss) >=
+          config_.min_loss_step) {
+        retune(round);
+      }
+      return;
+    }
+    maybe_extend_window(round);
+    return;
+  }
+  if (round < cooldown_until_) return;
+  if (applied_ >= config_.max_retunes && !config_.dry_run) return;
+
+  // Trigger on the FIRST probe past the warn threshold on any lane: the
+  // monitor escalates only after violation_streak consecutive candidates,
+  // so reacting here always precedes the alarm.
+  const auto& samples = oracle_->monitor().samples();
+  if (samples.empty()) return;
+  const obs::DriftSample& last = samples.back();
+  if (last.expected) return;
+  double worst = 0.0;
+  for (const double s : last.score) worst = std::max(worst, s);
+  if (worst <= 1.0) return;
+
+  // Only react when a changed ℓ̂ can explain the drift. The recent
+  // estimate responds within one probe of a fresh drift; the windowed one
+  // lags, so either moving counts as detection.
+  const double installed_loss = oracle_->prediction().loss;
+  const bool window_moved =
+      std::abs(loss_estimate_ - installed_loss) >= config_.min_loss_step;
+  const bool recent_moved =
+      std::abs(recent_estimate_ - installed_loss) >= config_.min_loss_step;
+  if (!window_moved && !recent_moved) return;
+
+  if (stable && window_moved) {
+    retune(round);
+    return;
+  }
+  if (config_.dry_run) return;  // decisions only; no provisional windows
+
+  // Drift detected but ℓ̂ has not plateaued: the degree lanes can escalate
+  // to VIOLATION within violation_streak probes — faster than the window
+  // fills with post-drift traffic — so suppress escalation now and
+  // install once the estimate settles.
+  pending_retune_ = true;
+  window_end_ = round + config_.window_rounds;
+  extensions_ = 0;
+  oracle_->declare_fault_window(round, window_end_, config_.grace_rounds);
+}
+
+std::string RetuneController::report() const {
+  std::ostringstream out;
+  out << "retune controller: " << applied_ << " applied, ℓ̂="
+      << loss_estimate_ << ", installed dL=" << installed_min_degree_
+      << '\n';
+  for (const RetuneEvent& e : events_) {
+    out << "  round " << e.round << ": ℓ̂=" << e.loss_estimate << " dL "
+        << e.old_min_degree << " -> " << e.new_min_degree << " (E[out] "
+        << e.predicted_out << ", dup " << e.predicted_duplication << ", "
+        << (e.applied ? "applied" : "dry run") << ")\n";
+  }
+  return out.str();
+}
+
+void RetuneController::write_json(std::ostream& out) const {
+  out << "{\"applied\":" << applied_
+      << ",\"loss_estimate\":" << loss_estimate_
+      << ",\"installed_min_degree\":" << installed_min_degree_
+      << ",\"events\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    const RetuneEvent& e = events_[i];
+    if (i > 0) out << ',';
+    out << "{\"round\":" << e.round << ",\"loss_estimate\":"
+        << e.loss_estimate << ",\"old_min_degree\":" << e.old_min_degree
+        << ",\"new_min_degree\":" << e.new_min_degree
+        << ",\"predicted_out\":" << e.predicted_out
+        << ",\"predicted_duplication\":" << e.predicted_duplication
+        << ",\"applied\":" << (e.applied ? "true" : "false") << '}';
+  }
+  out << "]}";
+}
+
+}  // namespace gossip::sim

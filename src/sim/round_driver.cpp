@@ -36,6 +36,10 @@ void RoundDriver::attach_recovery(obs::RecoveryTracker* tracker) {
   recovery_ = tracker;
 }
 
+void RoundDriver::attach_retune(RetuneController* retune) {
+  retune_ = retune;
+}
+
 void RoundDriver::step() {
   const NodeId initiator = cluster_.random_live_node(rng_);
   cluster_.node(initiator).on_initiate(rng_, network_);
@@ -70,6 +74,9 @@ void RoundDriver::observe_round(std::uint64_t round) {
   if (oracle_ != nullptr) {
     oracle_->observe(round, probe, occurrence_scratch_, c);
   }
+  if (retune_ != nullptr) {
+    retune_->observe(round, c);
+  }
   if (recovery_ != nullptr) {
     recovery_->observe(round, probe, /*cluster=*/nullptr, watchdog_,
                        oracle_ != nullptr ? &oracle_->monitor() : nullptr);
@@ -78,7 +85,8 @@ void RoundDriver::observe_round(std::uint64_t round) {
 
 void RoundDriver::run_rounds(std::uint64_t rounds) {
   const bool observing = series_ != nullptr || watchdog_ != nullptr ||
-                         oracle_ != nullptr || recovery_ != nullptr;
+                         oracle_ != nullptr || recovery_ != nullptr ||
+                         retune_ != nullptr;
   for (std::uint64_t r = 0; r < rounds; ++r) {
     network_.set_record_round(rounds_completed_ + 1);
     run_actions(cluster_.live_count());

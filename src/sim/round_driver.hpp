@@ -21,6 +21,7 @@
 #include "sim/fault_plane.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
+#include "sim/retune.hpp"
 
 namespace gossip::sim {
 
@@ -69,6 +70,10 @@ class RoundDriver {
   // Degradation-window tracking at round boundaries; the connectivity lane
   // is skipped (this driver's polymorphic cluster has no flat view graph).
   void attach_recovery(obs::RecoveryTracker* tracker);
+  // Online §6.3 retuning at round boundaries (same hook ordering as the
+  // ShardedDriver: after the oracle's observe). The actuator supplied to
+  // the controller must target this driver's cluster.
+  void attach_retune(RetuneController* retune);
 
  private:
   void observe_round(std::uint64_t round);
@@ -82,6 +87,7 @@ class RoundDriver {
   obs::InvariantWatchdog* watchdog_ = nullptr;
   obs::TheoryOracle* oracle_ = nullptr;
   obs::RecoveryTracker* recovery_ = nullptr;
+  RetuneController* retune_ = nullptr;
   std::vector<std::uint32_t> occurrence_scratch_;
   std::uint64_t observe_stride_ = 1;
 };

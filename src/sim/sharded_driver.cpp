@@ -152,6 +152,10 @@ void ShardedDriver::attach_fault_plane(const FaultPlane* plane) {
   }
 }
 
+void ShardedDriver::attach_retune(RetuneController* retune) {
+  retune_ = retune;
+}
+
 void ShardedDriver::attach_recovery(obs::RecoveryTracker* tracker) {
   recovery_ = tracker;
   if (tracker != nullptr) {
@@ -392,6 +396,12 @@ void ShardedDriver::observe_round(std::uint64_t round) {
   }
   if (oracle_ != nullptr) {
     oracle_->observe(round, probe, occurrence_scratch_, c);
+  }
+  if (retune_ != nullptr) {
+    // After the oracle's probe (the controller reads its monitor), before
+    // recovery classifies the round. Runs on worker 0 at the phase-C
+    // barrier, so the actuator's between-rounds mutation is safe.
+    retune_->observe(round, c);
   }
   if (recovery_ != nullptr) {
     recovery_->observe(round, probe, &cluster_, watchdog_,

@@ -74,6 +74,7 @@
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
 #include "sim/fault_plane.hpp"
+#include "sim/retune.hpp"
 #include "sim/loss.hpp"
 #include "sim/network.hpp"
 
@@ -222,6 +223,12 @@ class ShardedDriver {
   // feeds on the probe, the cluster, and whatever watchdog / oracle are
   // attached. Registers recovery_* gauges (and re-caches counter slabs).
   void attach_recovery(obs::RecoveryTracker* tracker);
+  // Online §6.3 retuning: the controller sees the cumulative counters at
+  // each phase-C probe, after the oracle it is bound to has observed. It
+  // runs on worker 0 while every other worker waits at the phase barrier,
+  // so its actuator may mutate cluster configuration (set_min_degree)
+  // safely. Draws no RNG (pinned in tests/test_retune.cpp).
+  void attach_retune(RetuneController* retune);
   // Sampling cadence for the observe phase (rounds whose global index is a
   // multiple of `stride` sample). Independent of any RNG stream.
   void set_observation_stride(std::uint64_t stride);
@@ -288,7 +295,7 @@ class ShardedDriver {
   std::uint64_t run_rounds_dispatch(std::uint64_t rounds, bool quiesce);
   [[nodiscard]] bool observing() const {
     return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr ||
-           recovery_ != nullptr;
+           recovery_ != nullptr || retune_ != nullptr;
   }
   [[nodiscard]] bool observation_due(std::uint64_t round) const {
     return round % observe_stride_ == 0;
@@ -337,6 +344,7 @@ class ShardedDriver {
   obs::TheoryOracle* oracle_ = nullptr;
   obs::FlightRecorder* recorder_ = nullptr;
   obs::RecoveryTracker* recovery_ = nullptr;
+  RetuneController* retune_ = nullptr;
   const FaultPlane* fault_plane_ = nullptr;
   // Probe-time degree histograms (satellite of the oracle work: the
   // registry's histogram path finally has a producer).

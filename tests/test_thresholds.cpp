@@ -90,6 +90,77 @@ TEST(Thresholds, ValidationUnderLossCertifiesPaperSelection) {
   }
 }
 
+TEST(Thresholds, ValidationAtTheLossBoundary) {
+  // ℓ + δ < 1 is the chain's validity region. Exactly at the boundary the
+  // sweep must refuse; just inside it must still produce a solution (the
+  // Lemma 6.7 band is long gone at such ℓ, but the chain itself is fine).
+  ThresholdSelection sel;
+  sel.min_degree = 18;
+  sel.view_size = 40;
+  const double delta = 0.01;
+  const std::vector<double> at_boundary{0.99};  // ℓ + δ == 1
+  EXPECT_THROW((void)validate_thresholds_under_loss(sel, delta, at_boundary),
+               std::invalid_argument);
+  // The near-boundary chain mixes glacially (its drift vanishes as
+  // ℓ + δ → 1), so solve the inside point on the reduced box to keep the
+  // suite fast; the validity region does not depend on (s, dL).
+  sel.min_degree = 8;
+  sel.view_size = 20;
+  const std::vector<double> inside{0.98};  // ℓ + δ = 0.99 < 1
+  const auto checks = validate_thresholds_under_loss(sel, delta, inside);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_DOUBLE_EQ(checks[0].loss, 0.98);
+  EXPECT_GE(checks[0].duplication_probability, 0.0);
+  EXPECT_LE(checks[0].duplication_probability, 1.0);
+  // Lemma 6.6 still balances even out here.
+  EXPECT_LT(checks[0].balance_gap, 1e-3);
+}
+
+TEST(Thresholds, DegenerateMinDegreeEqualToViewSizeIsRejected) {
+  // dL = s leaves no slack for the protocol's replacement moves; the §6.2
+  // chain requires dL <= s - 6 and the validator must surface that rather
+  // than silently solving a malformed chain.
+  ThresholdSelection degenerate;
+  degenerate.min_degree = 40;
+  degenerate.view_size = 40;
+  const std::vector<double> losses{0.05};
+  EXPECT_THROW(
+      (void)validate_thresholds_under_loss(degenerate, 0.01, losses),
+      std::invalid_argument);
+  // Just under the slack floor is equally malformed.
+  degenerate.min_degree = 36;  // s - 4
+  EXPECT_THROW(
+      (void)validate_thresholds_under_loss(degenerate, 0.01, losses),
+      std::invalid_argument);
+  // The boundary itself (dL = s - 6) is a legal chain.
+  degenerate.min_degree = 34;
+  const auto checks =
+      validate_thresholds_under_loss(degenerate, 0.01, losses);
+  ASSERT_EQ(checks.size(), 1u);
+  EXPECT_GE(checks[0].duplication_probability, 0.0);
+}
+
+TEST(Thresholds, SinglePointSweepMatchesTheMultiPointWarmStart) {
+  // The validator warm-starts each loss point from the previous one. The
+  // fixed point must not depend on that path: a single-ℓ sweep and the
+  // matching entry of a multi-ℓ sweep agree to solver tolerance.
+  ThresholdSelection sel;
+  sel.min_degree = 18;
+  sel.view_size = 40;
+  const double delta = 0.01;
+  const std::vector<double> multi{0.0, 0.02, 0.05, 0.10};
+  const std::vector<double> single{0.05};
+  const auto swept = validate_thresholds_under_loss(sel, delta, multi);
+  const auto solo = validate_thresholds_under_loss(sel, delta, single);
+  ASSERT_EQ(swept.size(), multi.size());
+  ASSERT_EQ(solo.size(), 1u);
+  const auto& warm = swept[2];
+  EXPECT_NEAR(solo[0].duplication_probability, warm.duplication_probability,
+              1e-9);
+  EXPECT_NEAR(solo[0].deletion_probability, warm.deletion_probability, 1e-9);
+  EXPECT_EQ(solo[0].within_bound, warm.within_bound);
+}
+
 TEST(Thresholds, ValidationUnderLossRejectsBadInput) {
   const auto sel = select_thresholds(30, 0.01);
   const std::vector<double> bad{0.995};  // ℓ + δ >= 1

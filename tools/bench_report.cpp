@@ -67,6 +67,7 @@
 
 #include "analysis/degree_mc.hpp"
 #include "analysis/global_mc.hpp"
+#include "analysis/mean_field.hpp"
 #include "analysis/mixing.hpp"
 #include "analysis/prediction.hpp"
 #include "core/flat_send_forget.hpp"
@@ -83,6 +84,7 @@
 #include "obs/watchdog.hpp"
 #include "sim/churn.hpp"
 #include "sim/fault_plane.hpp"
+#include "sim/retune.hpp"
 #include "sim/round_driver.hpp"
 #include "sim/sharded_driver.hpp"
 
@@ -529,6 +531,82 @@ bool emit_analysis_json(bool quick, const std::string& path) {
         std::abs(before.points[i].mean_in - after.points[i].mean_in));
   }
 
+  // Mean-field fast path: same box, same ℓ points, timed against the
+  // accelerated exact sweep above and validated per point (degree-marginal
+  // TVD, dup/del relative error) against exact solves.
+  std::printf("mean-field fast path...\n");
+  const analysis::MeanFieldParams mf_params = analysis::mean_field_params(dp);
+  const auto mf_start = Clock::now();
+  const auto mf_results = analysis::solve_mean_field_sweep(mf_params, losses);
+  const double mf_seconds =
+      std::chrono::duration<double>(Clock::now() - mf_start).count();
+  const double mf_speedup =
+      mf_seconds > 0.0 ? after.seconds / mf_seconds : 0.0;
+
+  struct MfPoint {
+    double loss = 0.0;
+    double tvd_out = 0.0;
+    double tvd_in = 0.0;
+    double dup_rel_err = 0.0;
+    double del_rel_err = 0.0;
+    bool converged = false;
+    std::size_t closure_iterations = 0;
+    std::size_t refinement_iterations = 0;
+  };
+  const auto tvd = [](const std::vector<double>& a,
+                      const std::vector<double>& b) {
+    double t = 0.0;
+    const std::size_t m = std::max(a.size(), b.size());
+    for (std::size_t k = 0; k < m; ++k) {
+      const double av = k < a.size() ? a[k] : 0.0;
+      const double bv = k < b.size() ? b[k] : 0.0;
+      t += std::abs(av - bv);
+    }
+    return 0.5 * t;
+  };
+  const auto rel_err = [](double approx, double exact) {
+    return exact > 0.0 ? std::abs(approx - exact) / exact
+                       : std::abs(approx - exact);
+  };
+  std::vector<MfPoint> mf_points;
+  {
+    const auto exact = analysis::solve_degree_mc_sweep(dp, losses);
+    for (std::size_t i = 0; i < losses.size(); ++i) {
+      MfPoint p;
+      p.loss = losses[i];
+      p.tvd_out = tvd(mf_results[i].out_pmf, exact[i].out_pmf);
+      p.tvd_in = tvd(mf_results[i].in_pmf, exact[i].in_pmf);
+      p.dup_rel_err = rel_err(mf_results[i].duplication_probability,
+                              exact[i].duplication_probability);
+      p.del_rel_err = rel_err(mf_results[i].deletion_probability,
+                              exact[i].deletion_probability);
+      p.converged = mf_results[i].converged;
+      p.closure_iterations = mf_results[i].closure_iterations;
+      p.refinement_iterations = mf_results[i].refinement_iterations;
+      mf_points.push_back(p);
+    }
+  }
+  double mf_max_tvd = 0.0;
+  for (const MfPoint& p : mf_points) {
+    mf_max_tvd = std::max(mf_max_tvd, std::max(p.tvd_out, p.tvd_in));
+  }
+  std::printf("  %.4f s (%.1fx vs exact sweep), max TVD %.2g\n", mf_seconds,
+              mf_speedup, mf_max_tvd);
+
+  // Prediction-cache demonstration: the first kMeanField call per (params,
+  // delta) solves, the repeat is served from the cache.
+  analysis::clear_prediction_cache();
+  {
+    analysis::DegreeMcParams cp = dp;
+    cp.loss = losses.front();
+    (void)analysis::make_theory_prediction(
+        cp, 0.01, analysis::PredictionSource::kMeanField);
+    (void)analysis::make_theory_prediction(
+        cp, 0.01, analysis::PredictionSource::kMeanField);
+  }
+  const analysis::PredictionCacheStats cache_stats =
+      analysis::prediction_cache_stats();
+
   // Exhaustive global MC: n = 4 ring + reverse-ring, no loss (the
   // Lemma 7.5 chain). Quick mode shrinks to n = 3.
   const std::size_t gn = quick ? 3 : 4;
@@ -631,6 +709,37 @@ bool emit_analysis_json(bool quick, const std::string& path) {
                 "    \"inner_iteration_ratio\": %.2f,\n"
                 "    \"max_mean_indegree_diff\": %.3g\n  },\n",
                 wall_speedup, outer_ratio, inner_ratio, max_mean_diff);
+  out << buf;
+
+  out << "  \"mean_field\": {\n";
+  out << "    \"view_size\": " << dp.view_size << ",\n";
+  out << "    \"min_degree\": " << dp.min_degree << ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"seconds\": %.6f,\n"
+                "    \"exact_seconds\": %.6f,\n"
+                "    \"speedup_vs_exact\": %.2f,\n",
+                mf_seconds, after.seconds, mf_speedup);
+  out << buf;
+  out << "    \"points\": [\n";
+  for (std::size_t i = 0; i < mf_points.size(); ++i) {
+    const MfPoint& p = mf_points[i];
+    std::snprintf(buf, sizeof(buf),
+                  "      {\"loss\": %g, \"tvd_out\": %.3g, "
+                  "\"tvd_in\": %.3g, \"dup_rel_err\": %.3g, "
+                  "\"del_rel_err\": %.3g, \"converged\": %s, "
+                  "\"closure_iterations\": %zu, "
+                  "\"refinement_iterations\": %zu}%s\n",
+                  p.loss, p.tvd_out, p.tvd_in, p.dup_rel_err, p.del_rel_err,
+                  p.converged ? "true" : "false", p.closure_iterations,
+                  p.refinement_iterations,
+                  i + 1 < mf_points.size() ? "," : "");
+    out << buf;
+  }
+  out << "    ],\n";
+  std::snprintf(buf, sizeof(buf),
+                "    \"cache\": {\"hits\": %llu, \"misses\": %llu}\n  },\n",
+                static_cast<unsigned long long>(cache_stats.hits),
+                static_cast<unsigned long long>(cache_stats.misses));
   out << buf;
 
   std::snprintf(buf, sizeof(buf),
@@ -1069,6 +1178,11 @@ struct ChaosSpec {
   std::uint64_t kill_round = 0;
   bool declare = true;          // declare windows to the tracker (and oracle)
   bool with_oracle = false;
+  // Attach the §6.3 retune controller (requires with_oracle). The oracle
+  // prediction and the controller's candidate solves both go through the
+  // mean-field fast path — the whole point of retuning live.
+  bool with_retune = false;
+  std::size_t oracle_warmup = 0;  // 0 = the oracle's default
 };
 
 struct ChaosRun {
@@ -1084,6 +1198,10 @@ struct ChaosRun {
   double component_fraction = 1.0;
   std::uint64_t warns = 0;       // oracle legs only
   std::uint64_t violations = 0;  // oracle legs only
+  bool degree_in_band = true;    // oracle legs: degree lanes kOk at the end
+  std::size_t retunes = 0;       // retune legs only
+  std::size_t installed_min_degree = 0;
+  double loss_estimate = 0.0;
 };
 
 ChaosRun run_chaos(const ChaosSpec& spec) {
@@ -1122,19 +1240,43 @@ ChaosRun run_chaos(const ChaosSpec& spec) {
     }
   }
   std::unique_ptr<obs::TheoryOracle> oracle;
+  std::unique_ptr<sim::RetuneController> retune;
   if (spec.with_oracle) {
+    // Retune legs prime through the mean-field fast path (the controller
+    // re-solves live at candidate dL values); plain oracle legs keep the
+    // exact solver. Both are served from the prediction cache.
+    const auto source = spec.with_retune
+                            ? analysis::PredictionSource::kMeanField
+                            : analysis::PredictionSource::kExactMc;
     analysis::DegreeMcParams dp;
     dp.view_size = cfg.view_size;
     dp.min_degree = cfg.min_degree;
     dp.loss = spec.loss;
+    obs::OracleConfig ocfg;
+    if (spec.oracle_warmup > 0) ocfg.warmup_rounds = spec.oracle_warmup;
     oracle = std::make_unique<obs::TheoryOracle>(
-        analysis::make_theory_prediction(dp));
+        analysis::make_theory_prediction(dp, /*delta=*/0.01, source), ocfg);
     if (spec.declare) {
       for (const sim::FaultPhase& p : spec.schedule.phases) {
         oracle->declare_fault_window(p.begin, p.end, /*grace_rounds=*/40);
       }
     }
     driver.attach_oracle(oracle.get());
+    if (spec.with_retune) {
+      retune = std::make_unique<sim::RetuneController>(
+          sim::RetuneConfig{},
+          [](std::size_t s, std::size_t dl, double loss, double delta) {
+            analysis::DegreeMcParams p;
+            p.view_size = s;
+            p.min_degree = dl;
+            p.loss = loss;
+            return analysis::make_theory_prediction(
+                p, delta, analysis::PredictionSource::kMeanField);
+          },
+          [&cluster](std::size_t dl) { cluster.set_min_degree(dl); });
+      retune->bind_oracle(oracle.get());
+      driver.attach_retune(retune.get());
+    }
   }
   if (!spec.schedule.empty()) driver.attach_fault_plane(&plane);
   driver.attach_recovery(&tracker);  // last: re-caches the counter slabs
@@ -1169,6 +1311,17 @@ ChaosRun run_chaos(const ChaosSpec& spec) {
   if (oracle != nullptr) {
     run.warns = oracle->monitor().warn_transitions();
     run.violations = oracle->monitor().violation_transitions();
+    run.degree_in_band =
+        oracle->monitor().state(obs::DriftCheck::kDegreeOut) ==
+            obs::DriftState::kOk &&
+        oracle->monitor().state(obs::DriftCheck::kDegreeIn) ==
+            obs::DriftState::kOk;
+  }
+  if (retune != nullptr) {
+    run.retunes = retune->retunes_applied();
+    run.installed_min_degree = cluster.config().min_degree;
+    run.loss_estimate = retune->last_loss_estimate();
+    std::printf("%s", retune->report().c_str());
   }
   std::printf("%s", tracker.report().c_str());
   return run;
@@ -1211,9 +1364,19 @@ void emit_chaos_run(std::ofstream& out, const char* key, const ChaosRun& r) {
   if (r.spec.with_oracle) {
     std::snprintf(buf, sizeof(buf),
                   "    \"warn_transitions\": %llu, "
-                  "\"violation_transitions\": %llu,\n",
+                  "\"violation_transitions\": %llu, "
+                  "\"degree_in_band\": %s,\n",
                   static_cast<unsigned long long>(r.warns),
-                  static_cast<unsigned long long>(r.violations));
+                  static_cast<unsigned long long>(r.violations),
+                  r.degree_in_band ? "true" : "false");
+    out << buf;
+  }
+  if (r.spec.with_retune) {
+    std::snprintf(buf, sizeof(buf),
+                  "    \"retunes_applied\": %zu, "
+                  "\"installed_min_degree\": %zu, "
+                  "\"loss_estimate\": %.4f,\n",
+                  r.retunes, r.installed_min_degree, r.loss_estimate);
     out << buf;
   }
   out << "    \"episodes\": [";
@@ -1329,6 +1492,34 @@ bool emit_chaos_json(bool quick, const std::string& path) {
     spike.schedule.phases.push_back(s);
   }
 
+  // Legs 5 and 6: a sustained 12% loss spike from round 400 to the end of
+  // the run — far too long to ride out. Unattended (loss_retune_off) the
+  // drift monitor must escalate to VIOLATION; with the §6.3 controller
+  // closing the loop (loss_retune) the run must end with zero violations,
+  // at least one applied retune, and the degree lanes back in band. The
+  // oracle warms up 300 rounds (enough for the regular seed topology to
+  // mix into the ℓ-stationary distribution) so the monitor judges the
+  // spike, not the warm-in transient.
+  ChaosSpec retune_on;
+  retune_on.n = n;
+  retune_on.threads = threads;
+  retune_on.rounds = 1200;
+  retune_on.declare = false;
+  retune_on.with_oracle = true;
+  retune_on.with_retune = true;
+  retune_on.oracle_warmup = 300;
+  {
+    sim::FaultPhase s;
+    s.kind = sim::FaultKind::kLossSpike;
+    s.begin = 400;
+    s.end = retune_on.rounds + 1;
+    s.rate = 0.12;
+    s.label = "sustained-spike";
+    retune_on.schedule.phases.push_back(s);
+  }
+  ChaosSpec retune_off = retune_on;
+  retune_off.with_retune = false;
+
   std::printf("chaos: partition leg n=%zu rounds=%zu cut=[150,170)\n", n,
               partition.rounds);
   const ChaosRun part_run = run_chaos(partition);
@@ -1342,6 +1533,14 @@ bool emit_chaos_json(bool quick, const std::string& path) {
               "spike=[440,480) rate=0.15 (oracle attached)\n",
               n, spike.rounds);
   const ChaosRun spike_run = run_chaos(spike);
+  std::printf("chaos: sustained-spike leg n=%zu rounds=%zu "
+              "spike=[400,end) rate=0.12 (retune ON)\n",
+              n, retune_on.rounds);
+  const ChaosRun retune_run = run_chaos(retune_on);
+  std::printf("chaos: sustained-spike leg n=%zu rounds=%zu "
+              "spike=[400,end) rate=0.12 (retune OFF)\n",
+              n, retune_off.rounds);
+  const ChaosRun retune_off_run = run_chaos(retune_off);
 
   const bool part_ok = chaos_recovered(part_run, "split", kPartitionBudget) &&
                        part_run.faulted > 0;
@@ -1353,6 +1552,13 @@ bool emit_chaos_json(bool quick, const std::string& path) {
       chaos_episode(spike_run, "undeclared");
   const bool spike_ok = spike_run.violations > 0 && undeclared != nullptr &&
                         undeclared->degraded && spike_run.faulted > 0;
+  const bool retune_ok = retune_run.violations == 0 &&
+                         retune_run.retunes >= 1 &&
+                         retune_run.degree_in_band &&
+                         retune_run.unrecovered == 0 &&
+                         retune_run.faulted > 0;
+  const bool retune_off_ok =
+      retune_off_run.violations > 0 && retune_off_run.faulted > 0;
 
   std::ofstream out(path);
   emit_header(out, "chaos_faults");
@@ -1373,12 +1579,19 @@ bool emit_chaos_json(bool quick, const std::string& path) {
   out << ",\n";
   emit_chaos_run(out, "undeclared_spike", spike_run);
   out << ",\n";
+  emit_chaos_run(out, "loss_retune", retune_run);
+  out << ",\n";
+  emit_chaos_run(out, "loss_retune_off", retune_off_run);
+  out << ",\n";
   std::snprintf(buf, sizeof(buf),
                 "  \"gates\": {\"partition_recovered\": %s, "
                 "\"mass_failure_recovered\": %s, \"burst_survived\": %s, "
-                "\"undeclared_tripped\": %s}\n}\n",
+                "\"undeclared_tripped\": %s, \"retune_survived\": %s, "
+                "\"retune_off_tripped\": %s}\n}\n",
                 part_ok ? "true" : "false", mass_ok ? "true" : "false",
-                burst_ok ? "true" : "false", spike_ok ? "true" : "false");
+                burst_ok ? "true" : "false", spike_ok ? "true" : "false",
+                retune_ok ? "true" : "false",
+                retune_off_ok ? "true" : "false");
   out << buf;
 
   if (!part_ok) {
@@ -1423,7 +1636,22 @@ bool emit_chaos_json(bool quick, const std::string& path) {
                  static_cast<unsigned long long>(spike_run.violations),
                  undeclared != nullptr && undeclared->degraded);
   }
-  return static_cast<bool>(out) && part_ok && mass_ok && burst_ok && spike_ok;
+  if (!retune_ok) {
+    std::fprintf(stderr,
+                 "error: retune leg failed its gate (violations=%llu "
+                 "retunes=%zu degree_in_band=%d unrecovered=%zu)\n",
+                 static_cast<unsigned long long>(retune_run.violations),
+                 retune_run.retunes, retune_run.degree_in_band,
+                 retune_run.unrecovered);
+  }
+  if (!retune_off_ok) {
+    std::fprintf(stderr,
+                 "error: retune-off leg failed to trip the monitor "
+                 "(violations=%llu)\n",
+                 static_cast<unsigned long long>(retune_off_run.violations));
+  }
+  return static_cast<bool>(out) && part_ok && mass_ok && burst_ok &&
+         spike_ok && retune_ok && retune_off_ok;
 }
 
 }  // namespace

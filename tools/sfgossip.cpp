@@ -77,6 +77,110 @@ int usage() {
 
 // ------------------------------------------------------------- simulate
 
+// The --retune mode: a flat S&F overlay on the sharded driver with the
+// theory oracle watching and the §6.3 controller closing the loop. The
+// oracle is primed through the mean-field fast path (the exact MC would
+// be too slow to re-solve live), and an optional scripted loss spike
+// demonstrates the retune: the controller re-estimates ℓ̂, installs a
+// compliant dL, and the run ends with zero drift violations.
+int cmd_simulate_retune(const ArgParser& args) {
+  const auto nodes = args.get_size("nodes", 2000, 64, 10'000'000);
+  const auto rounds = args.get_size("rounds", 1200, 1, 10'000'000);
+  const double loss_rate = args.get_double("loss", 0.01, 0.0, 0.99);
+  const auto view_size = args.get_size("view-size", 40, 6, 512);
+  const auto min_degree = args.get_size("min-degree", 18, 2, 506);
+  const auto shards = args.get_size("shards", 2, 1, 64);
+  const auto stride = args.get_size("metrics-stride", 5, 1, 100'000);
+  const auto warmup = args.get_size("warmup", 300, 0, 10'000'000);
+  const auto spike_begin = args.get_size("spike-begin", 400, 0, 10'000'000);
+  const auto spike_end = args.get_size("spike-end", 0, 0, 10'000'000);
+  const double spike_rate = args.get_double("spike-rate", 0.12, 0.0, 0.99);
+  const auto seed = static_cast<std::uint64_t>(
+      args.get_int("seed", 1, 0, std::numeric_limits<std::int64_t>::max()));
+
+  const SendForgetConfig cfg{.view_size = view_size,
+                             .min_degree = min_degree};
+  cfg.validate();
+
+  const auto solver = [](std::size_t s, std::size_t dl, double loss,
+                         double delta) {
+    analysis::DegreeMcParams dp;
+    dp.view_size = s;
+    dp.min_degree = dl;
+    dp.loss = loss;
+    return analysis::make_theory_prediction(
+        dp, delta, analysis::PredictionSource::kMeanField);
+  };
+
+  FlatSendForgetCluster cluster(nodes, cfg);
+  Rng graph_rng(seed * 3 + 1);
+  const Digraph g = permutation_regular(nodes, min_degree, graph_rng);
+  for (NodeId u = 0; u < nodes; ++u) {
+    cluster.install_view(u, g.out_neighbors(u));
+  }
+
+  sim::FaultSchedule schedule;
+  if (spike_rate > 0.0 && spike_begin < rounds) {
+    sim::FaultPhase spike;
+    spike.kind = sim::FaultKind::kLossSpike;
+    spike.begin = spike_begin;
+    spike.end = spike_end == 0 ? rounds + 1 : spike_end;
+    spike.rate = spike_rate;
+    spike.label = "loss-spike";
+    schedule.phases.push_back(spike);
+  }
+  const sim::FaultPlane plane(schedule, nodes, shards);
+
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = shards, .loss_rate = loss_rate,
+                   .seed = seed});
+  if (!schedule.empty()) driver.attach_fault_plane(&plane);
+  driver.set_observation_stride(stride);
+
+  obs::OracleConfig oracle_config;
+  oracle_config.warmup_rounds = warmup;
+  obs::TheoryOracle oracle(solver(view_size, min_degree, loss_rate, 0.01),
+                           oracle_config);
+  driver.attach_oracle(&oracle);
+
+  sim::RetuneController controller(
+      sim::RetuneConfig{}, solver,
+      [&cluster](std::size_t dl) { cluster.set_min_degree(dl); });
+  controller.bind_oracle(&oracle);
+  driver.attach_retune(&controller);
+
+  std::printf("simulating %zu nodes x %zu rounds, loss=%.3f, protocol=sf, "
+              "driver=sharded(%zu), retune=on\n",
+              nodes, rounds, loss_rate, shards);
+  if (!schedule.empty()) std::printf("%s", plane.describe().c_str());
+
+  driver.run_rounds(rounds);
+
+  const sim::NetworkMetrics net = driver.network_metrics();
+  std::printf("network: %llu sent, %llu lost, %llu fault-dropped\n",
+              static_cast<unsigned long long>(net.sent),
+              static_cast<unsigned long long>(net.lost),
+              static_cast<unsigned long long>(net.faulted));
+  std::printf("%s", oracle.report().c_str());
+  std::printf("%s", controller.report().c_str());
+
+  if (args.has("json")) {
+    const auto path = args.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    out << "{\n  \"tool\": \"sfgossip\",\n  \"schema_version\": 1,\n"
+        << "  \"git\": \"" << GOSSIP_GIT_DESCRIBE << "\",\n  \"oracle\": ";
+    oracle.write_json(out);
+    out << ",\n  \"retune\": ";
+    controller.write_json(out);
+    out << "\n}\n";
+    std::printf("wrote %s\n", path.c_str());
+  }
+  // Healthy means the controller kept every drift lane out of VIOLATION.
+  return oracle.monitor().violation_transitions() == 0 ? 0 : 1;
+}
+
 int cmd_simulate(const ArgParser& args) {
   if (args.has("help")) {
     std::printf(
@@ -100,8 +204,25 @@ int cmd_simulate(const ArgParser& args) {
         "                    ring and dump it at the end (read it back with\n"
         "                    'sfgossip trace-dump FILE')\n"
         "  --trace-capacity N  ring capacity, rounded to a power of two\n"
-        "                    (default 32768; the ring keeps the LAST N)\n");
+        "                    (default 32768; the ring keeps the LAST N)\n"
+        "  --retune          close the loop: sharded sf run with the theory\n"
+        "                    oracle attached and the §6.3 controller re-\n"
+        "                    solving dL (mean-field fast path) under loss\n"
+        "                    drift; defaults to a sustained 12%% spike from\n"
+        "                    round 400 (exit 1 on any drift VIOLATION)\n"
+        "    --shards T        worker shards              (default 2)\n"
+        "    --warmup W        oracle warmup rounds       (default 300)\n"
+        "    --spike-begin R   spike start round          (default 400)\n"
+        "    --spike-end R     spike end round            (default: run end)\n"
+        "    --spike-rate X    spiked loss rate           (default 0.12)\n"
+        "    --json FILE       write oracle + retune JSON\n");
     return 0;
+  }
+  if (args.has("retune")) {
+    if (args.get_string("protocol", "sf") != "sf") {
+      throw CliError("--retune drives the flat S&F engine (--protocol sf)");
+    }
+    return cmd_simulate_retune(args);
   }
   const auto nodes = args.get_size("nodes", 1000, 8, 1'000'000);
   const auto rounds = args.get_size("rounds", 300, 1, 1'000'000);
@@ -672,6 +793,8 @@ int cmd_chaos(const ArgParser& args) {
         "  --warmup W        tracker warmup rounds        (default 100)\n"
         "  --oracle          attach the theory oracle; scripted windows are\n"
         "                    declared (drift accounted, not escalated)\n"
+        "  --prediction P    oracle solver: exact|meanfield (default exact;\n"
+        "                    both served from the process prediction cache)\n"
         "  --grace G         post-heal oracle grace rounds (default 40)\n"
         "  --json FILE       write series + annotations + recovery JSON\n"
         "Scenario config lines (nodes, rounds, loss, view-size, min-degree,\n"
@@ -742,12 +865,21 @@ int cmd_chaos(const ArgParser& args) {
 
   std::unique_ptr<obs::TheoryOracle> oracle;
   if (args.has("oracle")) {
+    const auto source_name = args.get_string("prediction", "exact");
+    analysis::PredictionSource source;
+    if (source_name == "exact") {
+      source = analysis::PredictionSource::kExactMc;
+    } else if (source_name == "meanfield") {
+      source = analysis::PredictionSource::kMeanField;
+    } else {
+      throw CliError("unknown --prediction '" + source_name + "'");
+    }
     analysis::DegreeMcParams dp;
     dp.view_size = view_size;
     dp.min_degree = min_degree;
     dp.loss = loss;
     oracle = std::make_unique<obs::TheoryOracle>(
-        analysis::make_theory_prediction(dp));
+        analysis::make_theory_prediction(dp, /*delta=*/0.01, source));
     for (const sim::FaultPhase& phase : scenario.schedule.phases) {
       oracle->declare_fault_window(phase.begin, phase.end, grace);
     }
