@@ -1,0 +1,57 @@
+#include "obs/export/quantiles.hpp"
+
+#include <algorithm>
+
+namespace gossip::obs {
+
+namespace {
+
+double bucket_lower_edge(const std::vector<double>& upper_bounds,
+                         std::size_t bucket) {
+  if (bucket == 0) {
+    return std::min(0.0, upper_bounds.empty() ? 0.0 : upper_bounds.front());
+  }
+  return upper_bounds[bucket - 1];
+}
+
+}  // namespace
+
+double histogram_quantile(const std::vector<double>& upper_bounds,
+                          const std::vector<std::uint64_t>& counts, double q) {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : counts) total += c;
+  if (total == 0 || counts.empty()) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+
+    if (b >= upper_bounds.size()) {
+      // Overflow bucket: clamp to the largest finite bound.
+      return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+    }
+    const double lo = bucket_lower_edge(upper_bounds, b);
+    const double hi = upper_bounds[b];
+    const double within = (rank - before) / static_cast<double>(counts[b]);
+    return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+  }
+  // Unreachable when total > 0; keep a defined answer for safety.
+  return upper_bounds.empty() ? 0.0 : upper_bounds.back();
+}
+
+HistogramQuantiles estimate_quantiles(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& counts) {
+  HistogramQuantiles q;
+  q.p50 = histogram_quantile(upper_bounds, counts, 0.50);
+  q.p90 = histogram_quantile(upper_bounds, counts, 0.90);
+  q.p99 = histogram_quantile(upper_bounds, counts, 0.99);
+  return q;
+}
+
+}  // namespace gossip::obs

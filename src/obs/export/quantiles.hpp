@@ -1,0 +1,39 @@
+// Quantile estimation over fixed-bucket histograms.
+//
+// The registry stores per-bucket counts against a strictly increasing list
+// of finite upper bounds plus an implicit +inf overflow bucket. Quantiles
+// are estimated Prometheus-style: find the bucket containing the requested
+// rank and interpolate linearly between the bucket's lower and upper edge.
+// The estimate is deterministic (pure integer/double arithmetic over the
+// merged counts) and never touches the hot path.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gossip::obs {
+
+struct HistogramQuantiles {
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+};
+
+// Estimate the q-quantile (q in [0,1]) of a fixed-bucket histogram.
+// `counts` has upper_bounds.size() + 1 entries; the last is the +inf
+// overflow bucket. Conventions:
+//  - an empty histogram (total count 0) yields 0.0;
+//  - ranks landing in the overflow bucket clamp to the largest finite
+//    bound (there is no upper edge to interpolate toward);
+//  - the first bucket interpolates from min(0, upper_bounds[0]) so the
+//    all-non-negative degree histograms start at zero.
+[[nodiscard]] double histogram_quantile(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& counts, double q);
+
+// p50/p90/p99 in one pass over the cumulative counts.
+[[nodiscard]] HistogramQuantiles estimate_quantiles(
+    const std::vector<double>& upper_bounds,
+    const std::vector<std::uint64_t>& counts);
+
+}  // namespace gossip::obs

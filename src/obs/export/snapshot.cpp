@@ -1,0 +1,331 @@
+#include "obs/export/snapshot.hpp"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace gossip::obs {
+
+namespace {
+
+// Minimal JSON string escaping (same contract as the registry dump):
+// backslash and quote are escaped, control bytes become spaces.
+std::string json_escape(std::string_view in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+void write_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << 0;
+    return;
+  }
+  std::ostringstream tmp;
+  tmp.precision(std::numeric_limits<double>::max_digits10);
+  tmp << v;
+  out << tmp.str();
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// JsonlSnapshotSink
+
+JsonlSnapshotSink::JsonlSnapshotSink(std::ostream& out) : out_(&out) {}
+
+JsonlSnapshotSink::JsonlSnapshotSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path)), out_(owned_.get()) {}
+
+JsonlSnapshotSink::~JsonlSnapshotSink() = default;
+
+bool JsonlSnapshotSink::ok() const { return out_ != nullptr && out_->good(); }
+
+void JsonlSnapshotSink::begin(const MetricsRegistry& registry,
+                              const ExportConfig& config) {
+  std::ostream& out = *out_;
+  out << "{\"schema\":\"" << kSnapshotSchemaName
+      << "\",\"version\":" << kSnapshotSchemaVersion
+      << ",\"delta_encoded\":true,\"snapshot_stride\":"
+      << (config.snapshot_stride == 0 ? 1 : config.snapshot_stride)
+      << ",\"counters\":[";
+  for (std::size_t i = 0; i < registry.counter_count(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(registry.counter_name(i)) << '"';
+  }
+  out << "],\"gauges\":[";
+  for (std::size_t i = 0; i < registry.gauge_count(); ++i) {
+    if (i) out << ',';
+    out << '"' << json_escape(registry.gauge_name(i)) << '"';
+  }
+  out << "],\"histograms\":[";
+  for (std::size_t i = 0; i < registry.histogram_count(); ++i) {
+    if (i) out << ',';
+    out << "{\"name\":\"" << json_escape(registry.histogram_name(i))
+        << "\",\"upper_bounds\":[";
+    const auto& bounds = registry.histogram_upper_bounds(i);
+    for (std::size_t b = 0; b < bounds.size(); ++b) {
+      if (b) out << ',';
+      write_double(out, bounds[b]);
+    }
+    out << "]}";
+  }
+  out << "]}\n";
+}
+
+void JsonlSnapshotSink::consume(const RegistrySnapshot& snapshot) {
+  std::ostream& out = *out_;
+  out << "{\"seq\":" << snapshot.sequence << ",\"round\":" << snapshot.round
+      << ",\"full\":" << (snapshot.full ? "true" : "false")
+      << ",\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    if (!snapshot.full && c.delta == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(c.name) << "\":{\"value\":" << c.value
+        << ",\"delta\":" << c.delta << '}';
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    if (!snapshot.full && !g.changed) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(g.name) << "\":";
+    write_double(out, g.value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    if (!snapshot.full && h.delta_total == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(h.name) << "\":{\"counts\":[";
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      if (b) out << ',';
+      out << h.counts[b];
+    }
+    out << "],\"total\":" << h.total << ",\"delta\":" << h.delta_total
+        << ",\"p50\":";
+    write_double(out, h.quantiles.p50);
+    out << ",\"p90\":";
+    write_double(out, h.quantiles.p90);
+    out << ",\"p99\":";
+    write_double(out, h.quantiles.p99);
+    out << '}';
+  }
+  out << "}}\n";
+}
+
+void JsonlSnapshotSink::finish() {
+  if (out_ != nullptr) out_->flush();
+}
+
+// ---------------------------------------------------------------------------
+// PrometheusSnapshotSink
+
+PrometheusSnapshotSink::PrometheusSnapshotSink(std::string path,
+                                               std::string prefix)
+    : path_(std::move(path)), prefix_(std::move(prefix)) {}
+
+std::string PrometheusSnapshotSink::mangle(std::string_view name) {
+  std::string out;
+  out.reserve(name.size() + 1);
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (!out.empty() && out.front() >= '0' && out.front() <= '9') {
+    out.insert(out.begin(), '_');
+  }
+  return out;
+}
+
+void PrometheusSnapshotSink::render(std::ostream& out,
+                                    const RegistrySnapshot& snapshot,
+                                    std::string_view prefix) {
+  auto full_name = [&](std::string_view name) {
+    std::string n = mangle(name);
+    if (prefix.empty()) return n;
+    std::string p = mangle(prefix);
+    p.push_back('_');
+    p += n;
+    return p;
+  };
+
+  for (const auto& c : snapshot.counters) {
+    const std::string n = full_name(c.name);
+    out << "# HELP " << n << " sfgossip counter " << c.name << "\n";
+    out << "# TYPE " << n << " counter\n";
+    out << n << ' ' << c.value << "\n";
+  }
+  for (const auto& g : snapshot.gauges) {
+    const std::string n = full_name(g.name);
+    out << "# HELP " << n << " sfgossip gauge " << g.name << "\n";
+    out << "# TYPE " << n << " gauge\n";
+    out << n << ' ';
+    write_double(out, g.value);
+    out << "\n";
+  }
+  for (const auto& h : snapshot.histograms) {
+    const std::string n = full_name(h.name);
+    out << "# HELP " << n << " sfgossip histogram " << h.name << "\n";
+    out << "# TYPE " << n << " histogram\n";
+    std::uint64_t cumulative = 0;
+    const std::size_t finite =
+        h.upper_bounds != nullptr ? h.upper_bounds->size() : 0;
+    for (std::size_t b = 0; b < h.counts.size(); ++b) {
+      cumulative += h.counts[b];
+      out << n << "_bucket{le=\"";
+      if (b < finite) {
+        write_double(out, (*h.upper_bounds)[b]);
+      } else {
+        out << "+Inf";
+      }
+      out << "\"} " << cumulative << "\n";
+    }
+    out << n << "_count " << h.total << "\n";
+    // Quantile estimates as companion gauges (a native histogram has no
+    // quantile series; *_p50 keeps the exposition type-correct).
+    const double qs[3] = {h.quantiles.p50, h.quantiles.p90, h.quantiles.p99};
+    const char* tags[3] = {"p50", "p90", "p99"};
+    for (int i = 0; i < 3; ++i) {
+      out << "# TYPE " << n << '_' << tags[i] << " gauge\n";
+      out << n << '_' << tags[i] << ' ';
+      write_double(out, qs[i]);
+      out << "\n";
+    }
+  }
+}
+
+void PrometheusSnapshotSink::consume(const RegistrySnapshot& snapshot) {
+  std::ofstream out(path_, std::ios::trunc);
+  if (!out) return;
+  render(out, snapshot, prefix_);
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotStreamer
+
+SnapshotStreamer::SnapshotStreamer(MetricsRegistry& registry,
+                                   ExportConfig config)
+    : registry_(registry), config_(config) {
+  if (config_.snapshot_stride == 0) config_.snapshot_stride = 1;
+}
+
+SnapshotStreamer::~SnapshotStreamer() { finish(); }
+
+void SnapshotStreamer::add_sink(std::unique_ptr<SnapshotSink> sink) {
+  if (sink) sinks_.push_back(std::move(sink));
+}
+
+void SnapshotStreamer::add_gauge_probe(std::string_view name,
+                                       std::function<double()> read) {
+  gauge_probes_.push_back({registry_.gauge(name), std::move(read)});
+}
+
+void SnapshotStreamer::add_counter_probe(std::string_view name,
+                                         std::function<std::uint64_t()> read) {
+  counter_probes_.push_back({registry_.counter(name), std::move(read), 0});
+}
+
+void SnapshotStreamer::refresh_probes() {
+  for (auto& p : gauge_probes_) {
+    registry_.set(p.id, 0, p.read ? p.read() : 0.0);
+  }
+  for (auto& p : counter_probes_) {
+    const std::uint64_t now = p.read ? p.read() : 0;
+    const std::uint64_t delta = now >= p.last ? now - p.last : 0;
+    if (delta != 0) registry_.add(p.id, 0, delta);
+    p.last = now;
+  }
+}
+
+bool SnapshotStreamer::observe(std::uint64_t round) {
+  if (!due(round)) return false;
+  capture(round);
+  return true;
+}
+
+void SnapshotStreamer::capture(std::uint64_t round) {
+  refresh_probes();
+
+  const std::size_t nc = registry_.counter_count();
+  const std::size_t ng = registry_.gauge_count();
+  const std::size_t nh = registry_.histogram_count();
+  prev_counters_.resize(nc, 0);
+  prev_gauges_.resize(ng, 0.0);
+  prev_hist_counts_.resize(nh);
+
+  RegistrySnapshot snap;
+  snap.sequence = sequence_;
+  snap.round = round;
+  snap.full = sequence_ == 0;
+
+  snap.counters.reserve(nc);
+  for (std::size_t i = 0; i < nc; ++i) {
+    const std::uint64_t value =
+        registry_.counter_value({static_cast<std::uint32_t>(i)});
+    const std::uint64_t prev = prev_counters_[i];
+    snap.counters.push_back({registry_.counter_name(i), value,
+                             value >= prev ? value - prev : 0});
+    prev_counters_[i] = value;
+  }
+
+  snap.gauges.reserve(ng);
+  for (std::size_t i = 0; i < ng; ++i) {
+    const double value = registry_.gauge_value({static_cast<std::uint32_t>(i)});
+    const bool changed = snap.full || value != prev_gauges_[i];
+    snap.gauges.push_back({registry_.gauge_name(i), value, changed});
+    prev_gauges_[i] = value;
+  }
+
+  snap.histograms.reserve(nh);
+  for (std::size_t i = 0; i < nh; ++i) {
+    SnapshotHistogram h;
+    h.name = registry_.histogram_name(i);
+    h.upper_bounds = &registry_.histogram_upper_bounds(i);
+    h.counts = registry_.histogram_counts({static_cast<std::uint32_t>(i)});
+    for (std::uint64_t c : h.counts) h.total += c;
+    std::uint64_t prev_total = 0;
+    for (std::uint64_t c : prev_hist_counts_[i]) prev_total += c;
+    h.delta_total = h.total >= prev_total ? h.total - prev_total : h.total;
+    if (config_.quantiles) {
+      h.quantiles = estimate_quantiles(*h.upper_bounds, h.counts);
+    }
+    prev_hist_counts_[i] = h.counts;
+    snap.histograms.push_back(std::move(h));
+  }
+
+  if (!begun_) {
+    begun_ = true;
+    for (auto& sink : sinks_) sink->begin(registry_, config_);
+  }
+  for (auto& sink : sinks_) sink->consume(snap);
+
+  last_ = std::move(snap);
+  ++sequence_;
+}
+
+void SnapshotStreamer::finish() {
+  if (finished_) return;
+  finished_ = true;
+  for (auto& sink : sinks_) sink->finish();
+}
+
+}  // namespace gossip::obs

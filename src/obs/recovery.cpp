@@ -14,6 +14,36 @@ constexpr std::uint32_t lane_bit(RecoveryLane lane) {
   return 1u << static_cast<std::uint32_t>(lane);
 }
 
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// JSON array of lane names for a lane bitmask: 5 -> ["degree","watchdog"].
+void write_lane_names(std::ostream& out, std::uint32_t lanes) {
+  out << '[';
+  bool first = true;
+  for (std::size_t l = 0;
+       l < static_cast<std::size_t>(RecoveryLane::kLaneCount); ++l) {
+    if ((lanes & (1u << l)) == 0) continue;
+    if (!first) out << ',';
+    first = false;
+    out << '"' << recovery_lane_name(static_cast<RecoveryLane>(l)) << '"';
+  }
+  out << ']';
+}
+
 }  // namespace
 
 const char* recovery_lane_name(RecoveryLane lane) {
@@ -328,19 +358,22 @@ std::string RecoveryTracker::report() const {
 
 void RecoveryTracker::write_json(std::ostream& out) const {
   out << "{\"degraded_lanes\":" << degraded_lanes_
-      << ",\"unrecovered\":" << unrecovered()
+      << ",\"degraded_lane_names\":";
+  write_lane_names(out, degraded_lanes_);
+  out << ",\"unrecovered\":" << unrecovered()
       << ",\"component_fraction\":" << component_fraction_
       << ",\"baseline_mean_degree\":" << baseline_mean_
       << ",\"episodes\":[";
   for (std::size_t i = 0; i < episodes_.size(); ++i) {
     if (i != 0) out << ',';
     const RecoveryEpisode& e = episodes_[i];
-    out << "{\"label\":\"" << e.label << "\",\"declared\":"
+    out << "{\"label\":\"" << json_escape(e.label) << "\",\"declared\":"
         << (e.declared ? "true" : "false") << ",\"begin\":" << e.begin
         << ",\"heal\":" << e.heal
         << ",\"degraded\":" << (e.degraded ? "true" : "false")
-        << ",\"lanes\":" << e.lanes
-        << ",\"recovered\":" << (e.recovered ? "true" : "false")
+        << ",\"lanes\":" << e.lanes << ",\"lane_names\":";
+    write_lane_names(out, e.lanes);
+    out << ",\"recovered\":" << (e.recovered ? "true" : "false")
         << ",\"recovered_round\":" << e.recovered_round
         << ",\"recovery_rounds\":" << e.recovery_rounds() << '}';
   }

@@ -6,6 +6,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/export/quantiles.hpp"
+
 namespace gossip::obs {
 
 namespace {
@@ -211,7 +213,10 @@ void MetricsRegistry::write_json(std::ostream& out) const {
       if (b != 0) out << ',';
       out << counts[b];
     }
-    out << "]}";
+    const HistogramQuantiles q =
+        estimate_quantiles(meta.upper_bounds, counts);
+    out << "],\"p50\":" << q.p50 << ",\"p90\":" << q.p90
+        << ",\"p99\":" << q.p99 << '}';
   }
   out << "}}";
 }

@@ -58,6 +58,23 @@ class MetricsRegistry {
   [[nodiscard]] std::size_t gauge_count() const { return gauge_names_.size(); }
   [[nodiscard]] std::size_t histogram_count() const { return histograms_.size(); }
 
+  // Name enumeration in registration order (the snapshot/export plane walks
+  // the whole surface without knowing the names in advance). Indices are
+  // the dense CounterId/GaugeId/HistogramId indices.
+  [[nodiscard]] const std::string& counter_name(std::size_t i) const {
+    return counter_names_[i];
+  }
+  [[nodiscard]] const std::string& gauge_name(std::size_t i) const {
+    return gauge_names_[i];
+  }
+  [[nodiscard]] const std::string& histogram_name(std::size_t i) const {
+    return histograms_[i].name;
+  }
+  [[nodiscard]] const std::vector<double>& histogram_upper_bounds(
+      std::size_t i) const {
+    return histograms_[i].upper_bounds;
+  }
+
   // Hot-path mutation. `shard` must be < shard_count(); only one thread
   // may write a given shard at a time (the caller's sharding discipline).
   void add(CounterId id, std::size_t shard, std::uint64_t delta = 1) {

@@ -19,6 +19,39 @@ double ratio(std::uint64_t num, std::uint64_t den) {
                   : static_cast<double>(num) / static_cast<double>(den);
 }
 
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      out.push_back(' ');
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+// RFC 4180 quoting: fields containing a comma, quote, or newline are
+// wrapped in quotes with embedded quotes doubled.
+std::string csv_escape(const std::string& in) {
+  const bool needs_quoting =
+      in.find_first_of(",\"\n\r") != std::string::npos;
+  if (!needs_quoting) return in;
+  std::string out;
+  out.reserve(in.size() + 2);
+  out.push_back('"');
+  for (char c : in) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 DegreeSummary summarize(const std::vector<std::uint32_t>& degrees) {
   DegreeSummary s;
   if (degrees.empty()) return s;
@@ -180,9 +213,16 @@ void RoundTimeSeries::write_annotations_json(std::ostream& out) const {
   for (std::size_t i = 0; i < annotations_.size(); ++i) {
     if (i != 0) out << ',';
     out << "{\"round\":" << annotations_[i].round << ",\"label\":\""
-        << annotations_[i].label << "\"}";
+        << json_escape(annotations_[i].label) << "\"}";
   }
   out << ']';
+}
+
+void RoundTimeSeries::write_annotations_csv(std::ostream& out) const {
+  out << "round,label\n";
+  for (const SeriesAnnotation& a : annotations_) {
+    out << a.round << ',' << csv_escape(a.label) << '\n';
+  }
 }
 
 }  // namespace gossip::obs

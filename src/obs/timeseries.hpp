@@ -124,8 +124,12 @@ class RoundTimeSeries {
   void write_csv(std::ostream& out) const;
   // JSON array of sample objects.
   void write_json(std::ostream& out) const;
-  // JSON array of {"round":..,"label":".."} annotation objects.
+  // JSON array of {"round":..,"label":".."} annotation objects. Labels
+  // are JSON-escaped (scenario labels are free text).
   void write_annotations_json(std::ostream& out) const;
+  // "round,label" CSV with RFC 4180 quoting for labels containing
+  // commas, quotes, or newlines.
+  void write_annotations_csv(std::ostream& out) const;
 
  private:
   std::uint64_t stride_;

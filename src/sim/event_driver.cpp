@@ -58,6 +58,10 @@ void EventDriver::attach_recovery(obs::RecoveryTracker* tracker) {
   recovery_ = tracker;
 }
 
+void EventDriver::attach_streamer(obs::SnapshotStreamer* streamer) {
+  streamer_ = streamer;
+}
+
 void EventDriver::observe_round(std::uint64_t round) {
   const obs::FlatClusterProbe probe = probe_cluster(
       cluster_, oracle_ != nullptr ? &occurrence_scratch_ : nullptr);
@@ -84,6 +88,10 @@ void EventDriver::observe_round(std::uint64_t round) {
     recovery_->observe(round, probe, /*cluster=*/nullptr, watchdog_,
                        oracle_ != nullptr ? &oracle_->monitor() : nullptr);
   }
+  if (streamer_ != nullptr) {
+    // Last, so snapshots see this round's observer output via the probes.
+    streamer_->observe(round);
+  }
 }
 
 void EventDriver::run_for(double duration) {
@@ -95,7 +103,8 @@ void EventDriver::run_rounds(std::uint64_t rounds) {
   // stamps rather than all landing on round 0; a fault plane needs it for
   // the same reason — its phase windows read the network's round clock.
   if (series_ == nullptr && watchdog_ == nullptr && oracle_ == nullptr &&
-      recovery_ == nullptr && !recording_ && !faulting_) {
+      recovery_ == nullptr && streamer_ == nullptr && !recording_ &&
+      !faulting_) {
     run_for(static_cast<double>(rounds) * config_.period);
     rounds_completed_ += rounds;
     return;

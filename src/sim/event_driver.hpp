@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/export/snapshot.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/recovery.hpp"
@@ -70,6 +71,10 @@ class EventDriver {
   // Degradation-window tracking; connectivity lane skipped (no flat view
   // graph behind the polymorphic cluster).
   void attach_recovery(obs::RecoveryTracker* tracker);
+  // Streaming telemetry export (externally-fed registry, as in
+  // RoundDriver::attach_streamer). Forces the stepped run_rounds schedule
+  // so the capture clock actually ticks.
+  void attach_streamer(obs::SnapshotStreamer* streamer);
   [[nodiscard]] std::uint64_t rounds_completed() const {
     return rounds_completed_;
   }
@@ -99,6 +104,7 @@ class EventDriver {
   obs::InvariantWatchdog* watchdog_ = nullptr;
   obs::TheoryOracle* oracle_ = nullptr;
   obs::RecoveryTracker* recovery_ = nullptr;
+  obs::SnapshotStreamer* streamer_ = nullptr;
   std::vector<std::uint32_t> occurrence_scratch_;
   bool recording_ = false;
   bool faulting_ = false;

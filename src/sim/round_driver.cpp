@@ -40,6 +40,10 @@ void RoundDriver::attach_retune(RetuneController* retune) {
   retune_ = retune;
 }
 
+void RoundDriver::attach_streamer(obs::SnapshotStreamer* streamer) {
+  streamer_ = streamer;
+}
+
 void RoundDriver::step() {
   const NodeId initiator = cluster_.random_live_node(rng_);
   cluster_.node(initiator).on_initiate(rng_, network_);
@@ -81,12 +85,17 @@ void RoundDriver::observe_round(std::uint64_t round) {
     recovery_->observe(round, probe, /*cluster=*/nullptr, watchdog_,
                        oracle_ != nullptr ? &oracle_->monitor() : nullptr);
   }
+  if (streamer_ != nullptr) {
+    // Last, so the snapshot sees this round's series/oracle/recovery
+    // output through the streamer's probes.
+    streamer_->observe(round);
+  }
 }
 
 void RoundDriver::run_rounds(std::uint64_t rounds) {
   const bool observing = series_ != nullptr || watchdog_ != nullptr ||
                          oracle_ != nullptr || recovery_ != nullptr ||
-                         retune_ != nullptr;
+                         retune_ != nullptr || streamer_ != nullptr;
   for (std::uint64_t r = 0; r < rounds; ++r) {
     network_.set_record_round(rounds_completed_ + 1);
     run_actions(cluster_.live_count());

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/export/snapshot.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/recovery.hpp"
@@ -74,6 +75,12 @@ class RoundDriver {
   // ShardedDriver: after the oracle's observe). The actuator supplied to
   // the controller must target this driver's cluster.
   void attach_retune(RetuneController* retune);
+  // Streaming telemetry export. This driver has no registry of its own, so
+  // the streamer owns/borrows an external one fed through its gauge and
+  // counter probes (wired by the caller); the driver only drives the
+  // capture clock, invoking the streamer last at each sampled round
+  // boundary so snapshots see every observer's output for the round.
+  void attach_streamer(obs::SnapshotStreamer* streamer);
 
  private:
   void observe_round(std::uint64_t round);
@@ -88,6 +95,7 @@ class RoundDriver {
   obs::TheoryOracle* oracle_ = nullptr;
   obs::RecoveryTracker* recovery_ = nullptr;
   RetuneController* retune_ = nullptr;
+  obs::SnapshotStreamer* streamer_ = nullptr;
   std::vector<std::uint32_t> occurrence_scratch_;
   std::uint64_t observe_stride_ = 1;
 };

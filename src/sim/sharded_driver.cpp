@@ -138,6 +138,16 @@ void ShardedDriver::attach_flight_recorder(obs::FlightRecorder* recorder) {
         "flight recorder shard_count must match the driver's");
   }
   recorder_ = recorder;
+  if (recorder != nullptr) {
+    // Ring-wrap visibility (satellite of the export plane): a gauge that
+    // tracks how many events each shard's ring has overwritten. Gauge
+    // registration reallocates the slabs; refresh the cached counter
+    // pointers (same ordering hazard as attach_oracle).
+    recorder_wrapped_gauge_ = registry_.gauge("recorder_wrapped");
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+      shards_[s].m = registry_.counters(s);
+    }
+  }
 }
 
 void ShardedDriver::attach_fault_plane(const FaultPlane* plane) {
@@ -154,6 +164,21 @@ void ShardedDriver::attach_fault_plane(const FaultPlane* plane) {
 
 void ShardedDriver::attach_retune(RetuneController* retune) {
   retune_ = retune;
+}
+
+void ShardedDriver::attach_streamer(obs::SnapshotStreamer* streamer) {
+  if (streamer != nullptr && &streamer->registry() != &registry_) {
+    throw std::invalid_argument(
+        "snapshot streamer must borrow this driver's metrics registry");
+  }
+  streamer_ = streamer;
+  if (streamer != nullptr) {
+    // The streamer's probe registrations (and any sink bookkeeping) may
+    // have reallocated the slabs; refresh the cached counter pointers.
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+      shards_[s].m = registry_.counters(s);
+    }
+  }
 }
 
 void ShardedDriver::attach_recovery(obs::RecoveryTracker* tracker) {
@@ -406,6 +431,19 @@ void ShardedDriver::observe_round(std::uint64_t round) {
   if (recovery_ != nullptr) {
     recovery_->observe(round, probe, &cluster_, watchdog_,
                        oracle_ != nullptr ? &oracle_->monitor() : nullptr);
+  }
+  if (recorder_ != nullptr && recorder_wrapped_gauge_.valid()) {
+    // Per-shard ring-wrap counts; gauges merge by sum so the merged value
+    // is total events overwritten across all rings.
+    for (std::size_t s = 0; s < config_.shard_count; ++s) {
+      registry_.set(recorder_wrapped_gauge_, s,
+                    static_cast<double>(recorder_->dropped(s)));
+    }
+  }
+  if (streamer_ != nullptr) {
+    // Last: the snapshot must see every gauge the observers above wrote
+    // this round. Capture reads registry state only — zero RNG draws.
+    streamer_->observe(round);
   }
 }
 

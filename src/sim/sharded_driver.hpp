@@ -66,6 +66,7 @@
 #include "common/rng.hpp"
 #include "core/flat_send_forget.hpp"
 #include "core/metrics.hpp"
+#include "obs/export/snapshot.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
@@ -229,6 +230,14 @@ class ShardedDriver {
   // so its actuator may mutate cluster configuration (set_min_degree)
   // safely. Draws no RNG (pinned in tests/test_retune.cpp).
   void attach_retune(RetuneController* retune);
+  // Streaming telemetry export: the streamer must borrow this driver's
+  // metrics_registry(). It captures on the phase-C barrier, after every
+  // other observer has updated the registry, so snapshots see the round's
+  // final gauge/drift/recovery values. Capture draws no RNG — the
+  // fingerprint stays bit-identical with a streamer attached (pinned in
+  // tests/test_export.cpp). Wire probes (add_gauge_probe/add_counter_probe)
+  // before attaching; this call re-caches the counter slabs.
+  void attach_streamer(obs::SnapshotStreamer* streamer);
   // Sampling cadence for the observe phase (rounds whose global index is a
   // multiple of `stride` sample). Independent of any RNG stream.
   void set_observation_stride(std::uint64_t stride);
@@ -295,7 +304,7 @@ class ShardedDriver {
   std::uint64_t run_rounds_dispatch(std::uint64_t rounds, bool quiesce);
   [[nodiscard]] bool observing() const {
     return series_ != nullptr || watchdog_ != nullptr || oracle_ != nullptr ||
-           recovery_ != nullptr || retune_ != nullptr;
+           recovery_ != nullptr || retune_ != nullptr || streamer_ != nullptr;
   }
   [[nodiscard]] bool observation_due(std::uint64_t round) const {
     return round % observe_stride_ == 0;
@@ -345,7 +354,12 @@ class ShardedDriver {
   obs::FlightRecorder* recorder_ = nullptr;
   obs::RecoveryTracker* recovery_ = nullptr;
   RetuneController* retune_ = nullptr;
+  obs::SnapshotStreamer* streamer_ = nullptr;
   const FaultPlane* fault_plane_ = nullptr;
+  // Ring-wrap visibility: set per shard from recorder_->dropped(s) at each
+  // probe (gauges merge by sum), so silent ring truncation shows up in
+  // snapshots. Registered by attach_flight_recorder.
+  obs::GaugeId recorder_wrapped_gauge_{};
   // Probe-time degree histograms (satellite of the oracle work: the
   // registry's histogram path finally has a producer).
   obs::HistogramId outdegree_hist_{};

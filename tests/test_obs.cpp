@@ -482,5 +482,63 @@ TEST(RoundTimeSeries, ClampsShrinkingCumulatives) {
   EXPECT_DOUBLE_EQ(series.samples()[1].duplication_rate, 0.0);
 }
 
+TEST(RoundTimeSeries, StrideLargerThanRunLengthYieldsNoSamples) {
+  // A sharded run shorter than the observation stride must simply record
+  // nothing — not crash, not emit a partial row.
+  FlatSendForgetCluster cluster(
+      256, SendForgetConfig{.view_size = 16, .min_degree = 4});
+  Rng graph_rng(7);
+  const Digraph g = permutation_regular(cluster.size(), 4, graph_rng);
+  for (NodeId u = 0; u < cluster.size(); ++u) {
+    cluster.install_view(u, g.out_neighbors(u));
+  }
+  sim::ShardedDriver driver(
+      cluster,
+      sim::ShardedDriverConfig{.shard_count = 1, .loss_rate = 0.0, .seed = 1});
+  obs::RoundTimeSeries series(1000);
+  driver.attach_time_series(&series);
+  driver.run_rounds(50);
+  EXPECT_TRUE(series.samples().empty());
+  std::ostringstream csv;
+  series.write_csv(csv);
+  // Header only.
+  EXPECT_NE(csv.str().find("round,"), std::string::npos);
+  EXPECT_EQ(csv.str().find("\n50,"), std::string::npos);
+}
+
+TEST(RoundTimeSeries, AnnotationOnFinalRoundIsKept) {
+  obs::RoundTimeSeries series(10);
+  obs::DegreeSummary deg{20.0, 1.0, 18, 24};
+  series.record(10, deg, deg, 100, 0.0, obs::CumulativeCounters{});
+  series.record(20, deg, deg, 100, 0.0, obs::CumulativeCounters{});
+  series.annotate(20, "final-round-marker");
+  ASSERT_EQ(series.annotations().size(), 1u);
+  EXPECT_EQ(series.annotations().back().round, 20u);
+  std::ostringstream json;
+  series.write_annotations_json(json);
+  EXPECT_NE(json.str().find("\"round\":20"), std::string::npos);
+  EXPECT_NE(json.str().find("final-round-marker"), std::string::npos);
+  std::ostringstream csv;
+  series.write_annotations_csv(csv);
+  EXPECT_NE(csv.str().find("20,final-round-marker"), std::string::npos);
+}
+
+TEST(RoundTimeSeries, AnnotationLabelsEscapeInCsvAndJson) {
+  obs::RoundTimeSeries series(1);
+  series.annotate(3, "say \"hi\", now");
+  series.annotate(4, "multi\nline");
+  std::ostringstream csv;
+  series.write_annotations_csv(csv);
+  // RFC 4180: quote-wrap fields containing commas/quotes/newlines and
+  // double embedded quotes.
+  EXPECT_NE(csv.str().find("3,\"say \"\"hi\"\", now\""), std::string::npos)
+      << csv.str();
+  EXPECT_NE(csv.str().find("4,\"multi\nline\""), std::string::npos);
+  std::ostringstream json;
+  series.write_annotations_json(json);
+  EXPECT_NE(json.str().find("say \\\"hi\\\", now"), std::string::npos)
+      << json.str();
+}
+
 }  // namespace
 }  // namespace gossip

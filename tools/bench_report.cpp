@@ -61,6 +61,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -75,6 +76,7 @@
 #include "graph/digraph.hpp"
 #include "graph/graph_gen.hpp"
 #include "graph/spectral.hpp"
+#include "obs/export/snapshot.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
@@ -783,6 +785,69 @@ bool emit_analysis_json(bool quick, const std::string& path) {
 // instrumented degree-MC solve and spectral power iteration through a
 // recording solver sink.
 
+// Exporter-overhead leg: one observed sharded run (time series attached,
+// exactly like the main telemetry leg) with or without a SnapshotStreamer
+// draining to a JSONL sink. Both variants share seed and schedule, so the
+// fingerprints must match bit-for-bit — attaching the export plane may cost
+// time but must never perturb the simulation.
+struct ExportLeg {
+  double actions_per_sec = 0.0;
+  std::uint64_t fingerprint = 0;
+  std::uint64_t snapshots = 0;
+  std::size_t jsonl_bytes = 0;
+  obs::HistogramQuantiles outdegree;  // from the final snapshot
+};
+
+ExportLeg run_export_leg(std::size_t n, std::size_t threads,
+                         std::size_t rounds, bool with_streamer) {
+  const SendForgetConfig cfg = default_send_forget_config();
+  Rng rng(7 + n);
+  FlatSendForgetCluster cluster(n, cfg);
+  {
+    const Digraph g = permutation_regular(n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{
+                   .shard_count = threads, .loss_rate = 0.02, .seed = 7 + n});
+  driver.set_observation_stride(10);
+  obs::RoundTimeSeries series(10);
+  driver.attach_time_series(&series);
+
+  ExportLeg leg;
+  std::ostringstream jsonl;
+  std::unique_ptr<obs::SnapshotStreamer> streamer;
+  if (with_streamer) {
+    streamer = std::make_unique<obs::SnapshotStreamer>(
+        driver.metrics_registry(), obs::ExportConfig{.snapshot_stride = 1});
+    streamer->add_sink(std::make_unique<obs::JsonlSnapshotSink>(jsonl));
+    streamer->add_sink(std::make_unique<obs::CallbackSnapshotSink>(
+        [&leg](const obs::RegistrySnapshot& snap) {
+          for (const obs::SnapshotHistogram& h : snap.histograms) {
+            if (h.name == "outdegree") leg.outdegree = h.quantiles;
+          }
+        }));
+    driver.attach_streamer(streamer.get());
+  }
+
+  const auto start = Clock::now();
+  driver.run_rounds(rounds);
+  const double seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  leg.actions_per_sec =
+      seconds > 0.0 ? static_cast<double>(driver.actions_executed()) / seconds
+                    : 0.0;
+  leg.fingerprint = cluster.fingerprint();
+  if (streamer) {
+    streamer->finish();
+    leg.snapshots = streamer->snapshots_taken();
+    leg.jsonl_bytes = jsonl.str().size();
+  }
+  return leg;
+}
+
 bool emit_telemetry_json(bool quick, const std::string& path) {
   const std::size_t n = quick ? 5'000 : 50'000;
   const std::size_t threads = 4;
@@ -861,6 +926,49 @@ bool emit_telemetry_json(bool quick, const std::string& path) {
   std::printf("spectral: lambda2=%.4f in %zu iterations (%.3f s)\n",
               sr.lambda2, sr.iterations, s_seconds);
 
+  // Exporter overhead: per repetition run base then streamer-attached
+  // strictly back-to-back, report the median of the per-pair percentage
+  // deltas (same protocol as the scale-mode overhead gates).
+  const std::size_t ex_n = quick ? 5'000 : 20'000;
+  const std::size_t ex_rounds = quick ? 200 : 160;
+  const std::size_t ex_reps = quick ? 5 : 5;
+  std::vector<double> ex_pcts;
+  ExportLeg ex_base;
+  ExportLeg ex_var;
+  // Discarded warmup pair: the first run pays cold caches and first-touch
+  // page faults that would otherwise bias the base leg.
+  (void)run_export_leg(ex_n, threads, ex_rounds, false);
+  (void)run_export_leg(ex_n, threads, ex_rounds, true);
+  for (std::size_t i = 0; i < ex_reps; ++i) {
+    // Alternate which leg runs first so a monotone machine-speed drift
+    // (thermal, noisy neighbours) cannot bias one side of every pair.
+    if (i % 2 == 0) {
+      ex_base = run_export_leg(ex_n, threads, ex_rounds, false);
+      ex_var = run_export_leg(ex_n, threads, ex_rounds, true);
+    } else {
+      ex_var = run_export_leg(ex_n, threads, ex_rounds, true);
+      ex_base = run_export_leg(ex_n, threads, ex_rounds, false);
+    }
+    if (ex_base.actions_per_sec > 0.0) {
+      ex_pcts.push_back(
+          100.0 * (1.0 - ex_var.actions_per_sec / ex_base.actions_per_sec));
+    }
+  }
+  std::sort(ex_pcts.begin(), ex_pcts.end());
+  const double ex_pct =
+      ex_pcts.empty() ? 0.0
+      : ex_pcts.size() % 2 == 1
+          ? ex_pcts[ex_pcts.size() / 2]
+          : 0.5 * (ex_pcts[ex_pcts.size() / 2 - 1] +
+                   ex_pcts[ex_pcts.size() / 2]);
+  const bool ex_fp_match = ex_base.fingerprint == ex_var.fingerprint;
+  std::printf(
+      "export: streamer overhead %.2f%% (n=%zu rounds=%zu reps=%zu), "
+      "%llu snapshots, fingerprint %s\n",
+      ex_pct, ex_n, ex_rounds, ex_reps,
+      static_cast<unsigned long long>(ex_var.snapshots),
+      ex_fp_match ? "match" : "MISMATCH");
+
   std::ofstream out(path);
   emit_header(out, "telemetry");
   out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
@@ -883,6 +991,24 @@ bool emit_telemetry_json(bool quick, const std::string& path) {
   out << ",\n    \"registry\": ";
   driver.metrics_registry().write_json(out);
   out << "\n  },\n";
+
+  std::snprintf(
+      buf, sizeof(buf),
+      "  \"export\": {\n"
+      "    \"snapshot_schema\": {\"name\": \"%.*s\", \"version\": %d, "
+      "\"delta_encoded\": true},\n"
+      "    \"n\": %zu, \"rounds\": %zu, \"reps\": %zu, "
+      "\"snapshots\": %llu, \"jsonl_bytes\": %zu,\n"
+      "    \"exporter_overhead_pct\": %.2f, \"fingerprint_match\": %s,\n"
+      "    \"outdegree_quantiles\": {\"p50\": %.3f, \"p90\": %.3f, "
+      "\"p99\": %.3f}\n"
+      "  },\n",
+      static_cast<int>(obs::kSnapshotSchemaName.size()),
+      obs::kSnapshotSchemaName.data(), obs::kSnapshotSchemaVersion, ex_n,
+      ex_rounds, ex_reps, static_cast<unsigned long long>(ex_var.snapshots),
+      ex_var.jsonl_bytes, ex_pct, ex_fp_match ? "true" : "false",
+      ex_var.outdegree.p50, ex_var.outdegree.p90, ex_var.outdegree.p99);
+  out << buf;
 
   // Full residual trajectory for the (small) outer loop; the inner power
   // iterations are summarized as counts to keep the file bounded.

@@ -18,8 +18,13 @@ the first argument):
                 relative of the exact solver, every point converged, and
                 the prediction cache actually serves repeats.
   telemetry     zero watchdog violations, nonempty registry histograms
-                (the degree histograms must actually be wired), and the
-                "observe" phase attributed as a coordinator phase.
+                (the degree histograms must actually be wired), the
+                "observe" phase attributed as a coordinator phase, and the
+                export plane holding its contract: a valid
+                sfgossip.snapshot/v1 delta-encoded schema header,
+                exporter_overhead_pct under the 2% hot-path budget,
+                bit-identical fingerprints with exporters attached, and
+                ordered (p50 <= p90 <= p99) outdegree quantile estimates.
   drift         the correctly parameterized run finished with zero drift
                 violations inside the degree-TVD limits, and the
                 mis-parameterized run tripped the monitor and dumped a
@@ -213,6 +218,38 @@ def check_telemetry(doc, path, errors):
     elif "per_shard_nanos" in observe:
         fail(errors, path,
              "'observe' phase still carries per_shard_nanos")
+
+    export = doc.get("export")
+    if not isinstance(export, dict):
+        fail(errors, path, "missing 'export' section (exporter overhead "
+             "leg not wired)")
+        return
+    schema = export.get("snapshot_schema", {})
+    if schema.get("name") != "sfgossip.snapshot" or \
+       schema.get("version") != 1 or \
+       schema.get("delta_encoded") is not True:
+        fail(errors, path, f"bad snapshot_schema header {schema!r} (want "
+             "name='sfgossip.snapshot', version=1, delta_encoded=true)")
+    pct = export.get("exporter_overhead_pct")
+    if not isinstance(pct, (int, float)):
+        fail(errors, path, "missing exporter_overhead_pct")
+    elif pct >= HOT_PATH_BUDGET_PCT:
+        fail(errors, path,
+             f"exporter_overhead_pct = {pct:.2f}% "
+             f"(budget < {HOT_PATH_BUDGET_PCT}%)")
+    if export.get("fingerprint_match") is not True:
+        fail(errors, path, "exporter-attached run changed the simulation "
+             "fingerprint (export plane must draw zero RNG)")
+    if not export.get("snapshots"):
+        fail(errors, path, "exporter leg captured no snapshots")
+    q = export.get("outdegree_quantiles", {})
+    p50, p90, p99 = (q.get(k) for k in ("p50", "p90", "p99"))
+    if not all(isinstance(v, (int, float)) for v in (p50, p90, p99)):
+        fail(errors, path, "missing outdegree quantiles in export section")
+    elif not (0 < p50 <= p90 <= p99):
+        fail(errors, path,
+             f"outdegree quantiles not ordered: p50={p50} p90={p90} "
+             f"p99={p99}")
 
 
 def check_drift(doc, path, errors):
