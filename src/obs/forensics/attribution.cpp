@@ -1,0 +1,339 @@
+#include "obs/forensics/attribution.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gossip::obs::forensics {
+
+namespace {
+
+std::string window_text(std::uint64_t begin, std::uint64_t end) {
+  return "rounds [" + std::to_string(begin) + ", " + std::to_string(end) + ")";
+}
+
+std::string rate_text(double rate) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", rate);
+  return buf;
+}
+
+}  // namespace
+
+const char* incident_cause_name(IncidentCause cause) {
+  switch (cause) {
+    case IncidentCause::kDeclaredFault: return "declared-fault";
+    case IncidentCause::kLossDrift: return "loss-drift";
+    case IncidentCause::kChurnWashout: return "churn-washout";
+    case IncidentCause::kUnknown: return "unknown";
+  }
+  return "unknown";
+}
+
+RootCauseAttributor::RootCauseAttributor(const RunArchive& archive,
+                                         const CausalIndex* index,
+                                         AttributionConfig config)
+    : archive_(&archive), index_(index), config_(config) {}
+
+std::vector<Incident> RootCauseAttributor::attribute() const {
+  std::vector<Incident> incidents;
+  if (!archive_->has_chaos()) return incidents;
+  const ChaosLog& chaos = archive_->chaos();
+
+  const auto open_window = [this](std::uint64_t round) {
+    return round > config_.lookback_rounds ? round - config_.lookback_rounds
+                                           : 0;
+  };
+
+  for (const EpisodeRecord& episode : chaos.episodes()) {
+    if (!episode.degraded) continue;  // window the run never left band in
+    Incident incident;
+    incident.source = "recovery-episode";
+    incident.label = episode.label;
+    incident.round = episode.begin;
+    incident.window_begin = open_window(episode.begin);
+    incident.window_end = std::max(episode.begin + 1, episode.heal);
+    incident.statistical =
+        !episode.lanes.empty() &&
+        std::all_of(episode.lanes.begin(), episode.lanes.end(),
+                    [](const std::string& lane) { return lane == "oracle"; });
+    classify(&incident);
+    incidents.push_back(std::move(incident));
+  }
+  for (const OracleViolationRecord& violation : chaos.violations()) {
+    Incident incident;
+    incident.source = "oracle-violation";
+    incident.label = violation.check;
+    incident.round = violation.round;
+    incident.window_begin = open_window(violation.round);
+    incident.window_end = violation.round + 1;
+    incident.statistical = true;
+    incident.evidence.push_back(
+        {"drift-score", violation.check + " escalated from " +
+                            violation.from + " at round " +
+                            std::to_string(violation.round) + " (score " +
+                            rate_text(violation.score) + ")"});
+    classify(&incident);
+    incidents.push_back(std::move(incident));
+  }
+  for (const WatchdogTripRecord& trip : chaos.watchdog_trips()) {
+    Incident incident;
+    incident.source = "watchdog-trip";
+    incident.label = trip.kind;
+    incident.round = trip.round;
+    incident.window_begin = open_window(trip.round);
+    incident.window_end = trip.round + 1;
+    if (trip.node >= 0) {
+      incident.evidence.push_back(
+          {"watchdog", trip.kind + " on node " + std::to_string(trip.node) +
+                           " at round " + std::to_string(trip.round)});
+    }
+    classify(&incident);
+    incidents.push_back(std::move(incident));
+  }
+  return incidents;
+}
+
+void RootCauseAttributor::classify(Incident* incident) const {
+  if (match_declared_fault(incident)) {
+    incident->cause = IncidentCause::kDeclaredFault;
+    return;
+  }
+  if (match_churn(incident)) {
+    incident->cause = IncidentCause::kChurnWashout;
+    return;
+  }
+  if (match_loss_drift(incident)) {
+    incident->cause = IncidentCause::kLossDrift;
+    return;
+  }
+  incident->cause = IncidentCause::kUnknown;
+  incident->confidence = 0.0;
+  incident->evidence.push_back(
+      {"no-match", "no declared window, churn, or loss excursion inside " +
+                       window_text(incident->window_begin,
+                                   incident->window_end)});
+}
+
+bool RootCauseAttributor::match_declared_fault(Incident* incident) const {
+  const ChaosLog& chaos = archive_->chaos();
+  // Statistical trips get the longer washout reach (see
+  // AttributionConfig::oracle_grace_rounds).
+  const std::uint64_t grace = incident->statistical
+                                  ? config_.oracle_grace_rounds
+                                  : config_.fault_grace_rounds;
+  // Best match, not first match: a trip's own declared window must win
+  // over an earlier window whose grace tail also overlaps.
+  const EpisodeRecord* best = nullptr;
+  double best_confidence = 0.0;
+  for (const EpisodeRecord& episode : chaos.episodes()) {
+    if (!episode.declared) continue;
+    // A declared window explains trips inside [begin, heal) and the
+    // washout tail it leaves behind.
+    const std::uint64_t reach = episode.heal + grace;
+    const bool overlaps = episode.begin < incident->window_end &&
+                          incident->window_begin < reach;
+    if (!overlaps) continue;
+    const bool is_self = incident->source == "recovery-episode" &&
+                         incident->label == episode.label;
+    const bool inside =
+        incident->round >= episode.begin && incident->round < episode.heal;
+    const double confidence = is_self ? 0.97 : inside ? 0.95 : 0.85;
+    if (confidence > best_confidence) {
+      best = &episode;
+      best_confidence = confidence;
+    }
+  }
+  if (best != nullptr) {
+    const EpisodeRecord& episode = *best;
+    incident->confidence = best_confidence;
+    incident->evidence.push_back(
+        {"fault-window",
+         "declared window '" + episode.label + "' [" +
+             std::to_string(episode.begin) + ", " +
+             std::to_string(episode.heal) + ") overlaps " +
+             window_text(incident->window_begin, incident->window_end)});
+    if (archive_->has_snapshots()) {
+      const double faulted =
+          archive_->snapshots().counter_window_delta(
+              "messages_faulted", incident->window_begin,
+              incident->window_end);
+      if (faulted > 0.0) {
+        incident->evidence.push_back(
+            {"metric-delta",
+             "messages_faulted +" +
+                 std::to_string(static_cast<std::uint64_t>(faulted)) +
+                 " over " + window_text(incident->window_begin,
+                                        incident->window_end)});
+      }
+    }
+    append_flight_samples(incident, FlightEventKind::kFaultDrop,
+                          "flight-events");
+    return true;
+  }
+  return false;
+}
+
+bool RootCauseAttributor::match_churn(Incident* incident) const {
+  std::uint64_t kills = 0;
+  std::uint64_t revives = 0;
+  if (index_ != nullptr) {
+    const auto counts =
+        index_->kind_counts(incident->window_begin, incident->window_end);
+    kills = counts[static_cast<std::size_t>(FlightEventKind::kKill)];
+    revives = counts[static_cast<std::size_t>(FlightEventKind::kRevive)];
+  }
+  if (kills + revives >= config_.churn_min_events) {
+    incident->confidence = 0.92;
+    incident->evidence.push_back(
+        {"flight-events", std::to_string(kills) + " kill / " +
+                              std::to_string(revives) + " revive events in " +
+                              window_text(incident->window_begin,
+                                          incident->window_end)});
+    append_flight_samples(incident, FlightEventKind::kKill, "node-history");
+    append_flight_samples(incident, FlightEventKind::kToDead,
+                          "message-lifecycle");
+    return true;
+  }
+  if (archive_->has_snapshots()) {
+    const SnapshotSurface& surface = archive_->snapshots();
+    const double peak = surface.gauge_window_max(
+        "live_nodes", incident->window_begin, incident->window_end, 0.0);
+    const double trough = surface.gauge_window_min(
+        "live_nodes", incident->window_begin, incident->window_end, 0.0);
+    if (peak > trough) {
+      incident->confidence = 0.75;
+      incident->evidence.push_back(
+          {"gauge",
+           "live_nodes fell " +
+               std::to_string(static_cast<std::int64_t>(peak)) + " -> " +
+               std::to_string(static_cast<std::int64_t>(trough)) +
+               " inside " +
+               window_text(incident->window_begin, incident->window_end)});
+      const double to_dead = surface.counter_window_delta(
+          "messages_to_dead", incident->window_begin, incident->window_end);
+      if (to_dead > 0.0) {
+        incident->evidence.push_back(
+            {"metric-delta",
+             "messages_to_dead +" +
+                 std::to_string(static_cast<std::uint64_t>(to_dead)) +
+                 " over " + window_text(incident->window_begin,
+                                        incident->window_end)});
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+double RootCauseAttributor::baseline_loss_rate(
+    std::uint64_t before_round) const {
+  const ChaosLog& chaos = archive_->chaos();
+  if (archive_->has_chaos() && chaos.has_oracle() &&
+      chaos.predicted_loss() > 0.0) {
+    return chaos.predicted_loss();
+  }
+  if (archive_->has_snapshots()) {
+    const SnapshotSurface& surface = archive_->snapshots();
+    const double sent =
+        surface.counter_window_delta("messages_sent", 0, before_round);
+    if (sent > 0.0) {
+      const double lost =
+          surface.counter_window_delta("messages_lost", 0, before_round) +
+          surface.counter_window_delta("messages_faulted", 0, before_round);
+      return lost / sent;
+    }
+  }
+  return 0.0;
+}
+
+bool RootCauseAttributor::match_loss_drift(Incident* incident) const {
+  if (!archive_->has_snapshots()) return false;
+  const SnapshotSurface& surface = archive_->snapshots();
+  if (!surface.has_counter("messages_sent")) return false;
+
+  // Peak per-interval loss rate over adjacent snapshots in the window: a
+  // short spike must not be diluted by the calm majority of the lookback.
+  double peak = 0.0;
+  std::uint64_t peak_begin = 0;
+  std::uint64_t peak_end = 0;
+  const std::size_t first = surface.index_from_round(incident->window_begin);
+  if (first == SnapshotSurface::npos) return false;
+  for (std::size_t i = first; i + 1 < surface.size(); ++i) {
+    const std::uint64_t r0 = surface.round_at(i);
+    const std::uint64_t r1 = surface.round_at(i + 1);
+    if (r1 >= incident->window_end) break;
+    const double sent = surface.counter_at(i + 1, "messages_sent") -
+                        surface.counter_at(i, "messages_sent");
+    if (sent <= 0.0) continue;
+    const double lost =
+        (surface.counter_at(i + 1, "messages_lost") -
+         surface.counter_at(i, "messages_lost")) +
+        (surface.counter_at(i + 1, "messages_faulted") -
+         surface.counter_at(i, "messages_faulted"));
+    const double rate = lost / sent;
+    if (rate > peak) {
+      peak = rate;
+      peak_begin = r0;
+      peak_end = r1;
+    }
+  }
+  const double baseline = baseline_loss_rate(incident->window_begin);
+  const double threshold =
+      std::max(config_.loss_drift_min, config_.loss_drift_ratio * baseline);
+  if (peak < threshold) return false;
+  // Confidence grows with how far past the threshold the excursion went.
+  incident->confidence =
+      std::min(0.95, 0.7 + 0.25 * (peak - threshold) / std::max(peak, 1e-9));
+  incident->evidence.push_back(
+      {"loss-rate", "measured loss " + rate_text(peak) + " over " +
+                        window_text(peak_begin, peak_end) +
+                        " vs baseline " + rate_text(baseline) +
+                        " (threshold " + rate_text(threshold) + ")"});
+  append_flight_samples(incident, FlightEventKind::kFaultDrop,
+                        "flight-events");
+  append_flight_samples(incident, FlightEventKind::kLose,
+                        "message-lifecycle");
+  return true;
+}
+
+void RootCauseAttributor::append_flight_samples(
+    Incident* incident, FlightEventKind kind,
+    const char* evidence_kind) const {
+  if (index_ == nullptr) return;
+  const std::vector<std::uint32_t> samples = index_->last_events_of_kind(
+      kind, incident->window_begin, incident->window_end,
+      config_.evidence_samples);
+  const std::vector<FlightEvent>& events = index_->trace().events();
+  for (const std::uint32_t i : samples) {
+    const FlightEvent& e = events[i];
+    std::string detail = FlightTrace::format_event(e);
+    // Thread causality: quote the rest of the message's lifecycle (or the
+    // node's surrounding history for churn events).
+    if (e.message_id != 0) {
+      const auto& lifecycle = index_->message_events(e.message_id);
+      if (lifecycle.size() > 1) {
+        detail += " (lifecycle:";
+        for (const std::uint32_t li : lifecycle) {
+          detail += ' ';
+          detail += flight_event_kind_name(events[li].kind);
+        }
+        detail += ')';
+      }
+    } else if (e.node != kNilNode) {
+      const auto& history = index_->node_events(e.node);
+      detail += " (node timeline: " + std::to_string(history.size()) +
+                " events)";
+    }
+    incident->evidence.push_back({evidence_kind, std::move(detail)});
+  }
+}
+
+std::size_t unknown_incidents(const std::vector<Incident>& incidents) {
+  std::size_t count = 0;
+  for (const Incident& incident : incidents) {
+    if (incident.cause == IncidentCause::kUnknown) ++count;
+  }
+  return count;
+}
+
+}  // namespace gossip::obs::forensics

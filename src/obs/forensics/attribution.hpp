@@ -1,0 +1,126 @@
+// RootCauseAttributor: classify why a run left the paper's band.
+//
+// Every watchdog trip, DriftMonitor VIOLATION, and degraded recovery
+// episode in the archive becomes one Incident. For each, the attributor
+// opens a lookback window ending at the trip round and correlates three
+// planes of evidence:
+//
+//   declared-fault   a declared fault window (scripted FaultPhase mirrored
+//                    into the RecoveryTracker) overlaps the window — the
+//                    operator injected this on purpose.
+//   churn-washout    kill / revive flight events or a live_nodes drop in
+//                    the window — dead references washing out of views
+//                    (§6.5) explain the excursion.
+//   loss-drift       the snapshot stream's measured loss rate over the
+//                    window sits far above the declared baseline (the
+//                    oracle's configured ℓ, or ambient pre-window loss) —
+//                    the §6.2 stationary point moved under the run.
+//   unknown          none of the above; `sfgossip analyze` exits nonzero.
+//
+// Causes are tested in that order (a declared window wins over the churn
+// or loss signature it produces). Each incident carries a confidence score
+// in [0, 1] and an evidence chain: the matched windows, the metric deltas,
+// and sample flight events walked backwards from the trip round through
+// the CausalIndex (message lifecycles and node histories).
+//
+// Deterministic by construction: incidents are emitted in archive order
+// (episodes, then violations, then watchdog trips), evidence in a fixed
+// per-cause order, and confidence from closed-form arithmetic — the same
+// archive always yields the byte-identical report.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/forensics/causal_index.hpp"
+#include "obs/forensics/run_archive.hpp"
+
+namespace gossip::obs::forensics {
+
+enum class IncidentCause : std::uint8_t {
+  kDeclaredFault = 0,
+  kLossDrift,
+  kChurnWashout,
+  kUnknown,
+};
+
+[[nodiscard]] const char* incident_cause_name(IncidentCause cause);
+
+struct IncidentEvidence {
+  std::string kind;    // "fault-window", "flight-events", "loss-rate", ...
+  std::string detail;  // human-readable, deterministic
+};
+
+struct Incident {
+  std::string source;  // "recovery-episode" | "oracle-violation" |
+                       // "watchdog-trip"
+  std::string label;   // episode label / drift check / violation kind
+  std::uint64_t round = 0;         // trip round (episode begin)
+  std::uint64_t window_begin = 0;  // lookback window [begin, end)
+  std::uint64_t window_end = 0;
+  // True for oracle drift violations and the recovery episodes they mirror
+  // (lanes all "oracle"): trips of *statistical* checks against the
+  // stationary distribution, which relax back over hundreds of rounds —
+  // much slower than the structural [dL, s] band (see
+  // AttributionConfig::oracle_grace_rounds).
+  bool statistical = false;
+  IncidentCause cause = IncidentCause::kUnknown;
+  double confidence = 0.0;  // 0 (unknown) .. 1
+  std::vector<IncidentEvidence> evidence;
+};
+
+struct AttributionConfig {
+  // Rounds walked backwards from the trip when hunting evidence.
+  std::uint64_t lookback_rounds = 60;
+  // Rounds past a declared window's heal point it still explains a trip
+  // (the overlay keeps washing out the fault after the cut lifts).
+  std::uint64_t fault_grace_rounds = 60;
+  // Same, for statistical incidents (Incident::statistical): a fault's
+  // distributional residue decays on the stationary-mixing timescale, not
+  // the band-reentry one — a dL-seeded overlay takes hundreds of rounds to
+  // approach stationarity (the reason OracleConfig.warmup_rounds defaults
+  // to 400), and a fault window restarts part of that clock.
+  std::uint64_t oracle_grace_rounds = 200;
+  // Loss-drift trips when the window loss rate exceeds
+  // max(loss_drift_min, loss_drift_ratio x baseline).
+  double loss_drift_ratio = 2.0;
+  double loss_drift_min = 0.02;
+  // Churn-washout needs at least this many kill/revive flight events (or
+  // any live_nodes drop when no trace is loaded).
+  std::uint64_t churn_min_events = 1;
+  // Flight events quoted per evidence entry.
+  std::size_t evidence_samples = 3;
+};
+
+class RootCauseAttributor {
+ public:
+  // `index` may be null (no flight trace loaded); the archive must outlive
+  // the attributor.
+  RootCauseAttributor(const RunArchive& archive, const CausalIndex* index,
+                      AttributionConfig config = {});
+
+  // All incidents, classified, in deterministic archive order.
+  [[nodiscard]] std::vector<Incident> attribute() const;
+
+  [[nodiscard]] const AttributionConfig& config() const { return config_; }
+
+ private:
+  void classify(Incident* incident) const;
+  [[nodiscard]] bool match_declared_fault(Incident* incident) const;
+  [[nodiscard]] bool match_churn(Incident* incident) const;
+  [[nodiscard]] bool match_loss_drift(Incident* incident) const;
+  void append_flight_samples(Incident* incident, FlightEventKind kind,
+                             const char* evidence_kind) const;
+  [[nodiscard]] double baseline_loss_rate(std::uint64_t before_round) const;
+
+  const RunArchive* archive_;
+  const CausalIndex* index_;
+  AttributionConfig config_;
+};
+
+// Incidents still classified kUnknown (drives the CLI exit status).
+[[nodiscard]] std::size_t unknown_incidents(
+    const std::vector<Incident>& incidents);
+
+}  // namespace gossip::obs::forensics

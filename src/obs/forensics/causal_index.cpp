@@ -1,0 +1,79 @@
+#include "obs/forensics/causal_index.hpp"
+
+#include <algorithm>
+
+namespace gossip::obs::forensics {
+
+namespace {
+
+const std::vector<std::uint32_t>& empty_list() {
+  static const std::vector<std::uint32_t> kEmpty;
+  return kEmpty;
+}
+
+}  // namespace
+
+CausalIndex::CausalIndex(const FlightTrace& trace) : trace_(&trace) {
+  const std::vector<FlightEvent>& events = trace.events();
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    const auto idx = static_cast<std::uint32_t>(i);
+    if (e.message_id != 0) by_message_[e.message_id].push_back(idx);
+    if (e.node != kNilNode) by_node_[e.node].push_back(idx);
+    if (e.peer != kNilNode && e.peer != e.node) by_node_[e.peer].push_back(idx);
+  }
+}
+
+const std::vector<std::uint32_t>& CausalIndex::message_events(
+    std::uint64_t message_id) const {
+  const auto it = by_message_.find(message_id);
+  return it == by_message_.end() ? empty_list() : it->second;
+}
+
+const std::vector<std::uint32_t>& CausalIndex::node_events(NodeId node) const {
+  const auto it = by_node_.find(node);
+  return it == by_node_.end() ? empty_list() : it->second;
+}
+
+std::pair<std::size_t, std::size_t> CausalIndex::round_range(
+    std::uint64_t begin, std::uint64_t end) const {
+  const std::vector<FlightEvent>& events = trace_->events();
+  const auto round_less = [](const FlightEvent& e, std::uint64_t round) {
+    return e.round < round;
+  };
+  const auto lo =
+      std::lower_bound(events.begin(), events.end(), begin, round_less);
+  const auto hi =
+      std::lower_bound(lo, events.end(), end, round_less);
+  return {static_cast<std::size_t>(lo - events.begin()),
+          static_cast<std::size_t>(hi - events.begin())};
+}
+
+std::array<std::uint64_t, kFlightEventKindCount> CausalIndex::kind_counts(
+    std::uint64_t begin, std::uint64_t end) const {
+  std::array<std::uint64_t, kFlightEventKindCount> counts{};
+  const auto [lo, hi] = round_range(begin, end);
+  const std::vector<FlightEvent>& events = trace_->events();
+  for (std::size_t i = lo; i < hi; ++i) {
+    const auto kind = static_cast<std::size_t>(events[i].kind);
+    if (kind < counts.size()) ++counts[kind];
+  }
+  return counts;
+}
+
+std::vector<std::uint32_t> CausalIndex::last_events_of_kind(
+    FlightEventKind kind, std::uint64_t begin, std::uint64_t end,
+    std::size_t limit) const {
+  std::vector<std::uint32_t> out;
+  if (limit == 0) return out;
+  const auto [lo, hi] = round_range(begin, end);
+  const std::vector<FlightEvent>& events = trace_->events();
+  for (std::size_t i = hi; i > lo; --i) {
+    if (events[i - 1].kind != kind) continue;
+    out.push_back(static_cast<std::uint32_t>(i - 1));
+    if (out.size() == limit) break;
+  }
+  return out;
+}
+
+}  // namespace gossip::obs::forensics

@@ -1,0 +1,71 @@
+// CausalIndex: random access into a loaded flight trace.
+//
+// FlightTrace answers "what happened to message m / node u" with a linear
+// scan — fine for one trace-dump query, quadratic for an attributor that
+// asks per incident. The index is built once over the trace's global
+// (round, shard) order and hands back:
+//
+//   - per-message event lists keyed by the (shard << 48 | seq) id,
+//   - per-node timelines (every event naming the node as actor or peer),
+//   - the contiguous [first, last) event range of any round window, and
+//   - per-kind counts inside a window (how many kills, fault drops, ...).
+//
+// Lookups return indices into trace().events() so callers keep the global
+// ordering for free. Hash maps are used for storage only; no code path
+// iterates one, so results are deterministic.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+
+namespace gossip::obs::forensics {
+
+inline constexpr std::size_t kFlightEventKindCount =
+    static_cast<std::size_t>(FlightEventKind::kFaultDrop) + 1;
+
+class CausalIndex {
+ public:
+  // The trace must outlive the index.
+  explicit CausalIndex(const FlightTrace& trace);
+
+  [[nodiscard]] const FlightTrace& trace() const { return *trace_; }
+  [[nodiscard]] std::size_t message_count() const {
+    return by_message_.size();
+  }
+  [[nodiscard]] std::size_t node_count() const { return by_node_.size(); }
+
+  // Event indices (into trace().events(), global order) for one message /
+  // node; a stable empty list when unseen.
+  [[nodiscard]] const std::vector<std::uint32_t>& message_events(
+      std::uint64_t message_id) const;
+  [[nodiscard]] const std::vector<std::uint32_t>& node_events(
+      NodeId node) const;
+
+  // Half-open event-index range covering rounds [begin, end).
+  [[nodiscard]] std::pair<std::size_t, std::size_t> round_range(
+      std::uint64_t begin, std::uint64_t end) const;
+
+  // Per-kind event counts inside rounds [begin, end).
+  [[nodiscard]] std::array<std::uint64_t, kFlightEventKindCount>
+  kind_counts(std::uint64_t begin, std::uint64_t end) const;
+
+  // Walks the window backwards from `end` and returns up to `limit` event
+  // indices of `kind`, most recent first — the evidence-chain sampler.
+  [[nodiscard]] std::vector<std::uint32_t> last_events_of_kind(
+      FlightEventKind kind, std::uint64_t begin, std::uint64_t end,
+      std::size_t limit) const;
+
+ private:
+  const FlightTrace* trace_;
+  std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_message_;
+  std::unordered_map<NodeId, std::vector<std::uint32_t>> by_node_;
+};
+
+}  // namespace gossip::obs::forensics

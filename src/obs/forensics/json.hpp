@@ -1,0 +1,57 @@
+// Minimal JSON reader for the forensics plane.
+//
+// The analyzer consumes artifacts this repo itself writes — chaos --json
+// reports and sfgossip.snapshot/v1 JSONL lines — so this is a small,
+// dependency-free recursive-descent parser, not a general-purpose JSON
+// library: no streaming, no comments, documents limited to a fixed
+// nesting depth. Objects keep their members in source order (a vector of
+// pairs, not a map) so anything re-emitted downstream stays deterministic.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace gossip::obs::forensics {
+
+class JsonValue {
+ public:
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> items;                            // kArray
+  std::vector<std::pair<std::string, JsonValue>> members;  // kObject
+
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+
+  // Object member lookup (first match); nullptr when absent or not an
+  // object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  // Typed member accessors with fallbacks, for the tolerant artifact
+  // readers: a missing or mistyped key yields the fallback, never a throw.
+  [[nodiscard]] double get_number(std::string_view key,
+                                  double fallback = 0.0) const;
+  [[nodiscard]] bool get_bool(std::string_view key,
+                              bool fallback = false) const;
+  [[nodiscard]] std::string get_string(std::string_view key,
+                                       std::string fallback = "") const;
+};
+
+// Parses exactly one JSON document (trailing whitespace allowed, anything
+// else is an error). Returns false and sets *error (when non-null) with a
+// byte offset on malformed input; *out is left empty on failure.
+[[nodiscard]] bool parse_json(std::string_view text, JsonValue* out,
+                              std::string* error);
+
+}  // namespace gossip::obs::forensics

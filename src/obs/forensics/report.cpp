@@ -1,0 +1,297 @@
+#include "obs/forensics/report.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <string_view>
+
+namespace gossip::obs::forensics {
+
+namespace {
+
+void write_double(std::ostream& out, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6g", value);
+  out << buf;
+}
+
+void write_escaped(std::ostream& out, std::string_view text) {
+  for (const char c : text) {
+    switch (c) {
+      case '"': out << "\\\""; break;
+      case '\\': out << "\\\\"; break;
+      case '\n': out << "\\n"; break;
+      case '\t': out << "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out << buf;
+        } else {
+          out << c;
+        }
+    }
+  }
+}
+
+struct CauseCounts {
+  std::size_t declared = 0;
+  std::size_t loss = 0;
+  std::size_t churn = 0;
+  std::size_t unknown = 0;
+};
+
+CauseCounts count_causes(const std::vector<Incident>& incidents) {
+  CauseCounts counts;
+  for (const Incident& incident : incidents) {
+    switch (incident.cause) {
+      case IncidentCause::kDeclaredFault: ++counts.declared; break;
+      case IncidentCause::kLossDrift: ++counts.loss; break;
+      case IncidentCause::kChurnWashout: ++counts.churn; break;
+      case IncidentCause::kUnknown: ++counts.unknown; break;
+    }
+  }
+  return counts;
+}
+
+void diff_surface_entries(const SnapshotSurface& baseline,
+                          const SnapshotSurface& current, bool counters,
+                          double threshold,
+                          std::vector<SnapshotDiffEntry>* out,
+                          std::size_t* regressions) {
+  const auto& cur_names =
+      counters ? current.counter_names() : current.gauge_names();
+  const auto& base_names =
+      counters ? baseline.counter_names() : baseline.gauge_names();
+  const auto value_of = [counters](const SnapshotSurface& s,
+                                   const std::string& name) {
+    if (s.empty()) return 0.0;
+    const std::size_t last = s.size() - 1;
+    return counters ? s.counter_at(last, name) : s.gauge_at(last, name);
+  };
+  const auto push = [&](const std::string& name) {
+    SnapshotDiffEntry entry;
+    entry.name = name;
+    entry.baseline = value_of(baseline, name);
+    entry.current = value_of(current, name);
+    entry.relative = (entry.current - entry.baseline) /
+                     std::max(std::fabs(entry.baseline), 1.0);
+    if (std::fabs(entry.relative) > threshold) ++*regressions;
+    out->push_back(std::move(entry));
+  };
+  for (const std::string& name : cur_names) push(name);
+  for (const std::string& name : base_names) {
+    bool seen = false;
+    for (const std::string& have : cur_names) {
+      if (have == name) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) push(name);
+  }
+}
+
+void write_diff_json(std::ostream& out, const SnapshotDiff& diff) {
+  out << "{\"threshold\":";
+  write_double(out, diff.threshold);
+  out << ",\"regressions\":" << diff.regressions << ",\"counters\":[";
+  const auto write_entries =
+      [&out](const std::vector<SnapshotDiffEntry>& entries) {
+        for (std::size_t i = 0; i < entries.size(); ++i) {
+          if (i != 0) out << ',';
+          out << "{\"name\":\"";
+          write_escaped(out, entries[i].name);
+          out << "\",\"baseline\":";
+          write_double(out, entries[i].baseline);
+          out << ",\"current\":";
+          write_double(out, entries[i].current);
+          out << ",\"relative\":";
+          write_double(out, entries[i].relative);
+          out << '}';
+        }
+      };
+  write_entries(diff.counters);
+  out << "],\"gauges\":[";
+  write_entries(diff.gauges);
+  out << "]}";
+}
+
+}  // namespace
+
+SnapshotDiff SnapshotDiff::compare(const SnapshotSurface& baseline,
+                                   const SnapshotSurface& current,
+                                   double threshold) {
+  SnapshotDiff diff;
+  diff.threshold = threshold;
+  diff_surface_entries(baseline, current, /*counters=*/true, threshold,
+                       &diff.counters, &diff.regressions);
+  diff_surface_entries(baseline, current, /*counters=*/false, threshold,
+                       &diff.gauges, &diff.regressions);
+  return diff;
+}
+
+void write_report_json(std::ostream& out, const RunArchive& archive,
+                       const std::vector<Incident>& incidents,
+                       const SnapshotDiff* diff) {
+  out << "{\"schema\":\"sfgossip.forensics\",\"version\":1,\"artifacts\":{";
+  out << "\"trace\":{\"present\":"
+      << (archive.has_trace() ? "true" : "false");
+  if (archive.has_trace()) {
+    out << ",\"events\":" << archive.trace().events().size()
+        << ",\"shards\":" << archive.trace().shard_count()
+        << ",\"dropped\":" << archive.trace().total_dropped();
+  }
+  out << "},\"snapshots\":{\"present\":"
+      << (archive.has_snapshots() ? "true" : "false");
+  if (archive.has_snapshots()) {
+    const SnapshotSurface& s = archive.snapshots();
+    out << ",\"records\":" << s.size() << ",\"first_round\":"
+        << s.first_round() << ",\"last_round\":" << s.last_round()
+        << ",\"stride\":" << s.snapshot_stride();
+  }
+  out << "},\"chaos\":{\"present\":"
+      << (archive.has_chaos() ? "true" : "false");
+  if (archive.has_chaos()) {
+    const ChaosLog& c = archive.chaos();
+    out << ",\"scenario\":\"";
+    write_escaped(out, c.scenario());
+    out << "\",\"episodes\":" << c.episodes().size()
+        << ",\"violations\":" << c.violations().size()
+        << ",\"watchdog_trips\":" << c.watchdog_trips().size()
+        << ",\"unrecovered\":" << c.unrecovered();
+  }
+  const CauseCounts counts = count_causes(incidents);
+  out << "}},\"summary\":{\"incidents\":" << incidents.size()
+      << ",\"unknown\":" << counts.unknown << ",\"causes\":{"
+      << "\"declared-fault\":" << counts.declared
+      << ",\"loss-drift\":" << counts.loss
+      << ",\"churn-washout\":" << counts.churn
+      << ",\"unknown\":" << counts.unknown << "}},\"incidents\":[";
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    const Incident& incident = incidents[i];
+    if (i != 0) out << ',';
+    out << "{\"source\":\"";
+    write_escaped(out, incident.source);
+    out << "\",\"label\":\"";
+    write_escaped(out, incident.label);
+    out << "\",\"round\":" << incident.round << ",\"window\":["
+        << incident.window_begin << ',' << incident.window_end
+        << "],\"cause\":\"" << incident_cause_name(incident.cause)
+        << "\",\"confidence\":";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", incident.confidence);
+    out << buf << ",\"evidence\":[";
+    for (std::size_t e = 0; e < incident.evidence.size(); ++e) {
+      if (e != 0) out << ',';
+      out << "{\"kind\":\"";
+      write_escaped(out, incident.evidence[e].kind);
+      out << "\",\"detail\":\"";
+      write_escaped(out, incident.evidence[e].detail);
+      out << "\"}";
+    }
+    out << "]}";
+  }
+  out << ']';
+  if (diff != nullptr) {
+    out << ",\"diff\":";
+    write_diff_json(out, *diff);
+  }
+  out << "}\n";
+}
+
+void write_report_markdown(std::ostream& out, const RunArchive& archive,
+                           const std::vector<Incident>& incidents,
+                           const SnapshotDiff* diff) {
+  out << "# sfgossip forensics report\n\n## Artifacts\n\n";
+  if (archive.has_trace()) {
+    out << "- flight trace: " << archive.trace().events().size()
+        << " events across " << archive.trace().shard_count()
+        << " shard(s), " << archive.trace().total_dropped()
+        << " overwritten before the dump\n";
+  } else {
+    out << "- flight trace: not provided\n";
+  }
+  if (archive.has_snapshots()) {
+    const SnapshotSurface& s = archive.snapshots();
+    out << "- snapshot stream: " << s.size() << " snapshot(s), rounds "
+        << s.first_round() << ".." << s.last_round() << " (stride "
+        << s.snapshot_stride() << ")\n";
+  } else {
+    out << "- snapshot stream: not provided\n";
+  }
+  if (archive.has_chaos()) {
+    const ChaosLog& c = archive.chaos();
+    out << "- chaos report: " << c.episodes().size() << " episode(s), "
+        << c.violations().size() << " oracle violation(s), "
+        << c.watchdog_trips().size() << " watchdog trip(s)";
+    if (!c.scenario().empty()) out << " (scenario " << c.scenario() << ')';
+    out << '\n';
+  } else {
+    out << "- chaos report: not provided\n";
+  }
+
+  const CauseCounts counts = count_causes(incidents);
+  out << "\n## Summary\n\n" << incidents.size() << " incident(s): "
+      << counts.declared << " declared-fault, " << counts.loss
+      << " loss-drift, " << counts.churn << " churn-washout, "
+      << counts.unknown << " unknown.\n";
+  if (counts.unknown != 0) {
+    out << "\n**" << counts.unknown
+        << " incident(s) remain unattributed** — the artifacts do not "
+           "explain them; widen the lookback window or capture a deeper "
+           "flight ring.\n";
+  }
+
+  out << "\n## Incidents\n";
+  if (incidents.empty()) {
+    out << "\nNone: the run never left the paper's band.\n";
+  }
+  for (std::size_t i = 0; i < incidents.size(); ++i) {
+    const Incident& incident = incidents[i];
+    char confidence[16];
+    std::snprintf(confidence, sizeof(confidence), "%.2f",
+                  incident.confidence);
+    out << "\n### " << (i + 1) << ". " << incident.source << " `"
+        << incident.label << "` @ round " << incident.round << " — **"
+        << incident_cause_name(incident.cause) << "** (confidence "
+        << confidence << ")\n\n";
+    out << "Window: rounds [" << incident.window_begin << ", "
+        << incident.window_end << ")\n\nEvidence timeline:\n\n";
+    if (incident.evidence.empty()) {
+      out << "- (none)\n";
+    }
+    for (const IncidentEvidence& evidence : incident.evidence) {
+      out << "- *" << evidence.kind << "*: " << evidence.detail << '\n';
+    }
+  }
+
+  if (diff != nullptr) {
+    out << "\n## Snapshot diff vs baseline\n\n"
+        << diff->regressions << " metric(s) moved more than "
+        << static_cast<int>(diff->threshold * 100.0)
+        << "% against the baseline run.\n\n"
+        << "| metric | baseline | current | relative |\n"
+        << "|---|---:|---:|---:|\n";
+    const auto write_rows =
+        [&out](const std::vector<SnapshotDiffEntry>& entries) {
+          for (const SnapshotDiffEntry& entry : entries) {
+            char base[32];
+            char cur[32];
+            char rel[32];
+            std::snprintf(base, sizeof(base), "%.6g", entry.baseline);
+            std::snprintf(cur, sizeof(cur), "%.6g", entry.current);
+            std::snprintf(rel, sizeof(rel), "%+.1f%%",
+                          entry.relative * 100.0);
+            out << "| " << entry.name << " | " << base << " | " << cur
+                << " | " << rel << " |\n";
+          }
+        };
+    write_rows(diff->counters);
+    write_rows(diff->gauges);
+  }
+}
+
+}  // namespace gossip::obs::forensics

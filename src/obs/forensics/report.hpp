@@ -1,0 +1,57 @@
+// IncidentReport rendering + snapshot-stream diffing.
+//
+// Two output formats over one incident list:
+//
+//   JSON      deterministic machine format: fixed key order, %.6g number
+//             formatting, no timestamps and no environment stamps — the
+//             same archive renders to the byte-identical report (gated in
+//             BENCH_forensics.json).
+//   markdown  the human post-mortem: run summary, per-incident sections
+//             with cause, confidence, and the evidence timeline.
+//
+// SnapshotDiff compares two runs' metric surfaces (final counter and gauge
+// values) for regression triage; when present it is appended to both
+// renderings.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/forensics/attribution.hpp"
+#include "obs/forensics/run_archive.hpp"
+
+namespace gossip::obs::forensics {
+
+struct SnapshotDiffEntry {
+  std::string name;
+  double baseline = 0.0;
+  double current = 0.0;
+  // (current - baseline) / max(|baseline|, 1); counters and gauges here
+  // are counts, so the unit floor keeps tiny baselines from exploding.
+  double relative = 0.0;
+};
+
+struct SnapshotDiff {
+  std::vector<SnapshotDiffEntry> counters;  // final cumulative values
+  std::vector<SnapshotDiffEntry> gauges;    // values at the last snapshot
+  double threshold = 0.10;
+  std::size_t regressions = 0;  // entries with |relative| > threshold
+
+  // Union of both surfaces' metrics, current's name order first, then
+  // baseline-only names.
+  [[nodiscard]] static SnapshotDiff compare(const SnapshotSurface& baseline,
+                                            const SnapshotSurface& current,
+                                            double threshold = 0.10);
+};
+
+// `diff` may be null. Both renderers are pure functions of their inputs.
+void write_report_json(std::ostream& out, const RunArchive& archive,
+                       const std::vector<Incident>& incidents,
+                       const SnapshotDiff* diff);
+void write_report_markdown(std::ostream& out, const RunArchive& archive,
+                           const std::vector<Incident>& incidents,
+                           const SnapshotDiff* diff);
+
+}  // namespace gossip::obs::forensics

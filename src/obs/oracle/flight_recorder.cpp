@@ -110,45 +110,84 @@ bool FlightRecorder::dump_to_file(const std::string& path) const {
   return static_cast<bool>(out);
 }
 
+bool FlightTrace::fail(const std::string& message) {
+  events_.clear();
+  dropped_.clear();
+  last_error_ = message;
+  return false;
+}
+
 bool FlightTrace::load(std::istream& in) {
   events_.clear();
   dropped_.clear();
+  last_error_.clear();
   char magic[4];
   in.read(magic, sizeof(magic));
-  if (!in || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) return false;
+  if (!in) return fail("truncated header: missing SFFR magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return fail("bad magic: not an SFFR flight dump");
+  }
   std::uint32_t version = 0;
   std::uint32_t shard_count = 0;
   std::uint64_t capacity = 0;
-  if (!read_pod(in, version) || version != kVersion) return false;
-  if (!read_pod(in, shard_count) || shard_count == 0 ||
-      shard_count > 4096) {
-    return false;
+  if (!read_pod(in, version)) return fail("truncated header: missing version");
+  if (version != kVersion) {
+    return fail("unsupported SFFR version " + std::to_string(version) +
+                " (expected " + std::to_string(kVersion) + ")");
   }
-  if (!read_pod(in, capacity)) return false;
+  if (!read_pod(in, shard_count)) {
+    return fail("truncated header: missing shard count");
+  }
+  if (shard_count == 0 || shard_count > 4096) {
+    return fail("implausible shard count " + std::to_string(shard_count) +
+                " (expected 1..4096)");
+  }
+  if (!read_pod(in, capacity)) {
+    return fail("truncated header: missing ring capacity");
+  }
+  // The writer rounds capacity up to a power of two with a floor of 8; a
+  // corrupt header outside that envelope would otherwise drive the stored
+  // bound below and a multi-GiB resize here.
+  constexpr std::uint64_t kMaxCapacity = std::uint64_t{1} << 30;
+  if (capacity < 8 || capacity > kMaxCapacity ||
+      (capacity & (capacity - 1)) != 0) {
+    return fail("implausible ring capacity " + std::to_string(capacity));
+  }
   dropped_.assign(shard_count, 0);
   for (std::uint32_t s = 0; s < shard_count; ++s) {
+    const std::string where = "shard " + std::to_string(s);
     std::uint64_t total = 0;
     std::uint64_t sequence = 0;
     std::uint64_t stored = 0;
     if (!read_pod(in, total) || !read_pod(in, sequence) ||
-        !read_pod(in, stored) || stored > capacity) {
-      events_.clear();
-      dropped_.clear();
-      return false;
+        !read_pod(in, stored)) {
+      return fail("truncated at " + where + " header");
     }
-    dropped_[s] = total > stored ? total - stored : 0;
+    if (stored > capacity) {
+      return fail(where + ": stored count " + std::to_string(stored) +
+                  " exceeds ring capacity " + std::to_string(capacity));
+    }
+    if (stored > total) {
+      return fail(where + ": stored count " + std::to_string(stored) +
+                  " exceeds total recorded " + std::to_string(total));
+    }
+    dropped_[s] = total - stored;
     const std::size_t offset = events_.size();
     events_.resize(offset + stored);
     if (stored != 0) {
-      in.read(reinterpret_cast<char*>(events_.data() + offset),
-              static_cast<std::streamsize>(stored * sizeof(FlightEvent)));
-      if (!in) {
-        events_.clear();
-        dropped_.clear();
-        return false;
+      const std::streamsize want =
+          static_cast<std::streamsize>(stored * sizeof(FlightEvent));
+      in.read(reinterpret_cast<char*>(events_.data() + offset), want);
+      if (in.gcount() != want) {
+        return fail("truncated at " + where + " events: wanted " +
+                    std::to_string(want) + " bytes, got " +
+                    std::to_string(in.gcount()));
       }
     }
   }
+  // A well-formed dump ends exactly after the last shard's events.
+  in.peek();
+  if (!in.eof()) return fail("trailing bytes after last shard");
   // Global order: by round, then shard, preserving each shard's own
   // chronology (stable sort over per-shard-ordered input).
   std::stable_sort(events_.begin(), events_.end(),
@@ -161,7 +200,7 @@ bool FlightTrace::load(std::istream& in) {
 
 bool FlightTrace::load_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
+  if (!in) return fail("cannot open " + path);
   return load(in);
 }
 

@@ -188,8 +188,14 @@ class FlightRecorder {
 class FlightTrace {
  public:
   // Parses a dump; returns false on malformed input (leaves *this empty).
+  // Every record read is bounds-checked against the header it claims to
+  // follow, so a truncated or bit-flipped file fails with a diagnostic in
+  // last_error() instead of handing garbage events to the analyzer.
   bool load(std::istream& in);
   bool load_file(const std::string& path);
+
+  // Why the last load() / load_file() returned false; empty after success.
+  [[nodiscard]] const std::string& last_error() const { return last_error_; }
 
   [[nodiscard]] std::size_t shard_count() const { return dropped_.size(); }
   [[nodiscard]] const std::vector<FlightEvent>& events() const {
@@ -215,8 +221,11 @@ class FlightTrace {
   [[nodiscard]] static std::string format_event(const FlightEvent& event);
 
  private:
+  bool fail(const std::string& message);
+
   std::vector<FlightEvent> events_;
   std::vector<std::uint64_t> dropped_;
+  std::string last_error_;
 };
 
 }  // namespace gossip::obs

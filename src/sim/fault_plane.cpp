@@ -62,6 +62,7 @@ std::uint64_t FaultSchedule::last_end() const {
 bool parse_scenario(std::istream& in, ScenarioFile* out, std::string* error) {
   out->schedule = FaultSchedule{};
   out->config.clear();
+  out->path.clear();
   std::string line;
   std::size_t line_no = 0;
   while (std::getline(in, line)) {
@@ -84,7 +85,7 @@ bool parse_scenario(std::istream& in, ScenarioFile* out, std::string* error) {
       if (!(tokens >> value)) {
         return fail(error, "config key '" + head + "' needs a value" + at);
       }
-      out->config.emplace_back(head, value);
+      out->config.push_back({head, value, line_no});
       continue;
     }
     FaultPhase ph;
@@ -170,7 +171,9 @@ bool load_scenario_file(const std::string& path, ScenarioFile* out,
                         std::string* error) {
   std::ifstream in(path);
   if (!in) return fail(error, "cannot open scenario file " + path);
-  return parse_scenario(in, out, error);
+  if (!parse_scenario(in, out, error)) return false;
+  out->path = path;
+  return true;
 }
 
 FaultPlane::FaultPlane(FaultSchedule schedule, std::size_t node_count,

@@ -110,9 +110,19 @@ struct FaultSchedule {
 //   phase loss_spike 240 260 rate=0.2 [region=1] label=spike
 //   phase burst 280 320 region=1 rate=0.3 burst_len=8 label=wifi
 //   phase degrade 340 360 shard=3 rate=0.5 label=slow-shard
+// One config pair plus where it came from, so callers re-parsing the value
+// (range checks in `sfgossip chaos`) can report "file:line: ..." instead of
+// a bare flag error.
+struct ScenarioConfigEntry {
+  std::string key;
+  std::string value;
+  std::size_t line = 0;  // 1-based line number in the scenario file
+};
+
 struct ScenarioFile {
   FaultSchedule schedule;
-  std::vector<std::pair<std::string, std::string>> config;
+  std::vector<ScenarioConfigEntry> config;
+  std::string path;  // set by load_scenario_file; empty for raw streams
 };
 
 // Returns false and sets *error (when non-null) on malformed input; *out is

@@ -95,7 +95,11 @@ ShardedDriver::ShardedDriver(FlatSendForgetCluster& cluster,
 
 void ShardedDriver::attach_time_series(obs::RoundTimeSeries* series) {
   series_ = series;
-  if (series != nullptr) observe_stride_ = series->stride();
+  // Clamp like set_observation_stride: a zero stride would turn the
+  // observation modulus into a divide-by-zero.
+  if (series != nullptr) {
+    observe_stride_ = std::max<std::uint64_t>(1, series->stride());
+  }
 }
 
 void ShardedDriver::attach_watchdog(obs::InvariantWatchdog* watchdog) {

@@ -195,6 +195,32 @@ TEST(Quantiles, OverflowBucketClampsToLargestBound) {
   EXPECT_EQ(histogram_quantile(bounds, counts, 0.99), 20.0);
 }
 
+TEST(Quantiles, AllMassInOneBucketStaysInsideItsEdges) {
+  // Concentrated mass: every estimate must interpolate inside the one
+  // occupied bucket's edges and stay ordered — never escape to a
+  // neighbouring bucket.
+  const std::vector<double> bounds{10.0, 20.0, 30.0};
+  const std::vector<std::uint64_t> counts{0, 1000, 0, 0};
+  const HistogramQuantiles q = estimate_quantiles(bounds, counts);
+  EXPECT_GT(q.p50, 10.0);
+  EXPECT_LE(q.p50, q.p90);
+  EXPECT_LE(q.p90, q.p99);
+  EXPECT_LE(q.p99, 20.0);
+}
+
+TEST(Quantiles, AllMassInOverflowDegeneratesToLargestBound) {
+  // Every rank lands in the +inf bucket: with no upper edge to
+  // interpolate toward, all three estimates clamp to the largest finite
+  // bound — the degenerate p50 == p90 == p99 surface consumers must
+  // tolerate.
+  const std::vector<double> bounds{10.0, 20.0};
+  const std::vector<std::uint64_t> counts{0, 0, 500};
+  const HistogramQuantiles q = estimate_quantiles(bounds, counts);
+  EXPECT_EQ(q.p50, 20.0);
+  EXPECT_EQ(q.p90, 20.0);
+  EXPECT_EQ(q.p99, 20.0);
+}
+
 TEST(Quantiles, EstimatesAreOrdered) {
   const std::vector<double> bounds{1, 2, 4, 8, 16, 32};
   const std::vector<std::uint64_t> counts{5, 9, 14, 8, 3, 1, 0};

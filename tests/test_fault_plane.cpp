@@ -58,8 +58,9 @@ TEST(ScenarioParse, FullGrammar) {
       "phase burst 280 320 region=3 rate=0.3 burst_len=8 label=wifi\n"
       "phase degrade 340 360 shard=1 rate=0.5\n");
   ASSERT_EQ(file.config.size(), 1u);
-  EXPECT_EQ(file.config[0].first, "nodes");
-  EXPECT_EQ(file.config[0].second, "4000");
+  EXPECT_EQ(file.config[0].key, "nodes");
+  EXPECT_EQ(file.config[0].value, "4000");
+  EXPECT_EQ(file.config[0].line, 2u);
   EXPECT_EQ(file.schedule.regions, 4u);
   ASSERT_EQ(file.schedule.phases.size(), 5u);
 

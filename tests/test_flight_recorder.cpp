@@ -99,6 +99,51 @@ TEST(FlightTrace, RejectsMalformedDumps) {
   FlightTrace trace;
   EXPECT_FALSE(trace.load(garbage));
   EXPECT_TRUE(trace.events().empty());
+  EXPECT_FALSE(trace.last_error().empty());
+}
+
+TEST(FlightTrace, EveryByteChoppedPrefixFailsCleanly) {
+  // Regression for the hardened loader: a dump truncated at ANY byte
+  // offset must load() == false with a diagnostic in last_error(), leave
+  // no partial events behind, and never crash — not just the
+  // garbage-magic case above.
+  FlightRecorder recorder(2, /*capacity=*/8);
+  for (std::uint32_t i = 0; i < 12; ++i) {
+    recorder.record(0, make_event(i + 1, i, 10, 20, FlightEventKind::kSend));
+  }
+  recorder.record(1, make_event(3, 2, 20, 10, FlightEventKind::kDeliver));
+  std::stringstream buffer;
+  recorder.dump(buffer);
+  const std::string full = buffer.str();
+  ASSERT_GT(full.size(), 16u);
+
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    std::stringstream chopped(full.substr(0, cut));
+    FlightTrace trace;
+    EXPECT_FALSE(trace.load(chopped)) << "prefix of " << cut << " bytes";
+    EXPECT_TRUE(trace.events().empty()) << "prefix of " << cut << " bytes";
+    EXPECT_FALSE(trace.last_error().empty())
+        << "prefix of " << cut << " bytes";
+  }
+  // The untruncated dump still loads (the loop above didn't poison
+  // anything global).
+  std::stringstream intact(full);
+  FlightTrace trace;
+  ASSERT_TRUE(trace.load(intact));
+  EXPECT_TRUE(trace.last_error().empty());
+  EXPECT_EQ(trace.events().size(), 9u);
+}
+
+TEST(FlightTrace, TrailingGarbageAfterDumpIsRejected) {
+  FlightRecorder recorder(1, /*capacity=*/8);
+  recorder.record(0, make_event(1, 4, 10, 20, FlightEventKind::kSend));
+  std::stringstream buffer;
+  recorder.dump(buffer);
+  const std::string padded = buffer.str() + "extra bytes";
+  std::stringstream in(padded);
+  FlightTrace trace;
+  EXPECT_FALSE(trace.load(in));
+  EXPECT_FALSE(trace.last_error().empty());
 }
 
 TEST(FlightTrace, MessageLifecycleThreadsAcrossShards) {

@@ -1,0 +1,538 @@
+// Forensics plane: the embedded JSON reader, artifact loaders
+// (SnapshotSurface, ChaosLog, RunArchive), the CausalIndex over flight
+// traces, root-cause attribution for all four verdicts, and the report
+// renderers' determinism contract.
+#include "obs/forensics/attribution.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/forensics/causal_index.hpp"
+#include "obs/forensics/json.hpp"
+#include "obs/forensics/report.hpp"
+#include "obs/forensics/run_archive.hpp"
+#include "obs/oracle/flight_recorder.hpp"
+
+namespace gossip::obs::forensics {
+namespace {
+
+FlightEvent make_event(std::uint64_t id, std::uint32_t round, NodeId node,
+                       NodeId peer, FlightEventKind kind) {
+  return FlightEvent{id, round, node, peer, kind, 0, 0};
+}
+
+// ---------------------------------------------------------------------------
+// JsonValue parser.
+// ---------------------------------------------------------------------------
+
+TEST(ForensicsJson, ParsesNestedDocument) {
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(
+      R"({"a": [1, 2.5, -3e2], "b": {"c": "x\ny"}, "t": true, "z": null})",
+      &root, &error))
+      << error;
+  ASSERT_TRUE(root.is_object());
+  const JsonValue* a = root.find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_EQ(a->items[0].number, 1.0);
+  EXPECT_EQ(a->items[2].number, -300.0);
+  const JsonValue* b = root.find("b");
+  ASSERT_NE(b, nullptr);
+  EXPECT_EQ(b->get_string("c"), "x\ny");
+  EXPECT_TRUE(root.get_bool("t"));
+  const JsonValue* z = root.find("z");
+  ASSERT_NE(z, nullptr);
+  EXPECT_TRUE(z->is_null());
+}
+
+TEST(ForensicsJson, ReportsByteOffsetOnError) {
+  JsonValue root;
+  std::string error;
+  EXPECT_FALSE(parse_json(R"({"a": })", &root, &error));
+  EXPECT_NE(error.find("at byte"), std::string::npos);
+}
+
+TEST(ForensicsJson, RejectsTrailingBytes) {
+  JsonValue root;
+  std::string error;
+  EXPECT_FALSE(parse_json("{} extra", &root, &error));
+  EXPECT_NE(error.find("trailing"), std::string::npos);
+}
+
+TEST(ForensicsJson, RejectsRunawayNesting) {
+  std::string deep;
+  for (int i = 0; i < 100; ++i) deep += '[';
+  for (int i = 0; i < 100; ++i) deep += ']';
+  JsonValue root;
+  std::string error;
+  EXPECT_FALSE(parse_json(deep, &root, &error));
+  EXPECT_NE(error.find("deep"), std::string::npos);
+}
+
+TEST(ForensicsJson, DecodesUnicodeEscapes) {
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json("[\"A\\u00e9\\t\"]", &root, &error)) << error;
+  EXPECT_EQ(root.items[0].string, "A\xC3\xA9\t");
+}
+
+// ---------------------------------------------------------------------------
+// SnapshotSurface: delta carry-forward and window queries.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kSnapshotHeader =
+    R"({"schema":"sfgossip.snapshot","version":1,"snapshot_stride":10,)"
+    R"("counters":["messages_sent","messages_lost","messages_faulted"],)"
+    R"("gauges":["live_nodes"],"histograms":[{"name":"outdegree"}]})";
+
+std::string snapshot_stream_fixture() {
+  std::string s(kSnapshotHeader);
+  s += "\n";
+  // Full first record, then delta records: round 20 omits live_nodes
+  // (carry-forward), round 30 drops it plus spikes the loss counters.
+  s += R"({"round":10,"seq":1,"counters":{"messages_sent":1000,)"
+       R"("messages_lost":10},"gauges":{"live_nodes":500},)"
+       R"("histograms":{"outdegree":{"total":500,"delta":500,"p50":24,)"
+       R"("p90":28,"p99":30}}})";
+  s += "\n";
+  s += R"({"round":20,"seq":2,"counters":{"messages_sent":2000,)"
+       R"("messages_lost":20}})";
+  s += "\n";
+  s += R"({"round":30,"seq":3,"counters":{"messages_sent":3000,)"
+       R"("messages_lost":220,"messages_faulted":100},)"
+       R"("gauges":{"live_nodes":400}})";
+  s += "\n";
+  return s;
+}
+
+TEST(SnapshotSurface, RebuildsCarryForwardValues) {
+  std::istringstream in(snapshot_stream_fixture());
+  SnapshotSurface surface;
+  ASSERT_TRUE(surface.load(in)) << surface.last_error();
+  EXPECT_EQ(surface.size(), 3u);
+  EXPECT_EQ(surface.snapshot_stride(), 10u);
+  EXPECT_EQ(surface.first_round(), 10u);
+  EXPECT_EQ(surface.last_round(), 30u);
+  // Carry-forward: round 20 never named live_nodes.
+  EXPECT_EQ(surface.gauge_at(1, "live_nodes"), 500.0);
+  EXPECT_EQ(surface.gauge_at(2, "live_nodes"), 400.0);
+  // Omitted counters stay at their previous cumulative value.
+  EXPECT_EQ(surface.counter_at(1, "messages_faulted"), 0.0);
+  EXPECT_EQ(surface.counter_at(2, "messages_faulted"), 100.0);
+  const SurfaceHistogram* h = surface.histogram_at(2, "outdegree");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->p50, 24.0);   // carried forward
+  EXPECT_EQ(h->delta, 0.0);  // no observations since round 10
+}
+
+TEST(SnapshotSurface, WindowQueries) {
+  std::istringstream in(snapshot_stream_fixture());
+  SnapshotSurface surface;
+  ASSERT_TRUE(surface.load(in)) << surface.last_error();
+  EXPECT_EQ(surface.index_at_round(25), 1u);
+  EXPECT_EQ(surface.index_at_round(5), SnapshotSurface::npos);
+  EXPECT_EQ(surface.index_from_round(25), 2u);
+  EXPECT_EQ(surface.index_from_round(31), SnapshotSurface::npos);
+  // Bracketing delta: value at round<=30 minus value at round<=10.
+  EXPECT_EQ(surface.counter_window_delta("messages_lost", 10, 30), 210.0);
+  EXPECT_EQ(surface.gauge_window_min("live_nodes", 10, 30, -1.0), 400.0);
+  EXPECT_EQ(surface.gauge_window_max("live_nodes", 10, 30, -1.0), 500.0);
+  // A window missing the stream entirely returns the fallback.
+  EXPECT_EQ(surface.gauge_window_max("live_nodes", 100, 200, -1.0), -1.0);
+}
+
+TEST(SnapshotSurface, RejectsMalformedStreams) {
+  {
+    std::istringstream in("");
+    SnapshotSurface surface;
+    EXPECT_FALSE(surface.load(in));
+    EXPECT_NE(surface.last_error().find("header"), std::string::npos);
+  }
+  {
+    std::istringstream in(std::string(kSnapshotHeader) + "\n" +
+                          R"({"round":10,"counters":{"bogus":1}})" + "\n");
+    SnapshotSurface surface;
+    EXPECT_FALSE(surface.load(in));
+    EXPECT_NE(surface.last_error().find("unknown counter"),
+              std::string::npos);
+  }
+  {
+    std::istringstream in(std::string(kSnapshotHeader) + "\n" +
+                          R"({"round":20})" + "\n" + R"({"round":10})" +
+                          "\n");
+    SnapshotSurface surface;
+    EXPECT_FALSE(surface.load(in));
+    EXPECT_NE(surface.last_error().find("ascending"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// ChaosLog: chaos-shaped and bare-recovery JSON.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kChaosFixture = R"({
+  "scenario": "fixture",
+  "recovery": {
+    "unrecovered": 1,
+    "baseline_mean_degree": 26.5,
+    "episodes": [
+      {"label": "split", "declared": true, "begin": 150, "heal": 170,
+       "degraded": true, "recovered": true, "recovered_round": 310,
+       "recovery_rounds": 140, "lane_names": ["degree"]},
+      {"label": "undeclared", "declared": false, "begin": 400, "heal": 401,
+       "degraded": true, "recovered": false, "lane_names": ["oracle"]}
+    ]
+  },
+  "oracle": {
+    "prediction": {"loss": 0.02},
+    "monitor": {"transitions": [
+      {"round": 200, "check": "degree_in", "from": "ok", "to": "warn",
+       "score": 2.0},
+      {"round": 405, "check": "degree_in", "from": "warn",
+       "to": "violation", "score": 6.0}
+    ]}
+  },
+  "watchdog": {"log": [
+    {"kind": "stuck-degree", "round": 99, "node": 7}
+  ]}
+})";
+
+TEST(ChaosLog, LoadsChaosShapedReport) {
+  std::istringstream in(kChaosFixture);
+  ChaosLog log;
+  ASSERT_TRUE(log.load(in)) << log.last_error();
+  EXPECT_EQ(log.scenario(), "fixture");
+  EXPECT_EQ(log.unrecovered(), 1u);
+  EXPECT_EQ(log.baseline_mean_degree(), 26.5);
+  ASSERT_EQ(log.episodes().size(), 2u);
+  EXPECT_TRUE(log.episodes()[0].declared);
+  EXPECT_EQ(log.episodes()[0].begin, 150u);
+  EXPECT_EQ(log.episodes()[1].lanes, std::vector<std::string>{"oracle"});
+  EXPECT_TRUE(log.has_oracle());
+  EXPECT_EQ(log.predicted_loss(), 0.02);
+  // Only violation transitions are kept; the warn at round 200 is not.
+  ASSERT_EQ(log.violations().size(), 1u);
+  EXPECT_EQ(log.violations()[0].round, 405u);
+  EXPECT_EQ(log.violations()[0].from, "warn");
+  ASSERT_EQ(log.watchdog_trips().size(), 1u);
+  EXPECT_EQ(log.watchdog_trips()[0].node, 7);
+}
+
+TEST(ChaosLog, LoadsBareRecoveryJson) {
+  std::istringstream in(
+      R"({"episodes": [{"label": "x", "begin": 5, "heal": 9,)"
+      R"( "degraded": true}], "unrecovered": 0})");
+  ChaosLog log;
+  ASSERT_TRUE(log.load(in)) << log.last_error();
+  ASSERT_EQ(log.episodes().size(), 1u);
+  EXPECT_FALSE(log.has_oracle());
+}
+
+TEST(ChaosLog, RejectsReportsWithoutRecovery) {
+  std::istringstream in(R"({"scenario": "nope"})");
+  ChaosLog log;
+  EXPECT_FALSE(log.load(in));
+  EXPECT_NE(log.last_error().find("recovery"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// CausalIndex over a synthetic flight trace.
+// ---------------------------------------------------------------------------
+
+FlightTrace make_trace() {
+  FlightRecorder recorder(2, /*capacity=*/16);
+  const std::uint64_t m1 = recorder.begin_message(0);
+  recorder.record(0, make_event(m1, 100, 1, 2, FlightEventKind::kSend));
+  recorder.record(1, make_event(m1, 101, 2, 1, FlightEventKind::kDeliver));
+  const std::uint64_t m2 = recorder.begin_message(0);
+  recorder.record(0, make_event(m2, 102, 1, 3, FlightEventKind::kSend));
+  recorder.record(1, make_event(m2, 103, 3, 1, FlightEventKind::kLose));
+  recorder.record(0, make_event(0, 110, 5, kNilNode,
+                                FlightEventKind::kKill));
+  recorder.record(0, make_event(0, 111, 6, kNilNode,
+                                FlightEventKind::kKill));
+  std::stringstream buffer;
+  recorder.dump(buffer);
+  FlightTrace trace;
+  EXPECT_TRUE(trace.load(buffer));
+  return trace;
+}
+
+TEST(CausalIndex, ThreadsMessagesAndNodes) {
+  const FlightTrace trace = make_trace();
+  const CausalIndex index(trace);
+  EXPECT_EQ(index.message_count(), 2u);
+  const std::uint64_t m1 = trace.events().front().message_id;
+  const auto& lifecycle = index.message_events(m1);
+  ASSERT_EQ(lifecycle.size(), 2u);
+  EXPECT_EQ(trace.events()[lifecycle[0]].kind, FlightEventKind::kSend);
+  EXPECT_EQ(trace.events()[lifecycle[1]].kind, FlightEventKind::kDeliver);
+  // Node 1 initiated both sends and was named as peer of both replies.
+  EXPECT_EQ(index.node_events(1).size(), 4u);
+  EXPECT_TRUE(index.message_events(0xdeadbeef).empty());
+  EXPECT_TRUE(index.node_events(999).empty());
+}
+
+TEST(CausalIndex, WindowsAndKindCounts) {
+  const FlightTrace trace = make_trace();
+  const CausalIndex index(trace);
+  const auto [lo, hi] = index.round_range(101, 111);
+  EXPECT_EQ(hi - lo, 4u);  // deliver, send, lose, first kill
+  const auto counts = index.kind_counts(100, 120);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlightEventKind::kKill)], 2u);
+  EXPECT_EQ(counts[static_cast<std::size_t>(FlightEventKind::kSend)], 2u);
+  const auto kills = index.last_events_of_kind(FlightEventKind::kKill, 100,
+                                               120, /*limit=*/8);
+  ASSERT_EQ(kills.size(), 2u);
+  // Most recent first.
+  EXPECT_EQ(trace.events()[kills[0]].round, 111u);
+  EXPECT_EQ(trace.events()[kills[1]].round, 110u);
+}
+
+// ---------------------------------------------------------------------------
+// Root-cause attribution: all four verdicts.
+// ---------------------------------------------------------------------------
+
+void load_chaos(RunArchive* archive, const std::string& text) {
+  std::istringstream in(text);
+  std::string error;
+  ASSERT_TRUE(archive->load_chaos(in, &error)) << error;
+}
+
+void load_snapshots(RunArchive* archive, const std::string& text) {
+  std::istringstream in(text);
+  std::string error;
+  ASSERT_TRUE(archive->load_snapshots(in, &error)) << error;
+}
+
+TEST(Attribution, DeclaredEpisodeMatchesItselfNotAnEarlierGraceTail) {
+  // Two declared windows; the second episode must attribute to its own
+  // window (0.97), not the first window's grace tail (0.85).
+  RunArchive archive;
+  load_chaos(&archive,
+             R"({"recovery": {"episodes": [
+    {"label": "a", "declared": true, "begin": 100, "heal": 120,
+     "degraded": true},
+    {"label": "b", "declared": true, "begin": 150, "heal": 175,
+     "degraded": true}
+  ]}})");
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  ASSERT_EQ(incidents.size(), 2u);
+  for (const Incident& incident : incidents) {
+    EXPECT_EQ(incident.cause, IncidentCause::kDeclaredFault);
+    EXPECT_DOUBLE_EQ(incident.confidence, 0.97);
+  }
+  EXPECT_EQ(unknown_incidents(incidents), 0u);
+}
+
+TEST(Attribution, StatisticalTripsGetTheLongerGraceReach) {
+  // A violation 150 rounds after heal: outside fault_grace_rounds (60)
+  // but inside oracle_grace_rounds (200) — statistical drift relaxes on
+  // the stationary-mixing timescale, so it still pins on the fault.
+  RunArchive archive;
+  load_chaos(&archive,
+             R"({"recovery": {"episodes": [
+    {"label": "cut", "declared": true, "begin": 150, "heal": 175,
+     "degraded": true}
+  ]},
+  "oracle": {"prediction": {"loss": 0.02}, "monitor": {"transitions": [
+    {"round": 325, "check": "degree_in", "from": "warn",
+     "to": "violation", "score": 5.0}
+  ]}}})");
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  ASSERT_EQ(incidents.size(), 2u);
+  const Incident& violation = incidents[1];
+  EXPECT_EQ(violation.source, "oracle-violation");
+  EXPECT_TRUE(violation.statistical);
+  EXPECT_EQ(violation.cause, IncidentCause::kDeclaredFault);
+  EXPECT_DOUBLE_EQ(violation.confidence, 0.85);
+
+  // The same trip from a *non*-statistical source would be out of reach:
+  // a watchdog trip at the same round stays unknown.
+  RunArchive archive2;
+  load_chaos(&archive2,
+             R"({"recovery": {"episodes": [
+    {"label": "cut", "declared": true, "begin": 150, "heal": 175,
+     "degraded": false}
+  ]},
+  "watchdog": {"log": [{"kind": "stuck", "round": 325, "node": 3}]}})");
+  const RootCauseAttributor attributor2(archive2, nullptr, {});
+  const std::vector<Incident> incidents2 = attributor2.attribute();
+  ASSERT_EQ(incidents2.size(), 1u);
+  EXPECT_EQ(incidents2[0].cause, IncidentCause::kUnknown);
+}
+
+TEST(Attribution, ChurnFromFlightEventsThenGaugeFallback) {
+  const std::string chaos =
+      R"({"recovery": {"episodes": [
+    {"label": "undeclared", "declared": false, "begin": 112, "heal": 130,
+     "degraded": true}
+  ]}})";
+  // With a trace: the kill events in the lookback window win (0.92).
+  {
+    RunArchive archive;
+    load_chaos(&archive, chaos);
+    const FlightTrace trace = make_trace();
+    const CausalIndex index(trace);
+    const RootCauseAttributor attributor(archive, &index, {});
+    const std::vector<Incident> incidents = attributor.attribute();
+    ASSERT_EQ(incidents.size(), 1u);
+    EXPECT_EQ(incidents[0].cause, IncidentCause::kChurnWashout);
+    EXPECT_DOUBLE_EQ(incidents[0].confidence, 0.92);
+  }
+  // Without a trace: the live_nodes gauge drop is the fallback (0.75).
+  {
+    RunArchive archive;
+    load_chaos(&archive, chaos);
+    load_snapshots(&archive,
+                   std::string(kSnapshotHeader) + "\n" +
+                       R"({"round":110,"gauges":{"live_nodes":500}})" +
+                       "\n" +
+                       R"({"round":120,"gauges":{"live_nodes":400}})" +
+                       "\n");
+    const RootCauseAttributor attributor(archive, nullptr, {});
+    const std::vector<Incident> incidents = attributor.attribute();
+    ASSERT_EQ(incidents.size(), 1u);
+    EXPECT_EQ(incidents[0].cause, IncidentCause::kChurnWashout);
+    EXPECT_DOUBLE_EQ(incidents[0].confidence, 0.75);
+  }
+}
+
+TEST(Attribution, LossDriftFromSnapshotStream) {
+  // Ambient loss 1%; the interval [20, 30) spikes to 30% — far past
+  // max(loss_drift_min, 2 x baseline). live_nodes stays flat so the
+  // (higher-priority) churn matcher must not fire.
+  RunArchive archive;
+  load_chaos(&archive,
+             R"({"recovery": {"episodes": [
+    {"label": "undeclared", "declared": false, "begin": 31, "heal": 35,
+     "degraded": true}
+  ]}})");
+  std::string stream(kSnapshotHeader);
+  stream += "\n";
+  stream += R"({"round":10,"counters":{"messages_sent":1000,)"
+            R"("messages_lost":10},"gauges":{"live_nodes":500}})";
+  stream += "\n";
+  stream += R"({"round":20,"counters":{"messages_sent":2000,)"
+            R"("messages_lost":20}})";
+  stream += "\n";
+  stream += R"({"round":30,"counters":{"messages_sent":3000,)"
+            R"("messages_lost":220,"messages_faulted":100}})";
+  stream += "\n";
+  load_snapshots(&archive, stream);
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].cause, IncidentCause::kLossDrift);
+  EXPECT_GE(incidents[0].confidence, 0.7);
+  bool has_loss_evidence = false;
+  for (const IncidentEvidence& e : incidents[0].evidence) {
+    if (e.kind == "loss-rate") has_loss_evidence = true;
+  }
+  EXPECT_TRUE(has_loss_evidence);
+}
+
+TEST(Attribution, UnexplainedIncidentStaysUnknown) {
+  RunArchive archive;
+  load_chaos(&archive,
+             R"({"recovery": {"episodes": [
+    {"label": "mystery", "declared": false, "begin": 300, "heal": 310,
+     "degraded": true},
+    {"label": "calm", "declared": false, "begin": 50, "heal": 60,
+     "degraded": false}
+  ]}})");
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  // The never-degraded episode produces no incident at all.
+  ASSERT_EQ(incidents.size(), 1u);
+  EXPECT_EQ(incidents[0].cause, IncidentCause::kUnknown);
+  EXPECT_EQ(incidents[0].confidence, 0.0);
+  EXPECT_EQ(unknown_incidents(incidents), 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Report rendering + snapshot diff.
+// ---------------------------------------------------------------------------
+
+TEST(Report, JsonIsDeterministicAndWellFormed) {
+  RunArchive archive;
+  load_chaos(&archive, kChaosFixture);
+  load_snapshots(&archive, snapshot_stream_fixture());
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  ASSERT_FALSE(incidents.empty());
+
+  std::ostringstream first;
+  write_report_json(first, archive, incidents, nullptr);
+  std::ostringstream second;
+  write_report_json(second, archive, incidents, nullptr);
+  EXPECT_EQ(first.str(), second.str());
+
+  // The report must parse with the same reader the analyzer uses.
+  JsonValue root;
+  std::string error;
+  ASSERT_TRUE(parse_json(first.str(), &root, &error)) << error;
+  EXPECT_EQ(root.get_string("schema"), "sfgossip.forensics");
+  const JsonValue* parsed = root.find("incidents");
+  ASSERT_NE(parsed, nullptr);
+  EXPECT_EQ(parsed->items.size(), incidents.size());
+}
+
+TEST(Report, MarkdownNamesEveryIncident) {
+  RunArchive archive;
+  load_chaos(&archive, kChaosFixture);
+  const RootCauseAttributor attributor(archive, nullptr, {});
+  const std::vector<Incident> incidents = attributor.attribute();
+  std::ostringstream out;
+  write_report_markdown(out, archive, incidents, nullptr);
+  const std::string md = out.str();
+  EXPECT_NE(md.find("# sfgossip forensics report"), std::string::npos);
+  for (const Incident& incident : incidents) {
+    EXPECT_NE(md.find(incident.label), std::string::npos);
+    EXPECT_NE(md.find(incident_cause_name(incident.cause)),
+              std::string::npos);
+  }
+}
+
+TEST(Report, SnapshotDiffFlagsRegressions) {
+  SnapshotSurface baseline;
+  SnapshotSurface current;
+  {
+    std::istringstream in(snapshot_stream_fixture());
+    ASSERT_TRUE(baseline.load(in));
+  }
+  {
+    // Same stream shape, but the final loss count triples.
+    std::string text = snapshot_stream_fixture();
+    const std::size_t at = text.rfind("\"messages_lost\":220");
+    ASSERT_NE(at, std::string::npos);
+    text.replace(at, 19, "\"messages_lost\":660");
+    std::istringstream in(text);
+    ASSERT_TRUE(current.load(in)) << current.last_error();
+  }
+  const SnapshotDiff diff = SnapshotDiff::compare(baseline, current, 0.10);
+  EXPECT_GT(diff.regressions, 0u);
+  bool found = false;
+  for (const SnapshotDiffEntry& entry : diff.counters) {
+    if (entry.name != "messages_lost") continue;
+    found = true;
+    EXPECT_EQ(entry.baseline, 220.0);
+    EXPECT_EQ(entry.current, 660.0);
+    EXPECT_GT(entry.relative, 0.10);
+  }
+  EXPECT_TRUE(found);
+  // Identical surfaces diff clean.
+  const SnapshotDiff same = SnapshotDiff::compare(baseline, baseline, 0.10);
+  EXPECT_EQ(same.regressions, 0u);
+}
+
+}  // namespace
+}  // namespace gossip::obs::forensics

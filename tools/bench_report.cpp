@@ -8,6 +8,7 @@
 //   ./bench_report --telemetry [out.json]   # obs: BENCH_telemetry.json
 //   ./bench_report --drift [out.json]       # oracle: BENCH_drift.json
 //   ./bench_report --chaos [out.json]       # faults: BENCH_chaos.json
+//   ./bench_report --forensics [out.json]   # analyze: BENCH_forensics.json
 //   ./bench_report [--mode] --quick         # reduced sizes, for smoke tests
 //
 // Every output carries a schema_version / tool / git header so baselines
@@ -54,6 +55,13 @@
 // the overlay must ride out without ending degraded, and an *undeclared*
 // loss spike under an attached TheoryOracle that must still trip the
 // DriftMonitor (the fault plane must not blunt drift detection).
+//
+// Forensics mode runs three chaos legs with known injected causes, records
+// the full artifact set in memory (flight dump, snapshot stream, chaos
+// report), and gates the post-mortem engine: the RootCauseAttributor must
+// pin every incident on the injected cause with zero unknowns, the JSON
+// report must render bit-identically twice, and the analysis must fit a
+// wall-clock budget.
 #include <algorithm>
 #include <chrono>
 #include <cmath>
@@ -77,6 +85,10 @@
 #include "graph/graph_gen.hpp"
 #include "graph/spectral.hpp"
 #include "obs/export/snapshot.hpp"
+#include "obs/forensics/attribution.hpp"
+#include "obs/forensics/causal_index.hpp"
+#include "obs/forensics/report.hpp"
+#include "obs/forensics/run_archive.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/oracle/theory_oracle.hpp"
 #include "obs/profiler.hpp"
@@ -1780,6 +1792,335 @@ bool emit_chaos_json(bool quick, const std::string& path) {
          spike_ok && retune_ok && retune_off_ok;
 }
 
+// Forensics mode (--forensics): the post-mortem engine gated end to end.
+// Three chaos legs whose root cause is known by construction — a declared
+// partition, an undeclared 20% mass kill, an undeclared loss spike — each
+// run with the full artifact set attached (flight recorder, snapshot
+// streamer, chaos-style report JSON, all captured in memory). The
+// artifacts then go through the same RunArchive → CausalIndex →
+// RootCauseAttributor → report path as `sfgossip analyze`, and the gates
+// demand: every incident attributed to the injected cause, zero incidents
+// left unknown, the JSON report byte-identical across two renders, and the
+// whole analysis inside a wall-clock budget.
+
+struct ForensicsArtifacts {
+  std::string trace;      // SFFR dump bytes
+  std::string snapshots;  // sfgossip.snapshot/v1 JSONL
+  std::string chaos;      // chaos-shaped report JSON
+  double run_seconds = 0.0;
+};
+
+ForensicsArtifacts run_forensics_leg(const ChaosSpec& spec,
+                                     const char* scenario_label) {
+  ForensicsArtifacts artifacts;
+
+  Rng rng(7 + spec.n);
+  const SendForgetConfig cfg = default_send_forget_config();
+  FlatSendForgetCluster cluster(spec.n, cfg);
+  {
+    const Digraph g = permutation_regular(spec.n, cfg.min_degree, rng);
+    for (NodeId u = 0; u < spec.n; ++u) {
+      cluster.install_view(u, g.out_neighbors(u));
+    }
+  }
+  sim::ShardedDriver driver(
+      cluster, sim::ShardedDriverConfig{.shard_count = spec.threads,
+                                        .loss_rate = spec.loss,
+                                        .seed = 7 + spec.n});
+  const sim::FaultPlane plane(spec.schedule, spec.n, spec.threads);
+  obs::RecoveryTracker tracker(
+      obs::RecoveryConfig{.min_degree = cfg.min_degree,
+                          .view_size = cfg.view_size});
+  if (spec.declare) {
+    for (const sim::FaultPhase& p : spec.schedule.phases) {
+      tracker.declare_window(p.begin, p.end, p.label);
+    }
+  }
+  std::unique_ptr<obs::TheoryOracle> oracle;
+  if (spec.with_oracle) {
+    analysis::DegreeMcParams dp;
+    dp.view_size = cfg.view_size;
+    dp.min_degree = cfg.min_degree;
+    dp.loss = spec.loss;
+    obs::OracleConfig ocfg;
+    if (spec.oracle_warmup > 0) ocfg.warmup_rounds = spec.oracle_warmup;
+    oracle = std::make_unique<obs::TheoryOracle>(
+        analysis::make_theory_prediction(dp, /*delta=*/0.01,
+                                         analysis::PredictionSource::kExactMc),
+        ocfg);
+    if (spec.declare) {
+      for (const sim::FaultPhase& p : spec.schedule.phases) {
+        oracle->declare_fault_window(p.begin, p.end, /*grace_rounds=*/40);
+      }
+    }
+    driver.attach_oracle(oracle.get());
+  }
+  if (!spec.schedule.empty()) driver.attach_fault_plane(&plane);
+  obs::FlightRecorder recorder(spec.threads, /*capacity=*/1u << 12);
+  driver.attach_flight_recorder(&recorder);
+  driver.attach_recovery(&tracker);  // last: re-caches the counter slabs
+  driver.set_observation_stride(5);
+
+  std::ostringstream snapshot_stream;
+  obs::ExportConfig ecfg;
+  ecfg.snapshot_stride = 5;
+  obs::SnapshotStreamer streamer(driver.metrics_registry(), ecfg);
+  streamer.add_sink(
+      std::make_unique<obs::JsonlSnapshotSink>(snapshot_stream));
+  driver.attach_streamer(&streamer);  // after every other observer
+
+  const auto start = Clock::now();
+  if (spec.kill_fraction > 0.0) {
+    driver.run_rounds(spec.kill_round);
+    const auto to_kill = static_cast<std::size_t>(
+        spec.kill_fraction * static_cast<double>(spec.n));
+    Rng& crng = driver.churn_rng();
+    std::size_t killed = 0;
+    while (killed < to_kill) {
+      const auto victim = static_cast<NodeId>(crng.uniform(spec.n));
+      if (cluster.live(victim)) {
+        driver.kill(victim);
+        ++killed;
+      }
+    }
+    driver.run_rounds(spec.rounds - spec.kill_round);
+  } else {
+    driver.run_rounds(spec.rounds);
+  }
+  artifacts.run_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  streamer.finish();
+
+  std::ostringstream trace_stream;
+  recorder.dump(trace_stream);
+  artifacts.trace = trace_stream.str();
+  artifacts.snapshots = snapshot_stream.str();
+
+  std::ostringstream chaos_stream;
+  chaos_stream << "{\"scenario\": \"" << scenario_label
+               << "\", \"recovery\": ";
+  tracker.write_json(chaos_stream);
+  if (oracle != nullptr) {
+    chaos_stream << ", \"oracle\": ";
+    oracle->write_json(chaos_stream);
+  }
+  chaos_stream << "}";
+  artifacts.chaos = chaos_stream.str();
+  return artifacts;
+}
+
+struct ForensicsAnalysis {
+  bool loaded = false;
+  std::size_t incidents = 0;
+  std::size_t unknown = 0;
+  std::size_t matched = 0;  // incidents attributed to the expected cause
+  std::size_t trace_events = 0;
+  std::size_t snapshots = 0;
+  bool deterministic = false;
+  double analyze_seconds = 0.0;
+  std::string report;  // the rendered JSON report
+  std::string error;
+};
+
+ForensicsAnalysis analyze_forensics(const ForensicsArtifacts& artifacts,
+                                    const char* expected_cause) {
+  namespace fx = obs::forensics;
+  ForensicsAnalysis result;
+  const auto start = Clock::now();
+
+  fx::RunArchive archive;
+  std::istringstream trace_in(artifacts.trace);
+  std::istringstream snapshot_in(artifacts.snapshots);
+  std::istringstream chaos_in(artifacts.chaos);
+  std::string error;
+  if (!archive.load_trace(trace_in, &error) ||
+      !archive.load_snapshots(snapshot_in, &error) ||
+      !archive.load_chaos(chaos_in, &error)) {
+    result.error = error;
+    return result;
+  }
+  result.loaded = true;
+  result.trace_events = archive.trace().events().size();
+  result.snapshots = archive.snapshots().size();
+
+  const fx::CausalIndex index(archive.trace());
+  const fx::RootCauseAttributor attributor(archive, &index, {});
+  const std::vector<fx::Incident> incidents = attributor.attribute();
+  result.incidents = incidents.size();
+  result.unknown = fx::unknown_incidents(incidents);
+  for (const fx::Incident& incident : incidents) {
+    if (std::strcmp(fx::incident_cause_name(incident.cause),
+                    expected_cause) == 0) {
+      ++result.matched;
+    }
+  }
+
+  std::ostringstream first;
+  fx::write_report_json(first, archive, incidents, nullptr);
+  std::ostringstream second;
+  fx::write_report_json(second, archive, incidents, nullptr);
+  result.report = first.str();
+  result.deterministic = first.str() == second.str();
+  result.analyze_seconds =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  return result;
+}
+
+bool emit_forensics_json(bool quick, const std::string& path) {
+  const std::size_t n = quick ? 2'000 : 4'000;
+  const std::size_t threads = 4;
+  // The whole load→index→attribute→render path on one leg's artifacts.
+  // Measured ~0.1 s; the budget bounds regressions, not the mean.
+  constexpr double kAnalyzeBudgetSeconds = 10.0;
+
+  // Leg 1: the declared partition from the chaos suite — every incident
+  // must come back declared-fault.
+  ChaosSpec partition;
+  partition.n = n;
+  partition.threads = threads;
+  partition.rounds = 480;
+  {
+    sim::FaultPhase cut;
+    cut.kind = sim::FaultKind::kPartition;
+    cut.begin = 150;
+    cut.end = 170;
+    cut.a_lo = 0;
+    cut.a_hi = static_cast<NodeId>(n / 2 - 1);
+    cut.b_lo = static_cast<NodeId>(n / 2);
+    cut.b_hi = static_cast<NodeId>(n - 1);
+    cut.label = "split";
+    partition.schedule.phases.push_back(cut);
+  }
+
+  // Leg 2: an *undeclared* 50% mass kill — the tracker opens an undeclared
+  // episode and the attributor must pin it on churn (kill flight events
+  // when the ring still holds them, the live_nodes gauge drop otherwise).
+  // The fraction must be large: with half the targets dead, entries sent
+  // to them are forgotten without replenishment and live-view occupancy
+  // collapses faster than the calm baseline can chase it (a 20% kill
+  // decays slower than RecoveryConfig.degree_drop per probe interval and
+  // the tracker never trips — the boiling-frog regime).
+  ChaosSpec mass;
+  mass.n = n;
+  mass.threads = threads;
+  mass.rounds = 520;
+  mass.kill_fraction = 0.50;
+  mass.kill_round = 150;
+  mass.declare = false;
+
+  // Leg 3: an *undeclared* loss spike after the oracle's statistical
+  // warmup — drift violations plus the mirrored episode, all loss-drift.
+  ChaosSpec spike;
+  spike.n = n;
+  spike.threads = threads;
+  spike.rounds = 520;
+  spike.declare = false;
+  spike.with_oracle = true;
+  spike.oracle_warmup = 400;
+  {
+    sim::FaultPhase s;
+    s.kind = sim::FaultKind::kLossSpike;
+    s.begin = 440;
+    s.end = 480;
+    s.rate = 0.15;
+    s.label = "undeclared-spike";
+    spike.schedule.phases.push_back(s);
+  }
+
+  std::printf("forensics: declared-partition leg n=%zu rounds=%zu\n", n,
+              partition.rounds);
+  const ForensicsArtifacts part_art =
+      run_forensics_leg(partition, "bench:declared-partition");
+  const ForensicsAnalysis part =
+      analyze_forensics(part_art, "declared-fault");
+  std::printf("forensics: mass-kill leg n=%zu rounds=%zu kill=%.0f%%@%zu\n",
+              n, mass.rounds, mass.kill_fraction * 100.0,
+              static_cast<std::size_t>(mass.kill_round));
+  const ForensicsArtifacts mass_art =
+      run_forensics_leg(mass, "bench:undeclared-mass-kill");
+  const ForensicsAnalysis churn =
+      analyze_forensics(mass_art, "churn-washout");
+  std::printf("forensics: loss-spike leg n=%zu rounds=%zu spike=[440,480) "
+              "rate=0.15 (oracle attached)\n",
+              n, spike.rounds);
+  const ForensicsArtifacts spike_art =
+      run_forensics_leg(spike, "bench:undeclared-loss-spike");
+  const ForensicsAnalysis drift = analyze_forensics(spike_art, "loss-drift");
+
+  const auto leg_ok = [](const ForensicsAnalysis& a) {
+    return a.loaded && a.incidents > 0 && a.unknown == 0 &&
+           a.matched == a.incidents && a.deterministic;
+  };
+  const bool part_ok = leg_ok(part);
+  const bool churn_ok = leg_ok(churn);
+  const bool drift_ok = leg_ok(drift);
+  const bool budget_ok = part.analyze_seconds < kAnalyzeBudgetSeconds &&
+                         churn.analyze_seconds < kAnalyzeBudgetSeconds &&
+                         drift.analyze_seconds < kAnalyzeBudgetSeconds;
+
+  std::ofstream out(path);
+  emit_header(out, "forensics");
+  out << "  \"quick\": " << (quick ? "true" : "false") << ",\n";
+  char buf[512];
+  std::snprintf(buf, sizeof(buf),
+                "  \"analyze_budget_seconds\": %g,\n",
+                kAnalyzeBudgetSeconds);
+  out << buf;
+  const auto emit_leg = [&out, &buf, n](const char* key,
+                                        const ChaosSpec& spec,
+                                        const ForensicsArtifacts& art,
+                                        const ForensicsAnalysis& a,
+                                        const char* expected) {
+    std::snprintf(
+        buf, sizeof(buf),
+        "  \"%s\": {\n"
+        "    \"n\": %zu, \"rounds\": %zu, \"expected_cause\": \"%s\",\n"
+        "    \"run_seconds\": %.3f, \"analyze_seconds\": %.4f,\n"
+        "    \"trace_events\": %zu, \"snapshots\": %zu, "
+        "\"report_bytes\": %zu,\n"
+        "    \"incidents\": %zu, \"matched\": %zu, \"unknown\": %zu, "
+        "\"deterministic\": %s\n  }",
+        key, n, spec.rounds, expected, art.run_seconds, a.analyze_seconds,
+        a.trace_events, a.snapshots, a.report.size(), a.incidents,
+        a.matched, a.unknown, a.deterministic ? "true" : "false");
+    out << buf;
+  };
+  emit_leg("declared_partition", partition, part_art, part,
+           "declared-fault");
+  out << ",\n";
+  emit_leg("undeclared_mass_kill", mass, mass_art, churn, "churn-washout");
+  out << ",\n";
+  emit_leg("undeclared_loss_spike", spike, spike_art, drift, "loss-drift");
+  out << ",\n";
+  std::snprintf(buf, sizeof(buf),
+                "  \"gates\": {\"declared_attributed\": %s, "
+                "\"churn_attributed\": %s, \"loss_attributed\": %s, "
+                "\"analyze_within_budget\": %s}\n}\n",
+                part_ok ? "true" : "false", churn_ok ? "true" : "false",
+                drift_ok ? "true" : "false", budget_ok ? "true" : "false");
+  out << buf;
+
+  const auto report_leg = [](const char* key, const ForensicsAnalysis& a,
+                             bool ok) {
+    std::printf("forensics %-22s incidents=%zu matched=%zu unknown=%zu "
+                "deterministic=%d analyze=%.3fs %s\n",
+                key, a.incidents, a.matched, a.unknown, a.deterministic,
+                a.analyze_seconds, ok ? "ok" : "FAIL");
+    if (!a.error.empty()) {
+      std::fprintf(stderr, "error: %s leg: %s\n", key, a.error.c_str());
+    }
+  };
+  report_leg("declared_partition", part, part_ok);
+  report_leg("undeclared_mass_kill", churn, churn_ok);
+  report_leg("undeclared_loss_spike", drift, drift_ok);
+  if (!budget_ok) {
+    std::fprintf(stderr, "error: analyzer exceeded its %.1fs budget\n",
+                 kAnalyzeBudgetSeconds);
+  }
+  return static_cast<bool>(out) && part_ok && churn_ok && drift_ok &&
+         budget_ok;
+}
+
 }  // namespace
 
 // The interleaved gate run: per-repetition, the three legs (bare /
@@ -1887,6 +2228,7 @@ int main(int argc, char** argv) {
   bool telemetry_mode = false;
   bool drift_mode = false;
   bool chaos_mode = false;
+  bool forensics_mode = false;
   bool allow_dirty = false;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -1903,6 +2245,8 @@ int main(int argc, char** argv) {
       drift_mode = true;
     } else if (std::strcmp(argv[i], "--chaos") == 0) {
       chaos_mode = true;
+    } else if (std::strcmp(argv[i], "--forensics") == 0) {
+      forensics_mode = true;
     } else if (std::strcmp(argv[i], "--allow-dirty") == 0) {
       allow_dirty = true;
     } else {
@@ -1914,6 +2258,7 @@ int main(int argc, char** argv) {
            : analysis_mode ? "BENCH_analysis.json"
            : drift_mode    ? "BENCH_drift.json"
            : chaos_mode    ? "BENCH_chaos.json"
+           : forensics_mode ? "BENCH_forensics.json"
                            : "BENCH_scale.json";
   }
 
@@ -1931,6 +2276,16 @@ int main(int argc, char** argv) {
                  "warning: writing baseline %s from a dirty tree (git: %s); "
                  "tools/check_bench.py will reject it if committed.\n",
                  path.c_str(), GOSSIP_GIT_DESCRIBE);
+  }
+
+  if (forensics_mode) {
+    if (!emit_forensics_json(quick, path)) {
+      std::fprintf(stderr, "error: forensics run failed (%s)\n",
+                   path.c_str());
+      return 1;
+    }
+    std::printf("wrote %s\n", path.c_str());
+    return 0;
   }
 
   if (chaos_mode) {

@@ -29,6 +29,11 @@ the first argument):
                 violations inside the degree-TVD limits, and the
                 mis-parameterized run tripped the monitor and dumped a
                 nonempty flight trace.
+  forensics     every analyzer leg attributed all of its incidents to the
+                injected cause with zero left unknown, the rendered JSON
+                report was byte-identical across renders, and the whole
+                load->index->attribute->render pass stayed inside the
+                wall-clock budget recorded in the baseline.
   chaos         every fault-plane leg holds its gate: the partition and
                 mass-kill legs degraded and recovered within their round
                 budgets, the regional burst leg recovered and ended fully
@@ -349,12 +354,55 @@ def check_chaos(doc, path, errors):
              "unattended sustained spike never escalated the drift monitor")
 
 
+def check_forensics(doc, path, errors):
+    gates = doc.get("gates", {})
+    for gate in ("declared_attributed", "churn_attributed",
+                 "loss_attributed", "analyze_within_budget"):
+        if gates.get(gate) is not True:
+            fail(errors, path, f"forensics gate {gate} failed")
+    budget = doc.get("analyze_budget_seconds")
+    if not isinstance(budget, (int, float)) or budget <= 0:
+        fail(errors, path, "missing analyze_budget_seconds")
+        budget = None
+    for leg in ("declared_partition", "undeclared_mass_kill",
+                "undeclared_loss_spike"):
+        a = doc.get(leg)
+        if not isinstance(a, dict):
+            fail(errors, path, f"missing {leg} leg")
+            continue
+        incidents = a.get("incidents")
+        if not isinstance(incidents, int) or incidents <= 0:
+            fail(errors, path, f"{leg}: no incidents detected "
+                 "(the injected fault left no trace)")
+        if a.get("unknown") != 0:
+            fail(errors, path,
+                 f"{leg}: {a.get('unknown')!r} incident(s) left unknown")
+        if a.get("matched") != incidents:
+            fail(errors, path,
+                 f"{leg}: {a.get('matched')!r}/{incidents!r} incidents "
+                 f"attributed to {a.get('expected_cause')!r}")
+        if a.get("deterministic") is not True:
+            fail(errors, path, f"{leg}: report render not deterministic")
+        seconds = a.get("analyze_seconds")
+        if not isinstance(seconds, (int, float)):
+            fail(errors, path, f"{leg}: missing analyze_seconds")
+        elif budget is not None and seconds >= budget:
+            fail(errors, path,
+                 f"{leg}: analyze took {seconds:g}s (budget {budget:g}s)")
+        if not a.get("trace_events") or not a.get("snapshots"):
+            fail(errors, path,
+                 f"{leg}: empty artifact set (trace_events="
+                 f"{a.get('trace_events')!r}, "
+                 f"snapshots={a.get('snapshots')!r})")
+
+
 CHECKS = {
     "scale_trajectory": check_scale,
     "analysis_pipeline": check_analysis,
     "telemetry": check_telemetry,
     "drift_oracle": check_drift,
     "chaos_faults": check_chaos,
+    "forensics": check_forensics,
 }
 
 

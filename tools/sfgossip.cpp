@@ -12,6 +12,9 @@
 //                          --trace-out, or a drift-violation post-mortem)
 //   sfgossip chaos         run a scripted fault scenario on the sharded
 //                          driver and report recovery times
+//   sfgossip analyze       post-mortem forensics: turn flight dumps +
+//                          snapshot streams + chaos reports into
+//                          root-caused incident reports
 //   sfgossip top           live in-terminal dashboard over a sharded run
 //                          (tails the snapshot streamer)
 //
@@ -25,6 +28,7 @@
 #include <fstream>
 #include <limits>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -51,6 +55,10 @@
 #include "graph/spectral.hpp"
 #include "obs/export/snapshot.hpp"
 #include "obs/export/trace_export.hpp"
+#include "obs/forensics/attribution.hpp"
+#include "obs/forensics/causal_index.hpp"
+#include "obs/forensics/report.hpp"
+#include "obs/forensics/run_archive.hpp"
 #include "obs/oracle/flight_recorder.hpp"
 #include "obs/timeseries.hpp"
 #include "obs/watchdog.hpp"
@@ -78,8 +86,8 @@ using namespace gossip;
 int usage() {
   std::fprintf(stderr,
                "usage: sfgossip <simulate|degrees|thresholds|decay|"
-               "connectivity|walk|globalmc|plan|trace-dump|chaos|top> "
-               "[options]\n"
+               "connectivity|walk|globalmc|plan|trace-dump|chaos|analyze|"
+               "top> [options]\n"
                "run 'sfgossip <command> --help' for options.\n");
   return 2;
 }
@@ -792,38 +800,51 @@ int cmd_trace_dump(const ArgParser& args) {
         "  --message ID    only the lifecycle of one message id (0x.. ok)\n"
         "  --node N        only events naming node N (actor or peer)\n"
         "  --limit K       print at most K events        (default 100)\n"
-        "FILE is a dump written by 'simulate --trace-out' or by the\n"
-        "TheoryOracle on a drift violation (bench_report --drift).\n");
+        "  --json          machine-readable output (one JSON object; the\n"
+        "                  same filters and limit apply)\n"
+        "FILE is a dump written by 'simulate --trace-out', 'chaos\n"
+        "--trace-out', or by the TheoryOracle on a drift violation\n"
+        "(bench_report --drift).\n");
     return args.has("help") ? 0 : 2;
   }
   const std::string path = args.positional()[0];
+  const bool json = args.has("json");
   obs::FlightTrace trace;
   if (!trace.load_file(path)) {
-    throw CliError("cannot load trace '" + path + "' (not an SFFR dump?)");
+    throw CliError("cannot load trace '" + path + "': " + trace.last_error());
   }
-  std::uint64_t dropped = 0;
-  for (std::size_t s = 0; s < trace.shard_count(); ++s) {
-    dropped += trace.dropped(s);
+  const std::uint64_t dropped = trace.total_dropped();
+  if (!json) {
+    std::printf("%s: %zu shards, %zu events kept, %llu overwritten\n",
+                path.c_str(), trace.shard_count(), trace.events().size(),
+                static_cast<unsigned long long>(dropped));
   }
-  std::printf("%s: %zu shards, %zu events kept, %llu overwritten\n",
-              path.c_str(), trace.shard_count(), trace.events().size(),
-              static_cast<unsigned long long>(dropped));
 
   std::vector<obs::FlightEvent> selected;
+  std::string filter_kind = "none";
+  std::uint64_t filter_value = 0;
   if (args.has("message")) {
     const auto id_str = args.get_string("message", "0");
     const std::uint64_t id = std::strtoull(id_str.c_str(), nullptr, 0);
     if (id == 0) throw CliError("--message needs a nonzero id");
     selected = trace.message_lifecycle(id);
-    std::printf("message 0x%llx: %zu events (origin shard %zu)\n",
-                static_cast<unsigned long long>(id), selected.size(),
-                obs::FlightRecorder::message_shard(id));
+    filter_kind = "message";
+    filter_value = id;
+    if (!json) {
+      std::printf("message 0x%llx: %zu events (origin shard %zu)\n",
+                  static_cast<unsigned long long>(id), selected.size(),
+                  obs::FlightRecorder::message_shard(id));
+    }
   } else if (args.has("node")) {
     const auto node = static_cast<NodeId>(
         args.get_size("node", 0, 0, std::numeric_limits<NodeId>::max()));
     selected = trace.node_history(node);
-    std::printf("node %llu: %zu events\n",
-                static_cast<unsigned long long>(node), selected.size());
+    filter_kind = "node";
+    filter_value = node;
+    if (!json) {
+      std::printf("node %llu: %zu events\n",
+                  static_cast<unsigned long long>(node), selected.size());
+    }
   } else {
     selected = trace.events();
   }
@@ -833,6 +854,42 @@ int cmd_trace_dump(const ArgParser& args) {
   // With no filter and a full ring the interesting part is the end (the
   // ring keeps the most recent events), so print the tail.
   const std::size_t start = selected.size() - shown;
+
+  if (json) {
+    // Message ids go out as hex strings: shard 32+ pushes them past 2^53,
+    // where JSON number consumers lose bits.
+    std::printf("{\"schema\":\"sfgossip.trace\",\"version\":1,"
+                "\"shards\":%zu,\"events_kept\":%zu,\"dropped\":%llu,"
+                "\"filter\":{\"kind\":\"%s\",\"value\":%llu},"
+                "\"selected\":%zu,\"elided\":%zu,\"events\":[",
+                trace.shard_count(), trace.events().size(),
+                static_cast<unsigned long long>(dropped), filter_kind.c_str(),
+                static_cast<unsigned long long>(filter_value),
+                selected.size(), start);
+    for (std::size_t i = start; i < selected.size(); ++i) {
+      const obs::FlightEvent& e = selected[i];
+      std::printf("%s{\"round\":%u,\"shard\":%u,\"kind\":\"%s\"",
+                  i == start ? "" : ",", e.round,
+                  static_cast<unsigned>(e.shard),
+                  obs::flight_event_kind_name(e.kind));
+      if (e.message_id != 0) {
+        std::printf(",\"message\":\"0x%llx\"",
+                    static_cast<unsigned long long>(e.message_id));
+      }
+      if (e.node != kNilNode) {
+        std::printf(",\"node\":%llu",
+                    static_cast<unsigned long long>(e.node));
+      }
+      if (e.peer != kNilNode) {
+        std::printf(",\"peer\":%llu",
+                    static_cast<unsigned long long>(e.peer));
+      }
+      std::printf("}");
+    }
+    std::printf("]}\n");
+    return 0;
+  }
+
   if (start > 0) std::printf("... %zu earlier events elided ...\n", start);
   for (std::size_t i = start; i < selected.size(); ++i) {
     std::printf("%s\n", obs::FlightTrace::format_event(selected[i]).c_str());
@@ -844,17 +901,30 @@ int cmd_trace_dump(const ArgParser& args) {
 
 // Scenario config lines ("key value") provide run defaults; same-named CLI
 // flags win when both are present.
+// Prefix a config-value parse error with file:line so a bad scenario value
+// (e.g. "stride 0") points at the offending line, not just the key.
+[[noreturn]] void rethrow_scenario_error(const sim::ScenarioFile& scenario,
+                                         const sim::ScenarioConfigEntry& entry,
+                                         const CliError& error) {
+  throw CliError(scenario.path + ":" + std::to_string(entry.line) + ": " +
+                 error.what());
+}
+
 std::size_t scenario_size(const sim::ScenarioFile& scenario,
                           const ArgParser& args, const char* key,
                           std::size_t fallback, std::size_t lo,
                           std::size_t hi) {
   if (!args.has(key)) {
-    for (const auto& [k, v] : scenario.config) {
-      if (k != key) continue;
+    for (const sim::ScenarioConfigEntry& entry : scenario.config) {
+      if (entry.key != key) continue;
       // Re-parse through the CLI machinery so scenario values get the same
       // range validation and error text as flags.
-      return ArgParser({"--" + std::string(key) + "=" + v})
-          .get_size(key, fallback, lo, hi);
+      try {
+        return ArgParser({"--" + std::string(key) + "=" + entry.value})
+            .get_size(key, fallback, lo, hi);
+      } catch (const CliError& e) {
+        rethrow_scenario_error(scenario, entry, e);
+      }
     }
   }
   return args.get_size(key, fallback, lo, hi);
@@ -864,10 +934,14 @@ double scenario_double(const sim::ScenarioFile& scenario,
                        const ArgParser& args, const char* key,
                        double fallback, double lo, double hi) {
   if (!args.has(key)) {
-    for (const auto& [k, v] : scenario.config) {
-      if (k != key) continue;
-      return ArgParser({"--" + std::string(key) + "=" + v})
-          .get_double(key, fallback, lo, hi);
+    for (const sim::ScenarioConfigEntry& entry : scenario.config) {
+      if (entry.key != key) continue;
+      try {
+        return ArgParser({"--" + std::string(key) + "=" + entry.value})
+            .get_double(key, fallback, lo, hi);
+      } catch (const CliError& e) {
+        rethrow_scenario_error(scenario, entry, e);
+      }
     }
   }
   return args.get_double(key, fallback, lo, hi);
@@ -899,6 +973,9 @@ int cmd_chaos(const ArgParser& args) {
         "  --prom-out FILE   rewrite a Prometheus text exposition per\n"
         "                    snapshot\n"
         "  --snapshot-stride N  rounds between snapshots (default: stride)\n"
+        "  --trace-out FILE  attach the flight recorder and dump the SFFR\n"
+        "                    ring at the end (for 'sfgossip analyze')\n"
+        "  --trace-capacity N  per-shard ring capacity     (default 4096)\n"
         "  --json FILE       write series + annotations + recovery JSON\n"
         "Scenario config lines (nodes, rounds, loss, view-size, min-degree,\n"
         "shards, seed, stride, warmup, grace) set defaults; flags override.\n");
@@ -990,6 +1067,18 @@ int cmd_chaos(const ArgParser& args) {
   }
   driver.attach_time_series(&series);
   driver.attach_fault_plane(&plane);
+
+  // A deeper default ring than the recorder's cache-resident 512: chaos
+  // post-mortems want the whole fault window, and a one-shot chaos run is
+  // not a perf gate.
+  std::unique_ptr<obs::FlightRecorder> recorder;
+  if (args.has("trace-out")) {
+    const std::size_t capacity =
+        args.get_size("trace-capacity", 4096, 8, 1u << 24);
+    recorder = std::make_unique<obs::FlightRecorder>(shards, capacity);
+    driver.attach_flight_recorder(recorder.get());
+  }
+
   // Last: recovery's gauge registration must come after the oracle's so
   // both re-cache the registry slabs they invalidate.
   driver.attach_recovery(&recovery);
@@ -1034,6 +1123,15 @@ int cmd_chaos(const ArgParser& args) {
     std::printf("streamed %llu snapshot(s)\n",
                 static_cast<unsigned long long>(streamer->snapshots_taken()));
   }
+  if (recorder) {
+    const auto path = args.get_string("trace-out", "");
+    if (!recorder->dump_to_file(path)) {
+      throw CliError("cannot write trace '" + path + "'");
+    }
+    std::printf("dumped %llu flight event(s) to %s\n",
+                static_cast<unsigned long long>(recorder->total_recorded()),
+                path.c_str());
+  }
 
   if (args.has("json")) {
     const auto path = args.get_string("json", "");
@@ -1057,6 +1155,106 @@ int cmd_chaos(const ArgParser& args) {
   // Exit status mirrors the run's health: 1 when any declared window never
   // recovered or an undeclared excursion is still open.
   return recovery.unrecovered() == 0 ? 0 : 1;
+}
+
+// -------------------------------------------------------------- analyze
+
+// Post-mortem forensics: load a run's artifacts (flight dump, snapshot
+// stream, chaos report), attribute every incident to a root cause, and
+// render the incident report. Exit 1 when any incident stays unknown —
+// the artifacts do not explain the run, which is itself a finding.
+int cmd_analyze(const ArgParser& args) {
+  if (args.has("help") ||
+      (!args.has("trace") && !args.has("snapshots") && !args.has("chaos"))) {
+    std::printf(
+        "sfgossip analyze [options] — root-cause a run from its artifacts\n"
+        "  --trace FILE       SFFR flight dump  (chaos/simulate --trace-out)\n"
+        "  --snapshots FILE   sfgossip.snapshot/v1 JSONL stream\n"
+        "  --chaos FILE       chaos --json report (episodes + oracle)\n"
+        "  --baseline-snapshots FILE  second stream to diff against\n"
+        "  --report FILE      write the markdown post-mortem\n"
+        "  --json FILE        write the deterministic JSON report\n"
+        "  --window N         lookback rounds per incident  (default 60)\n"
+        "  --diff-threshold F flag metrics moving more than F (default 0.10)\n"
+        "At least one of --trace/--snapshots/--chaos is required; --chaos\n"
+        "provides the incidents, the other two the evidence. With no\n"
+        "--report/--json the markdown report goes to stdout.\n"
+        "Exit: 0 all incidents attributed, 1 any left unknown, 2 bad args.\n");
+    return args.has("help") ? 0 : 2;
+  }
+
+  namespace fx = obs::forensics;
+  fx::RunArchive archive;
+  std::string error;
+  if (args.has("trace")) {
+    const auto path = args.get_string("trace", "");
+    if (!archive.load_trace_file(path, &error)) {
+      throw CliError("cannot load trace '" + path + "': " + error);
+    }
+  }
+  if (args.has("snapshots")) {
+    const auto path = args.get_string("snapshots", "");
+    if (!archive.load_snapshots_file(path, &error)) {
+      throw CliError("cannot load snapshots '" + path + "': " + error);
+    }
+  }
+  if (args.has("chaos")) {
+    const auto path = args.get_string("chaos", "");
+    if (!archive.load_chaos_file(path, &error)) {
+      throw CliError("cannot load chaos report '" + path + "': " + error);
+    }
+  }
+
+  std::unique_ptr<fx::CausalIndex> index;
+  if (archive.has_trace()) {
+    index = std::make_unique<fx::CausalIndex>(archive.trace());
+  }
+
+  fx::AttributionConfig config;
+  config.lookback_rounds = args.get_size("window", 60, 1, 1'000'000);
+  const fx::RootCauseAttributor attributor(archive, index.get(), config);
+  const std::vector<fx::Incident> incidents = attributor.attribute();
+
+  std::unique_ptr<fx::SnapshotDiff> diff;
+  if (args.has("baseline-snapshots")) {
+    if (!archive.has_snapshots()) {
+      throw CliError("--baseline-snapshots needs --snapshots to diff against");
+    }
+    const auto path = args.get_string("baseline-snapshots", "");
+    fx::SnapshotSurface baseline;
+    if (!baseline.load_file(path)) {
+      throw CliError("cannot load baseline snapshots '" + path + "': " +
+                     baseline.last_error());
+    }
+    diff = std::make_unique<fx::SnapshotDiff>(fx::SnapshotDiff::compare(
+        baseline, archive.snapshots(),
+        args.get_double("diff-threshold", 0.10, 0.0, 100.0)));
+  }
+
+  if (args.has("json")) {
+    const auto path = args.get_string("json", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    fx::write_report_json(out, archive, incidents, diff.get());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (args.has("report")) {
+    const auto path = args.get_string("report", "");
+    std::ofstream out(path);
+    if (!out) throw CliError("cannot open '" + path + "' for writing");
+    fx::write_report_markdown(out, archive, incidents, diff.get());
+    std::printf("wrote %s\n", path.c_str());
+  }
+  if (!args.has("json") && !args.has("report")) {
+    std::ostringstream out;
+    fx::write_report_markdown(out, archive, incidents, diff.get());
+    std::fputs(out.str().c_str(), stdout);
+  }
+
+  const std::size_t unknown = fx::unknown_incidents(incidents);
+  std::printf("analyze: %zu incident(s), %zu unknown\n", incidents.size(),
+              unknown);
+  return unknown == 0 ? 0 : 1;
 }
 
 // ------------------------------------------------------------------ top
@@ -1376,6 +1574,7 @@ int main(int argc, char** argv) {
     if (command == "plan") return cmd_plan(args);
     if (command == "trace-dump") return cmd_trace_dump(args);
     if (command == "chaos") return cmd_chaos(args);
+    if (command == "analyze") return cmd_analyze(args);
     if (command == "top") return cmd_top(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
