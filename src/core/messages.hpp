@@ -20,6 +20,21 @@ enum class MessageKind : std::uint8_t {
   kPushPullReply,   // push-pull baseline: copied entries (kept by replier)
   kNewscastExchange, // newscast baseline: full view copy, youngest first
   kNewscastReply,    // newscast baseline: reply with the replier's copy
+  kSwimPing,        // SWIM: direct probe (subject = probe target, stamp = seq)
+  kSwimPingReq,     // SWIM: indirect probe request (subject = target)
+  kSwimAck,         // SWIM: ack (subject = node whose liveness is attested)
+  kHeartbeat,       // all-to-all: stamp = sender's heartbeat counter
+};
+
+// One piggybacked membership assertion (SWIM dissemination component).
+// `status` orders as alive < suspect < faulty; for equal incarnations the
+// higher status wins, and any status at a higher incarnation overrides.
+struct MembershipUpdate {
+  NodeId subject = kNilNode;
+  std::uint8_t status = 0;  // 0 alive, 1 suspect, 2 faulty
+  std::uint32_t incarnation = 0;
+
+  [[nodiscard]] bool operator==(const MembershipUpdate&) const = default;
 };
 
 struct Message {
@@ -27,6 +42,12 @@ struct Message {
   NodeId to = kNilNode;
   MessageKind kind = MessageKind::kPush;
   std::vector<ViewEntry> payload;
+  // Failure-detector fields (unused by the view-exchange kinds above):
+  // the probe target / attested node, a sequence or heartbeat counter, and
+  // the piggybacked membership updates.
+  NodeId subject = kNilNode;
+  std::uint64_t stamp = 0;
+  std::vector<MembershipUpdate> updates;
 };
 
 }  // namespace gossip

@@ -14,6 +14,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "common/node_id.hpp"
@@ -29,6 +30,18 @@ class Transport {
  public:
   virtual ~Transport() = default;
   virtual void send(Message message) = 0;
+};
+
+// A node's local failure-detection opinion about another id. View-exchange
+// protocols only distinguish "in my view" (kAlive) from "not" (kUnknown);
+// detector protocols (SWIM, all-to-all heartbeats) add the suspicion
+// ladder. Observers (obs::DetectionTracker) treat anything other than
+// kAlive as "no longer believed alive".
+enum class MemberVerdict : std::uint8_t {
+  kAlive = 0,
+  kSuspect,
+  kFaulty,
+  kUnknown,
 };
 
 class PeerProtocol {
@@ -50,9 +63,36 @@ class PeerProtocol {
   virtual void on_message(const Message& message, Rng& rng,
                           Transport& transport) = 0;
 
+  // One tick of the round clock (the arena driver's schedule unit). The
+  // default runs one initiated action per round — the paper's §6.5 pacing —
+  // which makes every view-exchange protocol arena-compatible unchanged.
+  // Timer-driven detectors (SWIM, all-to-all) override this to advance
+  // their ack/suspicion deadlines; all randomness must come from `rng` and
+  // all timing from `round` (zero wall-clock) so runs replay bit-identically.
+  virtual void on_round(std::uint64_t round, Rng& rng, Transport& transport) {
+    (void)round;
+    on_initiate(rng, transport);
+  }
+
+  // Local liveness opinion about `id`. Default: view membership (partial-
+  // view protocols hold no opinion about ids outside the view). Detectors
+  // override with their member tables.
+  [[nodiscard]] virtual MemberVerdict member_verdict(NodeId id) const {
+    return view_.contains(id) ? MemberVerdict::kAlive
+                              : MemberVerdict::kUnknown;
+  }
+
+  // Order-insensitive digest of protocol-private state not visible through
+  // the view (timer wheels, incarnations, heartbeat counters). Folded into
+  // the arena driver's run fingerprint so determinism gates see detector
+  // timer state, not just view contents. 0 for protocols whose whole state
+  // is the view.
+  [[nodiscard]] virtual std::uint64_t state_digest() const { return 0; }
+
   // Installs an initial view: up to capacity ids are written into the first
-  // slots, tagged independent. Used to load generated topologies.
-  void install_view(const std::vector<NodeId>& ids) {
+  // slots, tagged independent. Used to load generated topologies. Virtual:
+  // full-membership detectors also seed their member tables from `ids`.
+  virtual void install_view(const std::vector<NodeId>& ids) {
     view_.clear_all();
     const std::size_t count = std::min(ids.size(), view_.capacity());
     for (std::size_t i = 0; i < count; ++i) {

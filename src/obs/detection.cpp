@@ -1,0 +1,202 @@
+#include "obs/detection.hpp"
+
+#include <algorithm>
+#include <ostream>
+
+namespace gossip::obs {
+
+DetectionTracker::DetectionTracker(DetectionConfig config)
+    : config_(config) {}
+
+void DetectionTracker::record_kill(std::uint64_t round, NodeId subject) {
+  DetectionEvent e;
+  e.subject = subject;
+  e.round = round;
+  e.kill = true;
+  events_.push_back(std::move(e));
+}
+
+void DetectionTracker::record_join(std::uint64_t round, NodeId subject) {
+  DetectionEvent e;
+  e.subject = subject;
+  e.round = round;
+  e.kill = false;
+  events_.push_back(std::move(e));
+}
+
+bool DetectionTracker::detected(const DetectionEvent& event,
+                                MemberVerdict verdict) {
+  // A kill is detected once the observer no longer believes the subject
+  // alive (suspicion counts as first detection — it is the observable
+  // state change); a join once the observer believes it alive.
+  return event.kill ? verdict != MemberVerdict::kAlive
+                    : verdict == MemberVerdict::kAlive;
+}
+
+void DetectionTracker::initialize_event(DetectionEvent& event,
+                                        std::size_t node_count,
+                                        const LiveFn& live,
+                                        const VerdictFn& verdict) {
+  event.initialized = true;
+  event.pending.clear();
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (u == event.subject || !live(u)) continue;
+    if (event.kill) {
+      // Only observers that actually believe the subject alive hold a
+      // stale belief to correct; the rest (e.g. partial views that never
+      // held the id) have nothing to detect.
+      if (verdict(u, event.subject) != MemberVerdict::kAlive) continue;
+    }
+    event.pending.push_back(u);
+  }
+  event.observers = event.pending.size();
+  if (event.observers == 0) {
+    event.complete = true;
+    event.last_latency = 0;
+  }
+}
+
+void DetectionTracker::observe(std::uint64_t round, std::size_t node_count,
+                               const LiveFn& live, const VerdictFn& verdict) {
+  ++observe_calls_;
+
+  for (DetectionEvent& event : events_) {
+    if (event.complete || event.abandoned) continue;
+    if (!event.initialized) {
+      initialize_event(event, node_count, live, verdict);
+      if (event.complete) continue;
+    }
+    if (!event.kill && !live(event.subject)) {
+      // The joiner died before full dissemination: freeze the event.
+      event.abandoned = true;
+      continue;
+    }
+    std::size_t kept = 0;
+    for (std::size_t i = 0; i < event.pending.size(); ++i) {
+      const NodeId u = event.pending[i];
+      if (!live(u)) {
+        --event.observers;  // died holding the stale belief: no opinion left
+        continue;
+      }
+      if (detected(event, verdict(u, event.subject))) {
+        ++event.detected;
+        if (!event.any_detected) {
+          event.any_detected = true;
+          event.first_latency = round - event.round;
+        }
+        continue;
+      }
+      event.pending[kept++] = u;
+    }
+    event.pending.resize(kept);
+    if (kept == 0) {
+      event.complete = true;
+      event.last_latency = event.observers == 0 ? 0 : round - event.round;
+      event.pending.shrink_to_fit();
+    }
+  }
+
+  // --- false-positive pair scan ---
+  if (config_.fp_stride == 0 || observe_calls_ % config_.fp_stride != 0) {
+    return;
+  }
+  fp_scratch_.clear();
+  for (NodeId u = 0; u < node_count; ++u) {
+    if (!live(u)) continue;
+    for (NodeId w = 0; w < node_count; ++w) {
+      if (w == u || !live(w)) continue;
+      const MemberVerdict v = verdict(u, w);
+      if (v != MemberVerdict::kSuspect && v != MemberVerdict::kFaulty) {
+        continue;
+      }
+      const std::uint64_t key =
+          (static_cast<std::uint64_t>(u) << 32) | w;
+      fp_scratch_.insert(key);
+      if (fp_active_.find(key) == fp_active_.end()) ++fp_events_;
+    }
+  }
+  fp_active_.swap(fp_scratch_);
+}
+
+double DetectionTracker::completeness(bool kills) const {
+  std::size_t observers = 0;
+  std::size_t detected_total = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill != kills || !e.initialized || e.abandoned) continue;
+    observers += e.observers;
+    detected_total += e.detected;
+  }
+  return observers == 0 ? 1.0
+                        : static_cast<double>(detected_total) /
+                              static_cast<double>(observers);
+}
+
+std::size_t DetectionTracker::event_count(bool kills) const {
+  std::size_t count = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill == kills && !e.abandoned) ++count;
+  }
+  return count;
+}
+
+std::size_t DetectionTracker::complete_count(bool kills) const {
+  std::size_t count = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill == kills && !e.abandoned && e.complete) ++count;
+  }
+  return count;
+}
+
+double DetectionTracker::mean_first_latency(bool kills) const {
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill != kills || e.abandoned || !e.any_detected) continue;
+    sum += e.first_latency;
+    ++count;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+double DetectionTracker::mean_last_latency(bool kills) const {
+  std::uint64_t sum = 0;
+  std::size_t count = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill != kills || e.abandoned || !e.complete || e.observers == 0) {
+      continue;
+    }
+    sum += e.last_latency;
+    ++count;
+  }
+  return count == 0 ? 0.0
+                    : static_cast<double>(sum) / static_cast<double>(count);
+}
+
+std::uint64_t DetectionTracker::max_last_latency(bool kills) const {
+  std::uint64_t worst = 0;
+  for (const DetectionEvent& e : events_) {
+    if (e.kill != kills || e.abandoned || !e.complete) continue;
+    worst = std::max(worst, e.last_latency);
+  }
+  return worst;
+}
+
+void DetectionTracker::write_json(std::ostream& out) const {
+  const auto emit_side = [&](const char* key, bool kills) {
+    out << '"' << key << "\":{\"events\":" << event_count(kills)
+        << ",\"complete\":" << complete_count(kills)
+        << ",\"completeness\":" << completeness(kills)
+        << ",\"first_latency_mean\":" << mean_first_latency(kills)
+        << ",\"last_latency_mean\":" << mean_last_latency(kills)
+        << ",\"last_latency_max\":" << max_last_latency(kills) << '}';
+  };
+  out << '{';
+  emit_side("kills", true);
+  out << ',';
+  emit_side("joins", false);
+  out << ",\"fp_events\":" << fp_events_
+      << ",\"fp_unresolved\":" << fp_unresolved() << '}';
+}
+
+}  // namespace gossip::obs

@@ -1,0 +1,117 @@
+// DetectionTracker: failure/join detection scoring for the protocol arena.
+//
+// The arena compares protocols on what the paper's S&F deliberately does
+// NOT buy — timely, explicit failure detection — so the tracker scores
+// every contender on the same three currencies:
+//
+//   completeness   every injected kill (join) is eventually detected at
+//                  every live observer that believed the subject alive
+//                  (resp. did not yet know it). Observers that die before
+//                  detecting leave the denominator — a dead node holds no
+//                  belief to correct.
+//   latency        rounds from the injection to the first and the last
+//                  detection across the observer set.
+//   false positives ordered live pairs (u, w) where u's verdict on the
+//                  live node w is suspect or faulty. Counted as pair
+//                  spells: entering the state is one event, leaving it
+//                  resolves it; spells still open at the end of the run
+//                  are the unresolved count the gates care about.
+//
+// Verdicts come through a callback (MemberVerdict of core/protocol.hpp),
+// so the tracker is agnostic to cluster representation and protocol — S&F
+// "detects" by washing an id out of views (kUnknown), SWIM by suspicion
+// and confirmation, heartbeats by counter stall. Pure observer: draws no
+// RNG and mutates nothing; all scans run at probe boundaries.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <unordered_set>
+#include <vector>
+
+#include "common/node_id.hpp"
+#include "core/protocol.hpp"
+
+namespace gossip::obs {
+
+struct DetectionConfig {
+  // The O(n^2) false-positive pair scan runs every `fp_stride`-th observe
+  // call (1 = every probe). 0 disables the scan.
+  std::uint64_t fp_stride = 1;
+};
+
+struct DetectionEvent {
+  NodeId subject = kNilNode;
+  std::uint64_t round = 0;  // injection round
+  bool kill = false;        // kill event (else join)
+  bool initialized = false; // observer set captured (first probe after)
+  bool abandoned = false;   // join subject died before completion
+  std::size_t observers = 0;  // current completeness denominator
+  std::size_t detected = 0;
+  bool any_detected = false;
+  std::uint64_t first_latency = 0;  // rounds to the first detection
+  bool complete = false;
+  std::uint64_t last_latency = 0;  // rounds to the last detection
+
+  // Observers still holding the pre-event belief.
+  std::vector<NodeId> pending;
+};
+
+class DetectionTracker {
+ public:
+  using VerdictFn =
+      std::function<MemberVerdict(NodeId observer, NodeId subject)>;
+  using LiveFn = std::function<bool(NodeId)>;
+
+  explicit DetectionTracker(DetectionConfig config = {});
+
+  // Injection notifications (call when the driver kills / joins a node;
+  // the observer set is captured lazily at the next observe()).
+  void record_kill(std::uint64_t round, NodeId subject);
+  void record_join(std::uint64_t round, NodeId subject);
+
+  // One probe: advances every open event and (on fp_stride) rescans the
+  // live-pair false-positive state. `node_count` bounds the id space.
+  void observe(std::uint64_t round, std::size_t node_count,
+               const LiveFn& live, const VerdictFn& verdict);
+
+  [[nodiscard]] const std::vector<DetectionEvent>& events() const {
+    return events_;
+  }
+
+  // Aggregates over kill (join) events: fraction of observers that
+  // detected, 1.0 when there are no events.
+  [[nodiscard]] double completeness(bool kills) const;
+  [[nodiscard]] std::size_t event_count(bool kills) const;
+  [[nodiscard]] std::size_t complete_count(bool kills) const;
+  // Mean/max of first/last detection latency over events with detections;
+  // incomplete events contribute no last latency (see complete_count).
+  [[nodiscard]] double mean_first_latency(bool kills) const;
+  [[nodiscard]] double mean_last_latency(bool kills) const;
+  [[nodiscard]] std::uint64_t max_last_latency(bool kills) const;
+
+  // False-positive pair spells: total opened, and still open now.
+  [[nodiscard]] std::uint64_t fp_events() const { return fp_events_; }
+  [[nodiscard]] std::size_t fp_unresolved() const {
+    return fp_active_.size();
+  }
+
+  void write_json(std::ostream& out) const;
+
+ private:
+  void initialize_event(DetectionEvent& event, std::size_t node_count,
+                        const LiveFn& live, const VerdictFn& verdict);
+  [[nodiscard]] static bool detected(const DetectionEvent& event,
+                                     MemberVerdict verdict);
+
+  DetectionConfig config_;
+  std::vector<DetectionEvent> events_;
+  std::uint64_t observe_calls_ = 0;
+  std::uint64_t fp_events_ = 0;
+  std::unordered_set<std::uint64_t> fp_active_;  // (u << 32) | w
+  std::unordered_set<std::uint64_t> fp_scratch_;
+};
+
+}  // namespace gossip::obs

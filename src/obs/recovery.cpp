@@ -177,6 +177,18 @@ std::uint32_t RecoveryTracker::evaluate_lanes(
       }
       if (degree_mean_out_) degree_out = true;
     }
+    if (have_floor_) {
+      const double mean = probe.outdegree.mean;
+      if (floor_out_) {
+        if (mean >= floor_value_ +
+                        (config_.degree_drop - config_.degree_recover)) {
+          floor_out_ = false;
+        }
+      } else if (mean < floor_value_) {
+        floor_out_ = true;
+      }
+      if (floor_out_) degree_out = true;
+    }
   }
   if (degree_out) lanes |= lane_bit(RecoveryLane::kDegree);
 
@@ -243,6 +255,12 @@ void RecoveryTracker::observe(std::uint64_t round,
       open_undeclared_ < 0) {
     baseline_mean_ = probe.outdegree.mean;
     have_baseline_ = true;
+    // The floor is pinned at the FIRST calm baseline and never chases:
+    // that is the whole point (see RecoveryConfig::degree_floor_fraction).
+    if (!have_floor_ && config_.degree_floor_fraction > 0.0) {
+      floor_value_ = config_.degree_floor_fraction * probe.outdegree.mean;
+      have_floor_ = true;
+    }
   }
 
   // --- declared windows ---

@@ -75,6 +75,17 @@ struct RecoveryConfig {
   // of the baseline (hysteresis so a hovering mean does not flap).
   double degree_drop = 1.0;
   double degree_recover = 0.6;
+  // Absolute degradation floor for the mean outdegree, as a fraction of the
+  // FIRST calm baseline (0 disables). The relative dip signal above chases
+  // the calm baseline between excursions, so a decay slow enough to stay
+  // within degree_drop of the moving baseline — a 20% mass kill bleeding
+  // stale ids out over hundreds of rounds — never trips it (the
+  // boiling-frog blind spot). The floor is pinned once, at the first
+  // baseline-eligible probe, and trips whenever the mean falls below
+  // floor_fraction * that value, however slowly it got there. Re-enters
+  // band (degree_drop - degree_recover) above the floor (same hysteresis
+  // gap as the dip signal).
+  double degree_floor_fraction = 0.0;
   // Connectivity lane trips when the largest weak component of the view
   // graph covers less than this fraction of live nodes.
   double min_component_fraction = 0.995;
@@ -147,6 +158,11 @@ class RecoveryTracker {
     return component_fraction_;
   }
   [[nodiscard]] double baseline_mean_degree() const { return baseline_mean_; }
+  // The pinned absolute floor (0.0 until the first calm baseline, or when
+  // degree_floor_fraction is 0).
+  [[nodiscard]] double degree_floor() const {
+    return have_floor_ ? floor_value_ : 0.0;
+  }
 
   [[nodiscard]] std::string report() const;
   // {"episodes":[{...}],"degraded_lanes":..,"unrecovered":..}
@@ -173,6 +189,9 @@ class RecoveryTracker {
   bool degree_mean_out_ = false;  // hysteresis state of the mean-dip signal
   double baseline_mean_ = 0.0;
   bool have_baseline_ = false;
+  bool floor_out_ = false;  // hysteresis state of the absolute-floor signal
+  double floor_value_ = 0.0;
+  bool have_floor_ = false;
   double component_fraction_ = 1.0;
   std::uint64_t last_watchdog_violations_ = 0;
 

@@ -22,6 +22,14 @@ const char* kind_name(MessageKind kind) {
       return "newscast-xchg";
     case MessageKind::kNewscastReply:
       return "newscast-rep";
+    case MessageKind::kSwimPing:
+      return "swim-ping";
+    case MessageKind::kSwimPingReq:
+      return "swim-ping-req";
+    case MessageKind::kSwimAck:
+      return "swim-ack";
+    case MessageKind::kHeartbeat:
+      return "heartbeat";
   }
   return "?";
 }

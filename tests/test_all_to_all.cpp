@@ -1,0 +1,147 @@
+// All-to-all heartbeat detector: counter fan-out, the TFAIL/TREMOVE
+// timeout ladder, resurrection on resumed heartbeats, and the join grace
+// period. The protocol is zero-RNG; every test drives the round clock by
+// hand.
+#include "core/baselines/all_to_all.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace gossip {
+namespace {
+
+AllToAllConfig small_config() {
+  AllToAllConfig config;
+  config.view_size = 8;
+  config.fail_timeout = 3;
+  config.remove_timeout = 4;
+  return config;
+}
+
+Message beat_from(NodeId from, NodeId to, std::uint64_t counter) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = MessageKind::kHeartbeat;
+  m.subject = from;
+  m.stamp = counter;
+  return m;
+}
+
+TEST(AllToAll, HeartbeatsFanOutWithIncreasingCounter) {
+  AllToAll node(0, small_config());
+  node.install_view({1, 2, 3});
+  Rng rng(1);
+  testing::CaptureTransport cap;
+
+  node.on_round(1, rng, cap);
+  ASSERT_EQ(cap.sent.size(), 3u);
+  std::vector<NodeId> targets;
+  for (const Message& m : cap.sent) {
+    EXPECT_EQ(m.kind, MessageKind::kHeartbeat);
+    EXPECT_EQ(m.subject, 0u);
+    EXPECT_EQ(m.stamp, 1u);
+    targets.push_back(m.to);
+  }
+  std::sort(targets.begin(), targets.end());
+  EXPECT_EQ(targets, (std::vector<NodeId>{1, 2, 3}));
+
+  cap.sent.clear();
+  node.on_round(2, rng, cap);
+  ASSERT_EQ(cap.sent.size(), 3u);
+  EXPECT_EQ(cap.sent[0].stamp, 2u);
+}
+
+TEST(AllToAll, StallMarksFaultyThenRemovesFromFanOut) {
+  AllToAll node(0, small_config());
+  node.install_view({1, 2});
+  Rng rng(1);
+  testing::CaptureTransport cap;
+
+  // Member 2 keeps beating; member 1 never does. install arms the timers
+  // at round 0, so 1 is overdue at round fail_timeout = 3.
+  std::uint64_t counter = 0;
+  for (std::uint64_t r = 1; r <= 2; ++r) {
+    node.on_round(r, rng, cap);
+    node.on_message(beat_from(2, 0, ++counter), rng, cap);
+    EXPECT_EQ(node.member_verdict(1), MemberVerdict::kAlive);
+  }
+  cap.sent.clear();
+  node.on_round(3, rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+  EXPECT_EQ(node.member_verdict(2), MemberVerdict::kAlive);
+  // Faulty members still receive heartbeats (they may disagree about us).
+  EXPECT_TRUE(std::any_of(cap.sent.begin(), cap.sent.end(),
+                          [](const Message& m) { return m.to == 1; }));
+
+  // After fail + remove = 7 rounds the member leaves the fan-out but the
+  // verdict stays faulty (removal is bandwidth hygiene, not forgetting).
+  for (std::uint64_t r = 4; r <= 6; ++r) {
+    node.on_message(beat_from(2, 0, ++counter), rng, cap);
+    node.on_round(r, rng, cap);
+  }
+  cap.sent.clear();
+  node.on_round(7, rng, cap);
+  EXPECT_FALSE(std::any_of(cap.sent.begin(), cap.sent.end(),
+                           [](const Message& m) { return m.to == 1; }));
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+}
+
+TEST(AllToAll, ResurrectionOnHigherCounter) {
+  AllToAll node(0, small_config());
+  node.install_view({1});
+  Rng rng(1);
+  testing::CaptureTransport cap;
+
+  node.on_message(beat_from(1, 0, 5), rng, cap);
+  node.on_round(10, rng, cap);  // long stall: faulty
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+
+  // A stale (replayed) counter must not resurrect.
+  node.on_message(beat_from(1, 0, 5), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+
+  node.on_message(beat_from(1, 0, 6), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kAlive);
+}
+
+TEST(AllToAll, UnknownSenderJoinsWithGrace) {
+  AllToAll node(0, small_config());
+  node.install_view({1});
+  Rng rng(1);
+  testing::CaptureTransport cap;
+
+  node.on_round(5, rng, cap);
+  EXPECT_EQ(node.member_verdict(9), MemberVerdict::kUnknown);
+  node.on_message(beat_from(9, 0, 1), rng, cap);
+  EXPECT_EQ(node.member_verdict(9), MemberVerdict::kAlive);
+
+  // The grace arms at first sight: not instantly overdue on the next tick.
+  cap.sent.clear();
+  node.on_round(6, rng, cap);
+  EXPECT_EQ(node.member_verdict(9), MemberVerdict::kAlive);
+  EXPECT_TRUE(std::any_of(cap.sent.begin(), cap.sent.end(),
+                          [](const Message& m) { return m.to == 9; }));
+}
+
+TEST(AllToAll, StateDigestSeesCountersAndStatus) {
+  AllToAll a(0, small_config());
+  AllToAll b(0, small_config());
+  a.install_view({1, 2});
+  b.install_view({1, 2});
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  Rng rng(1);
+  testing::CaptureTransport cap;
+  a.on_message(beat_from(1, 0, 1), rng, cap);
+  EXPECT_NE(a.state_digest(), b.state_digest());
+  b.on_message(beat_from(1, 0, 1), rng, cap);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+}
+
+}  // namespace
+}  // namespace gossip

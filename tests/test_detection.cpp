@@ -1,0 +1,176 @@
+// DetectionTracker: observer-set capture, completeness accounting,
+// first/last latency, dying observers, join abandonment, and the
+// false-positive pair-spell scan.
+#include "obs/detection.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <vector>
+
+namespace gossip::obs {
+namespace {
+
+// A scriptable world: liveness flags plus a verdict matrix.
+struct World {
+  std::vector<bool> live;
+  // verdict[u][w]: u's opinion about w.
+  std::vector<std::vector<MemberVerdict>> verdict;
+
+  explicit World(std::size_t n)
+      : live(n, true),
+        verdict(n, std::vector<MemberVerdict>(n, MemberVerdict::kAlive)) {}
+
+  [[nodiscard]] DetectionTracker::LiveFn live_fn() const {
+    return [this](NodeId u) { return live[u]; };
+  }
+  [[nodiscard]] DetectionTracker::VerdictFn verdict_fn() const {
+    return [this](NodeId u, NodeId w) { return verdict[u][w]; };
+  }
+  void observe(DetectionTracker& tracker, std::uint64_t round) const {
+    tracker.observe(round, live.size(), live_fn(), verdict_fn());
+  }
+};
+
+TEST(DetectionTracker, KillObserverSetIsBelieversAtFirstProbe) {
+  World world(4);
+  DetectionTracker tracker;
+  world.live[3] = false;
+  // Node 1 never believed 3 alive (partial view): not an observer.
+  world.verdict[1][3] = MemberVerdict::kUnknown;
+  tracker.record_kill(10, 3);
+
+  world.observe(tracker, 11);
+  ASSERT_EQ(tracker.events().size(), 1u);
+  EXPECT_EQ(tracker.events()[0].observers, 2u);  // nodes 0 and 2
+  EXPECT_EQ(tracker.completeness(true), 0.0);
+
+  world.verdict[0][3] = MemberVerdict::kSuspect;  // suspicion counts
+  world.observe(tracker, 12);
+  EXPECT_DOUBLE_EQ(tracker.completeness(true), 0.5);
+  EXPECT_DOUBLE_EQ(tracker.mean_first_latency(true), 2.0);
+  EXPECT_EQ(tracker.complete_count(true), 0u);
+
+  world.verdict[2][3] = MemberVerdict::kFaulty;
+  world.observe(tracker, 15);
+  EXPECT_DOUBLE_EQ(tracker.completeness(true), 1.0);
+  EXPECT_EQ(tracker.complete_count(true), 1u);
+  EXPECT_DOUBLE_EQ(tracker.mean_last_latency(true), 5.0);
+  EXPECT_EQ(tracker.max_last_latency(true), 5u);
+}
+
+TEST(DetectionTracker, DyingObserverLeavesTheDenominator) {
+  World world(3);
+  DetectionTracker tracker;
+  world.live[2] = false;
+  tracker.record_kill(5, 2);
+  world.observe(tracker, 6);  // observers: 0 and 1
+
+  world.verdict[0][2] = MemberVerdict::kFaulty;
+  world.live[1] = false;  // dies still believing 2 alive
+  world.observe(tracker, 7);
+  EXPECT_EQ(tracker.events()[0].observers, 1u);
+  EXPECT_DOUBLE_EQ(tracker.completeness(true), 1.0);
+  EXPECT_TRUE(tracker.events()[0].complete);
+}
+
+TEST(DetectionTracker, JoinDetectedWhenObserversBelieveAlive) {
+  World world(3);
+  DetectionTracker tracker;
+  // Node 2 joins at round 4; nobody knows it yet.
+  world.verdict[0][2] = MemberVerdict::kUnknown;
+  world.verdict[1][2] = MemberVerdict::kUnknown;
+  tracker.record_join(4, 2);
+
+  world.observe(tracker, 5);
+  EXPECT_EQ(tracker.events()[0].observers, 2u);
+  world.verdict[0][2] = MemberVerdict::kAlive;
+  world.verdict[1][2] = MemberVerdict::kAlive;
+  world.observe(tracker, 9);
+  EXPECT_DOUBLE_EQ(tracker.completeness(false), 1.0);
+  EXPECT_DOUBLE_EQ(tracker.mean_last_latency(false), 5.0);
+}
+
+TEST(DetectionTracker, JoinAbandonedWhenTheSubjectDies) {
+  World world(3);
+  DetectionTracker tracker;
+  world.verdict[0][2] = MemberVerdict::kUnknown;
+  world.verdict[1][2] = MemberVerdict::kUnknown;
+  tracker.record_join(4, 2);
+  world.observe(tracker, 5);
+
+  world.live[2] = false;
+  world.observe(tracker, 6);
+  EXPECT_TRUE(tracker.events()[0].abandoned);
+  EXPECT_EQ(tracker.event_count(false), 0u);
+  // Abandoned events drop out of completeness entirely.
+  EXPECT_DOUBLE_EQ(tracker.completeness(false), 1.0);
+}
+
+TEST(DetectionTracker, FalsePositivePairSpells) {
+  World world(3);
+  DetectionTracker tracker;
+
+  world.observe(tracker, 1);
+  EXPECT_EQ(tracker.fp_events(), 0u);
+
+  // 0 wrongly suspects 1 (both live): one spell opens.
+  world.verdict[0][1] = MemberVerdict::kSuspect;
+  world.observe(tracker, 2);
+  EXPECT_EQ(tracker.fp_events(), 1u);
+  EXPECT_EQ(tracker.fp_unresolved(), 1u);
+
+  // Escalating the same pair to faulty is the same spell, not a new one.
+  world.verdict[0][1] = MemberVerdict::kFaulty;
+  world.observe(tracker, 3);
+  EXPECT_EQ(tracker.fp_events(), 1u);
+
+  // Refuted: the spell resolves.
+  world.verdict[0][1] = MemberVerdict::kAlive;
+  world.observe(tracker, 4);
+  EXPECT_EQ(tracker.fp_unresolved(), 0u);
+
+  // Re-entering opens a second spell; still open at the end = unresolved.
+  world.verdict[0][1] = MemberVerdict::kSuspect;
+  world.observe(tracker, 5);
+  EXPECT_EQ(tracker.fp_events(), 2u);
+  EXPECT_EQ(tracker.fp_unresolved(), 1u);
+}
+
+TEST(DetectionTracker, SuspectingADeadNodeIsNotAFalsePositive) {
+  World world(3);
+  DetectionTracker tracker;
+  world.live[2] = false;
+  world.verdict[0][2] = MemberVerdict::kFaulty;  // correct detection
+  world.observe(tracker, 1);
+  EXPECT_EQ(tracker.fp_events(), 0u);
+}
+
+TEST(DetectionTracker, FpStrideSkipsScans) {
+  World world(2);
+  DetectionTracker tracker(DetectionConfig{.fp_stride = 2});
+  world.verdict[0][1] = MemberVerdict::kSuspect;
+  world.observe(tracker, 1);  // observe #1: not a scan round
+  EXPECT_EQ(tracker.fp_events(), 0u);
+  world.observe(tracker, 2);  // observe #2: scans
+  EXPECT_EQ(tracker.fp_events(), 1u);
+}
+
+TEST(DetectionTracker, WriteJsonEmitsBothSidesAndFpCounts) {
+  World world(2);
+  DetectionTracker tracker;
+  world.live[1] = false;
+  tracker.record_kill(1, 1);
+  world.verdict[0][1] = MemberVerdict::kFaulty;
+  world.observe(tracker, 2);
+
+  std::ostringstream out;
+  tracker.write_json(out);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"kills\":{\"events\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"joins\":{\"events\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"fp_events\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gossip::obs

@@ -351,5 +351,76 @@ TEST(TheoryOracleWindows, RoundExpectedCoversWindowPlusGrace) {
   EXPECT_FALSE(oracle.round_expected(240));
 }
 
+// --- absolute degree floor (the boiling-frog regression) ---
+//
+// A slow decay — smaller than degree_drop per probe — lets the chasing
+// calm baseline follow the mean down, so the relative dip signal never
+// trips however far the overlay sinks. The 20% mass-kill washout is
+// exactly this regime. These tests pin both halves: the blind spot exists
+// with the floor disabled, and the floor (pinned at the FIRST calm
+// baseline, not the chasing one) closes it.
+
+TEST(RecoveryTracker, SlowDecayNeverTripsWithoutFloor) {
+  RecoveryTracker tracker(test_config());  // degree_floor_fraction = 0
+  double mean = 6.0;
+  std::uint64_t round = 1;
+  tracker.observe(round++, calm_probe(100, 6), nullptr, nullptr, nullptr);
+  // Decay 0.05/probe, far below degree_drop = 1.0: 6.0 -> 4.0.
+  while (mean > 4.0) {
+    mean -= 0.05;
+    FlatClusterProbe probe = calm_probe(100, 6);
+    probe.outdegree.mean = mean;
+    tracker.observe(round++, probe, nullptr, nullptr, nullptr);
+    ASSERT_TRUE(tracker.in_band())
+        << "the chasing baseline followed the decay down; a trip here "
+           "means the blind spot this test documents was closed by the "
+           "relative signal (update SlowDecayTripsTheFloor instead)";
+  }
+  EXPECT_TRUE(tracker.episodes().empty());
+  // The baseline chased the decay all the way down.
+  EXPECT_LT(tracker.baseline_mean_degree(), 4.1);
+}
+
+TEST(RecoveryTracker, SlowDecayTripsTheFloor) {
+  RecoveryConfig config = test_config();
+  config.degree_floor_fraction = 0.9;  // floor = 5.4 off the 6.0 baseline
+  RecoveryTracker tracker(config);
+  std::uint64_t round = 1;
+  tracker.observe(round++, calm_probe(100, 6), nullptr, nullptr, nullptr);
+  EXPECT_DOUBLE_EQ(tracker.degree_floor(), 5.4);
+
+  double mean = 6.0;
+  std::uint64_t tripped_round = 0;
+  while (mean > 4.0) {
+    mean -= 0.05;
+    FlatClusterProbe probe = calm_probe(100, 6);
+    probe.outdegree.mean = mean;
+    tracker.observe(round, probe, nullptr, nullptr, nullptr);
+    if (tripped_round == 0 && !tracker.in_band()) {
+      tripped_round = round;
+      EXPECT_EQ(tracker.degraded_lanes(), kDegreeBit);
+      EXPECT_LT(mean, 5.4);
+      EXPECT_GT(mean, 5.3);  // trips at the floor, not rounds later
+    }
+    ++round;
+  }
+  ASSERT_NE(tripped_round, 0u) << "floor never tripped during the decay";
+  ASSERT_EQ(tracker.episodes().size(), 1u);
+  EXPECT_FALSE(tracker.episodes()[0].declared);
+  EXPECT_TRUE(tracker.episodes()[0].degraded);
+  EXPECT_FALSE(tracker.episodes()[0].recovered);
+
+  // The floor is pinned: it did NOT chase the decay. Recovery demands the
+  // mean climb back above floor + (degree_drop - degree_recover) = 5.8.
+  FlatClusterProbe probe = calm_probe(100, 6);
+  probe.outdegree.mean = 5.7;
+  tracker.observe(round++, probe, nullptr, nullptr, nullptr);
+  EXPECT_FALSE(tracker.in_band()) << "hysteresis: 5.7 < 5.8 stays out";
+  probe.outdegree.mean = 5.9;
+  tracker.observe(round++, probe, nullptr, nullptr, nullptr);
+  EXPECT_TRUE(tracker.in_band());
+  EXPECT_TRUE(tracker.episodes()[0].recovered);
+}
+
 }  // namespace
 }  // namespace gossip::obs

@@ -1,0 +1,312 @@
+// SWIM failure detector: the deterministic timeout machinery (ack ->
+// indirect ping-req -> suspicion -> confirmed failure), incarnation
+// precedence, refutation, the memberlist-style extensions (ack downgrade,
+// faulty reclaim probes), and the piggyback budget.
+#include "core/baselines/swim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "test_support.hpp"
+
+namespace gossip {
+namespace {
+
+constexpr std::uint8_t kAliveWire = 0;
+constexpr std::uint8_t kSuspectWire = 1;
+constexpr std::uint8_t kFaultyWire = 2;
+
+SwimConfig small_config() {
+  SwimConfig config;
+  config.view_size = 8;
+  return config;
+}
+
+std::vector<Message> of_kind(const std::vector<Message>& sent,
+                             MessageKind kind) {
+  std::vector<Message> out;
+  for (const Message& m : sent) {
+    if (m.kind == kind) out.push_back(m);
+  }
+  return out;
+}
+
+Message ping_from(NodeId from, NodeId to,
+                  std::vector<MembershipUpdate> updates = {}) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = MessageKind::kSwimPing;
+  m.subject = to;
+  m.stamp = 1;
+  m.updates = std::move(updates);
+  return m;
+}
+
+Message ack_from(NodeId from, NodeId to, std::uint64_t stamp = 1) {
+  Message m;
+  m.from = from;
+  m.to = to;
+  m.kind = MessageKind::kSwimAck;
+  m.subject = from;
+  m.stamp = stamp;
+  return m;
+}
+
+TEST(Swim, InstallSeedsTableAllAlive) {
+  Swim node(0, small_config());
+  node.install_view({1, 2, 3});
+  EXPECT_EQ(node.member_count(), 3u);
+  EXPECT_EQ(node.faulty_count(), 0u);
+  EXPECT_EQ(node.member_verdict(0), MemberVerdict::kAlive);  // self
+  EXPECT_EQ(node.member_verdict(2), MemberVerdict::kAlive);
+  EXPECT_EQ(node.member_verdict(9), MemberVerdict::kUnknown);
+}
+
+TEST(Swim, PingAckRoundTripClearsThePendingProbe) {
+  Swim node(0, small_config());
+  node.install_view({1});
+  Rng rng(7);
+  testing::CaptureTransport cap;
+
+  node.on_round(1, rng, cap);
+  const auto pings = of_kind(cap.sent, MessageKind::kSwimPing);
+  ASSERT_EQ(pings.size(), 1u);
+  EXPECT_EQ(pings[0].to, 1u);
+  EXPECT_EQ(pings[0].subject, 1u);
+  EXPECT_EQ(node.pending_probes(), 1u);
+
+  node.on_message(ack_from(1, 0, pings[0].stamp), rng, cap);
+  EXPECT_EQ(node.pending_probes(), 0u);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kAlive);
+}
+
+TEST(Swim, AckTimeoutEscalatesToIndirectProbes) {
+  Swim node(0, small_config());
+  node.install_view({1, 2, 3, 4});
+  Rng rng(11);
+  testing::CaptureTransport cap;
+
+  node.on_round(1, rng, cap);
+  const auto pings = of_kind(cap.sent, MessageKind::kSwimPing);
+  ASSERT_EQ(pings.size(), 1u);
+  const NodeId target = pings[0].to;
+  cap.sent.clear();
+
+  // ack_timeout = 2: the deadline is round 3.
+  node.on_round(2, rng, cap);
+  EXPECT_TRUE(of_kind(cap.sent, MessageKind::kSwimPingReq).empty());
+  cap.sent.clear();
+
+  node.on_round(3, rng, cap);
+  const auto reqs = of_kind(cap.sent, MessageKind::kSwimPingReq);
+  ASSERT_FALSE(reqs.empty());
+  EXPECT_LE(reqs.size(), small_config().indirect_probes);
+  for (const Message& req : reqs) {
+    EXPECT_EQ(req.subject, target) << "ping-req must name the probe target";
+    EXPECT_NE(req.to, target) << "helpers exclude the target";
+    EXPECT_NE(req.to, 0u) << "helpers exclude self";
+  }
+  // Still alive until the indirect stage also times out.
+  EXPECT_EQ(node.member_verdict(target), MemberVerdict::kAlive);
+}
+
+TEST(Swim, TimeoutLadderSuspectsThenConfirms) {
+  // A single member leaves no helpers, so the ack timeout escalates
+  // straight to suspicion; the suspicion timeout then confirms.
+  Swim node(0, small_config());
+  node.install_view({1});
+  Rng rng(3);
+  testing::CaptureTransport cap;
+
+  node.on_round(1, rng, cap);  // ping, deadline 3
+  node.on_round(3, rng, cap);  // no helpers -> suspect at round 3
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kSuspect);
+
+  // suspicion_timeout = 12: confirmed at round 15.
+  node.on_round(14, rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kSuspect);
+  node.on_round(15, rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+  EXPECT_EQ(node.faulty_count(), 1u);
+}
+
+TEST(Swim, PingReqRelaysTheAckToTheOrigin) {
+  // Node 0 is the helper: 2 asks it to probe 1.
+  Swim node(0, small_config());
+  node.install_view({1, 2});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+
+  Message req;
+  req.from = 2;
+  req.to = 0;
+  req.kind = MessageKind::kSwimPingReq;
+  req.subject = 1;
+  req.stamp = 9;
+  node.on_message(req, rng, cap);
+  const auto pings = of_kind(cap.sent, MessageKind::kSwimPing);
+  ASSERT_EQ(pings.size(), 1u);
+  EXPECT_EQ(pings[0].to, 1u);
+  cap.sent.clear();
+
+  node.on_message(ack_from(1, 0, pings[0].stamp), rng, cap);
+  const auto acks = of_kind(cap.sent, MessageKind::kSwimAck);
+  ASSERT_EQ(acks.size(), 1u);
+  EXPECT_EQ(acks[0].to, 2u) << "attestation must flow back to the origin";
+  EXPECT_EQ(acks[0].subject, 1u);
+}
+
+TEST(Swim, SuspicionAssertionAboutSelfBumpsIncarnation) {
+  Swim node(0, small_config());
+  node.install_view({1});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+
+  node.on_message(
+      ping_from(1, 0, {MembershipUpdate{0, kSuspectWire, 0}}), rng, cap);
+  EXPECT_EQ(node.incarnation(), 1u);
+  // The refutation rides the ack the ping triggered.
+  const auto acks = of_kind(cap.sent, MessageKind::kSwimAck);
+  ASSERT_EQ(acks.size(), 1u);
+  const bool refuted = std::any_of(
+      acks[0].updates.begin(), acks[0].updates.end(),
+      [](const MembershipUpdate& u) {
+        return u.subject == 0 && u.status == kAliveWire &&
+               u.incarnation == 1;
+      });
+  EXPECT_TRUE(refuted);
+}
+
+TEST(Swim, IncarnationPrecedence) {
+  Swim node(0, small_config());
+  node.install_view({1, 2});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+
+  // Confirmed faulty at incarnation 0.
+  node.on_message(
+      ping_from(2, 0, {MembershipUpdate{1, kFaultyWire, 0}}), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+
+  // Same-incarnation alive does NOT override faulty (faulty > alive).
+  node.on_message(
+      ping_from(2, 0, {MembershipUpdate{1, kAliveWire, 0}}), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kFaulty);
+
+  // A higher incarnation does — the rejoin/refutation path.
+  node.on_message(
+      ping_from(2, 0, {MembershipUpdate{1, kAliveWire, 1}}), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kAlive);
+  EXPECT_EQ(node.faulty_count(), 0u);
+}
+
+TEST(Swim, DirectAckDowngradesLocalSuspicion) {
+  Swim node(0, small_config());
+  node.install_view({1, 2});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+
+  node.on_message(
+      ping_from(2, 0, {MembershipUpdate{1, kSuspectWire, 0}}), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kSuspect);
+
+  // First-hand evidence beats the gossiped suspicion.
+  node.on_message(ack_from(1, 0), rng, cap);
+  EXPECT_EQ(node.member_verdict(1), MemberVerdict::kAlive);
+}
+
+TEST(Swim, ProbeToNonAliveTargetCarriesTheAssertion) {
+  // The reclaim ping to a confirmed-faulty member must carry the faulty
+  // assertion (outside the piggyback budget) so the target can refute.
+  SwimConfig config = small_config();
+  config.faulty_probe_interval = 1;
+  Swim node(0, config);
+  node.install_view({1, 2});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+  node.on_message(
+      ping_from(2, 0, {MembershipUpdate{1, kFaultyWire, 3}}), rng, cap);
+  cap.sent.clear();
+
+  node.on_round(1, rng, cap);
+  const auto pings = of_kind(cap.sent, MessageKind::kSwimPing);
+  bool notified = false;
+  for (const Message& ping : pings) {
+    if (ping.to != 1) continue;
+    for (const MembershipUpdate& u : ping.updates) {
+      if (u.subject == 1 && u.status == kFaultyWire && u.incarnation == 3) {
+        notified = true;
+      }
+    }
+  }
+  EXPECT_TRUE(notified)
+      << "the faulty member never learns it was confirmed";
+}
+
+TEST(Swim, PiggybackRespectsLimitAndBudget) {
+  SwimConfig config = small_config();
+  config.piggyback_limit = 2;
+  config.transmit_factor = 1;
+  // Pings here are never acked; park the timeout ladder so no suspicion
+  // assertions refill the outbox mid-test.
+  config.ack_timeout = 1000;
+  Swim node(0, config);
+  node.install_view({1});
+  Rng rng(5);
+  testing::CaptureTransport cap;
+
+  // Five foreign assertions queue for dissemination.
+  node.on_message(ping_from(1, 0,
+                            {MembershipUpdate{10, kAliveWire, 1},
+                             MembershipUpdate{11, kAliveWire, 1},
+                             MembershipUpdate{12, kAliveWire, 1},
+                             MembershipUpdate{13, kAliveWire, 1},
+                             MembershipUpdate{14, kAliveWire, 1}}),
+                  rng, cap);
+  cap.sent.clear();
+
+  std::size_t rounds_with_updates = 0;
+  for (std::uint64_t r = 1; r < 40; ++r) {
+    node.on_round(r, rng, cap);
+    for (const Message& m : cap.sent) {
+      EXPECT_LE(m.updates.size(), config.piggyback_limit);
+      if (!m.updates.empty()) ++rounds_with_updates;
+    }
+    cap.sent.clear();
+  }
+  EXPECT_GT(rounds_with_updates, 0u);
+  // transmit_factor = 1 with a small table bounds each update to a handful
+  // of transmissions; 40 rounds is far past exhaustion.
+  node.on_round(40, rng, cap);
+  for (const Message& m : cap.sent) {
+    EXPECT_TRUE(m.updates.empty()) << "budget-exhausted updates must stop";
+  }
+}
+
+TEST(Swim, StateDigestTracksDetectorState) {
+  Swim a(0, small_config());
+  Swim b(0, small_config());
+  a.install_view({1, 2, 3});
+  b.install_view({1, 2, 3});
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  Rng rng_a(9);
+  Rng rng_b(9);
+  testing::CaptureTransport cap;
+  a.on_round(1, rng_a, cap);
+  b.on_round(1, rng_b, cap);
+  EXPECT_EQ(a.state_digest(), b.state_digest());
+
+  // A divergent assertion shows up in the digest even though the view
+  // (vestigial for SWIM) is identical.
+  Rng rng(1);
+  a.on_message(
+      ping_from(1, 0, {MembershipUpdate{2, kSuspectWire, 0}}), rng, cap);
+  EXPECT_NE(a.state_digest(), b.state_digest());
+}
+
+}  // namespace
+}  // namespace gossip

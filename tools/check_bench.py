@@ -44,6 +44,15 @@ the first argument):
                 violations, at least one applied retune, and the degree
                 lanes back in band, while the unattended leg trips the
                 monitor.
+  arena         the protocol x scenario x loss detection matrix is complete
+                ({sf, swim, a2a} x {partition_heal, mass_kill,
+                regional_burst} x {0, 0.02, 0.10}), every leg reproduced
+                its fingerprint across two back-to-back runs, SWIM detected
+                every mass-kill victim at every live observer (completeness
+                1.0) with false-positive pair-spells under budget and all
+                refuted at loss <= 2%, and the S&F legs recovered within
+                the same round budgets BENCH_chaos.json commits (the arena
+                must not need looser S&F gates than the chaos baseline).
 
 Run directly or via ctest (registered as check_bench_baselines). Exits
 nonzero listing every failed check; prints one OK line per file otherwise.
@@ -396,6 +405,108 @@ def check_forensics(doc, path, errors):
                  f"snapshots={a.get('snapshots')!r})")
 
 
+# The arena's S&F recovery budgets must equal the committed chaos budgets
+# (BENCH_chaos.json "budgets"): the arena is not allowed to quietly loosen
+# the recovery story the chaos baseline gates on.
+ARENA_SF_PARTITION_BUDGET = 200
+ARENA_SF_MASS_KILL_BUDGET = 360
+ARENA_PROTOCOLS = ("sf", "swim", "a2a")
+ARENA_SCENARIOS = ("partition_heal", "mass_kill", "regional_burst")
+ARENA_LOSSES = (0.0, 0.02, 0.1)
+ARENA_GATED_LOSS = 0.02  # swim + sf gates apply at loss <= this
+
+
+def check_arena(doc, path, errors):
+    gates = doc.get("gates", {})
+    for gate in ("matrix_complete", "deterministic", "swim_complete",
+                 "swim_fp_under_budget", "sf_partition_recovered",
+                 "sf_mass_kill_recovered"):
+        if gates.get(gate) is not True:
+            fail(errors, path, f"arena gate {gate} failed")
+    budgets = doc.get("budgets", {})
+    fp_budget = budgets.get("swim_fp_events")
+    if not isinstance(fp_budget, int) or fp_budget <= 0:
+        fail(errors, path, "missing budgets.swim_fp_events")
+        fp_budget = None
+    for key, expected in (("sf_partition_rounds", ARENA_SF_PARTITION_BUDGET),
+                          ("sf_mass_kill_rounds", ARENA_SF_MASS_KILL_BUDGET)):
+        if budgets.get(key) != expected:
+            fail(errors, path,
+                 f"budgets.{key} = {budgets.get(key)!r} (must equal the "
+                 f"committed chaos budget {expected})")
+
+    legs = doc.get("legs", [])
+    by_cell = {}
+    for leg in legs:
+        by_cell[(leg.get("protocol"), leg.get("scenario"),
+                 leg.get("loss"))] = leg
+    for protocol in ARENA_PROTOCOLS:
+        for scenario in ARENA_SCENARIOS:
+            for loss in ARENA_LOSSES:
+                if (protocol, scenario, loss) not in by_cell:
+                    fail(errors, path,
+                         f"matrix cell {protocol} x {scenario} x "
+                         f"loss={loss} missing")
+    for leg in legs:
+        name = (f"{leg.get('protocol')} x {leg.get('scenario')} x "
+                f"loss={leg.get('loss')}")
+        if leg.get("deterministic") is not True:
+            fail(errors, path,
+                 f"{name}: not bit-identical across its two runs")
+        if not leg.get("sent"):
+            fail(errors, path, f"{name}: no traffic recorded")
+        detection = leg.get("detection", {})
+        gated = (isinstance(leg.get("loss"), (int, float))
+                 and leg["loss"] <= ARENA_GATED_LOSS)
+        if leg.get("protocol") == "swim" and \
+           leg.get("scenario") == "mass_kill" and gated:
+            if detection.get("completeness") != 1.0 or \
+               not detection.get("events") or \
+               detection.get("complete") != detection.get("events"):
+                fail(errors, path,
+                     f"{name}: completeness "
+                     f"{detection.get('completeness')!r} "
+                     f"({detection.get('complete')!r}/"
+                     f"{detection.get('events')!r} events complete, "
+                     "want every victim at every live observer)")
+            fp = detection.get("fp_events")
+            if fp_budget is not None and \
+               (not isinstance(fp, int) or fp > fp_budget):
+                fail(errors, path,
+                     f"{name}: fp_events {fp!r} over budget {fp_budget}")
+            if detection.get("fp_unresolved") != 0:
+                fail(errors, path,
+                     f"{name}: {detection.get('fp_unresolved')!r} "
+                     "false-positive spell(s) never refuted")
+        if leg.get("protocol") == "sf" and gated and \
+           leg.get("scenario") in ("partition_heal", "mass_kill"):
+            budget = (ARENA_SF_PARTITION_BUDGET
+                      if leg["scenario"] == "partition_heal"
+                      else ARENA_SF_MASS_KILL_BUDGET)
+            label = ("split" if leg["scenario"] == "partition_heal"
+                     else "mass-kill")
+            episode = next((e for e in leg.get("episodes", [])
+                            if e.get("label") == label), None)
+            if episode is None:
+                fail(errors, path, f"{name}: no '{label}' episode")
+                continue
+            if episode.get("degraded") is not True:
+                fail(errors, path,
+                     f"{name}: '{label}' never degraded "
+                     "(fault had no effect)")
+            if episode.get("recovered") is not True:
+                fail(errors, path, f"{name}: '{label}' never recovered")
+            rounds = episode.get("recovery_rounds")
+            if not isinstance(rounds, int) or rounds > budget:
+                fail(errors, path,
+                     f"{name}: recovered in {rounds!r} rounds "
+                     f"(budget {budget})")
+            if leg.get("unrecovered") != 0:
+                fail(errors, path,
+                     f"{name}: {leg.get('unrecovered')!r} unrecovered "
+                     "episode(s)")
+
+
 CHECKS = {
     "scale_trajectory": check_scale,
     "analysis_pipeline": check_analysis,
@@ -403,6 +514,7 @@ CHECKS = {
     "drift_oracle": check_drift,
     "chaos_faults": check_chaos,
     "forensics": check_forensics,
+    "arena": check_arena,
 }
 
 

@@ -17,6 +17,10 @@
 //                          root-caused incident reports
 //   sfgossip top           live in-terminal dashboard over a sharded run
 //                          (tails the snapshot streamer)
+//   sfgossip arena         race failure-detection protocols (S&F washout,
+//                          SWIM, all-to-all heartbeats, view-exchange
+//                          baselines) through one scenario and compare
+//                          overhead and detection quality
 //
 // Every subcommand accepts --help. Numeric output goes to stdout; pass
 // --csv FILE where supported to also write machine-readable series.
@@ -42,9 +46,11 @@
 #include "common/cli.hpp"
 #include "common/csv.hpp"
 #include "common/stats.hpp"
+#include "core/baselines/all_to_all.hpp"
 #include "core/baselines/newscast.hpp"
 #include "core/baselines/push_pull.hpp"
 #include "core/baselines/shuffle.hpp"
+#include "core/baselines/swim.hpp"
 #include "core/send_forget.hpp"
 #include "core/variants/send_forget_ext.hpp"
 #include "graph/connectivity.hpp"
@@ -67,8 +73,11 @@
 #include "sampling/spatial.hpp"
 #include "analysis/prediction.hpp"
 #include "core/flat_send_forget.hpp"
+#include "obs/detection.hpp"
 #include "obs/recovery.hpp"
+#include "sim/arena_driver.hpp"
 #include "sim/churn.hpp"
+#include "sim/cluster.hpp"
 #include "sim/cluster_probe.hpp"
 #include "sim/event_driver.hpp"
 #include "sim/fault_plane.hpp"
@@ -87,7 +96,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: sfgossip <simulate|degrees|thresholds|decay|"
                "connectivity|walk|globalmc|plan|trace-dump|chaos|analyze|"
-               "top> [options]\n"
+               "top|arena> [options]\n"
                "run 'sfgossip <command> --help' for options.\n");
   return 2;
 }
@@ -1157,6 +1166,267 @@ int cmd_chaos(const ArgParser& args) {
   return recovery.unrecovered() == 0 ? 0 : 1;
 }
 
+// ---------------------------------------------------------------- arena
+
+// One contender in the protocol arena: a named factory plus how its
+// membership state is seeded (S&F and the view-exchange baselines get a
+// dL-regular overlay; the failure detectors get the full member table).
+struct ArenaContender {
+  std::string name;
+  sim::Cluster::ProtocolFactory factory;
+  bool full_membership = false;
+  bool track_recovery = false;  // S&F only: the dL/s band is its contract
+};
+
+ArenaContender make_contender(const std::string& name, std::size_t view_size,
+                              std::size_t min_degree) {
+  ArenaContender c;
+  c.name = name;
+  if (name == "sf") {
+    const SendForgetConfig cfg{.view_size = view_size,
+                               .min_degree = min_degree};
+    cfg.validate();
+    c.factory = [cfg](NodeId id) {
+      return std::make_unique<SendForget>(id, cfg);
+    };
+    c.track_recovery = true;
+  } else if (name == "swim") {
+    c.factory = [](NodeId id) {
+      return std::make_unique<Swim>(id, SwimConfig{});
+    };
+    c.full_membership = true;
+  } else if (name == "a2a") {
+    c.factory = [](NodeId id) {
+      return std::make_unique<AllToAll>(id, AllToAllConfig{});
+    };
+    c.full_membership = true;
+  } else if (name == "shuffle") {
+    ShuffleConfig cfg;
+    cfg.view_size = view_size;
+    c.factory = [cfg](NodeId id) {
+      return std::make_unique<Shuffle>(id, cfg);
+    };
+  } else if (name == "pushpull") {
+    PushPullConfig cfg;
+    cfg.view_size = view_size;
+    c.factory = [cfg](NodeId id) {
+      return std::make_unique<PushPullKeep>(id, cfg);
+    };
+  } else if (name == "newscast") {
+    NewscastConfig cfg;
+    cfg.view_size = view_size;
+    c.factory = [cfg](NodeId id) {
+      return std::make_unique<Newscast>(id, cfg);
+    };
+  } else {
+    throw CliError("unknown protocol '" + name +
+                   "' (sf|swim|a2a|shuffle|pushpull|newscast)");
+  }
+  return c;
+}
+
+// Races the named protocols through one scenario — same node count, same
+// fault schedule, same ambient loss, same seed — on the ArenaDriver's
+// deterministic round clock, and compares message overhead against
+// detection quality. The committed BENCH_arena.json matrix is the gated
+// version of this command (tools/bench_report --arena).
+int cmd_arena(const ArgParser& args) {
+  if (args.has("help")) {
+    std::printf(
+        "sfgossip arena [--scenario FILE] [options]\n"
+        "Runs each protocol through the same scenario on the deterministic\n"
+        "arena round clock (one-round delivery latency) and reports message\n"
+        "overhead vs detection quality (see DESIGN.md 'Protocol arena').\n"
+        "  --scenario FILE   fault schedule + config     (default: none)\n"
+        "  --protocols LIST  comma list: sf,swim,a2a,shuffle,pushpull,\n"
+        "                    newscast                    (default sf,swim,a2a)\n"
+        "  --nodes N         system size                 (default 256)\n"
+        "  --rounds R        total rounds  (default: last heal + 200, or 400)\n"
+        "  --loss L          ambient loss rate           (default 0.02)\n"
+        "  --kill-fraction F fraction killed at --kill-round (default 0)\n"
+        "  --kill-round R    kill round                  (default 150)\n"
+        "  --view-size S     view slots s (sf + baselines, default 40)\n"
+        "  --min-degree D    duplication threshold dL    (default 18)\n"
+        "  --shards T        determinism shards          (default 4)\n"
+        "  --threads W       worker threads              (default: shards)\n"
+        "  --seed S          RNG seed                    (default 1)\n"
+        "  --stride N        rounds between observations (default 1)\n"
+        "  --json FILE       write the comparison as JSON\n"
+        "Scenario config lines (nodes, rounds, loss, kill-fraction,\n"
+        "kill-round, view-size, min-degree, shards, threads, seed, stride)\n"
+        "set defaults; flags override. Kills are reported to the detection\n"
+        "tracker; completeness counts only observers that believed the\n"
+        "victim alive, and S&F's passive washout shows up as kUnknown\n"
+        "verdicts (no false confirmations, no timetable).\n");
+    return 0;
+  }
+  sim::ScenarioFile scenario;
+  const std::string scenario_path = args.get_string("scenario", "");
+  if (!scenario_path.empty()) {
+    std::string error;
+    if (!sim::load_scenario_file(scenario_path, &scenario, &error)) {
+      throw CliError("cannot load scenario '" + scenario_path +
+                     "': " + error);
+    }
+  }
+
+  const std::size_t nodes =
+      scenario_size(scenario, args, "nodes", 256, 64, 8192);
+  const std::size_t default_rounds =
+      scenario.schedule.empty()
+          ? 400
+          : static_cast<std::size_t>(scenario.schedule.last_end()) + 200;
+  const std::size_t rounds =
+      scenario_size(scenario, args, "rounds", default_rounds, 1, 1'000'000);
+  const double loss = scenario_double(scenario, args, "loss", 0.02, 0.0, 0.99);
+  const double kill_fraction =
+      scenario_double(scenario, args, "kill-fraction", 0.0, 0.0, 0.9);
+  const std::size_t kill_round =
+      scenario_size(scenario, args, "kill-round", 150, 1, 1'000'000);
+  const std::size_t view_size =
+      scenario_size(scenario, args, "view-size", 40, 6, 512);
+  const std::size_t min_degree =
+      scenario_size(scenario, args, "min-degree", 18, 2, 506);
+  const std::size_t shards = scenario_size(scenario, args, "shards", 4, 1, 64);
+  const std::size_t threads =
+      scenario_size(scenario, args, "threads", shards, 1, 64);
+  const auto seed = static_cast<std::uint64_t>(
+      scenario_size(scenario, args, "seed", 1, 0, 1'000'000'000));
+  const std::size_t stride =
+      scenario_size(scenario, args, "stride", 1, 1, 100'000);
+
+  std::vector<ArenaContender> contenders;
+  {
+    std::stringstream list(args.get_string("protocols", "sf,swim,a2a"));
+    std::string name;
+    while (std::getline(list, name, ',')) {
+      if (!name.empty()) {
+        contenders.push_back(make_contender(name, view_size, min_degree));
+      }
+    }
+  }
+  if (contenders.empty()) throw CliError("--protocols names no protocols");
+
+  const sim::FaultPlane plane(scenario.schedule, nodes, shards);
+  std::printf("arena: %zu nodes x %zu rounds, loss=%.3f, %zu shard(s), "
+              "seed=%llu\n%s",
+              nodes, rounds, loss, shards,
+              static_cast<unsigned long long>(seed),
+              plane.describe().c_str());
+  if (kill_fraction > 0.0) {
+    std::printf("churn: %.0f%% killed at round %zu\n", kill_fraction * 100.0,
+                kill_round);
+  }
+
+  std::ofstream json;
+  if (args.has("json")) {
+    const auto path = args.get_string("json", "");
+    json.open(path);
+    if (!json) throw CliError("cannot open '" + path + "' for writing");
+    json << "{\n  \"tool\": \"sfgossip\",\n  \"schema_version\": 1,\n"
+         << "  \"git\": \"" << GOSSIP_GIT_DESCRIBE << "\",\n"
+         << "  \"scenario\": \""
+         << (scenario_path.empty() ? "(none)" : scenario_path)
+         << "\",\n  \"protocols\": [\n";
+  }
+
+  std::printf(
+      "\n%-9s %12s %10s %9s %9s %9s %9s %11s\n", "protocol", "sent",
+      "msgs/n/r", "complete", "t_first", "t_last", "fp", "fingerprint");
+  for (std::size_t ci = 0; ci < contenders.size(); ++ci) {
+    const ArenaContender& c = contenders[ci];
+    sim::Cluster cluster(nodes, c.factory);
+    if (c.full_membership) {
+      std::vector<NodeId> ids(nodes);
+      for (NodeId u = 0; u < nodes; ++u) ids[u] = u;
+      for (NodeId u = 0; u < nodes; ++u) cluster.node(u).install_view(ids);
+    } else {
+      Rng graph_rng(seed * 3 + 1);
+      cluster.install_graph(permutation_regular(nodes, min_degree, graph_rng));
+    }
+
+    sim::ArenaDriver driver(
+        cluster, sim::ArenaDriverConfig{.shards = shards,
+                                        .threads = threads,
+                                        .loss_rate = loss,
+                                        .seed = seed,
+                                        .observation_stride = stride});
+    if (!scenario.schedule.empty()) driver.attach_fault_plane(&plane);
+    obs::DetectionTracker detection(obs::DetectionConfig{.fp_stride = 5});
+    driver.attach_detection(&detection);
+    std::unique_ptr<obs::RecoveryTracker> recovery;
+    if (c.track_recovery) {
+      recovery = std::make_unique<obs::RecoveryTracker>(obs::RecoveryConfig{
+          .min_degree = min_degree, .view_size = view_size});
+      for (const sim::FaultPhase& phase : scenario.schedule.phases) {
+        recovery->declare_window(phase.begin, phase.end, phase.label);
+      }
+      if (kill_fraction > 0.0) {
+        recovery->declare_window(kill_round, kill_round + 20, "mass-kill");
+      }
+      driver.attach_recovery(recovery.get());
+    }
+
+    std::size_t killed = 0;
+    if (kill_fraction > 0.0 && kill_round < rounds) {
+      driver.run_rounds(kill_round);
+      const auto to_kill =
+          static_cast<std::size_t>(kill_fraction *
+                                   static_cast<double>(nodes));
+      Rng& crng = driver.churn_rng();
+      while (killed < to_kill) {
+        const auto victim = static_cast<NodeId>(crng.uniform(nodes));
+        if (cluster.live(victim)) {
+          driver.kill(victim);
+          ++killed;
+        }
+      }
+      driver.run_rounds(rounds - kill_round);
+    } else {
+      driver.run_rounds(rounds);
+    }
+
+    const sim::NetworkMetrics net = driver.network_metrics();
+    const std::uint64_t actions = driver.actions_executed();
+    const double mpnr =
+        actions > 0
+            ? static_cast<double>(net.sent) / static_cast<double>(actions)
+            : 0.0;
+    char fp_label[32];
+    std::snprintf(fp_label, sizeof(fp_label), "%llu/%zu",
+                  static_cast<unsigned long long>(detection.fp_events()),
+                  detection.fp_unresolved());
+    std::printf("%-9s %12llu %10.2f %8.1f%% %9.1f %9.1f %9s %011llx\n",
+                c.name.c_str(), static_cast<unsigned long long>(net.sent),
+                mpnr, detection.completeness(true) * 100.0,
+                detection.mean_first_latency(true),
+                detection.mean_last_latency(true), fp_label,
+                static_cast<unsigned long long>(driver.fingerprint()));
+    if (recovery) std::printf("%s", recovery->report().c_str());
+
+    if (json.is_open()) {
+      json << "    {\"protocol\": \"" << c.name << "\", \"sent\": "
+           << net.sent << ", \"delivered\": " << net.delivered
+           << ", \"lost\": " << net.lost << ", \"faulted\": " << net.faulted
+           << ", \"to_dead\": " << net.to_dead << ",\n     \"killed\": "
+           << killed << ", \"msgs_per_node_round\": " << mpnr
+           << ", \"fingerprint\": \"" << std::hex << driver.fingerprint()
+           << std::dec << "\",\n     \"detection\": ";
+      detection.write_json(json);
+      if (recovery) {
+        json << ",\n     \"recovery\": ";
+        recovery->write_json(json);
+      }
+      json << "}" << (ci + 1 == contenders.size() ? "\n" : ",\n");
+    }
+  }
+  if (json.is_open()) {
+    json << "  ]\n}\n";
+    std::printf("wrote %s\n", args.get_string("json", "").c_str());
+  }
+  return 0;
+}
+
 // -------------------------------------------------------------- analyze
 
 // Post-mortem forensics: load a run's artifacts (flight dump, snapshot
@@ -1576,6 +1846,7 @@ int main(int argc, char** argv) {
     if (command == "chaos") return cmd_chaos(args);
     if (command == "analyze") return cmd_analyze(args);
     if (command == "top") return cmd_top(args);
+    if (command == "arena") return cmd_arena(args);
     std::fprintf(stderr, "unknown command '%s'\n", command.c_str());
     return usage();
   } catch (const CliError& error) {
